@@ -1,0 +1,224 @@
+//! The previous state of the art on the SLAP: divide and conquer with
+//! boundary merges, Θ(n lg n) for every image \[2, 12\].
+//!
+//! Scheme: every PE first labels its own column locally (runs get their top
+//! pixel's position). Then `⌈lg n⌉` merge levels follow; at level `k`,
+//! adjacent blocks of `2^(k-1)` columns merge pairwise:
+//!
+//! 1. the right block's leftmost column ships its `rows` boundary labels one
+//!    hop left (`rows` words over one link — `rows` steps);
+//! 2. the leader PE runs a sequential union–find over the ≤ `2·rows`
+//!    boundary labels, producing a rename map (old label → merged component's
+//!    minimum label);
+//! 3. the rename map (≤ `rows` entries) is broadcast through the merged
+//!    block — a pipelined flood costing `O(map + block width)` steps;
+//! 4. every PE applies the renames to its column (`rows` map lookups).
+//!
+//! Each level costs `O(rows + 2^k)` steps regardless of the image, hence
+//! Θ(n lg n) total on square images — the bound the paper beats. Labels
+//! follow the minimum-position convention throughout, so the output is
+//! oracle-exact.
+
+use slap_image::{Bitmap, LabelGrid};
+use slap_unionfind::{RankHalvingUf, UnionFind};
+use std::collections::HashMap;
+
+/// Step accounting for the divide-and-conquer labeler.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DcReport {
+    /// Machine steps per merge level (makespan across that level's
+    /// concurrent block merges).
+    pub level_steps: Vec<u64>,
+    /// Steps of the initial local column labeling.
+    pub local_steps: u64,
+    /// Total machine steps.
+    pub steps: u64,
+}
+
+/// Labels `img` with the divide-and-conquer SLAP algorithm. Returns the
+/// (oracle-exact) labeling and the step accounting.
+pub fn divide_conquer_labels(img: &Bitmap) -> (LabelGrid, DcReport) {
+    let (rows, cols) = (img.rows(), img.cols());
+    const BG: u32 = u32::MAX;
+    // local labeling: every vertical run gets its top pixel's position
+    let mut labels: Vec<Vec<u32>> = (0..cols)
+        .map(|c| {
+            let mut col = vec![BG; rows];
+            let mut r = 0usize;
+            while r < rows {
+                if !img.get(r, c) {
+                    r += 1;
+                    continue;
+                }
+                let top = r;
+                while r < rows && img.get(r, c) {
+                    r += 1;
+                }
+                let label = (c * rows + top) as u32;
+                for item in col.iter_mut().take(r).skip(top) {
+                    *item = label;
+                }
+            }
+            col
+        })
+        .collect();
+    let local_steps = rows as u64;
+    let mut level_steps = Vec::new();
+    let mut width = 1usize; // current block width
+    while width < cols {
+        let mut level_makespan = 0u64;
+        let mut block_start = 0usize;
+        while block_start < cols {
+            let left_end = block_start + width; // first column of right block
+            let block_end = (block_start + 2 * width).min(cols);
+            if left_end >= cols {
+                break;
+            }
+            // 1. ship right-boundary labels one hop left: rows words
+            let mut steps = rows as u64;
+            // 2. sequential merge at the leader over the boundary pair
+            let (renames, merge_steps) =
+                merge_boundary(img, &labels, left_end - 1, left_end, rows);
+            steps += merge_steps;
+            // 3. broadcast the rename map through the merged block
+            steps += renames.len() as u64 + (block_end - block_start) as u64;
+            // 4. apply renames locally (concurrent across the block's PEs)
+            let mut apply_steps = 0u64;
+            for col in labels.iter_mut().take(block_end).skip(block_start) {
+                let mut units = 0u64;
+                for l in col.iter_mut() {
+                    units += 1;
+                    if *l != BG {
+                        if let Some(&n) = renames.get(l) {
+                            *l = n;
+                        }
+                    }
+                }
+                apply_steps = apply_steps.max(units);
+            }
+            steps += apply_steps;
+            level_makespan = level_makespan.max(steps);
+            block_start += 2 * width;
+        }
+        level_steps.push(level_makespan);
+        width *= 2;
+    }
+    let steps = local_steps + level_steps.iter().sum::<u64>();
+    let mut out = LabelGrid::new_background(rows, cols);
+    for (c, col) in labels.iter().enumerate() {
+        for (r, &l) in col.iter().enumerate() {
+            if l != BG {
+                out.set(r, c, l);
+            }
+        }
+    }
+    (out, DcReport { level_steps, local_steps, steps })
+}
+
+/// Sequential union–find over the labels on the boundary between columns
+/// `cl` and `cr`; returns the rename map (label → merged minimum) and the
+/// units spent.
+#[allow(clippy::needless_range_loop)] // `r` indexes the image and two label columns at once
+fn merge_boundary(
+    img: &Bitmap,
+    labels: &[Vec<u32>],
+    cl: usize,
+    cr: usize,
+    rows: usize,
+) -> (HashMap<u32, u32>, u64) {
+    let mut dense: HashMap<u32, usize> = HashMap::new();
+    let mut values: Vec<u32> = Vec::new();
+    let mut units = 0u64;
+    let intern = |l: u32, dense: &mut HashMap<u32, usize>, values: &mut Vec<u32>| {
+        *dense.entry(l).or_insert_with(|| {
+            values.push(l);
+            values.len() - 1
+        })
+    };
+    let mut pairs = Vec::new();
+    for r in 0..rows {
+        units += 1;
+        if img.get(r, cl) && img.get(r, cr) {
+            let a = intern(labels[cl][r], &mut dense, &mut values);
+            let b = intern(labels[cr][r], &mut dense, &mut values);
+            units += 2;
+            pairs.push((a, b));
+        }
+    }
+    let mut uf = RankHalvingUf::with_elements(values.len().max(1));
+    for (a, b) in pairs {
+        uf.union(a, b);
+    }
+    // min label per root
+    let mut min_of: Vec<u32> = vec![u32::MAX; values.len().max(1)];
+    for (i, &v) in values.iter().enumerate() {
+        let root = uf.find(i);
+        if v < min_of[root] {
+            min_of[root] = v;
+        }
+    }
+    units += uf.cost();
+    let mut renames = HashMap::new();
+    for (i, &v) in values.iter().enumerate() {
+        units += 1;
+        let m = min_of[uf.find(i)];
+        if m != v {
+            renames.insert(v, m);
+        }
+    }
+    units += uf.cost();
+    (renames, units)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slap_image::{bfs_labels, gen};
+
+    #[test]
+    fn matches_oracle_on_all_generators() {
+        for name in gen::WORKLOADS {
+            let img = gen::by_name(name, 24, 8).unwrap();
+            let (labels, _) = divide_conquer_labels(&img);
+            assert_eq!(labels, bfs_labels(&img), "workload {name}");
+        }
+    }
+
+    #[test]
+    fn handles_non_power_of_two_widths() {
+        for cols in [1usize, 3, 5, 17, 33] {
+            let img = gen::uniform_random(16, cols, 0.5, cols as u64);
+            let (labels, _) = divide_conquer_labels(&img);
+            assert_eq!(labels, bfs_labels(&img), "cols={cols}");
+        }
+    }
+
+    #[test]
+    fn level_count_is_log_n() {
+        let img = gen::uniform_random(32, 32, 0.5, 1);
+        let (_, report) = divide_conquer_labels(&img);
+        assert_eq!(report.level_steps.len(), 5); // lg 32
+    }
+
+    #[test]
+    fn steps_scale_n_log_n_even_on_empty_images() {
+        // The merge schedule runs regardless of content — the rigidity the
+        // paper's algorithm avoids.
+        let s32 = divide_conquer_labels(&slap_image::Bitmap::new(32, 32)).1.steps as f64;
+        let s128 = divide_conquer_labels(&slap_image::Bitmap::new(128, 128)).1.steps as f64;
+        let ratio = s128 / s32;
+        // n lg n scaling: (128*7)/(32*5) = 5.6; allow slack
+        assert!(
+            (4.0..8.0).contains(&ratio),
+            "unexpected scaling ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn rename_map_flows_to_whole_block() {
+        // A long horizontal line: every merge renames the right block fully.
+        let img = gen::stripes_horizontal(8, 32, 4, 1);
+        let (labels, _) = divide_conquer_labels(&img);
+        assert_eq!(labels, bfs_labels(&img));
+    }
+}

@@ -1,0 +1,30 @@
+//! Baseline component-labeling algorithms the paper compares against.
+//!
+//! * [`sequential`] — uniprocessor labelers: the classic two-pass
+//!   (Rosenfeld–Pfaltz) raster algorithm and a scanline union–find labeler in
+//!   the style of Schwartz–Sharir–Siegel \[19\] / Dillencourt–Samet–Tamminen
+//!   \[7\] (the `O(n²)` sequential references cited in the introduction).
+//!   These double as independent oracles for differential testing.
+//! * [`naive_slap`] — the strawman the paper's Figure 3(b) is aimed at:
+//!   iterative min-label propagation across the linear array, "passing labels
+//!   to the right in a top to bottom fashion", which suffers Θ(n) sweeps on
+//!   comb-like images (Θ(n²) steps and worse on spirals).
+//! * [`divide_conquer`] — the previous state of the art on the SLAP
+//!   (Alnuweiri–Prasanna \[2\], Helman–JáJá \[12\]): recursive halves with a
+//!   boundary merge per level, Θ(n lg n) steps for every image. Experiment
+//!   E5 compares its step counts against Algorithm CC.
+//! * [`mesh`] — the n²-processor mesh algorithms of the introduction:
+//!   min-label propagation (exact 4-connected labeling in O(diameter)
+//!   rounds) and Levialdi's shrinking counter \[16\] on the `mesh-machine`
+//!   simulator (E6's resource-tradeoff comparison).
+
+#![warn(missing_docs)]
+
+pub mod divide_conquer;
+pub mod mesh;
+pub mod naive_slap;
+pub mod sequential;
+
+pub use divide_conquer::{divide_conquer_labels, DcReport};
+pub use naive_slap::{naive_slap_labels, NaiveReport};
+pub use sequential::{scanline_labels, two_pass_labels};

@@ -1,0 +1,332 @@
+//! The naive SLAP labeler the paper's Figure 3(b) defeats.
+//!
+//! "Passing labels to the right in a top to bottom fashion" without the
+//! paper's union-forwarding machinery amounts to iterative minimum-label
+//! relaxation: every round, each PE exchanges its column's current labels
+//! with both neighbors (n words each way over word links) and re-relaxes its
+//! column (vertical runs adopt the minimum of their pixels' labels and the
+//! labels visible across the links). The process repeats until no label
+//! changes anywhere.
+//!
+//! A label must make one round trip per *horizontal* hop of the shortest
+//! path from a component's minimum pixel, so comb images (Fig. 3(b)) force
+//! Θ(n) rounds at Θ(n) steps per round — Θ(n²) total — and spirals force
+//! Θ(n²) rounds (Θ(n³) steps). Experiment E4 measures exactly this against
+//! Algorithm CC's near-linear behaviour.
+
+use slap_image::{Bitmap, LabelGrid};
+
+/// Step accounting for the naive labeler.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NaiveReport {
+    /// Relaxation rounds until a full round passed with no change (the
+    /// change-free confirmation round is included).
+    pub rounds: u64,
+    /// Machine steps: per round, `2·rows` link transfers + `rows` local
+    /// relaxation work per PE (PEs run concurrently, so a round costs
+    /// `3·rows` steps), plus one step per round for the global
+    /// "anything changed?" wired-OR.
+    pub steps: u64,
+}
+
+/// Labels `img` by iterative min-label propagation on the simulated SLAP.
+/// Produces the paper's canonical labeling (minimum column-major position),
+/// with the step count in the returned report.
+pub fn naive_slap_labels(img: &Bitmap) -> (LabelGrid, NaiveReport) {
+    let (rows, cols) = (img.rows(), img.cols());
+    const BG: u32 = u32::MAX;
+    // labels[c][r]
+    let mut labels: Vec<Vec<u32>> = (0..cols)
+        .map(|c| {
+            (0..rows)
+                .map(|r| if img.get(r, c) { (c * rows + r) as u32 } else { BG })
+                .collect()
+        })
+        .collect();
+    // initial vertical relaxation within each column
+    for col in labels.iter_mut() {
+        relax_column(col);
+    }
+    let mut rounds = 1u64; // the initial local relaxation round
+    loop {
+        rounds += 1;
+        let mut changed = false;
+        let snapshot = labels.clone(); // neighbor views are last round's labels
+        for c in 0..cols {
+            let col = &mut labels[c];
+            let mut touched = false;
+            for r in 0..rows {
+                if col[r] == BG {
+                    continue;
+                }
+                let mut best = col[r];
+                if c > 0 && snapshot[c - 1][r] < best {
+                    best = snapshot[c - 1][r];
+                }
+                if c + 1 < cols && snapshot[c + 1][r] < best {
+                    best = snapshot[c + 1][r];
+                }
+                if best < col[r] {
+                    col[r] = best;
+                    touched = true;
+                }
+            }
+            if touched {
+                relax_column(col);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let steps = rounds * (3 * rows as u64 + 1);
+    let mut out = LabelGrid::new_background(rows, cols);
+    for (c, col) in labels.iter().enumerate() {
+        for (r, &l) in col.iter().enumerate() {
+            if l != BG {
+                out.set(r, c, l);
+            }
+        }
+    }
+    (out, NaiveReport { rounds, steps })
+}
+
+/// The same naive labeler as a cycle-level [`slap_machine::PeProgram`] for the lock-step
+/// executor — the workload experiment E11 uses to measure the simulator's
+/// own multithreaded scaling ([`slap_machine::run_lockstep_threaded`]).
+///
+/// One relaxation round = `rows + 1` machine ticks: tick `k < rows` streams
+/// `labels[k]` to both neighbors (one word per link per tick, as the
+/// hardware allows) while capturing the neighbors' row `k−1`; the final tick
+/// captures row `rows−1` and relaxes the column. The program runs a fixed
+/// number of rounds (lock-step PEs cannot detect global convergence
+/// locally); use [`naive_slap_labels`]' round count, or any horizon, and
+/// compare labelings.
+pub struct NaivePe {
+    rows: usize,
+    labels: Vec<u32>,
+    nbr_left: Vec<u32>,
+    nbr_right: Vec<u32>,
+    tick: usize,
+    rounds_left: u32,
+}
+
+impl NaivePe {
+    /// Builds the PE program for column `pe` of `img`, running `rounds`
+    /// relaxation rounds.
+    pub fn new(img: &Bitmap, pe: usize, rounds: u32) -> Self {
+        assert!(rounds >= 1, "need at least one relaxation round");
+        let rows = img.rows();
+        let labels = (0..rows)
+            .map(|r| {
+                if img.get(r, pe) {
+                    (pe * rows + r) as u32
+                } else {
+                    u32::MAX
+                }
+            })
+            .collect::<Vec<_>>();
+        let mut me = NaivePe {
+            rows,
+            labels,
+            nbr_left: vec![u32::MAX; rows],
+            nbr_right: vec![u32::MAX; rows],
+            tick: 0,
+            rounds_left: rounds,
+        };
+        relax_column(&mut me.labels);
+        me
+    }
+
+    /// The column's labels (final after the run).
+    pub fn labels(&self) -> &[u32] {
+        &self.labels
+    }
+
+    fn absorb(&mut self, io: &mut slap_machine::PeIo<u32>, row: usize) {
+        if let Some(w) = io.recv_left() {
+            self.nbr_left[row] = w;
+        } else {
+            self.nbr_left[row] = u32::MAX;
+        }
+        if let Some(w) = io.recv_right() {
+            self.nbr_right[row] = w;
+        } else {
+            self.nbr_right[row] = u32::MAX;
+        }
+    }
+}
+
+impl slap_machine::PeProgram for NaivePe {
+    type Word = u32;
+
+    fn tick(&mut self, io: &mut slap_machine::PeIo<u32>) -> slap_machine::PeStatus {
+        use slap_machine::PeStatus;
+        let k = self.tick;
+        if k < self.rows {
+            if k >= 1 {
+                self.absorb(io, k - 1);
+            }
+            io.send_left(self.labels[k]);
+            io.send_right(self.labels[k]);
+            self.tick += 1;
+            PeStatus::Running
+        } else {
+            self.absorb(io, self.rows - 1);
+            // relax: adopt per-row minima from the captured neighbor columns
+            for r in 0..self.rows {
+                if self.labels[r] == u32::MAX {
+                    continue;
+                }
+                let m = self.labels[r].min(self.nbr_left[r]).min(self.nbr_right[r]);
+                self.labels[r] = m;
+            }
+            relax_column(&mut self.labels);
+            self.tick = 0;
+            self.rounds_left -= 1;
+            if self.rounds_left == 0 {
+                PeStatus::Done
+            } else {
+                PeStatus::Running
+            }
+        }
+    }
+}
+
+/// Runs [`NaivePe`] on the lock-step executor (optionally threaded) and
+/// returns the resulting labeling. `rounds` fixes the relaxation horizon.
+pub fn naive_slap_lockstep(img: &Bitmap, rounds: u32, threads: usize) -> LabelGrid {
+    let (rows, cols) = (img.rows(), img.cols());
+    let mut pes: Vec<NaivePe> = (0..cols).map(|pe| NaivePe::new(img, pe, rounds)).collect();
+    let max_rounds = (rounds as u64 + 2) * (rows as u64 + 2) + 16;
+    if threads <= 1 {
+        slap_machine::run_lockstep(&mut pes, max_rounds);
+    } else {
+        slap_machine::run_lockstep_threaded(&mut pes, threads, max_rounds);
+    }
+    let mut out = LabelGrid::new_background(rows, cols);
+    for (c, pe) in pes.iter().enumerate() {
+        for (r, &l) in pe.labels().iter().enumerate() {
+            if l != u32::MAX {
+                out.set(r, c, l);
+            }
+        }
+    }
+    out
+}
+
+/// Sets every vertical run of foreground pixels to the minimum label in the
+/// run (two sweeps).
+fn relax_column(col: &mut [u32]) {
+    const BG: u32 = u32::MAX;
+    let n = col.len();
+    let mut r = 0usize;
+    while r < n {
+        if col[r] == BG {
+            r += 1;
+            continue;
+        }
+        let top = r;
+        let mut min = col[r];
+        while r < n && col[r] != BG {
+            min = min.min(col[r]);
+            r += 1;
+        }
+        for item in col.iter_mut().take(r).skip(top) {
+            *item = min;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slap_image::{bfs_labels, gen};
+
+    #[test]
+    fn matches_oracle_on_all_generators() {
+        for name in gen::WORKLOADS {
+            let img = gen::by_name(name, 20, 6).unwrap();
+            let (labels, _) = naive_slap_labels(&img);
+            assert_eq!(labels, bfs_labels(&img), "workload {name}");
+        }
+    }
+
+    #[test]
+    fn vertical_structures_converge_immediately() {
+        // vertical bars never exchange labels horizontally: two rounds
+        // (relax + confirm)
+        let img = gen::stripes_vertical(16, 16, 4, 2);
+        let (_, report) = naive_slap_labels(&img);
+        assert!(report.rounds <= 3, "vstripes took {} rounds", report.rounds);
+    }
+
+    #[test]
+    fn labels_travel_one_column_per_round() {
+        // even on the full image, the minimum label needs a round per column
+        let img = gen::full(16, 16);
+        let (_, report) = naive_slap_labels(&img);
+        assert!(
+            (16..=18).contains(&report.rounds),
+            "full image took {} rounds",
+            report.rounds
+        );
+    }
+
+    #[test]
+    fn comb_needs_linear_rounds() {
+        let n = 64;
+        let img = gen::double_comb(n, n, 2);
+        let (labels, report) = naive_slap_labels(&img);
+        assert_eq!(labels, bfs_labels(&img));
+        assert!(
+            report.rounds as usize >= n / 4,
+            "comb converged suspiciously fast: {} rounds",
+            report.rounds
+        );
+    }
+
+    #[test]
+    fn serpentine_needs_quadratic_rounds() {
+        let n = 48;
+        let img = gen::serpentine(n, n, 3);
+        let (labels, report) = naive_slap_labels(&img);
+        assert_eq!(labels, bfs_labels(&img));
+        assert!(
+            report.rounds as usize > 3 * n,
+            "serpentine converged in only {} rounds",
+            report.rounds
+        );
+    }
+
+    #[test]
+    fn lockstep_program_matches_plain_loop() {
+        for name in ["random50", "comb", "fig3a"] {
+            let img = gen::by_name(name, 20, 4).unwrap();
+            let (labels, report) = naive_slap_labels(&img);
+            let ls = naive_slap_lockstep(&img, report.rounds as u32, 1);
+            assert_eq!(ls, labels, "workload {name}");
+        }
+    }
+
+    #[test]
+    fn lockstep_threaded_matches_sequential() {
+        let img = gen::by_name("comb", 24, 4).unwrap();
+        let (labels, report) = naive_slap_labels(&img);
+        for threads in [2, 4] {
+            let ls = naive_slap_lockstep(&img, report.rounds as u32, threads);
+            assert_eq!(ls, labels, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn rounds_scale_quadratically_on_serpentines() {
+        let r32 = naive_slap_labels(&gen::serpentine(32, 32, 3)).1.rounds as f64;
+        let r64 = naive_slap_labels(&gen::serpentine(64, 64, 3)).1.rounds as f64;
+        assert!(
+            r64 / r32 > 3.0,
+            "expected ~4x rounds on doubling: {r32} -> {r64}"
+        );
+    }
+}

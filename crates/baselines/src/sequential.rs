@@ -1,0 +1,206 @@
+//! Sequential (uniprocessor) labelers: independent oracles and the `O(n²)`
+//! references of the paper's introduction \[19, 7\].
+
+use slap_image::{Bitmap, LabelGrid};
+use slap_unionfind::{RankHalvingUf, UnionFind};
+
+/// Classic two-pass raster labeling (Rosenfeld–Pfaltz): first pass assigns
+/// provisional labels and records equivalences in a union–find; second pass
+/// resolves. Output uses the paper's convention (minimum column-major
+/// position per component).
+pub fn two_pass_labels(img: &Bitmap) -> LabelGrid {
+    let (rows, cols) = (img.rows(), img.cols());
+    let mut provisional: Vec<u32> = vec![u32::MAX; rows * cols];
+    let mut uf = RankHalvingUf::with_elements(rows * cols);
+    // Pass 1 (row-major raster, 4-connectivity: look N and W).
+    let mut n_provisional = 0usize;
+    for r in 0..rows {
+        for c in 0..cols {
+            if !img.get(r, c) {
+                continue;
+            }
+            let west = c > 0 && img.get(r, c - 1);
+            let north = r > 0 && img.get(r - 1, c);
+            let idx = r * cols + c;
+            match (west, north) {
+                (false, false) => {
+                    provisional[idx] = n_provisional as u32;
+                    n_provisional += 1;
+                }
+                (true, false) => provisional[idx] = provisional[idx - 1],
+                (false, true) => provisional[idx] = provisional[idx - cols],
+                (true, true) => {
+                    let w = provisional[idx - 1];
+                    let n = provisional[idx - cols];
+                    provisional[idx] = w;
+                    if w != n {
+                        uf.union(w as usize, n as usize);
+                    }
+                }
+            }
+        }
+    }
+    // Resolve equivalences; compute min column-major position per root.
+    let mut min_pos: Vec<u32> = vec![u32::MAX; n_provisional.max(1)];
+    for c in 0..cols {
+        for r in 0..rows {
+            if img.get(r, c) {
+                let root = uf.find(provisional[r * cols + c] as usize);
+                let pos = (c * rows + r) as u32;
+                if pos < min_pos[root] {
+                    min_pos[root] = pos;
+                }
+            }
+        }
+    }
+    // Pass 2.
+    let mut out = LabelGrid::new_background(rows, cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if img.get(r, c) {
+                let root = uf.find(provisional[r * cols + c] as usize);
+                out.set(r, c, min_pos[root]);
+            }
+        }
+    }
+    out
+}
+
+/// Scanline labeling in the style of \[19, 7\]: the image is consumed one
+/// *column* at a time (the SLAP's natural scan order rotated 90°, which
+/// makes the minimum-position labels line up with the paper's column-major
+/// convention); runs of consecutive foreground pixels are the units, and a
+/// union–find over runs records merges between adjacent columns. `O(n² α)`
+/// overall.
+pub fn scanline_labels(img: &Bitmap) -> LabelGrid {
+    let (rows, cols) = (img.rows(), img.cols());
+    // Runs of each column: (top_row, bottom_row inclusive, run_id)
+    let mut uf = RankHalvingUf::with_elements(count_runs(img));
+    let mut run_of_pixel: Vec<u32> = vec![u32::MAX; rows * cols];
+    let mut next_run = 0usize;
+    let mut prev_runs: Vec<(usize, usize, usize)> = Vec::new();
+    for c in 0..cols {
+        let mut cur_runs: Vec<(usize, usize, usize)> = Vec::new();
+        let mut r = 0usize;
+        while r < rows {
+            if !img.get(r, c) {
+                r += 1;
+                continue;
+            }
+            let top = r;
+            while r < rows && img.get(r, c) {
+                r += 1;
+            }
+            let bot = r - 1;
+            let id = next_run;
+            next_run += 1;
+            for j in top..=bot {
+                run_of_pixel[j * cols + c] = id as u32;
+            }
+            cur_runs.push((top, bot, id));
+        }
+        // merge with overlapping runs of the previous column
+        let mut pi = 0usize;
+        for &(top, bot, id) in &cur_runs {
+            while pi < prev_runs.len() && prev_runs[pi].1 < top {
+                pi += 1;
+            }
+            let mut k = pi;
+            while k < prev_runs.len() && prev_runs[k].0 <= bot {
+                // overlap in rows => 4-adjacency across the column boundary
+                uf.union(id, prev_runs[k].2);
+                if prev_runs[k].1 <= bot {
+                    k += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        prev_runs = cur_runs;
+    }
+    // min position per root, then write out
+    let mut min_pos: Vec<u32> = vec![u32::MAX; next_run.max(1)];
+    for c in 0..cols {
+        for r in 0..rows {
+            let run = run_of_pixel[r * cols + c];
+            if run != u32::MAX {
+                let root = uf.find(run as usize);
+                let pos = (c * rows + r) as u32;
+                if pos < min_pos[root] {
+                    min_pos[root] = pos;
+                }
+            }
+        }
+    }
+    let mut out = LabelGrid::new_background(rows, cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            let run = run_of_pixel[r * cols + c];
+            if run != u32::MAX {
+                out.set(r, c, min_pos[uf.find(run as usize)]);
+            }
+        }
+    }
+    out
+}
+
+fn count_runs(img: &Bitmap) -> usize {
+    let (rows, cols) = (img.rows(), img.cols());
+    let mut runs = 0usize;
+    for c in 0..cols {
+        let mut inside = false;
+        for r in 0..rows {
+            let fg = img.get(r, c);
+            if fg && !inside {
+                runs += 1;
+            }
+            inside = fg;
+        }
+    }
+    runs.max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slap_image::{bfs_labels, gen};
+
+    #[test]
+    fn two_pass_matches_oracle_on_all_generators() {
+        for name in gen::WORKLOADS {
+            let img = gen::by_name(name, 24, 3).unwrap();
+            assert_eq!(two_pass_labels(&img), bfs_labels(&img), "workload {name}");
+        }
+    }
+
+    #[test]
+    fn scanline_matches_oracle_on_all_generators() {
+        for name in gen::WORKLOADS {
+            let img = gen::by_name(name, 24, 3).unwrap();
+            assert_eq!(scanline_labels(&img), bfs_labels(&img), "workload {name}");
+        }
+    }
+
+    #[test]
+    fn oracles_agree_on_rectangles() {
+        let img = gen::uniform_random(17, 41, 0.5, 77);
+        let a = two_pass_labels(&img);
+        let b = scanline_labels(&img);
+        let c = bfs_labels(&img);
+        assert_eq!(a, c);
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    fn handles_nested_u_shapes() {
+        let img = Bitmap::from_art(
+            "#####\n\
+             #...#\n\
+             #.#.#\n\
+             #...#\n\
+             #####\n",
+        );
+        assert_eq!(two_pass_labels(&img), bfs_labels(&img));
+        assert_eq!(scanline_labels(&img), bfs_labels(&img));
+    }
+}

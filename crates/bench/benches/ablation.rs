@@ -1,0 +1,75 @@
+//! Criterion bench: the extension ablations (wall-clock companions to
+//! experiments E13–E15) — run-length vs per-pixel representation,
+//! 8-connectivity overhead, feature folds, and the hypercube baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hypercube_machine::sv_labels;
+use slap_cc::features::{component_features, euler_number};
+use slap_cc::{label_components, label_components_runs, CcOptions, Connectivity};
+use slap_image::{bfs_labels, gen};
+use slap_unionfind::TarjanUf;
+
+fn bench_runs_vs_pixels(c: &mut Criterion) {
+    let n = 128;
+    let mut g = c.benchmark_group("runs_vs_pixels");
+    for workload in ["vstripes", "random50", "blobs"] {
+        let img = gen::by_name(workload, n, 11).unwrap();
+        g.bench_with_input(BenchmarkId::new("pixels", workload), &img, |b, img| {
+            b.iter(|| label_components::<TarjanUf>(img, &CcOptions::default()))
+        });
+        g.bench_with_input(BenchmarkId::new("runs", workload), &img, |b, img| {
+            b.iter(|| label_components_runs::<TarjanUf>(img, &CcOptions::default()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_connectivity(c: &mut Criterion) {
+    let n = 128;
+    let img = gen::by_name("maze", n, 11).unwrap();
+    let mut g = c.benchmark_group("connectivity");
+    for conn in [Connectivity::Four, Connectivity::Eight] {
+        let opts = CcOptions {
+            connectivity: conn,
+            ..CcOptions::default()
+        };
+        g.bench_with_input(BenchmarkId::from_parameter(conn.name()), &opts, |b, o| {
+            b.iter(|| label_components::<TarjanUf>(&img, o))
+        });
+    }
+    g.finish();
+}
+
+fn bench_features(c: &mut Criterion) {
+    let n = 128;
+    let img = gen::blobs(n, n, n / 4 + 1, 8, 3);
+    let labels = bfs_labels(&img);
+    let mut g = c.benchmark_group("features");
+    g.bench_function("component_features", |b| {
+        b.iter(|| component_features(&img, &labels, Connectivity::Four))
+    });
+    g.bench_function("euler_number", |b| {
+        b.iter(|| euler_number(&img, Connectivity::Four))
+    });
+    g.finish();
+}
+
+fn bench_hypercube(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hypercube_sv");
+    for n in [32usize, 64] {
+        let img = gen::serpentine(n, n, 3);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &img, |b, img| {
+            b.iter(|| sv_labels(img))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_runs_vs_pixels,
+    bench_connectivity,
+    bench_features,
+    bench_hypercube
+);
+criterion_main!(benches);

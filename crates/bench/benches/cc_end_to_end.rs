@@ -1,0 +1,41 @@
+//! Criterion bench: full Algorithm CC simulation against the sequential
+//! labelers (wall-clock companion to experiments E1/E3/E5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use slap_baselines::{divide_conquer_labels, scanline_labels, two_pass_labels};
+use slap_cc::{label_components_kind, CcOptions};
+use slap_image::{bfs_labels, gen};
+use slap_unionfind::UfKind;
+
+fn bench_cc(c: &mut Criterion) {
+    let n = 128;
+    let img = gen::uniform_random(n, n, 0.5, 42);
+    let mut g = c.benchmark_group("cc_end_to_end");
+    for &kind in &[UfKind::Tarjan, UfKind::RankHalving, UfKind::Blum, UfKind::IdealO1] {
+        g.bench_with_input(
+            BenchmarkId::new("algorithm_cc", kind.name()),
+            &kind,
+            |b, &k| b.iter(|| label_components_kind(&img, k, &CcOptions::default())),
+        );
+    }
+    g.bench_function("oracle_bfs", |b| b.iter(|| bfs_labels(&img)));
+    g.bench_function("two_pass", |b| b.iter(|| two_pass_labels(&img)));
+    g.bench_function("scanline", |b| b.iter(|| scanline_labels(&img)));
+    g.bench_function("divide_conquer", |b| b.iter(|| divide_conquer_labels(&img)));
+    g.finish();
+}
+
+fn bench_workloads(c: &mut Criterion) {
+    let n = 128;
+    let mut g = c.benchmark_group("cc_by_workload");
+    for name in ["random50", "comb", "fig3a", "tournament", "maze"] {
+        let img = gen::by_name(name, n, 7).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(name), &img, |b, img| {
+            b.iter(|| label_components_kind(img, UfKind::Tarjan, &CcOptions::default()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_cc, bench_workloads);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion bench: simulator executor overheads — virtual-time pipeline vs
+//! lock-step, and lock-step sequential vs threaded (experiment E11's
+//! wall-clock companion).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use slap_baselines::naive_slap::naive_slap_lockstep;
+use slap_image::gen;
+use slap_machine::{run_pipeline, PeCtx};
+
+fn bench_pipeline_executor(c: &mut Criterion) {
+    // relay chain: measures per-message executor overhead
+    let mut g = c.benchmark_group("pipeline_executor");
+    for n in [256usize, 1024] {
+        g.bench_with_input(BenchmarkId::new("relay", n), &n, |b, &n| {
+            b.iter(|| {
+                run_pipeline(n, |pe, ctx: &mut PeCtx<u64>| {
+                    while let Some(m) = ctx.recv() {
+                        ctx.send(m);
+                    }
+                    ctx.send(pe as u64);
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_lockstep_threads(c: &mut Criterion) {
+    let n = 128;
+    let rounds = 16u32;
+    let img = gen::double_comb(n, n, 2);
+    let mut g = c.benchmark_group("lockstep_naive_pe");
+    g.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| naive_slap_lockstep(&img, rounds, t))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline_executor, bench_lockstep_threads);
+criterion_main!(benches);

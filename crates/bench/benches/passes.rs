@@ -1,0 +1,67 @@
+//! Criterion bench: the individual pass kernels and the Corollary 4 folds
+//! (wall-clock companions to experiments E7/E9).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use slap_cc::aggregate::{component_fold, MinFold, SumFold};
+use slap_cc::bitserial::label_components_bitserial;
+use slap_cc::{label_components, CcOptions};
+use slap_image::{bfs_labels, gen};
+use slap_unionfind::TarjanUf;
+
+fn bench_variants(c: &mut Criterion) {
+    let n = 128;
+    let img = gen::double_comb(n, n, 2);
+    let variants: [(&str, CcOptions); 4] = [
+        ("baseline", CcOptions::default()),
+        ("eager", CcOptions { eager_forward: true, ..CcOptions::default() }),
+        ("idle", CcOptions { idle_compression: true, ..CcOptions::default() }),
+        (
+            "eager+idle",
+            CcOptions {
+                eager_forward: true,
+                idle_compression: true,
+                ..CcOptions::default()
+            },
+        ),
+    ];
+    let mut g = c.benchmark_group("cc_variants_comb");
+    for (name, opts) in variants {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &opts, |b, o| {
+            b.iter(|| label_components::<TarjanUf>(&img, o))
+        });
+    }
+    g.finish();
+}
+
+fn bench_folds(c: &mut Criterion) {
+    let n = 128;
+    let img = gen::blobs(n, n, n / 4 + 1, 8, 3);
+    let labels = bfs_labels(&img);
+    let rows = img.rows();
+    let mut g = c.benchmark_group("corollary4_folds");
+    g.bench_function("min_positions", |b| {
+        b.iter(|| component_fold::<MinFold>(&img, &labels, &move |r, c| (c * rows + r) as u64))
+    });
+    g.bench_function("sum_sizes", |b| {
+        b.iter(|| component_fold::<SumFold>(&img, &labels, &|_, _| 1u64))
+    });
+    g.finish();
+}
+
+fn bench_bitserial(c: &mut Criterion) {
+    let n = 128;
+    let img = gen::even_rows_random(n, n, 5);
+    let mut g = c.benchmark_group("theorem5_bitserial");
+    g.bench_function("word_links", |b| {
+        b.iter(|| label_components::<TarjanUf>(&img, &CcOptions::default()))
+    });
+    g.bench_function("bit_links", |b| {
+        b.iter(|| {
+            label_components_bitserial(&img, slap_unionfind::UfKind::Tarjan, &CcOptions::default())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_variants, bench_folds, bench_bitserial);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion bench: raw union–find operation throughput per implementation
+//! (the wall-clock companion to experiment E10a's unit-cost table).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use slap_unionfind::UfKind;
+
+fn tournament(kind: UfKind, n: usize) -> u64 {
+    let mut uf = kind.build(n);
+    let mut stride = 1usize;
+    while stride < n {
+        let mut base = 0usize;
+        while base + stride < n {
+            uf.union(base, base + stride);
+            base += 2 * stride;
+        }
+        stride *= 2;
+    }
+    let mut acc = 0u64;
+    for x in (0..n).step_by(7) {
+        acc ^= uf.find(x) as u64;
+    }
+    acc
+}
+
+fn chain(kind: UfKind, n: usize) -> u64 {
+    let mut uf = kind.build(n);
+    for x in 0..n - 1 {
+        uf.union(x, x + 1);
+    }
+    uf.find(0) as u64
+}
+
+fn bench_uf(c: &mut Criterion) {
+    let n = 1 << 14;
+    let mut g = c.benchmark_group("uf_tournament");
+    for &kind in UfKind::ALL {
+        g.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &k| {
+            b.iter(|| tournament(k, n))
+        });
+    }
+    g.finish();
+    let mut g = c.benchmark_group("uf_chain");
+    for &kind in UfKind::ALL {
+        if kind == UfKind::QuickFind {
+            continue; // chain unions are quickfind's quadratic worst case
+        }
+        g.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &k| {
+            b.iter(|| chain(k, n))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_uf);
+criterion_main!(benches);

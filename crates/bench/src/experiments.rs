@@ -1,0 +1,785 @@
+//! The E1–E11 experiment implementations. See DESIGN.md §4 for the mapping
+//! from paper claims to experiments and EXPERIMENTS.md for recorded results.
+
+use crate::table::{f2, f3, Table};
+use crate::Scale;
+use slap_baselines::mesh::{levialdi_count, mesh_min_propagation};
+use slap_baselines::{divide_conquer_labels, naive_slap_labels};
+use slap_cc::aggregate::{component_fold, MaxFold, MinFold, SumFold};
+use slap_cc::bitserial::{entropy_report, label_components_bitserial, message_bits};
+use slap_cc::{label_components, label_components_kind, CcOptions, CcRun};
+use slap_image::{gen, Bitmap};
+use slap_unionfind::{BlumUf, TarjanUf, UfKind, UnionFind};
+
+fn cc(img: &Bitmap, kind: UfKind) -> CcRun {
+    label_components_kind(img, kind, &CcOptions::default())
+}
+
+fn lg(x: f64) -> f64 {
+    x.log2()
+}
+
+/// `n · lg n / lg lg n`, the Theorem 3 bound shape.
+fn theorem3_shape(n: f64) -> f64 {
+    n * lg(n) / lg(lg(n))
+}
+
+/// E1 — Lemma 1/2: with O(1)-cost union–find, Algorithm CC is O(n).
+/// `steps/n` must stay flat across the sweep for every image family.
+pub fn e1(scale: Scale) -> Vec<Table> {
+    let mut t = Table::new(
+        "E1 (Lemma 1/2): Algorithm CC with unit-cost union-find",
+        &["workload", "n", "total steps", "steps/n"],
+    );
+    for name in ["random50", "fig3a", "comb", "tournament", "evenrows"] {
+        for &n in scale.sides() {
+            let img = gen::by_name(name, n, 11).unwrap();
+            let run = cc(&img, UfKind::IdealO1);
+            let steps = run.metrics.total_steps;
+            t.push_row(vec![
+                name.into(),
+                n.to_string(),
+                steps.to_string(),
+                f2(steps as f64 / n as f64),
+            ]);
+        }
+    }
+    t.note("Claim: O(n) total under the constant-time union-find assumption (Lemma 2). Flat steps/n per workload reproduces it.");
+    vec![t]
+}
+
+/// E2 — Theorem 3: Blum k-UF trees bound every operation by
+/// O(lg n / lg lg n), so Algorithm CC runs in O(n·lg n/lg lg n).
+pub fn e2(scale: Scale) -> Vec<Table> {
+    let mut micro = Table::new(
+        "E2a (Blum single-operation worst case)",
+        &["n", "k", "worst find", "worst union", "k+log_k(n) bound"],
+    );
+    for &n in scale.sides() {
+        let n_elems = n * n / 2; // a column UF has `rows` elements; stress more
+        let k = BlumUf::default_k(n_elems);
+        let mut uf = BlumUf::with_elements(n_elems);
+        let (mut worst_find, mut worst_union) = (0u64, 0u64);
+        let mut stride = 1usize;
+        while stride < n_elems {
+            let mut base = 0;
+            while base + stride < n_elems {
+                let c0 = uf.cost();
+                let ra = uf.find(base);
+                let c1 = uf.cost();
+                worst_find = worst_find.max(c1 - c0);
+                let rb = uf.find(base + stride);
+                let c2 = uf.cost();
+                worst_find = worst_find.max(c2 - c1);
+                uf.union_roots(ra, rb);
+                worst_union = worst_union.max(uf.cost() - c2);
+                base += 2 * stride;
+            }
+            stride *= 2;
+        }
+        let bound = k as f64 + lg(n_elems as f64) / lg(k as f64);
+        micro.push_row(vec![
+            n_elems.to_string(),
+            k.to_string(),
+            worst_find.to_string(),
+            worst_union.to_string(),
+            f2(bound),
+        ]);
+    }
+    micro.note("Claim [3]: every union/find costs O(lg n / lg lg n) = O(k + log_k n). Worst observed ops must track the bound column.");
+
+    let mut macro_t = Table::new(
+        "E2b (Theorem 3): Algorithm CC with Blum union-find",
+        &["workload", "n", "total steps", "steps/n", "steps/(n·lg n/lg lg n)"],
+    );
+    for name in ["tournament", "random50", "comb"] {
+        for &n in scale.sides() {
+            let img = gen::by_name(name, n, 11).unwrap();
+            let run = cc(&img, UfKind::Blum);
+            let steps = run.metrics.total_steps as f64;
+            macro_t.push_row(vec![
+                name.into(),
+                n.to_string(),
+                run.metrics.total_steps.to_string(),
+                f2(steps / n as f64),
+                f3(steps / theorem3_shape(n as f64)),
+            ]);
+        }
+    }
+    macro_t.note("Claim (Theorem 3): O(n·lg n/lg lg n) worst case. The last column must not grow with n.");
+    vec![micro, macro_t]
+}
+
+/// E3 — §3: with Tarjan's structure the worst case is O(n lg n), but most
+/// images run near O(n).
+pub fn e3(scale: Scale) -> Vec<Table> {
+    let mut t = Table::new(
+        "E3 (Tarjan union-find): near-linear typical, O(n lg n) worst case",
+        &["workload", "n", "total steps", "steps/n", "steps/(n lg n)"],
+    );
+    for name in ["random05", "random25", "random50", "random90", "blobs", "maze", "tournament"] {
+        for &n in scale.sides() {
+            let img = gen::by_name(name, n, 11).unwrap();
+            let run = cc(&img, UfKind::Tarjan);
+            let steps = run.metrics.total_steps as f64;
+            t.push_row(vec![
+                name.into(),
+                n.to_string(),
+                run.metrics.total_steps.to_string(),
+                f2(steps / n as f64),
+                f3(steps / (n as f64 * lg(n as f64))),
+            ]);
+        }
+    }
+    t.note("Claim (§3): steps/n stays near-flat on typical images; no workload exceeds a constant in steps/(n lg n).");
+    vec![t]
+}
+
+/// E4 — Figure 3 difficulty: the naive top-to-bottom label passer is
+/// quadratic-or-worse on the adversarial families; Algorithm CC is not.
+pub fn e4(scale: Scale) -> Vec<Table> {
+    let mut t = Table::new(
+        "E4 (Fig. 3): naive label passing vs Algorithm CC",
+        &["workload", "n", "naive rounds", "naive steps", "CC steps", "naive/CC"],
+    );
+    for name in ["comb", "fig3a", "serpentine", "spiral", "random50"] {
+        for &n in scale.small_sides() {
+            let img = gen::by_name(name, n, 11).unwrap();
+            let (nl, nr) = naive_slap_labels(&img);
+            let run = cc(&img, UfKind::Tarjan);
+            assert_eq!(nl, run.labels);
+            t.push_row(vec![
+                name.into(),
+                n.to_string(),
+                nr.rounds.to_string(),
+                nr.steps.to_string(),
+                run.metrics.total_steps.to_string(),
+                f2(nr.steps as f64 / run.metrics.total_steps as f64),
+            ]);
+        }
+    }
+    t.note("Claim (Fig. 3b): comb/serpentine patterns 'cause excessive delay for a naive approach'. The naive/CC ratio must grow with n on them and stay modest on random images.");
+    vec![t]
+}
+
+/// E5 — Introduction: previous SLAP algorithms require Θ(n lg n) \[2, 12\].
+pub fn e5(scale: Scale) -> Vec<Table> {
+    let mut t = Table::new(
+        "E5 (prior SLAP state of the art): divide & conquer vs Algorithm CC",
+        &["workload", "n", "D&C steps", "D&C/(n lg n)", "CC steps", "D&C/CC"],
+    );
+    for name in ["empty", "random50", "comb", "blobs"] {
+        for &n in scale.sides() {
+            let img = gen::by_name(name, n, 11).unwrap();
+            let (dl, dr) = divide_conquer_labels(&img);
+            let run = cc(&img, UfKind::Tarjan);
+            assert_eq!(dl, run.labels);
+            t.push_row(vec![
+                name.into(),
+                n.to_string(),
+                dr.steps.to_string(),
+                f3(dr.steps as f64 / (n as f64 * lg(n as f64))),
+                run.metrics.total_steps.to_string(),
+                f2(dr.steps as f64 / run.metrics.total_steps as f64),
+            ]);
+        }
+    }
+    t.note("Claim: the merge schedule costs Θ(n lg n) on every image (flat D&C/(n lg n)), while Algorithm CC tracks O(n) on typical inputs, so the ratio grows like lg n.");
+    vec![t]
+}
+
+/// E6 — Introduction: O(n) mesh algorithms need n² processors.
+pub fn e6(scale: Scale) -> Vec<Table> {
+    let mut t = Table::new(
+        "E6 (mesh resource comparison): n PEs (SLAP) vs n^2 PEs (mesh)",
+        &[
+            "workload",
+            "n",
+            "SLAP steps (n PEs)",
+            "SLAP work",
+            "mesh-minprop rounds (n^2 PEs)",
+            "mesh work",
+            "levialdi rounds",
+            "mesh/SLAP work",
+        ],
+    );
+    for name in ["random50", "blobs", "comb"] {
+        for &n in scale.small_sides() {
+            let img = gen::by_name(name, n, 11).unwrap();
+            let run = cc(&img, UfKind::Tarjan);
+            let (ml, mr) = mesh_min_propagation(&img);
+            assert_eq!(ml, run.labels);
+            let (_, lev) = levialdi_count(&img);
+            let slap_work = run.metrics.total_steps * n as u64;
+            let mesh_work = mr.work();
+            t.push_row(vec![
+                name.into(),
+                n.to_string(),
+                run.metrics.total_steps.to_string(),
+                slap_work.to_string(),
+                mr.rounds.to_string(),
+                mesh_work.to_string(),
+                lev.rounds.to_string(),
+                f2(mesh_work as f64 / slap_work as f64),
+            ]);
+        }
+    }
+    t.note("Claim (intro): meshes reach O(n) time only by spending n^2 processors; with n=128 that 'would greatly exceed the available resources on most existing parallel machines'. Work = time x processors.");
+    vec![t]
+}
+
+/// E7 — Corollary 4: component-wise folds of initial labels in the same
+/// asymptotic time.
+pub fn e7(scale: Scale) -> Vec<Table> {
+    let mut t = Table::new(
+        "E7 (Corollary 4): component folds of initial labels",
+        &["workload", "n", "fold", "fold steps", "CC steps", "fold/CC", "messages"],
+    );
+    for name in ["blobs", "random50", "fig3a"] {
+        for &n in scale.sides() {
+            let img = gen::by_name(name, n, 11).unwrap();
+            let run = label_components::<TarjanUf>(&img, &CcOptions::default());
+            let rows = img.rows();
+            type FoldRunner<'a> = Box<dyn Fn() -> (u64, u64) + 'a>;
+            let folds: [(&str, FoldRunner); 3] = [
+                (
+                    "min",
+                    Box::new(|| {
+                        let f = component_fold::<MinFold>(&img, &run.labels, &move |r, c| {
+                            (c * rows + r) as u64
+                        });
+                        // the paper's headline: min of positions = the label
+                        for &(l, v) in &f.per_component {
+                            assert_eq!(v, l as u64);
+                        }
+                        (f.metrics.total_steps, f.metrics.prefix_pass.messages + f.metrics.suffix_pass.messages)
+                    }),
+                ),
+                (
+                    "max",
+                    Box::new(|| {
+                        let f = component_fold::<MaxFold>(&img, &run.labels, &move |r, c| {
+                            (c * rows + r) as u64
+                        });
+                        (f.metrics.total_steps, f.metrics.prefix_pass.messages + f.metrics.suffix_pass.messages)
+                    }),
+                ),
+                (
+                    "size",
+                    Box::new(|| {
+                        let f = component_fold::<SumFold>(&img, &run.labels, &|_, _| 1u64);
+                        (f.metrics.total_steps, f.metrics.prefix_pass.messages + f.metrics.suffix_pass.messages)
+                    }),
+                ),
+            ];
+            for (fname, runf) in folds {
+                let (steps, msgs) = runf();
+                t.push_row(vec![
+                    name.into(),
+                    n.to_string(),
+                    fname.into(),
+                    steps.to_string(),
+                    run.metrics.total_steps.to_string(),
+                    f2(steps as f64 / run.metrics.total_steps as f64),
+                    msgs.to_string(),
+                ]);
+            }
+        }
+    }
+    t.note("Claim (Corollary 4): 'the same asymptotic time as to produce any component labeling' — fold/CC must stay bounded by a constant. min-of-positions folds are verified to equal the labels themselves.");
+    vec![t]
+}
+
+/// E8 — Theorem 5: the 1-bit-link SLAP needs Ω(n lg n).
+pub fn e8(scale: Scale) -> Vec<Table> {
+    let mut lower = Table::new(
+        "E8a (Theorem 5 counting argument, exhaustive)",
+        &["n", "instances", "distinct right-column labelings", "required bits", "(n/2)·lg n"],
+    );
+    let sides: &[usize] = match scale {
+        Scale::Quick => &[4, 6],
+        Scale::Full => &[4, 6, 8, 10],
+    };
+    for &n in sides {
+        let r = entropy_report(n, 200_000);
+        lower.push_row(vec![
+            n.to_string(),
+            r.instances.to_string(),
+            r.distinct_labelings.to_string(),
+            f2(r.required_bits),
+            f2(n as f64 / 2.0 * lg(n as f64)),
+        ]);
+    }
+    lower.note("Claim: the rightmost PE must learn Ω(n lg n) bits (one start column per even row), so the 1-bit machine needs Ω(n lg n) steps. distinct = n^(n/2) exactly.");
+
+    let mut upper = Table::new(
+        "E8b (bit-serial Algorithm CC on the 1-bit machine)",
+        &["n", "message bits", "bit-serial steps", "word steps", "bit-serial/(n lg n)"],
+    );
+    for &n in scale.sides() {
+        let img = gen::even_rows_random(n, n, 17);
+        let word = cc(&img, UfKind::Tarjan);
+        let bit = label_components_bitserial(&img, UfKind::Tarjan, &CcOptions::default());
+        assert_eq!(bit.labels, word.labels);
+        upper.push_row(vec![
+            n.to_string(),
+            message_bits(n, n).to_string(),
+            bit.metrics.total_steps.to_string(),
+            word.metrics.total_steps.to_string(),
+            f3(bit.metrics.total_steps as f64 / (n as f64 * lg(n as f64))),
+        ]);
+    }
+    upper.note("Serializing each O(lg n)-bit message gives an O(n lg n) upper bound on the restricted machine: the last column must stay bounded, sandwiching the Θ(n lg n) answer with E8a.");
+    vec![lower, upper]
+}
+
+/// E9 — §3 practical variants: idle-time compression and eager forwarding.
+pub fn e9(scale: Scale) -> Vec<Table> {
+    let mut t = Table::new(
+        "E9 (practical variants of §3)",
+        &["workload", "n", "variant", "total steps", "vs baseline", "idle filled"],
+    );
+    let variants: [(&str, CcOptions); 4] = [
+        ("baseline", CcOptions::default()),
+        (
+            "eager",
+            CcOptions {
+                eager_forward: true,
+                ..CcOptions::default()
+            },
+        ),
+        (
+            "idle-compress",
+            CcOptions {
+                idle_compression: true,
+                ..CcOptions::default()
+            },
+        ),
+        (
+            "eager+idle",
+            CcOptions {
+                eager_forward: true,
+                idle_compression: true,
+                ..CcOptions::default()
+            },
+        ),
+    ];
+    for name in ["comb", "fig3a", "tournament", "random50"] {
+        for &n in scale.sides() {
+            let img = gen::by_name(name, n, 11).unwrap();
+            let base = label_components::<TarjanUf>(&img, &variants[0].1);
+            for (vname, opts) in &variants {
+                let run = label_components::<TarjanUf>(&img, opts);
+                assert_eq!(run.labels, base.labels);
+                let idle_used: u64 = run
+                    .metrics
+                    .left
+                    .uf_pass
+                    .per_pe
+                    .iter()
+                    .chain(run.metrics.right.uf_pass.per_pe.iter())
+                    .map(|p| p.idle_used)
+                    .sum();
+                t.push_row(vec![
+                    name.into(),
+                    n.to_string(),
+                    (*vname).into(),
+                    run.metrics.total_steps.to_string(),
+                    f3(run.metrics.total_steps as f64 / base.metrics.total_steps as f64),
+                    idle_used.to_string(),
+                ]);
+            }
+        }
+    }
+    t.note("Claim (§3): compressing during idle time and forwarding speculatively 'may improve performance'. Labels are asserted identical across variants.");
+    vec![t]
+}
+
+/// E10 — §3 / \[21\]: the union-find family compared under identical passes.
+pub fn e10(scale: Scale) -> Vec<Table> {
+    let mut micro = Table::new(
+        "E10a (single-operation worst case per union-find implementation)",
+        &["impl", "n", "worst op", "total units", "units/op"],
+    );
+    let n = match scale {
+        Scale::Quick => 1 << 12,
+        Scale::Full => 1 << 16,
+    };
+    for &kind in UfKind::ALL {
+        let mut uf = kind.build(n);
+        let mut worst = 0u64;
+        let mut ops = 0u64;
+        let mut stride = 1usize;
+        while stride < n {
+            let mut base = 0;
+            while base + stride < n {
+                let c0 = uf.cost();
+                uf.union(base, base + stride);
+                worst = worst.max(uf.cost() - c0);
+                ops += 3;
+                base += 2 * stride;
+            }
+            stride *= 2;
+        }
+        for x in (0..n).step_by(61) {
+            let c0 = uf.cost();
+            uf.find(x);
+            worst = worst.max(uf.cost() - c0);
+            ops += 1;
+        }
+        micro.push_row(vec![
+            kind.name().into(),
+            n.to_string(),
+            worst.to_string(),
+            uf.cost().to_string(),
+            f2(uf.cost() as f64 / ops as f64),
+        ]);
+    }
+    micro.note("Tournament merge order (the weighted-union depth worst case). 'ideal' meters 1 unit/op by definition; quickfind's worst op is Θ(n); blum bounds the worst op at O(lg n/lg lg n).");
+
+    let mut header: Vec<&str> = vec!["workload", "n"];
+    header.extend(UfKind::ALL.iter().map(|k| k.name()));
+    let mut macro_t = Table::new(
+        "E10b (Algorithm CC total steps per union-find implementation)",
+        &header,
+    );
+    let side = *scale.sides().last().unwrap();
+    for name in ["tournament", "random50", "comb"] {
+        let img = gen::by_name(name, side, 11).unwrap();
+        let mut row = vec![name.to_string(), side.to_string()];
+        for &kind in UfKind::ALL {
+            let run = cc(&img, kind);
+            row.push(run.metrics.total_steps.to_string());
+        }
+        macro_t.push_row(row);
+    }
+    macro_t.note("Same pass, same images; only the union-find meter changes. Paper §3: rank+halving is expected comparable to size+compression [21].");
+    vec![micro, macro_t]
+}
+
+/// E11 — simulator scalability: the threaded lock-step executor.
+pub fn e11(scale: Scale) -> Vec<Table> {
+    use slap_baselines::naive_slap::naive_slap_lockstep;
+    let mut t = Table::new(
+        "E11 (threaded lock-step executor wall clock)",
+        &["n", "relax rounds", "threads", "wall ms", "speedup"],
+    );
+    let (n, rounds) = match scale {
+        Scale::Quick => (96usize, 24u32),
+        Scale::Full => (256, 64),
+    };
+    let img = gen::double_comb(n, n, 2);
+    let reference = naive_slap_lockstep(&img, rounds, 1);
+    let mut base_ms = 0.0f64;
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let thread_counts: Vec<usize> = [1usize, 2, 4, 8]
+        .into_iter()
+        .filter(|&t| t <= 2 * cores)
+        .collect();
+    for threads in thread_counts {
+        let start = std::time::Instant::now();
+        let labels = naive_slap_lockstep(&img, rounds, threads);
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(labels, reference, "threads={threads} diverged");
+        if threads == 1 {
+            base_ms = ms;
+        }
+        t.push_row(vec![
+            n.to_string(),
+            rounds.to_string(),
+            threads.to_string(),
+            f2(ms),
+            f2(base_ms / ms),
+        ]);
+    }
+    t.note(format!(
+        "Ours (not a paper claim): the cycle-level executor parallelizes across PE blocks \
+         with identical (deterministic) results; wall clock is the only thing that changes. \
+         This host exposes {cores} core(s); thread counts beyond 2x that are skipped."
+    ));
+    vec![t]
+}
+
+/// E12 — §3 structural claim: the phase-2 row-pair sequence of each PE,
+/// viewed as intervals, never interleaves (consecutive pairs are disjoint up
+/// to an endpoint, or the new pair contains the previous one).
+pub fn e12(scale: Scale) -> Vec<Table> {
+    use slap_cc::passes::{interval_property_violations, unionfind_pass_traced};
+    use slap_machine::run_pipeline;
+    use slap_unionfind::RankHalvingUf;
+    let mut t = Table::new(
+        "E12 (S3 structure): phase-2 interval property of Union-Find-Pass",
+        &["workload", "n", "pairs dequeued", "adjacent violations", "violation rate"],
+    );
+    let opts = CcOptions::default();
+    for name in ["random25", "random50", "fig3a", "comb", "tournament", "maze", "staircase"] {
+        for &n in scale.small_sides() {
+            let img = gen::by_name(name, n, 11).unwrap();
+            let cols = img.columns();
+            let mut traces: Vec<Vec<(u32, u32)>> = vec![Vec::new(); cols.cols()];
+            let (_states, _) = run_pipeline(cols.cols(), |pe, ctx| {
+                unionfind_pass_traced::<RankHalvingUf>(&cols, &opts, pe, &mut traces[pe], ctx)
+            });
+            let pairs: usize = traces.iter().map(Vec::len).sum();
+            let violations: usize = traces
+                .iter()
+                .map(|tr| interval_property_violations(tr))
+                .sum();
+            let adjacent: usize = traces
+                .iter()
+                .map(|tr| tr.len().saturating_sub(1))
+                .sum();
+            t.push_row(vec![
+                name.into(),
+                n.to_string(),
+                pairs.to_string(),
+                violations.to_string(),
+                if adjacent == 0 {
+                    "-".into()
+                } else {
+                    f3(violations as f64 / adjacent as f64)
+                },
+            ]);
+        }
+    }
+    t.note("Claim (S3): 'we never have t_k or b_k strictly between t_{k-1} and b_{k-1}'. Zero violations reproduces the claim; any non-zero rate would document a deviation (e.g. from witness selection).");
+    vec![t]
+}
+
+/// E13 — (ours) run-length ablation: Algorithm CC over the run universe vs
+/// the paper's per-pixel universe, identical labels asserted.
+pub fn e13(scale: Scale) -> Vec<Table> {
+    use slap_cc::label_components_runs;
+    let mut t = Table::new(
+        "E13 (ablation): run-length vs per-pixel pass representation",
+        &["workload", "n", "pixel steps", "run steps", "run/pixel", "uf-pass msgs (pixel)", "uf-pass msgs (run)"],
+    );
+    for name in ["vstripes", "blobs", "random25", "random50", "random90", "comb", "maze"] {
+        for &n in scale.sides() {
+            let img = gen::by_name(name, n, 11).unwrap();
+            let opts = CcOptions::default();
+            let pixel = label_components::<TarjanUf>(&img, &opts);
+            let runs = label_components_runs::<TarjanUf>(&img, &opts);
+            assert_eq!(runs.labels, pixel.labels, "{name} n={n}");
+            t.push_row(vec![
+                name.into(),
+                n.to_string(),
+                pixel.metrics.total_steps.to_string(),
+                runs.metrics.total_steps.to_string(),
+                f3(runs.metrics.total_steps as f64 / pixel.metrics.total_steps as f64),
+                (pixel.metrics.left.uf_pass.messages + pixel.metrics.right.uf_pass.messages)
+                    .to_string(),
+                (runs.metrics.left.uf_pass.messages + runs.metrics.right.uf_pass.messages)
+                    .to_string(),
+            ]);
+        }
+    }
+    t.note("Ours (engineering ablation, in the spirit of the run-oriented processing in [2]): \
+            the run universe shrinks union-find from n elements to #runs per column. run/pixel \
+            < 1 everywhere; the gain is largest on solid workloads (vstripes: one run per \
+            column) and smallest on sparse noise (random25: most runs are single pixels, so \
+            the run table saves little). Wire format and labels unchanged.");
+    vec![t]
+}
+
+/// E14 — (ours) 8-connectivity extension: same pipeline, diagonal-bridge
+/// phase-1 rule and widened witnesses; cost parity with 4-connectivity.
+pub fn e14(scale: Scale) -> Vec<Table> {
+    use slap_image::{bfs_labels_conn, Connectivity};
+    let mut t = Table::new(
+        "E14 (extension): 8-connectivity vs 4-connectivity",
+        &["workload", "n", "4-conn steps", "8-conn steps", "8/4", "components 4", "components 8"],
+    );
+    for name in ["antidiag", "staircase", "checker", "random50", "maze", "blobs"] {
+        for &n in scale.sides() {
+            let img = gen::by_name(name, n, 11).unwrap();
+            let four = label_components::<TarjanUf>(&img, &CcOptions::default());
+            let opts8 = CcOptions {
+                connectivity: Connectivity::Eight,
+                ..CcOptions::default()
+            };
+            let eight = label_components::<TarjanUf>(&img, &opts8);
+            assert_eq!(eight.labels, bfs_labels_conn(&img, Connectivity::Eight));
+            t.push_row(vec![
+                name.into(),
+                n.to_string(),
+                four.metrics.total_steps.to_string(),
+                eight.metrics.total_steps.to_string(),
+                f3(eight.metrics.total_steps as f64 / four.metrics.total_steps as f64),
+                four.labels.component_count().to_string(),
+                eight.labels.component_count().to_string(),
+            ]);
+        }
+    }
+    t.note("Ours (extension): the paper's framework carries over to 8-connectivity with a \
+            local diagonal-bridge rule and witnesses that point into the neighbor column. \
+            The 8/4 step ratio stays near 1 (constant-factor overhead); component counts \
+            collapse on diagonal-rich workloads (antidiag 87381 -> 341 at n=512; random50 \
+            19x fewer) and are untouched where no diagonals exist (checker's isolated \
+            pixels sit 2 apart; staircase steps are already 4-connected).");
+    vec![t]
+}
+
+/// E15 — Introduction: hypercube/shuffle-exchange networks beat O(n) time,
+/// at the cost of n² PEs and Θ(n² lg n) links \[5\].
+pub fn e15(scale: Scale) -> Vec<Table> {
+    use hypercube_machine::sv_labels;
+    let mut t = Table::new(
+        "E15 (hypercube resource comparison): polylog time vs SLAP's O(n)",
+        &[
+            "workload",
+            "n",
+            "SLAP steps",
+            "SLAP links",
+            "cube rounds",
+            "cube iters",
+            "cube PEs",
+            "cube links",
+            "SLAP/cube time",
+            "cube/SLAP work",
+        ],
+    );
+    for name in ["serpentine", "random50", "blobs"] {
+        for &n in scale.sides() {
+            let img = gen::by_name(name, n, 11).unwrap();
+            let run = cc(&img, UfKind::Tarjan);
+            let (labels, rep) = sv_labels(&img);
+            assert_eq!(labels, run.labels);
+            let slap_work = run.metrics.total_steps * n as u64;
+            t.push_row(vec![
+                name.into(),
+                n.to_string(),
+                run.metrics.total_steps.to_string(),
+                (n - 1).to_string(),
+                rep.rounds.to_string(),
+                rep.iterations.to_string(),
+                rep.pes.to_string(),
+                rep.links.to_string(),
+                f2(run.metrics.total_steps as f64 / rep.rounds as f64),
+                f2(rep.work() as f64 / slap_work as f64),
+            ]);
+        }
+    }
+    t.note("Claim (intro, [5]): richer networks beat O(n) time 'but only with interconnection \
+            networks that are more complicated and, therefore, more costly'. Cube rounds grow \
+            polylogarithmically (SLAP/cube time rises with n) while the cube spends n²/n times \
+            the processors and ~n·lg(n²)/2 times the links; cube/SLAP work quantifies the price.");
+    vec![t]
+}
+
+/// E16 — §3 speculative forwarding with quashing, on the lock-step machine:
+/// "enqueue a pair of finds for the next processor as soon as two pixels are
+/// found that are adjacent to 1-pixels in the next column … it could then
+/// quash the pair of finds it had previously passed to the next processor."
+pub fn e16(scale: Scale) -> Vec<Table> {
+    use slap_cc::lockstep_cc::{label_components_lockstep, label_components_lockstep_quash};
+    let mut t = Table::new(
+        "E16 (S3 speculation + quashing, lock-step machine)",
+        &[
+            "workload",
+            "n",
+            "plain cycles",
+            "eager cycles",
+            "quash cycles",
+            "quash/plain",
+            "spec sent",
+            "quashes",
+            "dropped",
+            "aborted",
+        ],
+    );
+    for name in ["hstripes", "random65", "full", "tournament", "fig3a", "maze"] {
+        for &n in scale.small_sides() {
+            let img = gen::by_name(name, n, 11).unwrap();
+            let plain_opts = CcOptions::default();
+            let eager_opts = CcOptions {
+                eager_forward: true,
+                ..CcOptions::default()
+            };
+            let (plain_run, plain) =
+                label_components_lockstep::<TarjanUf>(&img, &plain_opts, 1);
+            let (eager_run, eager) =
+                label_components_lockstep::<TarjanUf>(&img, &eager_opts, 1);
+            let (quash_run, quash) =
+                label_components_lockstep_quash::<TarjanUf>(&img, &plain_opts, 1, true);
+            assert_eq!(plain_run.labels, quash_run.labels);
+            assert_eq!(plain_run.labels, eager_run.labels);
+            t.push_row(vec![
+                name.into(),
+                n.to_string(),
+                plain.total_rounds.to_string(),
+                eager.total_rounds.to_string(),
+                quash.total_rounds.to_string(),
+                f3(quash.total_rounds as f64 / plain.total_rounds as f64),
+                quash.spec.spec_sent.to_string(),
+                quash.spec.quash_sent.to_string(),
+                quash.spec.pairs_dropped.to_string(),
+                quash.spec.stalls_aborted.to_string(),
+            ]);
+        }
+    }
+    t.note("Claim (§3): speculative pair forwarding with quashing may improve performance. \
+            Quashes fire exactly on redundant connectivity (cycles: hstripes/full/random65/ \
+            tournament; zero on the acyclic fig3a/maze), most overtake their pair in the \
+            receiver's queue (dropped), and quashing contains the full-array cascades that \
+            bare eager forwarding triggers on solid bands. Labels identical in all variants.");
+    vec![t]
+}
+
+/// All experiments in order.
+pub fn all(scale: Scale) -> Vec<Table> {
+    let mut out = Vec::new();
+    for f in [
+        e1, e2, e3, e4, e5, e6, e7, e8, e9, e10, e11, e12, e13, e14, e15, e16,
+    ] {
+        out.extend(f(scale));
+    }
+    out
+}
+
+/// Runs one experiment by id ("e1".."e14" or "all").
+pub fn by_name(name: &str, scale: Scale) -> Option<Vec<Table>> {
+    Some(match name {
+        "e1" => e1(scale),
+        "e2" => e2(scale),
+        "e3" => e3(scale),
+        "e4" => e4(scale),
+        "e5" => e5(scale),
+        "e6" => e6(scale),
+        "e7" => e7(scale),
+        "e8" => e8(scale),
+        "e9" => e9(scale),
+        "e10" => e10(scale),
+        "e11" => e11(scale),
+        "e12" => e12(scale),
+        "e13" => e13(scale),
+        "e14" => e14(scale),
+        "e15" => e15(scale),
+        "e16" => e16(scale),
+        "all" => all(scale),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_experiment_runs_at_quick_scale() {
+        for name in ["e1", "e4", "e7", "e9"] {
+            let tables = by_name(name, Scale::Quick).unwrap();
+            assert!(!tables.is_empty());
+            for t in &tables {
+                assert!(!t.rows.is_empty(), "{name} produced an empty table");
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_experiment_is_none() {
+        assert!(by_name("e99", Scale::Quick).is_none());
+    }
+}

@@ -1,0 +1,808 @@
+//! Algorithm CC on the cycle-level (lock-step) machine.
+//!
+//! The virtual-time pipeline executor computes step counts analytically; this
+//! module runs the *same* pass logic (shared cores in [`crate::passes`]) as
+//! resumable PE state machines on `slap-machine`'s lock-step executor, one
+//! simulated SIMD cycle at a time. It exists for three reasons:
+//!
+//! 1. **validation** — the labeling must be identical and the cycle count
+//!    must track the virtual-time makespan (tested);
+//! 2. **realism** — it demonstrates that the paper's queues and waits map
+//!    onto a 1-word-per-link-per-cycle machine without hidden magic: link
+//!    words are drained into a local queue every cycle (the PE's `O(n)`
+//!    memory), multi-unit union–find operations stall the PE for their
+//!    metered duration, and sends occupy one cycle each;
+//! 3. **parallel execution** — the lock-step executor has a deterministic
+//!    multithreaded runner, so the full Algorithm CC can be simulated on
+//!    all cores (`threads` parameter) with bit-identical results.
+//!
+//! Cycle accounting convention: one tick = one unit of the virtual-time
+//! model. A union–find operation of metered cost `c` holds the PE for `c`
+//! ticks (the work happens at once internally; its externally visible
+//! message is released when the stall expires, which is when the virtual
+//! model would have sent it).
+
+use crate::cc::{CcMetrics, CcOptions, CcRun, PassMetrics};
+use crate::passes::{label_absorb, label_local_step, readout_pass, ColumnState};
+use crate::stitch::stitch_column;
+use crate::NIL;
+use slap_image::{Bitmap, Columns, LabelGrid};
+use slap_machine::{run_lockstep, run_lockstep_threaded, PeIo, PeProgram, PeStatus};
+use slap_unionfind::UnionFind;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Link word for the lock-step passes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Msg {
+    /// A relevant-union row pair (Union-Find-Pass).
+    Pair(u32, u32),
+    /// A *speculative* relevant-union pair (§3's "enqueue a pair of finds
+    /// for the next processor as soon as two pixels are found that are
+    /// adjacent to 1-pixels in the next column"), tagged with the sender's
+    /// sequence number so a later [`Msg::Quash`] can refer to it.
+    SpecPair(u32, u32, u32),
+    /// Revokes the speculative pair with the given sequence number (§3's
+    /// "it could then quash the pair of finds it had previously passed to
+    /// the next processor").
+    Quash(u32),
+    /// A `(label, row)` message (Label-Pass).
+    Label(u32, u32),
+    /// End of stream (the paper's `eos`).
+    Eos,
+}
+
+/// Counters of the speculative-forwarding machinery (zero unless the
+/// quashing variant is enabled).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpecStats {
+    /// Speculative pairs sent ahead of the finds.
+    pub spec_sent: u64,
+    /// Quashes sent after the finds revealed an already-merged pair.
+    pub quash_sent: u64,
+    /// Speculative pairs dropped at the receiver before execution (the
+    /// quash overtook them in the in-memory queue).
+    pub pairs_dropped: u64,
+    /// Executions aborted mid-stall by an arriving quash.
+    pub stalls_aborted: u64,
+}
+
+/// Cycle counts per phase of a lock-step Algorithm CC run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LockstepCcReport {
+    /// Cycles of the left and right Union-Find-Pass runs.
+    pub uf_rounds: [u64; 2],
+    /// Cycles of the left and right Label-Pass runs.
+    pub label_rounds: [u64; 2],
+    /// Cycles of the local find/readout/stitch phases (max PE units each).
+    pub local_rounds: u64,
+    /// Total simulated cycles.
+    pub total_rounds: u64,
+    /// Speculation counters, summed over both union–find passes.
+    pub spec: SpecStats,
+}
+
+/// Shared immutable inputs of one directional pass.
+struct PassInput {
+    cols: Arc<Columns>,
+    opts: CcOptions,
+    /// §3 speculative forwarding + quashing (lock-step only; see
+    /// [`label_components_lockstep_quash`]).
+    quash: bool,
+}
+
+/// Union-Find-Pass as a resumable PE program.
+struct UfPassPe<U: UnionFind> {
+    input: Arc<PassInput>,
+    pe: usize,
+    state: Option<ColumnState<U>>,
+    inbox: VecDeque<Msg>,
+    outbox: VecDeque<Msg>,
+    stall: u64,
+    phase: UfPhase,
+    /// Next sequence number for outgoing speculative pairs.
+    next_seq: u32,
+    /// Sequence numbers quashed before their pair was executed.
+    quashed: std::collections::HashSet<u32>,
+    /// Sequence of the incoming speculative pair currently being executed
+    /// (its stall can be aborted by a matching quash).
+    inflight: Option<u32>,
+    /// Message released when the current stall completes (our own quash,
+    /// timed to after the finds that justify it).
+    pending_after_stall: Option<Msg>,
+    stats: SpecStats,
+}
+
+enum UfPhase {
+    /// `Make-Set` per row (paper Fig. 5 line 1): `remaining` cycles.
+    MakeSet { remaining: u64 },
+    /// Lines 3–7: vertical-run unions, cursor `j`.
+    Phase1 { j: usize },
+    /// Lines 8–14: consume incoming relevant unions.
+    Phase2,
+    /// Flush remaining outbox words (incl. EOS), then done.
+    Drain,
+    Finished,
+}
+
+impl<U: UnionFind> UfPassPe<U> {
+    fn new(input: Arc<PassInput>, pe: usize) -> Self {
+        let rows = input.cols.rows();
+        let state = ColumnState::<U>::new(&input.cols, pe, input.opts.connectivity);
+        UfPassPe {
+            input,
+            pe,
+            state: Some(state),
+            inbox: VecDeque::new(),
+            outbox: VecDeque::new(),
+            stall: 0,
+            phase: UfPhase::MakeSet {
+                remaining: rows as u64,
+            },
+            next_seq: 0,
+            quashed: std::collections::HashSet::new(),
+            inflight: None,
+            pending_after_stall: None,
+            stats: SpecStats::default(),
+        }
+    }
+
+    fn drain_link(&mut self, io: &mut PeIo<Msg>) {
+        // Every cycle the PE's queue hardware moves the arrived word into
+        // local memory (this is the paper's unbounded in-memory queue; the
+        // dequeue cost is charged when the word is consumed).
+        let Some(w) = io.recv_left() else { return };
+        if let Msg::Quash(seq) = w {
+            // Quashes act at arrival — that is their entire point: the
+            // in-memory queue hardware cancels the matching pair before the
+            // PE spends find time on it. If the pair is already executing,
+            // abort the rest of its stall (the union was a no-op, so no
+            // state needs undoing; partial path compression is retained,
+            // which only helps later finds). If it was already fully
+            // executed, the quash is stale and ignored.
+            if self.inflight == Some(seq) {
+                self.stall = 0;
+                self.inflight = None;
+                self.stats.stalls_aborted += 1;
+            } else {
+                self.quashed.insert(seq);
+            }
+            return;
+        }
+        self.inbox.push_back(w);
+    }
+
+    fn flush_one(&mut self, io: &mut PeIo<Msg>) -> bool {
+        if let Some(&m) = self.outbox.front() {
+            if io.send_right(m) {
+                self.outbox.pop_front();
+            }
+            return true;
+        }
+        false
+    }
+
+    /// Executes one incoming relevant-union pair (confirmed or speculative).
+    /// In quashing mode, speculates the forward before the finds and
+    /// schedules a quash for release at stall end when the finds reveal the
+    /// pair was already merged.
+    fn process_pair(&mut self, top: u32, bot: u32, incoming_seq: Option<u32>) {
+        let mut extra = 0u64;
+        let mut suppress = false;
+        let mut my_spec: Option<u32> = None;
+        let speculate = self.input.quash;
+        let eager = self.input.opts.eager_forward && !speculate;
+        if speculate || eager {
+            extra += 1;
+            if let Some(pair) = ColumnState::<U>::eager_witness(
+                &self.input.cols,
+                self.pe,
+                top,
+                bot,
+                self.input.opts.connectivity,
+            ) {
+                if speculate {
+                    let seq = self.next_seq;
+                    self.next_seq += 1;
+                    self.outbox.push_back(Msg::SpecPair(seq, pair.0, pair.1));
+                    self.stats.spec_sent += 1;
+                    my_spec = Some(seq);
+                } else {
+                    self.outbox.push_back(Msg::Pair(pair.0, pair.1));
+                }
+                suppress = true;
+            }
+        }
+        let (units, forward) = self
+            .state
+            .as_mut()
+            .expect("state taken before finish")
+            .apply_core(top, bot);
+        extra += units;
+        match forward {
+            Some(pair) if !suppress => self.outbox.push_back(Msg::Pair(pair.0, pair.1)),
+            Some(_) => {} // the speculative/eager pair already carries the witness
+            None => {
+                // The finds found one set (no union): revoke the speculative
+                // pair. The quash is released when the stall — the find time
+                // that justifies it — completes (or is itself aborted, in
+                // which case the quash cascades immediately).
+                if let Some(seq) = my_spec {
+                    self.pending_after_stall = Some(Msg::Quash(seq));
+                    self.stats.quash_sent += 1;
+                }
+            }
+        }
+        self.stall = extra;
+        self.inflight = incoming_seq.filter(|_| extra > 0);
+    }
+}
+
+impl<U: UnionFind + Send> PeProgram for UfPassPe<U> {
+    type Word = Msg;
+
+    fn tick(&mut self, io: &mut PeIo<Msg>) -> PeStatus {
+        self.drain_link(io);
+        // A send occupies this cycle (ENQUEUE = 1 in the virtual model).
+        if self.flush_one(io) {
+            return PeStatus::Running;
+        }
+        if self.stall > 0 {
+            self.stall -= 1;
+            if self.stall == 0 {
+                self.inflight = None;
+            }
+            return PeStatus::Running;
+        }
+        // Release anything deferred to the end of the stall (our own quash),
+        // whether the stall ran out naturally or was aborted.
+        if let Some(m) = self.pending_after_stall.take() {
+            self.inflight = None;
+            self.outbox.push_back(m);
+        }
+        match self.phase {
+            UfPhase::MakeSet { ref mut remaining } => {
+                *remaining -= 1;
+                if *remaining == 0 {
+                    self.phase = UfPhase::Phase1 { j: 1 };
+                }
+            }
+            UfPhase::Phase1 { j } => {
+                let cols = Arc::clone(&self.input.cols);
+                if j >= cols.rows() {
+                    if self.pe == 0 {
+                        // paper line 8: PE 0 starts with eos in hand
+                        self.outbox.push_back(Msg::Eos);
+                        self.phase = UfPhase::Drain;
+                    } else {
+                        self.phase = UfPhase::Phase2;
+                    }
+                    return PeStatus::Running; // the loop-exit check cycle
+                }
+                let state = self.state.as_mut().expect("state taken before finish");
+                let mut extra = 0u64; // +1 loop cycle is this tick
+                if cols.get(self.pe, j - 1) && cols.get(self.pe, j) {
+                    let (units, forward) = state.apply_core((j - 1) as u32, j as u32);
+                    extra += units;
+                    if let Some(pair) = forward {
+                        self.outbox.push_back(Msg::Pair(pair.0, pair.1));
+                    }
+                }
+                if self.input.opts.connectivity == slap_image::Connectivity::Eight
+                    && crate::passes::bridge_at(&cols, self.pe, j)
+                {
+                    let state = self.state.as_mut().expect("state taken before finish");
+                    let (units, forward) = state.apply_core((j - 2) as u32, j as u32);
+                    extra += units;
+                    if let Some(pair) = forward {
+                        self.outbox.push_back(Msg::Pair(pair.0, pair.1));
+                    }
+                }
+                self.stall = extra;
+                self.phase = UfPhase::Phase1 { j: j + 1 };
+            }
+            UfPhase::Phase2 => {
+                // This cycle is the dequeue attempt (DEQUEUE = 1); an empty
+                // queue is the idle wait of the virtual model.
+                match self.inbox.pop_front() {
+                    None => {
+                        if self.input.opts.idle_compression {
+                            self.state
+                                .as_mut()
+                                .expect("state taken before finish")
+                                .uf
+                                .idle_compress(1);
+                        }
+                    }
+                    Some(Msg::Eos) => {
+                        self.outbox.push_back(Msg::Eos);
+                        self.phase = UfPhase::Drain;
+                    }
+                    Some(Msg::Pair(top, bot)) => self.process_pair(top, bot, None),
+                    Some(Msg::SpecPair(seq, top, bot)) => {
+                        if self.quashed.remove(&seq) {
+                            // quashed before execution: the dequeue cycle is
+                            // all this pair ever costs
+                            self.stats.pairs_dropped += 1;
+                        } else {
+                            self.process_pair(top, bot, Some(seq));
+                        }
+                    }
+                    Some(Msg::Quash(_)) => {
+                        unreachable!("quashes are intercepted at arrival")
+                    }
+                    Some(Msg::Label(..)) => unreachable!("label message in union-find pass"),
+                }
+            }
+            UfPhase::Drain => {
+                if self.outbox.is_empty() {
+                    self.phase = UfPhase::Finished;
+                    return PeStatus::Done;
+                }
+                // flush_one handles the sending; spend the cycle
+            }
+            UfPhase::Finished => return PeStatus::Done,
+        }
+        PeStatus::Running
+    }
+}
+
+/// Label-Pass as a resumable PE program.
+struct LabelPassPe<U: UnionFind> {
+    input: Arc<PassInput>,
+    pe: usize,
+    state: Option<ColumnState<U>>,
+    labels: Vec<u32>,
+    base_position: u32,
+    inbox: VecDeque<Msg>,
+    outbox: VecDeque<Msg>,
+    stall: u64,
+    phase: LabelPhase,
+}
+
+enum LabelPhase {
+    Local { j: usize },
+    Absorb,
+    Drain,
+    Finished,
+}
+
+impl<U: UnionFind> LabelPassPe<U> {
+    fn new(input: Arc<PassInput>, pe: usize, state: ColumnState<U>, base_position: u32) -> Self {
+        let bound = state.uf.id_bound();
+        LabelPassPe {
+            input,
+            pe,
+            state: Some(state),
+            labels: vec![NIL; bound],
+            base_position,
+            inbox: VecDeque::new(),
+            outbox: VecDeque::new(),
+            stall: 0,
+            phase: LabelPhase::Local { j: 0 },
+        }
+    }
+}
+
+impl<U: UnionFind + Send> PeProgram for LabelPassPe<U> {
+    type Word = Msg;
+
+    fn tick(&mut self, io: &mut PeIo<Msg>) -> PeStatus {
+        if let Some(w) = io.recv_left() {
+            self.inbox.push_back(w);
+        }
+        if let Some(&m) = self.outbox.front() {
+            if io.send_right(m) {
+                self.outbox.pop_front();
+            }
+            return PeStatus::Running;
+        }
+        if self.stall > 0 {
+            self.stall -= 1;
+            return PeStatus::Running;
+        }
+        let state = self.state.as_mut().expect("state taken before finish");
+        match self.phase {
+            LabelPhase::Local { j } => {
+                let cols = &self.input.cols;
+                if j >= cols.rows() {
+                    if self.pe == 0 {
+                        self.outbox.push_back(Msg::Eos);
+                        self.phase = LabelPhase::Drain;
+                    } else {
+                        self.phase = LabelPhase::Absorb;
+                    }
+                    return PeStatus::Running;
+                }
+                let (units, forward) = label_local_step(
+                    cols,
+                    self.pe,
+                    state,
+                    &mut self.labels,
+                    self.base_position,
+                    j,
+                );
+                self.stall = units.saturating_sub(1);
+                if let Some((label, row)) = forward {
+                    self.outbox.push_back(Msg::Label(label, row));
+                }
+                self.phase = LabelPhase::Local { j: j + 1 };
+            }
+            LabelPhase::Absorb => match self.inbox.pop_front() {
+                None => {}
+                Some(Msg::Eos) => {
+                    self.outbox.push_back(Msg::Eos);
+                    self.phase = LabelPhase::Drain;
+                }
+                Some(Msg::Label(label, row)) => {
+                    let (units, forward) = label_absorb(
+                        state,
+                        &mut self.labels,
+                        self.input.opts.forward_policy,
+                        label,
+                        row,
+                    );
+                    self.stall = units;
+                    if let Some((l, r)) = forward {
+                        self.outbox.push_back(Msg::Label(l, r));
+                    }
+                }
+                Some(Msg::Pair(..) | Msg::SpecPair(..) | Msg::Quash(..)) => {
+                    unreachable!("union-find message in label pass")
+                }
+            },
+            LabelPhase::Drain => {
+                if self.outbox.is_empty() {
+                    self.phase = LabelPhase::Finished;
+                    return PeStatus::Done;
+                }
+            }
+            LabelPhase::Finished => return PeStatus::Done,
+        }
+        PeStatus::Running
+    }
+}
+
+fn run_programs<P: PeProgram>(pes: &mut [P], threads: usize, max_rounds: u64) -> u64 {
+    if threads <= 1 {
+        run_lockstep(pes, max_rounds).rounds
+    } else {
+        run_lockstep_threaded(pes, threads, max_rounds).rounds
+    }
+}
+
+/// One directional pass on the lock-step machine: UF pass (cycled), local
+/// finds, label pass (cycled), local readout.
+fn directional_pass_lockstep<U: UnionFind + Send>(
+    cols: Arc<Columns>,
+    opts: &CcOptions,
+    label_offset: u32,
+    threads: usize,
+    quash: bool,
+) -> (Vec<Vec<u32>>, [u64; 2], u64, SpecStats) {
+    let n = cols.cols();
+    let rows = cols.rows();
+    let input = Arc::new(PassInput {
+        cols: Arc::clone(&cols),
+        opts: *opts,
+        quash,
+    });
+    let budget = 64 * (rows as u64 + 8) * (n as u64 + 8) + 1_000_000;
+    let mut uf_pes: Vec<UfPassPe<U>> = (0..n)
+        .map(|pe| UfPassPe::new(Arc::clone(&input), pe))
+        .collect();
+    let uf_rounds = run_programs(&mut uf_pes, threads, budget);
+    // local find pass
+    let mut local = 0u64;
+    let mut spec = SpecStats::default();
+    for pe in &uf_pes {
+        spec.spec_sent += pe.stats.spec_sent;
+        spec.quash_sent += pe.stats.quash_sent;
+        spec.pairs_dropped += pe.stats.pairs_dropped;
+        spec.stalls_aborted += pe.stats.stalls_aborted;
+    }
+    let mut states: Vec<ColumnState<U>> = uf_pes
+        .into_iter()
+        .map(|pe| pe.state.expect("uf pass finished"))
+        .collect();
+    for (pe, state) in states.iter_mut().enumerate() {
+        local = local.max(crate::passes::find_pass(&cols, pe, state));
+    }
+    // label pass
+    let mut label_pes: Vec<LabelPassPe<U>> = states
+        .into_iter()
+        .enumerate()
+        .map(|(pe, st)| {
+            LabelPassPe::new(
+                Arc::clone(&input),
+                pe,
+                st,
+                label_offset + (pe * rows) as u32,
+            )
+        })
+        .collect();
+    let label_rounds = run_programs(&mut label_pes, threads, budget);
+    // local readout
+    let mut out = Vec::with_capacity(n);
+    for (pe, lp) in label_pes.iter_mut().enumerate() {
+        let mut state = lp.state.take().expect("label pass finished");
+        let (row_labels, units) = readout_pass(&cols, pe, &mut state, &lp.labels);
+        local = local.max(units);
+        out.push(row_labels);
+    }
+    (out, [uf_rounds, label_rounds], local, spec)
+}
+
+/// Runs the full Algorithm CC cycle-by-cycle on the lock-step machine
+/// (optionally across `threads` workers; results are identical for any
+/// thread count). Returns the run — whose labels must equal the virtual-time
+/// and oracle outputs — plus the cycle report.
+///
+/// The returned [`CcRun`] metrics carry only the makespans (the lock-step
+/// machine does not produce per-PE virtual-clock breakdowns); use the
+/// virtual-time executor for detailed accounting.
+pub fn label_components_lockstep<U: UnionFind + Send>(
+    img: &Bitmap,
+    opts: &CcOptions,
+    threads: usize,
+) -> (CcRun, LockstepCcReport) {
+    label_components_lockstep_quash::<U>(img, opts, threads, false)
+}
+
+/// [`label_components_lockstep`] with §3's speculative forwarding +
+/// quashing switched on when `quash` is true: each incoming relevant-union
+/// pair whose rows visibly touch the next column is forwarded *before* the
+/// finds run, and revoked with a [`Msg::Quash`] if the finds then reveal the
+/// two rows already share a set. Quashes act at arrival in the receiver's
+/// in-memory queue, dropping the pair before any find time is spent on it
+/// (or aborting the remainder of an execution already under way — safe,
+/// since a quashed pair's union is a no-op and path compression is monotone).
+///
+/// Only the lock-step executor supports this variant: quashing is inherently
+/// an *arrival-time* mechanism, and the virtual-time executor has no arrival
+/// events between dequeues. The labels are identical in either mode
+/// (tested); the [`SpecStats`] in the report quantify the speculation
+/// traffic and the work it saved.
+pub fn label_components_lockstep_quash<U: UnionFind + Send>(
+    img: &Bitmap,
+    opts: &CcOptions,
+    threads: usize,
+    quash: bool,
+) -> (CcRun, LockstepCcReport) {
+    let rows = img.rows();
+    let ncols = img.cols();
+    let cols = Arc::new(img.columns());
+    let (left_labels, left_rounds, left_local, left_spec) =
+        directional_pass_lockstep::<U>(Arc::clone(&cols), opts, 0, threads, quash);
+    let flipped = Arc::new(img.flip_horizontal().columns());
+    let offset = (rows * ncols) as u32;
+    let (right_labels_flipped, right_rounds, right_local, right_spec) =
+        directional_pass_lockstep::<U>(flipped, opts, offset, threads, quash);
+    let mut grid = LabelGrid::new_background(rows, ncols);
+    let mut stitch_makespan = 0u64;
+    for c in 0..ncols {
+        let (finals, units) =
+            stitch_column(&left_labels[c], &right_labels_flipped[ncols - 1 - c]);
+        stitch_makespan = stitch_makespan.max(units);
+        for (j, &label) in finals.iter().enumerate() {
+            if label != NIL {
+                grid.set(j, c, label);
+            }
+        }
+    }
+    let local_rounds = left_local + right_local + stitch_makespan;
+    let total_rounds = left_rounds[0]
+        + left_rounds[1]
+        + right_rounds[0]
+        + right_rounds[1]
+        + local_rounds;
+    let report = LockstepCcReport {
+        uf_rounds: [left_rounds[0], right_rounds[0]],
+        label_rounds: [left_rounds[1], right_rounds[1]],
+        local_rounds,
+        total_rounds,
+        spec: SpecStats {
+            spec_sent: left_spec.spec_sent + right_spec.spec_sent,
+            quash_sent: left_spec.quash_sent + right_spec.quash_sent,
+            pairs_dropped: left_spec.pairs_dropped + right_spec.pairs_dropped,
+            stalls_aborted: left_spec.stalls_aborted + right_spec.stalls_aborted,
+        },
+    };
+    let run = CcRun {
+        labels: grid,
+        metrics: CcMetrics {
+            left: PassMetrics::default(),
+            right: PassMetrics::default(),
+            stitch_makespan,
+            stitch_busy: 0,
+            load_steps: 0,
+            total_steps: total_rounds,
+        },
+    };
+    (run, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cc::label_components;
+    use slap_image::{bfs_labels, gen};
+    use slap_unionfind::{RankHalvingUf, TarjanUf};
+
+    #[test]
+    fn lockstep_labels_match_oracle_and_virtual_time() {
+        for name in ["random50", "comb", "fig3a", "tournament", "fan"] {
+            let img = gen::by_name(name, 24, 5).unwrap();
+            let truth = bfs_labels(&img);
+            let (run, _) = label_components_lockstep::<TarjanUf>(&img, &CcOptions::default(), 1);
+            assert_eq!(run.labels, truth, "lockstep on {name}");
+            let vt = label_components::<TarjanUf>(&img, &CcOptions::default());
+            assert_eq!(vt.labels, truth);
+        }
+    }
+
+    #[test]
+    fn lockstep_cycles_track_virtual_makespan() {
+        for name in ["random50", "comb", "tournament"] {
+            let img = gen::by_name(name, 32, 3).unwrap();
+            let (_, report) = label_components_lockstep::<TarjanUf>(&img, &CcOptions::default(), 1);
+            let vt = label_components::<TarjanUf>(&img, &CcOptions::default());
+            let vt_total = vt.metrics.total_steps as f64;
+            let ls_total = report.total_rounds as f64;
+            let ratio = ls_total / vt_total;
+            assert!(
+                (0.5..3.0).contains(&ratio),
+                "{name}: lockstep {ls_total} vs virtual {vt_total} (ratio {ratio:.2})"
+            );
+        }
+    }
+
+    #[test]
+    fn threaded_lockstep_is_deterministic() {
+        let img = gen::by_name("comb", 28, 2).unwrap();
+        let (seq, seq_report) =
+            label_components_lockstep::<RankHalvingUf>(&img, &CcOptions::default(), 1);
+        for threads in [2, 4] {
+            let (par, par_report) =
+                label_components_lockstep::<RankHalvingUf>(&img, &CcOptions::default(), threads);
+            assert_eq!(par.labels, seq.labels, "threads={threads}");
+            assert_eq!(par_report, seq_report, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn variants_work_on_lockstep_too() {
+        let img = gen::by_name("fig3a", 24, 7).unwrap();
+        let truth = bfs_labels(&img);
+        for eager in [false, true] {
+            for idle in [false, true] {
+                let opts = CcOptions {
+                    eager_forward: eager,
+                    idle_compression: idle,
+                    ..CcOptions::default()
+                };
+                let (run, _) = label_components_lockstep::<TarjanUf>(&img, &opts, 1);
+                assert_eq!(run.labels, truth, "eager={eager} idle={idle}");
+            }
+        }
+    }
+
+    #[test]
+    fn rectangular_images_work() {
+        let img = gen::uniform_random(9, 33, 0.5, 4);
+        let truth = bfs_labels(&img);
+        let (run, _) = label_components_lockstep::<TarjanUf>(&img, &CcOptions::default(), 2);
+        assert_eq!(run.labels, truth);
+    }
+
+    #[test]
+    fn quashing_variant_labels_are_identical() {
+        for name in ["random50", "comb", "fig3a", "tournament", "maze"] {
+            let img = gen::by_name(name, 24, 5).unwrap();
+            let truth = bfs_labels(&img);
+            let (run, report) = label_components_lockstep_quash::<TarjanUf>(
+                &img,
+                &CcOptions::default(),
+                1,
+                true,
+            );
+            assert_eq!(run.labels, truth, "quashing on {name}");
+            assert!(
+                report.spec.pairs_dropped + report.spec.stalls_aborted
+                    <= report.spec.quash_sent,
+                "{name}: more cancellations than quashes"
+            );
+            assert!(
+                report.spec.quash_sent <= report.spec.spec_sent,
+                "{name}: more quashes than speculations"
+            );
+        }
+    }
+
+    #[test]
+    fn quashing_fires_exactly_on_redundant_connectivity() {
+        // Same-set pairs require a cycle in the pixel adjacency (two merge
+        // paths for the same pair of sets). Solid bands and dense noise have
+        // them in abundance; spanning trees (maze) and the nested brackets
+        // (fig3a) have none, so their quash counts must be exactly zero even
+        // though they speculate.
+        for name in ["hstripes", "random65", "full", "tournament"] {
+            let img = gen::by_name(name, 48, 1).unwrap();
+            let (_, report) = label_components_lockstep_quash::<TarjanUf>(
+                &img,
+                &CcOptions::default(),
+                1,
+                true,
+            );
+            assert!(report.spec.spec_sent > 0, "{name}: no speculation happened");
+            assert!(report.spec.quash_sent > 0, "{name}: no quashes were needed");
+        }
+        for name in ["maze", "fig3a", "spiral"] {
+            let img = gen::by_name(name, 48, 1).unwrap();
+            let (_, report) = label_components_lockstep_quash::<TarjanUf>(
+                &img,
+                &CcOptions::default(),
+                1,
+                true,
+            );
+            assert_eq!(
+                report.spec.quash_sent, 0,
+                "{name} is acyclic: every union must be novel"
+            );
+        }
+    }
+
+    #[test]
+    fn quashing_contains_eagerness_cascades() {
+        // On solid bands, a bare eager forward of an already-merged pair is
+        // re-forwarded by every later column (each sees the witness before
+        // running the finds) — the cascade travels the full array. Quashing
+        // kills each speculative pair one hop downstream, so it must send
+        // far fewer union-pass messages and not be slower.
+        let img = gen::by_name("hstripes", 48, 1).unwrap();
+        let eager_opts = CcOptions {
+            eager_forward: true,
+            ..CcOptions::default()
+        };
+        let (eager_run, eager_rep) = label_components_lockstep::<TarjanUf>(&img, &eager_opts, 1);
+        let (quash_run, quash_rep) =
+            label_components_lockstep_quash::<TarjanUf>(&img, &CcOptions::default(), 1, true);
+        assert_eq!(eager_run.labels, quash_run.labels);
+        assert!(
+            quash_rep.total_rounds <= eager_rep.total_rounds,
+            "quashing slower than eager: {} vs {}",
+            quash_rep.total_rounds,
+            eager_rep.total_rounds
+        );
+        // and nearly every quash overtakes its pair on this family
+        assert!(quash_rep.spec.pairs_dropped * 10 >= quash_rep.spec.quash_sent * 9);
+    }
+
+    #[test]
+    fn quashing_is_deterministic_across_threads() {
+        let img = gen::by_name("fig3a", 28, 3).unwrap();
+        let (seq, seq_report) =
+            label_components_lockstep_quash::<TarjanUf>(&img, &CcOptions::default(), 1, true);
+        let (par, par_report) =
+            label_components_lockstep_quash::<TarjanUf>(&img, &CcOptions::default(), 2, true);
+        assert_eq!(par.labels, seq.labels);
+        assert_eq!(par_report, seq_report);
+    }
+
+    #[test]
+    fn eight_connectivity_on_lockstep_matches_oracle() {
+        use slap_image::{bfs_labels_conn, Connectivity};
+        let opts = CcOptions {
+            connectivity: Connectivity::Eight,
+            ..CcOptions::default()
+        };
+        for name in ["staircase", "checker", "random50", "fig3a"] {
+            let img = gen::by_name(name, 20, 9).unwrap();
+            let truth = bfs_labels_conn(&img, Connectivity::Eight);
+            let (run, _) = label_components_lockstep::<TarjanUf>(&img, &opts, 1);
+            assert_eq!(run.labels, truth, "lockstep 8-conn on {name}");
+            let (par, _) = label_components_lockstep::<TarjanUf>(&img, &opts, 2);
+            assert_eq!(par.labels, truth, "threaded lockstep 8-conn on {name}");
+        }
+    }
+}

@@ -1,0 +1,600 @@
+//! The pipelined passes of `Left-Components` (paper Figs. 4–6).
+//!
+//! Each pass is written as a stage function for the virtual-time pipeline
+//! executor in `slap-machine`; the same code serves the left-connected pass
+//! and (run over the mirrored image) the right-connected pass.
+//!
+//! Cost charging: union–find operations meter themselves (see
+//! `slap-unionfind`); the stage transfers those units onto the PE clock and
+//! adds one unit per loop iteration / bookkeeping action, matching the
+//! SIMD machine's one-instruction-per-step accounting.
+
+use crate::cc::{CcOptions, ForwardPolicy};
+use crate::NIL;
+use slap_image::{Columns, Connectivity};
+use slap_machine::PeCtx;
+use slap_unionfind::UnionFind;
+
+/// A relevant-union message: two rows of the *next* column whose sets must be
+/// unioned (paper Fig. 5, `Apply` line 5 payload).
+pub type RowPair = (u32, u32);
+
+/// A label message: `(label, row)` — set the label of the set containing
+/// `row` (paper Fig. 6 lines 5/14 payload).
+pub type LabelMsg = (u32, u32);
+
+/// The first row of column `ncol` holding a 1-pixel adjacent to pixel
+/// `(pe, j)` under `conn`, where `ncol` is a horizontal neighbor of `pe`.
+/// Under 4-connectivity the only candidate is row `j` itself; under
+/// 8-connectivity rows `j−1` and `j+1` also qualify.
+pub(crate) fn adjacent_row_in(
+    cols: &Columns,
+    ncol: usize,
+    j: usize,
+    conn: Connectivity,
+) -> Option<u32> {
+    match conn {
+        Connectivity::Four => cols.get(ncol, j).then_some(j as u32),
+        Connectivity::Eight => {
+            let lo = j.saturating_sub(1);
+            let hi = (j + 1).min(cols.rows() - 1);
+            (lo..=hi).find(|&r| cols.get(ncol, r)).map(|r| r as u32)
+        }
+    }
+}
+
+/// The 8-connectivity *diagonal bridge* test at cursor `j` of the phase-1
+/// scan: rows `j−2` and `j` of column `pe` are foreground with a background
+/// gap between them, yet connected within the subimage `0..=pe` through the
+/// single pixel `(pe−1, j−1)` (both diagonal links). Under 4-connectivity no
+/// such local connection exists, which is why the paper's phase 1 is vertical
+/// runs only.
+pub fn bridge_at(cols: &Columns, pe: usize, j: usize) -> bool {
+    pe > 0
+        && j >= 2
+        && cols.get(pe, j)
+        && cols.get(pe, j - 2)
+        && !cols.get(pe, j - 1)
+        && cols.get(pe - 1, j - 1)
+}
+
+/// The state a column (PE) carries out of [`unionfind_pass`]: the union–find
+/// structure over its rows plus the per-set `adjnext`/`adjprev` witnesses,
+/// indexed by representative id.
+pub struct ColumnState<U: UnionFind> {
+    /// Disjoint sets over the column's rows (one left-component per set).
+    pub uf: U,
+    /// For each set (by representative id): a row *of the next column*
+    /// holding a 1-pixel adjacent to one of the set's pixels, or [`NIL`].
+    /// (Under 4-connectivity this matches the paper's formulation — the
+    /// adjacent pixel shares the row index of the set's own pixel.)
+    pub adjnext: Vec<u32>,
+    /// Likewise for the previous column.
+    pub adjprev: Vec<u32>,
+}
+
+impl<U: UnionFind> ColumnState<U> {
+    /// `Make-Set(j)` for every row plus initial witness computation
+    /// (paper Fig. 5 line 1). Purely local; the caller charges
+    /// one unit per row.
+    pub fn new(cols: &Columns, pe: usize, conn: Connectivity) -> Self {
+        let rows = cols.rows();
+        let uf = U::with_elements(rows);
+        let bound = uf.id_bound();
+        let mut adjnext = vec![NIL; bound];
+        let mut adjprev = vec![NIL; bound];
+        for j in 0..rows {
+            if !cols.get(pe, j) {
+                continue;
+            }
+            if pe + 1 < cols.cols() {
+                if let Some(r) = adjacent_row_in(cols, pe + 1, j, conn) {
+                    adjnext[j] = r;
+                }
+            }
+            if pe > 0 {
+                if let Some(r) = adjacent_row_in(cols, pe - 1, j, conn) {
+                    adjprev[j] = r;
+                }
+            }
+        }
+        ColumnState {
+            uf,
+            adjnext,
+            adjprev,
+        }
+    }
+
+    /// The paper's `Apply(rowpair)` (Fig. 5), executor-independent: find both
+    /// sets; if distinct, union them, merge the `adjnext`/`adjprev`
+    /// witnesses, and — when both sets touch the next column — produce the
+    /// relevant-union witness pair to forward.
+    ///
+    /// Returns `(units, forward)`: the union–find units consumed and the
+    /// message for the next column, if any. Both executors (the virtual-time
+    /// pipeline and the cycle-level lock-step machine) drive their clocks
+    /// from the same numbers, so their behaviours cannot drift apart.
+    pub fn apply_core(&mut self, top: u32, bot: u32) -> (u64, Option<RowPair>) {
+        let c0 = self.uf.cost();
+        let rt = self.uf.find(top as usize);
+        let rb = self.uf.find(bot as usize);
+        if rt != rb {
+            let (an_t, an_b) = (self.adjnext[rt], self.adjnext[rb]);
+            let (ap_t, ap_b) = (self.adjprev[rt], self.adjprev[rb]);
+            let relevant = an_t != NIL && an_b != NIL;
+            let r = self.uf.union_roots(rt, rb);
+            self.adjnext[r] = if an_t != NIL { an_t } else { an_b };
+            self.adjprev[r] = if ap_t != NIL { ap_t } else { ap_b };
+            let uf_units = self.uf.cost() - c0;
+            (uf_units, if relevant { Some((an_t, an_b)) } else { None })
+        } else {
+            (self.uf.cost() - c0, None)
+        }
+    }
+
+    /// Pipeline-executor wrapper around [`apply_core`](ColumnState::apply_core):
+    /// charges the units (+1 overhead) and sends the forwarded pair.
+    /// `suppress_send` is used by the eager variant when the witness pair was
+    /// already forwarded.
+    fn apply(&mut self, ctx: &mut PeCtx<RowPair>, top: u32, bot: u32, suppress_send: bool) {
+        let (units, forward) = self.apply_core(top, bot);
+        ctx.charge(units + 1);
+        if let Some(pair) = forward {
+            if !suppress_send {
+                ctx.send(pair);
+            }
+        }
+    }
+
+    /// The eager-forwarding test of §3 (executor-independent): when both
+    /// incoming rows visibly touch the next column, a witness pair for the
+    /// union about to happen can be forwarded immediately — the union merges
+    /// the sets containing `top` and `bot`, so any next-column rows adjacent
+    /// to those two pixels must end up grouped downstream (and the forward is
+    /// a harmless no-op there if the two rows already share a set). Returns
+    /// the pair to forward, or `None` when eagerness doesn't apply.
+    pub fn eager_witness(
+        cols: &Columns,
+        pe: usize,
+        top: u32,
+        bot: u32,
+        conn: Connectivity,
+    ) -> Option<RowPair> {
+        if pe + 1 >= cols.cols() {
+            return None;
+        }
+        let witness = |r: u32| {
+            cols.get(pe, r as usize)
+                .then(|| adjacent_row_in(cols, pe + 1, r as usize, conn))
+                .flatten()
+        };
+        Some((witness(top)?, witness(bot)?))
+    }
+}
+
+/// One step of Label-Pass's local loop (Fig. 6 lines 1–7), executor
+/// independent: if row `j` is foreground and its set has no left ancestor
+/// and no label yet, assign `base_position + j` and produce the message to
+/// forward. Returns `(units, forward)`.
+pub fn label_local_step<U: UnionFind>(
+    cols: &Columns,
+    pe: usize,
+    state: &mut ColumnState<U>,
+    labels: &mut [u32],
+    base_position: u32,
+    j: usize,
+) -> (u64, Option<LabelMsg>) {
+    if !cols.get(pe, j) {
+        return (1, None);
+    }
+    let c0 = state.uf.cost();
+    let s = state.uf.find(j);
+    let mut units = state.uf.cost() - c0 + 1;
+    if state.adjprev[s] == NIL && labels[s] == NIL {
+        labels[s] = base_position + j as u32;
+        units += 1;
+        if state.adjnext[s] != NIL {
+            return (units, Some((labels[s], state.adjnext[s])));
+        }
+    }
+    (units, None)
+}
+
+/// Absorbing one incoming label message (Fig. 6 lines 11–15), executor
+/// independent, with the least-label semantics. Returns `(units, forward)`.
+pub fn label_absorb<U: UnionFind>(
+    state: &mut ColumnState<U>,
+    labels: &mut [u32],
+    policy: ForwardPolicy,
+    label: u32,
+    row: u32,
+) -> (u64, Option<LabelMsg>) {
+    let c0 = state.uf.cost();
+    let s = state.uf.find(row as usize);
+    let units = state.uf.cost() - c0 + 1;
+    let improved = label < labels[s]; // NIL is u32::MAX: always improves
+    if improved {
+        labels[s] = label;
+    }
+    let forward = match policy {
+        ForwardPolicy::OnImprovement => improved,
+        ForwardPolicy::Always => true,
+    };
+    if forward && state.adjnext[s] != NIL {
+        (units, Some((labels[s], state.adjnext[s])))
+    } else {
+        (units, None)
+    }
+}
+
+/// `Union-Find-Pass` for one PE (paper Fig. 5): phase 1 unions the column's
+/// vertical runs (plus, under 8-connectivity, the [`bridge_at`] pairs —
+/// rows joined through a single pixel of the previous column); phase 2
+/// applies the relevant unions streaming in from the left, forwarding the
+/// ones relevant to the right.
+///
+/// Returns the column's final grouping. Run it under
+/// `slap_machine::run_pipeline_with` in array order.
+pub fn unionfind_pass<U: UnionFind>(
+    cols: &Columns,
+    opts: &CcOptions,
+    pe: usize,
+    ctx: &mut PeCtx<RowPair>,
+) -> ColumnState<U> {
+    let rows = cols.rows();
+    let conn = opts.connectivity;
+    // line 1: Make-Set per row (+ witness init): one unit per row
+    let mut state = ColumnState::<U>::new(cols, pe, conn);
+    ctx.charge(rows as u64);
+    // lines 3–7: union vertical runs (and diagonal bridges under 8-conn)
+    for j in 1..rows {
+        ctx.charge(1);
+        if cols.get(pe, j - 1) && cols.get(pe, j) {
+            state.apply(ctx, (j - 1) as u32, j as u32, false);
+        }
+        if conn == Connectivity::Eight && bridge_at(cols, pe, j) {
+            state.apply(ctx, (j - 2) as u32, j as u32, false);
+        }
+    }
+    // lines 8–14: drain the incoming relevant unions
+    loop {
+        let msg = if opts.idle_compression {
+            let uf = &mut state.uf;
+            ctx.recv_with(&mut |budget| uf.idle_compress(budget))
+        } else {
+            ctx.recv()
+        };
+        let Some((top, bot)) = msg else { break };
+        let mut suppress = false;
+        if opts.eager_forward {
+            // §3's speculative idea, simplified soundly: if the two incoming
+            // rows are themselves adjacent to 1-pixels of the next column,
+            // a valid witness pair for the union about to happen can be
+            // forwarded before doing any union–find work. Safe even when the
+            // sets turn out equal: both rows then belong to a single set,
+            // and the downstream union is a no-op on two rows of one
+            // left-component.
+            ctx.charge(1);
+            if let Some(pair) = ColumnState::<U>::eager_witness(cols, pe, top, bot, conn) {
+                ctx.send(pair);
+                suppress = true;
+            }
+        }
+        state.apply(ctx, top, bot, suppress);
+    }
+    state
+}
+
+/// [`unionfind_pass`] with phase-2 dequeue tracing, for the §3 structural
+/// claim: *"Denote the sequence of row pairs on which the finds and unions
+/// occur in processor i based on the dequeues of information from the
+/// previous column as (t1,b1), (t2,b2), … This sequence has the property
+/// that we never have t_k or b_k strictly between t_{k−1} and b_{k−1}"* —
+/// i.e. viewed as intervals, consecutive pairs are disjoint (up to shared
+/// endpoints) or nest. Experiment E12 measures this property empirically.
+///
+/// Records, per PE, the row pairs dequeued in phase 2, in order. Always runs
+/// the plain (non-eager, non-idle-compressing) pass so the recorded sequence
+/// is the one the paper's argument describes; only `opts.connectivity` is
+/// honored.
+pub fn unionfind_pass_traced<U: UnionFind>(
+    cols: &Columns,
+    opts: &CcOptions,
+    pe: usize,
+    trace: &mut Vec<RowPair>,
+    ctx: &mut PeCtx<RowPair>,
+) -> ColumnState<U> {
+    let rows = cols.rows();
+    let conn = opts.connectivity;
+    let mut state = ColumnState::<U>::new(cols, pe, conn);
+    ctx.charge(rows as u64);
+    for j in 1..rows {
+        ctx.charge(1);
+        if cols.get(pe, j - 1) && cols.get(pe, j) {
+            state.apply(ctx, (j - 1) as u32, j as u32, false);
+        }
+        if conn == Connectivity::Eight && bridge_at(cols, pe, j) {
+            state.apply(ctx, (j - 2) as u32, j as u32, false);
+        }
+    }
+    while let Some((top, bot)) = ctx.recv() {
+        trace.push((top, bot));
+        state.apply(ctx, top, bot, false);
+    }
+    state
+}
+
+/// Checks the §3 interval property over one PE's phase-2 trace: returns the
+/// number of adjacent pairs where an endpoint of pair `k` falls strictly
+/// inside pair `k−1`'s interval without pair `k` containing pair `k−1`.
+pub fn interval_property_violations(trace: &[RowPair]) -> usize {
+    let norm = |(a, b): RowPair| if a <= b { (a, b) } else { (b, a) };
+    let mut violations = 0usize;
+    for w in trace.windows(2) {
+        let (pt, pb) = norm(w[0]);
+        let (t, b) = norm(w[1]);
+        let strictly_inside = |x: u32| x > pt && x < pb;
+        let contains_prev = t <= pt && b >= pb;
+        if (strictly_inside(t) || strictly_inside(b)) && !contains_prev {
+            violations += 1;
+        }
+    }
+    violations
+}
+
+/// Step 2 of `Left-Components`: one find per row, metered. Purely local (all
+/// PEs run it concurrently); returns the units this PE spent, so the caller
+/// can take the max as the phase makespan.
+pub fn find_pass<U: UnionFind>(cols: &Columns, pe: usize, state: &mut ColumnState<U>) -> u64 {
+    let rows = cols.rows();
+    let c0 = state.uf.cost();
+    for j in 0..rows {
+        if cols.get(pe, j) {
+            state.uf.find(j);
+        }
+    }
+    state.uf.cost() - c0 + rows as u64
+}
+
+/// `Label-Pass` for one PE (paper Fig. 6), with the *least label* semantics
+/// of the paper's consistency rule: a set keeps the minimum of the labels it
+/// has seen, and forwards according to `opts.forward_policy`
+/// ([`ForwardPolicy::OnImprovement`] forwards each strictly smaller label;
+/// [`ForwardPolicy::Always`] re-forwards every arrival like the literal
+/// pseudocode).
+///
+/// `base_position` is the column-major position of this PE's row 0 (i.e.
+/// `pe * rows` for the left pass; the mirrored value for the right pass).
+/// Per-set labels land in `labels` (indexed by representative); the per-row
+/// readout is a separate local phase, [`readout_pass`] — folding it into
+/// this stage would delay each PE's EOS by Θ(rows) and serialize the
+/// pipeline into Θ(n²) total time (step 4 of the paper's Fig. 4 is local
+/// and concurrent, not part of the pipelined pass).
+pub fn label_pass<U: UnionFind>(
+    cols: &Columns,
+    opts: &CcOptions,
+    pe: usize,
+    state: &mut ColumnState<U>,
+    labels: &mut [u32],
+    base_position: u32,
+    ctx: &mut PeCtx<LabelMsg>,
+) {
+    let rows = cols.rows();
+    debug_assert_eq!(labels.len(), state.uf.id_bound());
+    // lines 1–7: label the sets that have no left ancestor
+    for j in 0..rows {
+        let (units, forward) = label_local_step(cols, pe, state, labels, base_position, j);
+        ctx.charge(units);
+        if let Some(msg) = forward {
+            ctx.send(msg);
+        }
+    }
+    // lines 8–16: adopt and forward incoming labels
+    while let Some((label, row)) = ctx.recv() {
+        let (units, forward) = label_absorb(state, labels, opts.forward_policy, label, row);
+        ctx.charge(units);
+        if let Some(msg) = forward {
+            ctx.send(msg);
+        }
+    }
+}
+
+/// Step 4 of `Left-Components`: per-pixel label readout. Purely local and
+/// concurrent across PEs (like [`find_pass`]); returns the per-row labels
+/// ([`NIL`] on background) and the units this PE spent.
+pub fn readout_pass<U: UnionFind>(
+    cols: &Columns,
+    pe: usize,
+    state: &mut ColumnState<U>,
+    labels: &[u32],
+) -> (Vec<u32>, u64) {
+    let rows = cols.rows();
+    let mut units = 0u64;
+    let mut out = vec![NIL; rows];
+    for (j, slot) in out.iter_mut().enumerate() {
+        units += 1;
+        if cols.get(pe, j) {
+            let c0 = state.uf.cost();
+            let s = state.uf.find(j);
+            units += state.uf.cost() - c0;
+            *slot = labels[s];
+            debug_assert_ne!(*slot, NIL, "foreground pixel left unlabeled");
+        }
+    }
+    (out, units)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slap_image::Bitmap;
+    use slap_machine::run_pipeline;
+    use slap_unionfind::TarjanUf;
+
+    fn run_uf_pass(img: &Bitmap) -> Vec<ColumnState<TarjanUf>> {
+        run_uf_pass_conn(img, Connectivity::Four)
+    }
+
+    fn run_uf_pass_conn(img: &Bitmap, conn: Connectivity) -> Vec<ColumnState<TarjanUf>> {
+        let cols = img.columns();
+        let opts = CcOptions {
+            connectivity: conn,
+            ..CcOptions::default()
+        };
+        let (states, _) = run_pipeline(cols.cols(), |pe, ctx| {
+            unionfind_pass::<TarjanUf>(&cols, &opts, pe, ctx)
+        });
+        states
+    }
+
+    #[test]
+    fn vertical_runs_are_grouped_locally() {
+        let img = Bitmap::from_art(
+            "#.\n\
+             #.\n\
+             ..\n\
+             #.\n",
+        );
+        let mut states = run_uf_pass(&img);
+        let s = &mut states[0];
+        assert!(s.uf.same_set(0, 1));
+        assert!(!s.uf.same_set(1, 3));
+    }
+
+    #[test]
+    fn relevant_union_crosses_columns() {
+        // Two rows connected only through column 0: column 1's sets must be
+        // unioned by the forwarded pair.
+        let img = Bitmap::from_art(
+            "##\n\
+             #.\n\
+             ##\n",
+        );
+        let mut states = run_uf_pass(&img);
+        let right = &mut states[1];
+        assert!(right.uf.same_set(0, 2), "relevant union was not applied");
+    }
+
+    #[test]
+    fn unions_propagate_through_long_bridge() {
+        // A 'U' that closes in the final column.
+        let img = Bitmap::from_art(
+            "####\n\
+             ...#\n\
+             ####\n",
+        );
+        let mut states = run_uf_pass(&img);
+        let last = states.last_mut().unwrap();
+        assert!(last.uf.same_set(0, 2));
+        // earlier columns must NOT have merged rows 0 and 2
+        assert!(!states[0].uf.same_set(0, 2));
+        assert!(!states[2].uf.same_set(0, 2));
+    }
+
+    #[test]
+    fn adjnext_tracks_a_valid_witness() {
+        let img = Bitmap::from_art(
+            "##\n\
+             #.\n",
+        );
+        let mut states = run_uf_pass(&img);
+        let s0 = &mut states[0];
+        let root = s0.uf.find(0);
+        let w = s0.adjnext[root];
+        assert_eq!(w, 0, "only row 0 touches column 1");
+        let r1 = s0.uf.find(1);
+        assert_eq!(r1, root);
+    }
+
+    #[test]
+    fn background_rows_stay_singletons() {
+        let img = Bitmap::from_art(
+            ".#\n\
+             .#\n",
+        );
+        let mut states = run_uf_pass(&img);
+        assert!(!states[0].uf.same_set(0, 1));
+        assert!(states[1].uf.same_set(0, 1));
+    }
+
+    #[test]
+    fn bridge_at_detects_the_diagonal_bridge() {
+        // Column 1 rows 0 and 2 are joined through the single pixel (0, 1).
+        let img = Bitmap::from_art(
+            ".#\n\
+             #.\n\
+             .#\n",
+        );
+        let cols = img.columns();
+        assert!(bridge_at(&cols, 1, 2));
+        assert!(!bridge_at(&cols, 1, 1));
+        assert!(!bridge_at(&cols, 0, 2), "column 0 has no west neighbor");
+        // Middle row of the same column set: no bridge needed.
+        let solid = Bitmap::from_art(
+            ".#\n\
+             ##\n\
+             .#\n",
+        );
+        assert!(!bridge_at(&solid.columns(), 1, 2));
+    }
+
+    #[test]
+    fn eight_conn_bridge_groups_rows_locally() {
+        let img = Bitmap::from_art(
+            ".#\n\
+             #.\n\
+             .#\n",
+        );
+        let mut states = run_uf_pass_conn(&img, Connectivity::Eight);
+        assert!(states[1].uf.same_set(0, 2), "bridge union missing");
+        // Under 4-connectivity they must remain separate.
+        let mut states4 = run_uf_pass(&img);
+        assert!(!states4[1].uf.same_set(0, 2));
+    }
+
+    #[test]
+    fn eight_conn_witnesses_point_into_neighbor_columns() {
+        // Pixel (1, 0) is diagonally adjacent to (0, 1) and (2, 1).
+        let img = Bitmap::from_art(
+            ".#\n\
+             #.\n\
+             .#\n",
+        );
+        let cols = img.columns();
+        assert_eq!(adjacent_row_in(&cols, 1, 1, Connectivity::Four), None);
+        assert_eq!(adjacent_row_in(&cols, 1, 1, Connectivity::Eight), Some(0));
+        assert_eq!(adjacent_row_in(&cols, 0, 0, Connectivity::Eight), Some(1));
+        let states = run_uf_pass_conn(&img, Connectivity::Eight);
+        // Column 0's single set must carry a next-column witness.
+        assert_ne!(states[0].adjnext[1], NIL);
+    }
+
+    #[test]
+    fn eager_witness_returns_next_column_rows() {
+        let img = Bitmap::from_art(
+            "##\n\
+             #.\n\
+             ##\n",
+        );
+        let cols = img.columns();
+        assert_eq!(
+            ColumnState::<TarjanUf>::eager_witness(&cols, 0, 0, 2, Connectivity::Four),
+            Some((0, 2))
+        );
+        // Row 1 of column 0 has no 4-adjacent pixel in column 1, but is
+        // 8-adjacent to rows 0 and 2 there.
+        assert_eq!(
+            ColumnState::<TarjanUf>::eager_witness(&cols, 0, 0, 1, Connectivity::Four),
+            None
+        );
+        assert_eq!(
+            ColumnState::<TarjanUf>::eager_witness(&cols, 0, 0, 1, Connectivity::Eight),
+            Some((0, 0))
+        );
+        // The last column never forwards.
+        assert_eq!(
+            ColumnState::<TarjanUf>::eager_witness(&cols, 1, 0, 2, Connectivity::Four),
+            None
+        );
+    }
+}

@@ -1,0 +1,585 @@
+//! Run-length-encoded variant of Algorithm CC.
+//!
+//! The paper's passes treat every *pixel row* as a union–find element: each
+//! column makes `n` singletons and phase 1 of `Union-Find-Pass` spends
+//! `n − 1` iterations re-merging the vertical runs (Fig. 5 lines 3–7). But a
+//! column's left-components are unions of its maximal *vertical runs* of
+//! 1-pixels, and a column has at most `⌈n/2⌉` of them — usually far fewer.
+//! This module rebuilds the passes over the run universe:
+//!
+//! * the column scan that the paper spends on `Make-Set` instead extracts
+//!   runs, the `row → run` table and the adjacency witnesses (same `Θ(n)`
+//!   cost, it is one pass over the column either way);
+//! * phase 1 disappears under 4-connectivity (runs are maximal by
+//!   construction), shrinking to the `O(runs)` diagonal-bridge scan under
+//!   8-connectivity;
+//! * union–find operates on `runs ≤ ⌈n/2⌉` elements, so tree depths — the
+//!   worst-case bottleneck of §3 — shrink from `lg n` to `lg runs`;
+//! * `Label-Pass`'s local loop visits runs, not rows.
+//!
+//! Messages stay row-indexed (a pair of next-column rows for relevant
+//! unions, a `(label, row)` pair for labels), so the wire format and the
+//! correctness argument are exactly the paper's; only the local
+//! representation changes. The labeling produced is bit-identical to the
+//! pixel variant's (tested), and experiment E13 measures the step-count
+//! ablation. Run-based labeling is the natural engineering refinement of
+//! the paper's algorithm, in the spirit of the run-oriented processing in
+//! Alnuweiri–Prasanna \[2\].
+
+use crate::cc::{CcMetrics, CcOptions, CcRun, PassMetrics};
+use crate::stitch::stitch_column;
+use crate::NIL;
+use slap_image::{Bitmap, Columns, Connectivity, LabelGrid};
+use slap_machine::{run_pipeline_with, PeCtx, PipelineConfig};
+use slap_unionfind::UnionFind;
+
+/// The maximal vertical runs of one column plus the `row → run` table.
+pub struct RunColumn {
+    /// `run_of[j]` = index of the run containing row `j`, or [`NIL`].
+    pub run_of: Vec<u32>,
+    /// First row of each run.
+    pub start: Vec<u32>,
+    /// Last row (inclusive) of each run.
+    pub end: Vec<u32>,
+}
+
+impl RunColumn {
+    /// Number of runs.
+    pub fn len(&self) -> usize {
+        self.start.len()
+    }
+
+    /// `true` when the column is all background.
+    pub fn is_empty(&self) -> bool {
+        self.start.is_empty()
+    }
+
+    /// Scans column `pe`, extracting maximal vertical runs.
+    pub fn scan(cols: &Columns, pe: usize) -> Self {
+        let rows = cols.rows();
+        let mut run_of = vec![NIL; rows];
+        let mut start = Vec::new();
+        let mut end = Vec::new();
+        let mut j = 0usize;
+        while j < rows {
+            if !cols.get(pe, j) {
+                j += 1;
+                continue;
+            }
+            let s = j;
+            while j < rows && cols.get(pe, j) {
+                run_of[j] = start.len() as u32;
+                j += 1;
+            }
+            start.push(s as u32);
+            end.push((j - 1) as u32);
+        }
+        RunColumn { run_of, start, end }
+    }
+}
+
+/// Pass state of one PE in the run-based variant: disjoint sets over the
+/// column's runs plus per-set adjacency witnesses (row indices *in the
+/// neighbor column*, as in the pixel variant's updated convention).
+pub struct RunColumnState<U: UnionFind> {
+    /// The column's runs.
+    pub runs: RunColumn,
+    /// Disjoint sets over run indices.
+    pub uf: U,
+    /// Witness row in the next column per set, or [`NIL`].
+    pub adjnext: Vec<u32>,
+    /// Witness row in the previous column per set, or [`NIL`].
+    pub adjprev: Vec<u32>,
+}
+
+/// First row of `ncol` holding a 1-pixel adjacent (under `conn`) to any
+/// pixel of the run `[a, b]` of column `pe`'s neighbor scan.
+fn run_adjacent_row(cols: &Columns, ncol: usize, a: u32, b: u32, conn: Connectivity) -> u32 {
+    let rows = cols.rows();
+    let (lo, hi) = match conn {
+        Connectivity::Four => (a as usize, b as usize),
+        Connectivity::Eight => (
+            (a as usize).saturating_sub(1),
+            ((b as usize) + 1).min(rows - 1),
+        ),
+    };
+    for r in lo..=hi {
+        if cols.get(ncol, r) {
+            return r as u32;
+        }
+    }
+    NIL
+}
+
+impl<U: UnionFind> RunColumnState<U> {
+    /// Builds the state from one scan over the column: runs, `row → run`
+    /// table, witnesses, and one `Make-Set` per run. The caller charges
+    /// `rows` units for the scan (the same line-1 budget as the pixel
+    /// variant) plus one unit per run for the make-sets.
+    pub fn new(cols: &Columns, pe: usize, conn: Connectivity) -> Self {
+        let runs = RunColumn::scan(cols, pe);
+        let uf = U::with_elements(runs.len());
+        let bound = uf.id_bound();
+        let mut adjnext = vec![NIL; bound];
+        let mut adjprev = vec![NIL; bound];
+        for k in 0..runs.len() {
+            let (a, b) = (runs.start[k], runs.end[k]);
+            if pe + 1 < cols.cols() {
+                adjnext[k] = run_adjacent_row(cols, pe + 1, a, b, conn);
+            }
+            if pe > 0 {
+                adjprev[k] = run_adjacent_row(cols, pe - 1, a, b, conn);
+            }
+        }
+        RunColumnState {
+            runs,
+            uf,
+            adjnext,
+            adjprev,
+        }
+    }
+
+    /// The paper's `Apply` on a pair of *rows* of this column (the wire
+    /// format is unchanged); rows are translated to runs through the local
+    /// table. Returns `(units, forward)`.
+    pub fn apply_rows(&mut self, top: u32, bot: u32) -> (u64, Option<(u32, u32)>) {
+        let (rt0, rb0) = (self.runs.run_of[top as usize], self.runs.run_of[bot as usize]);
+        debug_assert!(rt0 != NIL && rb0 != NIL, "union on background rows");
+        let c0 = self.uf.cost();
+        let rt = self.uf.find(rt0 as usize);
+        let rb = self.uf.find(rb0 as usize);
+        if rt != rb {
+            let (an_t, an_b) = (self.adjnext[rt], self.adjnext[rb]);
+            let (ap_t, ap_b) = (self.adjprev[rt], self.adjprev[rb]);
+            let relevant = an_t != NIL && an_b != NIL;
+            let r = self.uf.union_roots(rt, rb);
+            self.adjnext[r] = if an_t != NIL { an_t } else { an_b };
+            self.adjprev[r] = if ap_t != NIL { ap_t } else { ap_b };
+            let units = self.uf.cost() - c0 + 2; // +2 table lookups
+            (units, if relevant { Some((an_t, an_b)) } else { None })
+        } else {
+            (self.uf.cost() - c0 + 2, None)
+        }
+    }
+}
+
+/// Run-based `Union-Find-Pass` for one PE.
+fn run_unionfind_pass<U: UnionFind>(
+    cols: &Columns,
+    opts: &CcOptions,
+    pe: usize,
+    ctx: &mut PeCtx<(u32, u32)>,
+) -> RunColumnState<U> {
+    let rows = cols.rows();
+    let conn = opts.connectivity;
+    let mut state = RunColumnState::<U>::new(cols, pe, conn);
+    // The column scan (runs + table + witnesses) is one pass over the rows;
+    // make-sets add one unit per run.
+    ctx.charge(rows as u64 + state.runs.len() as u64);
+    // Phase-1 forwarding. In the pixel variant, a vertical-run union whose
+    // two sides both touch the next column forwards a relevant pair, which
+    // is how the next column learns that several of its runs border one
+    // left-component fragment. Here a maximal run performs no unions at
+    // all, so the equivalent information is emitted directly: for each run,
+    // the adjacent next-column rows form gap-separated groups (one per
+    // next-column run), and consecutive groups are chained with one
+    // relevant pair each — the same pairs, minus the redundant ones.
+    if pe + 1 < cols.cols() {
+        for k in 0..state.runs.len() {
+            ctx.charge(1);
+            let (lo, hi) = match conn {
+                Connectivity::Four => (state.runs.start[k] as usize, state.runs.end[k] as usize),
+                Connectivity::Eight => (
+                    (state.runs.start[k] as usize).saturating_sub(1),
+                    (state.runs.end[k] as usize + 1).min(rows - 1),
+                ),
+            };
+            let mut prev_group: Option<u32> = None;
+            let mut r = lo;
+            while r <= hi {
+                if cols.get(pe + 1, r) {
+                    let first = r as u32;
+                    while r <= hi && cols.get(pe + 1, r) {
+                        r += 1;
+                    }
+                    if let Some(p) = prev_group {
+                        ctx.charge(1);
+                        ctx.send((p, first));
+                    }
+                    prev_group = Some(first);
+                } else {
+                    r += 1;
+                }
+            }
+        }
+    }
+    // Under 8-connectivity, also union consecutive runs joined through a
+    // single west pixel (gap exactly one with the west pixel set) — the
+    // diagonal-bridge rule.
+    if conn == Connectivity::Eight && pe > 0 {
+        for k in 1..state.runs.len() {
+            ctx.charge(1);
+            let gap_top = state.runs.end[k - 1] + 1;
+            if state.runs.start[k] == gap_top + 1 && cols.get(pe - 1, gap_top as usize) {
+                let (units, forward) =
+                    state.apply_rows(state.runs.end[k - 1], state.runs.start[k]);
+                ctx.charge(units);
+                if let Some(pair) = forward {
+                    ctx.send(pair);
+                }
+            }
+        }
+    }
+    // Phase 2: drain incoming relevant unions (wire-identical to Fig. 5).
+    loop {
+        let msg = if opts.idle_compression {
+            let uf = &mut state.uf;
+            ctx.recv_with(&mut |budget| uf.idle_compress(budget))
+        } else {
+            ctx.recv()
+        };
+        let Some((top, bot)) = msg else { break };
+        let mut suppress = false;
+        if opts.eager_forward {
+            ctx.charge(1);
+            let witness = |r: u32| {
+                let k = state.runs.run_of[r as usize];
+                (k != NIL && pe + 1 < cols.cols()).then(|| {
+                    let w = run_adjacent_row(
+                        cols,
+                        pe + 1,
+                        state.runs.start[k as usize],
+                        state.runs.end[k as usize],
+                        conn,
+                    );
+                    (w != NIL).then_some(w)
+                })
+                .flatten()
+            };
+            if let (Some(t), Some(b)) = (witness(top), witness(bot)) {
+                ctx.send((t, b));
+                suppress = true;
+            }
+        }
+        let (units, forward) = state.apply_rows(top, bot);
+        ctx.charge(units);
+        if let Some(pair) = forward {
+            if !suppress {
+                ctx.send(pair);
+            }
+        }
+    }
+    state
+}
+
+/// Run-based find pass: one find per *run* (the pixel variant does one per
+/// row). Returns the units spent.
+fn run_find_pass<U: UnionFind>(state: &mut RunColumnState<U>) -> u64 {
+    let c0 = state.uf.cost();
+    let n_runs = state.runs.len();
+    for k in 0..n_runs {
+        state.uf.find(k);
+    }
+    state.uf.cost() - c0 + n_runs as u64
+}
+
+/// Run-based `Label-Pass`: the local loop walks runs instead of rows.
+fn run_label_pass<U: UnionFind>(
+    opts: &CcOptions,
+    state: &mut RunColumnState<U>,
+    labels: &mut [u32],
+    base_position: u32,
+    ctx: &mut PeCtx<(u32, u32)>,
+) {
+    let n_runs = state.runs.len();
+    debug_assert_eq!(labels.len(), state.uf.id_bound());
+    for k in 0..n_runs {
+        let c0 = state.uf.cost();
+        let s = state.uf.find(k);
+        let mut units = state.uf.cost() - c0 + 1;
+        if state.adjprev[s] == NIL && labels[s] == NIL {
+            // The run's topmost pixel has the least column-major position of
+            // the run; with the least-label rule this reproduces the paper's
+            // labels exactly.
+            labels[s] = base_position + state.runs.start[k];
+            units += 1;
+            if state.adjnext[s] != NIL {
+                ctx.charge(units);
+                ctx.send((labels[s], state.adjnext[s]));
+                continue;
+            }
+        }
+        ctx.charge(units);
+    }
+    while let Some((label, row)) = ctx.recv() {
+        let k = state.runs.run_of[row as usize];
+        debug_assert_ne!(k, NIL, "label message addressed a background row");
+        let c0 = state.uf.cost();
+        let s = state.uf.find(k as usize);
+        let units = state.uf.cost() - c0 + 2; // +1 table lookup
+        ctx.charge(units);
+        let improved = label < labels[s];
+        if improved {
+            labels[s] = label;
+        }
+        let forward = match opts.forward_policy {
+            crate::cc::ForwardPolicy::OnImprovement => improved,
+            crate::cc::ForwardPolicy::Always => true,
+        };
+        if forward && state.adjnext[s] != NIL {
+            ctx.send((labels[s], state.adjnext[s]));
+        }
+    }
+}
+
+/// Run-based readout: one find per run, then one table write per row.
+fn run_readout_pass<U: UnionFind>(state: &mut RunColumnState<U>, labels: &[u32]) -> (Vec<u32>, u64) {
+    let rows = state.runs.run_of.len();
+    let mut units = 0u64;
+    let n_runs = state.runs.len();
+    let mut run_label = vec![NIL; n_runs];
+    for (k, slot) in run_label.iter_mut().enumerate() {
+        let c0 = state.uf.cost();
+        let s = state.uf.find(k);
+        units += state.uf.cost() - c0 + 1;
+        *slot = labels[s];
+        debug_assert_ne!(*slot, NIL, "run left unlabeled");
+    }
+    let mut out = vec![NIL; rows];
+    for (j, slot) in out.iter_mut().enumerate() {
+        units += 1;
+        let k = state.runs.run_of[j];
+        if k != NIL {
+            *slot = run_label[k as usize];
+        }
+    }
+    (out, units)
+}
+
+/// One directional run-based pass (mirrors `cc::directional_pass`).
+fn directional_pass_runs<U: UnionFind>(
+    cols: &Columns,
+    opts: &CcOptions,
+    label_offset: u32,
+) -> (Vec<Vec<u32>>, PassMetrics) {
+    let n_pes = cols.cols();
+    let rows = cols.rows();
+    let cfg = PipelineConfig {
+        n_pes,
+        word_steps: opts.word_steps,
+        start_clock: 0,
+    };
+    let (mut states, uf_report) = run_pipeline_with(cfg, |pe, ctx| {
+        run_unionfind_pass::<U>(cols, opts, pe, ctx)
+    });
+    let mut find_makespan = 0u64;
+    let mut find_busy = 0u64;
+    for state in states.iter_mut() {
+        let units = run_find_pass(state);
+        find_makespan = find_makespan.max(units);
+        find_busy += units;
+    }
+    let mut label_slots: Vec<Vec<u32>> = states
+        .iter()
+        .map(|s| vec![NIL; s.uf.id_bound()])
+        .collect();
+    let (_, label_report) = run_pipeline_with(cfg, |pe, ctx| {
+        let base = label_offset + (pe * rows) as u32;
+        run_label_pass::<U>(opts, &mut states[pe], &mut label_slots[pe], base, ctx)
+    });
+    let mut readout_makespan = 0u64;
+    let mut readout_busy = 0u64;
+    let col_labels: Vec<Vec<u32>> = states
+        .iter_mut()
+        .enumerate()
+        .map(|(pe, state)| {
+            let (row_labels, units) = run_readout_pass(state, &label_slots[pe]);
+            readout_makespan = readout_makespan.max(units);
+            readout_busy += units;
+            row_labels
+        })
+        .collect();
+    (
+        col_labels,
+        PassMetrics {
+            uf_pass: uf_report,
+            find_makespan,
+            find_busy,
+            label_pass: label_report,
+            readout_makespan,
+            readout_busy,
+        },
+    )
+}
+
+/// Algorithm CC over the run universe: identical output labeling to
+/// [`crate::label_components`], different constants (see module docs and
+/// experiment E13).
+pub fn label_components_runs<U: UnionFind>(img: &Bitmap, opts: &CcOptions) -> CcRun {
+    let rows = img.rows();
+    let ncols = img.cols();
+    assert!(
+        2 * (rows as u64) * (ncols as u64) < u32::MAX as u64,
+        "image too large for the u32 label spaces of the two passes"
+    );
+    let cols = img.columns();
+    let (left_labels, left) = directional_pass_runs::<U>(&cols, opts, 0);
+    let flipped = img.flip_horizontal();
+    let fcols = flipped.columns();
+    let offset = (rows * ncols) as u32;
+    let (right_labels_flipped, right) = directional_pass_runs::<U>(&fcols, opts, offset);
+    let mut grid = LabelGrid::new_background(rows, ncols);
+    let mut stitch_makespan = 0u64;
+    let mut stitch_busy = 0u64;
+    for c in 0..ncols {
+        let right_col = &right_labels_flipped[ncols - 1 - c];
+        let (finals, units) = stitch_column(&left_labels[c], right_col);
+        stitch_makespan = stitch_makespan.max(units);
+        stitch_busy += units;
+        for (j, &label) in finals.iter().enumerate() {
+            if label != NIL {
+                grid.set(j, c, label);
+            }
+        }
+    }
+    let load_steps = if opts.charge_load {
+        slap_machine::costs::load_steps(rows)
+    } else {
+        0
+    };
+    let total_steps = load_steps + left.makespan() + right.makespan() + stitch_makespan;
+    CcRun {
+        labels: grid,
+        metrics: CcMetrics {
+            left,
+            right,
+            stitch_makespan,
+            stitch_busy,
+            load_steps,
+            total_steps,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cc::label_components;
+    use slap_image::{bfs_labels_conn, gen};
+    use slap_unionfind::{BlumUf, RankHalvingUf, TarjanUf};
+
+    #[test]
+    fn run_scan_extracts_maximal_runs() {
+        let img = Bitmap::from_art(
+            "#\n\
+             #\n\
+             .\n\
+             #\n\
+             .\n\
+             #\n\
+             #\n",
+        );
+        let cols = img.columns();
+        let rc = RunColumn::scan(&cols, 0);
+        assert_eq!(rc.len(), 3);
+        assert_eq!(rc.start, vec![0, 3, 5]);
+        assert_eq!(rc.end, vec![1, 3, 6]);
+        assert_eq!(rc.run_of[0], 0);
+        assert_eq!(rc.run_of[2], NIL);
+        assert_eq!(rc.run_of[6], 2);
+    }
+
+    #[test]
+    fn empty_and_full_columns() {
+        let img = Bitmap::from_art(".#\n.#\n.#\n");
+        let cols = img.columns();
+        let empty = RunColumn::scan(&cols, 0);
+        assert!(empty.is_empty());
+        let full = RunColumn::scan(&cols, 1);
+        assert_eq!(full.len(), 1);
+        assert_eq!((full.start[0], full.end[0]), (0, 2));
+    }
+
+    #[test]
+    fn runs_variant_matches_pixel_variant_exactly() {
+        for name in gen::WORKLOADS {
+            let img = gen::by_name(name, 24, 13).unwrap();
+            let opts = CcOptions::default();
+            let pixel = label_components::<TarjanUf>(&img, &opts);
+            let runs = label_components_runs::<TarjanUf>(&img, &opts);
+            assert_eq!(runs.labels, pixel.labels, "workload {name}");
+        }
+    }
+
+    #[test]
+    fn runs_variant_matches_oracle_under_eight_connectivity() {
+        let opts = CcOptions {
+            connectivity: Connectivity::Eight,
+            ..CcOptions::default()
+        };
+        for name in ["staircase", "checker", "random50", "fig3a", "maze"] {
+            let img = gen::by_name(name, 24, 3).unwrap();
+            let truth = bfs_labels_conn(&img, Connectivity::Eight);
+            let run = label_components_runs::<BlumUf>(&img, &opts);
+            assert_eq!(run.labels, truth, "workload {name}");
+        }
+    }
+
+    #[test]
+    fn runs_variant_supports_all_option_combinations() {
+        let img = gen::uniform_random(32, 32, 0.5, 41);
+        for conn in [Connectivity::Four, Connectivity::Eight] {
+            let truth = bfs_labels_conn(&img, conn);
+            for eager in [false, true] {
+                for idle in [false, true] {
+                    let opts = CcOptions {
+                        connectivity: conn,
+                        eager_forward: eager,
+                        idle_compression: idle,
+                        ..CcOptions::default()
+                    };
+                    let run = label_components_runs::<RankHalvingUf>(&img, &opts);
+                    assert_eq!(run.labels, truth, "conn={conn:?} eager={eager} idle={idle}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn runs_variant_is_cheaper_on_solid_workloads() {
+        // Vertical stripes: every column is one run, so the run variant's
+        // union–find work collapses while the pixel variant pays per row.
+        let img = gen::by_name("vstripes", 64, 1).unwrap();
+        let opts = CcOptions::default();
+        let pixel = label_components::<TarjanUf>(&img, &opts);
+        let runs = label_components_runs::<TarjanUf>(&img, &opts);
+        assert!(
+            runs.metrics.total_steps < pixel.metrics.total_steps,
+            "runs {} >= pixel {}",
+            runs.metrics.total_steps,
+            pixel.metrics.total_steps
+        );
+    }
+
+    #[test]
+    fn single_row_and_single_column_images() {
+        for art in ["#.##.#", "#\n#\n.\n#\n"] {
+            let img = Bitmap::from_art(art);
+            let opts = CcOptions::default();
+            let pixel = label_components::<TarjanUf>(&img, &opts);
+            let runs = label_components_runs::<TarjanUf>(&img, &opts);
+            assert_eq!(runs.labels, pixel.labels);
+        }
+    }
+
+    #[test]
+    fn metrics_totals_are_consistent() {
+        let img = gen::uniform_random(24, 24, 0.4, 5);
+        let run = label_components_runs::<TarjanUf>(&img, &CcOptions::default());
+        let m = &run.metrics;
+        assert_eq!(
+            m.total_steps,
+            m.left.makespan() + m.right.makespan() + m.stitch_makespan
+        );
+    }
+}

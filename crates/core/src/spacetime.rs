@@ -1,0 +1,141 @@
+//! Space–time traces of the left-connected pass, for visualization.
+//!
+//! [`left_pass_trace`] runs `Union-Find-Pass` and `Label-Pass` on the
+//! virtual-time executor with span recording switched on and hands back the
+//! per-PE busy/idle/send intervals. Rendered with
+//! [`slap_machine::render_gantt`], the diagrams make the paper's timing
+//! arguments visible at a glance:
+//!
+//! * on benign images, the idle wedge ahead of the pipeline wavefront — the
+//!   time §3's idle-compression variant harvests;
+//! * on the Figure 3(b) comb, the send-dominated stripes that delay the
+//!   naive label passer;
+//! * the `O(n + i)` finish-time diagonal of Lemma 1's induction.
+
+use crate::cc::CcOptions;
+use crate::passes::{find_pass, label_pass, unionfind_pass};
+use crate::NIL;
+use slap_image::Bitmap;
+use slap_machine::{run_pipeline_traced, PipelineConfig, PipelineReport, Span};
+use slap_unionfind::UnionFind;
+
+/// Traces of one directional (left-connected) pass.
+pub struct PassTrace {
+    /// Per-PE spans of the Union-Find-Pass (Fig. 5).
+    pub uf_spans: Vec<Vec<Span>>,
+    /// Per-PE spans of the Label-Pass (Fig. 6).
+    pub label_spans: Vec<Vec<Span>>,
+    /// Step accounting of the Union-Find-Pass.
+    pub uf_report: PipelineReport,
+    /// Step accounting of the Label-Pass.
+    pub label_report: PipelineReport,
+}
+
+/// Runs the left-connected pass of Algorithm CC with span recording and
+/// returns the space–time traces (the labeling itself is discarded; use
+/// [`crate::label_components`] for results).
+pub fn left_pass_trace<U: UnionFind>(img: &Bitmap, opts: &CcOptions) -> PassTrace {
+    let cols = img.columns();
+    let n_pes = cols.cols();
+    let rows = cols.rows();
+    let cfg = PipelineConfig {
+        n_pes,
+        word_steps: opts.word_steps,
+        start_clock: 0,
+    };
+    let (mut states, uf_report, uf_spans) = run_pipeline_traced(cfg, |pe, ctx| {
+        unionfind_pass::<U>(&cols, opts, pe, ctx)
+    });
+    for (pe, state) in states.iter_mut().enumerate() {
+        find_pass(&cols, pe, state);
+    }
+    let mut label_slots: Vec<Vec<u32>> = states
+        .iter()
+        .map(|s| vec![NIL; s.uf.id_bound()])
+        .collect();
+    let (_, label_report, label_spans) = run_pipeline_traced(cfg, |pe, ctx| {
+        let base = (pe * rows) as u32;
+        label_pass::<U>(
+            &cols,
+            opts,
+            pe,
+            &mut states[pe],
+            &mut label_slots[pe],
+            base,
+            ctx,
+        )
+    });
+    PassTrace {
+        uf_spans,
+        label_spans,
+        uf_report,
+        label_report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slap_image::gen;
+    use slap_machine::{span_totals, SpanKind};
+    use slap_unionfind::TarjanUf;
+
+    #[test]
+    fn spans_cover_each_pe_clock_exactly() {
+        let img = gen::uniform_random(24, 24, 0.5, 5);
+        let tr = left_pass_trace::<TarjanUf>(&img, &CcOptions::default());
+        assert_eq!(tr.uf_spans.len(), 24);
+        for (pe, spans) in tr.uf_spans.iter().enumerate() {
+            let t = span_totals(spans);
+            let stats = &tr.uf_report.per_pe[pe];
+            assert_eq!(t.busy + t.send, stats.busy, "PE {pe} busy mismatch");
+            assert_eq!(t.idle, stats.idle, "PE {pe} idle mismatch");
+            // spans are ordered and non-overlapping
+            for w in spans.windows(2) {
+                assert!(w[0].end <= w[1].start, "PE {pe} spans overlap");
+            }
+            if let Some(last) = spans.last() {
+                assert_eq!(last.end, stats.finish, "PE {pe} trace truncated");
+            }
+        }
+    }
+
+    #[test]
+    fn traced_report_matches_untraced_run() {
+        let img = gen::by_name("comb", 32, 1).unwrap();
+        let opts = CcOptions::default();
+        let tr = left_pass_trace::<TarjanUf>(&img, &opts);
+        let run = crate::label_components::<TarjanUf>(&img, &opts);
+        assert_eq!(tr.uf_report.makespan, run.metrics.left.uf_pass.makespan);
+        assert_eq!(tr.label_report.makespan, run.metrics.left.label_pass.makespan);
+        assert_eq!(tr.uf_report.messages, run.metrics.left.uf_pass.messages);
+    }
+
+    #[test]
+    fn later_pes_idle_ahead_of_the_wavefront() {
+        // The pipeline wavefront of Lemma 1: downstream PEs block on their
+        // queue while upstream PEs work, so idle time grows along the array
+        // on an image that generates traffic.
+        let img = gen::by_name("fig3a", 48, 1).unwrap();
+        let tr = left_pass_trace::<TarjanUf>(&img, &CcOptions::default());
+        let idle_first = span_totals(&tr.uf_spans[1]).idle;
+        let idle_last = span_totals(&tr.uf_spans[46]).idle;
+        assert!(
+            idle_last >= idle_first,
+            "idle should accumulate downstream: {idle_first} -> {idle_last}"
+        );
+        // and some PE actually sends
+        assert!(tr
+            .uf_spans
+            .iter()
+            .any(|s| s.iter().any(|sp| sp.kind == SpanKind::Send)));
+    }
+
+    #[test]
+    fn gantt_renders_for_the_traces() {
+        let img = gen::by_name("comb", 16, 1).unwrap();
+        let tr = left_pass_trace::<TarjanUf>(&img, &CcOptions::default());
+        let g = slap_machine::render_gantt(&tr.uf_spans, 60);
+        assert_eq!(g.lines().count(), 17); // header + 16 PEs
+    }
+}

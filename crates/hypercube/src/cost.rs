@@ -1,0 +1,144 @@
+//! The SIMD hypercube cost model.
+//!
+//! A `d`-dimensional hypercube has `N = 2^d` PEs; PE `p` is linked to the
+//! `d` PEs whose index differs from `p` in exactly one bit, for
+//! `N·d/2` full-duplex links in total. One time step (round) moves at most
+//! one word across each link — the same word-per-link-per-step convention
+//! the SLAP simulator charges.
+//!
+//! Hypercube algorithms in the Cypher–Sanz–Snyder style are *normal*: each
+//! round uses a single dimension, so their cost is an exact round count per
+//! collective. This module states those counts; the labeler in [`crate::sv`]
+//! charges every super-step through them. (This mirrors the virtual-time
+//! SLAP executor, which also computes exact step counts analytically rather
+//! than pushing words around.)
+//!
+//! Collective round counts (`d` = dimensions):
+//!
+//! | collective | rounds | construction |
+//! |---|---|---|
+//! | one dimension exchange | 1 | definition |
+//! | reduce / broadcast / scan | `d` | dimension sweep |
+//! | bitonic sort | `d(d+1)/2` | Batcher's network, one compare-exchange dimension per round |
+//! | remote read (one indirection) | `2·sort + 2·d` | sort requests by target, deliver + combine (scan), sort replies back |
+//! | CRCW min-write | `sort + d` | sort by target, segmented-min scan, deliver |
+
+/// Cost model for one SIMD hypercube of `2^d` PEs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HypercubeCost {
+    /// Number of dimensions (`lg` of the PE count).
+    pub d: u32,
+}
+
+impl HypercubeCost {
+    /// The smallest hypercube with at least `min_pes` PEs.
+    pub fn for_pes(min_pes: usize) -> Self {
+        let d = usize::BITS - min_pes.max(1).saturating_sub(1).leading_zeros();
+        HypercubeCost { d }
+    }
+
+    /// Number of PEs (`2^d`).
+    pub fn pes(&self) -> u64 {
+        1u64 << self.d
+    }
+
+    /// Number of full-duplex links (`N·d/2`).
+    pub fn links(&self) -> u64 {
+        self.pes() * self.d as u64 / 2
+    }
+
+    /// Rounds for one dimension exchange.
+    pub fn exchange(&self) -> u64 {
+        1
+    }
+
+    /// Rounds for a reduce, broadcast, or (segmented) prefix scan: one sweep
+    /// over the dimensions.
+    pub fn sweep(&self) -> u64 {
+        self.d as u64
+    }
+
+    /// Rounds for a bitonic sort of one key per PE: `d` merge phases, phase
+    /// `i` running `i+1` compare-exchange dimensions.
+    pub fn sort(&self) -> u64 {
+        let d = self.d as u64;
+        d * (d + 1) / 2
+    }
+
+    /// Rounds for one data-parallel remote read (`x[v] <- y[f(v)]` for
+    /// arbitrary `f`): concentrate the requests with one sort, satisfy
+    /// duplicates with a scan sweep, route the replies back with another
+    /// sort and sweep.
+    pub fn remote_read(&self) -> u64 {
+        2 * self.sort() + 2 * self.sweep()
+    }
+
+    /// Rounds for one combining (CRCW-min) remote write: sort the writes by
+    /// target, fold duplicates with a segmented-min scan, deliver.
+    pub fn min_write(&self) -> u64 {
+        self.sort() + 2 * self.sweep()
+    }
+}
+
+/// Accounting from a hypercube algorithm run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HypercubeReport {
+    /// Hypercube dimensions used.
+    pub d: u32,
+    /// Total rounds (machine time).
+    pub rounds: u64,
+    /// Super-step iterations the algorithm needed (hook + shortcut passes).
+    pub iterations: u64,
+    /// PE count.
+    pub pes: u64,
+    /// Link count.
+    pub links: u64,
+}
+
+impl HypercubeReport {
+    /// Time × processors.
+    pub fn work(&self) -> u64 {
+        self.rounds * self.pes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn for_pes_rounds_up_to_powers_of_two() {
+        assert_eq!(HypercubeCost::for_pes(1).d, 0);
+        assert_eq!(HypercubeCost::for_pes(2).d, 1);
+        assert_eq!(HypercubeCost::for_pes(3).d, 2);
+        assert_eq!(HypercubeCost::for_pes(4).d, 2);
+        assert_eq!(HypercubeCost::for_pes(5).d, 3);
+        assert_eq!(HypercubeCost::for_pes(1024).d, 10);
+        assert_eq!(HypercubeCost::for_pes(1025).d, 11);
+    }
+
+    #[test]
+    fn link_count_is_half_n_d() {
+        let c = HypercubeCost { d: 4 };
+        assert_eq!(c.pes(), 16);
+        assert_eq!(c.links(), 32);
+    }
+
+    #[test]
+    fn sort_is_batcher_round_count() {
+        assert_eq!(HypercubeCost { d: 1 }.sort(), 1);
+        assert_eq!(HypercubeCost { d: 4 }.sort(), 10);
+        assert_eq!(HypercubeCost { d: 10 }.sort(), 55);
+    }
+
+    #[test]
+    fn collectives_scale_polylogarithmically() {
+        // Doubling the PE count four times (d 10 -> 14) must grow every
+        // collective by far less than the 16x PE growth.
+        let small = HypercubeCost { d: 10 };
+        let big = HypercubeCost { d: 14 };
+        assert!(big.remote_read() < 2 * small.remote_read());
+        assert!(big.min_write() < 2 * small.min_write());
+        assert!(big.sweep() < 2 * small.sweep());
+    }
+}

@@ -1,0 +1,221 @@
+//! Shiloach–Vishkin-style component labeling, charged on the hypercube.
+//!
+//! One PE per pixel (vertex ids = column-major positions, so the final roots
+//! are exactly the paper's minimum-position labels). Each super-step is a
+//! constant number of data-parallel collectives; the data flow is computed
+//! directly while the round clock advances by the exact collective costs of
+//! [`HypercubeCost`] — the same analytic-execution style as the SLAP
+//! virtual-time executor.
+//!
+//! Per iteration:
+//!
+//! 1. **hook** — for every mesh edge `(u, v)` (both orientations): if
+//!    `f[u]` is a root and `f[v] < f[u]`, propose `f[f[u]] ← f[v]`;
+//!    concurrent proposals to one root combine by minimum (CRCW-min).
+//!    Collectives: three remote reads (`f[u]`, `f[v]`, `f[f[u]]`) and one
+//!    combining write.
+//! 2. **shortcut** — `f[v] ← f[f[v]]`: one remote read.
+//! 3. **convergence test** — an OR-reduce.
+//!
+//! Hooking is strictly decreasing and the minimum vertex of a component can
+//! never hook or move, so at convergence every component is one star rooted
+//! at its minimum column-major position — the oracle labeling, exactly.
+//!
+//! The iteration count is logarithmic-ish in practice (asserted loosely in
+//! tests and reported by experiment E15); Cypher–Sanz–Snyder's bespoke
+//! merging \[5\] is asymptotically tighter (`O(lg² n)` total) but the
+//! polylog-vs-`Ω(n)` resource comparison the paper's introduction makes is
+//! insensitive to the extra `lg` factor.
+
+use crate::cost::{HypercubeCost, HypercubeReport};
+use slap_image::{Bitmap, Connectivity, LabelGrid};
+
+/// [`sv_labels_conn`] under the paper's 4-connectivity.
+pub fn sv_labels(img: &Bitmap) -> (LabelGrid, HypercubeReport) {
+    sv_labels_conn(img, Connectivity::Four)
+}
+
+/// Labels the components of `img` with the hypercube S-V labeler. Returns
+/// the labeling (identical to the oracle's) and the round accounting.
+pub fn sv_labels_conn(img: &Bitmap, conn: Connectivity) -> (LabelGrid, HypercubeReport) {
+    let (rows, cols) = (img.rows(), img.cols());
+    let n_px = rows * cols;
+    let cube = HypercubeCost::for_pes(n_px);
+    let mut report = HypercubeReport {
+        d: cube.d,
+        rounds: 0,
+        iterations: 0,
+        pes: cube.pes(),
+        links: cube.links(),
+    };
+
+    // Vertex ids are column-major positions; background cells are unused.
+    let pos = |r: usize, c: usize| (c * rows + r) as u32;
+    let mut f: Vec<u32> = (0..n_px as u32).collect();
+
+    // Edge list, both orientations (each pixel PE owns its outgoing
+    // proposals, SIMD-style).
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    for c in 0..cols {
+        for r in 0..rows {
+            if !img.get(r, c) {
+                continue;
+            }
+            for (nr, nc) in conn.neighbors(r, c, rows, cols) {
+                if img.get(nr, nc) {
+                    edges.push((pos(r, c), pos(nr, nc)));
+                }
+            }
+        }
+    }
+
+    let iter_cap = 4 * cube.d as u64 + 16;
+    loop {
+        report.iterations += 1;
+        assert!(
+            report.iterations <= iter_cap,
+            "S-V failed to converge within {iter_cap} iterations"
+        );
+        let mut changed = false;
+
+        // Phase 1: hooking (synchronous reads from the snapshot, CRCW-min
+        // writes applied after).
+        report.rounds += 3 * cube.remote_read() + cube.min_write();
+        let snapshot = f.clone();
+        let mut proposal: Vec<u32> = snapshot.clone(); // proposal[root] = min hook target
+        for &(u, v) in &edges {
+            let fu = snapshot[u as usize];
+            let fv = snapshot[v as usize];
+            let fu_is_root = snapshot[fu as usize] == fu;
+            if fu_is_root && fv < fu {
+                let slot = &mut proposal[fu as usize];
+                if fv < *slot {
+                    *slot = fv;
+                }
+            }
+        }
+        for v in 0..n_px {
+            if proposal[v] != snapshot[v] {
+                f[v] = proposal[v];
+                changed = true;
+            }
+        }
+
+        // Phase 2: shortcut.
+        report.rounds += cube.remote_read();
+        let before = f.clone();
+        for v in 0..n_px {
+            let gp = before[before[v] as usize];
+            if gp != f[v] {
+                f[v] = gp;
+                changed = true;
+            }
+        }
+
+        // Phase 3: OR-reduce for convergence.
+        report.rounds += cube.sweep();
+        if !changed {
+            break;
+        }
+    }
+
+    let mut grid = LabelGrid::new_background(rows, cols);
+    for c in 0..cols {
+        for r in 0..rows {
+            if img.get(r, c) {
+                grid.set(r, c, f[pos(r, c) as usize]);
+            }
+        }
+    }
+    (grid, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slap_image::{bfs_labels_conn, gen};
+
+    #[test]
+    fn labels_match_oracle_on_all_generators() {
+        for name in gen::WORKLOADS {
+            let img = gen::by_name(name, 24, 7).unwrap();
+            for conn in [Connectivity::Four, Connectivity::Eight] {
+                let (labels, _) = sv_labels_conn(&img, conn);
+                assert_eq!(labels, bfs_labels_conn(&img, conn), "{name} {conn}");
+            }
+        }
+    }
+
+    #[test]
+    fn labels_are_min_positions_exactly() {
+        let img = Bitmap::from_art(
+            "###\n\
+             ..#\n\
+             ###\n",
+        );
+        let (labels, _) = sv_labels(&img);
+        for (r, c) in img.iter_ones_colmajor() {
+            assert_eq!(labels.get(r, c), 0);
+        }
+    }
+
+    #[test]
+    fn iteration_count_stays_logarithmic_ish() {
+        // The serpentine snake has diameter Θ(n²): label propagation would
+        // need Θ(n²) rounds, S-V must stay polylogarithmic.
+        let mut iters = Vec::new();
+        for n in [16usize, 32, 64] {
+            let img = gen::serpentine(n, n, 3);
+            let (labels, report) = sv_labels(&img);
+            assert_eq!(labels, bfs_labels_conn(&img, Connectivity::Four));
+            iters.push(report.iterations);
+        }
+        // d doubles across the sweep; iterations must grow additively
+        // (like lg n), not multiplicatively (like n).
+        assert!(
+            iters[2] <= iters[0] + 16,
+            "iterations grew too fast: {iters:?}"
+        );
+        assert!(iters[2] >= iters[0], "iterations should not shrink: {iters:?}");
+    }
+
+    #[test]
+    fn rounds_are_polylog_while_pixels_grow_quadratically() {
+        let r16 = sv_labels(&gen::serpentine(16, 16, 3)).1;
+        let r64 = sv_labels(&gen::serpentine(64, 64, 3)).1;
+        assert_eq!(r64.pes, 16 * r16.pes, "PE count must grow 16x");
+        assert!(
+            r64.rounds < 8 * r16.rounds,
+            "rounds grew near-linearly: {} -> {}",
+            r16.rounds,
+            r64.rounds
+        );
+    }
+
+    #[test]
+    fn empty_and_full_images_terminate() {
+        let empty = Bitmap::new(8, 8);
+        let (l, rep) = sv_labels(&empty);
+        assert_eq!(l.component_count(), 0);
+        assert!(rep.iterations >= 1);
+        let full = gen::full(8, 8);
+        let (l, _) = sv_labels(&full);
+        assert_eq!(l.component_count(), 1);
+        assert_eq!(l.get(7, 7), 0);
+    }
+
+    #[test]
+    fn single_pixel_image() {
+        let img = Bitmap::from_art("#");
+        let (l, rep) = sv_labels(&img);
+        assert_eq!(l.get(0, 0), 0);
+        assert_eq!(rep.pes, 1);
+    }
+
+    #[test]
+    fn report_work_multiplies_rounds_by_pes() {
+        let img = gen::uniform_random(16, 16, 0.5, 3);
+        let (_, rep) = sv_labels(&img);
+        assert_eq!(rep.work(), rep.rounds * rep.pes);
+    }
+}

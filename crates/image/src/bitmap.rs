@@ -1,0 +1,375 @@
+//! Bit-packed binary images and their column-major views.
+
+/// A rectangular binary image stored row-major, 64 pixels per word.
+///
+/// Rows and columns are numbered from 0, top-to-bottom and left-to-right,
+/// matching the paper's convention. A set bit is a foreground (`1`) pixel.
+///
+/// The *column-major position* of pixel `(row, col)` is
+/// `col * rows + row`; the paper uses these positions both as the initial
+/// pixel labels and as the final component labels (each component is labeled
+/// with the least position of its pixels).
+#[derive(Clone, PartialEq, Eq)]
+pub struct Bitmap {
+    rows: usize,
+    cols: usize,
+    words_per_row: usize,
+    bits: Vec<u64>,
+}
+
+impl Bitmap {
+    /// Creates an all-zero image with the given dimensions.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "image dimensions must be positive");
+        let words_per_row = cols.div_ceil(64);
+        Bitmap {
+            rows,
+            cols,
+            words_per_row,
+            bits: vec![0u64; rows * words_per_row],
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (= number of SLAP processing elements used).
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of pixels.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// `true` when the image contains zero pixels (never: dimensions are
+    /// positive), kept for API completeness.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    #[inline]
+    fn index(&self, row: usize, col: usize) -> (usize, u64) {
+        debug_assert!(row < self.rows && col < self.cols);
+        (row * self.words_per_row + col / 64, 1u64 << (col % 64))
+    }
+
+    /// Reads pixel `(row, col)`.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> bool {
+        let (w, m) = self.index(row, col);
+        self.bits[w] & m != 0
+    }
+
+    /// Writes pixel `(row, col)`.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, value: bool) {
+        let (w, m) = self.index(row, col);
+        if value {
+            self.bits[w] |= m;
+        } else {
+            self.bits[w] &= !m;
+        }
+    }
+
+    /// The column-major position `col * rows + row`, the paper's initial
+    /// label for pixel `(row, col)`.
+    #[inline]
+    pub fn position(&self, row: usize, col: usize) -> u32 {
+        (col * self.rows + row) as u32
+    }
+
+    /// Number of foreground pixels.
+    pub fn count_ones(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Fraction of foreground pixels.
+    pub fn density(&self) -> f64 {
+        self.count_ones() as f64 / self.len() as f64
+    }
+
+    /// Builds an image from ASCII art. `'1'` and `'#'` are foreground;
+    /// `'0'`, `'.'` and `' '` are background. Lines may be ragged; the image
+    /// width is the longest line and short lines are padded with background.
+    /// Empty lines (and leading/trailing blank lines) are ignored.
+    ///
+    /// # Panics
+    /// Panics on characters outside the set above or if no non-empty line
+    /// exists.
+    pub fn from_art(art: &str) -> Self {
+        let lines: Vec<&str> = art
+            .lines()
+            .map(str::trim_end)
+            .filter(|l| !l.trim().is_empty())
+            .collect();
+        assert!(!lines.is_empty(), "ASCII art image has no rows");
+        let cols = lines.iter().map(|l| l.chars().count()).max().unwrap();
+        let mut bm = Bitmap::new(lines.len(), cols);
+        for (r, line) in lines.iter().enumerate() {
+            for (c, ch) in line.chars().enumerate() {
+                match ch {
+                    '1' | '#' => bm.set(r, c, true),
+                    '0' | '.' | ' ' => {}
+                    other => panic!("unexpected character {other:?} in ASCII art"),
+                }
+            }
+        }
+        bm
+    }
+
+    /// Renders the image as ASCII art (`#` foreground, `.` background),
+    /// mainly for debugging and the examples.
+    pub fn to_art(&self) -> String {
+        let mut s = String::with_capacity(self.rows * (self.cols + 1));
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                s.push(if self.get(r, c) { '#' } else { '.' });
+            }
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Returns the horizontally mirrored image (column `c` becomes column
+    /// `cols-1-c`). The right-connected labeling pass is implemented as a
+    /// left-connected pass over the mirrored image.
+    pub fn flip_horizontal(&self) -> Bitmap {
+        let mut out = Bitmap::new(self.rows, self.cols);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                if self.get(r, c) {
+                    out.set(r, self.cols - 1 - c, true);
+                }
+            }
+        }
+        out
+    }
+
+    /// Returns the transposed image.
+    pub fn transpose(&self) -> Bitmap {
+        let mut out = Bitmap::new(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                if self.get(r, c) {
+                    out.set(c, r, true);
+                }
+            }
+        }
+        out
+    }
+
+    /// Returns the complement image (foreground and background swapped).
+    pub fn invert(&self) -> Bitmap {
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            for c in 0..out.cols {
+                out.set(r, c, !self.get(r, c));
+            }
+        }
+        out
+    }
+
+    /// Extracts the column-major packed view used by the SLAP simulator
+    /// (PE `i` holds column `i`).
+    pub fn columns(&self) -> Columns {
+        let words_per_col = self.rows.div_ceil(64);
+        let mut bits = vec![0u64; self.cols * words_per_col];
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                if self.get(r, c) {
+                    bits[c * words_per_col + r / 64] |= 1u64 << (r % 64);
+                }
+            }
+        }
+        Columns {
+            rows: self.rows,
+            cols: self.cols,
+            words_per_col,
+            bits,
+        }
+    }
+
+    /// Iterates over all foreground pixel coordinates in column-major order
+    /// (the order of the paper's initial labeling).
+    pub fn iter_ones_colmajor(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        (0..self.cols)
+            .flat_map(move |c| (0..self.rows).map(move |r| (r, c)))
+            .filter(move |&(r, c)| self.get(r, c))
+    }
+}
+
+impl std::fmt::Debug for Bitmap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Bitmap({}x{})", self.rows, self.cols)?;
+        if self.rows <= 64 && self.cols <= 64 {
+            write!(f, "{}", self.to_art())
+        } else {
+            writeln!(f, "<{} ones>", self.count_ones())
+        }
+    }
+}
+
+/// Column-major packed view of a [`Bitmap`]: what each SLAP PE holds locally
+/// after the row-by-row input phase.
+#[derive(Clone, Debug)]
+pub struct Columns {
+    rows: usize,
+    cols: usize,
+    words_per_col: usize,
+    bits: Vec<u64>,
+}
+
+impl Columns {
+    /// Number of rows per column.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Reads pixel `(row, col)`.
+    #[inline]
+    pub fn get(&self, col: usize, row: usize) -> bool {
+        debug_assert!(row < self.rows && col < self.cols);
+        self.bits[col * self.words_per_col + row / 64] & (1u64 << (row % 64)) != 0
+    }
+
+    /// The packed words of one column (bit `r % 64` of word `r / 64` is row
+    /// `r`). Used when a PE program wants to scan runs word-at-a-time.
+    #[inline]
+    pub fn column_words(&self, col: usize) -> &[u64] {
+        &self.bits[col * self.words_per_col..(col + 1) * self.words_per_col]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_all_zero() {
+        let bm = Bitmap::new(5, 7);
+        assert_eq!(bm.rows(), 5);
+        assert_eq!(bm.cols(), 7);
+        assert_eq!(bm.count_ones(), 0);
+        for r in 0..5 {
+            for c in 0..7 {
+                assert!(!bm.get(r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut bm = Bitmap::new(3, 130); // crosses word boundaries
+        bm.set(0, 0, true);
+        bm.set(2, 129, true);
+        bm.set(1, 64, true);
+        assert!(bm.get(0, 0));
+        assert!(bm.get(2, 129));
+        assert!(bm.get(1, 64));
+        assert_eq!(bm.count_ones(), 3);
+        bm.set(1, 64, false);
+        assert!(!bm.get(1, 64));
+        assert_eq!(bm.count_ones(), 2);
+    }
+
+    #[test]
+    fn art_roundtrip() {
+        let art = "##.\n.#.\n..#\n";
+        let bm = Bitmap::from_art(art);
+        assert_eq!(bm.rows(), 3);
+        assert_eq!(bm.cols(), 3);
+        assert_eq!(bm.to_art(), "##.\n.#.\n..#\n");
+    }
+
+    #[test]
+    fn art_accepts_zero_one_and_pads_ragged_lines() {
+        let bm = Bitmap::from_art("101\n1\n");
+        assert_eq!(bm.cols(), 3);
+        assert!(bm.get(0, 0) && !bm.get(0, 1) && bm.get(0, 2));
+        assert!(bm.get(1, 0) && !bm.get(1, 1) && !bm.get(1, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "unexpected character")]
+    fn art_rejects_garbage() {
+        Bitmap::from_art("1x\n");
+    }
+
+    #[test]
+    fn flip_horizontal_mirrors_columns() {
+        let bm = Bitmap::from_art("#..\n.#.\n");
+        let f = bm.flip_horizontal();
+        assert!(f.get(0, 2));
+        assert!(f.get(1, 1));
+        assert_eq!(f.count_ones(), 2);
+        assert_eq!(f.flip_horizontal(), bm);
+    }
+
+    #[test]
+    fn transpose_swaps_axes() {
+        let bm = Bitmap::from_art("#.#\n...\n");
+        let t = bm.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.cols(), 2);
+        assert!(t.get(0, 0));
+        assert!(t.get(2, 0));
+        assert_eq!(t.transpose(), bm);
+    }
+
+    #[test]
+    fn invert_flips_every_pixel() {
+        let bm = Bitmap::from_art("#.\n.#\n");
+        let inv = bm.invert();
+        assert_eq!(inv.count_ones(), 2);
+        assert!(inv.get(0, 1) && inv.get(1, 0));
+    }
+
+    #[test]
+    fn columns_view_matches_bitmap() {
+        let mut bm = Bitmap::new(70, 5); // rows cross a word boundary
+        bm.set(0, 0, true);
+        bm.set(69, 4, true);
+        bm.set(64, 2, true);
+        let cols = bm.columns();
+        for c in 0..5 {
+            for r in 0..70 {
+                assert_eq!(cols.get(c, r), bm.get(r, c), "mismatch at ({r},{c})");
+            }
+        }
+        assert_eq!(cols.column_words(0)[0] & 1, 1);
+    }
+
+    #[test]
+    fn positions_are_column_major() {
+        let bm = Bitmap::new(4, 4);
+        assert_eq!(bm.position(0, 0), 0);
+        assert_eq!(bm.position(3, 0), 3);
+        assert_eq!(bm.position(0, 1), 4);
+        assert_eq!(bm.position(2, 3), 14);
+    }
+
+    #[test]
+    fn iter_ones_colmajor_order() {
+        let bm = Bitmap::from_art("#.#\n##.\n");
+        let got: Vec<_> = bm.iter_ones_colmajor().collect();
+        assert_eq!(got, vec![(0, 0), (1, 0), (1, 1), (0, 2)]);
+    }
+}

@@ -1,0 +1,650 @@
+//! Deterministic workload generators.
+//!
+//! The paper argues about three regimes:
+//!
+//! * **benign / typical** images, where the pipelined union–find pass should
+//!   run in near-linear time (random densities, blobs, stripes, mazes);
+//! * **adversarial** images that make left-component labeling hard —
+//!   Figure 3(a) (many components in the left prefix that merge far to the
+//!   right, [`fig3a_nested_brackets`]) and Figure 3(b) (a comb pattern whose
+//!   labels zigzag top-to-bottom, [`double_comb`]), plus a tournament-bracket
+//!   family ([`tournament`]) that drives weighted union–find to its
+//!   logarithmic depth bound;
+//! * the **Theorem 5 family** ([`even_rows`]) used by the Ω(n lg n) lower
+//!   bound for the 1-bit-link SLAP: only even rows contain 1s and each such
+//!   row is a run ending at the right edge, so the rightmost processor must
+//!   learn one of `n` possible start columns per row.
+//!
+//! Every generator is deterministic: random ones take an explicit seed.
+
+use crate::bitmap::Bitmap;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Uniform random image: each pixel is foreground independently with
+/// probability `density`.
+pub fn uniform_random(rows: usize, cols: usize, density: f64, seed: u64) -> Bitmap {
+    assert!((0.0..=1.0).contains(&density), "density must be in [0,1]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut bm = Bitmap::new(rows, cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if rng.gen_bool(density) {
+                bm.set(r, c, true);
+            }
+        }
+    }
+    bm
+}
+
+/// Figure 3(a)-style image: nested bracket shapes.
+///
+/// Pairs of horizontal bars (rows `2k` and `rows-1-2k`) run between columns
+/// `2k` and `cols-1-2k`, with a vertical segment joining each pair at one
+/// end. With `close_left = true` (the `[` orientation, the registry default)
+/// each pair is already one component in the leftmost column of its span, so
+/// the union is *relevant* to every following column and the left-connected
+/// pass must pipeline a cascade of relevant-union pairs across the whole
+/// width — the "complicated organization of information about connections
+/// between components that occur in columns to the left" of the paper's §2.
+/// With `close_left = false` (`]`) the same cascade hits the mirrored
+/// right-connected pass instead.
+pub fn nested_brackets(rows: usize, cols: usize, close_left: bool) -> Bitmap {
+    let mut bm = Bitmap::new(rows, cols);
+    let depth = (rows.div_ceil(2)).min(cols.div_ceil(2)) / 2;
+    for k in 0..depth {
+        let top = 2 * k;
+        let bot = rows - 1 - 2 * k;
+        if top >= bot {
+            break;
+        }
+        let left = 2 * k;
+        let right = cols - 1 - 2 * k;
+        if left >= right {
+            break;
+        }
+        for c in left..=right {
+            bm.set(top, c, true);
+            bm.set(bot, c, true);
+        }
+        let join = if close_left { left } else { right };
+        for r in top..=bot {
+            bm.set(r, join, true);
+        }
+    }
+    bm
+}
+
+/// [`nested_brackets`] in the `[` orientation (the Figure 3(a) registry
+/// entry).
+pub fn fig3a_nested_brackets(rows: usize, cols: usize) -> Bitmap {
+    nested_brackets(rows, cols, true)
+}
+
+/// Figure 3(b)-style image: two interleaved combs.
+///
+/// Comb A has its spine on the top row with teeth descending almost to the
+/// bottom; comb B has its spine on the bottom row with teeth ascending almost
+/// to the top, offset by `pitch` columns. Exactly two components (for images
+/// wide enough to hold one tooth of each), but a label entering from the left
+/// must repeatedly travel the full column height — the pattern the paper says
+/// "would cause excessive delay for a naive approach of passing labels to the
+/// right in a top to bottom fashion".
+pub fn double_comb(rows: usize, cols: usize, pitch: usize) -> Bitmap {
+    assert!(pitch >= 1, "pitch must be at least 1");
+    assert!(rows >= 3, "double_comb needs at least 3 rows");
+    let mut bm = Bitmap::new(rows, cols);
+    for c in 0..cols {
+        bm.set(0, c, true);
+        bm.set(rows - 1, c, true);
+    }
+    for c in (0..cols).step_by(2 * pitch) {
+        for r in 0..rows - 2 {
+            bm.set(r, c, true);
+        }
+    }
+    for c in (pitch..cols).step_by(2 * pitch) {
+        for r in 2..rows {
+            bm.set(r, c, true);
+        }
+    }
+    bm
+}
+
+/// Theorem 5 family: only even rows contain pixels; even row `2i` holds a run
+/// of 1s from column `starts[i]` through the last column. `starts[i]` may be
+/// `cols` to leave the row empty.
+///
+/// The labeling of the rightmost column reveals every start column, which is
+/// the counting argument behind the Ω(n lg n) bound for 1-bit links.
+pub fn even_rows(rows: usize, cols: usize, starts: &[usize]) -> Bitmap {
+    assert_eq!(
+        starts.len(),
+        rows.div_ceil(2),
+        "need one start per even row"
+    );
+    let mut bm = Bitmap::new(rows, cols);
+    for (i, &s) in starts.iter().enumerate() {
+        let r = 2 * i;
+        for c in s..cols {
+            bm.set(r, c, true);
+        }
+    }
+    bm
+}
+
+/// Random instance of the Theorem 5 family ([`even_rows`] with uniform random
+/// start columns).
+pub fn even_rows_random(rows: usize, cols: usize, seed: u64) -> Bitmap {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let starts: Vec<usize> = (0..rows.div_ceil(2))
+        .map(|_| rng.gen_range(0..cols))
+        .collect();
+    even_rows(rows, cols, &starts)
+}
+
+/// Tournament bracket: horizontal lines on even rows merge pairwise in a
+/// perfect binary schedule as columns advance, so weighted union repeatedly
+/// unions equal-sized sets — the worst case that drives Tarjan-style
+/// union–find trees to Θ(lg n) depth (paper §3's concern).
+///
+/// Lines live on rows `0, 2, 4, …`; merge level `k` (1-based) joins block
+/// leaders with a vertical connector at column `k * gap`. `gap >= 2` keeps
+/// connectors from touching each other.
+pub fn tournament(rows: usize, cols: usize, gap: usize) -> Bitmap {
+    assert!(gap >= 2, "gap must be at least 2");
+    let mut bm = Bitmap::new(rows, cols);
+    let lines = rows.div_ceil(2);
+    for i in 0..lines {
+        for c in 0..cols {
+            bm.set(2 * i, c, true);
+        }
+    }
+    let mut level = 1usize;
+    while (1usize << level) <= lines {
+        let c = level * gap;
+        if c >= cols {
+            break;
+        }
+        let span = 1usize << level;
+        let half = span >> 1;
+        let mut leader = 0usize;
+        while leader + half < lines {
+            let top_row = 2 * leader;
+            let bot_row = 2 * (leader + half);
+            for r in top_row..=bot_row {
+                bm.set(r, c, true);
+            }
+            leader += span;
+        }
+        level += 1;
+    }
+    bm
+}
+
+/// A single rectangular spiral with `gap` rows/columns between successive
+/// arms. One component whose internal path length is Θ(n²/gap) — the
+/// worst case for naive label propagation (its geodesic is nearly the whole
+/// image).
+pub fn spiral(rows: usize, cols: usize, gap: usize) -> Bitmap {
+    assert!(gap >= 2, "gap must be at least 2");
+    let mut bm = Bitmap::new(rows, cols);
+    let (mut top, mut bot, mut left, mut right) = (0isize, rows as isize - 1, 0isize, cols as isize - 1);
+    let mut first = true;
+    while top <= bot && left <= right {
+        for c in left..=right {
+            bm.set(top as usize, c as usize, true);
+        }
+        if !first {
+            // connect inward from the previous ring's left side
+            for r in (top - gap as isize).max(0)..=top {
+                bm.set(r as usize, left as usize, true);
+            }
+        }
+        first = false;
+        for r in top..=bot {
+            bm.set(r as usize, right as usize, true);
+        }
+        for c in left..=right {
+            bm.set(bot as usize, c as usize, true);
+        }
+        for r in (top + gap as isize).min(bot)..=bot {
+            bm.set(r as usize, left as usize, true);
+        }
+        top += gap as isize;
+        bot -= gap as isize;
+        left += gap as isize;
+        right -= gap as isize;
+        // break the next ring open so the spiral stays one component
+        if top <= bot && left <= right {
+            for c in left..(left + gap as isize).min(right) {
+                bm.set(top as usize, c as usize, false);
+            }
+        }
+    }
+    bm
+}
+
+/// Horizontal stripes: rows `r` with `r % period < thickness` are foreground.
+pub fn stripes_horizontal(rows: usize, cols: usize, period: usize, thickness: usize) -> Bitmap {
+    assert!(period > 0 && thickness > 0 && thickness < period);
+    let mut bm = Bitmap::new(rows, cols);
+    for r in 0..rows {
+        if r % period < thickness {
+            for c in 0..cols {
+                bm.set(r, c, true);
+            }
+        }
+    }
+    bm
+}
+
+/// Vertical stripes: columns `c` with `c % period < thickness` are foreground.
+pub fn stripes_vertical(rows: usize, cols: usize, period: usize, thickness: usize) -> Bitmap {
+    stripes_horizontal(cols, rows, period, thickness).transpose()
+}
+
+/// Checkerboard of isolated pixels: the maximum possible number of
+/// components (`⌈rows/2⌉ * ⌈cols/2⌉` on the even lattice).
+pub fn checkerboard(rows: usize, cols: usize) -> Bitmap {
+    let mut bm = Bitmap::new(rows, cols);
+    for r in (0..rows).step_by(2) {
+        for c in (0..cols).step_by(2) {
+            bm.set(r, c, true);
+        }
+    }
+    bm
+}
+
+/// Random filled discs ("particles"), the kind of blob field the SLAP's
+/// image-analysis motivation targets.
+pub fn blobs(rows: usize, cols: usize, count: usize, max_radius: usize, seed: u64) -> Bitmap {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut bm = Bitmap::new(rows, cols);
+    for _ in 0..count {
+        let cr = rng.gen_range(0..rows) as isize;
+        let cc = rng.gen_range(0..cols) as isize;
+        let rad = rng.gen_range(1..=max_radius.max(1)) as isize;
+        for dr in -rad..=rad {
+            for dc in -rad..=rad {
+                if dr * dr + dc * dc <= rad * rad {
+                    let (r, c) = (cr + dr, cc + dc);
+                    if r >= 0 && c >= 0 && (r as usize) < rows && (c as usize) < cols {
+                        bm.set(r as usize, c as usize, true);
+                    }
+                }
+            }
+        }
+    }
+    bm
+}
+
+/// A perfect maze: one tree-shaped component carved by randomized
+/// depth-first search on the `⌈rows/2⌉ × ⌈cols/2⌉` cell lattice. High turn
+/// density with exactly one component and no cycles.
+pub fn maze(rows: usize, cols: usize, seed: u64) -> Bitmap {
+    let cr = rows.div_ceil(2);
+    let cc = cols.div_ceil(2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut bm = Bitmap::new(rows, cols);
+    let mut visited = vec![false; cr * cc];
+    let mut stack = vec![0usize];
+    visited[0] = true;
+    bm.set(0, 0, true);
+    while let Some(&cell) = stack.last() {
+        let (r, c) = (cell / cc, cell % cc);
+        let mut nbrs: Vec<(usize, usize)> = Vec::with_capacity(4);
+        if r > 0 && !visited[(r - 1) * cc + c] {
+            nbrs.push((r - 1, c));
+        }
+        if r + 1 < cr && !visited[(r + 1) * cc + c] {
+            nbrs.push((r + 1, c));
+        }
+        if c > 0 && !visited[r * cc + c - 1] {
+            nbrs.push((r, c - 1));
+        }
+        if c + 1 < cc && !visited[r * cc + c + 1] {
+            nbrs.push((r, c + 1));
+        }
+        if nbrs.is_empty() {
+            stack.pop();
+            continue;
+        }
+        let (nr, nc) = nbrs[rng.gen_range(0..nbrs.len())];
+        visited[nr * cc + nc] = true;
+        // carve the wall between (r,c) and (nr,nc) in pixel space
+        let (pr, pc) = (2 * r, 2 * c);
+        let (qr, qc) = (2 * nr, 2 * nc);
+        bm.set(qr, qc, true);
+        bm.set((pr + qr) / 2, (pc + qc) / 2, true);
+        stack.push(nr * cc + nc);
+    }
+    bm
+}
+
+/// Single-pixel anti-diagonal lines repeated every `spacing` rows/columns:
+/// every foreground pixel touches its neighbors only diagonally, so under
+/// 4-connectivity the image is all singletons while under 8-connectivity
+/// each anti-diagonal is one long component — the sharpest 4-vs-8 contrast.
+pub fn antidiag(rows: usize, cols: usize, spacing: usize) -> Bitmap {
+    assert!(spacing >= 2, "spacing must be at least 2 to keep diagonals apart");
+    let mut bm = Bitmap::new(rows, cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if (r + c) % spacing == 0 {
+                bm.set(r, c, true);
+            }
+        }
+    }
+    bm
+}
+
+/// Diagonal staircases: 4-connected two-pixel steps descending to the right,
+/// repeated every `spacing` rows. Components cross many columns while keeping
+/// per-column runs short (each column sees 2-pixel fragments of many
+/// different components).
+pub fn staircase(rows: usize, cols: usize, spacing: usize) -> Bitmap {
+    assert!(spacing >= 3, "spacing must be at least 3 to keep stairs apart");
+    let mut bm = Bitmap::new(rows, cols);
+    for start in (0..rows).step_by(spacing) {
+        for c in 0..cols {
+            let r = start + c / 2;
+            if r >= rows {
+                break;
+            }
+            bm.set(r, c, true);
+            if c + 1 < cols {
+                bm.set(r, c + 1, true);
+            }
+        }
+    }
+    bm
+}
+
+/// Serpentine (boustrophedon): full horizontal rows every `spacing` rows,
+/// joined alternately at the right and left edges, forming one snake-shaped
+/// component. Any algorithm whose information travels at one *column* per
+/// round — like the naive SLAP min-propagation baseline, where vertical
+/// moves inside a PE are free but horizontal moves cost a round — needs
+/// Θ(n²/spacing) rounds here, because the snake's geodesic crosses the full
+/// width once per row segment.
+pub fn serpentine(rows: usize, cols: usize, spacing: usize) -> Bitmap {
+    assert!(spacing >= 2, "spacing must be at least 2");
+    let mut bm = Bitmap::new(rows, cols);
+    let mut r = 0usize;
+    let mut seg = 0usize;
+    while r < rows {
+        for c in 0..cols {
+            bm.set(r, c, true);
+        }
+        // connect to the next segment on alternating sides
+        if r + spacing < rows {
+            let c = if seg.is_multiple_of(2) { cols - 1 } else { 0 };
+            for rr in r..=(r + spacing) {
+                bm.set(rr, c, true);
+            }
+        }
+        r += spacing;
+        seg += 1;
+    }
+    bm
+}
+
+/// Fan: every other row of the first column is a 1, and the second column is
+/// all 1s, merging them instantly. Maximizes the number of label messages a
+/// single set forwards in the label pass.
+pub fn fan(rows: usize, cols: usize) -> Bitmap {
+    assert!(cols >= 2);
+    let mut bm = Bitmap::new(rows, cols);
+    for r in (0..rows).step_by(2) {
+        bm.set(r, 0, true);
+    }
+    for r in 0..rows {
+        bm.set(r, 1, true);
+    }
+    // extend a spine to the right so labels keep flowing
+    for c in 2..cols {
+        bm.set(rows / 2, c, true);
+    }
+    bm
+}
+
+/// Fully foreground image.
+pub fn full(rows: usize, cols: usize) -> Bitmap {
+    let mut bm = Bitmap::new(rows, cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            bm.set(r, c, true);
+        }
+    }
+    bm
+}
+
+/// Named workload registry used by the experiments binary, benches and
+/// examples. `n` is the image side; random families consume `seed`.
+pub fn by_name(name: &str, n: usize, seed: u64) -> Option<Bitmap> {
+    let bm = match name {
+        "empty" => Bitmap::new(n, n),
+        "full" => full(n, n),
+        "random05" => uniform_random(n, n, 0.05, seed),
+        "random25" => uniform_random(n, n, 0.25, seed),
+        "random50" => uniform_random(n, n, 0.50, seed),
+        "random65" => uniform_random(n, n, 0.65, seed),
+        "random90" => uniform_random(n, n, 0.90, seed),
+        "fig3a" => fig3a_nested_brackets(n, n),
+        "comb" => double_comb(n, n, 2),
+        "comb4" => double_comb(n, n, 4),
+        "evenrows" => even_rows_random(n, n, seed),
+        "tournament" => tournament(n, n, 2),
+        "spiral" => spiral(n, n, 3),
+        "serpentine" => serpentine(n, n, 3),
+        "hstripes" => stripes_horizontal(n, n, 4, 2),
+        "vstripes" => stripes_vertical(n, n, 4, 2),
+        "checker" => checkerboard(n, n),
+        "blobs" => blobs(n, n, n / 4 + 1, (n / 16).max(2), seed),
+        "maze" => maze(n, n, seed),
+        "staircase" => staircase(n, n, 4),
+        "antidiag" => antidiag(n, n, 3),
+        "fan" => fan(n, n),
+        _ => return None,
+    };
+    Some(bm)
+}
+
+/// All workload names accepted by [`by_name`], in a stable order.
+pub const WORKLOADS: &[&str] = &[
+    "empty",
+    "full",
+    "random05",
+    "random25",
+    "random50",
+    "random65",
+    "random90",
+    "fig3a",
+    "comb",
+    "comb4",
+    "evenrows",
+    "tournament",
+    "spiral",
+    "serpentine",
+    "hstripes",
+    "vstripes",
+    "checker",
+    "blobs",
+    "maze",
+    "staircase",
+    "antidiag",
+    "fan",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connectivity::Connectivity;
+    use crate::oracle::{bfs_labels, bfs_labels_conn, component_count};
+
+    #[test]
+    fn antidiag_is_singletons_under_four_and_lines_under_eight() {
+        let bm = antidiag(24, 24, 3);
+        assert_eq!(component_count(&bm), bm.count_ones());
+        let eight = bfs_labels_conn(&bm, Connectivity::Eight);
+        // Each anti-diagonal r+c ≡ 0 (mod 3) is one 8-component; count them.
+        let expected = (0..(24 + 24 - 1)).filter(|s| s % 3 == 0).count();
+        assert_eq!(eight.component_count(), expected);
+    }
+
+    #[test]
+    fn uniform_random_is_deterministic_and_respects_density() {
+        let a = uniform_random(64, 64, 0.5, 42);
+        let b = uniform_random(64, 64, 0.5, 42);
+        assert_eq!(a, b);
+        let c = uniform_random(64, 64, 0.5, 43);
+        assert_ne!(a, c);
+        let d = a.density();
+        assert!((0.4..0.6).contains(&d), "density {d} far from 0.5");
+        assert_eq!(uniform_random(32, 32, 0.0, 1).count_ones(), 0);
+        assert_eq!(uniform_random(32, 32, 1.0, 1).count_ones(), 32 * 32);
+    }
+
+    #[test]
+    fn brackets_merge_only_at_the_closed_side() {
+        let bm = nested_brackets(16, 16, false); // `]` closes right
+        let whole = component_count(&bm);
+        assert!(whole >= 2, "expected nested brackets, got {whole}");
+        // left half: each bracket contributes two separate bars
+        let mut left = Bitmap::new(16, 8);
+        for r in 0..16 {
+            for c in 0..8 {
+                left.set(r, c, bm.get(r, c));
+            }
+        }
+        assert!(component_count(&left) > whole);
+        // `[` orientation is the mirror image
+        assert_eq!(
+            nested_brackets(16, 16, true),
+            nested_brackets(16, 16, false).flip_horizontal()
+        );
+    }
+
+    #[test]
+    fn fig3a_right_half_has_separate_bars() {
+        let bm = fig3a_nested_brackets(16, 16); // `[` closes left
+        let whole = component_count(&bm);
+        let mut right = Bitmap::new(16, 8);
+        for r in 0..16 {
+            for c in 0..8 {
+                right.set(r, c, bm.get(r, c + 8));
+            }
+        }
+        assert!(component_count(&right) > whole);
+    }
+
+    #[test]
+    fn double_comb_has_two_components() {
+        let bm = double_comb(16, 32, 2);
+        assert_eq!(component_count(&bm), 2);
+    }
+
+    #[test]
+    fn double_comb_teeth_do_not_touch_opposite_spine() {
+        let bm = double_comb(8, 16, 2);
+        let l = bfs_labels(&bm);
+        assert_ne!(l.get(0, 0), l.get(bm.rows() - 1, 0));
+    }
+
+    #[test]
+    fn even_rows_runs_end_at_right_edge() {
+        let bm = even_rows(6, 8, &[3, 0, 8]);
+        assert!(bm.get(0, 3) && bm.get(0, 7) && !bm.get(0, 2));
+        assert!(bm.get(2, 0) && bm.get(2, 7));
+        assert_eq!((0..8).filter(|&c| bm.get(4, c)).count(), 0);
+        for c in 0..8 {
+            assert!(!bm.get(1, c) && !bm.get(3, c) && !bm.get(5, c));
+        }
+    }
+
+    #[test]
+    fn even_rows_components_are_rows() {
+        let bm = even_rows_random(32, 32, 7);
+        let nonempty = (0..16)
+            .filter(|&i| (0..32).any(|c| bm.get(2 * i, c)))
+            .count();
+        assert_eq!(component_count(&bm), nonempty);
+    }
+
+    #[test]
+    fn tournament_ends_as_single_component_when_wide_enough() {
+        // 16 lines need 4 merge levels at gap 2 -> max column 8 < 64.
+        let bm = tournament(32, 64, 2);
+        assert_eq!(component_count(&bm), 1);
+    }
+
+    #[test]
+    fn tournament_left_prefix_has_many_components() {
+        let bm = tournament(32, 64, 2);
+        let mut prefix = Bitmap::new(32, 2);
+        for r in 0..32 {
+            for c in 0..2 {
+                prefix.set(r, c, bm.get(r, c));
+            }
+        }
+        assert_eq!(component_count(&prefix), 16);
+    }
+
+    #[test]
+    fn spiral_is_one_component() {
+        for n in [8, 16, 31, 32] {
+            let bm = spiral(n, n, 3);
+            assert_eq!(component_count(&bm), 1, "spiral {n} not connected");
+        }
+    }
+
+    #[test]
+    fn checkerboard_maximizes_components() {
+        let bm = checkerboard(8, 8);
+        assert_eq!(component_count(&bm), 16);
+    }
+
+    #[test]
+    fn maze_is_one_component_spanning_all_cells() {
+        let bm = maze(33, 33, 3);
+        assert_eq!(component_count(&bm), 1);
+        // all cell positions carved
+        for r in (0..33).step_by(2) {
+            for c in (0..33).step_by(2) {
+                assert!(bm.get(r, c), "cell ({r},{c}) not carved");
+            }
+        }
+    }
+
+    #[test]
+    fn staircase_components_do_not_touch() {
+        let bm = staircase(32, 32, 4);
+        let l = bfs_labels(&bm);
+        assert!(l.component_count() >= 2);
+    }
+
+    #[test]
+    fn fan_is_one_component() {
+        let bm = fan(16, 16);
+        assert_eq!(component_count(&bm), 1);
+    }
+
+    #[test]
+    fn serpentine_is_one_component() {
+        for n in [8, 16, 31] {
+            let bm = serpentine(n, n, 3);
+            assert_eq!(component_count(&bm), 1, "serpentine {n}");
+        }
+    }
+
+    #[test]
+    fn registry_covers_all_names() {
+        for name in WORKLOADS {
+            let bm = by_name(name, 16, 1).unwrap_or_else(|| panic!("missing {name}"));
+            assert_eq!(bm.rows(), 16);
+            assert_eq!(bm.cols(), 16);
+        }
+        assert!(by_name("nope", 16, 1).is_none());
+    }
+}

@@ -1,0 +1,37 @@
+//! Binary images, workload generators, and labeling oracles for the
+//! reproduction of Greenberg, *Finding Connected Components on a Scan Line
+//! Array Processor* (SPAA 1995).
+//!
+//! The paper labels the connected components of an `n × n` binary image
+//! (4-connectivity: two 1-pixels are connected when a path of horizontally or
+//! vertically adjacent 1-pixels joins them). This crate provides:
+//!
+//! * [`Bitmap`] — a bit-packed binary image (rectangular `rows × cols`; the
+//!   paper's square `n × n` is the common case) plus [`Columns`], the
+//!   column-major view a SLAP processing element works from.
+//! * [`LabelGrid`] — per-pixel component labels with the paper's convention:
+//!   the label of a component is the minimum *column-major position*
+//!   (`col * rows + row`) over its pixels; background pixels carry
+//!   [`LabelGrid::BACKGROUND`].
+//! * [`oracle`] — a sequential flood-fill reference labeler used as ground
+//!   truth by every test and experiment.
+//! * [`gen`] — deterministic workload generators covering the benign, typical
+//!   and adversarial image families the paper reasons about (including the
+//!   Figure 3(a)/(b) patterns and the Theorem 5 even-rows family).
+//! * [`pbm`] — plain/raw PBM (P1/P4) input and output so workloads can be
+//!   exchanged with external tools.
+
+#![warn(missing_docs)]
+
+pub mod bitmap;
+pub mod connectivity;
+pub mod gen;
+pub mod labels;
+pub mod morph;
+pub mod oracle;
+pub mod pbm;
+
+pub use bitmap::{Bitmap, Columns};
+pub use connectivity::Connectivity;
+pub use labels::{ComponentInfo, LabelGrid};
+pub use oracle::{bfs_labels, bfs_labels_conn};

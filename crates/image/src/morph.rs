@@ -1,0 +1,260 @@
+//! Binary morphology: the low-level stage ahead of component labeling.
+//!
+//! The paper's introduction situates the SLAP in a pipeline: *"For some
+//! low-level image processing tasks, such as median filtering with a small
+//! window size or convolution of an image with a small kernel, only a
+//! constant amount of memory per processor is required"* — labeling is the
+//! *intermediate*-level stage that follows such filters. This module
+//! provides the standard binary versions of those local operators (erosion,
+//! dilation, opening, closing, and the 3×3 median/majority filter), each a
+//! constant-memory window scan that a SLAP PE evaluates in `O(rows)` steps
+//! per column with only neighbor-column reads — the constant-memory regime
+//! the quoted sentence describes.
+//!
+//! Foreground grows under dilation and shrinks under erosion; opening
+//! (erode, then dilate) removes speckle smaller than the structuring
+//! element, closing (dilate, then erode) fills pinholes. The
+//! `defect_inspection` example uses an opening to denoise before labeling.
+
+use crate::bitmap::Bitmap;
+use crate::connectivity::Connectivity;
+
+/// Erosion with the default border convention (outside counts as
+/// *background*, so foreground touching the image edge is peeled — the
+/// scipy-style default that makes [`open`] a speckle filter everywhere).
+pub fn erode(img: &Bitmap, conn: Connectivity) -> Bitmap {
+    erode_with(img, conn, false)
+}
+
+/// Erosion: a pixel survives iff it is foreground and every neighbor under
+/// `conn` is foreground, with out-of-image neighbors counting as
+/// `outside_foreground`. Padding with foreground (`true`) treats the image
+/// edge as a continuation rather than an object boundary; [`close`] uses it
+/// so that closing never removes original pixels.
+pub fn erode_with(img: &Bitmap, conn: Connectivity, outside_foreground: bool) -> Bitmap {
+    let (rows, cols) = (img.rows(), img.cols());
+    let mut out = Bitmap::new(rows, cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if !img.get(r, c) {
+                continue;
+            }
+            let offsets = conn.offsets();
+            let full = offsets.iter().all(|&(dr, dc)| {
+                match (r.checked_add_signed(dr), c.checked_add_signed(dc)) {
+                    (Some(nr), Some(nc)) if nr < rows && nc < cols => img.get(nr, nc),
+                    _ => outside_foreground,
+                }
+            });
+            if full {
+                out.set(r, c, true);
+            }
+        }
+    }
+    out
+}
+
+/// Dilation: a pixel becomes foreground iff it or any neighbor under `conn`
+/// is foreground.
+pub fn dilate(img: &Bitmap, conn: Connectivity) -> Bitmap {
+    let (rows, cols) = (img.rows(), img.cols());
+    let mut out = img.clone();
+    for r in 0..rows {
+        for c in 0..cols {
+            if !img.get(r, c) {
+                continue;
+            }
+            for (nr, nc) in conn.neighbors(r, c, rows, cols) {
+                out.set(nr, nc, true);
+            }
+        }
+    }
+    out
+}
+
+/// Opening: erosion followed by dilation — removes foreground speckle
+/// smaller than the structuring element while approximately preserving
+/// larger shapes.
+pub fn open(img: &Bitmap, conn: Connectivity) -> Bitmap {
+    dilate(&erode(img, conn), conn)
+}
+
+/// Closing: dilation followed by erosion — fills background pinholes and
+/// hairline cracks smaller than the structuring element. The erosion pads
+/// with foreground, which makes closing *extensive*: every original pixel
+/// survives (tested).
+pub fn close(img: &Bitmap, conn: Connectivity) -> Bitmap {
+    erode_with(&dilate(img, conn), conn, true)
+}
+
+/// 3×3 median (= majority) filter, the paper's named example of a
+/// constant-memory low-level task: a pixel becomes foreground iff at least
+/// 5 of the 9 pixels in its 3×3 window (clipped at the border) are
+/// foreground — for binary images the median and the majority coincide.
+pub fn median3x3(img: &Bitmap) -> Bitmap {
+    let (rows, cols) = (img.rows(), img.cols());
+    let mut out = Bitmap::new(rows, cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            let mut ones = 0u32;
+            let mut total = 0u32;
+            for dr in -1isize..=1 {
+                for dc in -1isize..=1 {
+                    match (r.checked_add_signed(dr), c.checked_add_signed(dc)) {
+                        (Some(nr), Some(nc)) if nr < rows && nc < cols => {
+                            total += 1;
+                            if img.get(nr, nc) {
+                                ones += 1;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            if 2 * ones > total {
+                out.set(r, c, true);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use crate::oracle::component_count;
+
+    #[test]
+    fn erosion_peels_one_layer() {
+        let img = Bitmap::from_art(
+            "#####\n\
+             #####\n\
+             #####\n\
+             #####\n\
+             #####\n",
+        );
+        let e = erode(&img, Connectivity::Four);
+        // border pixels touch the outside -> removed; a 3x3 core remains
+        assert_eq!(e.count_ones(), 9);
+        assert!(e.get(2, 2) && e.get(1, 1) && e.get(3, 3));
+        assert!(!e.get(0, 0) && !e.get(0, 2));
+    }
+
+    #[test]
+    fn dilation_grows_by_the_structuring_element() {
+        let img = Bitmap::from_art(".....\n.....\n..#..\n.....\n.....\n");
+        let d4 = dilate(&img, Connectivity::Four);
+        assert_eq!(d4.count_ones(), 5); // plus shape
+        let d8 = dilate(&img, Connectivity::Eight);
+        assert_eq!(d8.count_ones(), 9); // 3x3 block
+    }
+
+    #[test]
+    fn erosion_and_dilation_are_dual_under_complement() {
+        // erode(img) == !dilate(!img) on interior-padded images; with the
+        // outside-is-background convention the identity holds exactly when
+        // the border is background.
+        let mut img = gen::uniform_random(16, 16, 0.5, 9);
+        for i in 0..16 {
+            img.set(0, i, false);
+            img.set(15, i, false);
+            img.set(i, 0, false);
+            img.set(i, 15, false);
+        }
+        for conn in [Connectivity::Four, Connectivity::Eight] {
+            let a = erode(&img, conn);
+            let b = dilate(&img.invert(), conn).invert();
+            // compare away from the border (the outside convention differs)
+            for r in 1..15 {
+                for c in 1..15 {
+                    assert_eq!(a.get(r, c), b.get(r, c), "({r},{c}) {conn}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn opening_removes_speckle_but_keeps_blocks() {
+        let img = Bitmap::from_art(
+            "#.......\n\
+             ...####.\n\
+             ...####.\n\
+             ...####.\n\
+             .#......\n",
+        );
+        let o = open(&img, Connectivity::Four);
+        assert!(!o.get(0, 0), "isolated speckle must vanish");
+        assert!(!o.get(4, 1), "isolated speckle must vanish");
+        assert!(o.get(2, 4) || o.get(2, 5), "block core must survive");
+    }
+
+    #[test]
+    fn closing_fills_pinholes() {
+        let img = Bitmap::from_art(
+            "#####\n\
+             ##.##\n\
+             #####\n",
+        );
+        let c = close(&img, Connectivity::Four);
+        assert!(c.get(1, 2), "pinhole must be filled");
+        assert_eq!(component_count(&c.invert()), component_count(&img.invert()) - 1);
+    }
+
+    #[test]
+    fn opening_never_adds_and_closing_never_removes() {
+        let img = gen::uniform_random(24, 24, 0.5, 4);
+        for conn in [Connectivity::Four, Connectivity::Eight] {
+            let o = open(&img, conn);
+            for (r, c) in o.iter_ones_colmajor() {
+                assert!(img.get(r, c), "opening invented a pixel at ({r},{c})");
+            }
+            let cl = close(&img, conn);
+            for (r, c) in img.iter_ones_colmajor() {
+                assert!(cl.get(r, c), "closing dropped a pixel at ({r},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn median_removes_salt_and_pepper() {
+        // a solid block with one hole and one speck of salt
+        let mut img = Bitmap::from_art(
+            "......\n\
+             .####.\n\
+             .####.\n\
+             .####.\n\
+             ......\n",
+        );
+        img.set(2, 2, false); // pepper inside the block
+        img.set(0, 0, true); // salt in the background
+        let m = median3x3(&img);
+        assert!(m.get(2, 2), "pepper must be filled");
+        assert!(!m.get(0, 0), "salt must be removed");
+    }
+
+    #[test]
+    fn median_is_idempotent_on_clean_blocks() {
+        let img = Bitmap::from_art(
+            "......\n\
+             .####.\n\
+             .####.\n\
+             .####.\n\
+             .####.\n\
+             ......\n",
+        );
+        let once = median3x3(&img);
+        let twice = median3x3(&once);
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn morphology_reduces_component_count_of_noise() {
+        let img = gen::uniform_random(48, 48, 0.3, 11);
+        let opened = open(&img, Connectivity::Four);
+        assert!(
+            component_count(&opened) < component_count(&img) / 2,
+            "opening should kill most speckle components"
+        );
+    }
+}

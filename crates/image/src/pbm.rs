@@ -1,0 +1,177 @@
+//! Plain (P1) and raw (P4) PBM image input/output.
+//!
+//! PBM is the natural interchange format for binary images; the examples use
+//! it to dump workloads for inspection with standard tools.
+
+use crate::bitmap::Bitmap;
+use std::io::{self, BufRead, Read, Write};
+
+/// Writes `img` as plain-text PBM (`P1`).
+pub fn write_plain<W: Write>(img: &Bitmap, mut w: W) -> io::Result<()> {
+    writeln!(w, "P1")?;
+    writeln!(w, "{} {}", img.cols(), img.rows())?;
+    for r in 0..img.rows() {
+        let mut line = String::with_capacity(img.cols() * 2);
+        for c in 0..img.cols() {
+            line.push(if img.get(r, c) { '1' } else { '0' });
+            if c + 1 < img.cols() {
+                line.push(' ');
+            }
+        }
+        writeln!(w, "{line}")?;
+    }
+    Ok(())
+}
+
+/// Writes `img` as raw PBM (`P4`), rows padded to whole bytes.
+pub fn write_raw<W: Write>(img: &Bitmap, mut w: W) -> io::Result<()> {
+    writeln!(w, "P4")?;
+    writeln!(w, "{} {}", img.cols(), img.rows())?;
+    let bytes_per_row = img.cols().div_ceil(8);
+    let mut row = vec![0u8; bytes_per_row];
+    for r in 0..img.rows() {
+        row.iter_mut().for_each(|b| *b = 0);
+        for c in 0..img.cols() {
+            if img.get(r, c) {
+                row[c / 8] |= 0x80 >> (c % 8);
+            }
+        }
+        w.write_all(&row)?;
+    }
+    Ok(())
+}
+
+/// Reads a PBM image in either `P1` or `P4` format. `#` comments are honored
+/// in the header and in `P1` pixel data.
+pub fn read<R: Read>(r: R) -> io::Result<Bitmap> {
+    let mut reader = io::BufReader::new(r);
+    let mut header = Vec::new();
+    // Read magic, width, height as whitespace-separated tokens with comments.
+    let mut tokens: Vec<String> = Vec::new();
+    while tokens.len() < 3 {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "truncated PBM header",
+            ));
+        }
+        let data = line.split('#').next().unwrap_or("");
+        tokens.extend(data.split_whitespace().map(str::to_string));
+        header.extend_from_slice(line.as_bytes());
+    }
+    let magic = tokens[0].clone();
+    let cols: usize = tokens[1]
+        .parse()
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad width: {e}")))?;
+    let rows: usize = tokens[2]
+        .parse()
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad height: {e}")))?;
+    if rows == 0 || cols == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "zero-sized PBM image",
+        ));
+    }
+    let mut img = Bitmap::new(rows, cols);
+    match magic.as_str() {
+        "P1" => {
+            let mut text = String::new();
+            reader.read_to_string(&mut text)?;
+            let digits = text
+                .lines()
+                .flat_map(|l| l.split('#').next().unwrap_or("").chars())
+                .filter(|ch| !ch.is_whitespace());
+            let mut count = 0usize;
+            for ch in digits {
+                if count >= rows * cols {
+                    break;
+                }
+                let v = match ch {
+                    '0' => false,
+                    '1' => true,
+                    other => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("unexpected pixel character {other:?}"),
+                        ))
+                    }
+                };
+                img.set(count / cols, count % cols, v);
+                count += 1;
+            }
+            if count != rows * cols {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    format!("expected {} pixels, found {count}", rows * cols),
+                ));
+            }
+        }
+        "P4" => {
+            let bytes_per_row = cols.div_ceil(8);
+            let mut buf = vec![0u8; bytes_per_row];
+            for r in 0..rows {
+                reader.read_exact(&mut buf)?;
+                for c in 0..cols {
+                    if buf[c / 8] & (0x80 >> (c % 8)) != 0 {
+                        img.set(r, c, true);
+                    }
+                }
+            }
+        }
+        other => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unsupported PBM magic {other:?}"),
+            ))
+        }
+    }
+    Ok(img)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn plain_roundtrip() {
+        let img = gen::uniform_random(13, 17, 0.4, 9);
+        let mut buf = Vec::new();
+        write_plain(&img, &mut buf).unwrap();
+        let back = read(&buf[..]).unwrap();
+        assert_eq!(img, back);
+    }
+
+    #[test]
+    fn raw_roundtrip() {
+        let img = gen::uniform_random(9, 21, 0.6, 10); // width not multiple of 8
+        let mut buf = Vec::new();
+        write_raw(&img, &mut buf).unwrap();
+        let back = read(&buf[..]).unwrap();
+        assert_eq!(img, back);
+    }
+
+    #[test]
+    fn reads_comments_and_whitespace() {
+        let text = "P1\n# a comment\n3 2 # trailing\n1 0 1\n0 1 0\n";
+        let img = read(text.as_bytes()).unwrap();
+        assert!(img.get(0, 0) && img.get(0, 2) && img.get(1, 1));
+        assert_eq!(img.count_ones(), 3);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        assert!(read("P5\n2 2\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_p1() {
+        assert!(read("P1\n2 2\n1 0 1\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_zero_dimensions() {
+        assert!(read("P1\n0 2\n".as_bytes()).is_err());
+    }
+}

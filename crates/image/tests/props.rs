@@ -1,0 +1,123 @@
+//! Property tests for the image crate: geometric transform involutions,
+//! column-view consistency, labeling invariants, and PBM robustness
+//! (arbitrary bytes must parse to `Err`, never panic; well-formed images
+//! must round-trip bit-exactly).
+
+use proptest::prelude::*;
+use slap_image::{bfs_labels, gen, pbm, Bitmap, LabelGrid};
+
+fn arb_bitmap() -> impl Strategy<Value = Bitmap> {
+    (1usize..40, 1usize..40, 0.0f64..1.0, 0u64..10_000)
+        .prop_map(|(r, c, d, s)| gen::uniform_random(r, c, d, s))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn flip_and_transpose_are_involutions(bm in arb_bitmap()) {
+        prop_assert_eq!(bm.flip_horizontal().flip_horizontal(), bm.clone());
+        prop_assert_eq!(bm.transpose().transpose(), bm.clone());
+        prop_assert_eq!(bm.invert().invert(), bm);
+    }
+
+    #[test]
+    fn columns_view_agrees_with_bitmap(bm in arb_bitmap()) {
+        let cols = bm.columns();
+        for c in 0..bm.cols() {
+            for r in 0..bm.rows() {
+                prop_assert_eq!(cols.get(c, r), bm.get(r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn component_count_is_flip_invariant(bm in arb_bitmap()) {
+        let a = bfs_labels(&bm).component_count();
+        let b = bfs_labels(&bm.flip_horizontal()).component_count();
+        let c = bfs_labels(&bm.transpose()).component_count();
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(a, c);
+    }
+
+    #[test]
+    fn oracle_labels_are_min_column_major(bm in arb_bitmap()) {
+        let labels = bfs_labels(&bm);
+        // every component's label equals the min position over its pixels
+        let mut seen_min: std::collections::HashMap<u32, u32> = Default::default();
+        for c in 0..bm.cols() {
+            for r in 0..bm.rows() {
+                if bm.get(r, c) {
+                    let l = labels.get(r, c);
+                    let pos = bm.position(r, c);
+                    seen_min.entry(l).or_insert(pos);
+                }
+            }
+        }
+        for (l, first_pos) in seen_min {
+            prop_assert_eq!(l, first_pos);
+        }
+    }
+
+    #[test]
+    fn canonicalize_is_idempotent_and_partition_preserving(bm in arb_bitmap()) {
+        let labels = bfs_labels(&bm);
+        let canon = labels.canonicalize();
+        prop_assert!(canon.same_partition(&labels));
+        prop_assert_eq!(canon.canonicalize(), canon);
+    }
+
+    #[test]
+    fn pbm_plain_roundtrip(bm in arb_bitmap()) {
+        let mut buf = Vec::new();
+        pbm::write_plain(&bm, &mut buf).unwrap();
+        prop_assert_eq!(pbm::read(&buf[..]).unwrap(), bm);
+    }
+
+    #[test]
+    fn pbm_raw_roundtrip(bm in arb_bitmap()) {
+        let mut buf = Vec::new();
+        pbm::write_raw(&bm, &mut buf).unwrap();
+        prop_assert_eq!(pbm::read(&buf[..]).unwrap(), bm);
+    }
+
+    #[test]
+    fn pbm_reader_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = pbm::read(&bytes[..]); // Err is fine; panic is not
+    }
+
+    #[test]
+    fn pbm_reader_never_panics_on_near_valid(
+        magic in prop::sample::select(vec!["P1", "P4", "P2"]),
+        w in 0usize..40,
+        h in 0usize..40,
+        body in prop::collection::vec(any::<u8>(), 0..128),
+    ) {
+        let mut buf = format!("{magic}\n{w} {h}\n").into_bytes();
+        buf.extend(body);
+        let _ = pbm::read(&buf[..]);
+    }
+
+    #[test]
+    fn generators_stay_in_bounds(
+        name in prop::sample::select(gen::WORKLOADS.to_vec()),
+        n in 4usize..40,
+        seed in 0u64..100,
+    ) {
+        let bm = gen::by_name(name, n, seed).unwrap();
+        prop_assert_eq!(bm.rows(), n);
+        prop_assert_eq!(bm.cols(), n);
+        // label grid construction must accept every generator output
+        let labels = bfs_labels(&bm);
+        prop_assert!(labels.component_count() <= bm.count_ones());
+    }
+}
+
+#[test]
+fn background_sentinel_is_not_a_valid_label() {
+    // the sentinel must be outside the position space asserted at
+    // construction (rows * cols < u32::MAX)
+    let g = LabelGrid::new_background(10, 10);
+    assert_eq!(g.get(0, 0), LabelGrid::BACKGROUND);
+    assert!(u64::from(LabelGrid::BACKGROUND) > 100);
+}

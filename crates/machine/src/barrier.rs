@@ -1,0 +1,209 @@
+//! A hybrid sense-reversing barrier: bounded spinning, then blocking.
+//!
+//! The lock-step executor synchronizes its workers once per simulated round.
+//! Rounds are short (a handful of ticks per PE), so when every worker has a
+//! core the fast path matters — the classic sense-reversing centralized
+//! barrier (one atomic counter plus a phase flag, each thread flipping a
+//! thread-local *sense* per round; see Mara Bos, *Rust Atomics and Locks*,
+//! ch. 9–10 for the construction style). But simulators often run
+//! oversubscribed (more workers than cores, or alongside builds); pure
+//! spinning then burns scheduler quanta waiting for a thread that isn't
+//! running. After a bounded spin the barrier therefore falls back to a
+//! `parking_lot` mutex + condvar sleep, woken by the last arriver.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Spin iterations before a waiter gives up and blocks. Roughly tens of
+/// microseconds: longer than a healthy round gap, far shorter than a
+/// scheduler quantum.
+const SPIN_LIMIT: u32 = 8_192;
+
+/// A reusable barrier for a fixed set of `n` participants.
+///
+/// Each participant owns a [`Sense`] token and calls
+/// [`wait`](SpinBarrier::wait) with it once per phase. The last arriver
+/// releases everyone by flipping the shared phase flag (and waking any
+/// blocked waiters).
+pub struct SpinBarrier {
+    n: usize,
+    count: AtomicUsize,
+    phase: AtomicBool,
+    lock: Mutex<()>,
+    cvar: Condvar,
+}
+
+/// Thread-local sense token; create one per participating thread.
+#[derive(Debug, Default)]
+pub struct Sense(bool);
+
+impl SpinBarrier {
+    /// Creates a barrier for `n` participants.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "barrier needs at least one participant");
+        SpinBarrier {
+            n,
+            count: AtomicUsize::new(0),
+            phase: AtomicBool::new(false),
+            lock: Mutex::new(()),
+            cvar: Condvar::new(),
+        }
+    }
+
+    /// Number of participants.
+    pub fn participants(&self) -> usize {
+        self.n
+    }
+
+    /// Blocks until all `n` participants have called `wait` this phase.
+    ///
+    /// The release store on the phase flip combined with the acquire loads in
+    /// the waiters makes every write before the barrier visible after it —
+    /// the happens-before edge every lock-step round depends on.
+    pub fn wait(&self, sense: &mut Sense) {
+        sense.0 = !sense.0;
+        let target = sense.0;
+        if self.count.fetch_add(1, Ordering::AcqRel) == self.n - 1 {
+            self.count.store(0, Ordering::Relaxed);
+            // Take the lock before flipping so a waiter cannot check the
+            // phase, decide to sleep, and miss the notify in between.
+            let guard = self.lock.lock();
+            self.phase.store(target, Ordering::Release);
+            drop(guard);
+            self.cvar.notify_all();
+        } else {
+            let mut spins = 0u32;
+            while self.phase.load(Ordering::Acquire) != target {
+                if spins < SPIN_LIMIT {
+                    spins += 1;
+                    if spins.is_multiple_of(64) {
+                        std::thread::yield_now();
+                    } else {
+                        std::hint::spin_loop();
+                    }
+                } else {
+                    let mut guard = self.lock.lock();
+                    if self.phase.load(Ordering::Acquire) != target {
+                        self.cvar.wait(&mut guard);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn single_participant_never_blocks() {
+        let b = SpinBarrier::new(1);
+        let mut s = Sense::default();
+        for _ in 0..100 {
+            b.wait(&mut s);
+        }
+    }
+
+    #[test]
+    fn rounds_stay_in_lockstep() {
+        const THREADS: usize = 4;
+        const ROUNDS: usize = 200;
+        let barrier = SpinBarrier::new(THREADS);
+        let counters: Vec<AtomicU64> = (0..ROUNDS).map(|_| AtomicU64::new(0)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..THREADS {
+                scope.spawn(|| {
+                    let mut sense = Sense::default();
+                    for (r, counter) in counters.iter().enumerate() {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                        barrier.wait(&mut sense);
+                        // after the barrier, every thread must have bumped
+                        // this round's counter
+                        assert_eq!(
+                            counter.load(Ordering::Relaxed),
+                            THREADS as u64,
+                            "round {r} released early"
+                        );
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn writes_before_barrier_visible_after() {
+        const THREADS: usize = 3;
+        let barrier = SpinBarrier::new(THREADS);
+        let slots: Vec<AtomicU64> = (0..THREADS).map(|_| AtomicU64::new(0)).collect();
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let slots = &slots;
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    let mut sense = Sense::default();
+                    for round in 1..50u64 {
+                        slots[t].store(round, Ordering::Relaxed);
+                        barrier.wait(&mut sense);
+                        for s in slots {
+                            assert!(s.load(Ordering::Relaxed) >= round);
+                        }
+                        barrier.wait(&mut sense);
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn blocking_path_wakes_up() {
+        // Force the slow path: one thread arrives late (after the waiter has
+        // certainly exhausted its spin budget).
+        let barrier = SpinBarrier::new(2);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let mut sense = Sense::default();
+                barrier.wait(&mut sense); // will spin out and block
+            });
+            scope.spawn(|| {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+                let mut sense = Sense::default();
+                barrier.wait(&mut sense);
+            });
+        });
+    }
+
+    #[test]
+    fn heavily_oversubscribed_still_correct() {
+        // more threads than this box has cores: the blocking fallback keeps
+        // the rounds correct (and the test fast enough to run anywhere)
+        const THREADS: usize = 16;
+        const ROUNDS: usize = 50;
+        let barrier = SpinBarrier::new(THREADS);
+        let counter = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..THREADS {
+                scope.spawn(|| {
+                    let mut sense = Sense::default();
+                    for r in 1..=ROUNDS as u64 {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                        barrier.wait(&mut sense);
+                        assert!(counter.load(Ordering::Relaxed) >= r * THREADS as u64);
+                        barrier.wait(&mut sense);
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), (THREADS * ROUNDS) as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one participant")]
+    fn zero_participants_rejected() {
+        SpinBarrier::new(0);
+    }
+}

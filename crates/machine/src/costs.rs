@@ -1,0 +1,66 @@
+//! Unit-cost constants shared by every executor and algorithm crate.
+//!
+//! One **unit** is one RAM operation inside a PE. The paper never fixes the
+//! constants (its bounds are asymptotic); what matters for reproducing the
+//! *shapes* is that every algorithm is charged with the same ruler. Changing
+//! a constant rescales every curve without reordering them.
+
+/// Cost of one dequeue from the incoming link queue (paper Fig. 5 line 10).
+pub const DEQUEUE: u64 = 1;
+
+/// Cost of one enqueue onto the outgoing link queue (paper Fig. 5 line 5).
+pub const ENQUEUE: u64 = 1;
+
+/// Steps between an enqueue completing at PE `i` and the word becoming
+/// dequeuable at PE `i+1` ("only a constant amount of time must pass after
+/// each enqueue until the corresponding dequeue in the next processor").
+pub const LINK_LATENCY: u64 = 1;
+
+/// Steps to move one message across a word-wide link (the standard SLAP).
+pub const WORD_STEPS: u64 = 1;
+
+/// Steps to move one `bits`-bit message across the restricted 1-bit link of
+/// Theorem 5. The paper's messages are row indices and labels, i.e.
+/// `O(lg n)`-bit words; serializing one costs `bits` steps.
+pub const fn bit_serial_steps(bits: u32) -> u64 {
+    bits as u64
+}
+
+/// Number of bits in a message carrying values up to `max_value` inclusive
+/// (at least 1).
+pub fn bits_for(max_value: u64) -> u32 {
+    (64 - max_value.leading_zeros()).max(1)
+}
+
+/// Steps charged for the image input phase: `rows` steps to stream the image
+/// through (one row per step), plus 2 transfers per row so each PE also
+/// captures its neighbors' column bits (needed to maintain the paper's
+/// `adjnext`/`adjprev` with purely local work).
+pub fn load_steps(rows: usize) -> u64 {
+    3 * rows as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_for_covers_powers_of_two() {
+        assert_eq!(bits_for(1), 1);
+        assert_eq!(bits_for(2), 2);
+        assert_eq!(bits_for(255), 8);
+        assert_eq!(bits_for(256), 9);
+        assert_eq!(bits_for(u64::MAX), 64);
+    }
+
+    #[test]
+    fn bit_serial_matches_width() {
+        assert_eq!(bit_serial_steps(10), 10);
+        assert_eq!(bit_serial_steps(bits_for(1023)), 10);
+    }
+
+    #[test]
+    fn load_is_linear_in_rows() {
+        assert_eq!(load_steps(128), 384);
+    }
+}

@@ -1,0 +1,42 @@
+//! Scan line array processor (SLAP) simulator.
+//!
+//! The SLAP (Princeton/Sarnoff Engine; paper Figure 1) is a SIMD linear array
+//! of `n` processing elements (PEs). Each PE has `O(n)` local memory and a
+//! word-wide link to each neighbor; one word (`O(lg n)` bits) can cross each
+//! link per time step. An `n × n` image enters row by row, one pixel per PE
+//! per step, leaving PE `i` holding column `i`.
+//!
+//! The paper's complexity claims are statements about **time steps** on this
+//! machine, so the simulator's job is exact step accounting, not wall-clock
+//! speed. Two executors are provided, with complementary strengths:
+//!
+//! * [`pipeline`] — a *virtual-time* executor for one-directional pipeline
+//!   programs (the shape of `Union-Find-Pass` and `Label-Pass`). PEs run to
+//!   completion in array order while explicit per-PE clocks and message
+//!   timestamps reproduce exactly the timing a cycle-by-cycle run would give:
+//!   a dequeue can happen no earlier than one step after the matching
+//!   enqueue, local work advances the local clock, and waiting on an empty
+//!   queue accrues idle time (optionally spent on useful work via an idle
+//!   hook — the paper's "compress while waiting" idea).
+//! * [`lockstep`] — a cycle-by-cycle executor for arbitrary two-directional
+//!   PE programs, with both a sequential runner and a multithreaded runner
+//!   (contiguous PE blocks per worker, custom sense-reversing [`barrier`]
+//!   between rounds). Used by the iterative baselines and to cross-validate
+//!   the virtual-time accounting.
+//!
+//! [`costs`] centralizes the unit-cost constants so the two executors and
+//! all algorithm crates charge identical prices.
+
+#![warn(missing_docs)]
+
+pub mod barrier;
+pub mod costs;
+pub mod lockstep;
+pub mod pipeline;
+pub mod report;
+pub mod trace;
+
+pub use lockstep::{run_lockstep, run_lockstep_threaded, LockstepReport, PeIo, PeProgram, PeStatus};
+pub use pipeline::{run_pipeline, run_pipeline_traced, run_pipeline_with, PeCtx, PipelineConfig};
+pub use report::{PeStats, PipelineReport};
+pub use trace::{render_gantt, span_totals, Span, SpanKind};

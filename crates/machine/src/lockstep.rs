@@ -1,0 +1,616 @@
+//! Cycle-by-cycle (lock-step) execution of PE programs.
+//!
+//! The SIMD SLAP advances all PEs one instruction per time step, and each
+//! link carries at most one word per step in each direction. This executor
+//! models exactly that: every live PE gets one [`tick`](PeProgram::tick) per
+//! round, may consume the word that arrived on each link and may send one
+//! word each way; words sent in round `t` are visible to the neighbor in
+//! round `t+1`. An unconsumed word stays in the PE's link register until the
+//! next arrival overwrites it (registers, not queues — programs that need
+//! queues build them in local memory, as the paper's algorithms do).
+//!
+//! Two runners share these semantics bit-for-bit:
+//!
+//! * [`run_lockstep`] — sequential, the reference;
+//! * [`run_lockstep_threaded`] — contiguous PE blocks per worker, one
+//!   [`SpinBarrier`](crate::barrier::SpinBarrier#) wait per round, parity
+//!   double-buffered mailboxes (`crossbeam` atomic cells). Results are
+//!   deterministic and identical to the sequential runner; only wall-clock
+//!   time differs. This is the experiment E11 subject.
+
+use crate::barrier::{Sense, SpinBarrier};
+use crossbeam::atomic::AtomicCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+/// Result of one tick.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PeStatus {
+    /// The program wants more ticks.
+    Running,
+    /// The program is finished; it will not be ticked again and words
+    /// arriving later are dropped.
+    Done,
+}
+
+/// Per-tick I/O window: at most one word consumed and one sent per link.
+pub struct PeIo<W> {
+    from_left: Option<W>,
+    from_right: Option<W>,
+    to_left: Option<W>,
+    to_right: Option<W>,
+}
+
+impl<W: Copy> PeIo<W> {
+    /// Consumes the word in the left link register, if any.
+    pub fn recv_left(&mut self) -> Option<W> {
+        self.from_left.take()
+    }
+
+    /// Consumes the word in the right link register, if any.
+    pub fn recv_right(&mut self) -> Option<W> {
+        self.from_right.take()
+    }
+
+    /// Peeks at the left link register without consuming.
+    pub fn peek_left(&self) -> Option<W> {
+        self.from_left
+    }
+
+    /// Peeks at the right link register without consuming.
+    pub fn peek_right(&self) -> Option<W> {
+        self.from_right
+    }
+
+    /// Sends one word leftward this round. Returns `false` (and sends
+    /// nothing) if the left link was already used this round.
+    pub fn send_left(&mut self, w: W) -> bool {
+        if self.to_left.is_some() {
+            return false;
+        }
+        self.to_left = Some(w);
+        true
+    }
+
+    /// Sends one word rightward this round. Returns `false` (and sends
+    /// nothing) if the right link was already used this round.
+    pub fn send_right(&mut self, w: W) -> bool {
+        if self.to_right.is_some() {
+            return false;
+        }
+        self.to_right = Some(w);
+        true
+    }
+}
+
+/// A PE program for the lock-step machine. One `tick` is one SIMD time step.
+pub trait PeProgram: Send {
+    /// The link word type (`O(lg n)` bits on the real machine).
+    type Word: Copy + Send;
+
+    /// Executes one time step.
+    fn tick(&mut self, io: &mut PeIo<Self::Word>) -> PeStatus;
+}
+
+/// Accounting from a lock-step run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LockstepReport {
+    /// Rounds until every PE reported [`PeStatus::Done`]. This is the
+    /// machine time of the program.
+    pub rounds: u64,
+    /// Total ticks executed over all PEs (≤ `rounds * n`; Done PEs stop).
+    pub ticks: u64,
+}
+
+/// Runs the programs sequentially until all are done.
+///
+/// # Panics
+/// Panics if any program is still running after `max_rounds` rounds.
+pub fn run_lockstep<P: PeProgram>(programs: &mut [P], max_rounds: u64) -> LockstepReport {
+    let n = programs.len();
+    assert!(n > 0, "lock-step machine needs at least one PE");
+    let mut reg_from_left: Vec<Option<P::Word>> = (0..n).map(|_| None).collect();
+    let mut reg_from_right: Vec<Option<P::Word>> = (0..n).map(|_| None).collect();
+    let mut next_from_left: Vec<Option<P::Word>> = (0..n).map(|_| None).collect();
+    let mut next_from_right: Vec<Option<P::Word>> = (0..n).map(|_| None).collect();
+    let mut done = vec![false; n];
+    let mut active = n;
+    let mut rounds = 0u64;
+    let mut ticks = 0u64;
+    while active > 0 {
+        assert!(
+            rounds < max_rounds,
+            "lock-step run exceeded {max_rounds} rounds with {active} PEs running"
+        );
+        for i in 0..n {
+            if done[i] {
+                continue;
+            }
+            let mut io = PeIo {
+                from_left: reg_from_left[i].take(),
+                from_right: reg_from_right[i].take(),
+                to_left: None,
+                to_right: None,
+            };
+            let status = programs[i].tick(&mut io);
+            ticks += 1;
+            // unconsumed words stay in the link registers
+            reg_from_left[i] = io.from_left;
+            reg_from_right[i] = io.from_right;
+            if let Some(w) = io.to_right {
+                if i + 1 < n {
+                    next_from_left[i + 1] = Some(w);
+                }
+            }
+            if let Some(w) = io.to_left {
+                if i > 0 {
+                    next_from_right[i - 1] = Some(w);
+                }
+            }
+            if status == PeStatus::Done {
+                done[i] = true;
+                active -= 1;
+            }
+        }
+        for i in 0..n {
+            if let Some(w) = next_from_left[i].take() {
+                reg_from_left[i] = Some(w); // new arrival overwrites leftovers
+            }
+            if let Some(w) = next_from_right[i].take() {
+                reg_from_right[i] = Some(w);
+            }
+        }
+        rounds += 1;
+    }
+    LockstepReport { rounds, ticks }
+}
+
+/// Runs the programs across `threads` workers (contiguous PE blocks) with
+/// identical semantics — and therefore identical results — to
+/// [`run_lockstep`].
+///
+/// Messages between PEs of the same block stay in worker-local buffers; only
+/// the two block-boundary links per worker cross threads, through
+/// parity-double-buffered *halo* cells (the classic halo-exchange pattern),
+/// so per-round shared-memory traffic is `O(threads)`, not `O(n)`. One
+/// barrier per round separates the halo writes from the reads.
+///
+/// # Panics
+/// Panics if any program is still running after `max_rounds` rounds, or if
+/// `threads == 0`.
+pub fn run_lockstep_threaded<P: PeProgram>(
+    programs: &mut [P],
+    threads: usize,
+    max_rounds: u64,
+) -> LockstepReport {
+    let n = programs.len();
+    assert!(n > 0, "lock-step machine needs at least one PE");
+    assert!(threads > 0, "need at least one worker");
+    let threads = threads.min(n);
+    if threads == 1 {
+        return run_lockstep(programs, max_rounds);
+    }
+    // halo[parity][t] = word crossing worker t's boundary this round:
+    // `right_out[t]` is what block t's last PE sent right (read by t+1);
+    // `left_out[t]` is what block t's first PE sent left (read by t-1).
+    let mk = |len: usize| -> Vec<AtomicCell<Option<P::Word>>> {
+        (0..len).map(|_| AtomicCell::new(None)).collect()
+    };
+    let halo_right_out: [Vec<AtomicCell<Option<P::Word>>>; 2] = [mk(threads), mk(threads)];
+    let halo_left_out: [Vec<AtomicCell<Option<P::Word>>>; 2] = [mk(threads), mk(threads)];
+    let barrier = SpinBarrier::new(threads);
+    let active = AtomicUsize::new(n);
+    let poisoned = AtomicBool::new(false);
+    let total_ticks = AtomicU64::new(0);
+    let total_rounds = AtomicU64::new(0);
+    let chunk = n.div_ceil(threads);
+
+    std::thread::scope(|scope| {
+        let mut rest = &mut programs[..];
+        let mut lo = 0usize;
+        for t in 0..threads {
+            let hi = ((t + 1) * chunk).min(n);
+            let (mine, tail) = rest.split_at_mut(hi - lo);
+            rest = tail;
+            let halo_right_out = &halo_right_out;
+            let halo_left_out = &halo_left_out;
+            let barrier = &barrier;
+            let active = &active;
+            let poisoned = &poisoned;
+            let total_ticks = &total_ticks;
+            let total_rounds = &total_rounds;
+            scope.spawn(move || {
+                let m = mine.len();
+                let mut reg_from_left: Vec<Option<P::Word>> = (0..m).map(|_| None).collect();
+                let mut reg_from_right: Vec<Option<P::Word>> = (0..m).map(|_| None).collect();
+                let mut next_from_left: Vec<Option<P::Word>> = (0..m).map(|_| None).collect();
+                let mut next_from_right: Vec<Option<P::Word>> = (0..m).map(|_| None).collect();
+                let mut done = vec![false; m];
+                let mut sense = Sense::default();
+                let mut my_ticks = 0u64;
+                let mut rounds = 0u64;
+                loop {
+                    // Every worker holds the same `rounds`, so an overrun
+                    // panics in all of them at once (no one is left at the
+                    // barrier).
+                    assert!(
+                        rounds < max_rounds,
+                        "lock-step run exceeded {max_rounds} rounds"
+                    );
+                    let buf = (rounds % 2) as usize;
+                    // Tick this worker's block. A panicking program must not
+                    // strand the other workers at the barrier, so catch it,
+                    // finish the round's synchronization, then re-raise.
+                    let tick_result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                        || {
+                            let mut newly_done = 0usize;
+                            for j in 0..m {
+                                if done[j] {
+                                    continue;
+                                }
+                                let mut io = PeIo {
+                                    from_left: reg_from_left[j].take(),
+                                    from_right: reg_from_right[j].take(),
+                                    to_left: None,
+                                    to_right: None,
+                                };
+                                let status = mine[j].tick(&mut io);
+                                my_ticks += 1;
+                                reg_from_left[j] = io.from_left;
+                                reg_from_right[j] = io.from_right;
+                                if let Some(w) = io.to_right {
+                                    if j + 1 < m {
+                                        next_from_left[j + 1] = Some(w);
+                                    } else if lo + m < n {
+                                        halo_right_out[buf][t].store(Some(w));
+                                    }
+                                }
+                                if let Some(w) = io.to_left {
+                                    if j > 0 {
+                                        next_from_right[j - 1] = Some(w);
+                                    } else if lo > 0 {
+                                        halo_left_out[buf][t].store(Some(w));
+                                    }
+                                }
+                                if status == PeStatus::Done {
+                                    done[j] = true;
+                                    newly_done += 1;
+                                }
+                            }
+                            newly_done
+                        },
+                    ));
+                    match &tick_result {
+                        Ok(newly_done) => {
+                            if *newly_done > 0 {
+                                active.fetch_sub(*newly_done, Ordering::AcqRel);
+                            }
+                        }
+                        Err(_) => poisoned.store(true, Ordering::Release),
+                    }
+                    // Exit consensus needs two barriers: after the first, all
+                    // of this round's `active` decrements (and poison flags)
+                    // are published and no worker has started the next round;
+                    // every worker then samples the same state, and the
+                    // second barrier keeps any worker from racing ahead into
+                    // next-round decrements before the others have sampled.
+                    // (With a single barrier, a fast worker's next-round
+                    // decrement could drop `active` to zero between a slow
+                    // worker's barrier exit and its load — the slow worker
+                    // would break one round early and strand everyone else.)
+                    barrier.wait(&mut sense);
+                    let finished = active.load(Ordering::Acquire) == 0;
+                    let poisoned_now = poisoned.load(Ordering::Acquire);
+                    barrier.wait(&mut sense);
+                    if let Err(payload) = tick_result {
+                        std::panic::resume_unwind(payload);
+                    }
+                    if poisoned_now {
+                        panic!("a peer lock-step worker panicked in round {rounds}");
+                    }
+                    // merge this round's arrivals: local buffers + halos
+                    for j in 0..m {
+                        if let Some(w) = next_from_left[j].take() {
+                            reg_from_left[j] = Some(w);
+                        }
+                        if let Some(w) = next_from_right[j].take() {
+                            reg_from_right[j] = Some(w);
+                        }
+                    }
+                    if t > 0 {
+                        if let Some(w) = halo_right_out[buf][t - 1].take() {
+                            reg_from_left[0] = Some(w);
+                        }
+                    }
+                    if t + 1 < threads {
+                        if let Some(w) = halo_left_out[buf][t + 1].take() {
+                            reg_from_right[m - 1] = Some(w);
+                        }
+                    }
+                    rounds += 1;
+                    if finished {
+                        break;
+                    }
+                }
+                total_ticks.fetch_add(my_ticks, Ordering::Relaxed);
+                total_rounds.fetch_max(rounds, Ordering::Relaxed);
+            });
+            lo = hi;
+        }
+    });
+    LockstepReport {
+        rounds: total_rounds.load(Ordering::Relaxed),
+        ticks: total_ticks.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Token ring: PE 0 emits a token that each PE increments and forwards;
+    /// the last PE keeps the result. Everything else just relays.
+    struct Relay {
+        index: usize,
+        n: usize,
+        state: RelayState,
+        result: u64,
+    }
+
+    enum RelayState {
+        Emit,
+        WaitToken,
+        Forward(u64),
+        Finished,
+    }
+
+    impl PeProgram for Relay {
+        type Word = u64;
+        fn tick(&mut self, io: &mut PeIo<u64>) -> PeStatus {
+            match self.state {
+                RelayState::Emit => {
+                    assert!(io.send_right(1));
+                    self.state = RelayState::Finished;
+                    PeStatus::Done
+                }
+                RelayState::WaitToken => {
+                    if let Some(w) = io.recv_left() {
+                        if self.index + 1 == self.n {
+                            self.result = w + 1;
+                            self.state = RelayState::Finished;
+                            return PeStatus::Done;
+                        }
+                        self.state = RelayState::Forward(w + 1);
+                    }
+                    PeStatus::Running
+                }
+                RelayState::Forward(w) => {
+                    assert!(io.send_right(w));
+                    self.state = RelayState::Finished;
+                    PeStatus::Done
+                }
+                RelayState::Finished => PeStatus::Done,
+            }
+        }
+    }
+
+    fn ring(n: usize) -> Vec<Relay> {
+        (0..n)
+            .map(|i| Relay {
+                index: i,
+                n,
+                state: if i == 0 {
+                    RelayState::Emit
+                } else {
+                    RelayState::WaitToken
+                },
+                result: 0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn token_travels_the_array() {
+        let n = 16;
+        let mut pes = ring(n);
+        let report = run_lockstep(&mut pes, 10_000);
+        assert_eq!(pes[n - 1].result, n as u64);
+        // one hop per 2 rounds (receive round + forward round), ~2n rounds
+        assert!(report.rounds >= n as u64);
+        assert!(report.rounds <= 3 * n as u64);
+    }
+
+    #[test]
+    fn threaded_matches_sequential() {
+        for threads in [2, 3, 5, 8] {
+            let n = 33;
+            let mut seq = ring(n);
+            let seq_report = run_lockstep(&mut seq, 10_000);
+            let mut par = ring(n);
+            let par_report = run_lockstep_threaded(&mut par, threads, 10_000);
+            assert_eq!(par[n - 1].result, seq[n - 1].result, "threads={threads}");
+            assert_eq!(par_report.rounds, seq_report.rounds, "threads={threads}");
+            assert_eq!(par_report.ticks, seq_report.ticks, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn one_thread_delegates_to_sequential() {
+        let n = 5;
+        let mut pes = ring(n);
+        let report = run_lockstep_threaded(&mut pes, 1, 10_000);
+        assert_eq!(pes[n - 1].result, n as u64);
+        assert!(report.rounds > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeded")]
+    fn runaway_program_is_caught() {
+        struct Forever;
+        impl PeProgram for Forever {
+            type Word = u64;
+            fn tick(&mut self, _io: &mut PeIo<u64>) -> PeStatus {
+                PeStatus::Running
+            }
+        }
+        let mut pes = vec![Forever, Forever];
+        run_lockstep(&mut pes, 100);
+    }
+
+    #[test]
+    fn workers_finishing_in_staggered_rounds_all_exit() {
+        // Regression test for the exit-consensus race: block 0's PEs finish
+        // immediately while block 1's PE keeps running for many rounds, so a
+        // worker sampling `active` at the wrong moment would break out of the
+        // round loop early and strand its peer at the barrier forever.
+        struct CountDown {
+            left: u64,
+        }
+        impl PeProgram for CountDown {
+            type Word = u64;
+            fn tick(&mut self, _io: &mut PeIo<u64>) -> PeStatus {
+                if self.left == 0 {
+                    PeStatus::Done
+                } else {
+                    self.left -= 1;
+                    PeStatus::Running
+                }
+            }
+        }
+        for _ in 0..50 {
+            let mut pes = vec![
+                CountDown { left: 0 },
+                CountDown { left: 0 },
+                CountDown { left: 500 },
+                CountDown { left: 501 },
+            ];
+            let report = run_lockstep_threaded(&mut pes, 2, 10_000);
+            assert_eq!(report.rounds, 502);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "panicked")]
+    fn panicking_program_does_not_strand_other_workers() {
+        // Regression test for panic poisoning: without it, the panicking
+        // worker unwinds while its peer parks at the barrier forever and the
+        // test would hang rather than fail.
+        struct Bomb {
+            fuse: u64,
+            armed: bool,
+        }
+        impl PeProgram for Bomb {
+            type Word = u64;
+            fn tick(&mut self, _io: &mut PeIo<u64>) -> PeStatus {
+                if self.armed && self.fuse == 0 {
+                    panic!("boom");
+                }
+                self.fuse = self.fuse.saturating_sub(1);
+                PeStatus::Running
+            }
+        }
+        let mut pes = vec![
+            Bomb {
+                fuse: 10,
+                armed: true,
+            },
+            Bomb {
+                fuse: 1_000_000,
+                armed: false,
+            },
+        ];
+        run_lockstep_threaded(&mut pes, 2, 2_000_000);
+    }
+
+    #[test]
+    fn link_register_overwrites_unread_word() {
+        // PE 0 sends two words back to back; PE 1 never reads until round 3,
+        // so only the second word must remain.
+        struct Sender {
+            sent: usize,
+        }
+        impl PeProgram for Sender {
+            type Word = u64;
+            fn tick(&mut self, io: &mut PeIo<u64>) -> PeStatus {
+                if self.sent < 2 {
+                    assert!(io.send_right(self.sent as u64 + 10));
+                    self.sent += 1;
+                    if self.sent == 2 {
+                        return PeStatus::Done;
+                    }
+                }
+                PeStatus::Running
+            }
+        }
+        struct LateReader {
+            waited: usize,
+            got: Option<u64>,
+        }
+        impl PeProgram for LateReader {
+            type Word = u64;
+            fn tick(&mut self, io: &mut PeIo<u64>) -> PeStatus {
+                self.waited += 1;
+                if self.waited < 4 {
+                    return PeStatus::Running;
+                }
+                self.got = io.recv_left();
+                PeStatus::Done
+            }
+        }
+        enum Either {
+            S(Sender),
+            R(LateReader),
+        }
+        impl PeProgram for Either {
+            type Word = u64;
+            fn tick(&mut self, io: &mut PeIo<u64>) -> PeStatus {
+                match self {
+                    Either::S(s) => s.tick(io),
+                    Either::R(r) => r.tick(io),
+                }
+            }
+        }
+        let mut pes = vec![
+            Either::S(Sender { sent: 0 }),
+            Either::R(LateReader {
+                waited: 0,
+                got: None,
+            }),
+        ];
+        run_lockstep(&mut pes, 100);
+        match &pes[1] {
+            Either::R(r) => assert_eq!(r.got, Some(11), "register should hold newest word"),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn send_twice_in_one_round_is_rejected() {
+        struct DoubleSend {
+            done: bool,
+            second_send_ok: Option<bool>,
+        }
+        impl PeProgram for DoubleSend {
+            type Word = u64;
+            fn tick(&mut self, io: &mut PeIo<u64>) -> PeStatus {
+                if !self.done {
+                    assert!(io.send_right(1));
+                    self.second_send_ok = Some(io.send_right(2));
+                    self.done = true;
+                }
+                PeStatus::Done
+            }
+        }
+        let mut pes = vec![
+            DoubleSend {
+                done: false,
+                second_send_ok: None,
+            },
+            DoubleSend {
+                done: false,
+                second_send_ok: None,
+            },
+        ];
+        run_lockstep(&mut pes, 10);
+        assert_eq!(pes[0].second_send_ok, Some(false));
+    }
+}

@@ -1,0 +1,463 @@
+//! Virtual-time executor for one-directional pipeline programs.
+//!
+//! `Union-Find-Pass` and `Label-Pass` (paper Figs. 5 and 6) have a pure
+//! pipeline shape: PE `i` consumes a queue written by PE `i−1` and writes a
+//! queue read by PE `i+1`, with all other work local. For this shape, a
+//! cycle-by-cycle simulation is unnecessary: running the PEs to completion in
+//! array order while tracking per-PE clocks and per-message availability
+//! times yields *exactly* the same step counts, because information only
+//! flows forward.
+//!
+//! The timing rules (constants from [`crate::costs`]):
+//!
+//! * local work advances the local clock by its unit cost ([`PeCtx::charge`]);
+//! * a message enqueued when the sender's clock reads `t` becomes available
+//!   to the receiver at `t + LINK_LATENCY`;
+//! * a receive first waits (idling) until the next message—or the EOS
+//!   sentinel—is available, then charges `DEQUEUE`. The paper's processors
+//!   poll the queue every step, so blocked time is real machine time; the
+//!   optional idle hook lets the program spend it on useful local work (the
+//!   paper's "perform some path compression when they would otherwise just
+//!   be waiting");
+//! * a send charges `word_steps` (1 on the word-wide SLAP; the message bit
+//!   width on the Theorem 5 bit-serial SLAP).
+//!
+//! The executor appends the paper's explicit EOS handshake itself: after a
+//! stage function returns, one `ENQUEUE` is charged and the EOS becomes
+//! available to the next PE, matching Fig. 5 line 15 / Fig. 6 line 17.
+
+use crate::costs;
+use crate::report::{PeStats, PipelineReport};
+use crate::trace::{push_span, Span, SpanKind};
+
+/// Configuration for one pipeline pass.
+#[derive(Clone, Copy, Debug)]
+pub struct PipelineConfig {
+    /// Number of processing elements (= image columns).
+    pub n_pes: usize,
+    /// Steps to move one message across a link (1 for word links; the
+    /// message bit width for the restricted 1-bit-link SLAP of Theorem 5).
+    pub word_steps: u64,
+    /// Clock value every PE starts at (e.g. the cost of the image input
+    /// phase, or 0 to measure the pass alone).
+    pub start_clock: u64,
+}
+
+impl PipelineConfig {
+    /// Standard word-link SLAP with clocks starting at zero.
+    pub fn word_links(n_pes: usize) -> Self {
+        PipelineConfig {
+            n_pes,
+            word_steps: costs::WORD_STEPS,
+            start_clock: 0,
+        }
+    }
+
+    /// Theorem 5 restricted SLAP: links carry one bit per step, so a
+    /// `bits`-bit message costs `bits` steps to send.
+    pub fn bit_links(n_pes: usize, bits: u32) -> Self {
+        PipelineConfig {
+            n_pes,
+            word_steps: costs::bit_serial_steps(bits),
+            start_clock: 0,
+        }
+    }
+}
+
+/// Execution context handed to each PE's stage function.
+///
+/// Exposes the paper's communication primitives with exact step accounting.
+/// Messages must be received in FIFO order; after [`recv`](PeCtx::recv)
+/// returns `None` (the EOS), further receives are a logic error.
+pub struct PeCtx<M> {
+    pe: usize,
+    clock: u64,
+    word_steps: u64,
+    inbox: Vec<(u64, M)>,
+    inbox_pos: usize,
+    ready_ptr: usize,
+    eos_avail: u64,
+    eos_consumed: bool,
+    outbox: Vec<(u64, M)>,
+    stats: PeStats,
+    spans: Option<Vec<Span>>,
+}
+
+impl<M> PeCtx<M> {
+    fn new(pe: usize, clock: u64, word_steps: u64, inbox: Vec<(u64, M)>, eos_avail: u64) -> Self {
+        PeCtx {
+            pe,
+            clock,
+            word_steps,
+            inbox,
+            inbox_pos: 0,
+            ready_ptr: 0,
+            eos_avail,
+            eos_consumed: false,
+            outbox: Vec::new(),
+            stats: PeStats::default(),
+            spans: None,
+        }
+    }
+
+    /// This PE's index in the array (in flow direction: 0 is the first PE).
+    #[inline]
+    pub fn pe(&self) -> usize {
+        self.pe
+    }
+
+    /// Current local clock.
+    #[inline]
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// Charges `units` of local work.
+    #[inline]
+    pub fn charge(&mut self, units: u64) {
+        if let Some(spans) = &mut self.spans {
+            push_span(spans, SpanKind::Busy, self.clock, self.clock + units);
+        }
+        self.clock += units;
+        self.stats.busy += units;
+    }
+
+    fn wait_until(&mut self, t: u64, mut idle_hook: Option<&mut dyn FnMut(u64) -> u64>) {
+        if t > self.clock {
+            let gap = t - self.clock;
+            if let Some(hook) = idle_hook.as_mut() {
+                let used = hook(gap);
+                debug_assert!(used <= gap, "idle hook overspent its budget");
+                self.stats.idle_used += used.min(gap);
+            }
+            if let Some(spans) = &mut self.spans {
+                push_span(spans, SpanKind::Idle, self.clock, t);
+            }
+            self.stats.idle += gap;
+            self.clock = t;
+        }
+    }
+
+    fn update_queue_depth(&mut self) {
+        while self.ready_ptr < self.inbox.len() && self.inbox[self.ready_ptr].0 <= self.clock {
+            self.ready_ptr += 1;
+        }
+        let depth = (self.ready_ptr.max(self.inbox_pos) - self.inbox_pos) as u64;
+        self.stats.max_queue = self.stats.max_queue.max(depth);
+    }
+
+    /// Receives the next message, blocking (idle) until it is available.
+    /// Returns `None` when the EOS sentinel is consumed instead.
+    pub fn recv(&mut self) -> Option<M>
+    where
+        M: Copy,
+    {
+        self.recv_impl(None)
+    }
+
+    /// Like [`recv`](PeCtx::recv), but spends blocked steps through
+    /// `idle_hook(budget) -> used` (e.g. union–find idle compression).
+    pub fn recv_with(&mut self, idle_hook: &mut dyn FnMut(u64) -> u64) -> Option<M>
+    where
+        M: Copy,
+    {
+        self.recv_impl(Some(idle_hook))
+    }
+
+    fn recv_impl(&mut self, idle_hook: Option<&mut dyn FnMut(u64) -> u64>) -> Option<M>
+    where
+        M: Copy,
+    {
+        debug_assert!(!self.eos_consumed, "receive after EOS");
+        if self.inbox_pos < self.inbox.len() {
+            let (avail, m) = self.inbox[self.inbox_pos];
+            self.inbox_pos += 1;
+            self.wait_until(avail, idle_hook);
+            self.charge(costs::DEQUEUE);
+            self.update_queue_depth();
+            self.stats.received += 1;
+            Some(m)
+        } else {
+            self.wait_until(self.eos_avail, idle_hook);
+            self.charge(costs::DEQUEUE);
+            self.eos_consumed = true;
+            None
+        }
+    }
+
+    /// Sends one message to the next PE, charging the link cost.
+    pub fn send(&mut self, m: M) {
+        let units = self.word_steps;
+        if let Some(spans) = &mut self.spans {
+            push_span(spans, SpanKind::Send, self.clock, self.clock + units);
+        }
+        self.clock += units;
+        self.stats.busy += units;
+        self.outbox.push((self.clock + costs::LINK_LATENCY, m));
+        self.stats.sent += 1;
+    }
+
+    /// Messages received so far (excluding EOS).
+    pub fn received(&self) -> u64 {
+        self.stats.received
+    }
+}
+
+/// Runs a pipeline pass on the standard word-link SLAP, clocks starting at
+/// zero. See [`run_pipeline_with`] for the general form.
+pub fn run_pipeline<M: Copy, R>(
+    n_pes: usize,
+    stage: impl FnMut(usize, &mut PeCtx<M>) -> R,
+) -> (Vec<R>, PipelineReport) {
+    run_pipeline_with(PipelineConfig::word_links(n_pes), stage)
+}
+
+/// Runs one pipeline pass: `stage(pe, ctx)` is invoked for each PE in flow
+/// order and must drain its incoming queue to the EOS (calling
+/// [`PeCtx::recv`]/[`PeCtx::recv_with`] until `None`) before returning.
+///
+/// Returns the per-PE stage outputs plus the step-accounting report. The
+/// report's makespan is the time the *last* PE finishes, i.e. the time the
+/// SIMD controller can start the next phase.
+pub fn run_pipeline_with<M: Copy, R>(
+    cfg: PipelineConfig,
+    stage: impl FnMut(usize, &mut PeCtx<M>) -> R,
+) -> (Vec<R>, PipelineReport) {
+    let (outputs, report, _) = run_pipeline_impl(cfg, stage, false);
+    (outputs, report)
+}
+
+/// [`run_pipeline_with`] with per-PE space–time recording: additionally
+/// returns, for each PE, the [`Span`]s of its busy / idle / send intervals
+/// (see [`crate::trace`] for the Gantt renderer).
+pub fn run_pipeline_traced<M: Copy, R>(
+    cfg: PipelineConfig,
+    stage: impl FnMut(usize, &mut PeCtx<M>) -> R,
+) -> (Vec<R>, PipelineReport, Vec<Vec<Span>>) {
+    run_pipeline_impl(cfg, stage, true)
+}
+
+fn run_pipeline_impl<M: Copy, R>(
+    cfg: PipelineConfig,
+    mut stage: impl FnMut(usize, &mut PeCtx<M>) -> R,
+    record: bool,
+) -> (Vec<R>, PipelineReport, Vec<Vec<Span>>) {
+    assert!(cfg.n_pes > 0, "pipeline needs at least one PE");
+    let mut outputs = Vec::with_capacity(cfg.n_pes);
+    let mut per_pe = Vec::with_capacity(cfg.n_pes);
+    let mut traces = Vec::with_capacity(if record { cfg.n_pes } else { 0 });
+    let mut inbox: Vec<(u64, M)> = Vec::new();
+    // PE 0 sees the EOS immediately (paper Fig. 5 line 8: `if i = 0 then
+    // incoming <- eos`).
+    let mut eos_avail = cfg.start_clock;
+    let mut messages = 0u64;
+    let mut makespan = 0u64;
+    for pe in 0..cfg.n_pes {
+        let mut ctx = PeCtx::new(pe, cfg.start_clock, cfg.word_steps, inbox, eos_avail);
+        if record {
+            ctx.spans = Some(Vec::new());
+        }
+        let out = stage(pe, &mut ctx);
+        assert!(
+            ctx.eos_consumed,
+            "stage for PE {pe} returned without draining its queue to EOS"
+        );
+        // EOS enqueue (Fig. 5 line 15).
+        ctx.charge(costs::ENQUEUE);
+        let mut stats = ctx.stats;
+        stats.finish = ctx.clock;
+        makespan = makespan.max(ctx.clock);
+        messages += stats.sent;
+        eos_avail = ctx.clock + costs::LINK_LATENCY;
+        inbox = ctx.outbox;
+        outputs.push(out);
+        per_pe.push(stats);
+        if let Some(spans) = ctx.spans {
+            traces.push(spans);
+        }
+    }
+    (
+        outputs,
+        PipelineReport {
+            per_pe,
+            makespan,
+            messages,
+        },
+        traces,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Each PE forwards what it receives and appends its own id.
+    fn relay(n: usize) -> (Vec<Vec<u64>>, PipelineReport) {
+        run_pipeline(n, |pe, ctx: &mut PeCtx<u64>| {
+            let mut seen = Vec::new();
+            while let Some(m) = ctx.recv() {
+                seen.push(m);
+                ctx.send(m);
+            }
+            ctx.send(pe as u64);
+            seen
+        })
+    }
+
+    #[test]
+    fn messages_flow_in_order() {
+        let (outputs, _) = relay(4);
+        assert_eq!(outputs[0], Vec::<u64>::new());
+        assert_eq!(outputs[1], vec![0]);
+        assert_eq!(outputs[2], vec![0, 1]);
+        assert_eq!(outputs[3], vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn message_counts_accumulate() {
+        let (_, report) = relay(4);
+        // PE i sends i+1 messages
+        assert_eq!(report.messages, 1 + 2 + 3 + 4);
+        assert_eq!(report.per_pe[3].received, 3);
+        assert_eq!(report.per_pe[3].sent, 4);
+    }
+
+    #[test]
+    fn dequeue_cannot_precede_enqueue() {
+        // PE 0 sends one message after heavy local work; PE 1 must idle.
+        let (_, report) = run_pipeline(2, |pe, ctx: &mut PeCtx<u64>| {
+            if pe == 0 {
+                ctx.charge(100);
+                ctx.send(7);
+            }
+            while ctx.recv().is_some() {}
+        });
+        let p1 = &report.per_pe[1];
+        // PE 1: waits for the message available at 100 + send(1) + latency(1)
+        assert!(p1.idle >= 100, "PE 1 idled only {} steps", p1.idle);
+        // and can never finish before PE 0's EOS reaches it
+        assert!(report.per_pe[1].finish > report.per_pe[0].finish);
+    }
+
+    #[test]
+    fn makespan_is_last_finish() {
+        let (_, report) = relay(8);
+        let max = report.per_pe.iter().map(|p| p.finish).max().unwrap();
+        assert_eq!(report.makespan, max);
+    }
+
+    #[test]
+    fn pipeline_overlaps_work() {
+        // n PEs each doing local work k and relaying 1 message: makespan must
+        // be O(k + n), not O(n * k) — the pipeline effect of Lemma 1.
+        let k = 50u64;
+        let n = 20;
+        let (_, report) = run_pipeline(n, |_, ctx: &mut PeCtx<u64>| {
+            ctx.charge(k);
+            while let Some(m) = ctx.recv() {
+                ctx.send(m);
+            }
+            ctx.send(1);
+        });
+        assert!(
+            report.makespan < k + 10 * n as u64,
+            "no pipeline overlap: makespan {}",
+            report.makespan
+        );
+    }
+
+    #[test]
+    fn bit_links_charge_word_width() {
+        let cfg_word = PipelineConfig::word_links(2);
+        let cfg_bit = PipelineConfig::bit_links(2, 16);
+        let run = |cfg: PipelineConfig| {
+            run_pipeline_with(cfg, |pe, ctx: &mut PeCtx<u64>| {
+                if pe == 0 {
+                    for i in 0..10 {
+                        ctx.send(i);
+                    }
+                }
+                while ctx.recv().is_some() {}
+            })
+            .1
+        };
+        let w = run(cfg_word);
+        let b = run(cfg_bit);
+        // 10 sends at 16 steps instead of 1: 150 extra steps at PE 0.
+        assert_eq!(b.per_pe[0].busy - w.per_pe[0].busy, 10 * 15);
+        assert!(b.makespan > w.makespan + 100);
+    }
+
+    #[test]
+    fn idle_hook_receives_true_gap() {
+        let mut budgets = Vec::new();
+        run_pipeline(2, |pe, ctx: &mut PeCtx<u64>| {
+            if pe == 0 {
+                ctx.charge(40);
+                ctx.send(1);
+            }
+            let mut hook = |b: u64| {
+                budgets.push(b);
+                b / 2 // pretend we used half the idle time
+            };
+            while ctx.recv_with(&mut hook).is_some() {}
+        });
+        // PE 1 first blocks on the message (available at 42), then on EOS.
+        assert!(!budgets.is_empty());
+        assert!(budgets[0] >= 40);
+    }
+
+    #[test]
+    fn idle_used_is_recorded() {
+        let (_, report) = run_pipeline(2, |pe, ctx: &mut PeCtx<u64>| {
+            if pe == 0 {
+                ctx.charge(40);
+                ctx.send(1);
+            }
+            let mut hook = |b: u64| b; // use all idle time
+            while ctx.recv_with(&mut hook).is_some() {}
+        });
+        let p1 = &report.per_pe[1];
+        assert_eq!(p1.idle_used, p1.idle);
+    }
+
+    #[test]
+    fn start_clock_shifts_everything() {
+        let base = run_pipeline(3, |_, ctx: &mut PeCtx<u64>| while ctx.recv().is_some() {}).1;
+        let shifted = run_pipeline_with(
+            PipelineConfig {
+                start_clock: 100,
+                ..PipelineConfig::word_links(3)
+            },
+            |_, ctx: &mut PeCtx<u64>| while ctx.recv().is_some() {},
+        )
+        .1;
+        assert_eq!(shifted.makespan, base.makespan + 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "draining")]
+    fn stage_must_drain_queue() {
+        run_pipeline(2, |_, _ctx: &mut PeCtx<u64>| {});
+    }
+
+    #[test]
+    fn queue_depth_tracks_backlog() {
+        // PE 0 floods 20 instant messages; PE 1 processes them slowly.
+        let (_, report) = run_pipeline(2, |pe, ctx: &mut PeCtx<u64>| {
+            if pe == 0 {
+                for i in 0..20 {
+                    ctx.send(i);
+                }
+            }
+            while ctx.recv().is_some() {
+                ctx.charge(10);
+            }
+        });
+        assert!(
+            report.per_pe[1].max_queue > 5,
+            "expected backlog, max_queue = {}",
+            report.per_pe[1].max_queue
+        );
+    }
+}

@@ -1,0 +1,184 @@
+//! Property tests for the two executors.
+//!
+//! * virtual-time pipeline: clocks are monotone, messages are conserved and
+//!   FIFO, makespans dominate every PE, and timing respects causality under
+//!   arbitrary charge/send schedules;
+//! * lock-step: the threaded runner is bit-identical to the sequential one
+//!   for randomized relay programs at any thread count.
+
+use proptest::prelude::*;
+use slap_machine::{
+    run_lockstep, run_lockstep_threaded, run_pipeline, PeCtx, PeIo, PeProgram, PeStatus,
+};
+
+/// A scripted pipeline stage: for each received message, charge some units
+/// and forward or drop it; plus some locally generated sends up front.
+#[derive(Clone, Debug)]
+struct StageScript {
+    pre_charge: u64,
+    pre_sends: u8,
+    per_msg_charge: u64,
+    forward: bool,
+}
+
+fn stage_strategy() -> impl Strategy<Value = StageScript> {
+    (0u64..50, 0u8..5, 0u64..20, prop::bool::ANY).prop_map(
+        |(pre_charge, pre_sends, per_msg_charge, forward)| StageScript {
+            pre_charge,
+            pre_sends,
+            per_msg_charge,
+            forward,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pipeline_invariants_hold(scripts in prop::collection::vec(stage_strategy(), 1..12)) {
+        let n = scripts.len();
+        let (_, report) = run_pipeline(n, |pe, ctx: &mut PeCtx<u64>| {
+            let s = &scripts[pe];
+            ctx.charge(s.pre_charge);
+            for i in 0..s.pre_sends {
+                ctx.send(i as u64);
+            }
+            while let Some(m) = ctx.recv() {
+                ctx.charge(s.per_msg_charge);
+                if s.forward {
+                    ctx.send(m);
+                }
+            }
+        });
+        // makespan dominates
+        for p in &report.per_pe {
+            prop_assert!(p.finish <= report.makespan);
+            prop_assert!(p.busy <= p.finish);
+        }
+        // conservation: what PE i sends, PE i+1 receives
+        for i in 0..n - 1 {
+            prop_assert_eq!(report.per_pe[i].sent, report.per_pe[i + 1].received);
+        }
+        // causality: a PE that receives k messages cannot finish before k
+        // dequeue steps have elapsed
+        for p in &report.per_pe {
+            prop_assert!(p.finish >= p.received);
+        }
+        // EOS chain: finishes strictly increase by at least one hop... not
+        // necessarily (a later PE can be idle-bound), but the last PE can
+        // never finish before the first (its EOS arrives after PE0's).
+        prop_assert!(report.per_pe[n - 1].finish >= report.per_pe[0].finish);
+    }
+
+    #[test]
+    fn pipeline_message_order_is_fifo(k in 1usize..30) {
+        let (outputs, _) = run_pipeline(2, |pe, ctx: &mut PeCtx<u64>| {
+            let mut got = Vec::new();
+            if pe == 0 {
+                for i in 0..k as u64 {
+                    ctx.send(i);
+                }
+            }
+            while let Some(m) = ctx.recv() {
+                got.push(m);
+            }
+            got
+        });
+        let expect: Vec<u64> = (0..k as u64).collect();
+        prop_assert_eq!(&outputs[1], &expect);
+    }
+}
+
+/// Randomized relay machine for lock-step equivalence testing: each PE waits
+/// a scripted number of ticks, forwards the token with a scripted increment,
+/// possibly bouncing it left first.
+struct ScriptedRelay {
+    delay: u8,
+    bump: u8,
+    bounce_left: bool,
+    index: usize,
+    n: usize,
+    token: Option<u64>,
+    sent: bool,
+    final_value: u64,
+}
+
+impl PeProgram for ScriptedRelay {
+    type Word = u64;
+    fn tick(&mut self, io: &mut PeIo<u64>) -> PeStatus {
+        if let Some(w) = io.recv_left() {
+            self.token = Some(w);
+        }
+        if let Some(w) = io.recv_right() {
+            // bounced token comes back with a marker bit
+            self.token = Some(w | 1 << 40);
+        }
+        if self.delay > 0 {
+            self.delay -= 1;
+            return PeStatus::Running;
+        }
+        match self.token.take() {
+            None if self.index == 0 && !self.sent => {
+                self.sent = true;
+                io.send_right(1);
+                PeStatus::Done
+            }
+            None => PeStatus::Running,
+            Some(w) => {
+                let w = w + self.bump as u64;
+                if self.index + 1 == self.n {
+                    self.final_value = w;
+                    return PeStatus::Done;
+                }
+                if self.bounce_left && self.index > 0 && w & (1 << 40) == 0 {
+                    io.send_left(w);
+                    // after bouncing, pass the original onward too
+                    io.send_right(w);
+                    PeStatus::Done
+                } else {
+                    io.send_right(w);
+                    PeStatus::Done
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn threaded_lockstep_equals_sequential(
+        script in prop::collection::vec((0u8..4, 0u8..10, prop::bool::ANY), 2..24),
+        threads in 2usize..6,
+    ) {
+        let n = script.len();
+        let build = || -> Vec<ScriptedRelay> {
+            script
+                .iter()
+                .enumerate()
+                .map(|(i, &(delay, bump, bounce))| ScriptedRelay {
+                    delay,
+                    bump,
+                    bounce_left: bounce,
+                    index: i,
+                    n,
+                    token: None,
+                    sent: false,
+                    final_value: 0,
+                })
+                .collect()
+        };
+        let mut seq = build();
+        let seq_report = run_lockstep(&mut seq, 100_000);
+        let mut par = build();
+        let par_report = run_lockstep_threaded(&mut par, threads, 100_000);
+        prop_assert_eq!(seq_report.rounds, par_report.rounds);
+        prop_assert_eq!(seq_report.ticks, par_report.ticks);
+        prop_assert_eq!(
+            seq.last().unwrap().final_value,
+            par.last().unwrap().final_value
+        );
+    }
+}

@@ -1,0 +1,326 @@
+//! A SIMD two-dimensional mesh simulator.
+//!
+//! The paper's introduction contrasts the SLAP (n PEs) with mesh algorithms
+//! that label an `n × n` image in `O(n)` time using **n² processors**
+//! [Levialdi 72; Nassimi–Sahni 80; Cypher–Sanz–Snyder 90] and argues the
+//! resource cost is prohibitive ("even with n = 128, n² processors would
+//! greatly exceed the available resources on most existing parallel
+//! machines"). Experiment E6 reproduces that comparison, which requires an
+//! actual mesh to run the baselines on.
+//!
+//! The model: one PE per pixel, NSEW links, lock-step rounds. Every live cell
+//! ticks once per round; words written in round `t` are readable by the
+//! neighbor in round `t+1` (single-word link registers, newest word wins,
+//! exactly like the linear-array executor in `slap-machine`).
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// Result of one cell tick.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CellStatus {
+    /// Keep ticking.
+    Running,
+    /// Finished; the cell is not ticked again and later arrivals are dropped.
+    Done,
+}
+
+/// The four mesh directions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Dir {
+    /// Toward row 0.
+    North,
+    /// Toward the last row.
+    South,
+    /// Toward the last column.
+    East,
+    /// Toward column 0.
+    West,
+}
+
+impl Dir {
+    /// All four directions.
+    pub const ALL: [Dir; 4] = [Dir::North, Dir::South, Dir::East, Dir::West];
+
+    fn index(self) -> usize {
+        match self {
+            Dir::North => 0,
+            Dir::South => 1,
+            Dir::East => 2,
+            Dir::West => 3,
+        }
+    }
+
+    /// The opposite direction.
+    pub fn opposite(self) -> Dir {
+        match self {
+            Dir::North => Dir::South,
+            Dir::South => Dir::North,
+            Dir::East => Dir::West,
+            Dir::West => Dir::East,
+        }
+    }
+}
+
+/// Per-tick I/O window of one cell: the four incoming link registers and the
+/// four outgoing ones (at most one word per direction per round).
+pub struct CellIo<W> {
+    incoming: [Option<W>; 4],
+    outgoing: [Option<W>; 4],
+}
+
+impl<W: Copy> CellIo<W> {
+    /// Consumes the word that arrived from `dir`, if any.
+    pub fn recv(&mut self, dir: Dir) -> Option<W> {
+        self.incoming[dir.index()].take()
+    }
+
+    /// Peeks at the word from `dir` without consuming it.
+    pub fn peek(&self, dir: Dir) -> Option<W> {
+        self.incoming[dir.index()]
+    }
+
+    /// Sends a word toward `dir`; `false` if that link was already used this
+    /// round.
+    pub fn send(&mut self, dir: Dir, w: W) -> bool {
+        let slot = &mut self.outgoing[dir.index()];
+        if slot.is_some() {
+            return false;
+        }
+        *slot = Some(w);
+        true
+    }
+}
+
+/// A mesh cell program; one tick per SIMD round.
+pub trait CellProgram {
+    /// Link word type.
+    type Word: Copy;
+
+    /// Executes one round. `row`/`col` give the cell's coordinates.
+    fn tick(&mut self, row: usize, col: usize, io: &mut CellIo<Self::Word>) -> CellStatus;
+}
+
+/// Accounting from a mesh run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MeshReport {
+    /// Rounds until every cell was done — the mesh machine time.
+    pub rounds: u64,
+    /// Total ticks across cells.
+    pub ticks: u64,
+    /// Number of processors used (`rows * cols`), for the E6 resource
+    /// comparison (`rounds × processors` = work).
+    pub processors: usize,
+}
+
+impl MeshReport {
+    /// Time × processors, the resource product the paper's intro compares.
+    pub fn work(&self) -> u64 {
+        self.rounds * self.processors as u64
+    }
+}
+
+impl fmt::Display for MeshReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} rounds on {} PEs (work {})",
+            self.rounds,
+            self.processors,
+            self.work()
+        )
+    }
+}
+
+/// Runs an `rows × cols` mesh of cell programs to completion.
+///
+/// # Panics
+/// Panics if the mesh is empty or any cell is still running after
+/// `max_rounds`.
+pub fn run_mesh<P: CellProgram>(
+    rows: usize,
+    cols: usize,
+    cells: &mut [P],
+    max_rounds: u64,
+) -> MeshReport {
+    assert!(rows > 0 && cols > 0, "mesh must be non-empty");
+    assert_eq!(cells.len(), rows * cols, "cell count must match dimensions");
+    let n = cells.len();
+    let mut regs: Vec<[Option<P::Word>; 4]> = (0..n).map(|_| [None; 4]).collect();
+    let mut next: Vec<[Option<P::Word>; 4]> = (0..n).map(|_| [None; 4]).collect();
+    let mut done = vec![false; n];
+    let mut active = n;
+    let mut rounds = 0u64;
+    let mut ticks = 0u64;
+    while active > 0 {
+        assert!(
+            rounds < max_rounds,
+            "mesh run exceeded {max_rounds} rounds with {active} cells running"
+        );
+        for r in 0..rows {
+            for c in 0..cols {
+                let i = r * cols + c;
+                if done[i] {
+                    continue;
+                }
+                let mut io = CellIo {
+                    incoming: std::mem::take(&mut regs[i]),
+                    outgoing: [None; 4],
+                };
+                let status = cells[i].tick(r, c, &mut io);
+                ticks += 1;
+                regs[i] = io.incoming; // unconsumed words persist
+                // deliver sends: a word sent toward `dir` lands in the
+                // neighbor's register for the opposite direction
+                for dir in Dir::ALL {
+                    if let Some(w) = io.outgoing[dir.index()] {
+                        let target = match dir {
+                            Dir::North if r > 0 => Some(i - cols),
+                            Dir::South if r + 1 < rows => Some(i + cols),
+                            Dir::East if c + 1 < cols => Some(i + 1),
+                            Dir::West if c > 0 => Some(i - 1),
+                            _ => None,
+                        };
+                        if let Some(t) = target {
+                            next[t][dir.opposite().index()] = Some(w);
+                        }
+                    }
+                }
+                if status == CellStatus::Done {
+                    done[i] = true;
+                    active -= 1;
+                }
+            }
+        }
+        for i in 0..n {
+            for d in 0..4 {
+                if let Some(w) = next[i][d].take() {
+                    regs[i][d] = Some(w);
+                }
+            }
+        }
+        rounds += 1;
+    }
+    MeshReport {
+        rounds,
+        ticks,
+        processors: n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every cell starts with a value; each round it sends its value east and
+    /// adopts the minimum of itself and arrivals; stops after `deadline`
+    /// rounds. Row minima must propagate east.
+    struct RowMin {
+        value: u64,
+        rounds_left: u32,
+    }
+
+    impl CellProgram for RowMin {
+        type Word = u64;
+        fn tick(&mut self, _r: usize, _c: usize, io: &mut CellIo<u64>) -> CellStatus {
+            if let Some(w) = io.recv(Dir::West) {
+                self.value = self.value.min(w);
+            }
+            io.send(Dir::East, self.value);
+            if self.rounds_left == 0 {
+                CellStatus::Done
+            } else {
+                self.rounds_left -= 1;
+                CellStatus::Running
+            }
+        }
+    }
+
+    #[test]
+    fn values_propagate_east() {
+        let (rows, cols) = (3, 6);
+        let mut cells: Vec<RowMin> = (0..rows * cols)
+            .map(|i| RowMin {
+                value: (i % cols) as u64 + 100 * (i / cols) as u64,
+                rounds_left: cols as u32,
+            })
+            .collect();
+        let report = run_mesh(rows, cols, &mut cells, 1000);
+        for r in 0..rows {
+            // eastmost cell has seen the whole row: min = 100 * r
+            assert_eq!(cells[r * cols + cols - 1].value, 100 * r as u64);
+        }
+        assert_eq!(report.processors, rows * cols);
+        assert!(report.rounds >= cols as u64);
+    }
+
+    #[test]
+    fn corner_sends_are_dropped() {
+        struct EdgeSpammer {
+            n: u32,
+        }
+        impl CellProgram for EdgeSpammer {
+            type Word = u64;
+            fn tick(&mut self, _r: usize, _c: usize, io: &mut CellIo<u64>) -> CellStatus {
+                for d in Dir::ALL {
+                    io.send(d, 1);
+                }
+                self.n -= 1;
+                if self.n == 0 {
+                    CellStatus::Done
+                } else {
+                    CellStatus::Running
+                }
+            }
+        }
+        let mut cells = vec![EdgeSpammer { n: 3 }];
+        let report = run_mesh(1, 1, &mut cells, 100);
+        assert_eq!(report.rounds, 3);
+    }
+
+    #[test]
+    fn opposite_direction_pairs() {
+        for d in Dir::ALL {
+            assert_eq!(d.opposite().opposite(), d);
+        }
+    }
+
+    #[test]
+    fn work_is_rounds_times_processors() {
+        let r = MeshReport {
+            rounds: 7,
+            ticks: 0,
+            processors: 9,
+        };
+        assert_eq!(r.work(), 63);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeded")]
+    fn runaway_mesh_is_caught() {
+        struct Forever;
+        impl CellProgram for Forever {
+            type Word = u8;
+            fn tick(&mut self, _r: usize, _c: usize, _io: &mut CellIo<u8>) -> CellStatus {
+                CellStatus::Running
+            }
+        }
+        let mut cells = vec![Forever, Forever, Forever, Forever];
+        run_mesh(2, 2, &mut cells, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "must match")]
+    fn wrong_cell_count_rejected() {
+        struct Noop;
+        impl CellProgram for Noop {
+            type Word = u8;
+            fn tick(&mut self, _r: usize, _c: usize, _io: &mut CellIo<u8>) -> CellStatus {
+                CellStatus::Done
+            }
+        }
+        let mut cells = vec![Noop];
+        run_mesh(2, 2, &mut cells, 10);
+    }
+}

@@ -1,0 +1,426 @@
+//! Blum's k-UF trees: `O(lg n / lg lg n)` worst case per operation \[3\].
+//!
+//! Elements live at the **leaves** of shallow k-ary trees; internal nodes are
+//! auxiliary. The invariants maintained are
+//!
+//! 1. every leaf of a tree is at the same depth (equivalently, every child of
+//!    a node at height `h` has height `h − 1`);
+//! 2. every *internal non-root* node has at least `k` children;
+//! 3. every internal root has at least 2 children.
+//!
+//! Together these give `leaves ≥ 2·k^(h−1)` for a tree of height `h ≥ 1`, so
+//! `h ≤ 1 + log_k(n/2)`. A `find` climbs the leaf-to-root path:
+//! `O(log n / log k)` units. A `union` either *fuses* a root with fewer than
+//! `k` children into the other root (`O(k)` units), stacks a new root over
+//! two k-heavy roots of equal height (`O(1)`), or hangs the shorter tree off
+//! a node at the right level of the taller one (`O(height)`), never breaking
+//! 1–3. With `k = ⌈lg n / lg lg n⌉` both operations are
+//! `O(lg n / lg lg n)` worst case — the bound behind the paper's Theorem 3.
+//!
+//! Representatives are internal-node ids (or the leaf itself for singleton
+//! sets), so they may be ≥ the element count; see
+//! [`id_bound`](crate::UnionFind::id_bound).
+
+use crate::UnionFind;
+
+const NONE: u32 = u32::MAX;
+
+struct Node {
+    parent: u32,
+    /// Height of the subtree rooted here (0 = leaf). Fixed at creation:
+    /// restructuring only ever reattaches whole subtrees at level-consistent
+    /// positions.
+    height: u32,
+    /// Child list. Only consulted while this node can still act as a root
+    /// (fusion) or to walk down one level (`children[0]`); moved wholesale on
+    /// fusion.
+    children: Vec<u32>,
+    /// Set when the node was fused away; dead nodes are never revisited.
+    dead: bool,
+}
+
+/// Blum's k-UF trees. See the module docs.
+pub struct BlumUf {
+    nodes: Vec<Node>,
+    n_elements: usize,
+    k: usize,
+    sets: usize,
+    cost: u64,
+}
+
+impl BlumUf {
+    /// Creates the structure with an explicit branching parameter `k ≥ 2`
+    /// (the default constructor picks `k ≈ lg n / lg lg n`).
+    pub fn with_k(n: usize, k: usize) -> Self {
+        assert!(k >= 2, "k must be at least 2");
+        assert!(n < (u32::MAX / 2) as usize, "element count too large");
+        let nodes = (0..n)
+            .map(|_| Node {
+                parent: NONE,
+                height: 0,
+                children: Vec::new(),
+                dead: false,
+            })
+            .collect();
+        BlumUf {
+            nodes,
+            n_elements: n,
+            k,
+            sets: n,
+            cost: 0,
+        }
+    }
+
+    /// The branching parameter chosen for `n` elements:
+    /// `max(2, ⌈lg n / lg lg n⌉)`.
+    pub fn default_k(n: usize) -> usize {
+        if n < 4 {
+            return 2;
+        }
+        let lg = (n as f64).log2();
+        let lglg = lg.log2();
+        (lg / lglg).ceil() as usize
+    }
+
+    /// The branching parameter in use.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Height of the tree containing `x` (diagnostic; not metered).
+    pub fn tree_height(&self, mut x: usize) -> usize {
+        while self.nodes[x].parent != NONE {
+            x = self.nodes[x].parent as usize;
+        }
+        self.nodes[x].height as usize
+    }
+
+    fn alloc(&mut self, height: u32, children: Vec<u32>) -> usize {
+        let id = self.nodes.len();
+        assert!(id < u32::MAX as usize);
+        self.nodes.push(Node {
+            parent: NONE,
+            height,
+            children,
+            dead: false,
+        });
+        id
+    }
+
+    /// Walks down from root `r` to the node at height `target` following
+    /// first-child pointers, metering one unit per step.
+    fn descend(&mut self, r: usize, target: u32) -> usize {
+        let mut v = r;
+        while self.nodes[v].height > target {
+            v = self.nodes[v].children[0] as usize;
+            self.cost += 1;
+        }
+        v
+    }
+
+    /// Checks invariants 1–3 over all live nodes, panicking with a
+    /// description on violation. Test / debugging aid (not metered).
+    #[doc(hidden)]
+    pub fn check_invariants(&self) {
+        let k = self.k;
+        let mut live_roots = 0usize;
+        for (id, node) in self.nodes.iter().enumerate() {
+            if node.dead {
+                continue;
+            }
+            if node.parent == NONE {
+                live_roots += 1;
+                if node.height > 0 {
+                    assert!(
+                        node.children.len() >= 2,
+                        "root {id} at height {} has {} < 2 children",
+                        node.height,
+                        node.children.len()
+                    );
+                }
+            }
+            if node.height > 0 {
+                if node.parent != NONE {
+                    assert!(
+                        node.children.len() >= k,
+                        "internal non-root {id} has {} < k={k} children",
+                        node.children.len()
+                    );
+                }
+                for &ch in &node.children {
+                    let ch = ch as usize;
+                    assert!(!self.nodes[ch].dead, "live node {id} has dead child {ch}");
+                    assert_eq!(
+                        self.nodes[ch].parent, id as u32,
+                        "child {ch} does not point back at {id}"
+                    );
+                    assert_eq!(
+                        self.nodes[ch].height + 1,
+                        node.height,
+                        "child {ch} of {id} at wrong level"
+                    );
+                }
+            }
+        }
+        assert_eq!(live_roots, self.sets, "root count != set count");
+        // Height bound: leaves >= 2*k^(h-1).
+        for (id, node) in self.nodes.iter().enumerate() {
+            if node.dead || node.parent != NONE || node.height == 0 {
+                continue;
+            }
+            let h = node.height as usize;
+            let min_leaves = 2usize.saturating_mul(k.saturating_pow(h as u32 - 1));
+            let leaves = self.count_leaves(id);
+            assert!(
+                leaves >= min_leaves.min(self.n_elements),
+                "tree at {id}: height {h} with only {leaves} leaves (k={k})"
+            );
+        }
+    }
+
+    fn count_leaves(&self, id: usize) -> usize {
+        let node = &self.nodes[id];
+        if node.height == 0 {
+            return 1;
+        }
+        node.children
+            .iter()
+            .map(|&c| self.count_leaves(c as usize))
+            .sum()
+    }
+}
+
+impl UnionFind for BlumUf {
+    fn with_elements(n: usize) -> Self {
+        Self::with_k(n, Self::default_k(n))
+    }
+
+    fn len(&self) -> usize {
+        self.n_elements
+    }
+
+    fn id_bound(&self) -> usize {
+        // Each union allocates at most one node and n-1 unions are possible,
+        // but fused-away allocations keep ids monotone: 2n covers everything.
+        2 * self.n_elements.max(1)
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        debug_assert!(x < self.n_elements, "find on non-element id");
+        self.cost += 1;
+        let mut cur = x;
+        while self.nodes[cur].parent != NONE {
+            cur = self.nodes[cur].parent as usize;
+            self.cost += 1;
+        }
+        cur
+    }
+
+    fn union_roots(&mut self, ra: usize, rb: usize) -> usize {
+        debug_assert!(!self.nodes[ra].dead && self.nodes[ra].parent == NONE, "ra not a live root");
+        debug_assert!(!self.nodes[rb].dead && self.nodes[rb].parent == NONE, "rb not a live root");
+        self.cost += 1;
+        if ra == rb {
+            return ra;
+        }
+        self.sets -= 1;
+        let (ha, hb) = (self.nodes[ra].height, self.nodes[rb].height);
+        // Arrange: height(a) <= height(b).
+        let (a, b, ha, hb) = if ha <= hb { (ra, rb, ha, hb) } else { (rb, ra, hb, ha) };
+        let k = self.k;
+        if ha == hb {
+            if ha == 0 {
+                // two singleton leaves: stack a new root over both
+                let r = self.alloc(1, vec![a as u32, b as u32]);
+                self.nodes[a].parent = r as u32;
+                self.nodes[b].parent = r as u32;
+                self.cost += 2;
+                r
+            } else {
+                let (da, db) = (self.nodes[a].children.len(), self.nodes[b].children.len());
+                if da.min(db) < k {
+                    // fuse the lighter root into the heavier one
+                    let (src, dst) = if da <= db { (a, b) } else { (b, a) };
+                    let moved = std::mem::take(&mut self.nodes[src].children);
+                    self.cost += moved.len() as u64;
+                    for &ch in &moved {
+                        self.nodes[ch as usize].parent = dst as u32;
+                    }
+                    self.nodes[dst].children.extend(moved);
+                    self.nodes[src].dead = true;
+                    dst
+                } else {
+                    // both roots k-heavy: stack a new root over them
+                    let r = self.alloc(hb + 1, vec![a as u32, b as u32]);
+                    self.nodes[a].parent = r as u32;
+                    self.nodes[b].parent = r as u32;
+                    self.cost += 2;
+                    r
+                }
+            }
+        } else {
+            // ha < hb: hang tree a off tree b at the right level
+            let deg_a = self.nodes[a].children.len();
+            if ha == 0 || deg_a >= k {
+                // a itself may become an internal node: attach it at height ha+1
+                let v = self.descend(b, ha + 1);
+                self.nodes[a].parent = v as u32;
+                self.nodes[v].children.push(a as u32);
+                self.cost += 1;
+            } else {
+                // a's root is too light to become internal: donate its
+                // children to a node of b at height ha instead
+                let w = self.descend(b, ha);
+                let moved = std::mem::take(&mut self.nodes[a].children);
+                self.cost += moved.len() as u64;
+                for &ch in &moved {
+                    self.nodes[ch as usize].parent = w as u32;
+                }
+                self.nodes[w].children.extend(moved);
+                self.nodes[a].dead = true;
+            }
+            b
+        }
+    }
+
+    fn set_count(&self) -> usize {
+        self.sets
+    }
+
+    fn cost(&self) -> u64 {
+        self.cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_k_grows_slowly() {
+        assert_eq!(BlumUf::default_k(2), 2);
+        assert!(BlumUf::default_k(16) >= 2);
+        assert!(BlumUf::default_k(1 << 20) <= 7);
+        assert!(BlumUf::default_k(1 << 20) >= 4);
+    }
+
+    #[test]
+    fn basic_union_find() {
+        let mut uf = BlumUf::with_elements(10);
+        uf.union(0, 1);
+        uf.union(2, 3);
+        assert!(uf.same_set(0, 1));
+        assert!(!uf.same_set(0, 2));
+        uf.union(1, 3);
+        assert!(uf.same_set(0, 2));
+        assert_eq!(uf.set_count(), 7);
+        uf.check_invariants();
+    }
+
+    #[test]
+    fn chain_unions_keep_invariants() {
+        let n = 200;
+        let mut uf = BlumUf::with_k(n, 3);
+        for x in 0..n - 1 {
+            uf.union(x, x + 1);
+            uf.check_invariants();
+        }
+        assert_eq!(uf.set_count(), 1);
+        for x in 0..n {
+            assert_eq!(uf.find(x), uf.find(0));
+        }
+    }
+
+    #[test]
+    fn tournament_unions_keep_invariants_and_height_bound() {
+        let n = 256;
+        let mut uf = BlumUf::with_k(n, 4);
+        let mut stride = 1;
+        while stride < n {
+            for base in (0..n).step_by(2 * stride) {
+                uf.union(base, base + stride);
+            }
+            uf.check_invariants();
+            stride *= 2;
+        }
+        assert_eq!(uf.set_count(), 1);
+        // h <= 1 + log_k(n/2) = 1 + log_4(128) = 1 + 3.5 -> 4 (integer heights)
+        assert!(uf.tree_height(0) <= 4, "height {} too tall", uf.tree_height(0));
+    }
+
+    #[test]
+    fn find_cost_bounded_by_height_plus_one() {
+        let n = 1 << 12;
+        let mut uf = BlumUf::with_elements(n);
+        let mut stride = 1;
+        while stride < n {
+            for base in (0..n).step_by(2 * stride) {
+                uf.union(base, base + stride);
+            }
+            stride *= 2;
+        }
+        let h = uf.tree_height(0) as u64;
+        for x in (0..n).step_by(97) {
+            let c0 = uf.cost();
+            uf.find(x);
+            assert!(uf.cost() - c0 <= h + 1);
+        }
+    }
+
+    #[test]
+    fn per_op_cost_is_worst_case_bounded() {
+        // Every single union/find must cost O(k + log_k n); check an explicit
+        // numeric bound over a mixed workload.
+        let n = 1 << 10;
+        let k = BlumUf::default_k(n);
+        let mut uf = BlumUf::with_elements(n);
+        let bound = (2 * k + 4 * ((n as f64).log2() / (k as f64).log2()).ceil() as usize + 8) as u64;
+        let mut worst = 0u64;
+        let mut stride = 1;
+        while stride < n {
+            for base in (0..n).step_by(2 * stride) {
+                let c0 = uf.cost();
+                let ra = uf.find(base);
+                let rb = uf.find(base + stride);
+                uf.union_roots(ra, rb);
+                worst = worst.max(uf.cost() - c0);
+            }
+            stride *= 2;
+        }
+        assert!(worst <= bound, "single op cost {worst} exceeds bound {bound}");
+    }
+
+    #[test]
+    fn mixed_random_ops_match_quickfind() {
+        use crate::quickfind::QuickFind;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        let n = 120;
+        let mut blum = BlumUf::with_k(n, 3);
+        let mut reference = QuickFind::with_elements(n);
+        for _ in 0..400 {
+            let x = rng.gen_range(0..n);
+            let y = rng.gen_range(0..n);
+            if rng.gen_bool(0.5) {
+                blum.union(x, y);
+                reference.union(x, y);
+            } else {
+                assert_eq!(blum.same_set(x, y), reference.same_set(x, y));
+            }
+        }
+        blum.check_invariants();
+        assert_eq!(blum.set_count(), reference.set_count());
+    }
+
+    #[test]
+    fn singleton_attach_into_tall_tree() {
+        let mut uf = BlumUf::with_k(8, 2);
+        uf.union(0, 1);
+        uf.union(2, 3);
+        uf.union(0, 2); // height 2 tree
+        uf.union(0, 7); // singleton into tall tree
+        uf.check_invariants();
+        assert!(uf.same_set(1, 7));
+    }
+}

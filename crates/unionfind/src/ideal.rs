@@ -1,0 +1,80 @@
+//! The Lemma 1/2 cost oracle: correct sets, unit-cost meter.
+
+use crate::rank_halving::RankHalvingUf;
+use crate::UnionFind;
+
+/// A correct union–find whose **meter** charges exactly one unit per `find`
+/// and per `union_roots`, regardless of the real work done.
+///
+/// Section 2 of the paper analyzes Algorithm CC "under the assumption that
+/// each union-find operation can be performed in constant time" (Lemma 1 and
+/// Lemma 2 conclude `O(n)` total). Running the full pipeline with this
+/// structure reproduces exactly that accounting, so experiment E1 can verify
+/// the linear bound without inventing a fictional data structure: set
+/// semantics come from a real [`RankHalvingUf`], only the clock is idealized.
+pub struct IdealO1 {
+    inner: RankHalvingUf,
+    ops: u64,
+}
+
+impl UnionFind for IdealO1 {
+    fn with_elements(n: usize) -> Self {
+        IdealO1 {
+            inner: RankHalvingUf::with_elements(n),
+            ops: 0,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn id_bound(&self) -> usize {
+        self.inner.id_bound()
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        self.ops += 1;
+        self.inner.find(x)
+    }
+
+    fn union_roots(&mut self, ra: usize, rb: usize) -> usize {
+        self.ops += 1;
+        self.inner.union_roots(ra, rb)
+    }
+
+    fn set_count(&self) -> usize {
+        self.inner.set_count()
+    }
+
+    fn cost(&self) -> u64 {
+        self.ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_exactly_one_unit_per_operation() {
+        let mut uf = IdealO1::with_elements(64);
+        assert_eq!(uf.cost(), 0);
+        for x in 0..63 {
+            uf.union(x, x + 1); // 2 finds + 1 union = 3 units
+        }
+        assert_eq!(uf.cost(), 63 * 3);
+        let c = uf.cost();
+        uf.find(0);
+        assert_eq!(uf.cost(), c + 1);
+    }
+
+    #[test]
+    fn semantics_match_inner_structure() {
+        let mut uf = IdealO1::with_elements(16);
+        uf.union(0, 8);
+        uf.union(8, 15);
+        assert!(uf.same_set(0, 15));
+        assert_eq!(uf.set_count(), 14);
+    }
+}

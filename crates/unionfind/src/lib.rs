@@ -1,0 +1,248 @@
+//! Disjoint-set (union–find) implementations with unit-cost metering.
+//!
+//! Section 3 of Greenberg (SPAA 1995) shows that the running time of the
+//! SLAP component-labeling algorithm is governed by the *single-operation*
+//! cost of union–find, not the amortized cost:
+//!
+//! * weighted union + path compression (Tarjan \[20\]) gives near-linear
+//!   amortized work but Θ(lg n) single finds → `O(n lg n)` labeling;
+//! * Blum's k-UF trees \[3\] bound every operation by `O(lg n / lg lg n)` →
+//!   `O(n lg n / lg lg n)` labeling (the paper's Theorem 3);
+//! * union by rank + path halving (Tarjan & van Leeuwen \[21\]) is the
+//!   "one-pass" practical variant the paper recommends for compressing
+//!   during otherwise-idle processor time.
+//!
+//! Every implementation here meters its work in abstract **units** (one
+//! pointer follow / pointer write / comparison each); the SLAP simulator
+//! charges those units as processor time steps. `cost()` is cumulative, so
+//! callers measure an operation with
+//! `let c0 = uf.cost(); …; let elapsed = uf.cost() - c0;`.
+//!
+//! Representative ids are **unstable across unions** (a union may change the
+//! root). Algorithms that attach per-set data (like the paper's
+//! `adjnext`/`adjprev`) read the payloads of both roots before the union and
+//! write the merged payload at the returned root. Payload arrays should be
+//! sized by [`UnionFind::id_bound`]: Blum trees use auxiliary internal nodes,
+//! so representatives may be numbers ≥ the element count.
+
+#![warn(missing_docs)]
+
+pub mod blum;
+pub mod ideal;
+pub mod quickfind;
+pub mod rank_halving;
+pub mod rem;
+pub mod splitting;
+pub mod tarjan;
+pub mod weighted;
+
+pub use blum::BlumUf;
+pub use ideal::IdealO1;
+pub use quickfind::QuickFind;
+pub use rank_halving::RankHalvingUf;
+pub use rem::RemUf;
+pub use splitting::SplittingUf;
+pub use tarjan::TarjanUf;
+pub use weighted::WeightedUf;
+
+/// A disjoint-set structure over elements `0..len()` with unit-cost metering.
+///
+/// All operations meter their work into [`cost`](UnionFind::cost). See the
+/// crate docs for the unit convention and the representative-stability
+/// caveat.
+pub trait UnionFind {
+    /// Creates a structure with `n` singleton sets (elements `0..n`).
+    fn with_elements(n: usize) -> Self
+    where
+        Self: Sized;
+
+    /// Number of elements.
+    fn len(&self) -> usize;
+
+    /// `true` when there are no elements.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Exclusive upper bound on representative ids ever returned by
+    /// [`find`](UnionFind::find); size per-set payload arrays with this.
+    fn id_bound(&self) -> usize;
+
+    /// Returns the representative of the set containing `x`.
+    fn find(&mut self, x: usize) -> usize;
+
+    /// Unions the sets whose representatives are `ra` and `rb` (as returned
+    /// by a *current* [`find`](UnionFind::find)); returns the representative
+    /// of the merged set. Calling it with stale or non-root ids is a logic
+    /// error (checked with `debug_assert`).
+    ///
+    /// Unioning a root with itself is a no-op returning that root.
+    fn union_roots(&mut self, ra: usize, rb: usize) -> usize;
+
+    /// Convenience: `find` both elements, then [`union_roots`](UnionFind::union_roots); returns the
+    /// merged representative.
+    fn union(&mut self, x: usize, y: usize) -> usize {
+        let ra = self.find(x);
+        let rb = self.find(y);
+        self.union_roots(ra, rb)
+    }
+
+    /// `true` when `x` and `y` are currently in the same set.
+    fn same_set(&mut self, x: usize, y: usize) -> bool {
+        self.find(x) == self.find(y)
+    }
+
+    /// Number of disjoint sets currently represented.
+    fn set_count(&self) -> usize;
+
+    /// Cumulative metered work, in units.
+    fn cost(&self) -> u64;
+
+    /// Performs up to `budget` units of restructuring that would otherwise
+    /// happen inside finds (path compression), without affecting the sets.
+    /// Returns the units actually spent. Implementations without useful idle
+    /// work return 0. Idle work is metered into
+    /// [`idle_cost`](UnionFind::idle_cost), *not* [`cost`](UnionFind::cost):
+    /// the SLAP model charges it against processor idle time.
+    fn idle_compress(&mut self, _budget: u64) -> u64 {
+        0
+    }
+
+    /// Cumulative units spent in [`idle_compress`](UnionFind::idle_compress).
+    fn idle_cost(&self) -> u64 {
+        0
+    }
+}
+
+/// Runtime-selectable union–find implementation, for CLIs and experiment
+/// harnesses (generic code should use the trait directly).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum UfKind {
+    /// Eager array relabeling: O(1) find, O(smaller set) union.
+    QuickFind,
+    /// Union by size, no compression: O(lg n) find worst case.
+    Weighted,
+    /// Union by size + full two-pass path compression (Tarjan \[20\]).
+    Tarjan,
+    /// Union by rank + path halving (Tarjan & van Leeuwen \[21\]).
+    RankHalving,
+    /// Union by rank + path splitting (Tarjan & van Leeuwen \[21\]).
+    Splitting,
+    /// Rem's algorithm: linking by index with interleaved splicing.
+    Rem,
+    /// Blum k-UF trees: O(lg n / lg lg n) worst case per operation \[3\].
+    Blum,
+    /// Correct structure whose *meter* charges exactly 1 unit per operation —
+    /// the "assume unions and finds are constant time" oracle of Lemma 1/2.
+    IdealO1,
+}
+
+impl UfKind {
+    /// All kinds, in a stable order.
+    pub const ALL: &'static [UfKind] = &[
+        UfKind::QuickFind,
+        UfKind::Weighted,
+        UfKind::Tarjan,
+        UfKind::RankHalving,
+        UfKind::Splitting,
+        UfKind::Rem,
+        UfKind::Blum,
+        UfKind::IdealO1,
+    ];
+
+    /// Short stable name (accepted by [`UfKind::parse`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            UfKind::QuickFind => "quickfind",
+            UfKind::Weighted => "weighted",
+            UfKind::Tarjan => "tarjan",
+            UfKind::RankHalving => "rank-halving",
+            UfKind::Splitting => "splitting",
+            UfKind::Rem => "rem",
+            UfKind::Blum => "blum",
+            UfKind::IdealO1 => "ideal",
+        }
+    }
+
+    /// Parses a [`UfKind::name`].
+    pub fn parse(s: &str) -> Option<UfKind> {
+        UfKind::ALL.iter().copied().find(|k| k.name() == s)
+    }
+
+    /// Builds a boxed instance with `n` elements.
+    pub fn build(self, n: usize) -> Box<dyn UnionFind> {
+        match self {
+            UfKind::QuickFind => Box::new(QuickFind::with_elements(n)),
+            UfKind::Weighted => Box::new(WeightedUf::with_elements(n)),
+            UfKind::Tarjan => Box::new(TarjanUf::with_elements(n)),
+            UfKind::RankHalving => Box::new(RankHalvingUf::with_elements(n)),
+            UfKind::Splitting => Box::new(SplittingUf::with_elements(n)),
+            UfKind::Rem => Box::new(RemUf::with_elements(n)),
+            UfKind::Blum => Box::new(BlumUf::with_elements(n)),
+            UfKind::IdealO1 => Box::new(IdealO1::with_elements(n)),
+        }
+    }
+}
+
+impl std::fmt::Display for UfKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl UnionFind for Box<dyn UnionFind> {
+    fn with_elements(_n: usize) -> Self {
+        unimplemented!("construct via UfKind::build")
+    }
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+    fn id_bound(&self) -> usize {
+        (**self).id_bound()
+    }
+    fn find(&mut self, x: usize) -> usize {
+        (**self).find(x)
+    }
+    fn union_roots(&mut self, ra: usize, rb: usize) -> usize {
+        (**self).union_roots(ra, rb)
+    }
+    fn set_count(&self) -> usize {
+        (**self).set_count()
+    }
+    fn cost(&self) -> u64 {
+        (**self).cost()
+    }
+    fn idle_compress(&mut self, budget: u64) -> u64 {
+        (**self).idle_compress(budget)
+    }
+    fn idle_cost(&self) -> u64 {
+        (**self).idle_cost()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_roundtrip() {
+        for &k in UfKind::ALL {
+            assert_eq!(UfKind::parse(k.name()), Some(k));
+        }
+        assert_eq!(UfKind::parse("bogus"), None);
+    }
+
+    #[test]
+    fn boxed_dispatch_works() {
+        for &k in UfKind::ALL {
+            let mut uf = k.build(8);
+            assert_eq!(uf.len(), 8);
+            assert_eq!(uf.set_count(), 8);
+            let r = uf.union(1, 2);
+            assert_eq!(uf.find(1), uf.find(2));
+            assert_eq!(uf.find(1), r);
+            assert_eq!(uf.set_count(), 7);
+            assert!(uf.cost() > 0, "{k} metered no cost");
+        }
+    }
+}

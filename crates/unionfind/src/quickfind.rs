@@ -1,0 +1,122 @@
+//! Eager-relabeling ("quick-find") disjoint sets.
+
+use crate::UnionFind;
+
+/// Quick-find: every element stores its set id directly; `find` is one array
+/// read, `union` relabels the smaller set (so total union work is
+/// O(n lg n) over any sequence, but a single union costs up to n/2 units).
+///
+/// Used as the differential-testing reference for the cleverer structures
+/// and as an ablation point in experiment E10.
+pub struct QuickFind {
+    id: Vec<u32>,
+    /// members[s] lists the elements currently labeled s (only meaningful
+    /// when s is a live set id).
+    members: Vec<Vec<u32>>,
+    sets: usize,
+    cost: u64,
+}
+
+impl UnionFind for QuickFind {
+    fn with_elements(n: usize) -> Self {
+        assert!(n < u32::MAX as usize, "element count too large");
+        QuickFind {
+            id: (0..n as u32).collect(),
+            members: (0..n as u32).map(|x| vec![x]).collect(),
+            sets: n,
+            cost: 0,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.id.len()
+    }
+
+    fn id_bound(&self) -> usize {
+        self.id.len()
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        self.cost += 1;
+        self.id[x] as usize
+    }
+
+    fn union_roots(&mut self, ra: usize, rb: usize) -> usize {
+        debug_assert_eq!(self.id[self.members[ra][0] as usize] as usize, ra);
+        debug_assert_eq!(self.id[self.members[rb][0] as usize] as usize, rb);
+        self.cost += 1;
+        if ra == rb {
+            return ra;
+        }
+        let (small, big) = if self.members[ra].len() <= self.members[rb].len() {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        let moved = std::mem::take(&mut self.members[small]);
+        self.cost += moved.len() as u64;
+        for &m in &moved {
+            self.id[m as usize] = big as u32;
+        }
+        self.members[big].extend(moved);
+        self.sets -= 1;
+        big
+    }
+
+    fn set_count(&self) -> usize {
+        self.sets
+    }
+
+    fn cost(&self) -> u64 {
+        self.cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_after_construction() {
+        let mut uf = QuickFind::with_elements(4);
+        for x in 0..4 {
+            assert_eq!(uf.find(x), x);
+        }
+        assert_eq!(uf.set_count(), 4);
+    }
+
+    #[test]
+    fn union_merges_and_keeps_counts() {
+        let mut uf = QuickFind::with_elements(5);
+        uf.union(0, 1);
+        uf.union(3, 4);
+        assert_eq!(uf.set_count(), 3);
+        assert!(uf.same_set(0, 1));
+        assert!(uf.same_set(3, 4));
+        assert!(!uf.same_set(0, 3));
+        uf.union(1, 4);
+        assert!(uf.same_set(0, 3));
+        assert_eq!(uf.set_count(), 2);
+    }
+
+    #[test]
+    fn self_union_is_noop() {
+        let mut uf = QuickFind::with_elements(3);
+        let r = uf.find(1);
+        assert_eq!(uf.union_roots(r, r), r);
+        assert_eq!(uf.set_count(), 3);
+    }
+
+    #[test]
+    fn union_cost_tracks_smaller_side() {
+        let mut uf = QuickFind::with_elements(8);
+        // Build a set of size 4 and a set of size 1; union cost should move 1.
+        uf.union(0, 1);
+        uf.union(0, 2);
+        uf.union(0, 3);
+        let before = uf.cost();
+        uf.union(0, 7);
+        // 2 finds (2 units) + 1 overhead + 1 moved element
+        assert_eq!(uf.cost() - before, 4);
+    }
+}

@@ -1,0 +1,192 @@
+//! Union by rank + path halving (Tarjan & van Leeuwen \[21\]).
+
+use crate::UnionFind;
+
+/// The "one-pass" scheme the paper recommends for interleaving compression
+/// with waiting: path *halving* makes progress even if a find is abandoned
+/// before reaching the root, and union by rank is shown in \[21\] to combine
+/// well with it (same inverse-Ackermann amortized bound as full compression).
+///
+/// `find` walks to the root, shortcutting every other node to its grandparent
+/// as it goes (1 unit per follow, 1 per rewrite). `union_roots` is 1 unit.
+pub struct RankHalvingUf {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+    sets: usize,
+    cost: u64,
+    idle_cost: u64,
+    idle_cursor: usize,
+}
+
+impl RankHalvingUf {
+    const ROOT: u32 = u32::MAX;
+
+    /// Depth of `x` in its tree (diagnostic; not metered).
+    pub fn depth(&self, mut x: usize) -> usize {
+        let mut d = 0;
+        while self.parent[x] != Self::ROOT {
+            x = self.parent[x] as usize;
+            d += 1;
+        }
+        d
+    }
+}
+
+impl UnionFind for RankHalvingUf {
+    fn with_elements(n: usize) -> Self {
+        assert!(n < u32::MAX as usize, "element count too large");
+        RankHalvingUf {
+            parent: vec![Self::ROOT; n],
+            rank: vec![0; n],
+            sets: n,
+            cost: 0,
+            idle_cost: 0,
+            idle_cursor: 0,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    fn id_bound(&self) -> usize {
+        self.parent.len()
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        self.cost += 1;
+        while self.parent[x] != Self::ROOT {
+            let p = self.parent[x] as usize;
+            self.cost += 1;
+            if self.parent[p] == Self::ROOT {
+                return p;
+            }
+            // halve: point x at its grandparent, then step there
+            self.parent[x] = self.parent[p];
+            self.cost += 1;
+            x = self.parent[x] as usize;
+        }
+        x
+    }
+
+    fn union_roots(&mut self, ra: usize, rb: usize) -> usize {
+        debug_assert_eq!(self.parent[ra], Self::ROOT, "ra is not a root");
+        debug_assert_eq!(self.parent[rb], Self::ROOT, "rb is not a root");
+        self.cost += 1;
+        if ra == rb {
+            return ra;
+        }
+        let (low, high) = if self.rank[ra] <= self.rank[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[low] = high as u32;
+        if self.rank[low] == self.rank[high] {
+            self.rank[high] += 1;
+        }
+        self.sets -= 1;
+        high
+    }
+
+    fn set_count(&self) -> usize {
+        self.sets
+    }
+
+    fn cost(&self) -> u64 {
+        self.cost
+    }
+
+    fn idle_compress(&mut self, budget: u64) -> u64 {
+        let n = self.parent.len();
+        if n == 0 {
+            return 0;
+        }
+        let mut spent = 0u64;
+        let mut visited = 0usize;
+        while spent < budget && visited < n {
+            let mut x = self.idle_cursor;
+            self.idle_cursor = (self.idle_cursor + 1) % n;
+            visited += 1;
+            while spent < budget && self.parent[x] != Self::ROOT {
+                let p = self.parent[x] as usize;
+                spent += 1;
+                if self.parent[p] == Self::ROOT || spent >= budget {
+                    break;
+                }
+                self.parent[x] = self.parent[p];
+                spent += 1;
+                x = self.parent[x] as usize;
+            }
+        }
+        self.idle_cost += spent;
+        spent
+    }
+
+    fn idle_cost(&self) -> u64 {
+        self.idle_cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_union_find() {
+        let mut uf = RankHalvingUf::with_elements(8);
+        uf.union(0, 1);
+        uf.union(2, 3);
+        uf.union(1, 2);
+        assert!(uf.same_set(0, 3));
+        assert!(!uf.same_set(0, 7));
+        assert_eq!(uf.set_count(), 5);
+    }
+
+    #[test]
+    fn halving_shortens_paths() {
+        let n = 256;
+        let mut uf = RankHalvingUf::with_elements(n);
+        let mut stride = 1;
+        while stride < n {
+            for base in (0..n).step_by(2 * stride) {
+                uf.union(base, base + stride);
+            }
+            stride *= 2;
+        }
+        let deepest = (0..n).max_by_key(|&x| uf.depth(x)).unwrap();
+        let d0 = uf.depth(deepest);
+        uf.find(deepest);
+        let d1 = uf.depth(deepest);
+        assert!(d1 <= d0 / 2 + 1, "halving did not halve: {d0} -> {d1}");
+    }
+
+    #[test]
+    fn rank_bounds_depth() {
+        let n = 1024;
+        let mut uf = RankHalvingUf::with_elements(n);
+        let mut stride = 1;
+        while stride < n {
+            for base in (0..n).step_by(2 * stride) {
+                uf.union(base, base + stride);
+            }
+            stride *= 2;
+        }
+        for x in 0..n {
+            assert!(uf.depth(x) <= 10, "depth exceeds lg n");
+        }
+    }
+
+    #[test]
+    fn aborted_find_still_helps() {
+        // Idle compression with a tiny budget must not change set structure.
+        let mut uf = RankHalvingUf::with_elements(32);
+        for x in 0..31 {
+            uf.union(x, x + 1);
+        }
+        let before = uf.set_count();
+        uf.idle_compress(3);
+        assert_eq!(uf.set_count(), before);
+        assert!(uf.same_set(0, 31));
+    }
+}

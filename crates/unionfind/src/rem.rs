@@ -1,0 +1,299 @@
+//! Rem's algorithm: linking by index with interleaved splicing.
+//!
+//! Rem's variant (attributed to M. Rem by Dijkstra; analyzed as one of the
+//! practical schemes in the Tarjan–van Leeuwen family \[21\]) orders elements
+//! by index and keeps every parent pointer pointing at an index at least as
+//! large as the child's (`parent[root] = root`). Its hallmark is the
+//! *combined* union: both access paths are climbed in lockstep and every
+//! pointer inspected is immediately *spliced* upward, so a union compresses
+//! as a side effect and often terminates before reaching either root.
+//!
+//! The SLAP pass cannot use the combined form directly — `Apply` (paper
+//! Fig. 5) must read both roots' `adjnext`/`adjprev` payloads *before* the
+//! union — so [`RemUf`] also implements the trait's split `find` /
+//! [`union_roots`](crate::UnionFind::union_roots) interface: `find` climbs
+//! with splicing (one follow + one rewrite per non-root step, the same
+//! per-step work as the combined form) and `union_roots` links by index.
+//! The combined [`RemUf::union`] override is exercised by the differential
+//! tests and the E10 per-operation cost study, where its early-termination
+//! advantage is measurable.
+
+use crate::UnionFind;
+
+/// Rem's linking-by-index union–find with splicing (see module docs).
+///
+/// Not weighted or ranked: tree shape is governed by index order alone, so a
+/// single `find` can cost Θ(n) in the worst case. Included because §3 of the
+/// paper frames the practical choice among compression schemes, and Rem's is
+/// the classic "compress while you walk, even on unions" representative.
+pub struct RemUf {
+    parent: Vec<u32>,
+    sets: usize,
+    cost: u64,
+    idle_cost: u64,
+    idle_cursor: usize,
+}
+
+impl RemUf {
+    /// Depth of `x` in its tree (diagnostic; not metered).
+    pub fn depth(&self, mut x: usize) -> usize {
+        let mut d = 0;
+        while self.parent[x] as usize != x {
+            x = self.parent[x] as usize;
+            d += 1;
+        }
+        d
+    }
+
+    /// The combined Rem union on *elements* (not roots): climbs both access
+    /// paths in lockstep, splicing every inspected pointer, and links when a
+    /// root is reached. Returns `true` when the two elements were in
+    /// different sets (a real union happened). Terminates as soon as the two
+    /// walks meet, possibly far below the roots.
+    pub fn union_splice(&mut self, x: usize, y: usize) -> bool {
+        let (mut rx, mut ry) = (x, y);
+        loop {
+            let (px, py) = (self.parent[rx], self.parent[ry]);
+            self.cost += 2; // inspect both parents
+            if px == py {
+                return false;
+            }
+            // Keep the invariant: work on the side with the smaller parent.
+            if px < py {
+                if rx as u32 == px {
+                    // rx is a root: link it under the other side's parent.
+                    self.parent[rx] = py;
+                    self.cost += 1;
+                    self.sets -= 1;
+                    return true;
+                }
+                // Splice: redirect rx upward to py, then continue from rx's
+                // old parent. The set structure is unchanged (py is in the
+                // same set as ry and, transitively, will be merged), but the
+                // tree gets shallower with every step.
+                self.parent[rx] = py;
+                self.cost += 1;
+                rx = px as usize;
+            } else {
+                if ry as u32 == py {
+                    self.parent[ry] = px;
+                    self.cost += 1;
+                    self.sets -= 1;
+                    return true;
+                }
+                self.parent[ry] = px;
+                self.cost += 1;
+                ry = py as usize;
+            }
+        }
+    }
+}
+
+impl UnionFind for RemUf {
+    fn with_elements(n: usize) -> Self {
+        assert!(n < u32::MAX as usize, "element count too large");
+        RemUf {
+            parent: (0..n as u32).collect(),
+            sets: n,
+            cost: 0,
+            idle_cost: 0,
+            idle_cursor: 0,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    fn id_bound(&self) -> usize {
+        self.parent.len()
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        self.cost += 1;
+        loop {
+            let p = self.parent[x] as usize;
+            if p == x {
+                return x;
+            }
+            self.cost += 1;
+            let gp = self.parent[p];
+            if gp as usize == p {
+                return p;
+            }
+            // Splice toward the grandparent — the same single-pointer
+            // rewrite Rem's union performs per step.
+            self.parent[x] = gp;
+            self.cost += 1;
+            x = p;
+        }
+    }
+
+    fn union_roots(&mut self, ra: usize, rb: usize) -> usize {
+        debug_assert_eq!(self.parent[ra] as usize, ra, "ra is not a root");
+        debug_assert_eq!(self.parent[rb] as usize, rb, "rb is not a root");
+        self.cost += 1;
+        if ra == rb {
+            return ra;
+        }
+        // Link by index: the larger index becomes the root, preserving the
+        // parent-monotonicity invariant.
+        let (low, high) = if ra < rb { (ra, rb) } else { (rb, ra) };
+        self.parent[low] = high as u32;
+        self.sets -= 1;
+        high
+    }
+
+    /// Overridden to use the genuine interleaved Rem union. A trailing find
+    /// locates the merged root for the caller (payload-free callers may
+    /// prefer [`RemUf::union_splice`] directly, which skips it).
+    fn union(&mut self, x: usize, y: usize) -> usize {
+        self.union_splice(x, y);
+        self.find(x)
+    }
+
+    fn set_count(&self) -> usize {
+        self.sets
+    }
+
+    fn cost(&self) -> u64 {
+        self.cost
+    }
+
+    fn idle_compress(&mut self, budget: u64) -> u64 {
+        let n = self.parent.len();
+        if n == 0 {
+            return 0;
+        }
+        let mut spent = 0u64;
+        let mut visited = 0usize;
+        while spent < budget && visited < n {
+            let mut x = self.idle_cursor;
+            self.idle_cursor = (self.idle_cursor + 1) % n;
+            visited += 1;
+            while spent < budget {
+                let p = self.parent[x] as usize;
+                spent += 1;
+                if p == x {
+                    break;
+                }
+                let gp = self.parent[p];
+                if gp as usize == p || spent >= budget {
+                    break;
+                }
+                self.parent[x] = gp;
+                spent += 1;
+                x = p;
+            }
+        }
+        self.idle_cost += spent;
+        spent
+    }
+
+    fn idle_cost(&self) -> u64 {
+        self.idle_cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_union_find() {
+        let mut uf = RemUf::with_elements(8);
+        uf.union(0, 1);
+        uf.union(2, 3);
+        uf.union(1, 2);
+        assert!(uf.same_set(0, 3));
+        assert!(!uf.same_set(0, 7));
+        assert_eq!(uf.set_count(), 5);
+    }
+
+    #[test]
+    fn parent_indices_are_monotone() {
+        let mut uf = RemUf::with_elements(64);
+        for (x, y) in [(5, 0), (63, 1), (1, 5), (30, 31), (31, 0), (62, 63)] {
+            uf.union_splice(x, y);
+        }
+        for x in 0..64 {
+            assert!(uf.parent[x] as usize >= x, "invariant broken at {x}");
+        }
+    }
+
+    #[test]
+    fn union_splice_reports_novelty() {
+        let mut uf = RemUf::with_elements(4);
+        assert!(uf.union_splice(0, 1));
+        assert!(!uf.union_splice(0, 1));
+        assert!(uf.union_splice(1, 2));
+        assert!(!uf.union_splice(0, 2));
+        assert_eq!(uf.set_count(), 2);
+    }
+
+    #[test]
+    fn combined_union_matches_split_interface() {
+        let seq = [(0usize, 9usize), (9, 3), (4, 5), (5, 3), (7, 8), (8, 0)];
+        let mut combined = RemUf::with_elements(10);
+        let mut split = RemUf::with_elements(10);
+        for &(x, y) in &seq {
+            combined.union_splice(x, y);
+            let ra = split.find(x);
+            let rb = split.find(y);
+            split.union_roots(ra, rb);
+        }
+        for x in 0..10 {
+            for y in (x + 1)..10 {
+                assert_eq!(combined.same_set(x, y), split.same_set(x, y));
+            }
+        }
+    }
+
+    #[test]
+    fn splicing_compresses_during_union() {
+        // Hand-build a deep chain over the even indices (0 -> 2 -> … -> 126)
+        // and leave 127 a singleton. The combined union walks the whole
+        // chain, splicing every node directly under 127 as it goes, then
+        // links the chain's root — one union, full flattening.
+        let n = 128;
+        let mut uf = RemUf::with_elements(n);
+        for x in (0..n - 2).step_by(2) {
+            uf.parent[x] = (x + 2) as u32;
+        }
+        uf.sets = n - (n / 2 - 1);
+        let before = uf.depth(0);
+        assert_eq!(before, n / 2 - 1);
+        assert!(uf.union_splice(0, n - 1));
+        assert_eq!(uf.depth(0), 1, "splicing should flatten the walked path");
+        assert!(uf.same_set(0, n - 2));
+        assert!(uf.same_set(0, n - 1));
+    }
+
+    #[test]
+    fn find_is_splicing_not_plain_walk() {
+        let n = 64;
+        let mut uf = RemUf::with_elements(n);
+        for x in 0..n - 1 {
+            uf.parent[x] = (x + 1) as u32;
+        }
+        uf.sets = 1;
+        let d0 = uf.depth(0);
+        uf.find(0);
+        assert!(uf.depth(0) <= d0 / 2 + 1);
+    }
+
+    #[test]
+    fn idle_compress_reduces_depth_and_meters_idle() {
+        let n = 64;
+        let mut uf = RemUf::with_elements(n);
+        for x in 0..n - 1 {
+            uf.parent[x] = (x + 1) as u32;
+        }
+        uf.sets = 1;
+        let spent = uf.idle_compress(10_000);
+        assert!(spent > 0);
+        assert_eq!(uf.idle_cost(), spent);
+        assert_eq!(uf.cost(), 0, "idle work must not hit the hot meter");
+        assert!(uf.depth(0) < n - 1);
+    }
+}

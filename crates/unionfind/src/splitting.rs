@@ -1,0 +1,205 @@
+//! Union by rank + path splitting (Tarjan & van Leeuwen \[21\]).
+
+use crate::UnionFind;
+
+/// The second "one-pass" compression scheme analyzed in \[21\] alongside
+/// halving: during a find, every node on the path is redirected to its
+/// grandparent (halving redirects every *other* node). Same
+/// inverse-Ackermann amortized bound; slightly more writes per find,
+/// slightly faster flattening. Included so experiment E10 can compare all
+/// the §3-relevant variants under one ruler.
+///
+/// `find` walks to the root splitting as it goes (1 unit per follow, 1 per
+/// rewrite). `union_roots` is 1 unit.
+pub struct SplittingUf {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+    sets: usize,
+    cost: u64,
+    idle_cost: u64,
+    idle_cursor: usize,
+}
+
+impl SplittingUf {
+    const ROOT: u32 = u32::MAX;
+
+    /// Depth of `x` in its tree (diagnostic; not metered).
+    pub fn depth(&self, mut x: usize) -> usize {
+        let mut d = 0;
+        while self.parent[x] != Self::ROOT {
+            x = self.parent[x] as usize;
+            d += 1;
+        }
+        d
+    }
+}
+
+impl UnionFind for SplittingUf {
+    fn with_elements(n: usize) -> Self {
+        assert!(n < u32::MAX as usize, "element count too large");
+        SplittingUf {
+            parent: vec![Self::ROOT; n],
+            rank: vec![0; n],
+            sets: n,
+            cost: 0,
+            idle_cost: 0,
+            idle_cursor: 0,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    fn id_bound(&self) -> usize {
+        self.parent.len()
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        self.cost += 1;
+        loop {
+            let p = self.parent[x];
+            if p == Self::ROOT {
+                return x;
+            }
+            self.cost += 1;
+            let gp = self.parent[p as usize];
+            if gp == Self::ROOT {
+                return p as usize;
+            }
+            // split: redirect x to its grandparent, then step to the old
+            // parent (every node on the path gets redirected)
+            self.parent[x] = gp;
+            self.cost += 1;
+            x = p as usize;
+        }
+    }
+
+    fn union_roots(&mut self, ra: usize, rb: usize) -> usize {
+        debug_assert_eq!(self.parent[ra], Self::ROOT, "ra is not a root");
+        debug_assert_eq!(self.parent[rb], Self::ROOT, "rb is not a root");
+        self.cost += 1;
+        if ra == rb {
+            return ra;
+        }
+        let (low, high) = if self.rank[ra] <= self.rank[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[low] = high as u32;
+        if self.rank[low] == self.rank[high] {
+            self.rank[high] += 1;
+        }
+        self.sets -= 1;
+        high
+    }
+
+    fn set_count(&self) -> usize {
+        self.sets
+    }
+
+    fn cost(&self) -> u64 {
+        self.cost
+    }
+
+    fn idle_compress(&mut self, budget: u64) -> u64 {
+        let n = self.parent.len();
+        if n == 0 {
+            return 0;
+        }
+        let mut spent = 0u64;
+        let mut visited = 0usize;
+        while spent < budget && visited < n {
+            let mut x = self.idle_cursor;
+            self.idle_cursor = (self.idle_cursor + 1) % n;
+            visited += 1;
+            while spent < budget && self.parent[x] != Self::ROOT {
+                let p = self.parent[x] as usize;
+                spent += 1;
+                if self.parent[p] == Self::ROOT || spent >= budget {
+                    break;
+                }
+                self.parent[x] = self.parent[p];
+                spent += 1;
+                x = p;
+            }
+        }
+        self.idle_cost += spent;
+        spent
+    }
+
+    fn idle_cost(&self) -> u64 {
+        self.idle_cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_union_find() {
+        let mut uf = SplittingUf::with_elements(8);
+        uf.union(0, 1);
+        uf.union(2, 3);
+        uf.union(1, 2);
+        assert!(uf.same_set(0, 3));
+        assert!(!uf.same_set(0, 7));
+        assert_eq!(uf.set_count(), 5);
+    }
+
+    #[test]
+    fn splitting_redirects_every_path_node() {
+        let n = 128;
+        let mut uf = SplittingUf::with_elements(n);
+        let mut stride = 1;
+        while stride < n {
+            for base in (0..n).step_by(2 * stride) {
+                uf.union(base, base + stride);
+            }
+            stride *= 2;
+        }
+        let deepest = (0..n).max_by_key(|&x| uf.depth(x)).unwrap();
+        let d0 = uf.depth(deepest);
+        assert!(d0 >= 2);
+        uf.find(deepest);
+        // After splitting, the node's depth is roughly halved and every node
+        // on the old path moved up.
+        assert!(uf.depth(deepest) <= d0 / 2 + 1);
+    }
+
+    #[test]
+    fn repeated_finds_flatten_to_constant() {
+        let n = 256;
+        let mut uf = SplittingUf::with_elements(n);
+        for x in 0..n - 1 {
+            uf.union(x, x + 1);
+        }
+        for _ in 0..4 {
+            for x in 0..n {
+                uf.find(x);
+            }
+        }
+        for x in 0..n {
+            assert!(uf.depth(x) <= 2, "path not flattened at {x}");
+        }
+    }
+
+    #[test]
+    fn partition_matches_rank_halving() {
+        use crate::rank_halving::RankHalvingUf;
+        let n = 64;
+        let mut a = SplittingUf::with_elements(n);
+        let mut b = RankHalvingUf::with_elements(n);
+        for (x, y) in [(0, 5), (5, 9), (10, 20), (20, 0), (63, 62), (1, 2)] {
+            a.union(x, y);
+            b.union(x, y);
+        }
+        for x in 0..n {
+            for y in (x + 1)..n {
+                assert_eq!(a.same_set(x, y), b.same_set(x, y));
+            }
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! Union by size + full two-pass path compression (Tarjan \[20\]).
+
+use crate::UnionFind;
+
+/// The implementation the paper calls "probably most widely recognized as an
+/// efficient implementation": union by size and full path compression, with
+/// near-constant amortized cost (inverse-Ackermann) but Θ(lg n) single-find
+/// worst case — the source of the `O(n lg n)` SLAP bound.
+///
+/// `find` walks to the root (1 unit/edge + 1) and then rewrites every node on
+/// the path to point at the root (1 unit per rewrite). `union_roots` is 1
+/// unit. [`idle_compress`](UnionFind::idle_compress) runs a round-robin
+/// path-halving sweep, the paper's "have processors perform some path
+/// compression when they would otherwise just be waiting" idea.
+pub struct TarjanUf {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    sets: usize,
+    cost: u64,
+    idle_cost: u64,
+    idle_cursor: usize,
+}
+
+impl TarjanUf {
+    const ROOT: u32 = u32::MAX;
+
+    /// Depth of `x` in its tree (diagnostic; not metered).
+    pub fn depth(&self, mut x: usize) -> usize {
+        let mut d = 0;
+        while self.parent[x] != Self::ROOT {
+            x = self.parent[x] as usize;
+            d += 1;
+        }
+        d
+    }
+
+    /// Maximum node depth over the whole forest (diagnostic; not metered).
+    pub fn max_depth(&self) -> usize {
+        (0..self.parent.len()).map(|x| self.depth(x)).max().unwrap_or(0)
+    }
+}
+
+impl UnionFind for TarjanUf {
+    fn with_elements(n: usize) -> Self {
+        assert!(n < u32::MAX as usize, "element count too large");
+        TarjanUf {
+            parent: vec![Self::ROOT; n],
+            size: vec![1; n],
+            sets: n,
+            cost: 0,
+            idle_cost: 0,
+            idle_cursor: 0,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    fn id_bound(&self) -> usize {
+        self.parent.len()
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        // pass 1: locate the root
+        self.cost += 1;
+        let mut r = x;
+        while self.parent[r] != Self::ROOT {
+            r = self.parent[r] as usize;
+            self.cost += 1;
+        }
+        // pass 2: compress the path
+        let mut cur = x;
+        while self.parent[cur] != Self::ROOT {
+            let next = self.parent[cur] as usize;
+            if next != r {
+                self.parent[cur] = r as u32;
+                self.cost += 1;
+            }
+            cur = next;
+        }
+        r
+    }
+
+    fn union_roots(&mut self, ra: usize, rb: usize) -> usize {
+        debug_assert_eq!(self.parent[ra], Self::ROOT, "ra is not a root");
+        debug_assert_eq!(self.parent[rb], Self::ROOT, "rb is not a root");
+        self.cost += 1;
+        if ra == rb {
+            return ra;
+        }
+        let (small, big) = if self.size[ra] <= self.size[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small] = big as u32;
+        self.size[big] += self.size[small];
+        self.sets -= 1;
+        big
+    }
+
+    fn set_count(&self) -> usize {
+        self.sets
+    }
+
+    fn cost(&self) -> u64 {
+        self.cost
+    }
+
+    fn idle_compress(&mut self, budget: u64) -> u64 {
+        let n = self.parent.len();
+        if n == 0 {
+            return 0;
+        }
+        let mut spent = 0u64;
+        let mut visited = 0usize;
+        // Round-robin path halving: every two pointer follows shortcut one
+        // grandparent link. Stop when the budget is exhausted or every
+        // element has been touched once this call.
+        while spent < budget && visited < n {
+            let x = self.idle_cursor;
+            self.idle_cursor = (self.idle_cursor + 1) % n;
+            visited += 1;
+            let mut cur = x;
+            while spent < budget && self.parent[cur] != Self::ROOT {
+                let p = self.parent[cur] as usize;
+                spent += 1;
+                if self.parent[p] == Self::ROOT || spent >= budget {
+                    break;
+                }
+                self.parent[cur] = self.parent[p];
+                spent += 1;
+                cur = self.parent[cur] as usize;
+            }
+        }
+        self.idle_cost += spent;
+        spent
+    }
+
+    fn idle_cost(&self) -> u64 {
+        self.idle_cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tournament(uf: &mut TarjanUf, n: usize) {
+        let mut stride = 1;
+        while stride < n {
+            for base in (0..n).step_by(2 * stride) {
+                uf.union(base, base + stride);
+            }
+            stride *= 2;
+        }
+    }
+
+    #[test]
+    fn basic_union_find() {
+        let mut uf = TarjanUf::with_elements(10);
+        uf.union(0, 5);
+        uf.union(5, 9);
+        assert!(uf.same_set(0, 9));
+        assert_eq!(uf.set_count(), 8);
+    }
+
+    #[test]
+    fn find_compresses_path_to_depth_one() {
+        let n = 128;
+        let mut uf = TarjanUf::with_elements(n);
+        tournament(&mut uf, n);
+        let deepest = (0..n).max_by_key(|&x| uf.depth(x)).unwrap();
+        let d = uf.depth(deepest);
+        assert!(d >= 2);
+        uf.find(deepest);
+        assert!(uf.depth(deepest) <= 1, "path not compressed");
+    }
+
+    #[test]
+    fn second_find_is_cheap() {
+        let n = 256;
+        let mut uf = TarjanUf::with_elements(n);
+        tournament(&mut uf, n);
+        let deepest = (0..n).max_by_key(|&x| uf.depth(x)).unwrap();
+        assert!(uf.depth(deepest) >= 2, "tournament left no deep path");
+        let c0 = uf.cost();
+        uf.find(deepest);
+        let first = uf.cost() - c0;
+        let c1 = uf.cost();
+        uf.find(deepest);
+        let second = uf.cost() - c1;
+        assert!(first > second);
+        // After compression the node sits at depth 1: touch + one edge.
+        assert_eq!(second, 2);
+    }
+
+    #[test]
+    fn idle_compress_reduces_future_cost_and_meters_separately() {
+        let n = 512;
+        let mut uf = TarjanUf::with_elements(n);
+        tournament(&mut uf, n);
+        let busy = uf.cost();
+        let spent = uf.idle_compress(10_000);
+        assert!(spent > 0);
+        assert_eq!(uf.cost(), busy, "idle work leaked into busy cost");
+        assert_eq!(uf.idle_cost(), spent);
+        assert!(uf.max_depth() <= 2, "halving sweep left deep paths: {}", uf.max_depth());
+    }
+
+    #[test]
+    fn idle_compress_respects_budget() {
+        let n = 512;
+        let mut uf = TarjanUf::with_elements(n);
+        tournament(&mut uf, n);
+        let spent = uf.idle_compress(7);
+        assert!(spent <= 7);
+    }
+
+    #[test]
+    fn idle_compress_preserves_partition() {
+        let n = 64;
+        let mut uf = TarjanUf::with_elements(n);
+        tournament(&mut uf, n / 2); // half merged, half singletons
+        let sets_before = uf.set_count();
+        let reps_before: Vec<usize> = (0..n).map(|x| uf.find(x)).collect();
+        uf.idle_compress(u64::MAX >> 1);
+        assert_eq!(uf.set_count(), sets_before);
+        for (x, &rep) in reps_before.iter().enumerate() {
+            assert_eq!(uf.find(x), rep);
+        }
+    }
+}

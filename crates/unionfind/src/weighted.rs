@@ -1,0 +1,141 @@
+//! Union by size without path compression.
+
+use crate::UnionFind;
+
+/// Forest with union by size and *no* compression: the textbook baseline the
+/// paper's O(n lg n) bound rests on ("as long as we use weighted union, no
+/// node in any tree ever has depth greater than lg n").
+///
+/// `find` walks to the root (1 unit per edge, +1 to touch the start);
+/// `union_roots` is 1 unit.
+pub struct WeightedUf {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    sets: usize,
+    cost: u64,
+}
+
+impl WeightedUf {
+    const ROOT: u32 = u32::MAX;
+
+    /// Depth of `x` in its tree (test/diagnostic helper; not metered).
+    pub fn depth(&self, mut x: usize) -> usize {
+        let mut d = 0;
+        while self.parent[x] != Self::ROOT {
+            x = self.parent[x] as usize;
+            d += 1;
+        }
+        d
+    }
+
+    /// Maximum node depth over the whole forest (diagnostic; not metered).
+    pub fn max_depth(&self) -> usize {
+        (0..self.parent.len()).map(|x| self.depth(x)).max().unwrap_or(0)
+    }
+}
+
+impl UnionFind for WeightedUf {
+    fn with_elements(n: usize) -> Self {
+        assert!(n < u32::MAX as usize, "element count too large");
+        WeightedUf {
+            parent: vec![Self::ROOT; n],
+            size: vec![1; n],
+            sets: n,
+            cost: 0,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    fn id_bound(&self) -> usize {
+        self.parent.len()
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        self.cost += 1;
+        while self.parent[x] != Self::ROOT {
+            x = self.parent[x] as usize;
+            self.cost += 1;
+        }
+        x
+    }
+
+    fn union_roots(&mut self, ra: usize, rb: usize) -> usize {
+        debug_assert_eq!(self.parent[ra], Self::ROOT, "ra is not a root");
+        debug_assert_eq!(self.parent[rb], Self::ROOT, "rb is not a root");
+        self.cost += 1;
+        if ra == rb {
+            return ra;
+        }
+        let (small, big) = if self.size[ra] <= self.size[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small] = big as u32;
+        self.size[big] += self.size[small];
+        self.sets -= 1;
+        big
+    }
+
+    fn set_count(&self) -> usize {
+        self.sets
+    }
+
+    fn cost(&self) -> u64 {
+        self.cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_union_find() {
+        let mut uf = WeightedUf::with_elements(6);
+        uf.union(0, 1);
+        uf.union(2, 3);
+        uf.union(0, 2);
+        assert!(uf.same_set(1, 3));
+        assert!(!uf.same_set(1, 4));
+        assert_eq!(uf.set_count(), 3);
+    }
+
+    #[test]
+    fn depth_bounded_by_lg_n() {
+        // Binomial merge order maximizes depth: depth <= lg n.
+        let n = 256;
+        let mut uf = WeightedUf::with_elements(n);
+        let mut stride = 1;
+        while stride < n {
+            for base in (0..n).step_by(2 * stride) {
+                uf.union(base, base + stride);
+            }
+            stride *= 2;
+        }
+        assert_eq!(uf.set_count(), 1);
+        let d = uf.max_depth();
+        assert!(d <= 8, "depth {d} exceeds lg 256");
+        assert!(d >= 8, "tournament should reach lg n depth, got {d}");
+    }
+
+    #[test]
+    fn find_cost_grows_with_depth() {
+        let n = 64;
+        let mut uf = WeightedUf::with_elements(n);
+        let mut stride = 1;
+        while stride < n {
+            for base in (0..n).step_by(2 * stride) {
+                uf.union(base, base + stride);
+            }
+            stride *= 2;
+        }
+        let deepest = (0..n).max_by_key(|&x| uf.depth(x)).unwrap();
+        let c0 = uf.cost();
+        uf.find(deepest);
+        assert_eq!(uf.cost() - c0, uf.depth(deepest) as u64 + 1);
+    }
+}

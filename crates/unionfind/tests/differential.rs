@@ -1,0 +1,181 @@
+//! Differential and property-based tests: every union–find implementation
+//! must agree with quick-find on arbitrary operation sequences, and the
+//! metered costs must respect each structure's advertised worst-case bounds.
+
+use proptest::prelude::*;
+use slap_unionfind::{
+    BlumUf, IdealO1, QuickFind, RankHalvingUf, SplittingUf, TarjanUf, UfKind, UnionFind,
+    WeightedUf,
+};
+
+/// A scripted op: union(x, y) or same_set(x, y) query.
+#[derive(Clone, Debug)]
+enum Op {
+    Union(usize, usize),
+    Query(usize, usize),
+}
+
+fn ops_strategy(n: usize, len: usize) -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        (0..n, 0..n, prop::bool::ANY).prop_map(|(x, y, is_union)| {
+            if is_union {
+                Op::Union(x, y)
+            } else {
+                Op::Query(x, y)
+            }
+        }),
+        0..len,
+    )
+}
+
+fn run_differential<U: UnionFind>(n: usize, ops: &[Op]) {
+    let mut uf = U::with_elements(n);
+    let mut reference = QuickFind::with_elements(n);
+    for op in ops {
+        match *op {
+            Op::Union(x, y) => {
+                uf.union(x, y);
+                reference.union(x, y);
+            }
+            Op::Query(x, y) => {
+                assert_eq!(uf.same_set(x, y), reference.same_set(x, y), "query({x},{y})");
+            }
+        }
+        assert_eq!(uf.set_count(), reference.set_count());
+    }
+    // Final partitions must be identical: compare via pairwise sampling of
+    // all element pairs (n is small in these tests).
+    for x in 0..n {
+        for y in (x + 1)..n {
+            assert_eq!(uf.same_set(x, y), reference.same_set(x, y));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn weighted_matches_quickfind(ops in ops_strategy(24, 120)) {
+        run_differential::<WeightedUf>(24, &ops);
+    }
+
+    #[test]
+    fn tarjan_matches_quickfind(ops in ops_strategy(24, 120)) {
+        run_differential::<TarjanUf>(24, &ops);
+    }
+
+    #[test]
+    fn rank_halving_matches_quickfind(ops in ops_strategy(24, 120)) {
+        run_differential::<RankHalvingUf>(24, &ops);
+    }
+
+    #[test]
+    fn splitting_matches_quickfind(ops in ops_strategy(24, 120)) {
+        run_differential::<SplittingUf>(24, &ops);
+    }
+
+    #[test]
+    fn blum_matches_quickfind(ops in ops_strategy(24, 120)) {
+        run_differential::<BlumUf>(24, &ops);
+    }
+
+    #[test]
+    fn ideal_matches_quickfind(ops in ops_strategy(24, 120)) {
+        run_differential::<IdealO1>(24, &ops);
+    }
+
+    #[test]
+    fn blum_invariants_hold_under_random_ops(ops in ops_strategy(40, 200)) {
+        let mut uf = BlumUf::with_k(40, 3);
+        for op in &ops {
+            if let Op::Union(x, y) = *op {
+                uf.union(x, y);
+            }
+        }
+        uf.check_invariants();
+    }
+
+    #[test]
+    fn idle_compress_never_changes_partition(ops in ops_strategy(24, 120), budget in 0u64..2000) {
+        let mut uf = TarjanUf::with_elements(24);
+        let mut reference = QuickFind::with_elements(24);
+        for op in &ops {
+            if let Op::Union(x, y) = *op {
+                uf.union(x, y);
+                reference.union(x, y);
+            }
+        }
+        uf.idle_compress(budget);
+        for x in 0..24 {
+            for y in (x + 1)..24 {
+                prop_assert_eq!(uf.same_set(x, y), reference.same_set(x, y));
+            }
+        }
+    }
+
+    #[test]
+    fn representatives_are_within_id_bound(ops in ops_strategy(24, 120)) {
+        for &kind in UfKind::ALL {
+            let mut uf = kind.build(24);
+            let bound = uf.id_bound();
+            for op in &ops {
+                if let Op::Union(x, y) = *op {
+                    let r = uf.union(x, y);
+                    prop_assert!(r < bound, "{kind}: representative {r} >= id_bound {bound}");
+                }
+            }
+            for x in 0..24 {
+                let r = uf.find(x);
+                prop_assert!(r < bound);
+            }
+        }
+    }
+}
+
+#[test]
+fn blum_single_op_worst_case_beats_weighted_on_tournament() {
+    // On the tournament sequence, weighted-union finds reach Θ(lg n) while
+    // Blum single ops stay O(lg n / lg lg n). Compare the worst single find
+    // after full construction.
+    let n = 1 << 14;
+    let mut weighted = WeightedUf::with_elements(n);
+    let mut blum = BlumUf::with_elements(n);
+    let mut stride = 1;
+    while stride < n {
+        for base in (0..n).step_by(2 * stride) {
+            weighted.union(base, base + stride);
+            blum.union(base, base + stride);
+        }
+        stride *= 2;
+    }
+    let worst = |uf: &mut dyn UnionFind| {
+        let mut w = 0;
+        for x in (0..n).step_by(127) {
+            let c0 = uf.cost();
+            uf.find(x);
+            w = w.max(uf.cost() - c0);
+        }
+        w
+    };
+    let w_weighted = worst(&mut weighted);
+    let w_blum = worst(&mut blum);
+    assert!(
+        w_blum < w_weighted,
+        "blum worst {w_blum} should beat weighted worst {w_weighted}"
+    );
+}
+
+#[test]
+fn costs_are_monotone_and_nonzero() {
+    for &kind in UfKind::ALL {
+        let mut uf = kind.build(16);
+        let mut last = uf.cost();
+        for x in 0..15 {
+            uf.union(x, x + 1);
+            let c = uf.cost();
+            assert!(c > last, "{kind}: cost did not advance");
+            last = c;
+        }
+    }
+}

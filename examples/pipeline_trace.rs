@@ -1,0 +1,78 @@
+//! Space–time diagrams of the pipelined passes.
+//!
+//! Renders per-PE busy/idle/send timelines of `Union-Find-Pass` (Fig. 5) and
+//! `Label-Pass` (Fig. 6) as ASCII Gantt charts. The diagrams show the
+//! paper's timing arguments directly: Lemma 1's `O(n + i)` completion
+//! diagonal, the idle wedge that §3's idle-compression variant harvests, and
+//! how much of it the variant actually fills.
+//!
+//! ```text
+//! cargo run --example pipeline_trace
+//! cargo run --example pipeline_trace -- fig3a 32
+//! ```
+
+use slap_repro::cc::spacetime::left_pass_trace;
+use slap_repro::cc::CcOptions;
+use slap_repro::image::gen;
+use slap_repro::machine::{render_gantt, span_totals};
+use slap_repro::unionfind::TarjanUf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let workload = args.first().map(String::as_str).unwrap_or("comb");
+    let n: usize = args
+        .get(1)
+        .map(|s| s.parse().expect("size must be a number"))
+        .unwrap_or(24);
+    let img = gen::by_name(workload, n, 42).unwrap_or_else(|| {
+        eprintln!("unknown workload {workload:?}; one of: {:?}", gen::WORKLOADS);
+        std::process::exit(2);
+    });
+
+    let opts = CcOptions::default();
+    let tr = left_pass_trace::<TarjanUf>(&img, &opts);
+
+    println!(
+        "== Union-Find-Pass (Fig. 5) on {workload} {n}x{n}: {} steps, {} messages ==",
+        tr.uf_report.makespan, tr.uf_report.messages
+    );
+    print!("{}", render_gantt(&tr.uf_spans, 96));
+
+    println!(
+        "\n== Label-Pass (Fig. 6): {} steps, {} messages ==",
+        tr.label_report.makespan, tr.label_report.messages
+    );
+    print!("{}", render_gantt(&tr.label_spans, 96));
+
+    // Aggregate utilization: how big is the idle wedge the §3 variant could
+    // harvest?
+    let mut busy = 0u64;
+    let mut idle = 0u64;
+    let mut send = 0u64;
+    for spans in tr.uf_spans.iter().chain(tr.label_spans.iter()) {
+        let t = span_totals(spans);
+        busy += t.busy;
+        idle += t.idle;
+        send += t.send;
+    }
+    let total = busy + idle + send;
+    println!(
+        "\nutilization over both passes: {:.0}% busy, {:.0}% idle, {:.0}% link",
+        100.0 * busy as f64 / total as f64,
+        100.0 * idle as f64 / total as f64,
+        100.0 * send as f64 / total as f64,
+    );
+
+    // The same pass with idle-time compression switched on: how much of the
+    // wedge gets used?
+    let idle_opts = CcOptions {
+        idle_compression: true,
+        ..opts
+    };
+    let idle_tr = left_pass_trace::<TarjanUf>(&img, &idle_opts);
+    let used: u64 = idle_tr.uf_report.per_pe.iter().map(|p| p.idle_used).sum();
+    let avail: u64 = idle_tr.uf_report.per_pe.iter().map(|p| p.idle).sum();
+    println!(
+        "idle compression (§3 variant): {used} of {avail} blocked steps spent on path compression"
+    );
+}

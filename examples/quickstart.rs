@@ -1,0 +1,68 @@
+//! Quickstart: label one image on the simulated SLAP and inspect the result.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! cargo run --example quickstart -- comb 32
+//! ```
+
+use slap_repro::cc::{label_components, CcOptions};
+use slap_repro::image::{bfs_labels, gen};
+use slap_repro::unionfind::TarjanUf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let workload = args.first().map(String::as_str).unwrap_or("blobs");
+    let n: usize = args
+        .get(1)
+        .map(|s| s.parse().expect("size must be a number"))
+        .unwrap_or(24);
+    let img = gen::by_name(workload, n, 42).unwrap_or_else(|| {
+        eprintln!("unknown workload {workload:?}; one of: {:?}", gen::WORKLOADS);
+        std::process::exit(2);
+    });
+
+    println!("workload {workload:?}, {n}x{n}, density {:.2}\n", img.density());
+    println!("{}", img.to_art());
+
+    // Run the paper's algorithm with Tarjan union-find (weighted union +
+    // path compression, the §3 default).
+    let run = label_components::<TarjanUf>(&img, &CcOptions::default());
+
+    // The labeling is exact: equal to the flood-fill oracle, each component
+    // named by the minimum column-major position of its pixels.
+    assert_eq!(run.labels, bfs_labels(&img));
+
+    println!("labeled (one letter per component):\n\n{}", run.labels.to_art());
+
+    let stats = run.labels.component_stats();
+    println!("components: {}", stats.len());
+    for info in stats.iter().take(10) {
+        println!(
+            "  label {:5}  {:4} px  bbox {}x{} at (r{}, c{})",
+            info.label,
+            info.pixels,
+            info.height(),
+            info.width(),
+            info.min_row,
+            info.min_col
+        );
+    }
+    if stats.len() > 10 {
+        println!("  ... and {} more", stats.len() - 10);
+    }
+
+    let m = &run.metrics;
+    println!("\nSLAP machine time ({} PEs):", n);
+    println!("  left pass   {:6} steps", m.left.makespan());
+    println!("  right pass  {:6} steps", m.right.makespan());
+    println!("  stitch      {:6} steps", m.stitch_makespan);
+    println!("  total       {:6} steps  ({:.1} steps per column)",
+        m.total_steps,
+        m.total_steps as f64 / n as f64
+    );
+    println!(
+        "  messages: {} union-find, {} label",
+        m.left.uf_pass.messages + m.right.uf_pass.messages,
+        m.left.label_pass.messages + m.right.label_pass.messages
+    );
+}

@@ -1,0 +1,230 @@
+//! `slap` — command-line front end for the SLAP reproduction.
+//!
+//! ```text
+//! slap gen <workload> <n> [seed]            # write a PBM image to stdout
+//! slap label [--uf KIND] [--conn 4|8] [f]   # label a PBM (stdin if omitted)
+//! slap bench [--uf KIND] <workload> <n>     # step-count one workload
+//! slap trace [--pass uf|label] <workload> <n> [seed]
+//!                                           # ASCII space-time diagram
+//! slap features [--conn 4|8] [file.pbm]     # per-component geometry
+//! slap compare <workload> <n> [seed]        # CC vs baselines step counts
+//! slap workloads                            # list generator names
+//! ```
+
+use slap_repro::baselines::{divide_conquer_labels, naive_slap_labels};
+use slap_repro::cc::features::{component_features, euler_number};
+use slap_repro::cc::spacetime::left_pass_trace;
+use slap_repro::cc::{label_components_kind, label_components_runs, CcOptions};
+use slap_repro::hypercube::sv_labels_conn;
+use slap_repro::image::{bfs_labels_conn, gen, pbm, Bitmap, Connectivity};
+use slap_repro::machine::render_gantt;
+use slap_repro::unionfind::{TarjanUf, UfKind};
+use std::io::Read;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut rest: Vec<&str> = args.iter().map(String::as_str).collect();
+    if rest.is_empty() {
+        usage();
+    }
+    let cmd = rest.remove(0);
+    let uf = take_flag(&mut rest, "--uf")
+        .map(|v| UfKind::parse(v).unwrap_or_else(|| die(&format!("unknown union-find kind {v:?}"))))
+        .unwrap_or(UfKind::Tarjan);
+    let conn = take_flag(&mut rest, "--conn")
+        .map(|v| Connectivity::parse(v).unwrap_or_else(|| die(&format!("connectivity must be 4 or 8, got {v:?}"))))
+        .unwrap_or(Connectivity::Four);
+    let pass = take_flag(&mut rest, "--pass").unwrap_or("uf");
+    let opts = CcOptions {
+        connectivity: conn,
+        ..CcOptions::default()
+    };
+    match cmd {
+        "gen" => {
+            let (name, n, seed) = parse_workload(&rest);
+            let img = make_image(name, n, seed);
+            pbm::write_plain(&img, std::io::stdout().lock()).expect("write PBM");
+        }
+        "label" => {
+            let img = read_image(&rest);
+            report(&img, uf, &opts);
+        }
+        "bench" => {
+            let (name, n, seed) = parse_workload(&rest);
+            let img = make_image(name, n, seed);
+            report(&img, uf, &opts);
+        }
+        "trace" => {
+            let (name, n, seed) = parse_workload(&rest);
+            let img = make_image(name, n, seed);
+            let tr = left_pass_trace::<TarjanUf>(&img, &opts);
+            let (spans, rep, title) = match pass {
+                "label" => (&tr.label_spans, &tr.label_report, "Label-Pass (Fig. 6)"),
+                _ => (&tr.uf_spans, &tr.uf_report, "Union-Find-Pass (Fig. 5)"),
+            };
+            println!(
+                "{title} on {name} {n}x{n}: makespan {} steps, {} messages",
+                rep.makespan, rep.messages
+            );
+            print!("{}", render_gantt(spans, 100));
+        }
+        "features" => {
+            let img = read_image(&rest);
+            let labels = bfs_labels_conn(&img, conn);
+            let run = component_features(&img, &labels, conn);
+            let euler = euler_number(&img, conn);
+            println!(
+                "{} component(s), Euler number {} ({} hole(s)), measured in {} SLAP steps",
+                run.per_component.len(),
+                euler.euler,
+                run.per_component.len() as i64 - euler.euler,
+                run.metrics.total_steps
+            );
+            println!(
+                "{:>10} {:>7} {:>12} {:>14} {:>9} {:>8}",
+                "label", "area", "bbox", "centroid", "perim", "extent"
+            );
+            for (label, f) in &run.per_component {
+                let (cr, cc) = f.centroid();
+                println!(
+                    "{label:>10} {:>7} {:>5}x{:<6} ({cr:6.1},{cc:6.1}) {:>9} {:>8.2}",
+                    f.area,
+                    f.height(),
+                    f.width(),
+                    f.perimeter,
+                    f.extent()
+                );
+            }
+        }
+        "compare" => {
+            let (name, n, seed) = parse_workload(&rest);
+            let img = make_image(name, n, seed);
+            let cc = label_components_kind(&img, uf, &opts);
+            let runs = label_components_runs::<TarjanUf>(&img, &opts);
+            println!("workload {name} {n}x{n} (seed {seed}), union-find {uf}, {conn}");
+            println!("{:<28} {:>12} {:>10}", "algorithm", "steps", "PEs");
+            println!(
+                "{:<28} {:>12} {:>10}",
+                "Algorithm CC (pixels)", cc.metrics.total_steps, n
+            );
+            println!(
+                "{:<28} {:>12} {:>10}",
+                "Algorithm CC (runs)", runs.metrics.total_steps, n
+            );
+            if conn == Connectivity::Four {
+                let (nl, nr) = naive_slap_labels(&img);
+                assert_eq!(nl, cc.labels);
+                println!("{:<28} {:>12} {:>10}", "naive label passing", nr.steps, n);
+                let (dl, dr) = divide_conquer_labels(&img);
+                assert_eq!(dl, cc.labels);
+                println!("{:<28} {:>12} {:>10}", "divide & conquer [2,12]", dr.steps, n);
+            }
+            let (hl, hr) = sv_labels_conn(&img, conn);
+            assert_eq!(hl, cc.labels);
+            println!(
+                "{:<28} {:>12} {:>10}",
+                "hypercube S-V [5]-style",
+                hr.rounds,
+                hr.pes
+            );
+        }
+        "workloads" => {
+            for w in gen::WORKLOADS {
+                println!("{w}");
+            }
+            eprintln!("\nunion-find kinds for --uf:");
+            for k in UfKind::ALL {
+                eprintln!("  {k}");
+            }
+        }
+        _ => usage(),
+    }
+}
+
+fn take_flag<'a>(rest: &mut Vec<&'a str>, flag: &str) -> Option<&'a str> {
+    let pos = rest.iter().position(|a| *a == flag)?;
+    if pos + 1 >= rest.len() {
+        die(&format!("{flag} needs a value"));
+    }
+    let v = rest[pos + 1];
+    rest.drain(pos..=pos + 1);
+    Some(v)
+}
+
+fn read_image(rest: &[&str]) -> Bitmap {
+    match rest.first() {
+        Some(path) => {
+            let f =
+                std::fs::File::open(path).unwrap_or_else(|e| die(&format!("open {path}: {e}")));
+            pbm::read(f).unwrap_or_else(|e| die(&format!("parse {path}: {e}")))
+        }
+        None => {
+            let mut buf = Vec::new();
+            std::io::stdin().read_to_end(&mut buf).expect("read stdin");
+            pbm::read(&buf[..]).unwrap_or_else(|e| die(&format!("parse stdin: {e}")))
+        }
+    }
+}
+
+fn parse_workload<'a>(rest: &[&'a str]) -> (&'a str, usize, u64) {
+    let name = rest.first().copied().unwrap_or_else(|| usage());
+    let n: usize = rest
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| die("size must be a positive integer"));
+    let seed: u64 = rest.get(2).and_then(|s| s.parse().ok()).unwrap_or(42);
+    (name, n, seed)
+}
+
+fn make_image(name: &str, n: usize, seed: u64) -> Bitmap {
+    gen::by_name(name, n, seed)
+        .unwrap_or_else(|| die(&format!("unknown workload {name:?}; try `slap workloads`")))
+}
+
+fn report(img: &Bitmap, uf: UfKind, opts: &CcOptions) {
+    let run = label_components_kind(img, uf, opts);
+    let stats = run.labels.component_stats();
+    let m = &run.metrics;
+    println!(
+        "{}x{} image, {:.1}% foreground, {} component(s) under {}",
+        img.rows(),
+        img.cols(),
+        100.0 * img.density(),
+        stats.len(),
+        opts.connectivity,
+    );
+    if let Some(largest) = stats.iter().max_by_key(|s| s.pixels) {
+        println!(
+            "largest component: label {} with {} px ({}x{} bbox)",
+            largest.label,
+            largest.pixels,
+            largest.height(),
+            largest.width()
+        );
+    }
+    println!(
+        "SLAP/{uf}: {} steps on {} PEs ({:.1} steps/column); \
+         messages: {} union-find + {} label",
+        m.total_steps,
+        img.cols(),
+        m.total_steps as f64 / img.cols() as f64,
+        m.left.uf_pass.messages + m.right.uf_pass.messages,
+        m.left.label_pass.messages + m.right.label_pass.messages,
+    );
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  slap gen <workload> <n> [seed]\n  slap label [--uf KIND] [--conn 4|8] [file.pbm]\n  \
+         slap bench [--uf KIND] [--conn 4|8] <workload> <n> [seed]\n  \
+         slap trace [--pass uf|label] <workload> <n> [seed]\n  \
+         slap features [--conn 4|8] [file.pbm]\n  \
+         slap compare [--uf KIND] [--conn 4|8] <workload> <n> [seed]\n  slap workloads"
+    );
+    std::process::exit(2);
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}

@@ -1,0 +1,10 @@
+//! Umbrella crate re-exporting the SLAP reproduction workspace.
+#![warn(missing_docs)]
+
+pub use hypercube_machine as hypercube;
+pub use mesh_machine as mesh;
+pub use slap_baselines as baselines;
+pub use slap_cc as cc;
+pub use slap_image as image;
+pub use slap_machine as machine;
+pub use slap_unionfind as unionfind;

@@ -1,0 +1,110 @@
+//! Corollary 4 integration tests: component folds checked against brute
+//! force over random images, and the "minimum of any initial labeling"
+//! generalization the paper states.
+
+use proptest::prelude::*;
+use slap_repro::cc::aggregate::{component_fold, Fold, MaxFold, MinFold, SumFold};
+use slap_repro::image::{bfs_labels, gen};
+use std::collections::HashMap;
+
+/// Brute-force fold for comparison.
+fn brute<F: Fold>(
+    img: &slap_repro::image::Bitmap,
+    labels: &slap_repro::image::LabelGrid,
+    values: &dyn Fn(usize, usize) -> F::Value,
+) -> HashMap<u32, F::Value> {
+    let mut out: HashMap<u32, F::Value> = HashMap::new();
+    for (r, c) in img.iter_ones_colmajor() {
+        let l = labels.get(r, c);
+        let e = out.entry(l).or_insert_with(F::identity);
+        *e = F::combine(*e, values(r, c));
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn folds_match_brute_force(
+        rows in 1usize..20,
+        cols in 1usize..20,
+        density in 0.1f64..0.9,
+        seed in 0u64..500,
+    ) {
+        let img = gen::uniform_random(rows, cols, density, seed);
+        let labels = bfs_labels(&img);
+        // arbitrary initial values derived from coordinates
+        let vals = move |r: usize, c: usize| ((r * 31 + c * 17 + 5) % 97) as u64;
+
+        let min = component_fold::<MinFold>(&img, &labels, &vals);
+        let expect_min = brute::<MinFold>(&img, &labels, &vals);
+        prop_assert_eq!(min.per_component.len(), expect_min.len());
+        for (l, v) in expect_min {
+            prop_assert_eq!(min.value_of(l), Some(v));
+        }
+
+        let max = component_fold::<MaxFold>(&img, &labels, &vals);
+        for (l, v) in brute::<MaxFold>(&img, &labels, &vals) {
+            prop_assert_eq!(max.value_of(l), Some(v));
+        }
+
+        let sum = component_fold::<SumFold>(&img, &labels, &vals);
+        for (l, v) in brute::<SumFold>(&img, &labels, &vals) {
+            prop_assert_eq!(sum.value_of(l), Some(v));
+        }
+    }
+
+    #[test]
+    fn min_of_positions_reproduces_component_labels(
+        rows in 2usize..20,
+        cols in 2usize..20,
+        density in 0.2f64..0.8,
+        seed in 0u64..500,
+    ) {
+        // The paper's headline instance of Corollary 4: with column-major
+        // positions as initial labels, each component's fold equals its label.
+        let img = gen::uniform_random(rows, cols, density, seed);
+        let labels = bfs_labels(&img);
+        let run = component_fold::<MinFold>(&img, &labels, &move |r, c| (c * rows + r) as u64);
+        for &(label, v) in &run.per_component {
+            prop_assert_eq!(v, label as u64);
+        }
+    }
+}
+
+#[test]
+fn fold_metrics_stay_linear_in_n() {
+    let mut ratios = Vec::new();
+    for n in [32usize, 64, 128] {
+        let img = gen::blobs(n, n, n / 4 + 1, (n / 16).max(2), 3);
+        let labels = bfs_labels(&img);
+        let run = component_fold::<SumFold>(&img, &labels, &|_, _| 1u64);
+        ratios.push(run.metrics.total_steps as f64 / n as f64);
+    }
+    let min = ratios.iter().cloned().fold(f64::MAX, f64::min);
+    let max = ratios.iter().cloned().fold(0.0, f64::max);
+    assert!(max / min < 2.0, "fold steps drift superlinearly: {ratios:?}");
+}
+
+#[test]
+fn custom_associative_op_via_sum_of_squares() {
+    // any commutative+associative op works; emulate "sum of squares"
+    struct SumSq;
+    impl Fold for SumSq {
+        type Value = u64;
+        fn identity() -> u64 {
+            0
+        }
+        fn combine(a: u64, b: u64) -> u64 {
+            a + b
+        }
+    }
+    let img = gen::blobs(32, 32, 6, 4, 9);
+    let labels = bfs_labels(&img);
+    let vals = |r: usize, c: usize| ((r + c) as u64).pow(2);
+    let run = component_fold::<SumSq>(&img, &labels, &vals);
+    for (l, v) in brute::<SumSq>(&img, &labels, &vals) {
+        assert_eq!(run.value_of(l), Some(v));
+    }
+}

@@ -1,0 +1,139 @@
+//! Cross-crate differential tests: every labeler in the workspace must agree
+//! with every other on every workload, and Algorithm CC must be *exact*
+//! (identical labels to the oracle, not merely the same partition) under
+//! every union–find implementation and variant combination.
+
+use proptest::prelude::*;
+use slap_repro::baselines::{
+    divide_conquer_labels, naive_slap_labels, scanline_labels, two_pass_labels,
+};
+use slap_repro::baselines::mesh::mesh_min_propagation;
+use slap_repro::cc::{label_components_kind, CcOptions, ForwardPolicy};
+use slap_repro::image::{bfs_labels, gen, Bitmap};
+use slap_repro::unionfind::UfKind;
+
+#[test]
+fn all_labelers_agree_on_all_workloads() {
+    for name in gen::WORKLOADS {
+        let img = gen::by_name(name, 28, 5).unwrap();
+        let truth = bfs_labels(&img);
+        assert_eq!(two_pass_labels(&img), truth, "two_pass on {name}");
+        assert_eq!(scanline_labels(&img), truth, "scanline on {name}");
+        assert_eq!(naive_slap_labels(&img).0, truth, "naive on {name}");
+        assert_eq!(divide_conquer_labels(&img).0, truth, "d&c on {name}");
+        assert_eq!(mesh_min_propagation(&img).0, truth, "mesh on {name}");
+        for &kind in UfKind::ALL {
+            let run = label_components_kind(&img, kind, &CcOptions::default());
+            assert_eq!(run.labels, truth, "cc/{kind} on {name}");
+        }
+    }
+}
+
+#[test]
+fn cc_is_exact_on_multiple_sizes_and_seeds() {
+    for &n in &[8usize, 17, 33, 64] {
+        for seed in 0..3u64 {
+            let img = gen::uniform_random(n, n, 0.5, seed);
+            let truth = bfs_labels(&img);
+            let run = label_components_kind(&img, UfKind::Tarjan, &CcOptions::default());
+            assert_eq!(run.labels, truth, "n={n} seed={seed}");
+        }
+    }
+}
+
+#[test]
+fn cc_handles_extreme_aspect_ratios() {
+    for (rows, cols) in [(1usize, 64usize), (64, 1), (2, 33), (33, 2), (3, 128)] {
+        let img = gen::uniform_random(rows, cols, 0.55, 9);
+        let truth = bfs_labels(&img);
+        for &kind in &[UfKind::Tarjan, UfKind::Blum, UfKind::QuickFind] {
+            let run = label_components_kind(&img, kind, &CcOptions::default());
+            assert_eq!(run.labels, truth, "{rows}x{cols} {kind}");
+        }
+    }
+}
+
+#[test]
+fn variant_matrix_is_exact_on_adversarial_images() {
+    for name in ["comb", "fig3a", "tournament", "fan"] {
+        let img = gen::by_name(name, 32, 2).unwrap();
+        let truth = bfs_labels(&img);
+        for eager in [false, true] {
+            for idle in [false, true] {
+                for policy in [ForwardPolicy::OnImprovement, ForwardPolicy::Always] {
+                    let opts = CcOptions {
+                        eager_forward: eager,
+                        idle_compression: idle,
+                        forward_policy: policy,
+                        ..CcOptions::default()
+                    };
+                    for &kind in &[UfKind::Tarjan, UfKind::RankHalving, UfKind::Blum] {
+                        let run = label_components_kind(&img, kind, &opts);
+                        assert_eq!(
+                            run.labels, truth,
+                            "{name} {kind} eager={eager} idle={idle} {policy:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn cc_matches_oracle_on_random_images(
+        rows in 1usize..24,
+        cols in 1usize..24,
+        density in 0.0f64..1.0,
+        seed in 0u64..1000,
+    ) {
+        let img = gen::uniform_random(rows, cols, density, seed);
+        let truth = bfs_labels(&img);
+        let run = label_components_kind(&img, UfKind::Tarjan, &CcOptions::default());
+        prop_assert_eq!(run.labels, truth);
+    }
+
+    #[test]
+    fn blum_cc_matches_oracle_on_random_images(
+        rows in 1usize..20,
+        cols in 1usize..20,
+        density in 0.2f64..0.8,
+        seed in 0u64..1000,
+    ) {
+        let img = gen::uniform_random(rows, cols, density, seed);
+        let truth = bfs_labels(&img);
+        let run = label_components_kind(&img, UfKind::Blum, &CcOptions::default());
+        prop_assert_eq!(run.labels, truth);
+    }
+
+    #[test]
+    fn oracles_agree_pairwise(
+        rows in 1usize..20,
+        cols in 1usize..20,
+        density in 0.0f64..1.0,
+        seed in 0u64..1000,
+    ) {
+        let img = gen::uniform_random(rows, cols, density, seed);
+        let a = bfs_labels(&img);
+        prop_assert_eq!(&two_pass_labels(&img), &a);
+        prop_assert_eq!(&scanline_labels(&img), &a);
+    }
+}
+
+#[test]
+fn pathological_single_pixel_patterns() {
+    for art in [
+        "#", ".", "#.", ".#", "#\n.", ".\n#",
+        "#.#.#.#.#", "#\n.\n#\n.\n#",
+    ] {
+        let img = Bitmap::from_art(art);
+        let truth = bfs_labels(&img);
+        for &kind in UfKind::ALL {
+            let run = label_components_kind(&img, kind, &CcOptions::default());
+            assert_eq!(run.labels, truth, "{kind} on {art:?}");
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Integration property tests for the workspace extensions: 8-connectivity,
+//! the run-length pass variant, feature folds, the hypercube baseline, and
+//! Rem's union–find — every one differentially tested against the oracle or
+//! the paper-faithful implementation on random images.
+
+use proptest::prelude::*;
+use slap_repro::cc::features::{component_features, euler_number};
+use slap_repro::cc::{
+    label_components, label_components_kind, label_components_runs, CcOptions, ForwardPolicy,
+};
+use slap_repro::hypercube::sv_labels_conn;
+use slap_repro::image::{bfs_labels_conn, gen, Bitmap, Connectivity};
+use slap_repro::unionfind::{RemUf, TarjanUf, UfKind, UnionFind};
+
+fn arb_bitmap() -> impl Strategy<Value = Bitmap> {
+    (1usize..34, 1usize..34, 0.0f64..1.0, 0u64..10_000)
+        .prop_map(|(r, c, d, s)| gen::uniform_random(r, c, d, s))
+}
+
+fn arb_conn() -> impl Strategy<Value = Connectivity> {
+    prop::sample::select(vec![Connectivity::Four, Connectivity::Eight])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn cc_matches_oracle_under_both_connectivities(bm in arb_bitmap(), conn in arb_conn()) {
+        let opts = CcOptions { connectivity: conn, ..CcOptions::default() };
+        let truth = bfs_labels_conn(&bm, conn);
+        let run = label_components::<TarjanUf>(&bm, &opts);
+        prop_assert_eq!(run.labels, truth);
+    }
+
+    #[test]
+    fn runs_variant_is_bit_identical_to_pixel_variant(
+        bm in arb_bitmap(),
+        conn in arb_conn(),
+        eager in any::<bool>(),
+        idle in any::<bool>(),
+    ) {
+        let opts = CcOptions {
+            connectivity: conn,
+            eager_forward: eager,
+            idle_compression: idle,
+            ..CcOptions::default()
+        };
+        let pixel = label_components::<TarjanUf>(&bm, &opts);
+        let runs = label_components_runs::<TarjanUf>(&bm, &opts);
+        prop_assert_eq!(runs.labels, pixel.labels);
+    }
+
+    #[test]
+    fn eight_conn_components_coarsen_four_conn(bm in arb_bitmap()) {
+        let four = bfs_labels_conn(&bm, Connectivity::Four);
+        let eight = bfs_labels_conn(&bm, Connectivity::Eight);
+        prop_assert!(eight.component_count() <= four.component_count());
+        // every 4-component maps into exactly one 8-component
+        let mut map: std::collections::HashMap<u32, u32> = Default::default();
+        for (r, c) in bm.iter_ones_colmajor() {
+            let prev = map.insert(four.get(r, c), eight.get(r, c));
+            if let Some(p) = prev {
+                prop_assert_eq!(p, eight.get(r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn hypercube_sv_matches_oracle(bm in arb_bitmap(), conn in arb_conn()) {
+        let (labels, report) = sv_labels_conn(&bm, conn);
+        prop_assert_eq!(labels, bfs_labels_conn(&bm, conn));
+        prop_assert!(report.iterations >= 1);
+        prop_assert!(report.pes >= (bm.rows() * bm.cols()) as u64);
+    }
+
+    #[test]
+    fn feature_areas_sum_to_foreground(bm in arb_bitmap(), conn in arb_conn()) {
+        let labels = bfs_labels_conn(&bm, conn);
+        let run = component_features(&bm, &labels, conn);
+        let total: u64 = run.per_component.iter().map(|&(_, f)| f.area).sum();
+        prop_assert_eq!(total as usize, bm.count_ones());
+        for &(label, f) in &run.per_component {
+            prop_assert!(f.min_row <= f.max_row);
+            prop_assert!(f.min_col <= f.max_col);
+            prop_assert!(f.area <= (f.width() as u64) * (f.height() as u64));
+            // a component's label is the position of its first pixel, which
+            // lies inside the bounding box
+            let (lr, lc) = ((label as usize) % bm.rows(), (label as usize) / bm.rows());
+            prop_assert!((f.min_row as usize..=f.max_row as usize).contains(&lr));
+            prop_assert!((f.min_col as usize..=f.max_col as usize).contains(&lc));
+        }
+    }
+
+    #[test]
+    fn feature_perimeter_bounds(bm in arb_bitmap()) {
+        let labels = bfs_labels_conn(&bm, Connectivity::Four);
+        let run = component_features(&bm, &labels, Connectivity::Four);
+        for &(_, f) in &run.per_component {
+            // between the solid-rectangle minimum and the all-exposed maximum
+            prop_assert!(f.perimeter <= 4 * f.area);
+            prop_assert!(f.perimeter >= 2 * (f.width() as u64 + f.height() as u64));
+        }
+    }
+
+    #[test]
+    fn euler_equals_components_minus_holes(bm in arb_bitmap(), conn in arb_conn()) {
+        // Euler number by quad counting vs. brute force: components minus
+        // background components (under the dual adjacency) not touching the
+        // border.
+        let e = euler_number(&bm, conn).euler;
+        let comps = bfs_labels_conn(&bm, conn).component_count() as i64;
+        let dual = match conn {
+            Connectivity::Four => Connectivity::Eight,
+            Connectivity::Eight => Connectivity::Four,
+        };
+        let inv = bm.invert();
+        let bg = bfs_labels_conn(&inv, dual);
+        let mut all: std::collections::HashSet<u32> = Default::default();
+        let mut border: std::collections::HashSet<u32> = Default::default();
+        for (r, c) in inv.iter_ones_colmajor() {
+            all.insert(bg.get(r, c));
+            if r == 0 || c == 0 || r == bm.rows() - 1 || c == bm.cols() - 1 {
+                border.insert(bg.get(r, c));
+            }
+        }
+        let holes = (all.len() - border.len()) as i64;
+        prop_assert_eq!(e, comps - holes);
+    }
+
+    #[test]
+    fn rem_uf_matches_quickfind_partitions(
+        ops in prop::collection::vec((0usize..24, 0usize..24), 0..80)
+    ) {
+        let mut rem = RemUf::with_elements(24);
+        let mut reference = UfKind::QuickFind.build(24);
+        for &(x, y) in &ops {
+            rem.union_splice(x, y);
+            reference.union(x, y);
+        }
+        prop_assert_eq!(rem.set_count(), reference.set_count());
+        for x in 0..24 {
+            for y in (x + 1)..24 {
+                prop_assert_eq!(rem.same_set(x, y), reference.same_set(x, y));
+            }
+        }
+    }
+
+    #[test]
+    fn all_uf_kinds_label_identically(bm in arb_bitmap(), conn in arb_conn()) {
+        let opts = CcOptions { connectivity: conn, ..CcOptions::default() };
+        let reference = label_components_kind(&bm, UfKind::IdealO1, &opts);
+        for &kind in UfKind::ALL {
+            let run = label_components_kind(&bm, kind, &opts);
+            prop_assert_eq!(&run.labels, &reference.labels, "kind {}", kind);
+        }
+    }
+
+    #[test]
+    fn forward_policies_agree(bm in arb_bitmap(), conn in arb_conn()) {
+        let a = label_components::<TarjanUf>(&bm, &CcOptions {
+            connectivity: conn,
+            forward_policy: ForwardPolicy::OnImprovement,
+            ..CcOptions::default()
+        });
+        let b = label_components::<TarjanUf>(&bm, &CcOptions {
+            connectivity: conn,
+            forward_policy: ForwardPolicy::Always,
+            ..CcOptions::default()
+        });
+        prop_assert_eq!(a.labels, b.labels);
+    }
+}
+
+#[test]
+fn extensions_compose_on_a_nontrivial_image() {
+    // One deterministic end-to-end pass exercising everything at once:
+    // 8-connectivity labeling on the run variant, features, Euler number,
+    // and the hypercube baseline, all agreeing.
+    let img = gen::by_name("maze", 40, 3).unwrap();
+    let conn = Connectivity::Eight;
+    let opts = CcOptions {
+        connectivity: conn,
+        ..CcOptions::default()
+    };
+    let truth = bfs_labels_conn(&img, conn);
+    let runs = label_components_runs::<TarjanUf>(&img, &opts);
+    assert_eq!(runs.labels, truth);
+    let (hyper, _) = sv_labels_conn(&img, conn);
+    assert_eq!(hyper, truth);
+    let feats = component_features(&img, &truth, conn);
+    assert_eq!(feats.per_component.len(), truth.component_count());
+    let e = euler_number(&img, conn);
+    assert!(e.euler <= truth.component_count() as i64);
+}
