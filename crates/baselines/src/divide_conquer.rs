@@ -77,8 +77,7 @@ pub fn divide_conquer_labels(img: &Bitmap) -> (LabelGrid, DcReport) {
             // 1. ship right-boundary labels one hop left: rows words
             let mut steps = rows as u64;
             // 2. sequential merge at the leader over the boundary pair
-            let (renames, merge_steps) =
-                merge_boundary(img, &labels, left_end - 1, left_end, rows);
+            let (renames, merge_steps) = merge_boundary(img, &labels, left_end - 1, left_end, rows);
             steps += merge_steps;
             // 3. broadcast the rename map through the merged block
             steps += renames.len() as u64 + (block_end - block_start) as u64;
@@ -112,7 +111,14 @@ pub fn divide_conquer_labels(img: &Bitmap) -> (LabelGrid, DcReport) {
             }
         }
     }
-    (out, DcReport { level_steps, local_steps, steps })
+    (
+        out,
+        DcReport {
+            level_steps,
+            local_steps,
+            steps,
+        },
+    )
 }
 
 /// Sequential union–find over the labels on the boundary between columns
@@ -204,8 +210,12 @@ mod tests {
     fn steps_scale_n_log_n_even_on_empty_images() {
         // The merge schedule runs regardless of content — the rigidity the
         // paper's algorithm avoids.
-        let s32 = divide_conquer_labels(&slap_image::Bitmap::new(32, 32)).1.steps as f64;
-        let s128 = divide_conquer_labels(&slap_image::Bitmap::new(128, 128)).1.steps as f64;
+        let s32 = divide_conquer_labels(&slap_image::Bitmap::new(32, 32))
+            .1
+            .steps as f64;
+        let s128 = divide_conquer_labels(&slap_image::Bitmap::new(128, 128))
+            .1
+            .steps as f64;
         let ratio = s128 / s32;
         // n lg n scaling: (128*7)/(32*5) = 5.6; allow slack
         assert!(

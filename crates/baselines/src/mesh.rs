@@ -148,7 +148,11 @@ impl CellProgram for LevialdiCell {
                     // isolated pixel: its component disappears this iteration
                     self.vanished_components += 1;
                 }
-                self.bit = if self.bit { w || self.n || nw } else { w && self.n };
+                self.bit = if self.bit {
+                    w || self.n || nw
+                } else {
+                    w && self.n
+                };
             }
             io.send(Dir::North, self.bit as u8);
             io.send(Dir::South, self.bit as u8);

@@ -39,7 +39,13 @@ pub fn naive_slap_labels(img: &Bitmap) -> (LabelGrid, NaiveReport) {
     let mut labels: Vec<Vec<u32>> = (0..cols)
         .map(|c| {
             (0..rows)
-                .map(|r| if img.get(r, c) { (c * rows + r) as u32 } else { BG })
+                .map(|r| {
+                    if img.get(r, c) {
+                        (c * rows + r) as u32
+                    } else {
+                        BG
+                    }
+                })
                 .collect()
         })
         .collect();

@@ -11,7 +11,12 @@ fn bench_cc(c: &mut Criterion) {
     let n = 128;
     let img = gen::uniform_random(n, n, 0.5, 42);
     let mut g = c.benchmark_group("cc_end_to_end");
-    for &kind in &[UfKind::Tarjan, UfKind::RankHalving, UfKind::Blum, UfKind::IdealO1] {
+    for &kind in &[
+        UfKind::Tarjan,
+        UfKind::RankHalving,
+        UfKind::Blum,
+        UfKind::IdealO1,
+    ] {
         g.bench_with_input(
             BenchmarkId::new("algorithm_cc", kind.name()),
             &kind,

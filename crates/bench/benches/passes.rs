@@ -13,8 +13,20 @@ fn bench_variants(c: &mut Criterion) {
     let img = gen::double_comb(n, n, 2);
     let variants: [(&str, CcOptions); 4] = [
         ("baseline", CcOptions::default()),
-        ("eager", CcOptions { eager_forward: true, ..CcOptions::default() }),
-        ("idle", CcOptions { idle_compression: true, ..CcOptions::default() }),
+        (
+            "eager",
+            CcOptions {
+                eager_forward: true,
+                ..CcOptions::default()
+            },
+        ),
+        (
+            "idle",
+            CcOptions {
+                idle_compression: true,
+                ..CcOptions::default()
+            },
+        ),
         (
             "eager+idle",
             CcOptions {

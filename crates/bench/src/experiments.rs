@@ -90,7 +90,13 @@ pub fn e2(scale: Scale) -> Vec<Table> {
 
     let mut macro_t = Table::new(
         "E2b (Theorem 3): Algorithm CC with Blum union-find",
-        &["workload", "n", "total steps", "steps/n", "steps/(n·lg n/lg lg n)"],
+        &[
+            "workload",
+            "n",
+            "total steps",
+            "steps/n",
+            "steps/(n·lg n/lg lg n)",
+        ],
     );
     for name in ["tournament", "random50", "comb"] {
         for &n in scale.sides() {
@@ -106,7 +112,9 @@ pub fn e2(scale: Scale) -> Vec<Table> {
             ]);
         }
     }
-    macro_t.note("Claim (Theorem 3): O(n·lg n/lg lg n) worst case. The last column must not grow with n.");
+    macro_t.note(
+        "Claim (Theorem 3): O(n·lg n/lg lg n) worst case. The last column must not grow with n.",
+    );
     vec![micro, macro_t]
 }
 
@@ -117,7 +125,15 @@ pub fn e3(scale: Scale) -> Vec<Table> {
         "E3 (Tarjan union-find): near-linear typical, O(n lg n) worst case",
         &["workload", "n", "total steps", "steps/n", "steps/(n lg n)"],
     );
-    for name in ["random05", "random25", "random50", "random90", "blobs", "maze", "tournament"] {
+    for name in [
+        "random05",
+        "random25",
+        "random50",
+        "random90",
+        "blobs",
+        "maze",
+        "tournament",
+    ] {
         for &n in scale.sides() {
             let img = gen::by_name(name, n, 11).unwrap();
             let run = cc(&img, UfKind::Tarjan);
@@ -140,7 +156,14 @@ pub fn e3(scale: Scale) -> Vec<Table> {
 pub fn e4(scale: Scale) -> Vec<Table> {
     let mut t = Table::new(
         "E4 (Fig. 3): naive label passing vs Algorithm CC",
-        &["workload", "n", "naive rounds", "naive steps", "CC steps", "naive/CC"],
+        &[
+            "workload",
+            "n",
+            "naive rounds",
+            "naive steps",
+            "CC steps",
+            "naive/CC",
+        ],
     );
     for name in ["comb", "fig3a", "serpentine", "spiral", "random50"] {
         for &n in scale.small_sides() {
@@ -166,7 +189,14 @@ pub fn e4(scale: Scale) -> Vec<Table> {
 pub fn e5(scale: Scale) -> Vec<Table> {
     let mut t = Table::new(
         "E5 (prior SLAP state of the art): divide & conquer vs Algorithm CC",
-        &["workload", "n", "D&C steps", "D&C/(n lg n)", "CC steps", "D&C/CC"],
+        &[
+            "workload",
+            "n",
+            "D&C steps",
+            "D&C/(n lg n)",
+            "CC steps",
+            "D&C/CC",
+        ],
     );
     for name in ["empty", "random50", "comb", "blobs"] {
         for &n in scale.sides() {
@@ -233,7 +263,15 @@ pub fn e6(scale: Scale) -> Vec<Table> {
 pub fn e7(scale: Scale) -> Vec<Table> {
     let mut t = Table::new(
         "E7 (Corollary 4): component folds of initial labels",
-        &["workload", "n", "fold", "fold steps", "CC steps", "fold/CC", "messages"],
+        &[
+            "workload",
+            "n",
+            "fold",
+            "fold steps",
+            "CC steps",
+            "fold/CC",
+            "messages",
+        ],
     );
     for name in ["blobs", "random50", "fig3a"] {
         for &n in scale.sides() {
@@ -252,7 +290,10 @@ pub fn e7(scale: Scale) -> Vec<Table> {
                         for &(l, v) in &f.per_component {
                             assert_eq!(v, l as u64);
                         }
-                        (f.metrics.total_steps, f.metrics.prefix_pass.messages + f.metrics.suffix_pass.messages)
+                        (
+                            f.metrics.total_steps,
+                            f.metrics.prefix_pass.messages + f.metrics.suffix_pass.messages,
+                        )
                     }),
                 ),
                 (
@@ -261,14 +302,20 @@ pub fn e7(scale: Scale) -> Vec<Table> {
                         let f = component_fold::<MaxFold>(&img, &run.labels, &move |r, c| {
                             (c * rows + r) as u64
                         });
-                        (f.metrics.total_steps, f.metrics.prefix_pass.messages + f.metrics.suffix_pass.messages)
+                        (
+                            f.metrics.total_steps,
+                            f.metrics.prefix_pass.messages + f.metrics.suffix_pass.messages,
+                        )
                     }),
                 ),
                 (
                     "size",
                     Box::new(|| {
                         let f = component_fold::<SumFold>(&img, &run.labels, &|_, _| 1u64);
-                        (f.metrics.total_steps, f.metrics.prefix_pass.messages + f.metrics.suffix_pass.messages)
+                        (
+                            f.metrics.total_steps,
+                            f.metrics.prefix_pass.messages + f.metrics.suffix_pass.messages,
+                        )
                     }),
                 ),
             ];
@@ -294,7 +341,13 @@ pub fn e7(scale: Scale) -> Vec<Table> {
 pub fn e8(scale: Scale) -> Vec<Table> {
     let mut lower = Table::new(
         "E8a (Theorem 5 counting argument, exhaustive)",
-        &["n", "instances", "distinct right-column labelings", "required bits", "(n/2)·lg n"],
+        &[
+            "n",
+            "instances",
+            "distinct right-column labelings",
+            "required bits",
+            "(n/2)·lg n",
+        ],
     );
     let sides: &[usize] = match scale {
         Scale::Quick => &[4, 6],
@@ -314,7 +367,13 @@ pub fn e8(scale: Scale) -> Vec<Table> {
 
     let mut upper = Table::new(
         "E8b (bit-serial Algorithm CC on the 1-bit machine)",
-        &["n", "message bits", "bit-serial steps", "word steps", "bit-serial/(n lg n)"],
+        &[
+            "n",
+            "message bits",
+            "bit-serial steps",
+            "word steps",
+            "bit-serial/(n lg n)",
+        ],
     );
     for &n in scale.sides() {
         let img = gen::even_rows_random(n, n, 17);
@@ -337,7 +396,14 @@ pub fn e8(scale: Scale) -> Vec<Table> {
 pub fn e9(scale: Scale) -> Vec<Table> {
     let mut t = Table::new(
         "E9 (practical variants of §3)",
-        &["workload", "n", "variant", "total steps", "vs baseline", "idle filled"],
+        &[
+            "workload",
+            "n",
+            "variant",
+            "total steps",
+            "vs baseline",
+            "idle filled",
+        ],
     );
     let variants: [(&str, CcOptions); 4] = [
         ("baseline", CcOptions::default()),
@@ -511,10 +577,24 @@ pub fn e12(scale: Scale) -> Vec<Table> {
     use slap_unionfind::RankHalvingUf;
     let mut t = Table::new(
         "E12 (S3 structure): phase-2 interval property of Union-Find-Pass",
-        &["workload", "n", "pairs dequeued", "adjacent violations", "violation rate"],
+        &[
+            "workload",
+            "n",
+            "pairs dequeued",
+            "adjacent violations",
+            "violation rate",
+        ],
     );
     let opts = CcOptions::default();
-    for name in ["random25", "random50", "fig3a", "comb", "tournament", "maze", "staircase"] {
+    for name in [
+        "random25",
+        "random50",
+        "fig3a",
+        "comb",
+        "tournament",
+        "maze",
+        "staircase",
+    ] {
         for &n in scale.small_sides() {
             let img = gen::by_name(name, n, 11).unwrap();
             let cols = img.columns();
@@ -527,10 +607,7 @@ pub fn e12(scale: Scale) -> Vec<Table> {
                 .iter()
                 .map(|tr| interval_property_violations(tr))
                 .sum();
-            let adjacent: usize = traces
-                .iter()
-                .map(|tr| tr.len().saturating_sub(1))
-                .sum();
+            let adjacent: usize = traces.iter().map(|tr| tr.len().saturating_sub(1)).sum();
             t.push_row(vec![
                 name.into(),
                 n.to_string(),
@@ -554,9 +631,19 @@ pub fn e13(scale: Scale) -> Vec<Table> {
     use slap_cc::label_components_runs;
     let mut t = Table::new(
         "E13 (ablation): run-length vs per-pixel pass representation",
-        &["workload", "n", "pixel steps", "run steps", "run/pixel", "uf-pass msgs (pixel)", "uf-pass msgs (run)"],
+        &[
+            "workload",
+            "n",
+            "pixel steps",
+            "run steps",
+            "run/pixel",
+            "uf-pass msgs (pixel)",
+            "uf-pass msgs (run)",
+        ],
     );
-    for name in ["vstripes", "blobs", "random25", "random50", "random90", "comb", "maze"] {
+    for name in [
+        "vstripes", "blobs", "random25", "random50", "random90", "comb", "maze",
+    ] {
         for &n in scale.sides() {
             let img = gen::by_name(name, n, 11).unwrap();
             let opts = CcOptions::default();
@@ -576,11 +663,13 @@ pub fn e13(scale: Scale) -> Vec<Table> {
             ]);
         }
     }
-    t.note("Ours (engineering ablation, in the spirit of the run-oriented processing in [2]): \
+    t.note(
+        "Ours (engineering ablation, in the spirit of the run-oriented processing in [2]): \
             the run universe shrinks union-find from n elements to #runs per column. run/pixel \
             < 1 everywhere; the gain is largest on solid workloads (vstripes: one run per \
             column) and smallest on sparse noise (random25: most runs are single pixels, so \
-            the run table saves little). Wire format and labels unchanged.");
+            the run table saves little). Wire format and labels unchanged.",
+    );
     vec![t]
 }
 
@@ -590,9 +679,24 @@ pub fn e14(scale: Scale) -> Vec<Table> {
     use slap_image::{bfs_labels_conn, Connectivity};
     let mut t = Table::new(
         "E14 (extension): 8-connectivity vs 4-connectivity",
-        &["workload", "n", "4-conn steps", "8-conn steps", "8/4", "components 4", "components 8"],
+        &[
+            "workload",
+            "n",
+            "4-conn steps",
+            "8-conn steps",
+            "8/4",
+            "components 4",
+            "components 8",
+        ],
     );
-    for name in ["antidiag", "staircase", "checker", "random50", "maze", "blobs"] {
+    for name in [
+        "antidiag",
+        "staircase",
+        "checker",
+        "random50",
+        "maze",
+        "blobs",
+    ] {
         for &n in scale.sides() {
             let img = gen::by_name(name, n, 11).unwrap();
             let four = label_components::<TarjanUf>(&img, &CcOptions::default());
@@ -613,12 +717,14 @@ pub fn e14(scale: Scale) -> Vec<Table> {
             ]);
         }
     }
-    t.note("Ours (extension): the paper's framework carries over to 8-connectivity with a \
+    t.note(
+        "Ours (extension): the paper's framework carries over to 8-connectivity with a \
             local diagonal-bridge rule and witnesses that point into the neighbor column. \
             The 8/4 step ratio stays near 1 (constant-factor overhead); component counts \
             collapse on diagonal-rich workloads (antidiag 87381 -> 341 at n=512; random50 \
             19x fewer) and are untouched where no diagonals exist (checker's isolated \
-            pixels sit 2 apart; staircase steps are already 4-connected).");
+            pixels sit 2 apart; staircase steps are already 4-connected).",
+    );
     vec![t]
 }
 
@@ -662,10 +768,12 @@ pub fn e15(scale: Scale) -> Vec<Table> {
             ]);
         }
     }
-    t.note("Claim (intro, [5]): richer networks beat O(n) time 'but only with interconnection \
+    t.note(
+        "Claim (intro, [5]): richer networks beat O(n) time 'but only with interconnection \
             networks that are more complicated and, therefore, more costly'. Cube rounds grow \
             polylogarithmically (SLAP/cube time rises with n) while the cube spends n²/n times \
-            the processors and ~n·lg(n²)/2 times the links; cube/SLAP work quantifies the price.");
+            the processors and ~n·lg(n²)/2 times the links; cube/SLAP work quantifies the price.",
+    );
     vec![t]
 }
 
@@ -690,7 +798,14 @@ pub fn e16(scale: Scale) -> Vec<Table> {
             "aborted",
         ],
     );
-    for name in ["hstripes", "random65", "full", "tournament", "fig3a", "maze"] {
+    for name in [
+        "hstripes",
+        "random65",
+        "full",
+        "tournament",
+        "fig3a",
+        "maze",
+    ] {
         for &n in scale.small_sides() {
             let img = gen::by_name(name, n, 11).unwrap();
             let plain_opts = CcOptions::default();
@@ -698,10 +813,8 @@ pub fn e16(scale: Scale) -> Vec<Table> {
                 eager_forward: true,
                 ..CcOptions::default()
             };
-            let (plain_run, plain) =
-                label_components_lockstep::<TarjanUf>(&img, &plain_opts, 1);
-            let (eager_run, eager) =
-                label_components_lockstep::<TarjanUf>(&img, &eager_opts, 1);
+            let (plain_run, plain) = label_components_lockstep::<TarjanUf>(&img, &plain_opts, 1);
+            let (eager_run, eager) = label_components_lockstep::<TarjanUf>(&img, &eager_opts, 1);
             let (quash_run, quash) =
                 label_components_lockstep_quash::<TarjanUf>(&img, &plain_opts, 1, true);
             assert_eq!(plain_run.labels, quash_run.labels);
@@ -720,11 +833,13 @@ pub fn e16(scale: Scale) -> Vec<Table> {
             ]);
         }
     }
-    t.note("Claim (§3): speculative pair forwarding with quashing may improve performance. \
+    t.note(
+        "Claim (§3): speculative pair forwarding with quashing may improve performance. \
             Quashes fire exactly on redundant connectivity (cycles: hstripes/full/random65/ \
             tournament; zero on the acyclic fig3a/maze), most overtake their pair in the \
             receiver's queue (dropped), and quashing contains the full-array cascades that \
-            bare eager forwarding triggers on solid bands. Labels identical in all variants.");
+            bare eager forwarding triggers on solid bands. Labels identical in all variants.",
+    );
     vec![t]
 }
 

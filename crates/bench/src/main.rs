@@ -22,11 +22,20 @@ const DESCRIPTIONS: &[(&str, &str)] = &[
     ("e9", "S3 variants: idle compression, eager forwarding"),
     ("e10", "S3/[21]: union-find implementation family"),
     ("e11", "ours: threaded lock-step executor scaling"),
-    ("e12", "S3: interval structure of the phase-2 union sequence"),
+    (
+        "e12",
+        "S3: interval structure of the phase-2 union sequence",
+    ),
     ("e13", "ours: run-length vs per-pixel pass ablation"),
     ("e14", "ours: 8-connectivity extension cost parity"),
-    ("e15", "Intro: hypercube (n^2 PEs, polylog time) resource comparison"),
-    ("e16", "S3: speculative forwarding with quashing (lock-step)"),
+    (
+        "e15",
+        "Intro: hypercube (n^2 PEs, polylog time) resource comparison",
+    ),
+    (
+        "e16",
+        "S3: speculative forwarding with quashing (lock-step)",
+    ),
 ];
 
 fn main() {

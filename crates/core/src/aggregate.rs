@@ -187,34 +187,35 @@ fn accumulate_pass<F: Fold>(
     let image_index = |pe: usize| if reversed { n - 1 - pe } else { pe };
     let mut inclusive: Vec<HashMap<u32, F::Value>> = (0..n).map(|_| HashMap::new()).collect();
     let mut exclusive: Vec<HashMap<u32, F::Value>> = (0..n).map(|_| HashMap::new()).collect();
-    let (_, report) = run_pipeline_with(cfg, |pe, ctx: &mut slap_machine::PeCtx<(u32, F::Value)>| {
-        let c = image_index(pe);
-        let cf = &folds[c];
-        let (expects_in, sends_out) = if reversed {
-            (&cf.extends_right, &cf.extends_left)
-        } else {
-            (&cf.extends_left, &cf.extends_right)
-        };
-        // send the labels that start here (no upstream extension)
-        for (&l, &v) in &cf.local {
-            ctx.charge(1);
-            inclusive[c].insert(l, v);
-            if !expects_in.contains_key(&l) && sends_out.contains_key(&l) {
-                ctx.send((l, v));
+    let (_, report) =
+        run_pipeline_with(cfg, |pe, ctx: &mut slap_machine::PeCtx<(u32, F::Value)>| {
+            let c = image_index(pe);
+            let cf = &folds[c];
+            let (expects_in, sends_out) = if reversed {
+                (&cf.extends_right, &cf.extends_left)
+            } else {
+                (&cf.extends_left, &cf.extends_right)
+            };
+            // send the labels that start here (no upstream extension)
+            for (&l, &v) in &cf.local {
+                ctx.charge(1);
+                inclusive[c].insert(l, v);
+                if !expects_in.contains_key(&l) && sends_out.contains_key(&l) {
+                    ctx.send((l, v));
+                }
             }
-        }
-        // absorb upstream accumulations, extend, forward
-        while let Some((l, v)) = ctx.recv() {
-            ctx.charge(1);
-            exclusive[c].insert(l, v);
-            let local = cf.local.get(&l).copied().unwrap_or_else(F::identity);
-            let acc = F::combine(local, v);
-            inclusive[c].insert(l, acc);
-            if sends_out.contains_key(&l) {
-                ctx.send((l, acc));
+            // absorb upstream accumulations, extend, forward
+            while let Some((l, v)) = ctx.recv() {
+                ctx.charge(1);
+                exclusive[c].insert(l, v);
+                let local = cf.local.get(&l).copied().unwrap_or_else(F::identity);
+                let acc = F::combine(local, v);
+                inclusive[c].insert(l, acc);
+                if sends_out.contains_key(&l) {
+                    ctx.send((l, acc));
+                }
             }
-        }
-    });
+        });
     (inclusive, exclusive, report)
 }
 
@@ -248,8 +249,7 @@ pub fn component_fold_conn<F: Fold>(
     let word_steps = slap_machine::costs::WORD_STEPS;
     let (prefix_incl, _prefix_excl, prefix_report) =
         accumulate_pass::<F>(&folds, false, word_steps);
-    let (_suffix_incl, suffix_excl, suffix_report) =
-        accumulate_pass::<F>(&folds, true, word_steps);
+    let (_suffix_incl, suffix_excl, suffix_report) = accumulate_pass::<F>(&folds, true, word_steps);
     // Final local combine: prefix_incl(0..=c) ⊕ suffix_excl(c+1..). Every
     // column of a component computes the same value; fill the map from the
     // leftmost occurrence and verify agreement elsewhere (debug builds).
@@ -271,10 +271,8 @@ pub fn component_fold_conn<F: Fold>(
     }
     let mut per_component: Vec<(u32, F::Value)> = totals.into_iter().collect();
     per_component.sort_unstable_by_key(|&(l, _)| l);
-    let total_steps = local_makespan
-        + prefix_report.makespan
-        + suffix_report.makespan
-        + combine_makespan;
+    let total_steps =
+        local_makespan + prefix_report.makespan + suffix_report.makespan + combine_makespan;
     FoldRun {
         per_component,
         metrics: FoldMetrics {
@@ -396,8 +394,7 @@ mod tests {
             img.set(i, n - 1 - i, true);
         }
         let labels = bfs_labels_conn(&img, Connectivity::Eight);
-        let run =
-            component_fold_conn::<SumFold>(&img, &labels, Connectivity::Eight, &|_, _| 1u64);
+        let run = component_fold_conn::<SumFold>(&img, &labels, Connectivity::Eight, &|_, _| 1u64);
         assert_eq!(run.per_component.len(), 1);
         assert_eq!(run.per_component[0].1, n as u64);
     }
@@ -407,8 +404,7 @@ mod tests {
         use slap_image::{bfs_labels_conn, Connectivity};
         let img = gen::uniform_random(24, 24, 0.35, 77);
         let labels = bfs_labels_conn(&img, Connectivity::Eight);
-        let run =
-            component_fold_conn::<SumFold>(&img, &labels, Connectivity::Eight, &|_, _| 1u64);
+        let run = component_fold_conn::<SumFold>(&img, &labels, Connectivity::Eight, &|_, _| 1u64);
         let mut expect: HashMap<u32, u64> = HashMap::new();
         for (r, c) in img.iter_ones_colmajor() {
             *expect.entry(labels.get(r, c)).or_insert(0) += 1;

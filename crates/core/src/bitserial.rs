@@ -68,7 +68,10 @@ pub struct EntropyReport {
 /// Panics if the instance count exceeds `limit` (a guard against accidental
 /// explosion).
 pub fn entropy_report(n: usize, limit: u64) -> EntropyReport {
-    assert!(n >= 2 && n.is_multiple_of(2), "n must be even and at least 2");
+    assert!(
+        n >= 2 && n.is_multiple_of(2),
+        "n must be even and at least 2"
+    );
     let rows = n / 2;
     let instances = (n as u64).pow(rows as u32);
     assert!(

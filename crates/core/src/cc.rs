@@ -139,9 +139,8 @@ fn directional_pass<U: UnionFind>(
         start_clock: 0,
     };
     // Phase 1+2: Union-Find-Pass (pipelined)
-    let (mut states, uf_report) = run_pipeline_with(cfg, |pe, ctx| {
-        unionfind_pass::<U>(cols, opts, pe, ctx)
-    });
+    let (mut states, uf_report) =
+        run_pipeline_with(cfg, |pe, ctx| unionfind_pass::<U>(cols, opts, pe, ctx));
     // Step 2 of Left-Components: local finds (concurrent across PEs)
     let mut find_makespan = 0u64;
     let mut find_busy = 0u64;
@@ -151,10 +150,8 @@ fn directional_pass<U: UnionFind>(
         find_busy += units;
     }
     // Step 3: Label-Pass (pipelined)
-    let mut label_slots: Vec<Vec<u32>> = states
-        .iter()
-        .map(|s| vec![NIL; s.uf.id_bound()])
-        .collect();
+    let mut label_slots: Vec<Vec<u32>> =
+        states.iter().map(|s| vec![NIL; s.uf.id_bound()]).collect();
     let (_, label_report) = run_pipeline_with(cfg, |pe, ctx| {
         let base = label_offset + (pe * rows) as u32;
         label_pass::<U>(
@@ -362,9 +359,7 @@ mod tests {
             },
         );
         let b = label_components::<TarjanUf>(&img, &CcOptions::default());
-        assert!(
-            a.metrics.left.label_pass.messages >= b.metrics.left.label_pass.messages
-        );
+        assert!(a.metrics.left.label_pass.messages >= b.metrics.left.label_pass.messages);
         assert_eq!(a.labels, b.labels);
     }
 
@@ -401,10 +396,7 @@ mod tests {
             ratios.iter().cloned().fold(f64::MAX, f64::min),
             ratios.iter().cloned().fold(0.0f64, f64::max),
         );
-        assert!(
-            max / min < 1.6,
-            "steps/n drifts superlinearly: {ratios:?}"
-        );
+        assert!(max / min < 1.6, "steps/n drifts superlinearly: {ratios:?}");
     }
 
     #[test]
@@ -480,8 +472,14 @@ mod tests {
 
     #[test]
     fn eight_conn_rectangular_images() {
-        check_exact(&gen::uniform_random(11, 37, 0.4, 6), &eight(CcOptions::default()));
-        check_exact(&gen::uniform_random(37, 11, 0.4, 7), &eight(CcOptions::default()));
+        check_exact(
+            &gen::uniform_random(11, 37, 0.4, 6),
+            &eight(CcOptions::default()),
+        );
+        check_exact(
+            &gen::uniform_random(37, 11, 0.4, 7),
+            &eight(CcOptions::default()),
+        );
         check_exact(&Bitmap::from_art("#\n.\n#\n"), &eight(CcOptions::default()));
         check_exact(&Bitmap::from_art("#.#"), &eight(CcOptions::default()));
     }

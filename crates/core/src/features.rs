@@ -202,7 +202,11 @@ pub fn euler_number(img: &Bitmap, conn: Connectivity) -> EulerRun {
     // Pad by one so border pixels form quads with the outside; PE c owns the
     // windows with left column c-1 (virtual column -1 owned by PE 0's scan).
     let get = |r: isize, c: isize| -> bool {
-        r >= 0 && c >= 0 && (r as usize) < rows && (c as usize) < cols && img.get(r as usize, c as usize)
+        r >= 0
+            && c >= 0
+            && (r as usize) < rows
+            && (c as usize) < cols
+            && img.get(r as usize, c as usize)
     };
     let mut q1 = 0i64; // exactly one foreground pixel
     let mut q3 = 0i64; // exactly three foreground pixels

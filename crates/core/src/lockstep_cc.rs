@@ -115,9 +115,13 @@ struct UfPassPe<U: UnionFind> {
 
 enum UfPhase {
     /// `Make-Set` per row (paper Fig. 5 line 1): `remaining` cycles.
-    MakeSet { remaining: u64 },
+    MakeSet {
+        remaining: u64,
+    },
     /// Lines 3–7: vertical-run unions, cursor `j`.
-    Phase1 { j: usize },
+    Phase1 {
+        j: usize,
+    },
     /// Lines 8–14: consume incoming relevant unions.
     Phase2,
     /// Flush remaining outbox words (incl. EOS), then done.
@@ -581,8 +585,7 @@ pub fn label_components_lockstep_quash<U: UnionFind + Send>(
     let mut grid = LabelGrid::new_background(rows, ncols);
     let mut stitch_makespan = 0u64;
     for c in 0..ncols {
-        let (finals, units) =
-            stitch_column(&left_labels[c], &right_labels_flipped[ncols - 1 - c]);
+        let (finals, units) = stitch_column(&left_labels[c], &right_labels_flipped[ncols - 1 - c]);
         stitch_makespan = stitch_makespan.max(units);
         for (j, &label) in finals.iter().enumerate() {
             if label != NIL {
@@ -591,11 +594,8 @@ pub fn label_components_lockstep_quash<U: UnionFind + Send>(
         }
     }
     let local_rounds = left_local + right_local + stitch_makespan;
-    let total_rounds = left_rounds[0]
-        + left_rounds[1]
-        + right_rounds[0]
-        + right_rounds[1]
-        + local_rounds;
+    let total_rounds =
+        left_rounds[0] + left_rounds[1] + right_rounds[0] + right_rounds[1] + local_rounds;
     let report = LockstepCcReport {
         uf_rounds: [left_rounds[0], right_rounds[0]],
         label_rounds: [left_rounds[1], right_rounds[1]],
@@ -700,16 +700,11 @@ mod tests {
         for name in ["random50", "comb", "fig3a", "tournament", "maze"] {
             let img = gen::by_name(name, 24, 5).unwrap();
             let truth = bfs_labels(&img);
-            let (run, report) = label_components_lockstep_quash::<TarjanUf>(
-                &img,
-                &CcOptions::default(),
-                1,
-                true,
-            );
+            let (run, report) =
+                label_components_lockstep_quash::<TarjanUf>(&img, &CcOptions::default(), 1, true);
             assert_eq!(run.labels, truth, "quashing on {name}");
             assert!(
-                report.spec.pairs_dropped + report.spec.stalls_aborted
-                    <= report.spec.quash_sent,
+                report.spec.pairs_dropped + report.spec.stalls_aborted <= report.spec.quash_sent,
                 "{name}: more cancellations than quashes"
             );
             assert!(
@@ -728,23 +723,15 @@ mod tests {
         // though they speculate.
         for name in ["hstripes", "random65", "full", "tournament"] {
             let img = gen::by_name(name, 48, 1).unwrap();
-            let (_, report) = label_components_lockstep_quash::<TarjanUf>(
-                &img,
-                &CcOptions::default(),
-                1,
-                true,
-            );
+            let (_, report) =
+                label_components_lockstep_quash::<TarjanUf>(&img, &CcOptions::default(), 1, true);
             assert!(report.spec.spec_sent > 0, "{name}: no speculation happened");
             assert!(report.spec.quash_sent > 0, "{name}: no quashes were needed");
         }
         for name in ["maze", "fig3a", "spiral"] {
             let img = gen::by_name(name, 48, 1).unwrap();
-            let (_, report) = label_components_lockstep_quash::<TarjanUf>(
-                &img,
-                &CcOptions::default(),
-                1,
-                true,
-            );
+            let (_, report) =
+                label_components_lockstep_quash::<TarjanUf>(&img, &CcOptions::default(), 1, true);
             assert_eq!(
                 report.spec.quash_sent, 0,
                 "{name} is acyclic: every union must be novel"

@@ -143,7 +143,10 @@ impl<U: UnionFind> RunColumnState<U> {
     /// format is unchanged); rows are translated to runs through the local
     /// table. Returns `(units, forward)`.
     pub fn apply_rows(&mut self, top: u32, bot: u32) -> (u64, Option<(u32, u32)>) {
-        let (rt0, rb0) = (self.runs.run_of[top as usize], self.runs.run_of[bot as usize]);
+        let (rt0, rb0) = (
+            self.runs.run_of[top as usize],
+            self.runs.run_of[bot as usize],
+        );
         debug_assert!(rt0 != NIL && rb0 != NIL, "union on background rows");
         let c0 = self.uf.cost();
         let rt = self.uf.find(rt0 as usize);
@@ -221,8 +224,7 @@ fn run_unionfind_pass<U: UnionFind>(
             ctx.charge(1);
             let gap_top = state.runs.end[k - 1] + 1;
             if state.runs.start[k] == gap_top + 1 && cols.get(pe - 1, gap_top as usize) {
-                let (units, forward) =
-                    state.apply_rows(state.runs.end[k - 1], state.runs.start[k]);
+                let (units, forward) = state.apply_rows(state.runs.end[k - 1], state.runs.start[k]);
                 ctx.charge(units);
                 if let Some(pair) = forward {
                     ctx.send(pair);
@@ -244,17 +246,18 @@ fn run_unionfind_pass<U: UnionFind>(
             ctx.charge(1);
             let witness = |r: u32| {
                 let k = state.runs.run_of[r as usize];
-                (k != NIL && pe + 1 < cols.cols()).then(|| {
-                    let w = run_adjacent_row(
-                        cols,
-                        pe + 1,
-                        state.runs.start[k as usize],
-                        state.runs.end[k as usize],
-                        conn,
-                    );
-                    (w != NIL).then_some(w)
-                })
-                .flatten()
+                (k != NIL && pe + 1 < cols.cols())
+                    .then(|| {
+                        let w = run_adjacent_row(
+                            cols,
+                            pe + 1,
+                            state.runs.start[k as usize],
+                            state.runs.end[k as usize],
+                            conn,
+                        );
+                        (w != NIL).then_some(w)
+                    })
+                    .flatten()
             };
             if let (Some(t), Some(b)) = (witness(top), witness(bot)) {
                 ctx.send((t, b));
@@ -333,7 +336,10 @@ fn run_label_pass<U: UnionFind>(
 }
 
 /// Run-based readout: one find per run, then one table write per row.
-fn run_readout_pass<U: UnionFind>(state: &mut RunColumnState<U>, labels: &[u32]) -> (Vec<u32>, u64) {
+fn run_readout_pass<U: UnionFind>(
+    state: &mut RunColumnState<U>,
+    labels: &[u32],
+) -> (Vec<u32>, u64) {
     let rows = state.runs.run_of.len();
     let mut units = 0u64;
     let n_runs = state.runs.len();
@@ -369,9 +375,8 @@ fn directional_pass_runs<U: UnionFind>(
         word_steps: opts.word_steps,
         start_clock: 0,
     };
-    let (mut states, uf_report) = run_pipeline_with(cfg, |pe, ctx| {
-        run_unionfind_pass::<U>(cols, opts, pe, ctx)
-    });
+    let (mut states, uf_report) =
+        run_pipeline_with(cfg, |pe, ctx| run_unionfind_pass::<U>(cols, opts, pe, ctx));
     let mut find_makespan = 0u64;
     let mut find_busy = 0u64;
     for state in states.iter_mut() {
@@ -379,10 +384,8 @@ fn directional_pass_runs<U: UnionFind>(
         find_makespan = find_makespan.max(units);
         find_busy += units;
     }
-    let mut label_slots: Vec<Vec<u32>> = states
-        .iter()
-        .map(|s| vec![NIL; s.uf.id_bound()])
-        .collect();
+    let mut label_slots: Vec<Vec<u32>> =
+        states.iter().map(|s| vec![NIL; s.uf.id_bound()]).collect();
     let (_, label_report) = run_pipeline_with(cfg, |pe, ctx| {
         let base = label_offset + (pe * rows) as u32;
         run_label_pass::<U>(opts, &mut states[pe], &mut label_slots[pe], base, ctx)

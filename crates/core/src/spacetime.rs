@@ -43,16 +43,13 @@ pub fn left_pass_trace<U: UnionFind>(img: &Bitmap, opts: &CcOptions) -> PassTrac
         word_steps: opts.word_steps,
         start_clock: 0,
     };
-    let (mut states, uf_report, uf_spans) = run_pipeline_traced(cfg, |pe, ctx| {
-        unionfind_pass::<U>(&cols, opts, pe, ctx)
-    });
+    let (mut states, uf_report, uf_spans) =
+        run_pipeline_traced(cfg, |pe, ctx| unionfind_pass::<U>(&cols, opts, pe, ctx));
     for (pe, state) in states.iter_mut().enumerate() {
         find_pass(&cols, pe, state);
     }
-    let mut label_slots: Vec<Vec<u32>> = states
-        .iter()
-        .map(|s| vec![NIL; s.uf.id_bound()])
-        .collect();
+    let mut label_slots: Vec<Vec<u32>> =
+        states.iter().map(|s| vec![NIL; s.uf.id_bound()]).collect();
     let (_, label_report, label_spans) = run_pipeline_traced(cfg, |pe, ctx| {
         let base = (pe * rows) as u32;
         label_pass::<U>(
@@ -107,7 +104,10 @@ mod tests {
         let tr = left_pass_trace::<TarjanUf>(&img, &opts);
         let run = crate::label_components::<TarjanUf>(&img, &opts);
         assert_eq!(tr.uf_report.makespan, run.metrics.left.uf_pass.makespan);
-        assert_eq!(tr.label_report.makespan, run.metrics.left.label_pass.makespan);
+        assert_eq!(
+            tr.label_report.makespan,
+            run.metrics.left.label_pass.makespan
+        );
         assert_eq!(tr.uf_report.messages, run.metrics.left.uf_pass.messages);
     }
 

@@ -176,7 +176,10 @@ mod tests {
             iters[2] <= iters[0] + 16,
             "iterations grew too fast: {iters:?}"
         );
-        assert!(iters[2] >= iters[0], "iterations should not shrink: {iters:?}");
+        assert!(
+            iters[2] >= iters[0],
+            "iterations should not shrink: {iters:?}"
+        );
     }
 
     #[test]

@@ -120,7 +120,10 @@ mod tests {
         assert!(!Connectivity::Four.adjacent((5, 5), (6, 6)));
         assert!(Connectivity::Eight.adjacent((5, 5), (6, 6)));
         assert!(!Connectivity::Eight.adjacent((5, 5), (7, 6)));
-        assert!(!Connectivity::Eight.adjacent((5, 5), (5, 5)), "self is not a neighbor");
+        assert!(
+            !Connectivity::Eight.adjacent((5, 5), (5, 5)),
+            "self is not a neighbor"
+        );
     }
 
     #[test]

@@ -189,7 +189,8 @@ pub fn tournament(rows: usize, cols: usize, gap: usize) -> Bitmap {
 pub fn spiral(rows: usize, cols: usize, gap: usize) -> Bitmap {
     assert!(gap >= 2, "gap must be at least 2");
     let mut bm = Bitmap::new(rows, cols);
-    let (mut top, mut bot, mut left, mut right) = (0isize, rows as isize - 1, 0isize, cols as isize - 1);
+    let (mut top, mut bot, mut left, mut right) =
+        (0isize, rows as isize - 1, 0isize, cols as isize - 1);
     let mut first = true;
     while top <= bot && left <= right {
         for c in left..=right {
@@ -327,7 +328,10 @@ pub fn maze(rows: usize, cols: usize, seed: u64) -> Bitmap {
 /// 4-connectivity the image is all singletons while under 8-connectivity
 /// each anti-diagonal is one long component — the sharpest 4-vs-8 contrast.
 pub fn antidiag(rows: usize, cols: usize, spacing: usize) -> Bitmap {
-    assert!(spacing >= 2, "spacing must be at least 2 to keep diagonals apart");
+    assert!(
+        spacing >= 2,
+        "spacing must be at least 2 to keep diagonals apart"
+    );
     let mut bm = Bitmap::new(rows, cols);
     for r in 0..rows {
         for c in 0..cols {
@@ -344,7 +348,10 @@ pub fn antidiag(rows: usize, cols: usize, spacing: usize) -> Bitmap {
 /// per-column runs short (each column sees 2-pixel fragments of many
 /// different components).
 pub fn staircase(rows: usize, cols: usize, spacing: usize) -> Bitmap {
-    assert!(spacing >= 3, "spacing must be at least 3 to keep stairs apart");
+    assert!(
+        spacing >= 3,
+        "spacing must be at least 3 to keep stairs apart"
+    );
     let mut bm = Bitmap::new(rows, cols);
     for start in (0..rows).step_by(spacing) {
         for c in 0..cols {

@@ -24,7 +24,10 @@ impl LabelGrid {
 
     /// Creates a grid with every pixel marked background.
     pub fn new_background(rows: usize, cols: usize) -> Self {
-        assert!(rows > 0 && cols > 0, "label grid dimensions must be positive");
+        assert!(
+            rows > 0 && cols > 0,
+            "label grid dimensions must be positive"
+        );
         assert!(
             (rows as u64) * (cols as u64) < u32::MAX as u64,
             "image too large for u32 labels"

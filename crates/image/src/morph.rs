@@ -198,7 +198,10 @@ mod tests {
         );
         let c = close(&img, Connectivity::Four);
         assert!(c.get(1, 2), "pinhole must be filled");
-        assert_eq!(component_count(&c.invert()), component_count(&img.invert()) - 1);
+        assert_eq!(
+            component_count(&c.invert()),
+            component_count(&img.invert()) - 1
+        );
     }
 
     #[test]

@@ -36,7 +36,9 @@ pub mod pipeline;
 pub mod report;
 pub mod trace;
 
-pub use lockstep::{run_lockstep, run_lockstep_threaded, LockstepReport, PeIo, PeProgram, PeStatus};
+pub use lockstep::{
+    run_lockstep, run_lockstep_threaded, LockstepReport, PeIo, PeProgram, PeStatus,
+};
 pub use pipeline::{run_pipeline, run_pipeline_traced, run_pipeline_with, PeCtx, PipelineConfig};
 pub use report::{PeStats, PipelineReport};
 pub use trace::{render_gantt, span_totals, Span, SpanKind};

@@ -240,8 +240,8 @@ pub fn run_lockstep_threaded<P: PeProgram>(
                     // Tick this worker's block. A panicking program must not
                     // strand the other workers at the barrier, so catch it,
                     // finish the round's synchronization, then re-raise.
-                    let tick_result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
-                        || {
+                    let tick_result =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                             let mut newly_done = 0usize;
                             for j in 0..m {
                                 if done[j] {
@@ -277,8 +277,7 @@ pub fn run_lockstep_threaded<P: PeProgram>(
                                 }
                             }
                             newly_done
-                        },
-                    ));
+                        }));
                     match &tick_result {
                         Ok(newly_done) => {
                             if *newly_done > 0 {

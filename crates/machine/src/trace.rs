@@ -157,7 +157,14 @@ mod tests {
         push_span(&mut v, SpanKind::Idle, 9, 12);
         push_span(&mut v, SpanKind::Busy, 12, 13);
         assert_eq!(v.len(), 3);
-        assert_eq!(v[0], Span { start: 0, end: 9, kind: SpanKind::Busy });
+        assert_eq!(
+            v[0],
+            Span {
+                start: 0,
+                end: 9,
+                kind: SpanKind::Busy
+            }
+        );
     }
 
     #[test]
@@ -170,9 +177,21 @@ mod tests {
     #[test]
     fn totals_sum_by_kind() {
         let spans = vec![
-            Span { start: 0, end: 4, kind: SpanKind::Busy },
-            Span { start: 4, end: 6, kind: SpanKind::Send },
-            Span { start: 6, end: 16, kind: SpanKind::Idle },
+            Span {
+                start: 0,
+                end: 4,
+                kind: SpanKind::Busy,
+            },
+            Span {
+                start: 4,
+                end: 6,
+                kind: SpanKind::Send,
+            },
+            Span {
+                start: 6,
+                end: 16,
+                kind: SpanKind::Idle,
+            },
         ];
         let t = span_totals(&spans);
         assert_eq!((t.busy, t.send, t.idle), (4, 2, 10));
@@ -181,10 +200,22 @@ mod tests {
     #[test]
     fn gantt_renders_one_row_per_pe() {
         let traces = vec![
-            vec![Span { start: 0, end: 10, kind: SpanKind::Busy }],
+            vec![Span {
+                start: 0,
+                end: 10,
+                kind: SpanKind::Busy,
+            }],
             vec![
-                Span { start: 0, end: 5, kind: SpanKind::Idle },
-                Span { start: 5, end: 10, kind: SpanKind::Busy },
+                Span {
+                    start: 0,
+                    end: 5,
+                    kind: SpanKind::Idle,
+                },
+                Span {
+                    start: 5,
+                    end: 10,
+                    kind: SpanKind::Busy,
+                },
             ],
         ];
         let g = render_gantt(&traces, 10);
@@ -205,8 +236,16 @@ mod tests {
     fn gantt_bins_pick_dominant_activity() {
         // one bin of width 10 covering 7 busy + 3 idle -> '#'
         let traces = vec![vec![
-            Span { start: 0, end: 7, kind: SpanKind::Busy },
-            Span { start: 7, end: 10, kind: SpanKind::Idle },
+            Span {
+                start: 0,
+                end: 7,
+                kind: SpanKind::Busy,
+            },
+            Span {
+                start: 7,
+                end: 10,
+                kind: SpanKind::Idle,
+            },
         ]];
         let g = render_gantt(&traces, 1);
         assert!(g.lines().nth(1).unwrap().contains('#'));

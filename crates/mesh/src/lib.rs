@@ -170,7 +170,8 @@ pub fn run_mesh<P: CellProgram>(
                 };
                 let status = cells[i].tick(r, c, &mut io);
                 ticks += 1;
-                regs[i] = io.incoming; // unconsumed words persist
+                // unconsumed words persist
+                regs[i] = io.incoming;
                 // deliver sends: a word sent toward `dir` lands in the
                 // neighbor's register for the opposite direction
                 for dir in Dir::ALL {

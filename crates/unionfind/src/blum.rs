@@ -217,8 +217,14 @@ impl UnionFind for BlumUf {
     }
 
     fn union_roots(&mut self, ra: usize, rb: usize) -> usize {
-        debug_assert!(!self.nodes[ra].dead && self.nodes[ra].parent == NONE, "ra not a live root");
-        debug_assert!(!self.nodes[rb].dead && self.nodes[rb].parent == NONE, "rb not a live root");
+        debug_assert!(
+            !self.nodes[ra].dead && self.nodes[ra].parent == NONE,
+            "ra not a live root"
+        );
+        debug_assert!(
+            !self.nodes[rb].dead && self.nodes[rb].parent == NONE,
+            "rb not a live root"
+        );
         self.cost += 1;
         if ra == rb {
             return ra;
@@ -226,7 +232,11 @@ impl UnionFind for BlumUf {
         self.sets -= 1;
         let (ha, hb) = (self.nodes[ra].height, self.nodes[rb].height);
         // Arrange: height(a) <= height(b).
-        let (a, b, ha, hb) = if ha <= hb { (ra, rb, ha, hb) } else { (rb, ra, hb, ha) };
+        let (a, b, ha, hb) = if ha <= hb {
+            (ra, rb, ha, hb)
+        } else {
+            (rb, ra, hb, ha)
+        };
         let k = self.k;
         if ha == hb {
             if ha == 0 {
@@ -345,7 +355,11 @@ mod tests {
         }
         assert_eq!(uf.set_count(), 1);
         // h <= 1 + log_k(n/2) = 1 + log_4(128) = 1 + 3.5 -> 4 (integer heights)
-        assert!(uf.tree_height(0) <= 4, "height {} too tall", uf.tree_height(0));
+        assert!(
+            uf.tree_height(0) <= 4,
+            "height {} too tall",
+            uf.tree_height(0)
+        );
     }
 
     #[test]
@@ -374,7 +388,8 @@ mod tests {
         let n = 1 << 10;
         let k = BlumUf::default_k(n);
         let mut uf = BlumUf::with_elements(n);
-        let bound = (2 * k + 4 * ((n as f64).log2() / (k as f64).log2()).ceil() as usize + 8) as u64;
+        let bound =
+            (2 * k + 4 * ((n as f64).log2() / (k as f64).log2()).ceil() as usize + 8) as u64;
         let mut worst = 0u64;
         let mut stride = 1;
         while stride < n {
@@ -387,7 +402,10 @@ mod tests {
             }
             stride *= 2;
         }
-        assert!(worst <= bound, "single op cost {worst} exceeds bound {bound}");
+        assert!(
+            worst <= bound,
+            "single op cost {worst} exceeds bound {bound}"
+        );
     }
 
     #[test]

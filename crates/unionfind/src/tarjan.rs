@@ -36,7 +36,10 @@ impl TarjanUf {
 
     /// Maximum node depth over the whole forest (diagnostic; not metered).
     pub fn max_depth(&self) -> usize {
-        (0..self.parent.len()).map(|x| self.depth(x)).max().unwrap_or(0)
+        (0..self.parent.len())
+            .map(|x| self.depth(x))
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -206,7 +209,11 @@ mod tests {
         assert!(spent > 0);
         assert_eq!(uf.cost(), busy, "idle work leaked into busy cost");
         assert_eq!(uf.idle_cost(), spent);
-        assert!(uf.max_depth() <= 2, "halving sweep left deep paths: {}", uf.max_depth());
+        assert!(
+            uf.max_depth() <= 2,
+            "halving sweep left deep paths: {}",
+            uf.max_depth()
+        );
     }
 
     #[test]

@@ -30,7 +30,10 @@ impl WeightedUf {
 
     /// Maximum node depth over the whole forest (diagnostic; not metered).
     pub fn max_depth(&self) -> usize {
-        (0..self.parent.len()).map(|x| self.depth(x)).max().unwrap_or(0)
+        (0..self.parent.len())
+            .map(|x| self.depth(x))
+            .max()
+            .unwrap_or(0)
     }
 }
 

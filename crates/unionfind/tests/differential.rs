@@ -4,8 +4,7 @@
 
 use proptest::prelude::*;
 use slap_unionfind::{
-    BlumUf, IdealO1, QuickFind, RankHalvingUf, SplittingUf, TarjanUf, UfKind, UnionFind,
-    WeightedUf,
+    BlumUf, IdealO1, QuickFind, RankHalvingUf, SplittingUf, TarjanUf, UfKind, UnionFind, WeightedUf,
 };
 
 /// A scripted op: union(x, y) or same_set(x, y) query.
@@ -38,7 +37,11 @@ fn run_differential<U: UnionFind>(n: usize, ops: &[Op]) {
                 reference.union(x, y);
             }
             Op::Query(x, y) => {
-                assert_eq!(uf.same_set(x, y), reference.same_set(x, y), "query({x},{y})");
+                assert_eq!(
+                    uf.same_set(x, y),
+                    reference.same_set(x, y),
+                    "query({x},{y})"
+                );
             }
         }
         assert_eq!(uf.set_count(), reference.set_count());

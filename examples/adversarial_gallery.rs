@@ -25,7 +25,10 @@ fn main() {
     println!("{}", gen::double_comb(show, 2 * show, 2).to_art());
 
     println!("== Theorem 5 family: even rows with random run starts ==\n");
-    println!("{}", gen::even_rows(show, show, &[3, 0, 7, 12, 5, 9]).to_art());
+    println!(
+        "{}",
+        gen::even_rows(show, show, &[3, 0, 7, 12, 5, 9]).to_art()
+    );
 
     println!("== Tournament: forces lg n union-find depth ==\n");
     println!("{}", gen::tournament(show, show, 2).to_art());

@@ -55,7 +55,10 @@ fn main() {
         .map(|s| s.parse().expect("seed must be a number"))
         .unwrap_or(9);
     let raw = synthesize_wafer(n, seed);
-    println!("wafer {n}x{n} (seed {seed}), {:.1}% raw foreground\n", 100.0 * raw.density());
+    println!(
+        "wafer {n}x{n} (seed {seed}), {:.1}% raw foreground\n",
+        100.0 * raw.density()
+    );
 
     // Low-level stage (constant memory per PE, the regime the paper's intro
     // describes): a 3x3 median filter removes the sensor's salt noise before

@@ -25,7 +25,10 @@ fn main() {
         .map(|s| s.parse().expect("size must be a number"))
         .unwrap_or(24);
     let img = gen::by_name(workload, n, 42).unwrap_or_else(|| {
-        eprintln!("unknown workload {workload:?}; one of: {:?}", gen::WORKLOADS);
+        eprintln!(
+            "unknown workload {workload:?}; one of: {:?}",
+            gen::WORKLOADS
+        );
         std::process::exit(2);
     });
 

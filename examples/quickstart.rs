@@ -17,11 +17,17 @@ fn main() {
         .map(|s| s.parse().expect("size must be a number"))
         .unwrap_or(24);
     let img = gen::by_name(workload, n, 42).unwrap_or_else(|| {
-        eprintln!("unknown workload {workload:?}; one of: {:?}", gen::WORKLOADS);
+        eprintln!(
+            "unknown workload {workload:?}; one of: {:?}",
+            gen::WORKLOADS
+        );
         std::process::exit(2);
     });
 
-    println!("workload {workload:?}, {n}x{n}, density {:.2}\n", img.density());
+    println!(
+        "workload {workload:?}, {n}x{n}, density {:.2}\n",
+        img.density()
+    );
     println!("{}", img.to_art());
 
     // Run the paper's algorithm with Tarjan union-find (weighted union +
@@ -32,7 +38,10 @@ fn main() {
     // named by the minimum column-major position of its pixels.
     assert_eq!(run.labels, bfs_labels(&img));
 
-    println!("labeled (one letter per component):\n\n{}", run.labels.to_art());
+    println!(
+        "labeled (one letter per component):\n\n{}",
+        run.labels.to_art()
+    );
 
     let stats = run.labels.component_stats();
     println!("components: {}", stats.len());
@@ -56,7 +65,8 @@ fn main() {
     println!("  left pass   {:6} steps", m.left.makespan());
     println!("  right pass  {:6} steps", m.right.makespan());
     println!("  stitch      {:6} steps", m.stitch_makespan);
-    println!("  total       {:6} steps  ({:.1} steps per column)",
+    println!(
+        "  total       {:6} steps  ({:.1} steps per column)",
         m.total_steps,
         m.total_steps as f64 / n as f64
     );

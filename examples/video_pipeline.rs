@@ -63,7 +63,13 @@ fn main() {
     let mut worst_steps = 0u64;
     for f in 0..frames {
         let img = render(&particles, n);
-        let run = label_components::<TarjanUf>(&img, &CcOptions { charge_load: true, ..CcOptions::default() });
+        let run = label_components::<TarjanUf>(
+            &img,
+            &CcOptions {
+                charge_load: true,
+                ..CcOptions::default()
+            },
+        );
         let stats = run.labels.component_stats();
         let largest = stats.iter().map(|s| s.pixels).max().unwrap_or(0);
         worst_steps = worst_steps.max(run.metrics.total_steps);
@@ -84,7 +90,11 @@ fn main() {
     let budget = (n * n) as u64;
     println!(
         "\nworst frame: {worst_steps} steps; per-frame budget at pixel rate: {budget} steps -> {}",
-        if worst_steps <= budget { "fits" } else { "exceeds" }
+        if worst_steps <= budget {
+            "fits"
+        } else {
+            "exceeds"
+        }
     );
 }
 

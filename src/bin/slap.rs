@@ -32,7 +32,10 @@ fn main() {
         .map(|v| UfKind::parse(v).unwrap_or_else(|| die(&format!("unknown union-find kind {v:?}"))))
         .unwrap_or(UfKind::Tarjan);
     let conn = take_flag(&mut rest, "--conn")
-        .map(|v| Connectivity::parse(v).unwrap_or_else(|| die(&format!("connectivity must be 4 or 8, got {v:?}"))))
+        .map(|v| {
+            Connectivity::parse(v)
+                .unwrap_or_else(|| die(&format!("connectivity must be 4 or 8, got {v:?}")))
+        })
         .unwrap_or(Connectivity::Four);
     let pass = take_flag(&mut rest, "--pass").unwrap_or("uf");
     let opts = CcOptions {
@@ -117,15 +120,16 @@ fn main() {
                 println!("{:<28} {:>12} {:>10}", "naive label passing", nr.steps, n);
                 let (dl, dr) = divide_conquer_labels(&img);
                 assert_eq!(dl, cc.labels);
-                println!("{:<28} {:>12} {:>10}", "divide & conquer [2,12]", dr.steps, n);
+                println!(
+                    "{:<28} {:>12} {:>10}",
+                    "divide & conquer [2,12]", dr.steps, n
+                );
             }
             let (hl, hr) = sv_labels_conn(&img, conn);
             assert_eq!(hl, cc.labels);
             println!(
                 "{:<28} {:>12} {:>10}",
-                "hypercube S-V [5]-style",
-                hr.rounds,
-                hr.pes
+                "hypercube S-V [5]-style", hr.rounds, hr.pes
             );
         }
         "workloads" => {
@@ -154,8 +158,7 @@ fn take_flag<'a>(rest: &mut Vec<&'a str>, flag: &str) -> Option<&'a str> {
 fn read_image(rest: &[&str]) -> Bitmap {
     match rest.first() {
         Some(path) => {
-            let f =
-                std::fs::File::open(path).unwrap_or_else(|e| die(&format!("open {path}: {e}")));
+            let f = std::fs::File::open(path).unwrap_or_else(|e| die(&format!("open {path}: {e}")));
             pbm::read(f).unwrap_or_else(|e| die(&format!("parse {path}: {e}")))
         }
         None => {

@@ -1,0 +1,129 @@
+//! Smoke tests for the `slap` binary: drive the documented subcommands
+//! through real process invocations so the CLI surface (arg parsing, PBM
+//! stdin/stdout plumbing, report formatting) cannot silently rot.
+
+use std::io::Write;
+use std::process::{Command, Output, Stdio};
+
+fn slap(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_slap"))
+        .args(args)
+        .output()
+        .expect("spawn slap")
+}
+
+fn slap_with_stdin(args: &[&str], stdin: &[u8]) -> Output {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_slap"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn slap");
+    // BrokenPipe is fine: the child may reject the input and exit before the
+    // write finishes (e.g. the garbage-PBM case)
+    match child.stdin.take().expect("stdin handle").write_all(stdin) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => {}
+        Err(e) => panic!("write stdin: {e}"),
+    }
+    child.wait_with_output().expect("wait for slap")
+}
+
+fn stdout_str(out: &Output) -> String {
+    assert!(
+        out.status.success(),
+        "slap exited with {:?}; stderr:\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout.clone()).expect("utf8 stdout")
+}
+
+#[test]
+fn workloads_lists_known_generators() {
+    let out = stdout_str(&slap(&["workloads"]));
+    let names: Vec<&str> = out.lines().collect();
+    assert!(!names.is_empty());
+    for expected in ["comb", "random50", "spiral"] {
+        assert!(
+            names.iter().any(|n| n.contains(expected)),
+            "workload list missing {expected:?}: {names:?}"
+        );
+    }
+}
+
+#[test]
+fn gen_label_features_roundtrip_through_pbm() {
+    // gen: every listed workload must emit a parseable plain PBM header
+    let listed = stdout_str(&slap(&["workloads"]));
+    let workload = listed.lines().next().expect("at least one workload");
+
+    let pbm = slap(&["gen", workload, "16", "1"]);
+    let pbm_bytes = pbm.stdout.clone();
+    let text = stdout_str(&pbm);
+    assert!(
+        text.starts_with("P1"),
+        "gen should emit plain PBM: {text:?}"
+    );
+    assert!(text.contains("16 16"), "gen should emit a 16x16 header");
+
+    // label: the PBM round-trips through stdin and produces a report
+    let label = slap_with_stdin(&["label"], &pbm_bytes);
+    let report = stdout_str(&label);
+    assert!(
+        report.contains("component(s)"),
+        "label report missing component count: {report:?}"
+    );
+    assert!(
+        report.contains("16x16"),
+        "label report missing dims: {report:?}"
+    );
+
+    // features: same image via a file argument, per-component geometry out
+    let path = std::env::temp_dir().join(format!("slap_smoke_{}.pbm", std::process::id()));
+    std::fs::write(&path, &pbm_bytes).expect("write temp PBM");
+    let features = slap(&["features", path.to_str().expect("utf8 temp path")]);
+    let _ = std::fs::remove_file(&path);
+    let ftext = stdout_str(&features);
+    assert!(
+        ftext.contains("Euler number"),
+        "features report missing Euler number: {ftext:?}"
+    );
+    assert!(
+        ftext.contains("area"),
+        "features table missing header: {ftext:?}"
+    );
+}
+
+#[test]
+fn label_accepts_uf_and_conn_flags() {
+    let pbm = slap(&["gen", "comb", "12", "3"]);
+    let pbm_bytes = stdout_str(&pbm).into_bytes();
+    for uf in ["tarjan", "blum", "quickfind"] {
+        let out = slap_with_stdin(&["label", "--uf", uf, "--conn", "8"], &pbm_bytes);
+        let report = stdout_str(&out);
+        assert!(
+            report.contains("component(s)"),
+            "--uf {uf} report: {report:?}"
+        );
+    }
+}
+
+#[test]
+fn compare_cross_checks_all_algorithms() {
+    // `compare` asserts internally that every labeler agrees with CC
+    let out = stdout_str(&slap(&["compare", "comb", "12", "1"]));
+    assert!(out.contains("Algorithm CC"), "compare output: {out:?}");
+}
+
+#[test]
+fn bad_input_fails_without_panic_message() {
+    let out = slap_with_stdin(&["label"], b"not a pbm at all");
+    assert!(!out.status.success(), "garbage PBM must not parse");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        !err.contains("panicked"),
+        "parse failure should be a clean error, not a panic: {err}"
+    );
+}

@@ -84,7 +84,10 @@ fn fold_metrics_stay_linear_in_n() {
     }
     let min = ratios.iter().cloned().fold(f64::MAX, f64::min);
     let max = ratios.iter().cloned().fold(0.0, f64::max);
-    assert!(max / min < 2.0, "fold steps drift superlinearly: {ratios:?}");
+    assert!(
+        max / min < 2.0,
+        "fold steps drift superlinearly: {ratios:?}"
+    );
 }
 
 #[test]

@@ -4,10 +4,10 @@
 //! every union–find implementation and variant combination.
 
 use proptest::prelude::*;
+use slap_repro::baselines::mesh::mesh_min_propagation;
 use slap_repro::baselines::{
     divide_conquer_labels, naive_slap_labels, scanline_labels, two_pass_labels,
 };
-use slap_repro::baselines::mesh::mesh_min_propagation;
 use slap_repro::cc::{label_components_kind, CcOptions, ForwardPolicy};
 use slap_repro::image::{bfs_labels, gen, Bitmap};
 use slap_repro::unionfind::UfKind;
@@ -126,8 +126,14 @@ proptest! {
 #[test]
 fn pathological_single_pixel_patterns() {
     for art in [
-        "#", ".", "#.", ".#", "#\n.", ".\n#",
-        "#.#.#.#.#", "#\n.\n#\n.\n#",
+        "#",
+        ".",
+        "#.",
+        ".#",
+        "#\n.",
+        ".\n#",
+        "#.#.#.#.#",
+        "#\n.\n#\n.\n#",
     ] {
         let img = Bitmap::from_art(art);
         let truth = bfs_labels(&img);

@@ -111,7 +111,10 @@ fn dc_grows_superlinearly_while_cc_stays_linear_on_comb() {
     let shape = |steps: f64, n: f64| steps / (n * n.log2());
     for (steps, n) in [(dc_s, 48.0), (dc_b, 384.0)] {
         let c = shape(steps, n);
-        assert!((1.0..16.0).contains(&c), "d&c shape constant {c:.2} out of band");
+        assert!(
+            (1.0..16.0).contains(&c),
+            "d&c shape constant {c:.2} out of band"
+        );
     }
 }
 

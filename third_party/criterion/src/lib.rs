@@ -1,0 +1,218 @@
+//! Offline stub of `criterion`.
+//!
+//! Implements the API subset the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `criterion_group!`/`criterion_main!`, `black_box` — over a plain
+//! wall-clock harness: each benchmark is warmed up once, then timed over a
+//! batch sized to the configured sample count, and the mean ns/iter is
+//! printed as one line. No statistics, plots, or baselines; the point is
+//! that `cargo bench` produces comparable numbers offline and `cargo bench
+//! --no-run` type-checks every bench target.
+//!
+//! Honors `--bench` / `--test` harness arguments enough to not crash under
+//! `cargo bench` and `cargo test`: when invoked with `--test` (cargo test
+//! runs harness=false benches in test mode) the benches execute one
+//! iteration only, as a smoke pass.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Prevents the optimizer from const-folding a benchmarked value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Mode {
+    /// Full timing run (`cargo bench`).
+    Bench,
+    /// One iteration per benchmark (`cargo test` smoke pass).
+    Smoke,
+}
+
+/// Benchmark identifier (stub of `criterion::BenchmarkId`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Function name plus parameter, rendered `name/param`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Passed to the measured closure; `iter` runs and times the workload.
+pub struct Bencher {
+    mode: Mode,
+    sample_size: usize,
+    /// mean ns/iter of the last `iter` call
+    last_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the mean ns/iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // warm-up + smoke iteration
+        black_box(routine());
+        if self.mode == Mode::Smoke {
+            self.last_ns = 0.0;
+            return;
+        }
+        let iters = self.sample_size.max(1);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.last_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+    }
+}
+
+/// A named group of related benchmarks (stub of `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed iterations each benchmark runs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            mode: self.criterion.mode,
+            sample_size: self.sample_size,
+            last_ns: 0.0,
+        };
+        f(&mut b);
+        self.criterion.report(&self.name, &id.id, b.last_ns);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            mode: self.criterion.mode,
+            sample_size: self.sample_size,
+            last_ns: 0.0,
+        };
+        f(&mut b, input);
+        self.criterion.report(&self.name, &id.id, b.last_ns);
+        self
+    }
+
+    /// Ends the group (output is flushed eagerly, so this is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// Benchmark driver (stub of `criterion::Criterion`).
+pub struct Criterion {
+    mode: Mode,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo bench passes `--bench`; cargo test passes `--test`
+        let smoke = std::env::args().any(|a| a == "--test");
+        Criterion {
+            mode: if smoke { Mode::Smoke } else { Mode::Bench },
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.default_sample_size,
+            criterion: self,
+        }
+    }
+
+    /// Runs an ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("").bench_function(id, f);
+        self
+    }
+
+    fn report(&self, group: &str, id: &str, ns: f64) {
+        let full = if group.is_empty() {
+            id.to_string()
+        } else {
+            format!("{group}/{id}")
+        };
+        match self.mode {
+            Mode::Smoke => println!("bench {full} ... ok (smoke)"),
+            Mode::Bench => println!("bench {full:<48} {ns:>14.1} ns/iter"),
+        }
+    }
+}
+
+/// Collects benchmark functions into one runner (stub of `criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the given groups (stub of `criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,70 @@
+//! Offline stub of `crossbeam` providing `atomic::AtomicCell`.
+//!
+//! The lock-step executor uses `AtomicCell<Option<Word>>` as single-word
+//! mailbox registers between worker threads. The real crate uses lock-free
+//! atomics where the payload fits a machine word and a seqlock otherwise;
+//! this stub uses a `std::sync::Mutex` per cell, which has identical
+//! semantics (linearizable load/store/take) at some cost in throughput —
+//! acceptable until real crossbeam can be vendored, and the threaded
+//! executor's correctness tests don't care.
+
+#![warn(missing_docs)]
+
+/// Stub of `crossbeam::atomic`.
+pub mod atomic {
+    use std::sync::Mutex;
+
+    /// A mutex-backed stand-in for `crossbeam::atomic::AtomicCell`.
+    #[derive(Debug, Default)]
+    pub struct AtomicCell<T> {
+        inner: Mutex<T>,
+    }
+
+    impl<T> AtomicCell<T> {
+        /// Creates a cell holding `value`.
+        pub fn new(value: T) -> Self {
+            AtomicCell {
+                inner: Mutex::new(value),
+            }
+        }
+
+        /// Replaces the contents with `value`.
+        pub fn store(&self, value: T) {
+            *self.inner.lock().expect("AtomicCell poisoned") = value;
+        }
+
+        /// Replaces the contents with `value`, returning the old contents.
+        pub fn swap(&self, value: T) -> T {
+            std::mem::replace(&mut *self.inner.lock().expect("AtomicCell poisoned"), value)
+        }
+    }
+
+    impl<T: Default> AtomicCell<T> {
+        /// Takes the contents, leaving `T::default()`.
+        pub fn take(&self) -> T {
+            self.swap(T::default())
+        }
+    }
+
+    impl<T: Copy> AtomicCell<T> {
+        /// Returns a copy of the contents.
+        pub fn load(&self) -> T {
+            *self.inner.lock().expect("AtomicCell poisoned")
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn store_take_load() {
+            let c = AtomicCell::new(None::<u64>);
+            assert_eq!(c.load(), None);
+            c.store(Some(7));
+            assert_eq!(c.load(), Some(7));
+            assert_eq!(c.take(), Some(7));
+            assert_eq!(c.load(), None);
+        }
+    }
+}

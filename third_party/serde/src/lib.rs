@@ -1,0 +1,18 @@
+//! Offline stub of `serde`.
+//!
+//! The sandboxed build has no crates.io access and nothing in the workspace
+//! performs actual (de)serialization — the derives on report/config types
+//! only need to compile. This stub provides marker traits with the same names
+//! and the `derive` feature re-export, so swapping in real serde later is a
+//! one-line `Cargo.toml` change with no source edits.
+
+#![warn(missing_docs)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize` (no serializer exists offline).
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize` (no deserializer exists offline).
+pub trait Deserialize<'de> {}

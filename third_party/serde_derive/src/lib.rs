@@ -1,0 +1,60 @@
+//! Offline stub of `serde_derive`.
+//!
+//! The workspace builds in a sandbox with no crates.io access, and nothing in
+//! it actually serializes (there is no `serde_json` or similar in the
+//! dependency graph) — the `#[derive(Serialize, Deserialize)]` attributes on
+//! report/config types only need to *compile*. These derives emit marker
+//! impls for the matching stub traits in the sibling `serde` stub crate.
+//!
+//! Supported shape: non-generic `struct`s and `enum`s (everything the
+//! workspace derives on). Generic items are rejected with a clear error so a
+//! future real-serde swap is the fix, not silent misbehavior.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name following the `struct`/`enum` keyword and asserts
+/// the item is non-generic.
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" {
+                let name = match tokens.next() {
+                    Some(TokenTree::Ident(name)) => name.to_string(),
+                    other => {
+                        panic!("serde stub derive: expected type name after `{kw}`, got {other:?}")
+                    }
+                };
+                if let Some(TokenTree::Punct(p)) = tokens.peek() {
+                    if p.as_char() == '<' {
+                        panic!(
+                            "serde stub derive: generic type `{name}` is not supported; \
+                             extend third_party/serde_derive or vendor real serde"
+                        );
+                    }
+                }
+                return name;
+            }
+        }
+    }
+    panic!("serde stub derive: no `struct` or `enum` found in input");
+}
+
+/// Stub `#[derive(Serialize)]`: emits `impl serde::Serialize for T {}`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .unwrap()
+}
+
+/// Stub `#[derive(Deserialize)]`: emits `impl<'de> serde::Deserialize<'de> for T {}`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .unwrap()
+}
