@@ -179,14 +179,14 @@ fn merge_boundary(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use slap_image::{bfs_labels, gen};
+    use slap_image::{fast_labels, gen};
 
     #[test]
     fn matches_oracle_on_all_generators() {
         for name in gen::WORKLOADS {
             let img = gen::by_name(name, 24, 8).unwrap();
             let (labels, _) = divide_conquer_labels(&img);
-            assert_eq!(labels, bfs_labels(&img), "workload {name}");
+            assert_eq!(labels, fast_labels(&img), "workload {name}");
         }
     }
 
@@ -195,7 +195,7 @@ mod tests {
         for cols in [1usize, 3, 5, 17, 33] {
             let img = gen::uniform_random(16, cols, 0.5, cols as u64);
             let (labels, _) = divide_conquer_labels(&img);
-            assert_eq!(labels, bfs_labels(&img), "cols={cols}");
+            assert_eq!(labels, fast_labels(&img), "cols={cols}");
         }
     }
 
@@ -229,6 +229,6 @@ mod tests {
         // A long horizontal line: every merge renames the right block fully.
         let img = gen::stripes_horizontal(8, 32, 4, 1);
         let (labels, _) = divide_conquer_labels(&img);
-        assert_eq!(labels, bfs_labels(&img));
+        assert_eq!(labels, fast_labels(&img));
     }
 }

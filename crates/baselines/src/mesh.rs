@@ -238,14 +238,14 @@ pub fn count_components_8conn(img: &Bitmap) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use slap_image::{bfs_labels, gen};
+    use slap_image::{fast_labels, gen};
 
     #[test]
     fn min_propagation_matches_oracle() {
         for name in ["random50", "fig3a", "comb", "blobs", "checker"] {
             let img = gen::by_name(name, 24, 9).unwrap();
             let (labels, _) = mesh_min_propagation(&img);
-            assert_eq!(labels, bfs_labels(&img), "workload {name}");
+            assert_eq!(labels, fast_labels(&img), "workload {name}");
         }
     }
 

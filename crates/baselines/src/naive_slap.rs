@@ -248,14 +248,14 @@ fn relax_column(col: &mut [u32]) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use slap_image::{bfs_labels, gen};
+    use slap_image::{fast_labels, gen};
 
     #[test]
     fn matches_oracle_on_all_generators() {
         for name in gen::WORKLOADS {
             let img = gen::by_name(name, 20, 6).unwrap();
             let (labels, _) = naive_slap_labels(&img);
-            assert_eq!(labels, bfs_labels(&img), "workload {name}");
+            assert_eq!(labels, fast_labels(&img), "workload {name}");
         }
     }
 
@@ -285,7 +285,7 @@ mod tests {
         let n = 64;
         let img = gen::double_comb(n, n, 2);
         let (labels, report) = naive_slap_labels(&img);
-        assert_eq!(labels, bfs_labels(&img));
+        assert_eq!(labels, fast_labels(&img));
         assert!(
             report.rounds as usize >= n / 4,
             "comb converged suspiciously fast: {} rounds",
@@ -298,7 +298,7 @@ mod tests {
         let n = 48;
         let img = gen::serpentine(n, n, 3);
         let (labels, report) = naive_slap_labels(&img);
-        assert_eq!(labels, bfs_labels(&img));
+        assert_eq!(labels, fast_labels(&img));
         assert!(
             report.rounds as usize > 3 * n,
             "serpentine converged in only {} rounds",

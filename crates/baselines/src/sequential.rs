@@ -163,13 +163,13 @@ fn count_runs(img: &Bitmap) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use slap_image::{bfs_labels, gen};
+    use slap_image::{fast_labels, gen};
 
     #[test]
     fn two_pass_matches_oracle_on_all_generators() {
         for name in gen::WORKLOADS {
             let img = gen::by_name(name, 24, 3).unwrap();
-            assert_eq!(two_pass_labels(&img), bfs_labels(&img), "workload {name}");
+            assert_eq!(two_pass_labels(&img), fast_labels(&img), "workload {name}");
         }
     }
 
@@ -177,7 +177,7 @@ mod tests {
     fn scanline_matches_oracle_on_all_generators() {
         for name in gen::WORKLOADS {
             let img = gen::by_name(name, 24, 3).unwrap();
-            assert_eq!(scanline_labels(&img), bfs_labels(&img), "workload {name}");
+            assert_eq!(scanline_labels(&img), fast_labels(&img), "workload {name}");
         }
     }
 
@@ -186,7 +186,7 @@ mod tests {
         let img = gen::uniform_random(17, 41, 0.5, 77);
         let a = two_pass_labels(&img);
         let b = scanline_labels(&img);
-        let c = bfs_labels(&img);
+        let c = fast_labels(&img);
         assert_eq!(a, c);
         assert_eq!(b, c);
     }
@@ -200,7 +200,7 @@ mod tests {
              #...#\n\
              #####\n",
         );
-        assert_eq!(two_pass_labels(&img), bfs_labels(&img));
-        assert_eq!(scanline_labels(&img), bfs_labels(&img));
+        assert_eq!(two_pass_labels(&img), fast_labels(&img));
+        assert_eq!(scanline_labels(&img), fast_labels(&img));
     }
 }

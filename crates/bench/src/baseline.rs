@@ -1,0 +1,477 @@
+//! The `slap-bench baseline` wall-clock sweep and its JSON schema.
+//!
+//! Where the criterion benches give per-operation microtimings, the baseline
+//! sweep records the end-to-end wall-clock trajectory the ROADMAP asks for:
+//! the BFS oracle vs. the word-parallel fast engine vs. the simulated SLAP
+//! run-based Algorithm CC, across image families and sizes, serialized to
+//! `BENCH_baseline.json` at the repository root. Each recorded point is the
+//! best and mean of several repetitions on deterministic workloads, and the
+//! fast/simulated entries assert bit-identical labels against the oracle
+//! while they are being timed.
+//!
+//! The schema is validated by [`validate`] — a small hand-rolled JSON reader
+//! (the workspace's `serde` is an offline stub with no real serialization) —
+//! which CI runs against both a fresh `--quick` sweep and the committed
+//! baseline file.
+
+use crate::json;
+use slap_cc::{label_components_runs, CcOptions};
+use slap_image::{bfs_labels, fast::FastLabeler, gen, Connectivity, LabelGrid};
+use slap_unionfind::RankHalvingUf;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Schema identifier stamped into (and required from) every baseline file.
+pub const SCHEMA: &str = "slap-bench-baseline/v1";
+
+/// Engine identifiers, in sweep order.
+pub const ENGINES: &[&str] = &["oracle-bfs", "fast", "slap-sim-runs"];
+
+/// Seed for the random workload families.
+pub const SEED: u64 = 1;
+
+/// One timed (family, size, engine) point.
+#[derive(Clone, Debug)]
+pub struct Entry {
+    /// Workload family name (a `gen::by_name` key).
+    pub family: String,
+    /// Image side (the image is `n × n`).
+    pub n: usize,
+    /// Engine id (one of [`ENGINES`]).
+    pub engine: String,
+    /// Best wall-clock nanoseconds over the repetitions.
+    pub best_ns: u64,
+    /// Mean wall-clock nanoseconds over the repetitions.
+    pub mean_ns: u64,
+    /// Number of timed repetitions.
+    pub reps: usize,
+    /// For non-oracle engines: labels were bit-identical to the oracle.
+    pub bit_identical: Option<bool>,
+}
+
+/// A finished sweep, ready to serialize.
+#[derive(Clone, Debug)]
+pub struct BaselineReport {
+    /// `"quick"` or `"full"`.
+    pub scale: String,
+    /// Families swept.
+    pub families: Vec<String>,
+    /// Sides swept.
+    pub sides: Vec<usize>,
+    /// All timed points.
+    pub entries: Vec<Entry>,
+}
+
+/// Sweep parameters per scale.
+fn sweep_params(quick: bool) -> (&'static [&'static str], &'static [usize]) {
+    const FAMILIES: &[&str] = &["random50", "blobs", "checker", "fig3a"];
+    if quick {
+        (FAMILIES, &[64, 128, 256])
+    } else {
+        (FAMILIES, &[256, 512, 1024, 2048])
+    }
+}
+
+/// Repetitions per point, scaled down for the big images.
+fn reps_for(n: usize, quick: bool) -> usize {
+    match (quick, n) {
+        (true, _) => 3,
+        (false, 2048..) => 3,
+        (false, 1024..) => 4,
+        _ => 6,
+    }
+}
+
+/// Times `f` over `reps` repetitions (after one warm-up), returning
+/// `(best_ns, mean_ns)`.
+fn time_reps(reps: usize, mut f: impl FnMut()) -> (u64, u64) {
+    f(); // warm-up
+    let mut best = u64::MAX;
+    let mut total = 0u64;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        let ns = t.elapsed().as_nanos() as u64;
+        best = best.min(ns);
+        total += ns;
+    }
+    (best, total / reps as u64)
+}
+
+/// Runs the sweep. `progress` receives one line per timed point.
+pub fn run_baseline(quick: bool, mut progress: impl FnMut(&str)) -> BaselineReport {
+    let (families, sides) = sweep_params(quick);
+    let mut entries = Vec::new();
+    let mut fast = FastLabeler::new();
+    let mut fast_grid = LabelGrid::new_background(1, 1);
+    for &family in families {
+        for &n in sides {
+            let img = gen::by_name(family, n, SEED)
+                .unwrap_or_else(|| panic!("unknown workload family {family:?}"));
+            let reps = reps_for(n, quick);
+            // Oracle, and the reference labels for the identity checks.
+            let truth = bfs_labels(&img);
+            let (best, mean) = time_reps(reps, || {
+                std::hint::black_box(bfs_labels(std::hint::black_box(&img)));
+            });
+            progress(&format!(
+                "{family}/{n} oracle-bfs: {:.3} ms",
+                best as f64 / 1e6
+            ));
+            entries.push(Entry {
+                family: family.to_string(),
+                n,
+                engine: "oracle-bfs".to_string(),
+                best_ns: best,
+                mean_ns: mean,
+                reps,
+                bit_identical: None,
+            });
+            // Fast engine (buffer-reusing hot path).
+            let (best, mean) = time_reps(reps, || {
+                fast.label_into(
+                    std::hint::black_box(&img),
+                    Connectivity::Four,
+                    &mut fast_grid,
+                );
+            });
+            let fast_ok = fast_grid == truth;
+            progress(&format!("{family}/{n} fast: {:.3} ms", best as f64 / 1e6));
+            entries.push(Entry {
+                family: family.to_string(),
+                n,
+                engine: "fast".to_string(),
+                best_ns: best,
+                mean_ns: mean,
+                reps,
+                bit_identical: Some(fast_ok),
+            });
+            // Simulated SLAP (run-based Algorithm CC, default options). The
+            // identity check runs on the kept labels *outside* the timed
+            // region, same as the fast engine's.
+            let sim_reps = reps.min(3);
+            let mut sim_labels = None;
+            let (best, mean) = time_reps(sim_reps, || {
+                let run = label_components_runs::<RankHalvingUf>(
+                    std::hint::black_box(&img),
+                    &CcOptions::default(),
+                );
+                sim_labels = Some(run.labels);
+            });
+            let sim_ok = sim_labels.as_ref() == Some(&truth);
+            progress(&format!(
+                "{family}/{n} slap-sim-runs: {:.3} ms",
+                best as f64 / 1e6
+            ));
+            entries.push(Entry {
+                family: family.to_string(),
+                n,
+                engine: "slap-sim-runs".to_string(),
+                best_ns: best,
+                mean_ns: mean,
+                reps: sim_reps,
+                bit_identical: Some(sim_ok),
+            });
+        }
+    }
+    BaselineReport {
+        scale: if quick { "quick" } else { "full" }.to_string(),
+        families: families.iter().map(|s| s.to_string()).collect(),
+        sides: sides.to_vec(),
+        entries,
+    }
+}
+
+impl BaselineReport {
+    /// The speedup of `num` over `den` on one (family, n), by best time.
+    fn speedup(&self, family: &str, n: usize, num: &str, den: &str) -> Option<f64> {
+        let find = |engine: &str| {
+            self.entries
+                .iter()
+                .find(|e| e.family == family && e.n == n && e.engine == engine)
+        };
+        let (a, b) = (find(num)?, find(den)?);
+        Some(a.best_ns as f64 / b.best_ns.max(1) as f64)
+    }
+
+    /// Serializes the report. Hand-rolled (the workspace `serde` is a
+    /// no-op stub); [`validate`] checks the inverse direction.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"schema\": {},", json::quote(SCHEMA));
+        let _ = writeln!(s, "  \"scale\": {},", json::quote(&self.scale));
+        let _ = writeln!(s, "  \"seed\": {SEED},");
+        let fams: Vec<String> = self.families.iter().map(|f| json::quote(f)).collect();
+        let _ = writeln!(s, "  \"families\": [{}],", fams.join(", "));
+        let sides: Vec<String> = self.sides.iter().map(|n| n.to_string()).collect();
+        let _ = writeln!(s, "  \"sides\": [{}],", sides.join(", "));
+        s.push_str("  \"entries\": [\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            let _ = write!(
+                s,
+                "    {{\"family\": {}, \"n\": {}, \"engine\": {}, \"best_ns\": {}, \"mean_ns\": {}, \"reps\": {}",
+                json::quote(&e.family),
+                e.n,
+                json::quote(&e.engine),
+                e.best_ns,
+                e.mean_ns,
+                e.reps
+            );
+            if let Some(ok) = e.bit_identical {
+                let _ = write!(s, ", \"bit_identical\": {ok}");
+            }
+            s.push('}');
+            if i + 1 < self.entries.len() {
+                s.push(',');
+            }
+            s.push('\n');
+        }
+        s.push_str("  ],\n");
+        // Derived headline ratios, one per (family, n).
+        s.push_str("  \"speedups\": [\n");
+        let mut lines = Vec::new();
+        for family in &self.families {
+            for &n in &self.sides {
+                let fo = self.speedup(family, n, "oracle-bfs", "fast");
+                let so = self.speedup(family, n, "slap-sim-runs", "fast");
+                if let (Some(fo), Some(so)) = (fo, so) {
+                    lines.push(format!(
+                        "    {{\"family\": {}, \"n\": {}, \"fast_over_oracle\": {:.3}, \"sim_over_fast\": {:.3}}}",
+                        json::quote(family),
+                        n,
+                        fo,
+                        so
+                    ));
+                }
+            }
+        }
+        s.push_str(&lines.join(",\n"));
+        s.push_str("\n  ]\n}\n");
+        s
+    }
+}
+
+/// Validates a baseline JSON document against the schema. With
+/// `require_full` the file must also be a full-scale sweep containing the
+/// headline criterion: the fast engine ≥ 3× faster than the oracle on
+/// `random50` at 2048², with bit-identical labels.
+pub fn validate(text: &str, require_full: bool) -> Result<(), String> {
+    let doc = json::parse(text)?;
+    let obj = doc.as_object().ok_or("top level is not an object")?;
+    let get = |key: &str| {
+        obj.iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("missing key {key:?}"))
+    };
+    let schema = get("schema")?.as_str().ok_or("schema is not a string")?;
+    if schema != SCHEMA {
+        return Err(format!("schema {schema:?}, expected {SCHEMA:?}"));
+    }
+    let scale = get("scale")?.as_str().ok_or("scale is not a string")?;
+    if scale != "quick" && scale != "full" {
+        return Err(format!("scale {scale:?} is neither quick nor full"));
+    }
+    if require_full && scale != "full" {
+        return Err("a full-scale baseline is required".to_string());
+    }
+    let entries = get("entries")?
+        .as_array()
+        .ok_or("entries is not an array")?;
+    if entries.is_empty() {
+        return Err("entries is empty".to_string());
+    }
+    // Per-entry shape, plus the (family, n) → engine coverage map.
+    let mut coverage: Vec<(String, u64, [bool; 3])> = Vec::new();
+    for (i, e) in entries.iter().enumerate() {
+        let ctx = |msg: &str| format!("entry {i}: {msg}");
+        let eo = e.as_object().ok_or_else(|| ctx("not an object"))?;
+        let field = |key: &str| {
+            eo.iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or_else(|| ctx(&format!("missing {key:?}")))
+        };
+        let family = field("family")?
+            .as_str()
+            .ok_or_else(|| ctx("family is not a string"))?
+            .to_string();
+        let n = field("n")?
+            .as_u64()
+            .filter(|&n| n > 0)
+            .ok_or_else(|| ctx("n is not a positive integer"))?;
+        let engine = field("engine")?
+            .as_str()
+            .ok_or_else(|| ctx("engine is not a string"))?;
+        let ei = ENGINES
+            .iter()
+            .position(|&k| k == engine)
+            .ok_or_else(|| ctx(&format!("unknown engine {engine:?}")))?;
+        let best = field("best_ns")?
+            .as_u64()
+            .filter(|&v| v > 0)
+            .ok_or_else(|| ctx("best_ns is not a positive integer"))?;
+        let mean = field("mean_ns")?
+            .as_u64()
+            .ok_or_else(|| ctx("mean_ns is not an integer"))?;
+        if mean < best {
+            return Err(ctx("mean_ns is below best_ns"));
+        }
+        field("reps")?
+            .as_u64()
+            .filter(|&v| v > 0)
+            .ok_or_else(|| ctx("reps is not a positive integer"))?;
+        if engine != "oracle-bfs" {
+            let ok = eo
+                .iter()
+                .find(|(k, _)| k == "bit_identical")
+                .and_then(|(_, v)| v.as_bool())
+                .ok_or_else(|| ctx("non-oracle entry lacks bit_identical"))?;
+            if !ok {
+                return Err(ctx("labels were not bit-identical to the oracle"));
+            }
+        }
+        match coverage
+            .iter_mut()
+            .find(|(f, m, _)| *f == family && *m == n)
+        {
+            Some((_, _, seen)) => seen[ei] = true,
+            None => {
+                let mut seen = [false; 3];
+                seen[ei] = true;
+                coverage.push((family, n, seen));
+            }
+        }
+    }
+    // Coverage: ≥ 3 families × ≥ 3 sizes with all three engines present.
+    let full_points: Vec<&(String, u64, [bool; 3])> = coverage
+        .iter()
+        .filter(|(_, _, seen)| seen.iter().all(|&s| s))
+        .collect();
+    let mut fams: Vec<&str> = full_points.iter().map(|(f, _, _)| f.as_str()).collect();
+    fams.sort_unstable();
+    fams.dedup();
+    let mut ns: Vec<u64> = full_points.iter().map(|(_, n, _)| *n).collect();
+    ns.sort_unstable();
+    ns.dedup();
+    if fams.len() < 3 || ns.len() < 3 {
+        return Err(format!(
+            "coverage too thin: {} families × {} sizes with all engines (need ≥ 3 × ≥ 3)",
+            fams.len(),
+            ns.len()
+        ));
+    }
+    if require_full {
+        let best_of = |engine: &str| {
+            entries.iter().find_map(|e| {
+                let eo = e.as_object()?;
+                let s = |k: &str| eo.iter().find(|(n, _)| n == k).map(|(_, v)| v);
+                (s("family")?.as_str()? == "random50"
+                    && s("n")?.as_u64()? == 2048
+                    && s("engine")?.as_str()? == engine)
+                    .then(|| s("best_ns")?.as_u64())
+                    .flatten()
+            })
+        };
+        let oracle = best_of("oracle-bfs").ok_or("no oracle-bfs entry for random50 @ 2048")?;
+        let fast = best_of("fast").ok_or("no fast entry for random50 @ 2048")?;
+        let ratio = oracle as f64 / fast.max(1) as f64;
+        if ratio < 3.0 {
+            return Err(format!(
+                "fast engine is only {ratio:.2}× the oracle on random50 @ 2048 (need ≥ 3×)"
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_report() -> BaselineReport {
+        let mut entries = Vec::new();
+        for family in ["random50", "blobs", "checker"] {
+            for n in [64usize, 128, 256, 2048] {
+                for engine in ENGINES {
+                    entries.push(Entry {
+                        family: family.to_string(),
+                        n,
+                        engine: engine.to_string(),
+                        best_ns: if *engine == "oracle-bfs" { 4000 } else { 1000 },
+                        mean_ns: 4500,
+                        reps: 3,
+                        bit_identical: (*engine != "oracle-bfs").then_some(true),
+                    });
+                }
+            }
+        }
+        BaselineReport {
+            scale: "full".to_string(),
+            families: vec![
+                "random50".to_string(),
+                "blobs".to_string(),
+                "checker".to_string(),
+            ],
+            sides: vec![64, 128, 256, 2048],
+            entries,
+        }
+    }
+
+    #[test]
+    fn report_roundtrips_through_validation() {
+        let report = tiny_report();
+        let text = report.to_json();
+        validate(&text, false).expect("quick validation");
+        validate(&text, true).expect("full validation");
+    }
+
+    #[test]
+    fn validation_rejects_wrong_schema() {
+        let text = tiny_report().to_json().replace(SCHEMA, "bogus/v0");
+        assert!(validate(&text, false).is_err());
+    }
+
+    #[test]
+    fn validation_rejects_non_identical_labels() {
+        let mut report = tiny_report();
+        for e in &mut report.entries {
+            if e.engine == "fast" {
+                e.bit_identical = Some(false);
+            }
+        }
+        let err = validate(&report.to_json(), false).unwrap_err();
+        assert!(err.contains("bit-identical"), "{err}");
+    }
+
+    #[test]
+    fn validation_rejects_thin_coverage() {
+        let mut report = tiny_report();
+        report.entries.retain(|e| e.family == "random50");
+        let err = validate(&report.to_json(), false).unwrap_err();
+        assert!(err.contains("coverage"), "{err}");
+    }
+
+    #[test]
+    fn full_validation_enforces_the_headline_speedup() {
+        let mut report = tiny_report();
+        for e in &mut report.entries {
+            if e.engine == "fast" && e.family == "random50" && e.n == 2048 {
+                e.best_ns = 2000; // only 2× the oracle's 4000
+            }
+        }
+        let text = report.to_json();
+        validate(&text, false).expect("quick validation ignores the ratio");
+        let err = validate(&text, true).unwrap_err();
+        assert!(err.contains("3×"), "{err}");
+    }
+
+    #[test]
+    fn quick_sweep_smoke() {
+        // A real (tiny) sweep must validate. Keep the sizes minuscule: this
+        // runs in `cargo test`.
+        let report = run_baseline(true, |_| {});
+        validate(&report.to_json(), false).expect("fresh quick sweep validates");
+    }
+}

@@ -1,0 +1,77 @@
+//! `slap-bench` — wall-clock perf baselines for the SLAP reproduction.
+//!
+//! ```text
+//! slap-bench baseline                    # full sweep -> BENCH_baseline.json
+//! slap-bench baseline --quick --out F    # small sweep (CI smoke), custom path
+//! slap-bench check FILE                  # schema-validate a baseline file
+//! slap-bench check FILE --require-full   # + full scale and the 3x criterion
+//! ```
+//!
+//! The criterion microbenches remain under `cargo bench`; this binary records
+//! the end-to-end trajectory points (oracle vs. fast engine vs. simulated
+//! Algorithm CC) that `BENCH_baseline.json` commits to the repository.
+
+use slap_bench::baseline;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: slap-bench baseline [--quick] [--out PATH]\n       slap-bench check PATH [--require-full]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("baseline") => {
+            let mut quick = false;
+            let mut out = "BENCH_baseline.json".to_string();
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--quick" | "-q" => quick = true,
+                    "--out" | "-o" => match it.next() {
+                        Some(path) => out = path.clone(),
+                        None => usage(),
+                    },
+                    _ => usage(),
+                }
+            }
+            let report = baseline::run_baseline(quick, |line| eprintln!("  {line}"));
+            let text = report.to_json();
+            baseline::validate(&text, !quick).unwrap_or_else(|e| {
+                eprintln!("generated baseline failed its own validation: {e}");
+                std::process::exit(1);
+            });
+            std::fs::write(&out, &text).unwrap_or_else(|e| {
+                eprintln!("cannot write {out}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!("wrote {out} ({} entries)", report.entries.len());
+        }
+        Some("check") => {
+            let mut path: Option<&str> = None;
+            let mut require_full = false;
+            for a in &args[1..] {
+                match a.as_str() {
+                    "--require-full" => require_full = true,
+                    p if path.is_none() => path = Some(p),
+                    _ => usage(),
+                }
+            }
+            let Some(path) = path else { usage() };
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(1);
+            });
+            match baseline::validate(&text, require_full) {
+                Ok(()) => println!("{path}: ok"),
+                Err(e) => {
+                    eprintln!("{path}: INVALID: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

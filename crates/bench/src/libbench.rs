@@ -14,7 +14,9 @@
 
 #![warn(missing_docs)]
 
+pub mod baseline;
 pub mod experiments;
+pub mod json;
 pub mod table;
 
 pub use table::Table;

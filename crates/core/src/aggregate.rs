@@ -295,11 +295,11 @@ pub fn min_position_fold(img: &Bitmap, labels: &LabelGrid) -> FoldRun<u64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use slap_image::{bfs_labels, gen};
+    use slap_image::{fast_labels, gen};
 
     fn setup(name: &str, n: usize) -> (Bitmap, LabelGrid) {
         let img = gen::by_name(name, n, 5).unwrap();
-        let labels = bfs_labels(&img);
+        let labels = fast_labels(&img);
         (img, labels)
     }
 
@@ -361,7 +361,7 @@ mod tests {
     #[test]
     fn empty_image_yields_no_components() {
         let img = Bitmap::new(8, 8);
-        let labels = bfs_labels(&img);
+        let labels = fast_labels(&img);
         let run = component_fold::<SumFold>(&img, &labels, &|_, _| 1u64);
         assert!(run.per_component.is_empty());
     }
@@ -385,7 +385,7 @@ mod tests {
 
     #[test]
     fn eight_conn_fold_counts_diagonal_components_whole() {
-        use slap_image::{bfs_labels_conn, Connectivity};
+        use slap_image::{fast_labels_conn, Connectivity};
         // A pure anti-diagonal: one 8-component of n pixels spanning all
         // columns; a 4-connectivity fold would see n singletons.
         let n = 16;
@@ -393,7 +393,7 @@ mod tests {
         for i in 0..n {
             img.set(i, n - 1 - i, true);
         }
-        let labels = bfs_labels_conn(&img, Connectivity::Eight);
+        let labels = fast_labels_conn(&img, Connectivity::Eight);
         let run = component_fold_conn::<SumFold>(&img, &labels, Connectivity::Eight, &|_, _| 1u64);
         assert_eq!(run.per_component.len(), 1);
         assert_eq!(run.per_component[0].1, n as u64);
@@ -401,9 +401,9 @@ mod tests {
 
     #[test]
     fn eight_conn_fold_matches_brute_force_on_random_images() {
-        use slap_image::{bfs_labels_conn, Connectivity};
+        use slap_image::{fast_labels_conn, Connectivity};
         let img = gen::uniform_random(24, 24, 0.35, 77);
-        let labels = bfs_labels_conn(&img, Connectivity::Eight);
+        let labels = fast_labels_conn(&img, Connectivity::Eight);
         let run = component_fold_conn::<SumFold>(&img, &labels, Connectivity::Eight, &|_, _| 1u64);
         let mut expect: HashMap<u32, u64> = HashMap::new();
         for (r, c) in img.iter_ones_colmajor() {

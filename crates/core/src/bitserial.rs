@@ -20,7 +20,7 @@
 
 use crate::cc::{label_components_kind, CcOptions, CcRun};
 use serde::{Deserialize, Serialize};
-use slap_image::{bfs_labels, gen, Bitmap};
+use slap_image::{fast_labels, gen, Bitmap};
 use slap_machine::costs;
 use slap_unionfind::UfKind;
 use std::collections::HashSet;
@@ -84,7 +84,7 @@ pub fn entropy_report(n: usize, limit: u64) -> EntropyReport {
     loop {
         count += 1;
         let img = gen::even_rows(n, n, &starts);
-        let labels = bfs_labels(&img);
+        let labels = fast_labels(&img);
         let last_col: Vec<u32> = (0..n).map(|r| labels.get(r, n - 1)).collect();
         seen.insert(last_col);
         // odometer increment over starts in 0..n
@@ -124,7 +124,7 @@ mod tests {
     #[test]
     fn bitserial_labeling_is_exact() {
         let img = even_rows_random(24, 24, 3);
-        let truth = bfs_labels(&img);
+        let truth = fast_labels(&img);
         let run = label_components_bitserial(&img, UfKind::Tarjan, &CcOptions::default());
         assert_eq!(run.labels, truth);
     }

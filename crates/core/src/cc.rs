@@ -5,7 +5,7 @@ use crate::stitch::stitch_column;
 use crate::NIL;
 use serde::{Deserialize, Serialize};
 use slap_image::{Bitmap, Connectivity, LabelGrid};
-use slap_machine::{costs, run_pipeline_with, PipelineConfig, PipelineReport};
+use slap_machine::{costs, run_pipeline_pooled, PipelineBuffers, PipelineConfig, PipelineReport};
 use slap_unionfind::{
     BlumUf, IdealO1, QuickFind, RankHalvingUf, RemUf, SplittingUf, TarjanUf, UfKind, UnionFind,
     WeightedUf,
@@ -130,6 +130,7 @@ fn directional_pass<U: UnionFind>(
     cols: &slap_image::Columns,
     opts: &CcOptions,
     label_offset: u32,
+    bufs: &mut PipelineBuffers<(u32, u32)>,
 ) -> (Vec<Vec<u32>>, PassMetrics) {
     let n_pes = cols.cols();
     let rows = cols.rows();
@@ -139,8 +140,9 @@ fn directional_pass<U: UnionFind>(
         start_clock: 0,
     };
     // Phase 1+2: Union-Find-Pass (pipelined)
-    let (mut states, uf_report) =
-        run_pipeline_with(cfg, |pe, ctx| unionfind_pass::<U>(cols, opts, pe, ctx));
+    let (mut states, uf_report) = run_pipeline_pooled(cfg, bufs, |pe, ctx| {
+        unionfind_pass::<U>(cols, opts, pe, ctx)
+    });
     // Step 2 of Left-Components: local finds (concurrent across PEs)
     let mut find_makespan = 0u64;
     let mut find_busy = 0u64;
@@ -152,7 +154,7 @@ fn directional_pass<U: UnionFind>(
     // Step 3: Label-Pass (pipelined)
     let mut label_slots: Vec<Vec<u32>> =
         states.iter().map(|s| vec![NIL; s.uf.id_bound()]).collect();
-    let (_, label_report) = run_pipeline_with(cfg, |pe, ctx| {
+    let (_, label_report) = run_pipeline_pooled(cfg, bufs, |pe, ctx| {
         let base = label_offset + (pe * rows) as u32;
         label_pass::<U>(
             cols,
@@ -203,11 +205,14 @@ pub fn label_components<U: UnionFind>(img: &Bitmap, opts: &CcOptions) -> CcRun {
         "image too large for the u32 label spaces of the two passes"
     );
     let cols = img.columns();
-    let (left_labels, left) = directional_pass::<U>(&cols, opts, 0);
+    // One message-buffer pool serves all four pipelined passes of the run:
+    // RowPair and LabelMsg share the (u32, u32) wire format.
+    let mut bufs = PipelineBuffers::new();
+    let (left_labels, left) = directional_pass::<U>(&cols, opts, 0, &mut bufs);
     let flipped = img.flip_horizontal();
     let fcols = flipped.columns();
     let offset = (rows * ncols) as u32;
-    let (right_labels_flipped, right) = directional_pass::<U>(&fcols, opts, offset);
+    let (right_labels_flipped, right) = directional_pass::<U>(&fcols, opts, offset, &mut bufs);
 
     // Step 3 of Algorithm CC: per-PE stitch (concurrent across PEs).
     let mut grid = LabelGrid::new_background(rows, ncols);
@@ -260,10 +265,10 @@ pub fn label_components_kind(img: &Bitmap, kind: UfKind, opts: &CcOptions) -> Cc
 #[cfg(test)]
 mod tests {
     use super::*;
-    use slap_image::{bfs_labels, bfs_labels_conn, gen};
+    use slap_image::{fast_labels, fast_labels_conn, gen};
 
     fn check_exact(img: &Bitmap, opts: &CcOptions) {
-        let truth = bfs_labels_conn(img, opts.connectivity);
+        let truth = fast_labels_conn(img, opts.connectivity);
         for &kind in UfKind::ALL {
             let run = label_components_kind(img, kind, opts);
             assert_eq!(
@@ -314,7 +319,7 @@ mod tests {
     fn labels_all_generators_exactly() {
         for name in gen::WORKLOADS {
             let img = gen::by_name(name, 24, 11).unwrap();
-            let truth = bfs_labels(&img);
+            let truth = fast_labels(&img);
             let run = label_components::<TarjanUf>(&img, &CcOptions::default());
             assert_eq!(run.labels, truth, "workload {name}");
         }
@@ -331,7 +336,7 @@ mod tests {
     #[test]
     fn variants_produce_identical_labels() {
         let img = gen::uniform_random(40, 40, 0.5, 21);
-        let truth = bfs_labels(&img);
+        let truth = fast_labels(&img);
         for eager in [false, true] {
             for idle in [false, true] {
                 for policy in [ForwardPolicy::OnImprovement, ForwardPolicy::Always] {
@@ -424,11 +429,11 @@ mod tests {
     fn eight_conn_fuses_antidiagonals() {
         let img = gen::by_name("antidiag", 32, 1).unwrap();
         let run = label_components::<TarjanUf>(&img, &eight(CcOptions::default()));
-        let truth = bfs_labels_conn(&img, Connectivity::Eight);
+        let truth = fast_labels_conn(&img, Connectivity::Eight);
         assert_eq!(run.labels, truth);
         // Under 4-connectivity every pixel is a singleton; under
         // 8-connectivity each anti-diagonal fuses into one component.
-        let four = bfs_labels(&img);
+        let four = fast_labels(&img);
         assert_eq!(four.component_count(), img.count_ones());
         assert!(truth.component_count() < four.component_count() / 4);
     }
@@ -438,7 +443,7 @@ mod tests {
         for name in gen::WORKLOADS {
             let img = gen::by_name(name, 24, 11).unwrap();
             let opts = eight(CcOptions::default());
-            let truth = bfs_labels_conn(&img, Connectivity::Eight);
+            let truth = fast_labels_conn(&img, Connectivity::Eight);
             let run = label_components::<TarjanUf>(&img, &opts);
             assert_eq!(run.labels, truth, "workload {name}");
         }

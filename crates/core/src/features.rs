@@ -244,11 +244,11 @@ pub fn euler_number(img: &Bitmap, conn: Connectivity) -> EulerRun {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use slap_image::{bfs_labels, bfs_labels_conn, gen};
+    use slap_image::{fast_labels, fast_labels_conn, gen};
 
     fn features_of(art: &str) -> (Bitmap, FeatureRun) {
         let img = Bitmap::from_art(art);
-        let labels = bfs_labels(&img);
+        let labels = fast_labels(&img);
         let run = component_features(&img, &labels, Connectivity::Four);
         (img, run)
     }
@@ -283,7 +283,7 @@ mod tests {
     #[test]
     fn features_match_component_stats_on_random_images() {
         let img = gen::uniform_random(24, 24, 0.45, 3);
-        let labels = bfs_labels(&img);
+        let labels = fast_labels(&img);
         let run = component_features(&img, &labels, Connectivity::Four);
         let stats = labels.component_stats();
         assert_eq!(run.per_component.len(), stats.len());
@@ -300,7 +300,7 @@ mod tests {
     #[test]
     fn perimeter_matches_brute_force() {
         let img = gen::by_name("blobs", 32, 9).unwrap();
-        let labels = bfs_labels(&img);
+        let labels = fast_labels(&img);
         let run = component_features(&img, &labels, Connectivity::Four);
         let mut expect: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
         for (r, c) in img.iter_ones_colmajor() {
@@ -317,7 +317,7 @@ mod tests {
         for i in 0..8 {
             img.set(i, 7 - i, true);
         }
-        let labels = bfs_labels_conn(&img, Connectivity::Eight);
+        let labels = fast_labels_conn(&img, Connectivity::Eight);
         let run = component_features(&img, &labels, Connectivity::Eight);
         assert_eq!(run.per_component.len(), 1);
         let f = run.per_component[0].1;
@@ -355,7 +355,7 @@ mod tests {
         for name in ["blobs", "vstripes", "checker"] {
             let img = gen::by_name(name, 16, 5).unwrap();
             for conn in [Connectivity::Four, Connectivity::Eight] {
-                let labels = bfs_labels_conn(&img, conn);
+                let labels = fast_labels_conn(&img, conn);
                 let holes = holes_count(&img, conn);
                 let e = euler_number(&img, conn);
                 assert_eq!(
@@ -375,7 +375,7 @@ mod tests {
             Connectivity::Eight => Connectivity::Four,
         };
         let inv = img.invert();
-        let labels = bfs_labels_conn(&inv, dual);
+        let labels = fast_labels_conn(&inv, dual);
         let mut border: std::collections::HashSet<u32> = std::collections::HashSet::new();
         let (rows, cols) = (img.rows(), img.cols());
         for r in 0..rows {
@@ -402,7 +402,7 @@ mod tests {
     #[test]
     fn empty_image_has_no_features() {
         let img = Bitmap::new(6, 6);
-        let labels = bfs_labels(&img);
+        let labels = fast_labels(&img);
         let run = component_features(&img, &labels, Connectivity::Four);
         assert!(run.per_component.is_empty());
         assert_eq!(euler_number(&img, Connectivity::Four).euler, 0);

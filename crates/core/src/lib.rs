@@ -55,6 +55,7 @@ pub use cc::{
     PassMetrics,
 };
 pub use runs::label_components_runs;
+pub use slap_image::fast;
 pub use slap_image::Connectivity;
 
 /// Sentinel for "no row" / "unset label" in the passes' `u32` arrays (the

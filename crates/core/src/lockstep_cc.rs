@@ -626,14 +626,14 @@ pub fn label_components_lockstep_quash<U: UnionFind + Send>(
 mod tests {
     use super::*;
     use crate::cc::label_components;
-    use slap_image::{bfs_labels, gen};
+    use slap_image::{fast_labels, gen};
     use slap_unionfind::{RankHalvingUf, TarjanUf};
 
     #[test]
     fn lockstep_labels_match_oracle_and_virtual_time() {
         for name in ["random50", "comb", "fig3a", "tournament", "fan"] {
             let img = gen::by_name(name, 24, 5).unwrap();
-            let truth = bfs_labels(&img);
+            let truth = fast_labels(&img);
             let (run, _) = label_components_lockstep::<TarjanUf>(&img, &CcOptions::default(), 1);
             assert_eq!(run.labels, truth, "lockstep on {name}");
             let vt = label_components::<TarjanUf>(&img, &CcOptions::default());
@@ -673,7 +673,7 @@ mod tests {
     #[test]
     fn variants_work_on_lockstep_too() {
         let img = gen::by_name("fig3a", 24, 7).unwrap();
-        let truth = bfs_labels(&img);
+        let truth = fast_labels(&img);
         for eager in [false, true] {
             for idle in [false, true] {
                 let opts = CcOptions {
@@ -690,7 +690,7 @@ mod tests {
     #[test]
     fn rectangular_images_work() {
         let img = gen::uniform_random(9, 33, 0.5, 4);
-        let truth = bfs_labels(&img);
+        let truth = fast_labels(&img);
         let (run, _) = label_components_lockstep::<TarjanUf>(&img, &CcOptions::default(), 2);
         assert_eq!(run.labels, truth);
     }
@@ -699,7 +699,7 @@ mod tests {
     fn quashing_variant_labels_are_identical() {
         for name in ["random50", "comb", "fig3a", "tournament", "maze"] {
             let img = gen::by_name(name, 24, 5).unwrap();
-            let truth = bfs_labels(&img);
+            let truth = fast_labels(&img);
             let (run, report) =
                 label_components_lockstep_quash::<TarjanUf>(&img, &CcOptions::default(), 1, true);
             assert_eq!(run.labels, truth, "quashing on {name}");
@@ -778,14 +778,14 @@ mod tests {
 
     #[test]
     fn eight_connectivity_on_lockstep_matches_oracle() {
-        use slap_image::{bfs_labels_conn, Connectivity};
+        use slap_image::{fast_labels_conn, Connectivity};
         let opts = CcOptions {
             connectivity: Connectivity::Eight,
             ..CcOptions::default()
         };
         for name in ["staircase", "checker", "random50", "fig3a"] {
             let img = gen::by_name(name, 20, 9).unwrap();
-            let truth = bfs_labels_conn(&img, Connectivity::Eight);
+            let truth = fast_labels_conn(&img, Connectivity::Eight);
             let (run, _) = label_components_lockstep::<TarjanUf>(&img, &opts, 1);
             assert_eq!(run.labels, truth, "lockstep 8-conn on {name}");
             let (par, _) = label_components_lockstep::<TarjanUf>(&img, &opts, 2);

@@ -25,12 +25,22 @@
 //! ablation. Run-based labeling is the natural engineering refinement of
 //! the paper's algorithm, in the spirit of the run-oriented processing in
 //! Alnuweiri–Prasanna \[2\].
+//!
+//! The same run universe — transposed to horizontal runs — underlies the
+//! host-side fast engine ([`slap_image::fast`], re-exported as
+//! [`crate::fast`]): there the runs feed a sequential two-pass union–find
+//! (the shape of the run-based CCL literature, e.g. arXiv:1606.05973,
+//! arXiv:1708.08180), here they feed the paper's pipelined passes. Both
+//! exploit the identical observation that a scan line meets each component
+//! in a handful of maximal runs, and [`RunColumn::scan`] extracts them
+//! word-parallel with the same packed-word scanning primitives
+//! ([`slap_image::bitmap::for_each_run_in_words`]).
 
 use crate::cc::{CcMetrics, CcOptions, CcRun, PassMetrics};
 use crate::stitch::stitch_column;
 use crate::NIL;
 use slap_image::{Bitmap, Columns, Connectivity, LabelGrid};
-use slap_machine::{run_pipeline_with, PeCtx, PipelineConfig};
+use slap_machine::{run_pipeline_pooled, PeCtx, PipelineBuffers, PipelineConfig};
 use slap_unionfind::UnionFind;
 
 /// The maximal vertical runs of one column plus the `row → run` table.
@@ -54,26 +64,21 @@ impl RunColumn {
         self.start.is_empty()
     }
 
-    /// Scans column `pe`, extracting maximal vertical runs.
+    /// Scans column `pe`, extracting maximal vertical runs word-parallel
+    /// from the packed column words (no per-pixel probing), with the output
+    /// vectors pre-sized exactly by a popcount pre-pass.
     pub fn scan(cols: &Columns, pe: usize) -> Self {
         let rows = cols.rows();
+        let n_runs = cols.count_column_runs(pe);
         let mut run_of = vec![NIL; rows];
-        let mut start = Vec::new();
-        let mut end = Vec::new();
-        let mut j = 0usize;
-        while j < rows {
-            if !cols.get(pe, j) {
-                j += 1;
-                continue;
-            }
-            let s = j;
-            while j < rows && cols.get(pe, j) {
-                run_of[j] = start.len() as u32;
-                j += 1;
-            }
-            start.push(s as u32);
-            end.push((j - 1) as u32);
-        }
+        let mut start = Vec::with_capacity(n_runs);
+        let mut end = Vec::with_capacity(n_runs);
+        cols.for_each_column_run(pe, |s, e| {
+            run_of[s as usize..=e as usize].fill(start.len() as u32);
+            start.push(s);
+            end.push(e);
+        });
+        debug_assert_eq!(start.len(), n_runs);
         RunColumn { run_of, start, end }
     }
 }
@@ -93,7 +98,8 @@ pub struct RunColumnState<U: UnionFind> {
 }
 
 /// First row of `ncol` holding a 1-pixel adjacent (under `conn`) to any
-/// pixel of the run `[a, b]` of column `pe`'s neighbor scan.
+/// pixel of the run `[a, b]` of column `pe`'s neighbor scan. Scans the
+/// neighbor's packed words, not pixels.
 fn run_adjacent_row(cols: &Columns, ncol: usize, a: u32, b: u32, conn: Connectivity) -> u32 {
     let rows = cols.rows();
     let (lo, hi) = match conn {
@@ -103,12 +109,10 @@ fn run_adjacent_row(cols: &Columns, ncol: usize, a: u32, b: u32, conn: Connectiv
             ((b as usize) + 1).min(rows - 1),
         ),
     };
-    for r in lo..=hi {
-        if cols.get(ncol, r) {
-            return r as u32;
-        }
+    match cols.first_one_in_range(ncol, lo, hi) {
+        Some(r) => r as u32,
+        None => NIL,
     }
-    NIL
 }
 
 impl<U: UnionFind> RunColumnState<U> {
@@ -367,6 +371,7 @@ fn directional_pass_runs<U: UnionFind>(
     cols: &Columns,
     opts: &CcOptions,
     label_offset: u32,
+    bufs: &mut PipelineBuffers<(u32, u32)>,
 ) -> (Vec<Vec<u32>>, PassMetrics) {
     let n_pes = cols.cols();
     let rows = cols.rows();
@@ -375,8 +380,9 @@ fn directional_pass_runs<U: UnionFind>(
         word_steps: opts.word_steps,
         start_clock: 0,
     };
-    let (mut states, uf_report) =
-        run_pipeline_with(cfg, |pe, ctx| run_unionfind_pass::<U>(cols, opts, pe, ctx));
+    let (mut states, uf_report) = run_pipeline_pooled(cfg, bufs, |pe, ctx| {
+        run_unionfind_pass::<U>(cols, opts, pe, ctx)
+    });
     let mut find_makespan = 0u64;
     let mut find_busy = 0u64;
     for state in states.iter_mut() {
@@ -386,7 +392,7 @@ fn directional_pass_runs<U: UnionFind>(
     }
     let mut label_slots: Vec<Vec<u32>> =
         states.iter().map(|s| vec![NIL; s.uf.id_bound()]).collect();
-    let (_, label_report) = run_pipeline_with(cfg, |pe, ctx| {
+    let (_, label_report) = run_pipeline_pooled(cfg, bufs, |pe, ctx| {
         let base = label_offset + (pe * rows) as u32;
         run_label_pass::<U>(opts, &mut states[pe], &mut label_slots[pe], base, ctx)
     });
@@ -426,11 +432,13 @@ pub fn label_components_runs<U: UnionFind>(img: &Bitmap, opts: &CcOptions) -> Cc
         "image too large for the u32 label spaces of the two passes"
     );
     let cols = img.columns();
-    let (left_labels, left) = directional_pass_runs::<U>(&cols, opts, 0);
+    // One message-buffer pool serves all four pipelined passes of the run.
+    let mut bufs = PipelineBuffers::new();
+    let (left_labels, left) = directional_pass_runs::<U>(&cols, opts, 0, &mut bufs);
     let flipped = img.flip_horizontal();
     let fcols = flipped.columns();
     let offset = (rows * ncols) as u32;
-    let (right_labels_flipped, right) = directional_pass_runs::<U>(&fcols, opts, offset);
+    let (right_labels_flipped, right) = directional_pass_runs::<U>(&fcols, opts, offset, &mut bufs);
     let mut grid = LabelGrid::new_background(rows, ncols);
     let mut stitch_makespan = 0u64;
     let mut stitch_busy = 0u64;
@@ -468,7 +476,7 @@ pub fn label_components_runs<U: UnionFind>(img: &Bitmap, opts: &CcOptions) -> Cc
 mod tests {
     use super::*;
     use crate::cc::label_components;
-    use slap_image::{bfs_labels_conn, gen};
+    use slap_image::{fast_labels_conn, gen};
     use slap_unionfind::{BlumUf, RankHalvingUf, TarjanUf};
 
     #[test]
@@ -522,7 +530,7 @@ mod tests {
         };
         for name in ["staircase", "checker", "random50", "fig3a", "maze"] {
             let img = gen::by_name(name, 24, 3).unwrap();
-            let truth = bfs_labels_conn(&img, Connectivity::Eight);
+            let truth = fast_labels_conn(&img, Connectivity::Eight);
             let run = label_components_runs::<BlumUf>(&img, &opts);
             assert_eq!(run.labels, truth, "workload {name}");
         }
@@ -532,7 +540,7 @@ mod tests {
     fn runs_variant_supports_all_option_combinations() {
         let img = gen::uniform_random(32, 32, 0.5, 41);
         for conn in [Connectivity::Four, Connectivity::Eight] {
-            let truth = bfs_labels_conn(&img, conn);
+            let truth = fast_labels_conn(&img, conn);
             for eager in [false, true] {
                 for idle in [false, true] {
                     let opts = CcOptions {

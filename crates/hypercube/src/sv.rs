@@ -133,7 +133,7 @@ pub fn sv_labels_conn(img: &Bitmap, conn: Connectivity) -> (LabelGrid, Hypercube
 #[cfg(test)]
 mod tests {
     use super::*;
-    use slap_image::{bfs_labels_conn, gen};
+    use slap_image::{fast_labels_conn, gen};
 
     #[test]
     fn labels_match_oracle_on_all_generators() {
@@ -141,7 +141,7 @@ mod tests {
             let img = gen::by_name(name, 24, 7).unwrap();
             for conn in [Connectivity::Four, Connectivity::Eight] {
                 let (labels, _) = sv_labels_conn(&img, conn);
-                assert_eq!(labels, bfs_labels_conn(&img, conn), "{name} {conn}");
+                assert_eq!(labels, fast_labels_conn(&img, conn), "{name} {conn}");
             }
         }
     }
@@ -167,7 +167,7 @@ mod tests {
         for n in [16usize, 32, 64] {
             let img = gen::serpentine(n, n, 3);
             let (labels, report) = sv_labels(&img);
-            assert_eq!(labels, bfs_labels_conn(&img, Connectivity::Four));
+            assert_eq!(labels, fast_labels_conn(&img, Connectivity::Four));
             iters.push(report.iterations);
         }
         // d doubles across the sweep; iterations must grow additively

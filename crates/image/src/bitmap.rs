@@ -1,4 +1,75 @@
 //! Bit-packed binary images and their column-major views.
+//!
+//! Besides per-pixel [`Bitmap::get`]/[`Bitmap::set`], this module exposes the
+//! packed words directly ([`Bitmap::row_words`], [`Columns::column_words`])
+//! together with word-level scanning helpers ([`for_each_run_in_words`],
+//! [`count_runs_in_words`]) so hot paths can process 64 pixels per
+//! instruction instead of one — the foundation of the [`crate::fast`]
+//! labeling engine and of the run-based simulator passes.
+
+/// Invokes `f(start, end)` (inclusive bounds) for every maximal run of set
+/// bits among the first `bits` bits of `words`, where bit `i % 64` of word
+/// `i / 64` is position `i`. Bits at positions `>= bits` must be zero (the
+/// invariant every [`Bitmap`] row and [`Columns`] column maintains).
+///
+/// Runs are found with `trailing_zeros` scans over whole words — background
+/// words cost one test each, and a `k`-pixel run costs `O(1 + k/64)` — so the
+/// cost is proportional to words plus runs, not to pixels.
+#[inline]
+pub fn for_each_run_in_words(words: &[u64], bits: usize, mut f: impl FnMut(u32, u32)) {
+    debug_assert!(bits <= words.len() * 64);
+    let mut open: Option<u32> = None; // start of a run continuing across words
+    for (i, &w) in words.iter().enumerate() {
+        let base = (i * 64) as u32;
+        let mut x = w;
+        if let Some(s) = open {
+            if x & 1 == 1 {
+                let ones = (!x).trailing_zeros();
+                if ones == 64 {
+                    continue; // run spans this whole word too
+                }
+                f(s, base + ones - 1);
+                x &= x.wrapping_add(1); // clear the trailing ones
+            } else {
+                f(s, base - 1);
+            }
+            open = None;
+        }
+        while x != 0 {
+            // Adding the lowest set bit carries through the lowest run,
+            // clearing it and depositing a bit just past its end — so one
+            // add yields both the cleared word and the run's end position.
+            let lsb = x & x.wrapping_neg();
+            let t = x.wrapping_add(lsb);
+            if t == 0 {
+                // The lowest run reaches bit 63 (and nothing lies above it):
+                // it may continue into the next word.
+                open = Some(base + lsb.trailing_zeros());
+                break;
+            }
+            f(base + lsb.trailing_zeros(), base + t.trailing_zeros() - 1);
+            x &= t;
+        }
+    }
+    if let Some(s) = open {
+        // Only reachable when the last word ends in a 1-bit, i.e. the image
+        // dimension is a multiple of 64 (padding bits are zero otherwise).
+        f(s, bits as u32 - 1);
+    }
+}
+
+/// Number of runs [`for_each_run_in_words`] would report, in one popcount
+/// pass (a run starts at every 0→1 transition).
+#[inline]
+pub fn count_runs_in_words(words: &[u64]) -> usize {
+    let mut carry = 0u64; // last bit of the previous word
+    let mut runs = 0usize;
+    for &w in words {
+        runs += (w & !((w << 1) | carry)).count_ones() as usize;
+        carry = w >> 63;
+    }
+    runs
+}
 
 /// A rectangular binary image stored row-major, 64 pixels per word.
 ///
@@ -89,6 +160,46 @@ impl Bitmap {
         (col * self.rows + row) as u32
     }
 
+    /// Number of 64-bit words storing each row (`ceil(cols / 64)`).
+    #[inline]
+    pub fn words_per_row(&self) -> usize {
+        self.words_per_row
+    }
+
+    /// The packed words of one row: bit `c % 64` of word `c / 64` is column
+    /// `c`. Bits at positions `>= cols` in the last word are always zero.
+    #[inline]
+    pub fn row_words(&self, row: usize) -> &[u64] {
+        debug_assert!(row < self.rows);
+        &self.bits[row * self.words_per_row..(row + 1) * self.words_per_row]
+    }
+
+    /// All packed words, row-major ([`Bitmap::words_per_row`] words per row).
+    #[inline]
+    pub fn as_words(&self) -> &[u64] {
+        &self.bits
+    }
+
+    /// Number of foreground pixels in one row (word-level popcount).
+    pub fn count_ones_in_row(&self, row: usize) -> usize {
+        self.row_words(row)
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum()
+    }
+
+    /// Number of maximal horizontal runs of foreground pixels in one row.
+    pub fn count_row_runs(&self, row: usize) -> usize {
+        count_runs_in_words(self.row_words(row))
+    }
+
+    /// Invokes `f(start_col, end_col)` (inclusive) for every maximal
+    /// horizontal run of foreground pixels in `row`, via word-level scans.
+    #[inline]
+    pub fn for_each_row_run(&self, row: usize, f: impl FnMut(u32, u32)) {
+        for_each_run_in_words(self.row_words(row), self.cols, f);
+    }
+
     /// Number of foreground pixels.
     pub fn count_ones(&self) -> usize {
         self.bits.iter().map(|w| w.count_ones() as usize).sum()
@@ -169,26 +280,39 @@ impl Bitmap {
         out
     }
 
-    /// Returns the complement image (foreground and background swapped).
+    /// Returns the complement image (foreground and background swapped),
+    /// word-at-a-time, re-zeroing the padding bits past `cols` in each row's
+    /// last word.
     pub fn invert(&self) -> Bitmap {
         let mut out = self.clone();
-        for r in 0..out.rows {
-            for c in 0..out.cols {
-                out.set(r, c, !self.get(r, c));
+        for w in &mut out.bits {
+            *w = !*w;
+        }
+        let tail = self.cols % 64;
+        if tail != 0 {
+            let mask = (1u64 << tail) - 1;
+            for r in 0..self.rows {
+                out.bits[(r + 1) * self.words_per_row - 1] &= mask;
             }
         }
         out
     }
 
     /// Extracts the column-major packed view used by the SLAP simulator
-    /// (PE `i` holds column `i`).
+    /// (PE `i` holds column `i`). Iterates set bits of the row words rather
+    /// than probing every pixel, so background costs one word test per 64
+    /// pixels.
     pub fn columns(&self) -> Columns {
         let words_per_col = self.rows.div_ceil(64);
         let mut bits = vec![0u64; self.cols * words_per_col];
         for r in 0..self.rows {
-            for c in 0..self.cols {
-                if self.get(r, c) {
-                    bits[c * words_per_col + r / 64] |= 1u64 << (r % 64);
+            let (wr, br) = (r / 64, 1u64 << (r % 64));
+            for (wi, &w) in self.row_words(r).iter().enumerate() {
+                let mut x = w;
+                while x != 0 {
+                    let c = wi * 64 + x.trailing_zeros() as usize;
+                    bits[c * words_per_col + wr] |= br;
+                    x &= x - 1;
                 }
             }
         }
@@ -250,11 +374,50 @@ impl Columns {
         self.bits[col * self.words_per_col + row / 64] & (1u64 << (row % 64)) != 0
     }
 
+    /// Number of 64-bit words storing each column (`ceil(rows / 64)`).
+    #[inline]
+    pub fn words_per_col(&self) -> usize {
+        self.words_per_col
+    }
+
     /// The packed words of one column (bit `r % 64` of word `r / 64` is row
     /// `r`). Used when a PE program wants to scan runs word-at-a-time.
     #[inline]
     pub fn column_words(&self, col: usize) -> &[u64] {
         &self.bits[col * self.words_per_col..(col + 1) * self.words_per_col]
+    }
+
+    /// Number of maximal vertical runs of foreground pixels in one column.
+    pub fn count_column_runs(&self, col: usize) -> usize {
+        count_runs_in_words(self.column_words(col))
+    }
+
+    /// Invokes `f(start_row, end_row)` (inclusive) for every maximal vertical
+    /// run of foreground pixels in `col`, via word-level scans.
+    #[inline]
+    pub fn for_each_column_run(&self, col: usize, f: impl FnMut(u32, u32)) {
+        for_each_run_in_words(self.column_words(col), self.rows, f);
+    }
+
+    /// First foreground row of `col` within `lo..=hi` (inclusive), scanning
+    /// whole words. `None` when the range is all background.
+    pub fn first_one_in_range(&self, col: usize, lo: usize, hi: usize) -> Option<usize> {
+        debug_assert!(lo <= hi && hi < self.rows);
+        let words = self.column_words(col);
+        let (wlo, whi) = (lo / 64, hi / 64);
+        for (wi, &word) in words.iter().enumerate().take(whi + 1).skip(wlo) {
+            let mut w = word;
+            if wi == wlo {
+                w &= !0u64 << (lo % 64);
+            }
+            if wi == whi && hi % 64 != 63 {
+                w &= (1u64 << ((hi % 64) + 1)) - 1;
+            }
+            if w != 0 {
+                return Some(wi * 64 + w.trailing_zeros() as usize);
+            }
+        }
+        None
     }
 }
 
@@ -355,6 +518,131 @@ mod tests {
             }
         }
         assert_eq!(cols.column_words(0)[0] & 1, 1);
+    }
+
+    /// Reference run scan by per-pixel probing.
+    fn naive_runs(get: impl Fn(usize) -> bool, len: usize) -> Vec<(u32, u32)> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < len {
+            if !get(i) {
+                i += 1;
+                continue;
+            }
+            let s = i;
+            while i < len && get(i) {
+                i += 1;
+            }
+            out.push((s as u32, (i - 1) as u32));
+        }
+        out
+    }
+
+    #[test]
+    fn word_run_scan_matches_naive_on_ragged_widths() {
+        // Widths straddling word boundaries, including exact multiples.
+        for cols in [1usize, 63, 64, 65, 127, 128, 130] {
+            // A quasi-random but deterministic pattern with runs crossing
+            // word boundaries.
+            let mut bm = Bitmap::new(3, cols);
+            for c in 0..cols {
+                bm.set(0, c, (c / 3) % 2 == 0);
+                bm.set(1, c, c % 7 != 0);
+                bm.set(2, c, true);
+            }
+            for r in 0..3 {
+                let mut got = Vec::new();
+                bm.for_each_row_run(r, |a, b| got.push((a, b)));
+                let want = naive_runs(|c| bm.get(r, c), cols);
+                assert_eq!(got, want, "cols={cols} row={r}");
+                assert_eq!(bm.count_row_runs(r), want.len(), "cols={cols} row={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn word_run_scan_full_and_empty_rows() {
+        for cols in [64usize, 65, 128] {
+            let bm = Bitmap::new(2, cols);
+            let mut got = Vec::new();
+            bm.for_each_row_run(0, |a, b| got.push((a, b)));
+            assert!(got.is_empty());
+            let mut full = Bitmap::new(1, cols);
+            for c in 0..cols {
+                full.set(0, c, true);
+            }
+            let mut got = Vec::new();
+            full.for_each_row_run(0, |a, b| got.push((a, b)));
+            assert_eq!(got, vec![(0, cols as u32 - 1)]);
+        }
+    }
+
+    #[test]
+    fn row_words_expose_packed_layout() {
+        let mut bm = Bitmap::new(2, 70);
+        bm.set(1, 0, true);
+        bm.set(1, 64, true);
+        bm.set(1, 69, true);
+        assert_eq!(bm.words_per_row(), 2);
+        assert_eq!(bm.row_words(0), &[0, 0]);
+        assert_eq!(bm.row_words(1)[0], 1);
+        assert_eq!(bm.row_words(1)[1], (1 << 0) | (1 << 5));
+        assert_eq!(bm.count_ones_in_row(1), 3);
+        assert_eq!(bm.as_words().len(), 4);
+    }
+
+    #[test]
+    fn invert_keeps_padding_bits_clear() {
+        for cols in [5usize, 64, 65, 130] {
+            let bm = Bitmap::new(3, cols);
+            let inv = bm.invert();
+            assert_eq!(inv.count_ones(), 3 * cols, "cols={cols}");
+            assert_eq!(inv.invert(), bm, "cols={cols}");
+            // Padding must stay zero so word-level scans see no ghosts.
+            let tail_word = inv.row_words(0)[inv.words_per_row() - 1];
+            if cols % 64 != 0 {
+                assert_eq!(tail_word >> (cols % 64), 0, "cols={cols}");
+            }
+        }
+    }
+
+    #[test]
+    fn column_run_helpers_match_bitmap() {
+        let mut bm = Bitmap::new(130, 3); // columns cross two word boundaries
+        for r in 0..130 {
+            bm.set(r, 0, r % 5 != 0);
+            bm.set(r, 2, (60..70).contains(&r));
+        }
+        let cols = bm.columns();
+        assert_eq!(cols.words_per_col(), 3);
+        for c in 0..3 {
+            let mut got = Vec::new();
+            cols.for_each_column_run(c, |a, b| got.push((a, b)));
+            let want = naive_runs(|r| bm.get(r, c), 130);
+            assert_eq!(got, want, "col={c}");
+            assert_eq!(cols.count_column_runs(c), want.len());
+        }
+    }
+
+    #[test]
+    fn first_one_in_range_scans_words() {
+        let mut bm = Bitmap::new(200, 2);
+        bm.set(3, 0, true);
+        bm.set(130, 0, true);
+        let cols = bm.columns();
+        assert_eq!(cols.first_one_in_range(0, 0, 199), Some(3));
+        assert_eq!(cols.first_one_in_range(0, 3, 3), Some(3));
+        assert_eq!(cols.first_one_in_range(0, 4, 129), None);
+        assert_eq!(cols.first_one_in_range(0, 4, 130), Some(130));
+        assert_eq!(cols.first_one_in_range(0, 131, 199), None);
+        assert_eq!(cols.first_one_in_range(1, 0, 199), None);
+        // Boundary rows 63/64 within one range.
+        let mut bm2 = Bitmap::new(128, 1);
+        bm2.set(64, 0, true);
+        let cols2 = bm2.columns();
+        assert_eq!(cols2.first_one_in_range(0, 0, 63), None);
+        assert_eq!(cols2.first_one_in_range(0, 63, 64), Some(64));
+        assert_eq!(cols2.first_one_in_range(0, 0, 127), Some(64));
     }
 
     #[test]

@@ -74,6 +74,45 @@ impl LabelGrid {
         &self.labels
     }
 
+    /// The labels of one row, read-only.
+    #[inline]
+    pub fn row(&self, row: usize) -> &[u32] {
+        &self.labels[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// The labels of one row, for bulk writes (run fills in the fast engine
+    /// and the readout phases).
+    #[inline]
+    pub fn row_mut(&mut self, row: usize) -> &mut [u32] {
+        &mut self.labels[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Re-dimensions the grid to `rows × cols` and marks every pixel
+    /// background, reusing the existing allocation when it is large enough.
+    /// The batch-fill equivalent of constructing with
+    /// [`LabelGrid::new_background`].
+    pub fn reset_background(&mut self, rows: usize, cols: usize) {
+        self.reset_dims(rows, cols);
+        self.labels.fill(Self::BACKGROUND);
+    }
+
+    /// Re-dimensions the grid, leaving cell contents unspecified — the
+    /// caller must overwrite every cell (the fast engine writes each row
+    /// exactly once, runs and background gaps alike).
+    pub(crate) fn reset_dims(&mut self, rows: usize, cols: usize) {
+        assert!(
+            rows > 0 && cols > 0,
+            "label grid dimensions must be positive"
+        );
+        assert!(
+            (rows as u64) * (cols as u64) < u32::MAX as u64,
+            "image too large for u32 labels"
+        );
+        self.rows = rows;
+        self.cols = cols;
+        self.labels.resize(rows * cols, Self::BACKGROUND);
+    }
+
     /// Number of distinct components (distinct foreground labels).
     pub fn component_count(&self) -> usize {
         let mut seen: Vec<u32> = self
@@ -216,6 +255,9 @@ impl LabelGrid {
                 }
             }
         }
+        // Deliberately the BFS oracle, not the fast engine: a *validity*
+        // check must use the one reference that shares no code path with
+        // the run-scanning machinery it may be asked to judge.
         let truth = crate::oracle::bfs_labels(img);
         if self.same_partition(&truth) {
             Ok(())
@@ -297,6 +339,26 @@ mod tests {
     #[test]
     fn component_count_counts_distinct_labels() {
         assert_eq!(tiny().component_count(), 2);
+    }
+
+    #[test]
+    fn reset_background_reuses_and_clears() {
+        let mut g = tiny();
+        g.reset_background(3, 4);
+        assert_eq!((g.rows(), g.cols()), (3, 4));
+        assert_eq!(g.component_count(), 0);
+        assert!(g.as_slice().iter().all(|&l| l == LabelGrid::BACKGROUND));
+        g.set(2, 3, 9);
+        g.reset_background(2, 2); // shrink: stale labels must not survive
+        assert_eq!(g.component_count(), 0);
+    }
+
+    #[test]
+    fn row_accessors_slice_the_grid() {
+        let mut g = tiny();
+        assert_eq!(g.row(1), &[7, 9]);
+        g.row_mut(0)[1] = 5;
+        assert_eq!(g.get(0, 1), 5);
     }
 
     #[test]

@@ -13,8 +13,11 @@
 //!   the label of a component is the minimum *column-major position*
 //!   (`col * rows + row`) over its pixels; background pixels carry
 //!   [`LabelGrid::BACKGROUND`].
-//! * [`oracle`] — a sequential flood-fill reference labeler used as ground
-//!   truth by every test and experiment.
+//! * [`oracle`] — a sequential flood-fill reference labeler: the *gold*
+//!   ground truth the fast engine is differentially tested against.
+//! * [`fast`] — the word-parallel run-based labeling engine, bit-identical
+//!   to the oracle and several times faster; the default reference the
+//!   differential suites and benchmarks compare against.
 //! * [`gen`] — deterministic workload generators covering the benign, typical
 //!   and adversarial image families the paper reasons about (including the
 //!   Figure 3(a)/(b) patterns and the Theorem 5 even-rows family).
@@ -25,6 +28,7 @@
 
 pub mod bitmap;
 pub mod connectivity;
+pub mod fast;
 pub mod gen;
 pub mod labels;
 pub mod morph;
@@ -33,5 +37,6 @@ pub mod pbm;
 
 pub use bitmap::{Bitmap, Columns};
 pub use connectivity::Connectivity;
+pub use fast::{fast_component_count, fast_labels, fast_labels_conn, FastLabeler};
 pub use labels::{ComponentInfo, LabelGrid};
-pub use oracle::{bfs_labels, bfs_labels_conn};
+pub use oracle::{bfs_labels, bfs_labels_conn, BfsOracle};

@@ -10,6 +10,49 @@ use crate::bitmap::Bitmap;
 use crate::connectivity::Connectivity;
 use crate::labels::LabelGrid;
 
+/// Reusable flood-fill state: the traversal queue survives between calls, so
+/// a caller labeling many images (differential suites, sweeps) performs no
+/// per-call allocation beyond what the output grid itself may need.
+#[derive(Debug, Default)]
+pub struct BfsOracle {
+    queue: Vec<(u32, u32)>,
+}
+
+impl BfsOracle {
+    /// Creates an oracle with an empty (but growable) traversal queue.
+    pub fn new() -> Self {
+        BfsOracle::default()
+    }
+
+    /// Labels `img` into `out` (re-dimensioned and background-filled in
+    /// bulk). With a reused `out` grid of sufficient capacity the call is
+    /// allocation-free.
+    pub fn label_into(&mut self, img: &Bitmap, conn: Connectivity, out: &mut LabelGrid) {
+        let (rows, cols) = (img.rows(), img.cols());
+        out.reset_background(rows, cols);
+        let queue = &mut self.queue;
+        for c in 0..cols {
+            for r in 0..rows {
+                if !img.get(r, c) || out.is_foreground(r, c) {
+                    continue;
+                }
+                let label = img.position(r, c);
+                out.set(r, c, label);
+                queue.clear();
+                queue.push((r as u32, c as u32));
+                while let Some((pr, pc)) = queue.pop() {
+                    for (nr, nc) in conn.neighbors(pr as usize, pc as usize, rows, cols) {
+                        if img.get(nr, nc) && !out.is_foreground(nr, nc) {
+                            out.set(nr, nc, label);
+                            queue.push((nr as u32, nc as u32));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// Labels `img` by breadth-first flood fill (4-connectivity), assigning each
 /// component the minimum column-major position of its pixels — the exact
 /// labeling Algorithm CC must produce.
@@ -17,30 +60,11 @@ pub fn bfs_labels(img: &Bitmap) -> LabelGrid {
     bfs_labels_conn(img, Connectivity::Four)
 }
 
-/// [`bfs_labels`] under an arbitrary adjacency convention.
+/// [`bfs_labels`] under an arbitrary adjacency convention. Allocates one
+/// fresh grid; use [`BfsOracle::label_into`] to reuse storage across calls.
 pub fn bfs_labels_conn(img: &Bitmap, conn: Connectivity) -> LabelGrid {
-    let (rows, cols) = (img.rows(), img.cols());
-    let mut out = LabelGrid::new_background(rows, cols);
-    let mut queue: Vec<(usize, usize)> = Vec::new();
-    for c in 0..cols {
-        for r in 0..rows {
-            if !img.get(r, c) || out.is_foreground(r, c) {
-                continue;
-            }
-            let label = img.position(r, c);
-            out.set(r, c, label);
-            queue.clear();
-            queue.push((r, c));
-            while let Some((pr, pc)) = queue.pop() {
-                for (nr, nc) in conn.neighbors(pr, pc, rows, cols) {
-                    if img.get(nr, nc) && !out.is_foreground(nr, nc) {
-                        out.set(nr, nc, label);
-                        queue.push((nr, nc));
-                    }
-                }
-            }
-        }
-    }
+    let mut out = LabelGrid::new_background(img.rows(), img.cols());
+    BfsOracle::new().label_into(img, conn, &mut out);
     out
 }
 
@@ -57,6 +81,22 @@ pub fn component_count_conn(img: &Bitmap, conn: Connectivity) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn reused_oracle_matches_fresh_calls() {
+        let mut oracle = BfsOracle::new();
+        let mut grid = LabelGrid::new_background(1, 1);
+        for (name, n) in [("random50", 24), ("comb", 16), ("full", 8)] {
+            let img = crate::gen::by_name(name, n, 3).unwrap();
+            oracle.label_into(&img, Connectivity::Four, &mut grid);
+            assert_eq!(grid, bfs_labels(&img), "workload {name}");
+        }
+        // Shrinking and re-growing the grid across differently-sized images
+        // must leave no stale labels behind.
+        let tiny = Bitmap::from_art("#.\n.#\n");
+        oracle.label_into(&tiny, Connectivity::Four, &mut grid);
+        assert_eq!(grid, bfs_labels(&tiny));
+    }
 
     #[test]
     fn empty_image_has_no_components() {

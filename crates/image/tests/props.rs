@@ -4,11 +4,25 @@
 //! must round-trip bit-exactly).
 
 use proptest::prelude::*;
-use slap_image::{bfs_labels, gen, pbm, Bitmap, LabelGrid};
+use slap_image::{
+    bfs_labels, bfs_labels_conn, fast_labels_conn, gen, pbm, Bitmap, Connectivity, FastLabeler,
+    LabelGrid,
+};
 
 fn arb_bitmap() -> impl Strategy<Value = Bitmap> {
     (1usize..40, 1usize..40, 0.0f64..1.0, 0u64..10_000)
         .prop_map(|(r, c, d, s)| gen::uniform_random(r, c, d, s))
+}
+
+/// Like [`arb_bitmap`] but with widths straddling the 64-bit word boundary,
+/// the regime where the packed-word scanning has its edge cases.
+fn arb_wide_bitmap() -> impl Strategy<Value = Bitmap> {
+    (1usize..12, 56usize..136, 0.0f64..1.0, 0u64..10_000)
+        .prop_map(|(r, c, d, s)| gen::uniform_random(r, c, d, s))
+}
+
+fn arb_conn() -> impl Strategy<Value = Connectivity> {
+    prop::sample::select(vec![Connectivity::Four, Connectivity::Eight])
 }
 
 proptest! {
@@ -65,6 +79,57 @@ proptest! {
         let canon = labels.canonicalize();
         prop_assert!(canon.same_partition(&labels));
         prop_assert_eq!(canon.canonicalize(), canon);
+    }
+
+    #[test]
+    fn fast_engine_is_bit_identical_to_oracle(bm in arb_bitmap(), conn in arb_conn()) {
+        prop_assert_eq!(fast_labels_conn(&bm, conn), bfs_labels_conn(&bm, conn));
+    }
+
+    #[test]
+    fn fast_engine_handles_word_boundary_widths(bm in arb_wide_bitmap(), conn in arb_conn()) {
+        prop_assert_eq!(fast_labels_conn(&bm, conn), bfs_labels_conn(&bm, conn));
+    }
+
+    #[test]
+    fn reused_fast_labeler_matches_fresh_calls(
+        a in arb_bitmap(),
+        b in arb_wide_bitmap(),
+        conn in arb_conn(),
+    ) {
+        // Scratch state left by one image must never leak into the next.
+        let mut labeler = FastLabeler::new();
+        let mut grid = LabelGrid::new_background(1, 1);
+        labeler.label_into(&a, conn, &mut grid);
+        prop_assert_eq!(&grid, &bfs_labels_conn(&a, conn));
+        labeler.label_into(&b, conn, &mut grid);
+        prop_assert_eq!(&grid, &bfs_labels_conn(&b, conn));
+        labeler.label_into(&a, conn, &mut grid);
+        prop_assert_eq!(&grid, &bfs_labels_conn(&a, conn));
+        prop_assert_eq!(
+            labeler.count_components(&a, conn),
+            grid.component_count()
+        );
+    }
+
+    #[test]
+    fn word_run_scan_agrees_with_pixel_probes(bm in arb_wide_bitmap()) {
+        for r in 0..bm.rows() {
+            let mut runs: Vec<(u32, u32)> = Vec::new();
+            bm.for_each_row_run(r, |a, b| runs.push((a, b)));
+            prop_assert_eq!(runs.len(), bm.count_row_runs(r));
+            // reconstruct the row from its runs
+            let mut row = vec![false; bm.cols()];
+            for (a, b) in runs {
+                for cell in &mut row[a as usize..=b as usize] {
+                    prop_assert!(!*cell, "overlapping runs");
+                    *cell = true;
+                }
+            }
+            for (c, &set) in row.iter().enumerate() {
+                prop_assert_eq!(set, bm.get(r, c));
+            }
+        }
     }
 
     #[test]

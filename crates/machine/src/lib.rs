@@ -39,6 +39,9 @@ pub mod trace;
 pub use lockstep::{
     run_lockstep, run_lockstep_threaded, LockstepReport, PeIo, PeProgram, PeStatus,
 };
-pub use pipeline::{run_pipeline, run_pipeline_traced, run_pipeline_with, PeCtx, PipelineConfig};
+pub use pipeline::{
+    run_pipeline, run_pipeline_pooled, run_pipeline_traced, run_pipeline_with, PeCtx,
+    PipelineBuffers, PipelineConfig,
+};
 pub use report::{PeStats, PipelineReport};
 pub use trace::{render_gantt, span_totals, Span, SpanKind};

@@ -14,13 +14,66 @@
 //! * [`run_lockstep`] — sequential, the reference;
 //! * [`run_lockstep_threaded`] — contiguous PE blocks per worker, one
 //!   [`SpinBarrier`](crate::barrier::SpinBarrier#) wait per round, parity
-//!   double-buffered mailboxes (`crossbeam` atomic cells). Results are
-//!   deterministic and identical to the sequential runner; only wall-clock
-//!   time differs. This is the experiment E11 subject.
+//!   double-buffered mailboxes (lock-free [`HaloCell`]s over raw
+//!   `std::sync::atomic`). Results are deterministic and identical to the
+//!   sequential runner; only wall-clock time differs. This is the experiment
+//!   E11 subject.
 
 use crate::barrier::{Sense, SpinBarrier};
-use crossbeam::atomic::AtomicCell;
+use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+/// A lock-free single-producer/single-consumer mailbox for one halo word.
+///
+/// Each boundary cell is written by exactly one worker (during its tick
+/// phase) and drained by exactly one neighbor (during its merge phase), and
+/// the two phases of a round are separated by the executor's barrier waits,
+/// so a store and the matching take never run concurrently. The `full` flag
+/// still carries its own release/acquire edge for the payload, making the
+/// cell self-contained rather than dependent on the barrier for payload
+/// visibility. Unlike the earlier mutex-backed `crossbeam::AtomicCell` stub,
+/// nothing here blocks or allocates, so threaded-executor wall-clock numbers
+/// measure the simulation, not lock traffic.
+struct HaloCell<W> {
+    full: AtomicBool,
+    slot: UnsafeCell<Option<W>>,
+}
+
+// SAFETY: the protocol above guarantees single-writer/single-reader accesses
+// ordered by `full` (release store in `store`, acquire swap in `take`) and by
+// the round barrier, so sharing across threads is sound for any Send payload.
+unsafe impl<W: Send> Sync for HaloCell<W> {}
+
+impl<W: Copy + Send> HaloCell<W> {
+    fn new() -> Self {
+        HaloCell {
+            full: AtomicBool::new(false),
+            slot: UnsafeCell::new(None),
+        }
+    }
+
+    /// Publishes `w`, overwriting any unconsumed word (link-register
+    /// semantics, like the sequential runner's `next_from_*` slots).
+    fn store(&self, w: W) {
+        // SAFETY: only the owning worker writes this cell, and the reader's
+        // take of any previous value happened before the barrier of an
+        // earlier round.
+        unsafe { *self.slot.get() = Some(w) };
+        self.full.store(true, Ordering::Release);
+    }
+
+    /// Drains the cell, if a word was published this round.
+    fn take(&self) -> Option<W> {
+        if self.full.swap(false, Ordering::Acquire) {
+            // SAFETY: `full` was set, so the matching `store`'s release store
+            // happens-before this read; the writer will not touch the slot
+            // again until after the next round barrier.
+            unsafe { (*self.slot.get()).take() }
+        } else {
+            None
+        }
+    }
+}
 
 /// Result of one tick.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -192,11 +245,9 @@ pub fn run_lockstep_threaded<P: PeProgram>(
     // halo[parity][t] = word crossing worker t's boundary this round:
     // `right_out[t]` is what block t's last PE sent right (read by t+1);
     // `left_out[t]` is what block t's first PE sent left (read by t-1).
-    let mk = |len: usize| -> Vec<AtomicCell<Option<P::Word>>> {
-        (0..len).map(|_| AtomicCell::new(None)).collect()
-    };
-    let halo_right_out: [Vec<AtomicCell<Option<P::Word>>>; 2] = [mk(threads), mk(threads)];
-    let halo_left_out: [Vec<AtomicCell<Option<P::Word>>>; 2] = [mk(threads), mk(threads)];
+    let mk = |len: usize| -> Vec<HaloCell<P::Word>> { (0..len).map(|_| HaloCell::new()).collect() };
+    let halo_right_out: [Vec<HaloCell<P::Word>>; 2] = [mk(threads), mk(threads)];
+    let halo_left_out: [Vec<HaloCell<P::Word>>; 2] = [mk(threads), mk(threads)];
     let barrier = SpinBarrier::new(threads);
     let active = AtomicUsize::new(n);
     let poisoned = AtomicBool::new(false);
@@ -261,14 +312,14 @@ pub fn run_lockstep_threaded<P: PeProgram>(
                                     if j + 1 < m {
                                         next_from_left[j + 1] = Some(w);
                                     } else if lo + m < n {
-                                        halo_right_out[buf][t].store(Some(w));
+                                        halo_right_out[buf][t].store(w);
                                     }
                                 }
                                 if let Some(w) = io.to_left {
                                     if j > 0 {
                                         next_from_right[j - 1] = Some(w);
                                     } else if lo > 0 {
-                                        halo_left_out[buf][t].store(Some(w));
+                                        halo_left_out[buf][t].store(w);
                                     }
                                 }
                                 if status == PeStatus::Done {
@@ -405,6 +456,48 @@ mod tests {
                 result: 0,
             })
             .collect()
+    }
+
+    #[test]
+    fn halo_cell_store_take_roundtrip() {
+        let c: HaloCell<u64> = HaloCell::new();
+        assert_eq!(c.take(), None);
+        c.store(7);
+        assert_eq!(c.take(), Some(7));
+        assert_eq!(c.take(), None, "take drains the cell");
+        c.store(1);
+        c.store(2);
+        assert_eq!(c.take(), Some(2), "newer word overwrites unread word");
+    }
+
+    #[test]
+    fn halo_cell_crosses_threads() {
+        // Ping-pong a counter through two cells with the same
+        // write-then-read-next-phase discipline the executor uses.
+        let a: HaloCell<u64> = HaloCell::new();
+        let b: HaloCell<u64> = HaloCell::new();
+        let barrier = SpinBarrier::new(2);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let mut sense = Sense::default();
+                for i in 0..100u64 {
+                    a.store(i);
+                    barrier.wait(&mut sense);
+                    barrier.wait(&mut sense);
+                    assert_eq!(b.take(), Some(i + 1));
+                }
+            });
+            scope.spawn(|| {
+                let mut sense = Sense::default();
+                for i in 0..100u64 {
+                    barrier.wait(&mut sense);
+                    let got = a.take().expect("word published before the barrier");
+                    assert_eq!(got, i);
+                    b.store(got + 1);
+                    barrier.wait(&mut sense);
+                }
+            });
+        });
     }
 
     #[test]

@@ -25,10 +25,62 @@
 //! The executor appends the paper's explicit EOS handshake itself: after a
 //! stage function returns, one `ENQUEUE` is charged and the EOS becomes
 //! available to the next PE, matching Fig. 5 line 15 / Fig. 6 line 17.
+//!
+//! # Allocation discipline
+//!
+//! Message queues are stored structure-of-arrays — availability times in one
+//! flat `Vec<u64>`, payloads in a parallel `Vec<M>` — and the runner owns
+//! exactly two such queues, ping-ponged between the inbox and outbox roles as
+//! it walks the array. After the first PE the hot loop performs no heap
+//! allocation at all, and [`run_pipeline_pooled`] lets callers carry the same
+//! [`PipelineBuffers`] across *passes* (union-find pass, label pass, both
+//! directional passes), so a full Algorithm CC run reuses one pair of
+//! buffers end to end.
 
 use crate::costs;
 use crate::report::{PeStats, PipelineReport};
 use crate::trace::{push_span, Span, SpanKind};
+
+/// Reusable queue storage for the pipeline executor: two structure-of-arrays
+/// message queues (availability clocks and payloads in separate contiguous
+/// arrays) that the runner ping-pongs between the inbox and outbox roles.
+///
+/// Create one with [`PipelineBuffers::new`] and pass it to
+/// [`run_pipeline_pooled`] to amortize queue allocations across passes; the
+/// buffers only ever grow to the high-water message count of the passes run
+/// through them.
+#[derive(Debug, Default)]
+pub struct PipelineBuffers<M> {
+    in_avail: Vec<u64>,
+    in_payload: Vec<M>,
+    out_avail: Vec<u64>,
+    out_payload: Vec<M>,
+}
+
+impl<M> PipelineBuffers<M> {
+    /// Creates an empty buffer pool.
+    pub fn new() -> Self {
+        PipelineBuffers {
+            in_avail: Vec::new(),
+            in_payload: Vec::new(),
+            out_avail: Vec::new(),
+            out_payload: Vec::new(),
+        }
+    }
+
+    /// Clears both queues, keeping their capacity.
+    fn reset(&mut self) {
+        self.in_avail.clear();
+        self.in_payload.clear();
+        self.out_avail.clear();
+        self.out_payload.clear();
+    }
+
+    /// Current total capacity (messages) held across both queues.
+    pub fn capacity(&self) -> usize {
+        self.in_payload.capacity() + self.out_payload.capacity()
+    }
+}
 
 /// Configuration for one pipeline pass.
 #[derive(Clone, Copy, Debug)]
@@ -73,31 +125,57 @@ pub struct PeCtx<M> {
     pe: usize,
     clock: u64,
     word_steps: u64,
-    inbox: Vec<(u64, M)>,
+    // Inbox/outbox queues, structure-of-arrays. The PE *owns* them for the
+    // duration of its stage; the runner takes them back afterwards and
+    // recycles the drained inbox as the next PE's outbox, so steady-state
+    // execution allocates nothing.
+    in_avail: Vec<u64>,
+    in_payload: Vec<M>,
     inbox_pos: usize,
     ready_ptr: usize,
     eos_avail: u64,
     eos_consumed: bool,
-    outbox: Vec<(u64, M)>,
+    out_avail: Vec<u64>,
+    out_payload: Vec<M>,
     stats: PeStats,
     spans: Option<Vec<Span>>,
 }
 
 impl<M> PeCtx<M> {
-    fn new(pe: usize, clock: u64, word_steps: u64, inbox: Vec<(u64, M)>, eos_avail: u64) -> Self {
+    fn new(
+        pe: usize,
+        clock: u64,
+        word_steps: u64,
+        bufs: &mut PipelineBuffers<M>,
+        eos_avail: u64,
+    ) -> Self {
         PeCtx {
             pe,
             clock,
             word_steps,
-            inbox,
+            in_avail: std::mem::take(&mut bufs.in_avail),
+            in_payload: std::mem::take(&mut bufs.in_payload),
             inbox_pos: 0,
             ready_ptr: 0,
             eos_avail,
             eos_consumed: false,
-            outbox: Vec::new(),
+            out_avail: std::mem::take(&mut bufs.out_avail),
+            out_payload: std::mem::take(&mut bufs.out_payload),
             stats: PeStats::default(),
             spans: None,
         }
+    }
+
+    /// Hands the queues back to the pool, rotating roles: this PE's outbox
+    /// becomes the next PE's inbox, and the drained inbox (cleared, capacity
+    /// kept) becomes the next outbox.
+    fn recycle_into(&mut self, bufs: &mut PipelineBuffers<M>) {
+        bufs.in_avail = std::mem::take(&mut self.out_avail);
+        bufs.in_payload = std::mem::take(&mut self.out_payload);
+        self.in_avail.clear();
+        self.in_payload.clear();
+        bufs.out_avail = std::mem::take(&mut self.in_avail);
+        bufs.out_payload = std::mem::take(&mut self.in_payload);
     }
 
     /// This PE's index in the array (in flow direction: 0 is the first PE).
@@ -139,7 +217,7 @@ impl<M> PeCtx<M> {
     }
 
     fn update_queue_depth(&mut self) {
-        while self.ready_ptr < self.inbox.len() && self.inbox[self.ready_ptr].0 <= self.clock {
+        while self.ready_ptr < self.in_avail.len() && self.in_avail[self.ready_ptr] <= self.clock {
             self.ready_ptr += 1;
         }
         let depth = (self.ready_ptr.max(self.inbox_pos) - self.inbox_pos) as u64;
@@ -169,8 +247,9 @@ impl<M> PeCtx<M> {
         M: Copy,
     {
         debug_assert!(!self.eos_consumed, "receive after EOS");
-        if self.inbox_pos < self.inbox.len() {
-            let (avail, m) = self.inbox[self.inbox_pos];
+        if self.inbox_pos < self.in_avail.len() {
+            let avail = self.in_avail[self.inbox_pos];
+            let m = self.in_payload[self.inbox_pos];
             self.inbox_pos += 1;
             self.wait_until(avail, idle_hook);
             self.charge(costs::DEQUEUE);
@@ -193,7 +272,8 @@ impl<M> PeCtx<M> {
         }
         self.clock += units;
         self.stats.busy += units;
-        self.outbox.push((self.clock + costs::LINK_LATENCY, m));
+        self.out_avail.push(self.clock + costs::LINK_LATENCY);
+        self.out_payload.push(m);
         self.stats.sent += 1;
     }
 
@@ -223,7 +303,21 @@ pub fn run_pipeline_with<M: Copy, R>(
     cfg: PipelineConfig,
     stage: impl FnMut(usize, &mut PeCtx<M>) -> R,
 ) -> (Vec<R>, PipelineReport) {
-    let (outputs, report, _) = run_pipeline_impl(cfg, stage, false);
+    let mut bufs = PipelineBuffers::new();
+    let (outputs, report, _) = run_pipeline_impl(cfg, &mut bufs, stage, false);
+    (outputs, report)
+}
+
+/// [`run_pipeline_with`] drawing queue storage from a caller-owned
+/// [`PipelineBuffers`] pool, so consecutive passes (and both directional
+/// passes of Algorithm CC) reuse the same flat arrays instead of
+/// re-allocating per pass.
+pub fn run_pipeline_pooled<M: Copy, R>(
+    cfg: PipelineConfig,
+    bufs: &mut PipelineBuffers<M>,
+    stage: impl FnMut(usize, &mut PeCtx<M>) -> R,
+) -> (Vec<R>, PipelineReport) {
+    let (outputs, report, _) = run_pipeline_impl(cfg, bufs, stage, false);
     (outputs, report)
 }
 
@@ -234,26 +328,28 @@ pub fn run_pipeline_traced<M: Copy, R>(
     cfg: PipelineConfig,
     stage: impl FnMut(usize, &mut PeCtx<M>) -> R,
 ) -> (Vec<R>, PipelineReport, Vec<Vec<Span>>) {
-    run_pipeline_impl(cfg, stage, true)
+    let mut bufs = PipelineBuffers::new();
+    run_pipeline_impl(cfg, &mut bufs, stage, true)
 }
 
 fn run_pipeline_impl<M: Copy, R>(
     cfg: PipelineConfig,
+    bufs: &mut PipelineBuffers<M>,
     mut stage: impl FnMut(usize, &mut PeCtx<M>) -> R,
     record: bool,
 ) -> (Vec<R>, PipelineReport, Vec<Vec<Span>>) {
     assert!(cfg.n_pes > 0, "pipeline needs at least one PE");
+    bufs.reset();
     let mut outputs = Vec::with_capacity(cfg.n_pes);
     let mut per_pe = Vec::with_capacity(cfg.n_pes);
     let mut traces = Vec::with_capacity(if record { cfg.n_pes } else { 0 });
-    let mut inbox: Vec<(u64, M)> = Vec::new();
     // PE 0 sees the EOS immediately (paper Fig. 5 line 8: `if i = 0 then
     // incoming <- eos`).
     let mut eos_avail = cfg.start_clock;
     let mut messages = 0u64;
     let mut makespan = 0u64;
     for pe in 0..cfg.n_pes {
-        let mut ctx = PeCtx::new(pe, cfg.start_clock, cfg.word_steps, inbox, eos_avail);
+        let mut ctx = PeCtx::new(pe, cfg.start_clock, cfg.word_steps, bufs, eos_avail);
         if record {
             ctx.spans = Some(Vec::new());
         }
@@ -269,7 +365,7 @@ fn run_pipeline_impl<M: Copy, R>(
         makespan = makespan.max(ctx.clock);
         messages += stats.sent;
         eos_avail = ctx.clock + costs::LINK_LATENCY;
-        inbox = ctx.outbox;
+        ctx.recycle_into(bufs);
         outputs.push(out);
         per_pe.push(stats);
         if let Some(spans) = ctx.spans {
@@ -439,6 +535,32 @@ mod tests {
     #[should_panic(expected = "draining")]
     fn stage_must_drain_queue() {
         run_pipeline(2, |_, _ctx: &mut PeCtx<u64>| {});
+    }
+
+    #[test]
+    fn pooled_run_matches_fresh_run_and_reuses_capacity() {
+        let stage = |pe: usize, ctx: &mut PeCtx<u64>| {
+            let mut seen = Vec::new();
+            while let Some(m) = ctx.recv() {
+                seen.push(m);
+                ctx.send(m);
+            }
+            ctx.send(pe as u64);
+            seen
+        };
+        let (fresh_out, fresh_report) = run_pipeline(6, stage);
+        let mut bufs = PipelineBuffers::new();
+        let cfg = PipelineConfig::word_links(6);
+        let (pooled_out, pooled_report) = run_pipeline_pooled(cfg, &mut bufs, stage);
+        assert_eq!(pooled_out, fresh_out);
+        assert_eq!(pooled_report, fresh_report);
+        // A second pass through the same pool must not need more storage.
+        let cap = bufs.capacity();
+        assert!(cap >= 5, "pool never grew: capacity {cap}");
+        let (again_out, again_report) = run_pipeline_pooled(cfg, &mut bufs, stage);
+        assert_eq!(again_out, fresh_out);
+        assert_eq!(again_report, fresh_report);
+        assert_eq!(bufs.capacity(), cap, "steady-state pass grew the pool");
     }
 
     #[test]

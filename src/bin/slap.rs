@@ -16,7 +16,7 @@ use slap_repro::cc::features::{component_features, euler_number};
 use slap_repro::cc::spacetime::left_pass_trace;
 use slap_repro::cc::{label_components_kind, label_components_runs, CcOptions};
 use slap_repro::hypercube::sv_labels_conn;
-use slap_repro::image::{bfs_labels_conn, gen, pbm, Bitmap, Connectivity};
+use slap_repro::image::{fast_labels_conn, gen, pbm, Bitmap, Connectivity};
 use slap_repro::machine::render_gantt;
 use slap_repro::unionfind::{TarjanUf, UfKind};
 use std::io::Read;
@@ -73,7 +73,7 @@ fn main() {
         }
         "features" => {
             let img = read_image(&rest);
-            let labels = bfs_labels_conn(&img, conn);
+            let labels = fast_labels_conn(&img, conn);
             let run = component_features(&img, &labels, conn);
             let euler = euler_number(&img, conn);
             println!(

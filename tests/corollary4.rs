@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 use slap_repro::cc::aggregate::{component_fold, Fold, MaxFold, MinFold, SumFold};
-use slap_repro::image::{bfs_labels, gen};
+use slap_repro::image::{fast_labels, gen};
 use std::collections::HashMap;
 
 /// Brute-force fold for comparison.
@@ -33,7 +33,7 @@ proptest! {
         seed in 0u64..500,
     ) {
         let img = gen::uniform_random(rows, cols, density, seed);
-        let labels = bfs_labels(&img);
+        let labels = fast_labels(&img);
         // arbitrary initial values derived from coordinates
         let vals = move |r: usize, c: usize| ((r * 31 + c * 17 + 5) % 97) as u64;
 
@@ -65,7 +65,7 @@ proptest! {
         // The paper's headline instance of Corollary 4: with column-major
         // positions as initial labels, each component's fold equals its label.
         let img = gen::uniform_random(rows, cols, density, seed);
-        let labels = bfs_labels(&img);
+        let labels = fast_labels(&img);
         let run = component_fold::<MinFold>(&img, &labels, &move |r, c| (c * rows + r) as u64);
         for &(label, v) in &run.per_component {
             prop_assert_eq!(v, label as u64);
@@ -78,7 +78,7 @@ fn fold_metrics_stay_linear_in_n() {
     let mut ratios = Vec::new();
     for n in [32usize, 64, 128] {
         let img = gen::blobs(n, n, n / 4 + 1, (n / 16).max(2), 3);
-        let labels = bfs_labels(&img);
+        let labels = fast_labels(&img);
         let run = component_fold::<SumFold>(&img, &labels, &|_, _| 1u64);
         ratios.push(run.metrics.total_steps as f64 / n as f64);
     }
@@ -104,7 +104,7 @@ fn custom_associative_op_via_sum_of_squares() {
         }
     }
     let img = gen::blobs(32, 32, 6, 4, 9);
-    let labels = bfs_labels(&img);
+    let labels = fast_labels(&img);
     let vals = |r: usize, c: usize| ((r + c) as u64).pow(2);
     let run = component_fold::<SumSq>(&img, &labels, &vals);
     for (l, v) in brute::<SumSq>(&img, &labels, &vals) {

@@ -9,14 +9,14 @@ use slap_repro::baselines::{
     divide_conquer_labels, naive_slap_labels, scanline_labels, two_pass_labels,
 };
 use slap_repro::cc::{label_components_kind, CcOptions, ForwardPolicy};
-use slap_repro::image::{bfs_labels, gen, Bitmap};
+use slap_repro::image::{fast_labels, gen, Bitmap};
 use slap_repro::unionfind::UfKind;
 
 #[test]
 fn all_labelers_agree_on_all_workloads() {
     for name in gen::WORKLOADS {
         let img = gen::by_name(name, 28, 5).unwrap();
-        let truth = bfs_labels(&img);
+        let truth = fast_labels(&img);
         assert_eq!(two_pass_labels(&img), truth, "two_pass on {name}");
         assert_eq!(scanline_labels(&img), truth, "scanline on {name}");
         assert_eq!(naive_slap_labels(&img).0, truth, "naive on {name}");
@@ -34,7 +34,7 @@ fn cc_is_exact_on_multiple_sizes_and_seeds() {
     for &n in &[8usize, 17, 33, 64] {
         for seed in 0..3u64 {
             let img = gen::uniform_random(n, n, 0.5, seed);
-            let truth = bfs_labels(&img);
+            let truth = fast_labels(&img);
             let run = label_components_kind(&img, UfKind::Tarjan, &CcOptions::default());
             assert_eq!(run.labels, truth, "n={n} seed={seed}");
         }
@@ -45,7 +45,7 @@ fn cc_is_exact_on_multiple_sizes_and_seeds() {
 fn cc_handles_extreme_aspect_ratios() {
     for (rows, cols) in [(1usize, 64usize), (64, 1), (2, 33), (33, 2), (3, 128)] {
         let img = gen::uniform_random(rows, cols, 0.55, 9);
-        let truth = bfs_labels(&img);
+        let truth = fast_labels(&img);
         for &kind in &[UfKind::Tarjan, UfKind::Blum, UfKind::QuickFind] {
             let run = label_components_kind(&img, kind, &CcOptions::default());
             assert_eq!(run.labels, truth, "{rows}x{cols} {kind}");
@@ -57,7 +57,7 @@ fn cc_handles_extreme_aspect_ratios() {
 fn variant_matrix_is_exact_on_adversarial_images() {
     for name in ["comb", "fig3a", "tournament", "fan"] {
         let img = gen::by_name(name, 32, 2).unwrap();
-        let truth = bfs_labels(&img);
+        let truth = fast_labels(&img);
         for eager in [false, true] {
             for idle in [false, true] {
                 for policy in [ForwardPolicy::OnImprovement, ForwardPolicy::Always] {
@@ -91,7 +91,7 @@ proptest! {
         seed in 0u64..1000,
     ) {
         let img = gen::uniform_random(rows, cols, density, seed);
-        let truth = bfs_labels(&img);
+        let truth = fast_labels(&img);
         let run = label_components_kind(&img, UfKind::Tarjan, &CcOptions::default());
         prop_assert_eq!(run.labels, truth);
     }
@@ -104,7 +104,7 @@ proptest! {
         seed in 0u64..1000,
     ) {
         let img = gen::uniform_random(rows, cols, density, seed);
-        let truth = bfs_labels(&img);
+        let truth = fast_labels(&img);
         let run = label_components_kind(&img, UfKind::Blum, &CcOptions::default());
         prop_assert_eq!(run.labels, truth);
     }
@@ -117,7 +117,7 @@ proptest! {
         seed in 0u64..1000,
     ) {
         let img = gen::uniform_random(rows, cols, density, seed);
-        let a = bfs_labels(&img);
+        let a = fast_labels(&img);
         prop_assert_eq!(&two_pass_labels(&img), &a);
         prop_assert_eq!(&scanline_labels(&img), &a);
     }
@@ -136,7 +136,7 @@ fn pathological_single_pixel_patterns() {
         "#\n.\n#\n.\n#",
     ] {
         let img = Bitmap::from_art(art);
-        let truth = bfs_labels(&img);
+        let truth = fast_labels(&img);
         for &kind in UfKind::ALL {
             let run = label_components_kind(&img, kind, &CcOptions::default());
             assert_eq!(run.labels, truth, "{kind} on {art:?}");

@@ -9,7 +9,7 @@ use slap_repro::cc::{
     label_components, label_components_kind, label_components_runs, CcOptions, ForwardPolicy,
 };
 use slap_repro::hypercube::sv_labels_conn;
-use slap_repro::image::{bfs_labels_conn, gen, Bitmap, Connectivity};
+use slap_repro::image::{fast_labels_conn, gen, Bitmap, Connectivity};
 use slap_repro::unionfind::{RemUf, TarjanUf, UfKind, UnionFind};
 
 fn arb_bitmap() -> impl Strategy<Value = Bitmap> {
@@ -27,7 +27,7 @@ proptest! {
     #[test]
     fn cc_matches_oracle_under_both_connectivities(bm in arb_bitmap(), conn in arb_conn()) {
         let opts = CcOptions { connectivity: conn, ..CcOptions::default() };
-        let truth = bfs_labels_conn(&bm, conn);
+        let truth = fast_labels_conn(&bm, conn);
         let run = label_components::<TarjanUf>(&bm, &opts);
         prop_assert_eq!(run.labels, truth);
     }
@@ -52,8 +52,8 @@ proptest! {
 
     #[test]
     fn eight_conn_components_coarsen_four_conn(bm in arb_bitmap()) {
-        let four = bfs_labels_conn(&bm, Connectivity::Four);
-        let eight = bfs_labels_conn(&bm, Connectivity::Eight);
+        let four = fast_labels_conn(&bm, Connectivity::Four);
+        let eight = fast_labels_conn(&bm, Connectivity::Eight);
         prop_assert!(eight.component_count() <= four.component_count());
         // every 4-component maps into exactly one 8-component
         let mut map: std::collections::HashMap<u32, u32> = Default::default();
@@ -68,14 +68,14 @@ proptest! {
     #[test]
     fn hypercube_sv_matches_oracle(bm in arb_bitmap(), conn in arb_conn()) {
         let (labels, report) = sv_labels_conn(&bm, conn);
-        prop_assert_eq!(labels, bfs_labels_conn(&bm, conn));
+        prop_assert_eq!(labels, fast_labels_conn(&bm, conn));
         prop_assert!(report.iterations >= 1);
         prop_assert!(report.pes >= (bm.rows() * bm.cols()) as u64);
     }
 
     #[test]
     fn feature_areas_sum_to_foreground(bm in arb_bitmap(), conn in arb_conn()) {
-        let labels = bfs_labels_conn(&bm, conn);
+        let labels = fast_labels_conn(&bm, conn);
         let run = component_features(&bm, &labels, conn);
         let total: u64 = run.per_component.iter().map(|&(_, f)| f.area).sum();
         prop_assert_eq!(total as usize, bm.count_ones());
@@ -93,7 +93,7 @@ proptest! {
 
     #[test]
     fn feature_perimeter_bounds(bm in arb_bitmap()) {
-        let labels = bfs_labels_conn(&bm, Connectivity::Four);
+        let labels = fast_labels_conn(&bm, Connectivity::Four);
         let run = component_features(&bm, &labels, Connectivity::Four);
         for &(_, f) in &run.per_component {
             // between the solid-rectangle minimum and the all-exposed maximum
@@ -108,13 +108,13 @@ proptest! {
         // background components (under the dual adjacency) not touching the
         // border.
         let e = euler_number(&bm, conn).euler;
-        let comps = bfs_labels_conn(&bm, conn).component_count() as i64;
+        let comps = fast_labels_conn(&bm, conn).component_count() as i64;
         let dual = match conn {
             Connectivity::Four => Connectivity::Eight,
             Connectivity::Eight => Connectivity::Four,
         };
         let inv = bm.invert();
-        let bg = bfs_labels_conn(&inv, dual);
+        let bg = fast_labels_conn(&inv, dual);
         let mut all: std::collections::HashSet<u32> = Default::default();
         let mut border: std::collections::HashSet<u32> = Default::default();
         for (r, c) in inv.iter_ones_colmajor() {
@@ -182,7 +182,7 @@ fn extensions_compose_on_a_nontrivial_image() {
         connectivity: conn,
         ..CcOptions::default()
     };
-    let truth = bfs_labels_conn(&img, conn);
+    let truth = fast_labels_conn(&img, conn);
     let runs = label_components_runs::<TarjanUf>(&img, &opts);
     assert_eq!(runs.labels, truth);
     let (hyper, _) = sv_labels_conn(&img, conn);

@@ -1,0 +1,103 @@
+//! Four-way differential suite for the word-parallel fast engine: the BFS
+//! gold oracle vs. [`fast_labels_conn`] vs. the simulated pixel-universe
+//! Algorithm CC vs. the simulated run-universe variant, on every workload
+//! family plus adversarial shapes, under both connectivities. All four must
+//! be *bit-identical* (same minimum-column-major-position labels), not
+//! merely the same partition.
+
+use slap_repro::cc::{label_components, label_components_runs, CcOptions};
+use slap_repro::image::{
+    bfs_labels_conn, fast_labels_conn, gen, Bitmap, Connectivity, FastLabeler, LabelGrid,
+};
+use slap_repro::unionfind::TarjanUf;
+
+fn opts(conn: Connectivity) -> CcOptions {
+    CcOptions {
+        connectivity: conn,
+        ..CcOptions::default()
+    }
+}
+
+/// Asserts all four labelers agree exactly on `img`.
+fn check_four_way(img: &Bitmap, conn: Connectivity, what: &str) {
+    let truth = bfs_labels_conn(img, conn);
+    let fast = fast_labels_conn(img, conn);
+    assert_eq!(fast, truth, "fast vs oracle: {what} ({conn})");
+    let pixel = label_components::<TarjanUf>(img, &opts(conn));
+    assert_eq!(pixel.labels, truth, "pixel CC vs oracle: {what} ({conn})");
+    let runs = label_components_runs::<TarjanUf>(img, &opts(conn));
+    assert_eq!(runs.labels, truth, "run CC vs oracle: {what} ({conn})");
+}
+
+#[test]
+fn all_workload_families_agree_four_ways() {
+    for conn in [Connectivity::Four, Connectivity::Eight] {
+        for name in gen::WORKLOADS {
+            let img = gen::by_name(name, 28, 9).unwrap();
+            check_four_way(&img, conn, name);
+        }
+    }
+}
+
+#[test]
+fn adversarial_shapes_agree_four_ways() {
+    let shapes: &[(&str, Bitmap)] = &[
+        ("full", gen::full(24, 24)),
+        ("empty", Bitmap::new(24, 24)),
+        ("comb", gen::double_comb(24, 24, 2)),
+        ("tournament", gen::tournament(24, 48, 2)),
+        ("single-pixel-corners", {
+            let mut bm = Bitmap::new(16, 16);
+            bm.set(0, 0, true);
+            bm.set(0, 15, true);
+            bm.set(15, 0, true);
+            bm.set(15, 15, true);
+            bm
+        }),
+        ("single-pixel-border-runs", {
+            // Isolated pixels and short runs hugging every border.
+            let mut bm = Bitmap::new(12, 12);
+            for c in (0..12).step_by(2) {
+                bm.set(0, c, true);
+                bm.set(11, c, true);
+            }
+            for r in (2..10).step_by(2) {
+                bm.set(r, 0, true);
+                bm.set(r, 11, true);
+            }
+            bm
+        }),
+    ];
+    for conn in [Connectivity::Four, Connectivity::Eight] {
+        for (what, img) in shapes {
+            check_four_way(img, conn, what);
+        }
+    }
+}
+
+#[test]
+fn word_boundary_widths_agree_four_ways() {
+    for cols in [63usize, 64, 65] {
+        let img = gen::uniform_random(17, cols, 0.5, cols as u64);
+        for conn in [Connectivity::Four, Connectivity::Eight] {
+            check_four_way(&img, conn, &format!("random {cols}w"));
+        }
+    }
+}
+
+#[test]
+fn reused_fast_labeler_matches_across_a_workload_stream() {
+    // The buffer-reusing hot path must behave exactly like fresh calls over
+    // a stream of differently-shaped images — what the baseline sweep and
+    // the differential suites actually exercise.
+    let mut labeler = FastLabeler::new();
+    let mut grid = LabelGrid::new_background(1, 1);
+    for conn in [Connectivity::Four, Connectivity::Eight] {
+        for (i, name) in gen::WORKLOADS.iter().enumerate() {
+            let n = 12 + 5 * (i % 7);
+            let img = gen::by_name(name, n, i as u64).unwrap();
+            labeler.label_into(&img, conn, &mut grid);
+            assert_eq!(grid, bfs_labels_conn(&img, conn), "{name}/{n} ({conn})");
+        }
+    }
+}
