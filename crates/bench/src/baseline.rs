@@ -16,27 +16,34 @@
 
 use crate::json;
 use slap_cc::{label_components_runs, CcOptions};
-use slap_image::{bfs_labels, fast::FastLabeler, gen, Connectivity, LabelGrid};
+use slap_image::{bfs_labels_conn, fast::FastLabeler, gen, Connectivity, LabelGrid};
 use slap_unionfind::RankHalvingUf;
 use std::fmt::Write as _;
 use std::time::Instant;
 
 /// Schema identifier stamped into (and required from) every baseline file.
-pub const SCHEMA: &str = "slap-bench-baseline/v1";
+/// `v2` added the connectivity column (the ROADMAP's 8-connectivity
+/// follow-up); `v1` files without per-entry `conn` no longer validate.
+pub const SCHEMA: &str = "slap-bench-baseline/v2";
 
 /// Engine identifiers, in sweep order.
 pub const ENGINES: &[&str] = &["oracle-bfs", "fast", "slap-sim-runs"];
 
+/// Connectivities swept (the JSON records them as `4` / `8`).
+pub const CONNS: &[Connectivity] = &[Connectivity::Four, Connectivity::Eight];
+
 /// Seed for the random workload families.
 pub const SEED: u64 = 1;
 
-/// One timed (family, size, engine) point.
+/// One timed (family, size, connectivity, engine) point.
 #[derive(Clone, Debug)]
 pub struct Entry {
     /// Workload family name (a `gen::by_name` key).
     pub family: String,
     /// Image side (the image is `n × n`).
     pub n: usize,
+    /// Adjacency convention: `4` or `8`.
+    pub conn: u32,
     /// Engine id (one of [`ENGINES`]).
     pub engine: String,
     /// Best wall-clock nanoseconds over the repetitions.
@@ -72,8 +79,9 @@ fn sweep_params(quick: bool) -> (&'static [&'static str], &'static [usize]) {
     }
 }
 
-/// Repetitions per point, scaled down for the big images.
-fn reps_for(n: usize, quick: bool) -> usize {
+/// Repetitions per point, scaled down for the big images. Shared with the
+/// parallel sweep so both files time under the same protocol.
+pub(crate) fn reps_for(n: usize, quick: bool) -> usize {
     match (quick, n) {
         (true, _) => 3,
         (false, 2048..) => 3,
@@ -83,8 +91,9 @@ fn reps_for(n: usize, quick: bool) -> usize {
 }
 
 /// Times `f` over `reps` repetitions (after one warm-up), returning
-/// `(best_ns, mean_ns)`.
-fn time_reps(reps: usize, mut f: impl FnMut()) -> (u64, u64) {
+/// `(best_ns, mean_ns)`. Shared with the parallel sweep so both files time
+/// under the same protocol.
+pub(crate) fn time_reps(reps: usize, mut f: impl FnMut()) -> (u64, u64) {
     f(); // warm-up
     let mut best = u64::MAX;
     let mut total = 0u64;
@@ -98,6 +107,14 @@ fn time_reps(reps: usize, mut f: impl FnMut()) -> (u64, u64) {
     (best, total / reps as u64)
 }
 
+/// The JSON id (`4` / `8`) of a connectivity.
+pub fn conn_id(conn: Connectivity) -> u32 {
+    match conn {
+        Connectivity::Four => 4,
+        Connectivity::Eight => 8,
+    }
+}
+
 /// Runs the sweep. `progress` receives one line per timed point.
 pub fn run_baseline(quick: bool, mut progress: impl FnMut(&str)) -> BaselineReport {
     let (families, sides) = sweep_params(quick);
@@ -109,69 +126,76 @@ pub fn run_baseline(quick: bool, mut progress: impl FnMut(&str)) -> BaselineRepo
             let img = gen::by_name(family, n, SEED)
                 .unwrap_or_else(|| panic!("unknown workload family {family:?}"));
             let reps = reps_for(n, quick);
-            // Oracle, and the reference labels for the identity checks.
-            let truth = bfs_labels(&img);
-            let (best, mean) = time_reps(reps, || {
-                std::hint::black_box(bfs_labels(std::hint::black_box(&img)));
-            });
-            progress(&format!(
-                "{family}/{n} oracle-bfs: {:.3} ms",
-                best as f64 / 1e6
-            ));
-            entries.push(Entry {
-                family: family.to_string(),
-                n,
-                engine: "oracle-bfs".to_string(),
-                best_ns: best,
-                mean_ns: mean,
-                reps,
-                bit_identical: None,
-            });
-            // Fast engine (buffer-reusing hot path).
-            let (best, mean) = time_reps(reps, || {
-                fast.label_into(
-                    std::hint::black_box(&img),
-                    Connectivity::Four,
-                    &mut fast_grid,
-                );
-            });
-            let fast_ok = fast_grid == truth;
-            progress(&format!("{family}/{n} fast: {:.3} ms", best as f64 / 1e6));
-            entries.push(Entry {
-                family: family.to_string(),
-                n,
-                engine: "fast".to_string(),
-                best_ns: best,
-                mean_ns: mean,
-                reps,
-                bit_identical: Some(fast_ok),
-            });
-            // Simulated SLAP (run-based Algorithm CC, default options). The
-            // identity check runs on the kept labels *outside* the timed
-            // region, same as the fast engine's.
-            let sim_reps = reps.min(3);
-            let mut sim_labels = None;
-            let (best, mean) = time_reps(sim_reps, || {
-                let run = label_components_runs::<RankHalvingUf>(
-                    std::hint::black_box(&img),
-                    &CcOptions::default(),
-                );
-                sim_labels = Some(run.labels);
-            });
-            let sim_ok = sim_labels.as_ref() == Some(&truth);
-            progress(&format!(
-                "{family}/{n} slap-sim-runs: {:.3} ms",
-                best as f64 / 1e6
-            ));
-            entries.push(Entry {
-                family: family.to_string(),
-                n,
-                engine: "slap-sim-runs".to_string(),
-                best_ns: best,
-                mean_ns: mean,
-                reps: sim_reps,
-                bit_identical: Some(sim_ok),
-            });
+            for &conn in CONNS {
+                let cid = conn_id(conn);
+                // Oracle, and the reference labels for the identity checks.
+                let truth = bfs_labels_conn(&img, conn);
+                let (best, mean) = time_reps(reps, || {
+                    std::hint::black_box(bfs_labels_conn(std::hint::black_box(&img), conn));
+                });
+                progress(&format!(
+                    "{family}/{n}/{cid}-conn oracle-bfs: {:.3} ms",
+                    best as f64 / 1e6
+                ));
+                entries.push(Entry {
+                    family: family.to_string(),
+                    n,
+                    conn: cid,
+                    engine: "oracle-bfs".to_string(),
+                    best_ns: best,
+                    mean_ns: mean,
+                    reps,
+                    bit_identical: None,
+                });
+                // Fast engine (buffer-reusing hot path).
+                let (best, mean) = time_reps(reps, || {
+                    fast.label_into(std::hint::black_box(&img), conn, &mut fast_grid);
+                });
+                let fast_ok = fast_grid == truth;
+                progress(&format!(
+                    "{family}/{n}/{cid}-conn fast: {:.3} ms",
+                    best as f64 / 1e6
+                ));
+                entries.push(Entry {
+                    family: family.to_string(),
+                    n,
+                    conn: cid,
+                    engine: "fast".to_string(),
+                    best_ns: best,
+                    mean_ns: mean,
+                    reps,
+                    bit_identical: Some(fast_ok),
+                });
+                // Simulated SLAP (run-based Algorithm CC). The identity
+                // check runs on the kept labels *outside* the timed region,
+                // same as the fast engine's.
+                let sim_reps = reps.min(3);
+                let opts = CcOptions {
+                    connectivity: conn,
+                    ..CcOptions::default()
+                };
+                let mut sim_labels = None;
+                let (best, mean) = time_reps(sim_reps, || {
+                    let run =
+                        label_components_runs::<RankHalvingUf>(std::hint::black_box(&img), &opts);
+                    sim_labels = Some(run.labels);
+                });
+                let sim_ok = sim_labels.as_ref() == Some(&truth);
+                progress(&format!(
+                    "{family}/{n}/{cid}-conn slap-sim-runs: {:.3} ms",
+                    best as f64 / 1e6
+                ));
+                entries.push(Entry {
+                    family: family.to_string(),
+                    n,
+                    conn: cid,
+                    engine: "slap-sim-runs".to_string(),
+                    best_ns: best,
+                    mean_ns: mean,
+                    reps: sim_reps,
+                    bit_identical: Some(sim_ok),
+                });
+            }
         }
     }
     BaselineReport {
@@ -183,12 +207,13 @@ pub fn run_baseline(quick: bool, mut progress: impl FnMut(&str)) -> BaselineRepo
 }
 
 impl BaselineReport {
-    /// The speedup of `num` over `den` on one (family, n), by best time.
-    fn speedup(&self, family: &str, n: usize, num: &str, den: &str) -> Option<f64> {
+    /// The speedup of `num` over `den` on one (family, n, conn), by best
+    /// time.
+    fn speedup(&self, family: &str, n: usize, conn: u32, num: &str, den: &str) -> Option<f64> {
         let find = |engine: &str| {
             self.entries
                 .iter()
-                .find(|e| e.family == family && e.n == n && e.engine == engine)
+                .find(|e| e.family == family && e.n == n && e.conn == conn && e.engine == engine)
         };
         let (a, b) = (find(num)?, find(den)?);
         Some(a.best_ns as f64 / b.best_ns.max(1) as f64)
@@ -206,13 +231,16 @@ impl BaselineReport {
         let _ = writeln!(s, "  \"families\": [{}],", fams.join(", "));
         let sides: Vec<String> = self.sides.iter().map(|n| n.to_string()).collect();
         let _ = writeln!(s, "  \"sides\": [{}],", sides.join(", "));
+        let conns: Vec<String> = CONNS.iter().map(|&c| conn_id(c).to_string()).collect();
+        let _ = writeln!(s, "  \"conns\": [{}],", conns.join(", "));
         s.push_str("  \"entries\": [\n");
         for (i, e) in self.entries.iter().enumerate() {
             let _ = write!(
                 s,
-                "    {{\"family\": {}, \"n\": {}, \"engine\": {}, \"best_ns\": {}, \"mean_ns\": {}, \"reps\": {}",
+                "    {{\"family\": {}, \"n\": {}, \"conn\": {}, \"engine\": {}, \"best_ns\": {}, \"mean_ns\": {}, \"reps\": {}",
                 json::quote(&e.family),
                 e.n,
+                e.conn,
                 json::quote(&e.engine),
                 e.best_ns,
                 e.mean_ns,
@@ -228,21 +256,25 @@ impl BaselineReport {
             s.push('\n');
         }
         s.push_str("  ],\n");
-        // Derived headline ratios, one per (family, n).
+        // Derived headline ratios, one per (family, n, conn).
         s.push_str("  \"speedups\": [\n");
         let mut lines = Vec::new();
         for family in &self.families {
             for &n in &self.sides {
-                let fo = self.speedup(family, n, "oracle-bfs", "fast");
-                let so = self.speedup(family, n, "slap-sim-runs", "fast");
-                if let (Some(fo), Some(so)) = (fo, so) {
-                    lines.push(format!(
-                        "    {{\"family\": {}, \"n\": {}, \"fast_over_oracle\": {:.3}, \"sim_over_fast\": {:.3}}}",
-                        json::quote(family),
-                        n,
-                        fo,
-                        so
-                    ));
+                for &conn in CONNS {
+                    let cid = conn_id(conn);
+                    let fo = self.speedup(family, n, cid, "oracle-bfs", "fast");
+                    let so = self.speedup(family, n, cid, "slap-sim-runs", "fast");
+                    if let (Some(fo), Some(so)) = (fo, so) {
+                        lines.push(format!(
+                            "    {{\"family\": {}, \"n\": {}, \"conn\": {}, \"fast_over_oracle\": {:.3}, \"sim_over_fast\": {:.3}}}",
+                            json::quote(family),
+                            n,
+                            cid,
+                            fo,
+                            so
+                        ));
+                    }
                 }
             }
         }
@@ -282,8 +314,8 @@ pub fn validate(text: &str, require_full: bool) -> Result<(), String> {
     if entries.is_empty() {
         return Err("entries is empty".to_string());
     }
-    // Per-entry shape, plus the (family, n) → engine coverage map.
-    let mut coverage: Vec<(String, u64, [bool; 3])> = Vec::new();
+    // Per-entry shape, plus the (family, n, conn) → engine coverage map.
+    let mut coverage: Vec<(String, u64, u64, [bool; 3])> = Vec::new();
     for (i, e) in entries.iter().enumerate() {
         let ctx = |msg: &str| format!("entry {i}: {msg}");
         let eo = e.as_object().ok_or_else(|| ctx("not an object"))?;
@@ -301,6 +333,10 @@ pub fn validate(text: &str, require_full: bool) -> Result<(), String> {
             .as_u64()
             .filter(|&n| n > 0)
             .ok_or_else(|| ctx("n is not a positive integer"))?;
+        let conn = field("conn")?
+            .as_u64()
+            .filter(|&c| c == 4 || c == 8)
+            .ok_or_else(|| ctx("conn is not 4 or 8"))?;
         let engine = field("engine")?
             .as_str()
             .ok_or_else(|| ctx("engine is not a string"))?;
@@ -334,33 +370,37 @@ pub fn validate(text: &str, require_full: bool) -> Result<(), String> {
         }
         match coverage
             .iter_mut()
-            .find(|(f, m, _)| *f == family && *m == n)
+            .find(|(f, m, c, _)| *f == family && *m == n && *c == conn)
         {
-            Some((_, _, seen)) => seen[ei] = true,
+            Some((_, _, _, seen)) => seen[ei] = true,
             None => {
                 let mut seen = [false; 3];
                 seen[ei] = true;
-                coverage.push((family, n, seen));
+                coverage.push((family, n, conn, seen));
             }
         }
     }
-    // Coverage: ≥ 3 families × ≥ 3 sizes with all three engines present.
-    let full_points: Vec<&(String, u64, [bool; 3])> = coverage
-        .iter()
-        .filter(|(_, _, seen)| seen.iter().all(|&s| s))
-        .collect();
-    let mut fams: Vec<&str> = full_points.iter().map(|(f, _, _)| f.as_str()).collect();
-    fams.sort_unstable();
-    fams.dedup();
-    let mut ns: Vec<u64> = full_points.iter().map(|(_, n, _)| *n).collect();
-    ns.sort_unstable();
-    ns.dedup();
-    if fams.len() < 3 || ns.len() < 3 {
-        return Err(format!(
-            "coverage too thin: {} families × {} sizes with all engines (need ≥ 3 × ≥ 3)",
-            fams.len(),
-            ns.len()
-        ));
+    // Coverage: for each connectivity, ≥ 3 families × ≥ 3 sizes with all
+    // three engines present.
+    for want in [4u64, 8] {
+        let full_points: Vec<&(String, u64, u64, [bool; 3])> = coverage
+            .iter()
+            .filter(|(_, _, c, seen)| *c == want && seen.iter().all(|&s| s))
+            .collect();
+        let mut fams: Vec<&str> = full_points.iter().map(|(f, _, _, _)| f.as_str()).collect();
+        fams.sort_unstable();
+        fams.dedup();
+        let mut ns: Vec<u64> = full_points.iter().map(|(_, n, _, _)| *n).collect();
+        ns.sort_unstable();
+        ns.dedup();
+        if fams.len() < 3 || ns.len() < 3 {
+            return Err(format!(
+                "coverage too thin at {want}-connectivity: {} families × {} sizes \
+                 with all engines (need ≥ 3 × ≥ 3)",
+                fams.len(),
+                ns.len()
+            ));
+        }
     }
     if require_full {
         let best_of = |engine: &str| {
@@ -369,6 +409,7 @@ pub fn validate(text: &str, require_full: bool) -> Result<(), String> {
                 let s = |k: &str| eo.iter().find(|(n, _)| n == k).map(|(_, v)| v);
                 (s("family")?.as_str()? == "random50"
                     && s("n")?.as_u64()? == 2048
+                    && s("conn")?.as_u64()? == 4
                     && s("engine")?.as_str()? == engine)
                     .then(|| s("best_ns")?.as_u64())
                     .flatten()
@@ -394,16 +435,19 @@ mod tests {
         let mut entries = Vec::new();
         for family in ["random50", "blobs", "checker"] {
             for n in [64usize, 128, 256, 2048] {
-                for engine in ENGINES {
-                    entries.push(Entry {
-                        family: family.to_string(),
-                        n,
-                        engine: engine.to_string(),
-                        best_ns: if *engine == "oracle-bfs" { 4000 } else { 1000 },
-                        mean_ns: 4500,
-                        reps: 3,
-                        bit_identical: (*engine != "oracle-bfs").then_some(true),
-                    });
+                for conn in [4u32, 8] {
+                    for engine in ENGINES {
+                        entries.push(Entry {
+                            family: family.to_string(),
+                            n,
+                            conn,
+                            engine: engine.to_string(),
+                            best_ns: if *engine == "oracle-bfs" { 4000 } else { 1000 },
+                            mean_ns: 4500,
+                            reps: 3,
+                            bit_identical: (*engine != "oracle-bfs").then_some(true),
+                        });
+                    }
                 }
             }
         }

@@ -3,51 +3,84 @@
 //! ```text
 //! slap-bench baseline                    # full sweep -> BENCH_baseline.json
 //! slap-bench baseline --quick --out F    # small sweep (CI smoke), custom path
-//! slap-bench check FILE                  # schema-validate a baseline file
-//! slap-bench check FILE --require-full   # + full scale and the 3x criterion
+//! slap-bench parallel                    # thread sweep -> BENCH_parallel.json
+//! slap-bench parallel --quick --out F    # small sweep (CI smoke), custom path
+//! slap-bench check FILE                  # schema-validate a recorded file
+//! slap-bench check FILE --require-full   # + full scale and the headline criteria
 //! ```
 //!
 //! The criterion microbenches remain under `cargo bench`; this binary records
-//! the end-to-end trajectory points (oracle vs. fast engine vs. simulated
-//! Algorithm CC) that `BENCH_baseline.json` commits to the repository.
+//! the end-to-end trajectory points — oracle vs. fast engine vs. simulated
+//! Algorithm CC (`baseline`, both connectivities), and sequential vs.
+//! strip-parallel engine across thread counts (`parallel`) — that the
+//! `BENCH_*.json` files commit to the repository. `check` dispatches on the
+//! file's `schema` field.
 
-use slap_bench::baseline;
+use slap_bench::{baseline, json, parallel};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: slap-bench baseline [--quick] [--out PATH]\n       slap-bench check PATH [--require-full]"
+        "usage: slap-bench baseline [--quick] [--out PATH]\n       \
+         slap-bench parallel [--quick] [--out PATH]\n       \
+         slap-bench check PATH [--require-full]"
     );
     std::process::exit(2);
+}
+
+/// Parses the shared `--quick` / `--out` flags of the sweep subcommands.
+fn sweep_flags(args: &[String], default_out: &str) -> (bool, String) {
+    let mut quick = false;
+    let mut out = default_out.to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" | "-q" => quick = true,
+            "--out" | "-o" => match it.next() {
+                Some(path) => out = path.clone(),
+                None => usage(),
+            },
+            _ => usage(),
+        }
+    }
+    (quick, out)
+}
+
+/// Validates `text` (against its own validator), writes it to `out`.
+fn write_validated(
+    text: &str,
+    out: &str,
+    entries: usize,
+    validate: impl Fn(&str) -> Result<(), String>,
+) {
+    validate(text).unwrap_or_else(|e| {
+        eprintln!("generated sweep failed its own validation: {e}");
+        std::process::exit(1);
+    });
+    std::fs::write(out, text).unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("wrote {out} ({entries} entries)");
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("baseline") => {
-            let mut quick = false;
-            let mut out = "BENCH_baseline.json".to_string();
-            let mut it = args[1..].iter();
-            while let Some(a) = it.next() {
-                match a.as_str() {
-                    "--quick" | "-q" => quick = true,
-                    "--out" | "-o" => match it.next() {
-                        Some(path) => out = path.clone(),
-                        None => usage(),
-                    },
-                    _ => usage(),
-                }
-            }
+            let (quick, out) = sweep_flags(&args[1..], "BENCH_baseline.json");
             let report = baseline::run_baseline(quick, |line| eprintln!("  {line}"));
             let text = report.to_json();
-            baseline::validate(&text, !quick).unwrap_or_else(|e| {
-                eprintln!("generated baseline failed its own validation: {e}");
-                std::process::exit(1);
+            write_validated(&text, &out, report.entries.len(), |t| {
+                baseline::validate(t, !quick)
             });
-            std::fs::write(&out, &text).unwrap_or_else(|e| {
-                eprintln!("cannot write {out}: {e}");
-                std::process::exit(1);
+        }
+        Some("parallel") => {
+            let (quick, out) = sweep_flags(&args[1..], "BENCH_parallel.json");
+            let report = parallel::run_parallel(quick, |line| eprintln!("  {line}"));
+            let text = report.to_json();
+            write_validated(&text, &out, report.entries.len(), |t| {
+                parallel::validate(t, !quick)
             });
-            eprintln!("wrote {out} ({} entries)", report.entries.len());
         }
         Some("check") => {
             let mut path: Option<&str> = None;
@@ -64,7 +97,21 @@ fn main() {
                 eprintln!("cannot read {path}: {e}");
                 std::process::exit(1);
             });
-            match baseline::validate(&text, require_full) {
+            // Dispatch on the recorded schema id.
+            let schema = json::parse(&text)
+                .ok()
+                .and_then(|doc| {
+                    doc.as_object()?
+                        .iter()
+                        .find(|(k, _)| k == "schema")
+                        .and_then(|(_, v)| v.as_str().map(str::to_string))
+                })
+                .unwrap_or_default();
+            let result = match schema.as_str() {
+                parallel::SCHEMA => parallel::validate(&text, require_full),
+                _ => baseline::validate(&text, require_full),
+            };
+            match result {
                 Ok(()) => println!("{path}: ok"),
                 Err(e) => {
                     eprintln!("{path}: INVALID: {e}");

@@ -17,6 +17,7 @@
 pub mod baseline;
 pub mod experiments;
 pub mod json;
+pub mod parallel;
 pub mod table;
 
 pub use table::Table;

@@ -26,6 +26,13 @@
 //! [`aggregate`] implements Corollary 4 (component-wise folds of arbitrary
 //! initial labels) and [`bitserial`] the Theorem 5 bit-link machinery.
 //!
+//! The crate also re-exports the *host-side* engines as [`fast`]
+//! ([`fast::fast_labels`] sequential, [`fast::parallel_labels`]
+//! strip-parallel) — the wall-clock counterparts the simulation is measured
+//! against — and generalizes the stitch argument to horizontal band seams
+//! in [`stitch::stitch_bands`], the specification behind the strip-parallel
+//! engine's seam pass.
+//!
 //! # Quick start
 //!
 //! ```

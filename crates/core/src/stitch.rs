@@ -1,5 +1,8 @@
 //! Step 3 of Algorithm CC: the per-PE stitch of the left- and
-//! right-connected labelings.
+//! right-connected labelings — plus [`stitch_bands`], the same union/min
+//! argument generalized from column seams to horizontal band seams (the
+//! reconciliation step of the host-side strip-parallel engine,
+//! `slap_image::fast::parallel`).
 //!
 //! Each PE holds, for every foreground row `j` of its column, a left label
 //! `leftlabel[j]` (minimum column-major position of the pixel's component
@@ -22,6 +25,7 @@
 //! number for `K`, and it is exactly the oracle's label.
 
 use crate::NIL;
+use slap_image::{Connectivity, LabelGrid};
 use slap_unionfind::{RankHalvingUf, UnionFind};
 use std::collections::HashMap;
 
@@ -85,9 +89,184 @@ pub fn stitch_column(left: &[u32], right: &[u32]) -> (Vec<u32>, u64) {
     (out, units)
 }
 
+/// The paper's stitch argument generalized from column seams to a horizontal
+/// band seam: merges two *independently labeled* vertical halves of an image
+/// into the global canonical labeling.
+///
+/// `top` and `bottom` are labelings of the two bands in the paper's
+/// convention — each component labeled with its minimum **band-local**
+/// column-major position (`col * band_rows + row_in_band`), exactly what
+/// [`slap_image::fast_labels_conn`] produces on the band's sub-image. The
+/// stitch is the same construction as [`stitch_column`], rotated 90°:
+/// component labeling on the graph whose nodes are the band-local labels and
+/// whose edges join the label pairs adjacent across the seam under `conn`,
+/// with each merged component taking the least label seen.
+///
+/// Two facts make the output globally canonical (mirroring the module-level
+/// argument for columns): band-local column-major order agrees with global
+/// column-major order *within a band*, so converting a band component's
+/// local minimum to global coordinates yields that component's true global
+/// minimum over its band; and a merged component's global minimum pixel lies
+/// in one of its constituent band components, so the minimum of the
+/// converted candidates is exact.
+///
+/// This is both the specification the strip-parallel engine's seam pass must
+/// meet (the differential suites pit them against each other) and a usable
+/// two-band reference reducer. Unlike [`stitch_column`] it is host-side
+/// machinery, so it meters no work units.
+pub fn stitch_bands(top: &LabelGrid, bottom: &LabelGrid, conn: Connectivity) -> LabelGrid {
+    assert_eq!(
+        top.cols(),
+        bottom.cols(),
+        "bands must share the column count"
+    );
+    let cols = top.cols();
+    let (tr, br) = (top.rows(), bottom.rows());
+    let rows = tr + br;
+    // Band-local label -> global column-major position.
+    let global_top = |l: u32| (l / tr as u32) * rows as u32 + (l % tr as u32);
+    let global_bot = |l: u32| (l / br as u32) * rows as u32 + tr as u32 + (l % br as u32);
+    // Intern the labels that appear on the seam; `true` keys the bottom band.
+    let mut dense: HashMap<(bool, u32), u32> = HashMap::new();
+    let mut values: Vec<u32> = Vec::new(); // dense id -> global position
+    let mut intern = |side: bool, l: u32, values: &mut Vec<u32>| -> u32 {
+        *dense.entry((side, l)).or_insert_with(|| {
+            values.push(if side { global_bot(l) } else { global_top(l) });
+            values.len() as u32 - 1
+        })
+    };
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let reach = match conn {
+        Connectivity::Four => 0isize,
+        Connectivity::Eight => 1isize,
+    };
+    for c in 0..cols as isize {
+        let t = top.get(tr - 1, c as usize);
+        if t == NIL {
+            continue;
+        }
+        for bc in c - reach..=c + reach {
+            if bc < 0 || bc >= cols as isize {
+                continue;
+            }
+            let b = bottom.get(0, bc as usize);
+            if b != NIL {
+                let dt = intern(false, t, &mut values);
+                let db = intern(true, b, &mut values);
+                edges.push((dt, db));
+            }
+        }
+    }
+    let mut uf = RankHalvingUf::with_elements(values.len());
+    for &(a, b) in &edges {
+        uf.union(a as usize, b as usize);
+    }
+    // Least global position per stitched component.
+    let mut min_label = vec![NIL; values.len()];
+    for (id, &value) in values.iter().enumerate() {
+        let r = uf.find(id);
+        if value < min_label[r] {
+            min_label[r] = value;
+        }
+    }
+    // Readout: seam-connected labels resolve through the union-find; every
+    // other component keeps its (converted) band-local minimum.
+    let mut out = LabelGrid::new_background(rows, cols);
+    let emit = |out: &mut LabelGrid,
+                band: &LabelGrid,
+                side: bool,
+                row_off: usize,
+                uf: &mut RankHalvingUf| {
+        for r in 0..band.rows() {
+            for c in 0..cols {
+                let l = band.get(r, c);
+                if l == NIL {
+                    continue;
+                }
+                let resolved = match dense.get(&(side, l)) {
+                    Some(&id) => min_label[uf.find(id as usize)],
+                    None if side => global_bot(l),
+                    None => global_top(l),
+                };
+                out.set(r + row_off, c, resolved);
+            }
+        }
+    };
+    emit(&mut out, top, false, 0, &mut uf);
+    emit(&mut out, bottom, true, tr, &mut uf);
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use slap_image::{fast_labels_conn, gen, Bitmap};
+
+    /// Crops rows `lo..hi` of `img` into a standalone band bitmap.
+    fn band(img: &Bitmap, lo: usize, hi: usize) -> Bitmap {
+        let mut out = Bitmap::new(hi - lo, img.cols());
+        for r in lo..hi {
+            for c in 0..img.cols() {
+                if img.get(r, c) {
+                    out.set(r - lo, c, true);
+                }
+            }
+        }
+        out
+    }
+
+    /// Labeling each half independently then stitching must reproduce the
+    /// whole-image labeling exactly.
+    fn check_split(img: &Bitmap, split: usize, conn: Connectivity) {
+        let top = fast_labels_conn(&band(img, 0, split), conn);
+        let bottom = fast_labels_conn(&band(img, split, img.rows()), conn);
+        let stitched = stitch_bands(&top, &bottom, conn);
+        assert_eq!(
+            stitched,
+            fast_labels_conn(img, conn),
+            "split={split} conn={conn:?}"
+        );
+    }
+
+    #[test]
+    fn band_stitch_matches_whole_image_labeling() {
+        for name in ["random50", "blobs", "checker", "spiral", "comb"] {
+            let img = gen::by_name(name, 24, 5).unwrap();
+            for conn in [Connectivity::Four, Connectivity::Eight] {
+                for split in [1, 7, 12, 23] {
+                    check_split(&img, split, conn);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn band_stitch_bridges_only_under_eight_connectivity() {
+        // Two diagonal pixels facing each other across the seam.
+        let img = Bitmap::from_art("#.\n.#\n");
+        check_split(&img, 1, Connectivity::Four);
+        check_split(&img, 1, Connectivity::Eight);
+        let four = stitch_bands(
+            &fast_labels_conn(&band(&img, 0, 1), Connectivity::Four),
+            &fast_labels_conn(&band(&img, 1, 2), Connectivity::Four),
+            Connectivity::Four,
+        );
+        assert_eq!(four.component_count(), 2);
+        let eight = stitch_bands(
+            &fast_labels_conn(&band(&img, 0, 1), Connectivity::Eight),
+            &fast_labels_conn(&band(&img, 1, 2), Connectivity::Eight),
+            Connectivity::Eight,
+        );
+        assert_eq!(eight.component_count(), 1);
+    }
+
+    #[test]
+    fn band_stitch_collapses_a_u_shape_to_the_global_min() {
+        // A U opening upward: the two arms are separate components in the
+        // top band and merge through the bottom band's base.
+        let img = Bitmap::from_art("#.#\n#.#\n###\n");
+        check_split(&img, 2, Connectivity::Four);
+    }
 
     #[test]
     fn empty_column_is_all_background() {

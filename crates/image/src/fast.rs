@@ -30,6 +30,10 @@ use crate::bitmap::{for_each_run_in_words, Bitmap};
 use crate::connectivity::Connectivity;
 use crate::labels::LabelGrid;
 
+pub mod parallel;
+
+pub use parallel::{parallel_labels, parallel_labels_conn, ParallelLabeler};
+
 /// Labels `img` under 4-connectivity. Convenience wrapper allocating a fresh
 /// grid and labeler; hot loops should hold a [`FastLabeler`] instead.
 pub fn fast_labels(img: &Bitmap) -> LabelGrid {
@@ -117,16 +121,33 @@ impl FastLabeler {
     /// moment the word scan reports it, while its bounds are still in
     /// registers. Returns the total run count.
     fn build_runs(&mut self, img: &Bitmap, conn: Connectivity) -> usize {
-        let rows = img.rows();
-        let rows_u32 = rows as u32;
+        self.build_runs_rows(img, conn, 0, img.rows())
+    }
+
+    /// Row-range variant of the run-building pass, the unit of work one
+    /// strip-parallel worker performs: rows `row_lo..row_hi` of `img` are
+    /// scanned in isolation (no merge against row `row_lo - 1`; the seam is
+    /// stitched later by [`parallel`]). Run bounds, `row_runs`, and
+    /// union–find parents are *local* to the range (indices start at 0), but
+    /// each run's `min_pos` uses the **global** column-major position, so a
+    /// later seam union combines minima that are already in the final label
+    /// space. Returns the range's run count.
+    fn build_runs_rows(
+        &mut self,
+        img: &Bitmap,
+        conn: Connectivity,
+        row_lo: usize,
+        row_hi: usize,
+    ) -> usize {
+        let rows_u32 = img.rows() as u32;
         self.runs.clear();
         self.row_runs.clear();
         self.node.clear();
         // Exact pre-sizing: one popcount pass over the packed words.
-        let total_runs: usize = (0..rows).map(|r| img.count_row_runs(r)).sum();
+        let total_runs: usize = (row_lo..row_hi).map(|r| img.count_row_runs(r)).sum();
         self.runs.reserve(total_runs);
         self.node.reserve(total_runs);
-        self.row_runs.reserve(rows + 1);
+        self.row_runs.reserve(row_hi - row_lo + 1);
         // Under 8-connectivity a run also touches the previous row's runs one
         // column diagonally past each end.
         let reach = match conn {
@@ -134,7 +155,7 @@ impl FastLabeler {
             Connectivity::Eight => 1u64,
         };
         let mut prev_lo = 0usize; // first run of the previous row
-        for r in 0..rows {
+        for r in row_lo..row_hi {
             let prev_hi = self.runs.len();
             self.row_runs.push(prev_hi as u32);
             // 1) Extraction: one packed push per run.
@@ -156,7 +177,7 @@ impl FastLabeler {
             }
             // 3) Merge with the previous row's runs [prev_lo, prev_hi).
             match conn {
-                Connectivity::Four if r > 0 => {
+                Connectivity::Four if r > row_lo => {
                     // Word-parallel adjacency: a maximal run of
                     // `row[r] & row[r-1]` lies inside exactly one run of each
                     // row (the AND is a subset of both), and every 4-adjacent

@@ -1,0 +1,420 @@
+//! Strip-parallel run-based labeling: disjoint horizontal bands labeled
+//! concurrently, seams stitched over the run universe.
+//!
+//! This is the multi-core counterpart of the sequential [`super`] engine and
+//! the host-side analogue of the paper's scan-line decomposition: where the
+//! SLAP gives every image *column* its own PE and reconciles the per-column
+//! views with a stitch (Algorithm CC step 3, `slap_cc::stitch`), this engine
+//! gives every worker thread a band of image *rows* and reconciles the bands
+//! with a seam pass — the strip/merge shape of the parallel two-pass CCL
+//! literature (Gupta et al., arXiv:1606.05973; coarse-to-fine variants,
+//! arXiv:1712.09789). The phases:
+//!
+//! 1. **strip pass (parallel)** — each worker runs the word-parallel
+//!    run-extraction + union–find pass ([`FastLabeler`]'s pass 1) over its
+//!    own rows, with *local* run indices but **global** minimum-position
+//!    payloads;
+//! 2. **relocation (parallel)** — workers copy their run tables and
+//!    union–find nodes into one global arena at precomputed offsets, so a
+//!    strip-local parent pointer becomes a global one by adding the strip's
+//!    base index;
+//! 3. **seam pass (sequential, tiny)** — for each of the `T − 1` seams, runs
+//!    of the two facing rows are unioned under the requested connectivity
+//!    (word-level `AND` adjacency for 4-connectivity, diagonal-reach
+//!    two-pointer join for 8);
+//! 4. **flatten (sequential, `O(runs)`)** — one ascending sweep pulls every
+//!    node's root and component minimum down, exploiting that every parent
+//!    points to a smaller global index (strip links do locally, the offset
+//!    preserves order, and seam links always aim at the strip above);
+//! 5. **output (parallel)** — workers fill disjoint row bands of the
+//!    [`LabelGrid`] ([`LabelGrid::strip_rows_mut`]) with run-at-a-time label
+//!    fills.
+//!
+//! The result is **bit-identical** to [`super::fast_labels_conn`] and to the
+//! BFS oracle for every image, connectivity, and thread count: labels are
+//! component minima, which no decomposition can change.
+
+use super::{find_in, link_roots, FastLabeler};
+use crate::bitmap::{for_each_run_in_words, Bitmap};
+use crate::connectivity::Connectivity;
+use crate::labels::LabelGrid;
+
+/// Labels `img` under 4-connectivity on `threads` worker threads.
+/// Convenience wrapper allocating a fresh grid and labeler; hot loops should
+/// hold a [`ParallelLabeler`] instead.
+pub fn parallel_labels(img: &Bitmap, threads: usize) -> LabelGrid {
+    parallel_labels_conn(img, Connectivity::Four, threads)
+}
+
+/// Labels `img` under an arbitrary adjacency convention on `threads` worker
+/// threads. Output is bit-identical to [`super::fast_labels_conn`] and
+/// [`crate::oracle::bfs_labels_conn`] for every thread count.
+pub fn parallel_labels_conn(img: &Bitmap, conn: Connectivity, threads: usize) -> LabelGrid {
+    let mut out = LabelGrid::new_background(img.rows(), img.cols());
+    ParallelLabeler::new(threads).label_into(img, conn, &mut out);
+    out
+}
+
+/// Reusable strip-parallel labeler (see the module docs for the phases).
+///
+/// Every scratch structure — one [`FastLabeler`] per strip, the global run
+/// and union–find arenas — is kept between calls, so labeling a stream of
+/// images allocates only when an image exceeds all previous highs.
+#[derive(Debug)]
+pub struct ParallelLabeler {
+    /// Worker count requested at construction (≥ 1). The effective strip
+    /// count of a call is `threads.min(rows)`.
+    threads: usize,
+    /// Per-strip scratch labelers; `strips[t]` is owned by worker `t` during
+    /// the parallel phases.
+    strips: Vec<FastLabeler>,
+    /// Global run bounds, strips concatenated (same packing as
+    /// [`FastLabeler`]: `start << 32 | end`, inclusive columns).
+    runs: Vec<u64>,
+    /// Global union–find arena, packed `min_pos << 32 | parent` with
+    /// *global* parent indices.
+    node: Vec<u64>,
+    /// Global index of the first run of each image row, plus one trailing
+    /// sentinel.
+    row_runs: Vec<u32>,
+    /// Scratch words for 4-connectivity seam adjacency: `row[s] & row[s-1]`.
+    seam_and: Vec<u64>,
+}
+
+impl ParallelLabeler {
+    /// Creates a labeler that will use `threads` workers (clamped to ≥ 1).
+    pub fn new(threads: usize) -> Self {
+        ParallelLabeler {
+            threads: threads.max(1),
+            strips: Vec::new(),
+            runs: Vec::new(),
+            node: Vec::new(),
+            row_runs: Vec::new(),
+            seam_and: Vec::new(),
+        }
+    }
+
+    /// The worker count requested at construction.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Labels `img` into `out` (re-dimensioned; every cell is written exactly
+    /// once). With one thread — or an image of fewer rows than threads — this
+    /// delegates to the sequential [`FastLabeler`] hot path.
+    pub fn label_into(&mut self, img: &Bitmap, conn: Connectivity, out: &mut LabelGrid) {
+        let rows = img.rows();
+        let cols = img.cols();
+        let t = self.threads.min(rows);
+        if self.strips.is_empty() {
+            self.strips.push(FastLabeler::new());
+        }
+        if t <= 1 {
+            self.strips[0].label_into(img, conn, out);
+            return;
+        }
+        while self.strips.len() < t {
+            self.strips.push(FastLabeler::new());
+        }
+        // Even row split; t <= rows guarantees every strip is non-empty.
+        let bounds: Vec<usize> = (0..=t).map(|i| i * rows / t).collect();
+
+        // Phase 1: per-strip run extraction + intra-strip unions, parallel.
+        std::thread::scope(|s| {
+            for (i, lab) in self.strips[..t].iter_mut().enumerate() {
+                let (lo, hi) = (bounds[i], bounds[i + 1]);
+                s.spawn(move || {
+                    lab.build_runs_rows(img, conn, lo, hi);
+                });
+            }
+        });
+
+        // Strip base offsets in the global run index space.
+        let mut base = Vec::with_capacity(t + 1);
+        base.push(0usize);
+        for lab in &self.strips[..t] {
+            base.push(base.last().unwrap() + lab.runs.len());
+        }
+        let total = base[t];
+
+        // Global row → run-range table (local tables shifted by the base).
+        self.row_runs.clear();
+        self.row_runs.reserve(rows + 1);
+        for (i, lab) in self.strips[..t].iter().enumerate() {
+            let b = base[i] as u32;
+            // Drop each local sentinel; the next strip's first entry (or the
+            // final global sentinel) takes its place.
+            for &rr in &lab.row_runs[..lab.row_runs.len() - 1] {
+                self.row_runs.push(b + rr);
+            }
+        }
+        self.row_runs.push(total as u32);
+
+        // Phase 2: relocate strips into the global arenas, parallel. Adding
+        // the base to a packed node only touches the parent half: parents are
+        // global indices < total <= pixels < 2^32 (LabelGrid asserts this).
+        self.runs.clear();
+        self.runs.resize(total, 0);
+        self.node.clear();
+        self.node.resize(total, 0);
+        std::thread::scope(|s| {
+            let mut runs_rest = &mut self.runs[..];
+            let mut node_rest = &mut self.node[..];
+            for (i, lab) in self.strips[..t].iter().enumerate() {
+                let (runs_dst, rr) = runs_rest.split_at_mut(lab.runs.len());
+                let (node_dst, nr) = node_rest.split_at_mut(lab.node.len());
+                (runs_rest, node_rest) = (rr, nr);
+                let b = base[i] as u64;
+                s.spawn(move || {
+                    runs_dst.copy_from_slice(&lab.runs);
+                    for (dst, &n) in node_dst.iter_mut().zip(&lab.node) {
+                        *dst = n + b;
+                    }
+                });
+            }
+        });
+
+        // Phase 3: seam unions. Each seam joins the last row of strip i-1
+        // with the first row of strip i; O(words + seam runs) per seam, so
+        // the sequential pass is negligible next to the strip work.
+        for &seam in &bounds[1..t] {
+            let cur = self.row_runs[seam] as usize..self.row_runs[seam + 1] as usize;
+            let prev = self.row_runs[seam - 1] as usize..self.row_runs[seam] as usize;
+            match conn {
+                Connectivity::Four => {
+                    self.seam_and.clear();
+                    self.seam_and.extend(
+                        img.row_words(seam)
+                            .iter()
+                            .zip(img.row_words(seam - 1))
+                            .map(|(&a, &b)| a & b),
+                    );
+                    seam_union_four(
+                        &mut self.node,
+                        &self.runs,
+                        &self.seam_and,
+                        cols,
+                        cur.start,
+                        prev.start,
+                    );
+                }
+                Connectivity::Eight => {
+                    seam_union_eight(&mut self.node, &self.runs, cur, prev);
+                }
+            }
+        }
+
+        // Phase 4: flatten. Ascending order + parents-point-down means
+        // node[parent] is already flattened when node[k] copies it, leaving
+        // every node as `component_min << 32 | root` (roots self-copy).
+        for k in 0..total {
+            let p = self.node[k] as u32;
+            self.node[k] = self.node[p as usize];
+        }
+
+        // Phase 5: write labels, parallel over disjoint row bands.
+        out.reset_dims(rows, cols);
+        let bands = out.strip_rows_mut(&bounds);
+        std::thread::scope(|s| {
+            for (i, band) in bands.into_iter().enumerate() {
+                let (lo, hi) = (bounds[i], bounds[i + 1]);
+                let (runs, node, row_runs) = (&self.runs, &self.node, &self.row_runs);
+                s.spawn(move || {
+                    for r in lo..hi {
+                        let row = &mut band[(r - lo) * cols..(r - lo + 1) * cols];
+                        row.fill(LabelGrid::BACKGROUND);
+                        for k in row_runs[r] as usize..row_runs[r + 1] as usize {
+                            let label = (node[k] >> 32) as u32;
+                            let sb = runs[k];
+                            let (a, b) = ((sb >> 32) as usize, (sb & 0xffff_ffff) as usize);
+                            row[a] = label;
+                            row[b] = label;
+                            if b - a > 1 {
+                                row[a + 1..b].fill(label);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// 4-connectivity seam union: every maximal run of `and_words`
+/// (`seam_row & row_above`) marks one required union between a run of the
+/// lower seam row (runs start at global index `cur_lo`) and one of the upper
+/// row (starting at `prev_lo`). Unlike the fused in-strip merge, *both*
+/// sides need a find — each row has already been unioned into its strip.
+fn seam_union_four(
+    node: &mut [u64],
+    runs: &[u64],
+    and_words: &[u64],
+    cols: usize,
+    cur_lo: usize,
+    prev_lo: usize,
+) {
+    let mut c = cur_lo; // cursor over the lower row's runs
+    let mut q = prev_lo; // cursor over the upper row's runs
+    let mut root = u32::MAX; // cached surviving root of run `c`'s set
+    for_each_run_in_words(and_words, cols, |s, _| {
+        let s = s as u64;
+        // Advance to the runs containing column `s`; both exist because `s`
+        // is a set bit of both rows.
+        if root == u32::MAX || (runs[c] & 0xffff_ffff) < s {
+            while (runs[c] & 0xffff_ffff) < s {
+                c += 1;
+            }
+            root = find_in(node, c as u32);
+        }
+        while (runs[q] & 0xffff_ffff) < s {
+            q += 1;
+        }
+        let rq = find_in(node, q as u32);
+        root = link_roots(node, root, rq);
+    });
+}
+
+/// 8-connectivity seam union: two-pointer join of the facing rows' run lists
+/// with one column of diagonal reach, finding on both sides (each row was
+/// already unioned into its strip).
+fn seam_union_eight(
+    node: &mut [u64],
+    runs: &[u64],
+    cur: std::ops::Range<usize>,
+    prev: std::ops::Range<usize>,
+) {
+    let mut p = prev.start;
+    for c in cur {
+        let sb = runs[c];
+        let aw = (sb >> 32).saturating_sub(1);
+        let bw = (sb & 0xffff_ffff) + 1;
+        while p < prev.end && (runs[p] & 0xffff_ffff) < aw {
+            p += 1;
+        }
+        let mut q = p;
+        let mut root = find_in(node, c as u32);
+        while q < prev.end && (runs[q] >> 32) <= bw {
+            let rq = find_in(node, q as u32);
+            root = link_roots(node, root, rq);
+            q += 1;
+        }
+        // The last overlapping run may also touch the next run of the lower
+        // row; step back so it is reconsidered.
+        if q > p {
+            p = q - 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fast::fast_labels_conn;
+    use crate::gen;
+    use crate::oracle::bfs_labels_conn;
+
+    const THREADS: &[usize] = &[1, 2, 3, 4, 8];
+
+    #[test]
+    fn matches_fast_engine_on_tiny_shapes() {
+        for art in [
+            "#",
+            ".",
+            "##\n##\n",
+            "#.\n.#\n",
+            "###\n..#\n###\n",
+            "#.#\n###\n#.#\n",
+            "#####\n.....\n#####\n",
+            ".#.\n###\n.#.\n",
+            "#..#\n....\n#..#\n",
+            "#\n#\n#\n#\n#\n#\n#\n#\n",
+        ] {
+            let img = Bitmap::from_art(art);
+            for conn in [Connectivity::Four, Connectivity::Eight] {
+                for &t in THREADS {
+                    assert_eq!(
+                        parallel_labels_conn(&img, conn, t),
+                        fast_labels_conn(&img, conn),
+                        "threads={t} conn={conn:?} art:\n{art}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_fast_engine_on_every_workload_family() {
+        for name in gen::WORKLOADS {
+            let img = gen::by_name(name, 41, 13).unwrap();
+            for conn in [Connectivity::Four, Connectivity::Eight] {
+                let reference = fast_labels_conn(&img, conn);
+                for &t in THREADS {
+                    assert_eq!(
+                        parallel_labels_conn(&img, conn, t),
+                        reference,
+                        "workload {name} threads={t} conn={conn:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_oracle_on_word_boundary_widths() {
+        for cols in [63usize, 64, 65, 127, 128, 130] {
+            let img = gen::uniform_random(37, cols, 0.5, cols as u64);
+            for &t in THREADS {
+                assert_eq!(
+                    parallel_labels(&img, t),
+                    bfs_labels_conn(&img, Connectivity::Four),
+                    "cols={cols} threads={t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn seam_components_spanning_every_strip_collapse_to_one_label() {
+        // A full column through many strips: every seam must union it.
+        let img = gen::uniform_random(64, 9, 0.0, 0); // start empty
+        let mut bm = img.clone();
+        for r in 0..64 {
+            bm.set(r, 4, true);
+        }
+        for &t in THREADS {
+            let l = parallel_labels(&bm, t);
+            assert_eq!(l.component_count(), 1, "threads={t}");
+        }
+    }
+
+    #[test]
+    fn more_threads_than_rows_degrades_gracefully() {
+        let img = gen::uniform_random(3, 50, 0.5, 7);
+        for conn in [Connectivity::Four, Connectivity::Eight] {
+            assert_eq!(
+                parallel_labels_conn(&img, conn, 64),
+                fast_labels_conn(&img, conn)
+            );
+        }
+    }
+
+    #[test]
+    fn reused_parallel_labeler_leaves_no_stale_state() {
+        let mut labeler = ParallelLabeler::new(4);
+        let mut grid = LabelGrid::new_background(1, 1);
+        let big = gen::uniform_random(80, 80, 0.6, 1);
+        labeler.label_into(&big, Connectivity::Four, &mut grid);
+        assert_eq!(grid, fast_labels_conn(&big, Connectivity::Four));
+        let small = Bitmap::from_art("#.#\n###\n");
+        labeler.label_into(&small, Connectivity::Four, &mut grid);
+        assert_eq!(grid, fast_labels_conn(&small, Connectivity::Four));
+        labeler.label_into(&big, Connectivity::Eight, &mut grid);
+        assert_eq!(grid, fast_labels_conn(&big, Connectivity::Eight));
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let labeler = ParallelLabeler::new(0);
+        assert_eq!(labeler.threads(), 1);
+    }
+}

@@ -87,6 +87,33 @@ impl LabelGrid {
         &mut self.labels[row * self.cols..(row + 1) * self.cols]
     }
 
+    /// Splits the grid into disjoint consecutive row bands for concurrent
+    /// writes (one scoped thread per band in the strip-parallel engine).
+    ///
+    /// `bounds` are the `T + 1` ascending band boundaries, starting at `0`
+    /// and ending at `rows()`; band `t` receives the row-major cells of rows
+    /// `bounds[t]..bounds[t + 1]` as one mutable slice. Panics when the
+    /// boundaries are not ascending or do not cover the grid exactly.
+    pub fn strip_rows_mut(&mut self, bounds: &[usize]) -> Vec<&mut [u32]> {
+        assert!(
+            bounds.first() == Some(&0) && bounds.last() == Some(&self.rows),
+            "band boundaries must start at 0 and end at rows()"
+        );
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "band boundaries must be strictly ascending"
+        );
+        let cols = self.cols;
+        let mut rest = &mut self.labels[..];
+        let mut bands = Vec::with_capacity(bounds.len() - 1);
+        for w in bounds.windows(2) {
+            let (band, tail) = rest.split_at_mut((w[1] - w[0]) * cols);
+            bands.push(band);
+            rest = tail;
+        }
+        bands
+    }
+
     /// Re-dimensions the grid to `rows × cols` and marks every pixel
     /// background, reusing the existing allocation when it is large enough.
     /// The batch-fill equivalent of constructing with

@@ -17,7 +17,10 @@
 //!   ground truth the fast engine is differentially tested against.
 //! * [`fast`] — the word-parallel run-based labeling engine, bit-identical
 //!   to the oracle and several times faster; the default reference the
-//!   differential suites and benchmarks compare against.
+//!   differential suites and benchmarks compare against. Its
+//!   [`fast::parallel`] submodule labels disjoint horizontal strips on
+//!   scoped worker threads and stitches the seams over the run universe —
+//!   the first engine here that scales with cores.
 //! * [`gen`] — deterministic workload generators covering the benign, typical
 //!   and adversarial image families the paper reasons about (including the
 //!   Figure 3(a)/(b) patterns and the Theorem 5 even-rows family).
@@ -37,6 +40,9 @@ pub mod pbm;
 
 pub use bitmap::{Bitmap, Columns};
 pub use connectivity::Connectivity;
-pub use fast::{fast_component_count, fast_labels, fast_labels_conn, FastLabeler};
+pub use fast::{
+    fast_component_count, fast_labels, fast_labels_conn, parallel_labels, parallel_labels_conn,
+    FastLabeler, ParallelLabeler,
+};
 pub use labels::{ComponentInfo, LabelGrid};
 pub use oracle::{bfs_labels, bfs_labels_conn, BfsOracle};

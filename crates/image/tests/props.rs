@@ -5,8 +5,8 @@
 
 use proptest::prelude::*;
 use slap_image::{
-    bfs_labels, bfs_labels_conn, fast_labels_conn, gen, pbm, Bitmap, Connectivity, FastLabeler,
-    LabelGrid,
+    bfs_labels, bfs_labels_conn, fast_labels_conn, gen, parallel_labels_conn, pbm, Bitmap,
+    Connectivity, FastLabeler, LabelGrid, ParallelLabeler,
 };
 
 fn arb_bitmap() -> impl Strategy<Value = Bitmap> {
@@ -110,6 +110,48 @@ proptest! {
             labeler.count_components(&a, conn),
             grid.component_count()
         );
+    }
+
+    #[test]
+    fn parallel_engine_is_bit_identical_at_any_thread_count(
+        bm in arb_bitmap(),
+        conn in arb_conn(),
+        threads in 1usize..9,
+    ) {
+        prop_assert_eq!(
+            parallel_labels_conn(&bm, conn, threads),
+            fast_labels_conn(&bm, conn)
+        );
+    }
+
+    #[test]
+    fn parallel_engine_handles_word_boundary_widths(
+        bm in arb_wide_bitmap(),
+        conn in arb_conn(),
+        threads in 2usize..7,
+    ) {
+        prop_assert_eq!(
+            parallel_labels_conn(&bm, conn, threads),
+            bfs_labels_conn(&bm, conn)
+        );
+    }
+
+    #[test]
+    fn reused_parallel_labeler_matches_fresh_calls(
+        a in arb_bitmap(),
+        b in arb_wide_bitmap(),
+        conn in arb_conn(),
+        threads in 2usize..7,
+    ) {
+        // Strip scratch left by one image must never leak into the next.
+        let mut labeler = ParallelLabeler::new(threads);
+        let mut grid = LabelGrid::new_background(1, 1);
+        labeler.label_into(&a, conn, &mut grid);
+        prop_assert_eq!(&grid, &bfs_labels_conn(&a, conn));
+        labeler.label_into(&b, conn, &mut grid);
+        prop_assert_eq!(&grid, &bfs_labels_conn(&b, conn));
+        labeler.label_into(&a, conn, &mut grid);
+        prop_assert_eq!(&grid, &bfs_labels_conn(&a, conn));
     }
 
     #[test]

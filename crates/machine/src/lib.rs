@@ -26,6 +26,12 @@
 //!
 //! [`costs`] centralizes the unit-cost constants so the two executors and
 //! all algorithm crates charge identical prices.
+//!
+//! Entry points: [`pipeline::run_pipeline_pooled`] (virtual-time, the hot
+//! path `slap_cc` drives), [`lockstep::run_lockstep`] /
+//! [`lockstep::run_lockstep_threaded`] (cycle-accurate), and
+//! [`trace`]/[`report`] for rendering what a run did (`slap trace` uses
+//! [`render_gantt`]).
 
 #![warn(missing_docs)]
 

@@ -14,7 +14,7 @@
 //! * [`run_lockstep`] — sequential, the reference;
 //! * [`run_lockstep_threaded`] — contiguous PE blocks per worker, one
 //!   [`SpinBarrier`](crate::barrier::SpinBarrier#) wait per round, parity
-//!   double-buffered mailboxes (lock-free [`HaloCell`]s over raw
+//!   double-buffered mailboxes (lock-free `HaloCell`s over raw
 //!   `std::sync::atomic`). Results are deterministic and identical to the
 //!   sequential runner; only wall-clock time differs. This is the experiment
 //!   E11 subject.

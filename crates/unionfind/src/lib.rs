@@ -24,6 +24,11 @@
 //! write the merged payload at the returned root. Payload arrays should be
 //! sized by [`UnionFind::id_bound`]: Blum trees use auxiliary internal nodes,
 //! so representatives may be numbers ≥ the element count.
+//!
+//! Entry points: the [`UnionFind`] trait (generic algorithms take
+//! `UF: UnionFind`), [`UfKind`] for runtime selection (the CLI's `--uf`
+//! flag), and the concrete implementations — [`TarjanUf`] as the paper's §3
+//! default, [`RankHalvingUf`] as the practical one-pass recommendation.
 
 #![warn(missing_docs)]
 

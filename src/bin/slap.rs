@@ -3,6 +3,7 @@
 //! ```text
 //! slap gen <workload> <n> [seed]            # write a PBM image to stdout
 //! slap label [--uf KIND] [--conn 4|8] [f]   # label a PBM (stdin if omitted)
+//!            [--threads N]                  #   N>=1: host engine, N strips
 //! slap bench [--uf KIND] <workload> <n>     # step-count one workload
 //! slap trace [--pass uf|label] <workload> <n> [seed]
 //!                                           # ASCII space-time diagram
@@ -16,7 +17,7 @@ use slap_repro::cc::features::{component_features, euler_number};
 use slap_repro::cc::spacetime::left_pass_trace;
 use slap_repro::cc::{label_components_kind, label_components_runs, CcOptions};
 use slap_repro::hypercube::sv_labels_conn;
-use slap_repro::image::{fast_labels_conn, gen, pbm, Bitmap, Connectivity};
+use slap_repro::image::{fast_labels_conn, gen, parallel_labels_conn, pbm, Bitmap, Connectivity};
 use slap_repro::machine::render_gantt;
 use slap_repro::unionfind::{TarjanUf, UfKind};
 use std::io::Read;
@@ -38,6 +39,14 @@ fn main() {
         })
         .unwrap_or(Connectivity::Four);
     let pass = take_flag(&mut rest, "--pass").unwrap_or("uf");
+    // `--threads N` selects the host labeling engine (the strip-parallel
+    // fast engine, sequential when N == 1) instead of the SLAP simulation.
+    let threads = take_flag(&mut rest, "--threads").map(|v| {
+        v.parse::<usize>()
+            .ok()
+            .filter(|&t| t >= 1)
+            .unwrap_or_else(|| die(&format!("--threads needs a positive integer, got {v:?}")))
+    });
     let opts = CcOptions {
         connectivity: conn,
         ..CcOptions::default()
@@ -50,7 +59,10 @@ fn main() {
         }
         "label" => {
             let img = read_image(&rest);
-            report(&img, uf, &opts);
+            match threads {
+                Some(t) => host_report(&img, conn, t),
+                None => report(&img, uf, &opts),
+            }
         }
         "bench" => {
             let (name, n, seed) = parse_workload(&rest);
@@ -73,7 +85,10 @@ fn main() {
         }
         "features" => {
             let img = read_image(&rest);
-            let labels = fast_labels_conn(&img, conn);
+            let labels = match threads {
+                Some(t) if t > 1 => parallel_labels_conn(&img, conn, t),
+                _ => fast_labels_conn(&img, conn),
+            };
             let run = component_features(&img, &labels, conn);
             let euler = euler_number(&img, conn);
             println!(
@@ -216,12 +231,53 @@ fn report(img: &Bitmap, uf: UfKind, opts: &CcOptions) {
     );
 }
 
+/// `label --threads N`: labels with the host engine (strip-parallel for
+/// N > 1) and reports the components, timing the labeling instead of
+/// counting SLAP steps.
+fn host_report(img: &Bitmap, conn: Connectivity, threads: usize) {
+    let t0 = std::time::Instant::now();
+    let labels = if threads > 1 {
+        parallel_labels_conn(img, conn, threads)
+    } else {
+        fast_labels_conn(img, conn)
+    };
+    let elapsed = t0.elapsed();
+    let stats = labels.component_stats();
+    println!(
+        "{}x{} image, {:.1}% foreground, {} component(s) under {}",
+        img.rows(),
+        img.cols(),
+        100.0 * img.density(),
+        stats.len(),
+        conn,
+    );
+    if let Some(largest) = stats.iter().max_by_key(|s| s.pixels) {
+        println!(
+            "largest component: label {} with {} px ({}x{} bbox)",
+            largest.label,
+            largest.pixels,
+            largest.height(),
+            largest.width()
+        );
+    }
+    let engine = if threads > 1 {
+        "strip-parallel"
+    } else {
+        "fast"
+    };
+    println!(
+        "host/{engine}: {} thread(s), {:.3} ms",
+        threads,
+        elapsed.as_secs_f64() * 1e3
+    );
+}
+
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  slap gen <workload> <n> [seed]\n  slap label [--uf KIND] [--conn 4|8] [file.pbm]\n  \
+        "usage:\n  slap gen <workload> <n> [seed]\n  slap label [--uf KIND] [--conn 4|8] [--threads N] [file.pbm]\n  \
          slap bench [--uf KIND] [--conn 4|8] <workload> <n> [seed]\n  \
          slap trace [--pass uf|label] <workload> <n> [seed]\n  \
-         slap features [--conn 4|8] [file.pbm]\n  \
+         slap features [--conn 4|8] [--threads N] [file.pbm]\n  \
          slap compare [--uf KIND] [--conn 4|8] <workload> <n> [seed]\n  slap workloads"
     );
     std::process::exit(2);

@@ -1,0 +1,137 @@
+//! Differential suite for the strip-parallel fast engine: for every workload
+//! family, both connectivities, and thread counts 1/2/4/8, the labels must be
+//! **bit-identical** to the sequential fast engine and to the BFS gold
+//! oracle — and the engine's seam pass is cross-checked against
+//! `slap_cc::stitch::stitch_bands`, an independent implementation of the
+//! paper's stitch argument rotated to horizontal seams.
+
+use slap_repro::cc::stitch::stitch_bands;
+use slap_repro::image::{
+    bfs_labels_conn, fast_labels_conn, gen, parallel_labels_conn, Bitmap, Connectivity, LabelGrid,
+    ParallelLabeler,
+};
+
+const THREADS: &[usize] = &[1, 2, 4, 8];
+
+/// Asserts the parallel engine agrees exactly with both references on `img`
+/// at every thread count.
+fn check_parallel(img: &Bitmap, conn: Connectivity, what: &str) {
+    let truth = bfs_labels_conn(img, conn);
+    assert_eq!(
+        fast_labels_conn(img, conn),
+        truth,
+        "fast vs oracle: {what} ({conn})"
+    );
+    for &t in THREADS {
+        assert_eq!(
+            parallel_labels_conn(img, conn, t),
+            truth,
+            "parallel@{t} vs oracle: {what} ({conn})"
+        );
+    }
+}
+
+#[test]
+fn all_workload_families_agree_at_every_thread_count() {
+    for conn in [Connectivity::Four, Connectivity::Eight] {
+        for name in gen::WORKLOADS {
+            let img = gen::by_name(name, 28, 9).unwrap();
+            check_parallel(&img, conn, name);
+        }
+    }
+}
+
+#[test]
+fn adversarial_shapes_agree_at_every_thread_count() {
+    let shapes: &[(&str, Bitmap)] = &[
+        ("full", gen::full(24, 24)),
+        ("empty", Bitmap::new(24, 24)),
+        ("comb", gen::double_comb(24, 24, 2)),
+        ("tournament", gen::tournament(24, 48, 2)),
+        ("vertical-line", {
+            // One column crossing every strip seam.
+            let mut bm = Bitmap::new(32, 8);
+            for r in 0..32 {
+                bm.set(r, 3, true);
+            }
+            bm
+        }),
+        ("seam-hugging-runs", {
+            // Alternating rows: every strip boundary is a dense seam.
+            let mut bm = Bitmap::new(16, 16);
+            for r in 0..16 {
+                for c in (r % 2..16).step_by(2) {
+                    bm.set(r, c, true);
+                }
+            }
+            bm
+        }),
+    ];
+    for conn in [Connectivity::Four, Connectivity::Eight] {
+        for (what, img) in shapes {
+            check_parallel(img, conn, what);
+        }
+    }
+}
+
+#[test]
+fn word_boundary_widths_agree_at_every_thread_count() {
+    for cols in [63usize, 64, 65] {
+        let img = gen::uniform_random(33, cols, 0.5, cols as u64);
+        for conn in [Connectivity::Four, Connectivity::Eight] {
+            check_parallel(&img, conn, &format!("random {cols}w"));
+        }
+    }
+}
+
+/// Crops rows `lo..hi` of `img` into a standalone band bitmap.
+fn band(img: &Bitmap, lo: usize, hi: usize) -> Bitmap {
+    let mut out = Bitmap::new(hi - lo, img.cols());
+    for r in lo..hi {
+        for c in 0..img.cols() {
+            if img.get(r, c) {
+                out.set(r - lo, c, true);
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn seam_logic_agrees_with_the_generalized_band_stitch() {
+    // Independent cross-check of the seam pass: label the two halves of the
+    // image separately, merge them with slap_cc's band stitch (which shares
+    // no code with the run-universe seam unions), and compare against the
+    // parallel engine's two-strip output.
+    for name in ["random50", "blobs", "maze", "spiral", "comb"] {
+        let img = gen::by_name(name, 26, 3).unwrap();
+        let split = img.rows() / 2;
+        for conn in [Connectivity::Four, Connectivity::Eight] {
+            let top = fast_labels_conn(&band(&img, 0, split), conn);
+            let bottom = fast_labels_conn(&band(&img, split, img.rows()), conn);
+            let stitched = stitch_bands(&top, &bottom, conn);
+            assert_eq!(
+                parallel_labels_conn(&img, conn, 2),
+                stitched,
+                "workload {name} ({conn})"
+            );
+        }
+    }
+}
+
+#[test]
+fn reused_parallel_labeler_matches_across_a_workload_stream() {
+    // The scratch-reusing hot path must behave exactly like fresh calls over
+    // a stream of differently-shaped images — what the parallel sweep and
+    // a batched serving layer would exercise.
+    let mut labeler = ParallelLabeler::new(4);
+    let mut grid = LabelGrid::new_background(1, 1);
+    for conn in [Connectivity::Four, Connectivity::Eight] {
+        for (i, name) in gen::WORKLOADS.iter().enumerate() {
+            let n = 12 + 5 * (i % 7);
+            let img = gen::by_name(name, n, i as u64).unwrap();
+            labeler.label_into(&img, conn, &mut grid);
+            assert_eq!(grid, bfs_labels_conn(&img, conn), "{name}/{n} ({conn})");
+        }
+    }
+}

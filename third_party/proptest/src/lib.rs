@@ -201,7 +201,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use std::ops::{Range, RangeInclusive};
 
-    /// Length bounds for [`vec`], convertible from ranges and fixed sizes.
+    /// Length bounds for [`vec()`], convertible from ranges and fixed sizes.
     #[derive(Clone, Copy, Debug)]
     pub struct SizeRange {
         min: usize,
@@ -235,7 +235,7 @@ pub mod collection {
         }
     }
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`].
     #[derive(Clone, Copy, Debug)]
     pub struct VecStrategy<S> {
         element: S,
