@@ -5,23 +5,27 @@
 //! slap-bench baseline --quick --out F    # small sweep (CI smoke), custom path
 //! slap-bench parallel                    # thread sweep -> BENCH_parallel.json
 //! slap-bench parallel --quick --out F    # small sweep (CI smoke), custom path
+//! slap-bench stream                      # streaming sweep -> BENCH_stream.json
+//! slap-bench stream --quick --out F      # small sweep (CI smoke), custom path
 //! slap-bench check FILE                  # schema-validate a recorded file
 //! slap-bench check FILE --require-full   # + full scale and the headline criteria
 //! ```
 //!
 //! The criterion microbenches remain under `cargo bench`; this binary records
 //! the end-to-end trajectory points — oracle vs. fast engine vs. simulated
-//! Algorithm CC (`baseline`, both connectivities), and sequential vs.
-//! strip-parallel engine across thread counts (`parallel`) — that the
-//! `BENCH_*.json` files commit to the repository. `check` dispatches on the
-//! file's `schema` field.
+//! Algorithm CC (`baseline`, both connectivities), sequential vs.
+//! strip-parallel engine across thread counts (`parallel`), and the
+//! bounded-memory streaming engine with its frontier peaks (`stream`) — that
+//! the `BENCH_*.json` files commit to the repository. `check` dispatches on
+//! the file's `schema` field.
 
-use slap_bench::{baseline, json, parallel};
+use slap_bench::{baseline, json, parallel, stream};
 
 fn usage() -> ! {
     eprintln!(
         "usage: slap-bench baseline [--quick] [--out PATH]\n       \
          slap-bench parallel [--quick] [--out PATH]\n       \
+         slap-bench stream [--quick] [--out PATH]\n       \
          slap-bench check PATH [--require-full]"
     );
     std::process::exit(2);
@@ -82,6 +86,14 @@ fn main() {
                 parallel::validate(t, !quick)
             });
         }
+        Some("stream") => {
+            let (quick, out) = sweep_flags(&args[1..], "BENCH_stream.json");
+            let report = stream::run_stream(quick, |line| eprintln!("  {line}"));
+            let text = report.to_json();
+            write_validated(&text, &out, report.entries.len(), |t| {
+                stream::validate(t, !quick)
+            });
+        }
         Some("check") => {
             let mut path: Option<&str> = None;
             let mut require_full = false;
@@ -109,6 +121,7 @@ fn main() {
                 .unwrap_or_default();
             let result = match schema.as_str() {
                 parallel::SCHEMA => parallel::validate(&text, require_full),
+                stream::SCHEMA => stream::validate(&text, require_full),
                 _ => baseline::validate(&text, require_full),
             };
             match result {

@@ -18,7 +18,8 @@
 //! linear-pass structure the architecture favors.
 
 use crate::aggregate::{component_fold_conn, Fold, FoldMetrics};
-use slap_image::{Bitmap, Connectivity, LabelGrid};
+use slap_image::stream::{BitmapRows, RetiredComponent};
+use slap_image::{label_stream, Bitmap, Connectivity, LabelGrid};
 
 /// Per-component geometric features (a commutative monoid under
 /// [`Features::merge`]).
@@ -113,6 +114,45 @@ impl Features {
     pub fn compactness(&self) -> f64 {
         (self.perimeter * self.perimeter) as f64 / (16.0 * self.area as f64)
     }
+}
+
+/// The streaming engine's retirement hook: a component retired by
+/// [`slap_image::stream::StreamLabeler`] carries exactly the [`Features`]
+/// fields (the labeler maintains the same monoid online), so the conversion
+/// is a field-for-field repack — no second pass over the image.
+impl From<RetiredComponent> for Features {
+    fn from(rec: RetiredComponent) -> Features {
+        Features {
+            area: rec.area,
+            min_row: rec.min_row,
+            max_row: rec.max_row,
+            min_col: rec.min_col,
+            max_col: rec.max_col,
+            sum_row: rec.sum_row,
+            sum_col: rec.sum_col,
+            perimeter: rec.perimeter,
+        }
+    }
+}
+
+/// Per-component features via the **streaming** engine: `img` is replayed
+/// one row at a time and every retired record is converted through the
+/// [`From<RetiredComponent>`] hook. Returns `(label, features)` pairs sorted
+/// by the paper label — the same keying as
+/// [`component_features`]`.per_component`, but computed in
+/// `O(cols + live components)` working memory and without a label grid.
+pub fn streamed_features(img: &Bitmap, conn: Connectivity) -> Vec<(u32, Features)> {
+    let run =
+        label_stream(&mut BitmapRows::new(img), conn).expect("in-memory row replay cannot fail");
+    let mut out: Vec<(u32, Features)> = run
+        .components
+        .into_iter()
+        // The u64 → u32 narrowing is exact here: an in-memory Bitmap's
+        // positions fit the same u32 space LabelGrid asserts.
+        .map(|rec| (rec.label(img.rows()) as u32, Features::from(rec)))
+        .collect();
+    out.sort_unstable_by_key(|&(label, _)| label);
+    out
 }
 
 /// [`Fold`] instance plugging [`Features`] into the Corollary 4 machinery.
@@ -397,6 +437,35 @@ mod tests {
             all.insert(labels.get(r, c));
         }
         (all.len() - border.len()) as i64
+    }
+
+    #[test]
+    fn streamed_features_match_the_fold_on_every_family() {
+        for name in gen::WORKLOADS {
+            let img = gen::by_name(name, 24, 11).unwrap();
+            for conn in [Connectivity::Four, Connectivity::Eight] {
+                let labels = fast_labels_conn(&img, conn);
+                let folded = component_features(&img, &labels, conn);
+                assert_eq!(
+                    streamed_features(&img, conn),
+                    folded.per_component,
+                    "workload {name} {conn}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn retired_record_converts_field_for_field() {
+        let img = Bitmap::from_art("##\n#.\n");
+        let run =
+            slap_image::label_stream(&mut slap_image::BitmapRows::new(&img), Connectivity::Four)
+                .unwrap();
+        assert_eq!(run.components.len(), 1);
+        let f = Features::from(run.components[0]);
+        assert_eq!(f.area, 3);
+        assert_eq!((f.min_row, f.max_row, f.min_col, f.max_col), (0, 1, 0, 1));
+        assert_eq!(f.perimeter, 8);
     }
 
     #[test]

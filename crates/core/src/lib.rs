@@ -28,10 +28,12 @@
 //!
 //! The crate also re-exports the *host-side* engines as [`fast`]
 //! ([`fast::fast_labels`] sequential, [`fast::parallel_labels`]
-//! strip-parallel) — the wall-clock counterparts the simulation is measured
-//! against — and generalizes the stitch argument to horizontal band seams
-//! in [`stitch::stitch_bands`], the specification behind the strip-parallel
-//! engine's seam pass.
+//! strip-parallel) and [`stream`] ([`stream::StreamLabeler`], the
+//! one-row-per-beat bounded-memory engine whose retirement records feed the
+//! [`features`] hook) — the wall-clock counterparts the simulation is
+//! measured against — and generalizes the stitch argument to horizontal band
+//! seams in [`stitch::stitch_bands`], the specification behind the
+//! strip-parallel engine's seam pass.
 //!
 //! # Quick start
 //!
@@ -63,6 +65,7 @@ pub use cc::{
 };
 pub use runs::label_components_runs;
 pub use slap_image::fast;
+pub use slap_image::stream;
 pub use slap_image::Connectivity;
 
 /// Sentinel for "no row" / "unset label" in the passes' `u32` arrays (the

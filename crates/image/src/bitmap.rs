@@ -71,6 +71,28 @@ pub fn count_runs_in_words(words: &[u64]) -> usize {
     runs
 }
 
+/// Number of set bits among bit positions `start..=end` of `words` (same
+/// bit-to-position packing as [`for_each_run_in_words`]): a masked popcount
+/// touching only the words the span crosses. The streaming engine uses it to
+/// attribute per-run overlap and exposure counts without per-pixel probes.
+#[inline]
+pub fn count_ones_in_span(words: &[u64], start: u32, end: u32) -> u32 {
+    debug_assert!(start <= end && (end as usize) < words.len() * 64);
+    let (wlo, whi) = ((start / 64) as usize, (end / 64) as usize);
+    let mut total = 0u32;
+    for (wi, &word) in words.iter().enumerate().take(whi + 1).skip(wlo) {
+        let mut w = word;
+        if wi == wlo {
+            w &= !0u64 << (start % 64);
+        }
+        if wi == whi && end % 64 != 63 {
+            w &= (1u64 << ((end % 64) + 1)) - 1;
+        }
+        total += w.count_ones();
+    }
+    total
+}
+
 /// A rectangular binary image stored row-major, 64 pixels per word.
 ///
 /// Rows and columns are numbered from 0, top-to-bottom and left-to-right,
@@ -178,6 +200,27 @@ impl Bitmap {
     #[inline]
     pub fn as_words(&self) -> &[u64] {
         &self.bits
+    }
+
+    /// Overwrites one row from packed words (the bulk inverse of
+    /// [`Bitmap::row_words`], used by the streaming PBM reader).
+    ///
+    /// # Panics
+    /// Panics when `words` is not exactly [`Bitmap::words_per_row`] long or
+    /// sets a padding bit at a position `>= cols` — that would break the
+    /// zero-padding invariant every word-level scan relies on.
+    pub fn set_row_words(&mut self, row: usize, words: &[u64]) {
+        assert_eq!(
+            words.len(),
+            self.words_per_row,
+            "row must be exactly words_per_row packed words"
+        );
+        let tail = self.cols % 64;
+        assert!(
+            tail == 0 || words[self.words_per_row - 1] >> tail == 0,
+            "padding bits past cols must be zero"
+        );
+        self.bits[row * self.words_per_row..(row + 1) * self.words_per_row].copy_from_slice(words);
     }
 
     /// Number of foreground pixels in one row (word-level popcount).
@@ -643,6 +686,38 @@ mod tests {
         assert_eq!(cols2.first_one_in_range(0, 0, 63), None);
         assert_eq!(cols2.first_one_in_range(0, 63, 64), Some(64));
         assert_eq!(cols2.first_one_in_range(0, 0, 127), Some(64));
+    }
+
+    #[test]
+    fn count_ones_in_span_matches_pixel_probes() {
+        let mut bm = Bitmap::new(1, 200);
+        for c in 0..200 {
+            bm.set(0, c, c % 3 != 1);
+        }
+        let words = bm.row_words(0);
+        for (a, b) in [(0, 0), (0, 199), (63, 64), (5, 130), (64, 127), (190, 199)] {
+            let want = (a..=b).filter(|&c| bm.get(0, c as usize)).count() as u32;
+            assert_eq!(count_ones_in_span(words, a, b), want, "span {a}..={b}");
+        }
+    }
+
+    #[test]
+    fn set_row_words_roundtrips_and_guards_padding() {
+        let mut bm = Bitmap::new(2, 70);
+        bm.set(0, 3, true);
+        bm.set(0, 69, true);
+        let words: Vec<u64> = bm.row_words(0).to_vec();
+        let mut other = Bitmap::new(2, 70);
+        other.set_row_words(1, &words);
+        assert_eq!(other.row_words(1), &words[..]);
+        assert_eq!(other.count_ones(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "padding bits")]
+    fn set_row_words_rejects_padding_bits() {
+        let mut bm = Bitmap::new(1, 70);
+        bm.set_row_words(0, &[0, 1u64 << 10]); // bit 74 is past cols = 70
     }
 
     #[test]

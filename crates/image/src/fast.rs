@@ -157,7 +157,8 @@ impl FastLabeler {
         let mut prev_lo = 0usize; // first run of the previous row
         for r in row_lo..row_hi {
             let prev_hi = self.runs.len();
-            self.row_runs.push(prev_hi as u32);
+            self.row_runs
+                .push(u32::try_from(prev_hi).expect("run count exceeds u32"));
             // 1) Extraction: one packed push per run.
             let runs = &mut self.runs;
             img.for_each_row_run(r, |a, b| {
@@ -258,7 +259,8 @@ impl FastLabeler {
             }
             prev_lo = prev_hi;
         }
-        self.row_runs.push(self.runs.len() as u32);
+        self.row_runs
+            .push(u32::try_from(self.runs.len()).expect("run count exceeds u32"));
         self.runs.len()
     }
 

@@ -136,12 +136,22 @@ impl ParallelLabeler {
             base.push(base.last().unwrap() + lab.runs.len());
         }
         let total = base[t];
+        // Phase 2 adds each strip's base to packed `min_pos << 32 | parent`
+        // words; a parent index at or above 2^32 - 1 would carry into (and
+        // silently corrupt) the `min_pos` half, so the invariant is enforced
+        // here — an explicit error path, not a comment. It can only fire if
+        // the LabelGrid pixel-count assertion is ever relaxed: the run count
+        // never exceeds the pixel count.
+        assert!(
+            total < u32::MAX as usize,
+            "{total} runs overflow the packed u32 parent index space"
+        );
 
         // Global row → run-range table (local tables shifted by the base).
         self.row_runs.clear();
         self.row_runs.reserve(rows + 1);
         for (i, lab) in self.strips[..t].iter().enumerate() {
-            let b = base[i] as u32;
+            let b = u32::try_from(base[i]).expect("strip base exceeds u32");
             // Drop each local sentinel; the next strip's first entry (or the
             // final global sentinel) takes its place.
             for &rr in &lab.row_runs[..lab.row_runs.len() - 1] {
@@ -150,9 +160,9 @@ impl ParallelLabeler {
         }
         self.row_runs.push(total as u32);
 
-        // Phase 2: relocate strips into the global arenas, parallel. Adding
-        // the base to a packed node only touches the parent half: parents are
-        // global indices < total <= pixels < 2^32 (LabelGrid asserts this).
+        // Phase 2: relocate strips into the global arenas, parallel. The
+        // guard above makes the packed addition safe: `n + b` only touches
+        // the parent half.
         self.runs.clear();
         self.runs.resize(total, 0);
         self.node.clear();
@@ -416,5 +426,71 @@ mod tests {
     fn zero_threads_clamps_to_one() {
         let labeler = ParallelLabeler::new(0);
         assert_eq!(labeler.threads(), 1);
+    }
+
+    #[test]
+    fn one_by_one_and_single_row_images_do_not_panic() {
+        // Degenerate dimensions through every phase: bounds construction,
+        // seam loops, strip_rows_mut, and the output bands.
+        for art in ["#", ".", "#\n", "##"] {
+            let img = Bitmap::from_art(art);
+            for conn in [Connectivity::Four, Connectivity::Eight] {
+                for &t in &[1usize, 2, 4, 64] {
+                    assert_eq!(
+                        parallel_labels_conn(&img, conn, t),
+                        fast_labels_conn(&img, conn),
+                        "art {art:?} conn={conn:?} threads={t}"
+                    );
+                }
+            }
+        }
+        // Single column, many rows: every seam is one-run-to-one-run.
+        let mut col = Bitmap::new(9, 1);
+        for r in 0..9 {
+            col.set(r, 0, r != 4);
+        }
+        for &t in THREADS {
+            assert_eq!(
+                parallel_labels_conn(&col, Connectivity::Four, t),
+                fast_labels_conn(&col, Connectivity::Four),
+                "threads={t}"
+            );
+        }
+    }
+
+    #[test]
+    fn seam_eight_backstep_shares_one_upper_run_across_adjacent_lower_runs() {
+        // Regression for the `p = q - 1` backstep in `seam_union_eight`: two
+        // adjacent lower-row runs each touch the single upper-row run only
+        // diagonally (through column 2), so after the first lower run
+        // consumes the upper run the cursor must step back for the second.
+        // threads = 2 puts the seam exactly between the two rows.
+        let img = Bitmap::from_art(
+            "..#..\n\
+             ##.##\n",
+        );
+        let l8 = parallel_labels_conn(&img, Connectivity::Eight, 2);
+        assert_eq!(l8, fast_labels_conn(&img, Connectivity::Eight));
+        assert_eq!(l8.component_count(), 1, "diagonals bridge all three runs");
+        let l4 = parallel_labels_conn(&img, Connectivity::Four, 2);
+        assert_eq!(l4, fast_labels_conn(&img, Connectivity::Four));
+        assert_eq!(l4.component_count(), 3, "no bridge under 4-connectivity");
+        // The mirrored orientation exercises the backstep from the other
+        // side, and a longer seam chains repeated backsteps.
+        let chain = Bitmap::from_art(
+            "##.##.##.##\n\
+             ..#..#..#..\n",
+        );
+        for conn in [Connectivity::Four, Connectivity::Eight] {
+            assert_eq!(
+                parallel_labels_conn(&chain, conn, 2),
+                fast_labels_conn(&chain, conn),
+                "chain conn={conn:?}"
+            );
+        }
+        assert_eq!(
+            parallel_labels_conn(&chain, Connectivity::Eight, 2).component_count(),
+            1
+        );
     }
 }

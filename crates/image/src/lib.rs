@@ -21,11 +21,18 @@
 //!   [`fast::parallel`] submodule labels disjoint horizontal strips on
 //!   scoped worker threads and stitches the seams over the run universe —
 //!   the first engine here that scales with cores.
+//! * [`stream`] — the **streaming** engine: rows arrive one at a time
+//!   ([`stream::StreamLabeler::push_row`]), memory stays
+//!   `O(cols + live components)` instead of `O(rows × cols)`, and finished
+//!   components retire with their feature records the moment they
+//!   disconnect — the host-side mirror of the paper's one-scan-line-per-beat
+//!   input discipline.
 //! * [`gen`] — deterministic workload generators covering the benign, typical
 //!   and adversarial image families the paper reasons about (including the
 //!   Figure 3(a)/(b) patterns and the Theorem 5 even-rows family).
 //! * [`pbm`] — plain/raw PBM (P1/P4) input and output so workloads can be
-//!   exchanged with external tools.
+//!   exchanged with external tools; [`pbm::PbmRowReader`] streams rows
+//!   incrementally from any reader for the streaming engine.
 
 #![warn(missing_docs)]
 
@@ -37,6 +44,7 @@ pub mod labels;
 pub mod morph;
 pub mod oracle;
 pub mod pbm;
+pub mod stream;
 
 pub use bitmap::{Bitmap, Columns};
 pub use connectivity::Connectivity;
@@ -46,3 +54,4 @@ pub use fast::{
 };
 pub use labels::{ComponentInfo, LabelGrid};
 pub use oracle::{bfs_labels, bfs_labels_conn, BfsOracle};
+pub use stream::{label_stream, BitmapRows, RetiredComponent, RowSource, StreamLabeler};

@@ -1,9 +1,19 @@
 //! Plain (P1) and raw (P4) PBM image input/output.
 //!
 //! PBM is the natural interchange format for binary images; the examples use
-//! it to dump workloads for inspection with standard tools.
+//! it to dump workloads for inspection with standard tools, and
+//! [`PbmRowReader`] feeds the streaming labeler ([`crate::stream`]) one row
+//! at a time without ever materializing the frame.
+//!
+//! The header is parsed **byte-exactly**: magic, width, and height are
+//! whitespace-separated tokens with `#` comments, and — critically for `P4`
+//! — exactly *one* whitespace byte separates the height from the raw pixel
+//! bytes. (An earlier line-oriented tokenizer consumed whole lines, so raw
+//! pixel bytes sharing the height's line, or containing `#`/newline bytes,
+//! could be swallowed as header text.)
 
 use crate::bitmap::Bitmap;
+use crate::stream::RowSource;
 use std::io::{self, BufRead, Read, Write};
 
 /// Writes `img` as plain-text PBM (`P1`).
@@ -41,90 +51,254 @@ pub fn write_raw<W: Write>(img: &Bitmap, mut w: W) -> io::Result<()> {
     Ok(())
 }
 
-/// Reads a PBM image in either `P1` or `P4` format. `#` comments are honored
-/// in the header and in `P1` pixel data.
-pub fn read<R: Read>(r: R) -> io::Result<Bitmap> {
-    let mut reader = io::BufReader::new(r);
-    let mut header = Vec::new();
-    // Read magic, width, height as whitespace-separated tokens with comments.
-    let mut tokens: Vec<String> = Vec::new();
-    while tokens.len() < 3 {
-        let mut line = String::new();
-        if reader.read_line(&mut line)? == 0 {
-            return Err(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "truncated PBM header",
-            ));
+/// PBM variants understood by the reader.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Magic {
+    /// Plain text: `0`/`1` characters with whitespace and `#` comments.
+    Plain,
+    /// Raw: rows of big-endian bit-packed bytes, rows padded to whole bytes.
+    Raw,
+}
+
+/// PBM whitespace (the netpbm definition).
+fn is_pbm_space(b: u8) -> bool {
+    matches!(b, b' ' | b'\t' | b'\n' | b'\r' | 0x0b | 0x0c)
+}
+
+/// Reads one byte, `None` at end of input.
+fn next_byte<R: Read>(r: &mut R) -> io::Result<Option<u8>> {
+    let mut b = [0u8; 1];
+    loop {
+        match r.read(&mut b) {
+            Ok(0) => return Ok(None),
+            Ok(_) => return Ok(Some(b[0])),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
         }
-        let data = line.split('#').next().unwrap_or("");
-        tokens.extend(data.split_whitespace().map(str::to_string));
-        header.extend_from_slice(line.as_bytes());
     }
-    let magic = tokens[0].clone();
-    let cols: usize = tokens[1]
-        .parse()
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad width: {e}")))?;
-    let rows: usize = tokens[2]
-        .parse()
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad height: {e}")))?;
-    if rows == 0 || cols == 0 {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "zero-sized PBM image",
-        ));
-    }
-    let mut img = Bitmap::new(rows, cols);
-    match magic.as_str() {
-        "P1" => {
-            let mut text = String::new();
-            reader.read_to_string(&mut text)?;
-            let digits = text
-                .lines()
-                .flat_map(|l| l.split('#').next().unwrap_or("").chars())
-                .filter(|ch| !ch.is_whitespace());
-            let mut count = 0usize;
-            for ch in digits {
-                if count >= rows * cols {
-                    break;
-                }
-                let v = match ch {
-                    '0' => false,
-                    '1' => true,
-                    other => {
-                        return Err(io::Error::new(
-                            io::ErrorKind::InvalidData,
-                            format!("unexpected pixel character {other:?}"),
-                        ))
-                    }
-                };
-                img.set(count / cols, count % cols, v);
-                count += 1;
-            }
-            if count != rows * cols {
-                return Err(io::Error::new(
+}
+
+/// Reads one whitespace/comment-delimited header token, byte by byte.
+/// Returns the token and the single byte that terminated it (`None` at end
+/// of input). A `#` starts a comment running to the end of its line; a
+/// comment terminating a token is reported as the newline that closed it, so
+/// for `P4` the raw data always begins at the very next byte.
+fn read_token<R: BufRead>(r: &mut R) -> io::Result<(String, Option<u8>)> {
+    let mut token = String::new();
+    loop {
+        let Some(b) = next_byte(r)? else {
+            return if token.is_empty() {
+                Err(io::Error::new(
                     io::ErrorKind::UnexpectedEof,
-                    format!("expected {} pixels, found {count}", rows * cols),
-                ));
-            }
-        }
-        "P4" => {
-            let bytes_per_row = cols.div_ceil(8);
-            let mut buf = vec![0u8; bytes_per_row];
-            for r in 0..rows {
-                reader.read_exact(&mut buf)?;
-                for c in 0..cols {
-                    if buf[c / 8] & (0x80 >> (c % 8)) != 0 {
-                        img.set(r, c, true);
+                    "truncated PBM header",
+                ))
+            } else {
+                Ok((token, None))
+            };
+        };
+        if b == b'#' {
+            // Swallow the comment through its newline. Mid-token this also
+            // terminates the token (netpbm allows comments anywhere in the
+            // header); the newline is the delimiter byte.
+            loop {
+                match next_byte(r)? {
+                    Some(b'\n') => break,
+                    Some(_) => {}
+                    None => {
+                        return if token.is_empty() {
+                            Err(io::Error::new(
+                                io::ErrorKind::UnexpectedEof,
+                                "truncated PBM header",
+                            ))
+                        } else {
+                            Ok((token, None))
+                        }
                     }
                 }
             }
+            if !token.is_empty() {
+                return Ok((token, Some(b'\n')));
+            }
+        } else if is_pbm_space(b) {
+            if !token.is_empty() {
+                return Ok((token, Some(b)));
+            }
+        } else {
+            token.push(b as char);
         }
+    }
+}
+
+/// Parses the PBM header (`magic width height`) byte-exactly. On return the
+/// reader is positioned at the first pixel byte: for `P4`, exactly one
+/// whitespace byte (or one comment line) after the height.
+fn read_header<R: BufRead>(r: &mut R) -> io::Result<(Magic, usize, usize)> {
+    let (magic_token, _) = read_token(r)?;
+    let magic = match magic_token.as_str() {
+        "P1" => Magic::Plain,
+        "P4" => Magic::Raw,
         other => {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!("unsupported PBM magic {other:?}"),
             ))
         }
+    };
+    let dim = |name: &str, token: String| {
+        token
+            .parse::<usize>()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad {name}: {e}")))
+    };
+    let cols = dim("width", read_token(r)?.0)?;
+    let (height_token, height_term) = read_token(r)?;
+    let rows = dim("height", height_token)?;
+    if rows == 0 || cols == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "zero-sized PBM image",
+        ));
+    }
+    // The byte that ended the height token was the single whitespace the P4
+    // spec puts before the raw data; hitting end of input instead means no
+    // pixel data can follow.
+    if magic == Magic::Raw && height_term.is_none() {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "P4 header not followed by pixel data",
+        ));
+    }
+    Ok((magic, cols, rows))
+}
+
+/// Incremental PBM reader: parses the header eagerly, then yields one packed
+/// row per [`RowSource::next_row`] call — the adapter that feeds
+/// [`crate::stream::StreamLabeler`] from a file or pipe in `O(cols)` memory.
+#[derive(Debug)]
+pub struct PbmRowReader<R: Read> {
+    reader: io::BufReader<R>,
+    magic: Magic,
+    cols: usize,
+    rows: usize,
+    next_row: usize,
+    /// Raw row buffer for `P4` (`ceil(cols / 8)` bytes).
+    raw: Vec<u8>,
+}
+
+impl<R: Read> PbmRowReader<R> {
+    /// Wraps `r`, reading and validating the PBM header immediately.
+    pub fn new(r: R) -> io::Result<Self> {
+        let mut reader = io::BufReader::new(r);
+        let (magic, cols, rows) = read_header(&mut reader)?;
+        Ok(PbmRowReader {
+            reader,
+            magic,
+            cols,
+            rows,
+            next_row: 0,
+            raw: vec![0u8; cols.div_ceil(8)],
+        })
+    }
+
+    /// Image width from the header.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Image height from the header.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Reads the next `P1` row: `cols` digit characters, skipping whitespace
+    /// and `#` comments.
+    fn next_plain_row(&mut self, words: &mut [u64]) -> io::Result<()> {
+        let mut col = 0usize;
+        while col < self.cols {
+            let Some(b) = next_byte(&mut self.reader)? else {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    format!(
+                        "expected {} pixels, found {}",
+                        self.rows * self.cols,
+                        self.next_row * self.cols + col
+                    ),
+                ));
+            };
+            match b {
+                b'0' => col += 1,
+                b'1' => {
+                    words[col / 64] |= 1u64 << (col % 64);
+                    col += 1;
+                }
+                b'#' => {
+                    // Comment through end of line, allowed between pixels.
+                    while !matches!(next_byte(&mut self.reader)?, Some(b'\n') | None) {}
+                }
+                _ if is_pbm_space(b) => {}
+                other => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("unexpected pixel character {:?}", other as char),
+                    ))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads the next `P4` row: `ceil(cols / 8)` raw bytes, most significant
+    /// bit leftmost, repacked into least-significant-bit-first words with
+    /// the padding bits past `cols` cleared.
+    fn next_raw_row(&mut self, words: &mut [u64]) -> io::Result<()> {
+        self.reader.read_exact(&mut self.raw)?;
+        for (i, &byte) in self.raw.iter().enumerate() {
+            words[i / 8] |= u64::from(byte.reverse_bits()) << (8 * (i % 8));
+        }
+        let tail = self.cols % 64;
+        if tail != 0 {
+            let last = words.len() - 1;
+            words[last] &= (1u64 << tail) - 1;
+        }
+        Ok(())
+    }
+}
+
+impl<R: Read> RowSource for PbmRowReader<R> {
+    fn cols(&self) -> usize {
+        self.cols
+    }
+
+    fn rows_hint(&self) -> Option<usize> {
+        Some(self.rows)
+    }
+
+    fn next_row(&mut self, words: &mut Vec<u64>) -> io::Result<bool> {
+        if self.next_row >= self.rows {
+            return Ok(false);
+        }
+        words.clear();
+        words.resize(self.cols.div_ceil(64), 0);
+        match self.magic {
+            Magic::Plain => self.next_plain_row(words)?,
+            Magic::Raw => self.next_raw_row(words)?,
+        }
+        self.next_row += 1;
+        Ok(true)
+    }
+}
+
+/// Reads a PBM image in either `P1` or `P4` format. `#` comments are honored
+/// in the header and in `P1` pixel data. Built on [`PbmRowReader`], so it
+/// shares the byte-exact header handling with the streaming path.
+pub fn read<R: Read>(r: R) -> io::Result<Bitmap> {
+    let mut reader = PbmRowReader::new(r)?;
+    let mut img = Bitmap::new(reader.rows(), reader.cols());
+    let mut words = Vec::new();
+    for row in 0..reader.rows() {
+        if !reader.next_row(&mut words)? {
+            unreachable!("PbmRowReader yields exactly rows() rows");
+        }
+        img.set_row_words(row, &words);
     }
     Ok(img)
 }
@@ -173,5 +347,83 @@ mod tests {
     #[test]
     fn rejects_zero_dimensions() {
         assert!(read("P1\n0 2\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn p4_pixel_bytes_may_contain_newlines_and_hashes() {
+        // 2×2 image, 1 byte per row. Row bytes 0x0a (a newline) and 0x23
+        // (`#`): the line-oriented header tokenizer used to swallow these as
+        // header text; the byte-exact parser must treat them as pixels.
+        let buf: &[u8] = b"P4\n2 2\n\x0a\x23";
+        let img = read(buf).unwrap();
+        // 0x0a = 0b0000_1010: leftmost two bits are 0,0.
+        assert!(!img.get(0, 0) && !img.get(0, 1));
+        // 0x23 = 0b0010_0011: leftmost two bits are 0,0 as well.
+        assert!(!img.get(1, 0) && !img.get(1, 1));
+        // An all-ones row byte right after the single whitespace.
+        let full = read(&b"P4\n2 2\n\xff\xff"[..]).unwrap();
+        assert_eq!(full.count_ones(), 4);
+    }
+
+    #[test]
+    fn p4_single_whitespace_after_height_is_data_boundary() {
+        // The first pixel byte is 0x31 (`'1'`): a tokenizer that keeps
+        // reading header tokens would consume it. 8 columns, one row.
+        let buf: &[u8] = b"P4 8 1 \x31";
+        let img = read(buf).unwrap();
+        assert_eq!(img.cols(), 8);
+        // 0x31 = 0b0011_0001.
+        let want = [false, false, true, true, false, false, false, true];
+        for (c, &w) in want.iter().enumerate() {
+            assert_eq!(img.get(0, c), w, "col {c}");
+        }
+    }
+
+    #[test]
+    fn p4_comment_adjacent_to_height_is_tolerated() {
+        // A comment directly after the height digits: its terminating
+        // newline is the single whitespace, and the data starts right after.
+        let buf: &[u8] = b"P4\n8 1# trailing comment\n\xff";
+        let img = read(buf).unwrap();
+        assert_eq!(img.count_ones(), 8);
+    }
+
+    #[test]
+    fn p4_truncated_pixel_data_is_an_error() {
+        // 3 rows of 1 byte each declared, only 2 supplied.
+        let buf: &[u8] = b"P4\n8 3\n\xff\xff";
+        let err = read(buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        // Header that ends at the height with no data byte at all.
+        let err = read(&b"P4\n8 3"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn row_reader_streams_rows_incrementally() {
+        let img = gen::uniform_random(11, 70, 0.5, 3); // crosses a word boundary
+        for raw in [false, true] {
+            let mut buf = Vec::new();
+            if raw {
+                write_raw(&img, &mut buf).unwrap();
+            } else {
+                write_plain(&img, &mut buf).unwrap();
+            }
+            let mut reader = PbmRowReader::new(&buf[..]).unwrap();
+            assert_eq!((reader.rows(), reader.cols()), (11, 70));
+            assert_eq!(reader.rows_hint(), Some(11));
+            let mut words = Vec::new();
+            for r in 0..img.rows() {
+                assert!(reader.next_row(&mut words).unwrap(), "row {r} (raw={raw})");
+                assert_eq!(&words[..], img.row_words(r), "row {r} (raw={raw})");
+            }
+            assert!(!reader.next_row(&mut words).unwrap(), "exhausted");
+        }
+    }
+
+    #[test]
+    fn p1_rejects_garbage_pixel_characters() {
+        let err = read("P1\n2 2\n1 0 x 1\n".as_bytes()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
     }
 }

@@ -1,0 +1,771 @@
+//! Streaming run-based connected-component labeling with bounded memory.
+//!
+//! The paper's whole architecture consumes the image *one scan line per
+//! beat*: the SLAP never holds the full frame, only each PE's running view
+//! of its column. This module is the host-side mirror of that discipline —
+//! an online labeler that accepts rows one at a time
+//! ([`StreamLabeler::push_row`] over packed words), keeps only
+//!
+//! * the **active-run frontier** (the previous row's maximal runs and the
+//!   live component each belongs to), and
+//! * a **compact union–find over live components** (slab slots recycled
+//!   through a free list the moment a component dies),
+//!
+//! and **retires** a component the first time a row arrives that no longer
+//! touches it — emitting its finished feature record ([`RetiredComponent`]:
+//! area, bounding box, centroid sums, 4-neighbor perimeter, and the paper's
+//! minimum column-major position). Memory is `O(cols + live components)`
+//! (plus whatever retired records the caller has not drained), never
+//! `O(rows × cols)`: frames taller than memory, piped PBM, and unbounded
+//! ingest all stream through at a constant footprint.
+//!
+//! The retired multiset is **exactly** what [`crate::fast::fast_labels_conn`]
+//! plus a per-component feature fold would produce — the differential suites
+//! replay every generator family row-by-row and compare record-for-record,
+//! keyed by the paper label — and the frontier bound is asserted by tests
+//! and enforced by the `slap-bench stream` schema validator.
+//!
+//! Input adapters implement [`RowSource`]: [`BitmapRows`] replays an
+//! in-memory [`Bitmap`], and [`crate::pbm::PbmRowReader`] streams P1/P4 PBM
+//! rows incrementally from any [`std::io::Read`] without materializing the
+//! image. [`label_stream`] drives a source to completion.
+
+use crate::bitmap::{count_ones_in_span, for_each_run_in_words, Bitmap};
+use crate::connectivity::Connectivity;
+use std::io;
+
+/// The finished feature record of a retired component (every field is final:
+/// the component can never reconnect once retired).
+///
+/// The fields mirror the `Features` monoid of the core crate's Corollary 4
+/// fold — area, bounding box, centroid numerators, and the 4-neighbor
+/// perimeter — plus the paper's component label key: the minimum
+/// column-major position, stored as its `(col, row)` coordinates because a
+/// streaming consumer does not know the image height (see
+/// [`RetiredComponent::label`]).
+///
+/// The derived ordering sorts by minimum position first, so sorting a drained
+/// batch yields a canonical multiset order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct RetiredComponent {
+    /// Column of the component's minimum column-major position (its leftmost
+    /// column; among pixels of that column, see `min_pos_row`).
+    pub min_pos_col: u32,
+    /// Row of the minimum column-major position (the topmost pixel within
+    /// column `min_pos_col`).
+    pub min_pos_row: u32,
+    /// Pixel count.
+    pub area: u64,
+    /// Topmost row.
+    pub min_row: u32,
+    /// Bottommost row.
+    pub max_row: u32,
+    /// Leftmost column.
+    pub min_col: u32,
+    /// Rightmost column.
+    pub max_col: u32,
+    /// Sum of row indices (centroid numerator).
+    pub sum_row: u64,
+    /// Sum of column indices (centroid numerator).
+    pub sum_col: u64,
+    /// Pixel edges exposed to background or the image border (4-neighbor
+    /// boundary length, the same convention as the core feature fold).
+    pub perimeter: u64,
+}
+
+impl RetiredComponent {
+    /// The paper's component label — the minimum column-major position
+    /// `col * rows + row` — computable once the image height is known.
+    /// Returned as `u64`: a stream can be taller than the `u32` position
+    /// space that bounds whole-frame `LabelGrid`s (callers comparing
+    /// against grid labels may narrow when `rows * cols` fits `u32`).
+    pub fn label(&self, rows: usize) -> u64 {
+        self.min_pos_col as u64 * rows as u64 + u64::from(self.min_pos_row)
+    }
+
+    /// Bounding-box width.
+    pub fn width(&self) -> u32 {
+        self.max_col - self.min_col + 1
+    }
+
+    /// Bounding-box height.
+    pub fn height(&self) -> u32 {
+        self.max_row - self.min_row + 1
+    }
+
+    /// Centroid `(row, col)`.
+    pub fn centroid(&self) -> (f64, f64) {
+        (
+            self.sum_row as f64 / self.area as f64,
+            self.sum_col as f64 / self.area as f64,
+        )
+    }
+
+    /// Merges `other` into `self` (elementwise min/max/sum, the same monoid
+    /// as the core feature fold).
+    fn absorb(&mut self, other: &RetiredComponent) {
+        if (other.min_pos_col, other.min_pos_row) < (self.min_pos_col, self.min_pos_row) {
+            self.min_pos_col = other.min_pos_col;
+            self.min_pos_row = other.min_pos_row;
+        }
+        self.area += other.area;
+        self.min_row = self.min_row.min(other.min_row);
+        self.max_row = self.max_row.max(other.max_row);
+        self.min_col = self.min_col.min(other.min_col);
+        self.max_col = self.max_col.max(other.max_col);
+        self.sum_row += other.sum_row;
+        self.sum_col += other.sum_col;
+        self.perimeter += other.perimeter;
+    }
+}
+
+/// Aggregate statistics of a finished (or in-flight) streaming run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Rows pushed so far.
+    pub rows: u64,
+    /// Row width the labeler was constructed with.
+    pub cols: usize,
+    /// Foreground pixels seen.
+    pub pixels: u64,
+    /// Components retired so far.
+    pub retired: u64,
+    /// Maximum frontier size observed (runs of one row).
+    pub peak_frontier_runs: usize,
+    /// Maximum number of simultaneously allocated union–find slots — the
+    /// `O(cols + live components)` bound made measurable (live components
+    /// plus the merge garbage of the row being processed, reclaimed before
+    /// the next row).
+    pub peak_nodes: usize,
+}
+
+/// A union–find slot over live components. `parent == self` marks a root
+/// (its `rec` is the component's running feature record); a forwarded slot
+/// is garbage reclaimed at the end of the row that forwarded it; free slots
+/// sit on the labeler's free list.
+#[derive(Clone, Copy, Debug)]
+struct Node {
+    parent: u32,
+    /// Stamp of the last row whose runs merged into this set (roots only).
+    touched: u64,
+    /// Stamp guarding the retirement scan against visiting a root twice.
+    scanned: u64,
+    rec: RetiredComponent,
+}
+
+/// Online connected-component labeler: see the module docs for the memory
+/// model. Rows arrive as packed words ([`StreamLabeler::push_row`]); retired
+/// components accumulate until drained ([`StreamLabeler::drain_retired`]);
+/// [`StreamLabeler::finish`] retires everything still live.
+#[derive(Debug)]
+pub struct StreamLabeler {
+    cols: usize,
+    words_per_row: usize,
+    conn: Connectivity,
+    /// Stamp of the row being (or last) processed; `rows` excludes the
+    /// virtual all-background row [`StreamLabeler::finish`] appends.
+    stamp: u64,
+    finished: bool,
+    /// Packed words of the previous row (all zero before the first row).
+    prev_words: Vec<u64>,
+    /// The frontier: previous row's runs (packed `start << 32 | end`) and
+    /// the slot each belongs to (a root between rows).
+    prev_runs: Vec<u64>,
+    prev_slots: Vec<u32>,
+    /// Scratch for the row being processed.
+    cur_runs: Vec<u64>,
+    cur_slots: Vec<u32>,
+    /// Union–find slab + free list.
+    nodes: Vec<Node>,
+    free: Vec<u32>,
+    /// Slots forwarded by this row's unions, reclaimed at row end.
+    forwarded: Vec<u32>,
+    /// Retired components awaiting [`StreamLabeler::drain_retired`].
+    retired: Vec<RetiredComponent>,
+    stats: StreamStats,
+}
+
+impl StreamLabeler {
+    /// Creates a labeler for rows of `cols` pixels. `cols == 0` is accepted
+    /// (every row is empty and nothing is ever emitted).
+    pub fn new(cols: usize, conn: Connectivity) -> Self {
+        StreamLabeler {
+            cols,
+            words_per_row: cols.div_ceil(64),
+            conn,
+            stamp: 0,
+            finished: false,
+            prev_words: vec![0u64; cols.div_ceil(64)],
+            prev_runs: Vec::new(),
+            prev_slots: Vec::new(),
+            cur_runs: Vec::new(),
+            cur_slots: Vec::new(),
+            nodes: Vec::new(),
+            free: Vec::new(),
+            forwarded: Vec::new(),
+            retired: Vec::new(),
+            stats: StreamStats {
+                cols,
+                ..StreamStats::default()
+            },
+        }
+    }
+
+    /// Row width accepted by [`StreamLabeler::push_row`].
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Statistics so far (peaks are final only after
+    /// [`StreamLabeler::finish`]).
+    pub fn stats(&self) -> StreamStats {
+        self.stats
+    }
+
+    /// Number of live (unretired) components currently tracked.
+    pub fn live_components(&self) -> usize {
+        // Between rows every frontier slot is a root and every live root
+        // owns at least one frontier run; dedup by scanning.
+        let mut seen: Vec<u32> = self.prev_slots.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        seen.len()
+    }
+
+    /// Pushes the next row as packed words (bit `c % 64` of word `c / 64` is
+    /// column `c`, exactly [`Bitmap::row_words`]'s layout).
+    ///
+    /// # Panics
+    /// Panics after [`StreamLabeler::finish`], when `words` is not exactly
+    /// `cols.div_ceil(64)` long, or when a padding bit past `cols` is set
+    /// (that would corrupt the word-level run scan).
+    pub fn push_row(&mut self, words: &[u64]) {
+        assert!(!self.finished, "push_row after finish");
+        assert_eq!(
+            words.len(),
+            self.words_per_row,
+            "row must be exactly cols.div_ceil(64) packed words"
+        );
+        let tail = self.cols % 64;
+        assert!(
+            tail == 0 || self.words_per_row == 0 || words[self.words_per_row - 1] >> tail == 0,
+            "padding bits past cols must be zero"
+        );
+        self.stats.rows += 1;
+        self.advance(words);
+    }
+
+    /// Retires every component still live and returns the final statistics.
+    /// Idempotent; [`StreamLabeler::push_row`] panics afterwards.
+    pub fn finish(&mut self) -> StreamStats {
+        if !self.finished {
+            // One virtual all-background row below the image: every prev run
+            // collects its full bottom exposure and every live root goes
+            // untouched, hence retires — no special-cased teardown path.
+            let zeros = vec![0u64; self.words_per_row];
+            self.advance(&zeros);
+            self.finished = true;
+        }
+        self.stats
+    }
+
+    /// Removes and returns the components retired so far (draining keeps the
+    /// labeler's footprint at `O(cols + live)` on long streams).
+    pub fn drain_retired(&mut self) -> std::vec::Drain<'_, RetiredComponent> {
+        self.retired.drain(..)
+    }
+
+    /// Sentinel for "no slot yet" in the merge sweep.
+    const NONE: u32 = u32::MAX;
+
+    /// Resolves `slot` to its current root, halving the path on the way.
+    #[inline]
+    fn resolve(nodes: &mut [Node], mut x: u32) -> u32 {
+        loop {
+            let p = nodes[x as usize].parent;
+            if p == x {
+                return x;
+            }
+            let g = nodes[p as usize].parent;
+            if g != p {
+                nodes[x as usize].parent = g;
+            }
+            x = g;
+        }
+    }
+
+    /// Processes one row's packed words (real or the virtual finish row).
+    fn advance(&mut self, words: &[u64]) {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let row = (self.stamp - 1) as u32;
+        let reach = match self.conn {
+            Connectivity::Four => 0u64,
+            Connectivity::Eight => 1u64,
+        };
+
+        // 1) Bottom exposure: pixels of each frontier run not covered by the
+        // new row leave the component through their south edge. Frontier
+        // slots are roots between rows, so no finds are needed here.
+        for (&sb, &slot) in self.prev_runs.iter().zip(&self.prev_slots) {
+            let (a, b) = ((sb >> 32) as u32, (sb & 0xffff_ffff) as u32);
+            let covered = count_ones_in_span(words, a, b);
+            self.nodes[slot as usize].rec.perimeter += u64::from(b - a + 1 - covered);
+        }
+
+        // 2) Extract the new row's runs.
+        self.cur_runs.clear();
+        self.cur_slots.clear();
+        let cur_runs = &mut self.cur_runs;
+        for_each_run_in_words(words, self.cols, |a, b| {
+            cur_runs.push(((a as u64) << 32) | b as u64);
+        });
+
+        // 3) Merge sweep: a two-pointer join of the column-sorted run lists
+        // (diagonal reach under 8-connectivity), unioning every frontier
+        // component the run touches and folding the run's own feature
+        // contribution into the surviving root.
+        let mut p = 0usize;
+        for i in 0..self.cur_runs.len() {
+            let sb = self.cur_runs[i];
+            let (a, b) = (sb >> 32, sb & 0xffff_ffff);
+            let (aw, bw) = (a.saturating_sub(reach), b + reach);
+            while p < self.prev_runs.len() && (self.prev_runs[p] & 0xffff_ffff) < aw {
+                p += 1;
+            }
+            let mut q = p;
+            let mut slot = Self::NONE;
+            while q < self.prev_runs.len() && (self.prev_runs[q] >> 32) <= bw {
+                let s = Self::resolve(&mut self.nodes, self.prev_slots[q]);
+                self.prev_slots[q] = s;
+                if slot == Self::NONE {
+                    slot = s;
+                } else if s != slot {
+                    // Union: keep the run's cached root, forward the other.
+                    let (keep, lose) = (slot as usize, s as usize);
+                    let rec = self.nodes[lose].rec;
+                    self.nodes[keep].rec.absorb(&rec);
+                    self.nodes[lose].parent = slot;
+                    self.forwarded.push(s);
+                }
+                q += 1;
+            }
+            // The last overlapping frontier run may also touch the next run
+            // of this row; step back so it is reconsidered.
+            if q > p {
+                p = q - 1;
+            }
+            let len = b - a + 1;
+            let up_exposed = len as u32 - count_ones_in_span(&self.prev_words, a as u32, b as u32);
+            let rec = RetiredComponent {
+                min_pos_col: a as u32,
+                min_pos_row: row,
+                area: len,
+                min_row: row,
+                max_row: row,
+                min_col: a as u32,
+                max_col: b as u32,
+                sum_row: len * u64::from(row),
+                sum_col: (a + b) * len / 2,
+                // Both horizontal ends are exposed; north exposure is what
+                // the previous row does not cover; south exposure arrives
+                // with the next row (or the virtual finish row).
+                perimeter: 2 + u64::from(up_exposed),
+            };
+            match slot {
+                Self::NONE => {
+                    let s = match self.free.pop() {
+                        Some(s) => {
+                            self.nodes[s as usize] = Node {
+                                parent: s,
+                                touched: stamp,
+                                scanned: 0,
+                                rec,
+                            };
+                            s
+                        }
+                        None => {
+                            let s = u32::try_from(self.nodes.len())
+                                .expect("more than u32::MAX live union-find slots");
+                            self.nodes.push(Node {
+                                parent: s,
+                                touched: stamp,
+                                scanned: 0,
+                                rec,
+                            });
+                            s
+                        }
+                    };
+                    slot = s;
+                }
+                s => {
+                    self.nodes[s as usize].rec.absorb(&rec);
+                    self.nodes[s as usize].touched = stamp;
+                }
+            }
+            self.cur_slots.push(slot);
+            self.stats.pixels += len;
+        }
+        self.stats.peak_nodes = self
+            .stats
+            .peak_nodes
+            .max(self.nodes.len() - self.free.len());
+
+        // 4) Retirement: frontier roots no run of this row merged into can
+        // never reconnect (rows only ever arrive below them) — emit and
+        // recycle them.
+        for i in 0..self.prev_slots.len() {
+            let s = Self::resolve(&mut self.nodes, self.prev_slots[i]);
+            let node = &mut self.nodes[s as usize];
+            if node.scanned == stamp {
+                continue;
+            }
+            node.scanned = stamp;
+            if node.touched != stamp {
+                self.retired.push(node.rec);
+                self.stats.retired += 1;
+                self.free.push(s);
+            }
+        }
+
+        // 5) Re-root the new frontier, then recycle this row's forwarded
+        // slots — after the resolves nothing points at them.
+        for slot in &mut self.cur_slots {
+            *slot = Self::resolve(&mut self.nodes, *slot);
+        }
+        self.free.append(&mut self.forwarded);
+
+        // 6) The new row becomes the frontier.
+        std::mem::swap(&mut self.prev_runs, &mut self.cur_runs);
+        std::mem::swap(&mut self.prev_slots, &mut self.cur_slots);
+        self.prev_words.copy_from_slice(words);
+        self.stats.peak_frontier_runs = self.stats.peak_frontier_runs.max(self.prev_runs.len());
+    }
+}
+
+/// A source of packed image rows for [`label_stream`].
+///
+/// Implementations fill `words` with exactly `cols().div_ceil(64)` words per
+/// row (bit `c % 64` of word `c / 64` is column `c`, padding bits past
+/// `cols()` zero) and return `false` at end of input.
+pub trait RowSource {
+    /// Row width in pixels.
+    fn cols(&self) -> usize;
+    /// Total rows, when known up front (a PBM header knows; an unbounded
+    /// ingest may not).
+    fn rows_hint(&self) -> Option<usize> {
+        None
+    }
+    /// Reads the next row into `words` (cleared and refilled). `Ok(false)`
+    /// signals end of input.
+    fn next_row(&mut self, words: &mut Vec<u64>) -> io::Result<bool>;
+}
+
+/// Replays an in-memory [`Bitmap`] row by row — the adapter the differential
+/// suites use to prove the streaming engine equivalent to the whole-frame
+/// engines.
+#[derive(Clone, Copy, Debug)]
+pub struct BitmapRows<'a> {
+    img: &'a Bitmap,
+    next: usize,
+}
+
+impl<'a> BitmapRows<'a> {
+    /// Streams the rows of `img` from top to bottom.
+    pub fn new(img: &'a Bitmap) -> Self {
+        BitmapRows { img, next: 0 }
+    }
+}
+
+impl RowSource for BitmapRows<'_> {
+    fn cols(&self) -> usize {
+        self.img.cols()
+    }
+
+    fn rows_hint(&self) -> Option<usize> {
+        Some(self.img.rows())
+    }
+
+    fn next_row(&mut self, words: &mut Vec<u64>) -> io::Result<bool> {
+        if self.next >= self.img.rows() {
+            return Ok(false);
+        }
+        words.clear();
+        words.extend_from_slice(self.img.row_words(self.next));
+        self.next += 1;
+        Ok(true)
+    }
+}
+
+/// The result of draining a [`RowSource`] through a [`StreamLabeler`].
+#[derive(Clone, Debug)]
+pub struct StreamRun {
+    /// Every retired component, in retirement order.
+    pub components: Vec<RetiredComponent>,
+    /// Aggregate statistics (rows, pixels, frontier peaks).
+    pub stats: StreamStats,
+}
+
+/// Streams every row of `source` through a fresh [`StreamLabeler`] and
+/// returns the retired components plus run statistics. The image is never
+/// materialized: memory stays `O(cols + live + retired)`.
+pub fn label_stream<S: RowSource>(source: &mut S, conn: Connectivity) -> io::Result<StreamRun> {
+    let mut labeler = StreamLabeler::new(source.cols(), conn);
+    let mut words = Vec::with_capacity(source.cols().div_ceil(64));
+    while source.next_row(&mut words)? {
+        labeler.push_row(&words);
+    }
+    let stats = labeler.finish();
+    Ok(StreamRun {
+        components: labeler.drain_retired().collect(),
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fast::fast_labels_conn;
+    use crate::gen;
+
+    /// Streams `img` and returns the retired records sorted canonically.
+    fn stream_sorted(img: &Bitmap, conn: Connectivity) -> Vec<RetiredComponent> {
+        let mut run = label_stream(&mut BitmapRows::new(img), conn).unwrap();
+        run.components.sort_unstable();
+        run.components
+    }
+
+    /// Brute-force per-component records from a label grid.
+    fn reference_records(img: &Bitmap, conn: Connectivity) -> Vec<RetiredComponent> {
+        let labels = fast_labels_conn(img, conn);
+        let mut by_label: std::collections::BTreeMap<u32, RetiredComponent> = Default::default();
+        for (r, c) in img.iter_ones_colmajor() {
+            let mut exposed = 0u64;
+            if r == 0 || !img.get(r - 1, c) {
+                exposed += 1;
+            }
+            if r + 1 >= img.rows() || !img.get(r + 1, c) {
+                exposed += 1;
+            }
+            if c == 0 || !img.get(r, c - 1) {
+                exposed += 1;
+            }
+            if c + 1 >= img.cols() || !img.get(r, c + 1) {
+                exposed += 1;
+            }
+            let rec = RetiredComponent {
+                min_pos_col: c as u32,
+                min_pos_row: r as u32,
+                area: 1,
+                min_row: r as u32,
+                max_row: r as u32,
+                min_col: c as u32,
+                max_col: c as u32,
+                sum_row: r as u64,
+                sum_col: c as u64,
+                perimeter: exposed,
+            };
+            by_label
+                .entry(labels.get(r, c))
+                .and_modify(|acc| acc.absorb(&rec))
+                .or_insert(rec);
+        }
+        let mut out: Vec<RetiredComponent> = by_label.into_values().collect();
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn matches_reference_on_tiny_shapes() {
+        for art in [
+            "#",
+            ".",
+            "##\n##\n",
+            "#.\n.#\n",
+            "###\n..#\n###\n",
+            "#.#\n###\n#.#\n",
+            "#####\n.....\n#####\n",
+            ".#.\n###\n.#.\n",
+            "#..#\n....\n#..#\n",
+            "##..\n..##\n",
+        ] {
+            let img = Bitmap::from_art(art);
+            for conn in [Connectivity::Four, Connectivity::Eight] {
+                assert_eq!(
+                    stream_sorted(&img, conn),
+                    reference_records(&img, conn),
+                    "conn={conn:?} art:\n{art}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_reference_on_every_workload_family() {
+        for name in gen::WORKLOADS {
+            let img = gen::by_name(name, 40, 17).unwrap();
+            for conn in [Connectivity::Four, Connectivity::Eight] {
+                assert_eq!(
+                    stream_sorted(&img, conn),
+                    reference_records(&img, conn),
+                    "workload {name} conn={conn:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_reference_on_word_boundary_widths() {
+        for cols in [63usize, 64, 65, 127, 128, 130] {
+            let img = gen::uniform_random(37, cols, 0.5, cols as u64);
+            for conn in [Connectivity::Four, Connectivity::Eight] {
+                assert_eq!(
+                    stream_sorted(&img, conn),
+                    reference_records(&img, conn),
+                    "cols={cols} conn={conn:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn labels_reconstruct_the_paper_convention() {
+        let img = gen::by_name("blobs", 32, 5).unwrap();
+        let labels = fast_labels_conn(&img, Connectivity::Four);
+        let mut got: Vec<u64> = stream_sorted(&img, Connectivity::Four)
+            .iter()
+            .map(|rec| rec.label(img.rows()))
+            .collect();
+        got.sort_unstable();
+        let mut want: Vec<u64> = labels
+            .component_stats()
+            .iter()
+            .map(|info| u64::from(info.label))
+            .collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn components_retire_as_soon_as_they_disconnect() {
+        // Two bars separated by a blank row: the first bar must retire the
+        // moment the blank row arrives, not at finish.
+        let img = Bitmap::from_art("###\n...\n###\n");
+        let mut labeler = StreamLabeler::new(3, Connectivity::Four);
+        labeler.push_row(img.row_words(0));
+        assert_eq!(labeler.drain_retired().count(), 0);
+        labeler.push_row(img.row_words(1));
+        let first: Vec<_> = labeler.drain_retired().collect();
+        assert_eq!(first.len(), 1);
+        assert_eq!(first[0].area, 3);
+        assert_eq!(first[0].perimeter, 8);
+        labeler.push_row(img.row_words(2));
+        assert_eq!(labeler.drain_retired().count(), 0, "still live");
+        labeler.finish();
+        assert_eq!(labeler.drain_retired().count(), 1);
+    }
+
+    #[test]
+    fn eight_connectivity_keeps_diagonal_neighbors_alive() {
+        // A diagonal staircase: under 8-conn it is one component and must
+        // not retire early; under 4-conn each pixel retires row by row.
+        let img = Bitmap::from_art("#..\n.#.\n..#\n");
+        let mut run8 = label_stream(&mut BitmapRows::new(&img), Connectivity::Eight).unwrap();
+        assert_eq!(run8.components.len(), 1);
+        assert_eq!(run8.components.pop().unwrap().area, 3);
+        let run4 = label_stream(&mut BitmapRows::new(&img), Connectivity::Four).unwrap();
+        assert_eq!(run4.components.len(), 3);
+    }
+
+    #[test]
+    fn memory_stays_bounded_by_cols_not_rows() {
+        // A tall image: the frontier and the slab must scale with cols, not
+        // with rows * cols.
+        let cols = 64usize;
+        let img = gen::uniform_random(512, cols, 0.5, 7);
+        let mut source = BitmapRows::new(&img);
+        let run = label_stream(&mut source, Connectivity::Four).unwrap();
+        assert!(
+            run.stats.peak_frontier_runs <= cols / 2 + 1,
+            "frontier {} exceeds the run bound for {cols} columns",
+            run.stats.peak_frontier_runs
+        );
+        assert!(
+            run.stats.peak_nodes <= cols + 1,
+            "slab occupancy {} exceeds the O(cols + live) bound for {cols} columns",
+            run.stats.peak_nodes
+        );
+        assert_eq!(run.stats.rows, 512);
+        assert_eq!(run.stats.pixels, img.count_ones() as u64);
+    }
+
+    #[test]
+    fn degenerate_dimensions_stream_cleanly() {
+        // 0 columns: every row is empty.
+        let mut zero_cols = StreamLabeler::new(0, Connectivity::Four);
+        zero_cols.push_row(&[]);
+        zero_cols.push_row(&[]);
+        let stats = zero_cols.finish();
+        assert_eq!(stats.retired, 0);
+        assert_eq!(stats.rows, 2);
+        // 0 rows: finish without pushing anything.
+        let mut zero_rows = StreamLabeler::new(9, Connectivity::Eight);
+        let stats = zero_rows.finish();
+        assert_eq!((stats.rows, stats.retired), (0, 0));
+        assert_eq!(zero_rows.drain_retired().count(), 0);
+        // 1×1 foreground pixel.
+        let img = Bitmap::from_art("#");
+        let run = label_stream(&mut BitmapRows::new(&img), Connectivity::Four).unwrap();
+        assert_eq!(run.components.len(), 1);
+        let rec = run.components[0];
+        assert_eq!((rec.area, rec.perimeter), (1, 4));
+        assert_eq!(rec.centroid(), (0.0, 0.0));
+        assert_eq!((rec.width(), rec.height()), (1, 1));
+    }
+
+    #[test]
+    fn finish_is_idempotent_and_push_after_finish_panics() {
+        let mut labeler = StreamLabeler::new(8, Connectivity::Four);
+        labeler.push_row(&[0b1111]);
+        let a = labeler.finish();
+        let b = labeler.finish();
+        assert_eq!(a, b);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            labeler.push_row(&[0b1111]);
+        }));
+        assert!(result.is_err(), "push_row after finish must panic");
+    }
+
+    #[test]
+    fn live_components_tracks_the_frontier() {
+        let mut labeler = StreamLabeler::new(8, Connectivity::Four);
+        labeler.push_row(&[0b0101_0101]);
+        assert_eq!(labeler.live_components(), 4);
+        labeler.push_row(&[0b1111_1111]);
+        assert_eq!(labeler.live_components(), 1);
+        labeler.finish();
+        assert_eq!(labeler.live_components(), 0);
+    }
+
+    #[test]
+    fn slab_slots_are_recycled_across_generations() {
+        // Alternating full/empty rows churn components every other row; the
+        // slab must recycle slots instead of growing per generation.
+        let cols = 32usize;
+        let full = vec![u32::MAX as u64; 1]; // 32 ones in a 64-bit word
+        let empty = vec![0u64; 1];
+        let mut labeler = StreamLabeler::new(cols, Connectivity::Four);
+        for _ in 0..100 {
+            labeler.push_row(&full);
+            labeler.push_row(&empty);
+            labeler.drain_retired();
+        }
+        let stats = labeler.finish();
+        assert_eq!(stats.retired, 100);
+        assert!(
+            stats.peak_nodes <= 2,
+            "peak {} slots for one live component",
+            stats.peak_nodes
+        );
+    }
+}

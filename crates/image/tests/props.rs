@@ -4,9 +4,10 @@
 //! must round-trip bit-exactly).
 
 use proptest::prelude::*;
+use slap_image::stream::BitmapRows;
 use slap_image::{
-    bfs_labels, bfs_labels_conn, fast_labels_conn, gen, parallel_labels_conn, pbm, Bitmap,
-    Connectivity, FastLabeler, LabelGrid, ParallelLabeler,
+    bfs_labels, bfs_labels_conn, fast_labels_conn, gen, label_stream, parallel_labels_conn, pbm,
+    Bitmap, Connectivity, FastLabeler, LabelGrid, ParallelLabeler,
 };
 
 fn arb_bitmap() -> impl Strategy<Value = Bitmap> {
@@ -152,6 +153,43 @@ proptest! {
         prop_assert_eq!(&grid, &bfs_labels_conn(&b, conn));
         labeler.label_into(&a, conn, &mut grid);
         prop_assert_eq!(&grid, &bfs_labels_conn(&a, conn));
+    }
+
+    #[test]
+    fn streamed_components_match_fast_labels(bm in arb_bitmap(), conn in arb_conn()) {
+        // Replaying the rows one at a time must retire exactly the fast
+        // engine's components: same count, same paper labels, same areas.
+        let labels = fast_labels_conn(&bm, conn);
+        let run = label_stream(&mut BitmapRows::new(&bm), conn).unwrap();
+        let mut got: Vec<(u64, u64)> = run
+            .components
+            .iter()
+            .map(|c| (c.label(bm.rows()), c.area))
+            .collect();
+        got.sort_unstable();
+        let mut want: Vec<(u64, u64)> = labels
+            .component_stats()
+            .iter()
+            .map(|s| (u64::from(s.label), s.pixels as u64))
+            .collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn streamed_components_handle_word_boundary_widths(
+        bm in arb_wide_bitmap(),
+        conn in arb_conn(),
+    ) {
+        let run = label_stream(&mut BitmapRows::new(&bm), conn).unwrap();
+        prop_assert_eq!(
+            run.components.len(),
+            fast_labels_conn(&bm, conn).component_count()
+        );
+        prop_assert_eq!(run.stats.pixels, bm.count_ones() as u64);
+        // The memory contract holds on arbitrary random streams too.
+        prop_assert!(run.stats.peak_nodes <= bm.cols() + 1);
+        prop_assert!(run.stats.peak_frontier_runs <= bm.cols() / 2 + 1);
     }
 
     #[test]

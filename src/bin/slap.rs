@@ -8,6 +8,9 @@
 //! slap trace [--pass uf|label] <workload> <n> [seed]
 //!                                           # ASCII space-time diagram
 //! slap features [--conn 4|8] [file.pbm]     # per-component geometry
+//! slap stream [--conn 4|8] [file.pbm]       # streaming label pass: rows in,
+//!                                           #   retired components out,
+//!                                           #   O(cols + live) memory
 //! slap compare <workload> <n> [seed]        # CC vs baselines step counts
 //! slap workloads                            # list generator names
 //! ```
@@ -17,7 +20,10 @@ use slap_repro::cc::features::{component_features, euler_number};
 use slap_repro::cc::spacetime::left_pass_trace;
 use slap_repro::cc::{label_components_kind, label_components_runs, CcOptions};
 use slap_repro::hypercube::sv_labels_conn;
-use slap_repro::image::{fast_labels_conn, gen, parallel_labels_conn, pbm, Bitmap, Connectivity};
+use slap_repro::image::{
+    fast_labels_conn, gen, parallel_labels_conn, pbm, Bitmap, Connectivity, RetiredComponent,
+    RowSource, StreamLabeler,
+};
 use slap_repro::machine::render_gantt;
 use slap_repro::unionfind::{TarjanUf, UfKind};
 use std::io::Read;
@@ -114,6 +120,7 @@ fn main() {
                 );
             }
         }
+        "stream" => stream_report(&rest, conn),
         "compare" => {
             let (name, n, seed) = parse_workload(&rest);
             let img = make_image(name, n, seed);
@@ -272,12 +279,101 @@ fn host_report(img: &Bitmap, conn: Connectivity, threads: usize) {
     );
 }
 
+/// `stream`: labels a PBM row by row — the image is never materialized and
+/// retired components are drained per row into a bounded preview, so
+/// arbitrarily tall or component-dense files and pipes really do run in
+/// `O(cols + live components)` memory.
+fn stream_report(rest: &[&str], conn: Connectivity) {
+    /// Components listed in the report table.
+    const LISTED: usize = 32;
+
+    /// Streams from an already-opened reader (file or stdin).
+    fn run<R: std::io::Read>(r: R, conn: Connectivity, what: &str) {
+        let mut reader =
+            pbm::PbmRowReader::new(r).unwrap_or_else(|e| die(&format!("parse {what}: {e}")));
+        let rows = reader.rows();
+        let mut labeler = StreamLabeler::new(reader.cols(), conn);
+        let mut words = Vec::new();
+        let mut total: u64 = 0;
+        // The LISTED smallest records by label order; trimmed whenever the
+        // buffer doubles, so memory never scales with the component count.
+        let mut preview: Vec<RetiredComponent> = Vec::new();
+        let t0 = std::time::Instant::now();
+        loop {
+            match reader.next_row(&mut words) {
+                Ok(true) => {
+                    labeler.push_row(&words);
+                    for rec in labeler.drain_retired() {
+                        total += 1;
+                        preview.push(rec);
+                    }
+                    if preview.len() > 2 * LISTED {
+                        preview.sort_unstable();
+                        preview.truncate(LISTED);
+                    }
+                }
+                Ok(false) => break,
+                Err(e) => die(&format!("read {what}: {e}")),
+            }
+        }
+        let stats = labeler.finish();
+        for rec in labeler.drain_retired() {
+            total += 1;
+            preview.push(rec);
+        }
+        let elapsed = t0.elapsed();
+        println!(
+            "{}x{} image, {:.1}% foreground, {total} component(s) under {conn}",
+            stats.rows,
+            stats.cols,
+            100.0 * stats.pixels as f64 / (stats.rows as f64 * stats.cols as f64).max(1.0),
+        );
+        println!(
+            "stream engine: peak frontier {} run(s), {} live node(s); \
+             {} rows in {:.3} ms ({:.0} rows/s)",
+            stats.peak_frontier_runs,
+            stats.peak_nodes,
+            stats.rows,
+            elapsed.as_secs_f64() * 1e3,
+            stats.rows as f64 / elapsed.as_secs_f64().max(1e-9),
+        );
+        preview.sort_unstable();
+        preview.truncate(LISTED);
+        println!(
+            "{:>10} {:>7} {:>12} {:>14} {:>9}",
+            "label", "area", "bbox", "centroid", "perim"
+        );
+        for rec in &preview {
+            let (cr, cc) = rec.centroid();
+            println!(
+                "{:>10} {:>7} {:>5}x{:<6} ({cr:6.1},{cc:6.1}) {:>9}",
+                rec.label(rows),
+                rec.area,
+                rec.height(),
+                rec.width(),
+                rec.perimeter,
+            );
+        }
+        if total > preview.len() as u64 {
+            println!("  ... and {} more", total - preview.len() as u64);
+        }
+    }
+    match rest.first() {
+        Some(path) => {
+            let f = std::fs::File::open(path).unwrap_or_else(|e| die(&format!("open {path}: {e}")));
+            run(f, conn, path);
+        }
+        None => run(std::io::stdin().lock(), conn, "stdin"),
+    }
+}
+
 fn usage() -> ! {
     eprintln!(
         "usage:\n  slap gen <workload> <n> [seed]\n  slap label [--uf KIND] [--conn 4|8] [--threads N] [file.pbm]\n  \
          slap bench [--uf KIND] [--conn 4|8] <workload> <n> [seed]\n  \
          slap trace [--pass uf|label] <workload> <n> [seed]\n  \
          slap features [--conn 4|8] [--threads N] [file.pbm]\n  \
+         slap stream [--conn 4|8] [file.pbm]\n  \
          slap compare [--uf KIND] [--conn 4|8] <workload> <n> [seed]\n  slap workloads"
     );
     std::process::exit(2);

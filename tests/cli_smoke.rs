@@ -97,6 +97,32 @@ fn gen_label_features_roundtrip_through_pbm() {
 }
 
 #[test]
+fn stream_labels_piped_pbm_with_bounded_memory_report() {
+    let pbm_bytes = slap(&["gen", "blobs", "20", "2"]).stdout;
+    for conn in ["4", "8"] {
+        let out = slap_with_stdin(&["stream", "--conn", conn], &pbm_bytes);
+        let report = stdout_str(&out);
+        assert!(
+            report.contains("component(s)"),
+            "stream report missing component count: {report:?}"
+        );
+        assert!(
+            report.contains("peak frontier"),
+            "stream report missing frontier stats: {report:?}"
+        );
+        assert!(
+            report.contains("rows/s"),
+            "stream report missing throughput: {report:?}"
+        );
+    }
+    // The streaming path must reject garbage cleanly, like `label`.
+    let bad = slap_with_stdin(&["stream"], b"P4\n8 3\n\xff");
+    assert!(!bad.status.success(), "truncated P4 must not stream");
+    let err = String::from_utf8_lossy(&bad.stderr);
+    assert!(!err.contains("panicked"), "clean error expected: {err}");
+}
+
+#[test]
 fn label_accepts_uf_and_conn_flags() {
     let pbm = slap(&["gen", "comb", "12", "3"]);
     let pbm_bytes = stdout_str(&pbm).into_bytes();
