@@ -15,8 +15,9 @@
 //! baseline file.
 
 use crate::json;
+use slap_cc::engine::EngineKind;
 use slap_cc::{label_components_runs, CcOptions};
-use slap_image::{bfs_labels_conn, fast::FastLabeler, gen, Connectivity, LabelGrid};
+use slap_image::{gen, Connectivity, LabelGrid};
 use slap_unionfind::RankHalvingUf;
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -28,6 +29,12 @@ pub const SCHEMA: &str = "slap-bench-baseline/v2";
 
 /// Engine identifiers, in sweep order.
 pub const ENGINES: &[&str] = &["oracle-bfs", "fast", "slap-sim-runs"];
+
+/// The registry engines the baseline sweep times, with the legacy ids the
+/// schema records (the simulated Algorithm CC rides along as the third,
+/// non-registry column — it is a paper simulation, not a host engine).
+const HOST_ENGINES: &[(EngineKind, &str)] =
+    &[(EngineKind::Bfs, "oracle-bfs"), (EngineKind::Fast, "fast")];
 
 /// Connectivities swept (the JSON records them as `4` / `8`).
 pub const CONNS: &[Connectivity] = &[Connectivity::Four, Connectivity::Eight];
@@ -115,12 +122,16 @@ pub fn conn_id(conn: Connectivity) -> u32 {
     }
 }
 
-/// Runs the sweep. `progress` receives one line per timed point.
+/// Runs the sweep. `progress` receives one line per timed point. The host
+/// engines are warm registry sessions ([`EngineKind::session`]); the first
+/// ([`EngineKind::Bfs`]) doubles as the bit-identity reference.
 pub fn run_baseline(quick: bool, mut progress: impl FnMut(&str)) -> BaselineReport {
     let (families, sides) = sweep_params(quick);
     let mut entries = Vec::new();
-    let mut fast = FastLabeler::new();
-    let mut fast_grid = LabelGrid::new_background(1, 1);
+    let mut sessions: Vec<_> = HOST_ENGINES
+        .iter()
+        .map(|&(kind, id)| (kind.session(1), id, LabelGrid::new_background(1, 1)))
+        .collect();
     for &family in families {
         for &n in sides {
             let img = gen::by_name(family, n, SEED)
@@ -128,44 +139,34 @@ pub fn run_baseline(quick: bool, mut progress: impl FnMut(&str)) -> BaselineRepo
             let reps = reps_for(n, quick);
             for &conn in CONNS {
                 let cid = conn_id(conn);
-                // Oracle, and the reference labels for the identity checks.
-                let truth = bfs_labels_conn(&img, conn);
-                let (best, mean) = time_reps(reps, || {
-                    std::hint::black_box(bfs_labels_conn(std::hint::black_box(&img), conn));
-                });
-                progress(&format!(
-                    "{family}/{n}/{cid}-conn oracle-bfs: {:.3} ms",
-                    best as f64 / 1e6
-                ));
-                entries.push(Entry {
-                    family: family.to_string(),
-                    n,
-                    conn: cid,
-                    engine: "oracle-bfs".to_string(),
-                    best_ns: best,
-                    mean_ns: mean,
-                    reps,
-                    bit_identical: None,
-                });
-                // Fast engine (buffer-reusing hot path).
-                let (best, mean) = time_reps(reps, || {
-                    fast.label_into(std::hint::black_box(&img), conn, &mut fast_grid);
-                });
-                let fast_ok = fast_grid == truth;
-                progress(&format!(
-                    "{family}/{n}/{cid}-conn fast: {:.3} ms",
-                    best as f64 / 1e6
-                ));
-                entries.push(Entry {
-                    family: family.to_string(),
-                    n,
-                    conn: cid,
-                    engine: "fast".to_string(),
-                    best_ns: best,
-                    mean_ns: mean,
-                    reps,
-                    bit_identical: Some(fast_ok),
-                });
+                // Host engines from the registry; the oracle comes first and
+                // its (final) grid is the identity reference for the rest.
+                let mut truth = LabelGrid::new_background(1, 1);
+                for (session, id, grid) in &mut sessions {
+                    let (best, mean) = time_reps(reps, || {
+                        session.label_into(std::hint::black_box(&img), conn, grid);
+                    });
+                    let identical = if session.kind() == EngineKind::Bfs {
+                        std::mem::swap(&mut truth, grid);
+                        None
+                    } else {
+                        Some(*grid == truth)
+                    };
+                    progress(&format!(
+                        "{family}/{n}/{cid}-conn {id}: {:.3} ms",
+                        best as f64 / 1e6
+                    ));
+                    entries.push(Entry {
+                        family: family.to_string(),
+                        n,
+                        conn: cid,
+                        engine: id.to_string(),
+                        best_ns: best,
+                        mean_ns: mean,
+                        reps,
+                        bit_identical: identical,
+                    });
+                }
                 // Simulated SLAP (run-based Algorithm CC). The identity
                 // check runs on the kept labels *outside* the timed region,
                 // same as the fast engine's.

@@ -7,6 +7,9 @@
 //! slap-bench parallel --quick --out F    # small sweep (CI smoke), custom path
 //! slap-bench stream                      # streaming sweep -> BENCH_stream.json
 //! slap-bench stream --quick --out F      # small sweep (CI smoke), custom path
+//! slap-bench reuse                       # cold-vs-warm sweep over the engine
+//!                                        #   registry -> BENCH_reuse.json
+//! slap-bench reuse --quick --out F       # small sweep (CI smoke), custom path
 //! slap-bench check FILE                  # schema-validate a recorded file
 //! slap-bench check FILE --require-full   # + full scale and the headline criteria
 //! ```
@@ -14,18 +17,21 @@
 //! The criterion microbenches remain under `cargo bench`; this binary records
 //! the end-to-end trajectory points — oracle vs. fast engine vs. simulated
 //! Algorithm CC (`baseline`, both connectivities), sequential vs.
-//! strip-parallel engine across thread counts (`parallel`), and the
-//! bounded-memory streaming engine with its frontier peaks (`stream`) — that
-//! the `BENCH_*.json` files commit to the repository. `check` dispatches on
-//! the file's `schema` field.
+//! strip-parallel engine across thread counts (`parallel`), the
+//! bounded-memory streaming engine with its frontier peaks (`stream`), and
+//! cold-call vs. warm-session throughput for every engine in
+//! `slap_cc::engine::registry()` (`reuse`) — that the `BENCH_*.json` files
+//! commit to the repository. `check` dispatches on the file's `schema`
+//! field.
 
-use slap_bench::{baseline, json, parallel, stream};
+use slap_bench::{baseline, json, parallel, reuse, stream};
 
 fn usage() -> ! {
     eprintln!(
         "usage: slap-bench baseline [--quick] [--out PATH]\n       \
          slap-bench parallel [--quick] [--out PATH]\n       \
          slap-bench stream [--quick] [--out PATH]\n       \
+         slap-bench reuse [--quick] [--out PATH]\n       \
          slap-bench check PATH [--require-full]"
     );
     std::process::exit(2);
@@ -94,6 +100,14 @@ fn main() {
                 stream::validate(t, !quick)
             });
         }
+        Some("reuse") => {
+            let (quick, out) = sweep_flags(&args[1..], "BENCH_reuse.json");
+            let report = reuse::run_reuse(quick, |line| eprintln!("  {line}"));
+            let text = report.to_json();
+            write_validated(&text, &out, report.entries.len(), |t| {
+                reuse::validate(t, !quick)
+            });
+        }
         Some("check") => {
             let mut path: Option<&str> = None;
             let mut require_full = false;
@@ -122,6 +136,7 @@ fn main() {
             let result = match schema.as_str() {
                 parallel::SCHEMA => parallel::validate(&text, require_full),
                 stream::SCHEMA => stream::validate(&text, require_full),
+                reuse::SCHEMA => reuse::validate(&text, require_full),
                 _ => baseline::validate(&text, require_full),
             };
             match result {

@@ -18,6 +18,7 @@ pub mod baseline;
 pub mod experiments;
 pub mod json;
 pub mod parallel;
+pub mod reuse;
 pub mod stream;
 pub mod table;
 

@@ -2,9 +2,10 @@
 //! sequential fast engine, serialized to `BENCH_parallel.json`.
 //!
 //! For each (family, size, connectivity) point the sweep times the
-//! sequential [`FastLabeler`] once and the strip-parallel
-//! [`ParallelLabeler`] at every thread count in [`THREAD_COUNTS`], asserting
-//! bit-identical labels while timing. The recorded `host_threads` (the
+//! sequential fast engine once and the strip-parallel engine at every
+//! thread count in [`THREAD_COUNTS`] — both as warm registry sessions
+//! ([`EngineKind::session`]) — asserting bit-identical labels while timing.
+//! The recorded `host_threads` (the
 //! machine's available parallelism) travels with the file: wall-clock
 //! speedup is a property of the recording host, and the [`validate`]
 //! headline criterion — parallel@4 ≥ 1.8× the sequential engine on
@@ -13,7 +14,8 @@
 
 use crate::baseline::{conn_id, reps_for, time_reps, CONNS, SEED};
 use crate::json;
-use slap_image::{fast::FastLabeler, gen, LabelGrid, ParallelLabeler};
+use slap_cc::engine::EngineKind;
+use slap_image::{gen, LabelGrid};
 use std::fmt::Write as _;
 
 /// Schema identifier stamped into (and required from) every parallel file.
@@ -79,12 +81,15 @@ fn sweep_params(quick: bool) -> (&'static [&'static str], &'static [usize]) {
     }
 }
 
-/// Runs the sweep. `progress` receives one line per timed point.
+/// Runs the sweep. `progress` receives one line per timed point. Engines
+/// are warm registry sessions: one [`EngineKind::Fast`] session as the
+/// sequential reference, one [`EngineKind::Parallel`] session per thread
+/// count.
 pub fn run_parallel(quick: bool, mut progress: impl FnMut(&str)) -> ParallelReport {
     let (families, sides) = sweep_params(quick);
     let host_threads = std::thread::available_parallelism().map_or(1, |p| p.get());
     let mut entries = Vec::new();
-    let mut fast = FastLabeler::new();
+    let mut fast = EngineKind::Fast.session(1);
     let mut fast_grid = LabelGrid::new_background(1, 1);
     let mut par_grid = LabelGrid::new_background(1, 1);
     for &family in families {
@@ -114,7 +119,7 @@ pub fn run_parallel(quick: bool, mut progress: impl FnMut(&str)) -> ParallelRepo
                     bit_identical: None,
                 });
                 for &t in THREAD_COUNTS {
-                    let mut labeler = ParallelLabeler::new(t);
+                    let mut labeler = EngineKind::Parallel.session(t);
                     let (best, mean) = time_reps(reps, || {
                         labeler.label_into(std::hint::black_box(&img), conn, &mut par_grid);
                     });

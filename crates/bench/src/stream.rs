@@ -70,14 +70,17 @@ fn sweep_params(quick: bool) -> (&'static [&'static str], &'static [usize]) {
     }
 }
 
-/// One full streaming pass over `img` (rows pushed, everything drained).
-fn stream_once(img: &Bitmap, conn: Connectivity) -> StreamLabeler {
-    let mut labeler = StreamLabeler::new(img.cols(), conn);
+/// One full streaming pass over `img` through a **warm session**: the
+/// labeler is rewound ([`StreamLabeler::reset`]) instead of reconstructed,
+/// so repeated passes reuse every arena — the same steady state the engine
+/// layer's sessions guarantee (cold-vs-warm deltas are what `slap-bench
+/// reuse` records).
+fn stream_once(labeler: &mut StreamLabeler, img: &Bitmap, conn: Connectivity) {
+    labeler.reset(img.cols(), conn);
     for r in 0..img.rows() {
         labeler.push_row(img.row_words(r));
     }
     labeler.finish();
-    labeler
 }
 
 /// Runs the sweep. `progress` receives one line per timed point.
@@ -94,15 +97,16 @@ pub fn run_stream(quick: bool, mut progress: impl FnMut(&str)) -> StreamReport {
                 // Untimed pass: memory peaks + feature equivalence against
                 // the whole-frame engine (exercising the core's retirement
                 // hook end to end).
+                let mut labeler = StreamLabeler::new(img.cols(), conn);
                 let stats = {
-                    let mut labeler = stream_once(&img, conn);
+                    stream_once(&mut labeler, &img, conn);
                     labeler.drain_retired();
                     labeler.stats()
                 };
                 let reference = component_features(&img, &fast_labels_conn(&img, conn), conn);
                 let equivalent = streamed_features(&img, conn) == reference.per_component;
                 let (best, mean) = time_reps(reps, || {
-                    let mut labeler = stream_once(std::hint::black_box(&img), conn);
+                    stream_once(&mut labeler, std::hint::black_box(&img), conn);
                     std::hint::black_box(labeler.drain_retired().count());
                 });
                 progress(&format!(

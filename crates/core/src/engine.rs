@@ -1,0 +1,463 @@
+//! The unified host-engine layer: one trait, persistent sessions, and a
+//! registry-driven dispatch surface.
+//!
+//! The workspace grew four host labeling engines — the BFS gold oracle, the
+//! word-parallel [`fast`](crate::fast) engine, its strip-parallel variant,
+//! and the bounded-memory streaming engine — and, as the two-pass parallel
+//! CCL literature observes (Gupta et al., arXiv:1606.05973), they all share
+//! one skeleton: *group foreground into equivalence classes, then resolve
+//! every pixel's class to the component minimum*. This module names that
+//! skeleton in the type system:
+//!
+//! * [`LabelEngine`] — the common interface: `label_into(&mut self, img,
+//!   conn, out) -> EngineStats`. Implementations are **sessions**: each owns
+//!   its scratch arenas (run tables, union–find nodes, frontier buffers,
+//!   per-strip pools) and reuses them across calls, so a warm session in
+//!   steady state performs **zero heap allocation** per frame — the
+//!   difference the `slap-bench reuse` sweep records.
+//! * [`BfsSession`], [`FastSession`], [`ParallelSession`], [`StreamSession`]
+//!   — the four engines behind the trait. All produce **bit-identical**
+//!   output (component minima are decomposition-invariant), which the
+//!   `engine_matrix` differential harness asserts across every registered
+//!   engine × workload family × connectivity.
+//! * [`EngineKind`] + [`registry`] — the dispatch layer: every engine
+//!   enumerated with its capabilities (supported connectivities, thread
+//!   scaling, memory class), so consumers — the `slap` CLI's `--engine`
+//!   flag, the bench sweeps, the differential suites — pick engines from
+//!   *data* instead of hand-rolled match arms, the adaptive-selection shape
+//!   argued for by Sutton et al. (arXiv:1612.01178).
+
+use slap_image::fast::{FastLabeler, ParallelLabeler};
+use slap_image::stream::StreamGridLabeler;
+use slap_image::{BfsOracle, Bitmap, Connectivity, LabelGrid};
+
+/// What one [`LabelEngine::label_into`] call observed. Cheap to produce
+/// (derived from state the engines already maintain) and uniform across
+/// engines, so sweeps and reports can print one table.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Number of connected components labeled.
+    pub components: usize,
+    /// Size of the run universe the engine worked over (`0` for the
+    /// pixel-probing BFS oracle, which has no run decomposition).
+    pub runs: usize,
+    /// Worker threads used for this call (`1` for sequential engines).
+    pub threads: usize,
+    /// Peak active-run frontier observed (streaming engine only; `0` for
+    /// whole-frame engines).
+    pub peak_frontier_runs: usize,
+}
+
+/// A persistent labeling session: the unified interface over every host
+/// engine.
+///
+/// A session is stateful scratch, not configuration — create one, then feed
+/// it any number of images of any dimensions and either connectivity. The
+/// contract every implementation upholds:
+///
+/// * **bit-identity** — the output grid equals
+///   [`slap_image::bfs_labels_conn`] exactly (component minima, not merely
+///   the same partition);
+/// * **reuse** — scratch arenas persist across calls; once every arena has
+///   reached its high-water mark ([`LabelEngine::scratch_bytes`] stable), a
+///   call performs no heap allocation;
+/// * **isolation** — no state leaks between calls: a warm session's output
+///   is bit-identical to a fresh one's for every input.
+pub trait LabelEngine {
+    /// Which registered engine this session is.
+    fn kind(&self) -> EngineKind;
+
+    /// Labels `img` into `out` (re-dimensioned as needed; every cell
+    /// written) and reports what the call observed.
+    fn label_into(&mut self, img: &Bitmap, conn: Connectivity, out: &mut LabelGrid) -> EngineStats;
+
+    /// Total bytes of scratch capacity currently reserved — the session's
+    /// arena high-water mark. Tests assert warm calls perform zero
+    /// reallocations by checking this is stable across repeated inputs.
+    fn scratch_bytes(&self) -> usize;
+
+    /// Worker threads this session labels with (`1` unless multithreaded).
+    fn threads(&self) -> usize {
+        1
+    }
+}
+
+/// Session over the sequential BFS flood-fill gold oracle
+/// ([`BfsOracle`]): per-pixel probing, the reference every other engine is
+/// differentially tested against.
+#[derive(Debug, Default)]
+pub struct BfsSession {
+    oracle: BfsOracle,
+}
+
+impl BfsSession {
+    /// Creates a session with empty (growable) scratch.
+    pub fn new() -> Self {
+        BfsSession::default()
+    }
+}
+
+impl LabelEngine for BfsSession {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Bfs
+    }
+
+    fn label_into(&mut self, img: &Bitmap, conn: Connectivity, out: &mut LabelGrid) -> EngineStats {
+        let components = self.oracle.label_into(img, conn, out);
+        EngineStats {
+            components,
+            runs: 0,
+            threads: 1,
+            peak_frontier_runs: 0,
+        }
+    }
+
+    fn scratch_bytes(&self) -> usize {
+        self.oracle.scratch_bytes()
+    }
+}
+
+/// Session over the word-parallel run-based fast engine
+/// ([`FastLabeler`]): the sequential hot path and default choice.
+#[derive(Debug, Default)]
+pub struct FastSession {
+    labeler: FastLabeler,
+}
+
+impl FastSession {
+    /// Creates a session with empty (growable) scratch.
+    pub fn new() -> Self {
+        FastSession::default()
+    }
+}
+
+impl LabelEngine for FastSession {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Fast
+    }
+
+    fn label_into(&mut self, img: &Bitmap, conn: Connectivity, out: &mut LabelGrid) -> EngineStats {
+        self.labeler.label_into(img, conn, out);
+        EngineStats {
+            components: self.labeler.last_components(),
+            runs: self.labeler.last_runs(),
+            threads: 1,
+            peak_frontier_runs: 0,
+        }
+    }
+
+    fn scratch_bytes(&self) -> usize {
+        self.labeler.scratch_bytes()
+    }
+}
+
+/// Session over the strip-parallel engine ([`ParallelLabeler`]): `threads`
+/// scoped workers label disjoint row bands, seams are stitched over the run
+/// universe, and the flatten runs per-strip in parallel.
+#[derive(Debug)]
+pub struct ParallelSession {
+    labeler: ParallelLabeler,
+}
+
+impl ParallelSession {
+    /// Creates a session that labels on `threads` workers (clamped to ≥ 1).
+    pub fn new(threads: usize) -> Self {
+        ParallelSession {
+            labeler: ParallelLabeler::new(threads),
+        }
+    }
+}
+
+impl LabelEngine for ParallelSession {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Parallel
+    }
+
+    fn label_into(&mut self, img: &Bitmap, conn: Connectivity, out: &mut LabelGrid) -> EngineStats {
+        self.labeler.label_into(img, conn, out);
+        EngineStats {
+            components: self.labeler.last_components(),
+            runs: self.labeler.last_runs(),
+            threads: self.labeler.threads(),
+            peak_frontier_runs: 0,
+        }
+    }
+
+    fn scratch_bytes(&self) -> usize {
+        self.labeler.scratch_bytes()
+    }
+
+    fn threads(&self) -> usize {
+        self.labeler.threads()
+    }
+}
+
+/// Session over the streaming engine ([`StreamGridLabeler`]): rows replayed
+/// one at a time through the bounded-frontier labeler, with a run log that
+/// turns the retirement records into a whole grid. The grid output costs
+/// `O(rows × cols)` like every other engine here; the union–find itself
+/// stays in the `O(cols + live)` frontier regime.
+#[derive(Debug, Default)]
+pub struct StreamSession {
+    labeler: StreamGridLabeler,
+}
+
+impl StreamSession {
+    /// Creates a session with empty (growable) scratch.
+    pub fn new() -> Self {
+        StreamSession::default()
+    }
+}
+
+impl LabelEngine for StreamSession {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Stream
+    }
+
+    fn label_into(&mut self, img: &Bitmap, conn: Connectivity, out: &mut LabelGrid) -> EngineStats {
+        self.labeler.label_into(img, conn, out);
+        EngineStats {
+            components: self.labeler.last_components(),
+            runs: self.labeler.last_runs(),
+            threads: 1,
+            peak_frontier_runs: self.labeler.last_stats().peak_frontier_runs,
+        }
+    }
+
+    fn scratch_bytes(&self) -> usize {
+        self.labeler.scratch_bytes()
+    }
+}
+
+/// The registered host engines.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// Sequential BFS flood fill (the gold oracle).
+    Bfs,
+    /// Word-parallel run-based two-pass (the sequential hot path).
+    Fast,
+    /// Strip-parallel two-pass with seam stitching (scales with cores).
+    Parallel,
+    /// Streaming run-based labeler (one row per beat, bounded frontier).
+    Stream,
+}
+
+/// How an engine's working memory scales (the grid output is always
+/// `O(rows × cols)` on top).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MemoryClass {
+    /// `O(rows × cols)` auxiliary state (per-pixel probing).
+    PixelGrid,
+    /// `O(runs)` arenas over the run universe.
+    RunArena,
+    /// `O(cols + live components)` union–find; `O(runs)` only for the
+    /// grid-output log.
+    BoundedFrontier,
+}
+
+impl EngineKind {
+    /// Every registered kind, in registry order.
+    pub const ALL: [EngineKind; 4] = [
+        EngineKind::Bfs,
+        EngineKind::Fast,
+        EngineKind::Parallel,
+        EngineKind::Stream,
+    ];
+
+    /// Short stable name (accepted by [`EngineKind::parse`] and the CLI's
+    /// `--engine` flag).
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Bfs => "bfs",
+            EngineKind::Fast => "fast",
+            EngineKind::Parallel => "parallel",
+            EngineKind::Stream => "stream",
+        }
+    }
+
+    /// Parses an engine name as printed by [`EngineKind::name`].
+    pub fn parse(s: &str) -> Option<EngineKind> {
+        EngineKind::ALL.into_iter().find(|k| k.name() == s)
+    }
+
+    /// This kind's registry entry.
+    pub fn info(self) -> &'static EngineInfo {
+        &REGISTRY[EngineKind::ALL
+            .iter()
+            .position(|&k| k == self)
+            .expect("every kind is registered")]
+    }
+
+    /// Opens a fresh session of this engine. `threads` is honored by
+    /// multithreaded engines and ignored (as documented in the registry) by
+    /// sequential ones.
+    pub fn session(self, threads: usize) -> Box<dyn LabelEngine> {
+        match self {
+            EngineKind::Bfs => Box::new(BfsSession::new()),
+            EngineKind::Fast => Box::new(FastSession::new()),
+            EngineKind::Parallel => Box::new(ParallelSession::new(threads)),
+            EngineKind::Stream => Box::new(StreamSession::new()),
+        }
+    }
+}
+
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One registry row: an engine and its capabilities.
+#[derive(Debug)]
+pub struct EngineInfo {
+    /// The engine.
+    pub kind: EngineKind,
+    /// One-line description for `--engine` help and docs.
+    pub description: &'static str,
+    /// Adjacency conventions the engine supports (all four engines support
+    /// both; the field exists so a future engine may register less).
+    pub connectivities: &'static [Connectivity],
+    /// Whether the engine scales with a `threads` parameter.
+    pub multithreaded: bool,
+    /// Auxiliary-memory scaling class.
+    pub memory: MemoryClass,
+    /// Whether the underlying algorithm consumes rows incrementally (and so
+    /// also powers `slap stream` / unbounded ingest).
+    pub streaming: bool,
+}
+
+/// The registry rows, in [`EngineKind::ALL`] order.
+static REGISTRY: [EngineInfo; 4] = [
+    EngineInfo {
+        kind: EngineKind::Bfs,
+        description: "sequential BFS flood fill — the gold reference oracle",
+        connectivities: &[Connectivity::Four, Connectivity::Eight],
+        multithreaded: false,
+        memory: MemoryClass::PixelGrid,
+        streaming: false,
+    },
+    EngineInfo {
+        kind: EngineKind::Fast,
+        description: "word-parallel run-based two-pass — the sequential hot path",
+        connectivities: &[Connectivity::Four, Connectivity::Eight],
+        multithreaded: false,
+        memory: MemoryClass::RunArena,
+        streaming: false,
+    },
+    EngineInfo {
+        kind: EngineKind::Parallel,
+        description: "strip-parallel two-pass with seam stitching — scales with cores",
+        connectivities: &[Connectivity::Four, Connectivity::Eight],
+        multithreaded: true,
+        memory: MemoryClass::RunArena,
+        streaming: false,
+    },
+    EngineInfo {
+        kind: EngineKind::Stream,
+        description: "streaming scan-line labeler — O(cols + live) frontier, row-at-a-time input",
+        connectivities: &[Connectivity::Four, Connectivity::Eight],
+        multithreaded: false,
+        memory: MemoryClass::BoundedFrontier,
+        streaming: true,
+    },
+];
+
+/// Enumerates every registered engine with its capabilities, in
+/// [`EngineKind::ALL`] order. The single source of truth the CLI, the bench
+/// sweeps, and the differential harness dispatch from.
+pub fn registry() -> &'static [EngineInfo] {
+    &REGISTRY
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slap_image::{bfs_labels_conn, gen};
+
+    #[test]
+    fn registry_covers_every_kind_exactly_once() {
+        assert_eq!(registry().len(), EngineKind::ALL.len());
+        for (row, kind) in registry().iter().zip(EngineKind::ALL) {
+            assert_eq!(row.kind, kind);
+            assert_eq!(kind.info().kind, kind);
+            assert_eq!(EngineKind::parse(kind.name()), Some(kind));
+            assert!(!row.description.is_empty());
+            assert!(!row.connectivities.is_empty());
+        }
+        assert_eq!(EngineKind::parse("oracle"), None);
+    }
+
+    #[test]
+    fn every_session_matches_the_oracle_and_reports_sane_stats() {
+        let img = gen::by_name("blobs", 37, 5).unwrap();
+        for info in registry() {
+            let mut session = info.kind.session(3);
+            let mut grid = LabelGrid::new_background(1, 1);
+            for &conn in info.connectivities {
+                let truth = bfs_labels_conn(&img, conn);
+                let stats = session.label_into(&img, conn, &mut grid);
+                assert_eq!(grid, truth, "{} {conn}", info.kind);
+                assert_eq!(
+                    stats.components,
+                    truth.component_count(),
+                    "{} {conn}",
+                    info.kind
+                );
+                assert_eq!(stats.threads, session.threads(), "{}", info.kind);
+                if info.kind != EngineKind::Bfs {
+                    assert!(stats.runs > 0, "{} reports its run universe", info.kind);
+                }
+                if info.kind == EngineKind::Stream {
+                    assert!(stats.peak_frontier_runs > 0);
+                    assert!(stats.peak_frontier_runs <= img.cols() / 2 + 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sessions_reach_a_stable_scratch_watermark() {
+        // Two warm-up passes over the frame set (double-buffered arenas can
+        // need a second pass for both halves to hit their highs), then the
+        // steady state: further passes must not grow any arena — the
+        // zero-allocation regime the reuse bench records.
+        let frames: Vec<_> = ["random50", "checker", "blobs"]
+            .iter()
+            .map(|name| gen::by_name(name, 48, 9).unwrap())
+            .collect();
+        for info in registry() {
+            let mut session = info.kind.session(2);
+            let mut grid = LabelGrid::new_background(1, 1);
+            for _ in 0..2 {
+                for img in &frames {
+                    session.label_into(img, Connectivity::Four, &mut grid);
+                }
+            }
+            let watermark = session.scratch_bytes();
+            assert!(watermark > 0, "{} owns scratch arenas", info.kind);
+            for img in &frames {
+                session.label_into(img, Connectivity::Four, &mut grid);
+            }
+            assert_eq!(
+                session.scratch_bytes(),
+                watermark,
+                "{}: warm repeat of a seen frame set must not allocate",
+                info.kind
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_session_honors_thread_counts() {
+        let img = gen::by_name("maze", 32, 3).unwrap();
+        let truth = bfs_labels_conn(&img, Connectivity::Four);
+        for t in [1usize, 2, 4, 8] {
+            let mut session = EngineKind::Parallel.session(t);
+            assert_eq!(session.threads(), t.max(1));
+            let mut grid = LabelGrid::new_background(1, 1);
+            let stats = session.label_into(&img, Connectivity::Four, &mut grid);
+            assert_eq!(grid, truth, "threads={t}");
+            assert_eq!(stats.threads, t.max(1));
+        }
+    }
+}

@@ -218,6 +218,21 @@ pub fn component_features(img: &Bitmap, labels: &LabelGrid, conn: Connectivity) 
     }
 }
 
+/// [`component_features`] with the labeling produced by an arbitrary
+/// registered engine session ([`crate::engine::LabelEngine`]): the hook the
+/// CLI's `features --engine` path dispatches through, so feature extraction
+/// is engine-agnostic by construction (every engine labels bit-identically).
+/// `out` is the session's reusable label grid.
+pub fn features_with_engine(
+    img: &Bitmap,
+    conn: Connectivity,
+    session: &mut dyn crate::engine::LabelEngine,
+    out: &mut LabelGrid,
+) -> FeatureRun {
+    session.label_into(img, conn, out);
+    component_features(img, out, conn)
+}
+
 /// Euler number report: the value plus the cost model of computing it on the
 /// array.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -450,6 +465,25 @@ mod tests {
                     streamed_features(&img, conn),
                     folded.per_component,
                     "workload {name} {conn}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn features_with_engine_agree_across_the_registry() {
+        let img = gen::by_name("blobs", 28, 13).unwrap();
+        let mut grid = slap_image::LabelGrid::new_background(1, 1);
+        for conn in [Connectivity::Four, Connectivity::Eight] {
+            let labels = fast_labels_conn(&img, conn);
+            let reference = component_features(&img, &labels, conn);
+            for info in crate::engine::registry() {
+                let mut session = info.kind.session(2);
+                let run = features_with_engine(&img, conn, session.as_mut(), &mut grid);
+                assert_eq!(
+                    run.per_component, reference.per_component,
+                    "{} {conn}",
+                    info.kind
                 );
             }
         }

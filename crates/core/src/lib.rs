@@ -35,6 +35,12 @@
 //! seams in [`stitch::stitch_bands`], the specification behind the
 //! strip-parallel engine's seam pass.
 //!
+//! The [`engine`] module unifies those host engines behind one trait:
+//! [`LabelEngine`] sessions own their scratch arenas and relabel
+//! allocation-free in steady state, and [`registry`] enumerates every engine
+//! with its capabilities so the CLI, the bench sweeps, and the differential
+//! suites dispatch from data rather than per-engine match arms.
+//!
 //! # Quick start
 //!
 //! ```
@@ -52,6 +58,7 @@
 pub mod aggregate;
 pub mod bitserial;
 pub mod cc;
+pub mod engine;
 pub mod features;
 pub mod lockstep_cc;
 pub mod passes;
@@ -62,6 +69,10 @@ pub mod stitch;
 pub use cc::{
     label_components, label_components_kind, CcMetrics, CcOptions, CcRun, ForwardPolicy,
     PassMetrics,
+};
+pub use engine::{
+    registry, BfsSession, EngineInfo, EngineKind, EngineStats, FastSession, LabelEngine,
+    MemoryClass, ParallelSession, StreamSession,
 };
 pub use runs::label_components_runs;
 pub use slap_image::fast;

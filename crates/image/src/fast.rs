@@ -76,6 +76,9 @@ pub struct FastLabeler {
     node: Vec<u64>,
     /// Scratch words for the 4-connectivity merge: `row[r] & row[r-1]`.
     and_buf: Vec<u64>,
+    /// Root count of the most recent call, folded into the output sweep (so
+    /// [`FastLabeler::last_components`] is O(1), never a node-arena rescan).
+    components: usize,
 }
 
 /// Mask selecting the `min_pos` half of a packed union–find node.
@@ -279,6 +282,7 @@ impl FastLabeler {
         // half and the component minimum in its `min_pos` half — whether `p`
         // is the root itself or not — and copying it down both flattens `k`
         // and delivers its label.
+        let mut components = 0usize;
         for r in 0..rows {
             let (lo, hi) = (self.row_runs[r] as usize, self.row_runs[r + 1] as usize);
             let row = out.row_mut(r);
@@ -288,6 +292,7 @@ impl FastLabeler {
                 // Branchless flatten: for a root, `p == k` and the copy is a
                 // no-op self-assignment.
                 let p = self.node[k] as u32;
+                components += (p as usize == k) as usize;
                 let np = self.node[p as usize];
                 self.node[k] = np;
                 let label = (np >> 32) as u32;
@@ -302,17 +307,42 @@ impl FastLabeler {
                 }
             }
         }
+        self.components = components;
     }
 
     /// Counts components (number of union–find roots) without writing any
     /// labels.
     pub fn count_components(&mut self, img: &Bitmap, conn: Connectivity) -> usize {
         self.build_runs(img, conn);
-        self.node
+        self.components = self
+            .node
             .iter()
             .enumerate()
             .filter(|&(k, &n)| n as u32 == k as u32)
-            .count()
+            .count();
+        self.components
+    }
+
+    /// Number of runs extracted by the most recent labeling call.
+    pub fn last_runs(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Number of components found by the most recent labeling call. O(1):
+    /// the count is folded into the labeling sweep itself.
+    pub fn last_components(&self) -> usize {
+        self.components
+    }
+
+    /// Total bytes of scratch capacity currently reserved — the session's
+    /// high-water mark. Steady-state reuse keeps this constant; tests assert
+    /// warm calls perform zero arena reallocations by watching it.
+    pub fn scratch_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.runs.capacity() * size_of::<u64>()
+            + self.row_runs.capacity() * size_of::<u32>()
+            + self.node.capacity() * size_of::<u64>()
+            + self.and_buf.capacity() * size_of::<u64>()
     }
 }
 

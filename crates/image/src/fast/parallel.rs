@@ -22,10 +22,10 @@
 //!    of the two facing rows are unioned under the requested connectivity
 //!    (word-level `AND` adjacency for 4-connectivity, diagonal-reach
 //!    two-pointer join for 8);
-//! 4. **flatten (sequential, `O(runs)`)** — one ascending sweep pulls every
-//!    node's root and component minimum down, exploiting that every parent
-//!    points to a smaller global index (strip links do locally, the offset
-//!    preserves order, and seam links always aim at the strip above);
+//! 4. **flatten (parallel)** — a tiny sequential pre-pass (`O(seam runs)`)
+//!    finalizes the recorded seam-loser chains, after which each strip's
+//!    ascending sweep only ever reads its own nodes (every remaining parent
+//!    points down *within* the strip), so the workers flatten concurrently;
 //! 5. **output (parallel)** — workers fill disjoint row bands of the
 //!    [`LabelGrid`] ([`LabelGrid::strip_rows_mut`]) with run-at-a-time label
 //!    fills.
@@ -34,7 +34,7 @@
 //! BFS oracle for every image, connectivity, and thread count: labels are
 //! component minima, which no decomposition can change.
 
-use super::{find_in, link_roots, FastLabeler};
+use super::{link_roots, FastLabeler};
 use crate::bitmap::{for_each_run_in_words, Bitmap};
 use crate::connectivity::Connectivity;
 use crate::labels::LabelGrid;
@@ -79,6 +79,18 @@ pub struct ParallelLabeler {
     row_runs: Vec<u32>,
     /// Scratch words for 4-connectivity seam adjacency: `row[s] & row[s-1]`.
     seam_and: Vec<u64>,
+    /// Roots that lost a seam union (their parent may cross a strip
+    /// boundary) — the only nodes the cross-strip flatten pre-pass must
+    /// finalize before the per-strip sweeps run independently.
+    seam_losers: Vec<u32>,
+    /// Scratch path for the pre-pass root chases.
+    chase: Vec<u32>,
+    /// Root count each flatten worker observed in its strip (summed by
+    /// [`ParallelLabeler::last_components`]).
+    strip_roots: Vec<usize>,
+    /// Whether the most recent call took the multi-strip path (`false`: the
+    /// sequential delegate in `strips[0]` holds the run/node state).
+    last_parallel: bool,
 }
 
 impl ParallelLabeler {
@@ -91,7 +103,48 @@ impl ParallelLabeler {
             node: Vec::new(),
             row_runs: Vec::new(),
             seam_and: Vec::new(),
+            seam_losers: Vec::new(),
+            chase: Vec::new(),
+            strip_roots: Vec::new(),
+            last_parallel: false,
         }
+    }
+
+    /// Number of runs extracted by the most recent labeling call.
+    pub fn last_runs(&self) -> usize {
+        if self.last_parallel {
+            self.runs.len()
+        } else {
+            self.strips.first().map_or(0, FastLabeler::last_runs)
+        }
+    }
+
+    /// Number of components found by the most recent labeling call. O(strip
+    /// count): each flatten worker counts its own roots as it sweeps.
+    pub fn last_components(&self) -> usize {
+        if self.last_parallel {
+            self.strip_roots.iter().sum()
+        } else {
+            self.strips.first().map_or(0, FastLabeler::last_components)
+        }
+    }
+
+    /// Total bytes of scratch capacity currently reserved across the global
+    /// arenas and every per-strip labeler — the session's high-water mark.
+    pub fn scratch_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.runs.capacity() * size_of::<u64>()
+            + self.node.capacity() * size_of::<u64>()
+            + self.row_runs.capacity() * size_of::<u32>()
+            + self.seam_and.capacity() * size_of::<u64>()
+            + self.seam_losers.capacity() * size_of::<u32>()
+            + self.chase.capacity() * size_of::<u32>()
+            + self.strip_roots.capacity() * size_of::<usize>()
+            + self
+                .strips
+                .iter()
+                .map(FastLabeler::scratch_bytes)
+                .sum::<usize>()
     }
 
     /// The worker count requested at construction.
@@ -110,9 +163,11 @@ impl ParallelLabeler {
             self.strips.push(FastLabeler::new());
         }
         if t <= 1 {
+            self.last_parallel = false;
             self.strips[0].label_into(img, conn, out);
             return;
         }
+        self.last_parallel = true;
         while self.strips.len() < t {
             self.strips.push(FastLabeler::new());
         }
@@ -186,7 +241,11 @@ impl ParallelLabeler {
 
         // Phase 3: seam unions. Each seam joins the last row of strip i-1
         // with the first row of strip i; O(words + seam runs) per seam, so
-        // the sequential pass is negligible next to the strip work.
+        // the sequential pass is negligible next to the strip work. Every
+        // root that loses a union is recorded: those are exactly the nodes
+        // whose parent may cross a strip boundary, which phase 4a must
+        // finalize before the strips can flatten independently.
+        self.seam_losers.clear();
         for &seam in &bounds[1..t] {
             let cur = self.row_runs[seam] as usize..self.row_runs[seam + 1] as usize;
             let prev = self.row_runs[seam - 1] as usize..self.row_runs[seam] as usize;
@@ -206,21 +265,69 @@ impl ParallelLabeler {
                         cols,
                         cur.start,
                         prev.start,
+                        &mut self.seam_losers,
                     );
                 }
                 Connectivity::Eight => {
-                    seam_union_eight(&mut self.node, &self.runs, cur, prev);
+                    seam_union_eight(&mut self.node, &self.runs, cur, prev, &mut self.seam_losers);
                 }
             }
         }
 
-        // Phase 4: flatten. Ascending order + parents-point-down means
-        // node[parent] is already flattened when node[k] copies it, leaving
-        // every node as `component_min << 32 | root` (roots self-copy).
-        for k in 0..total {
-            let p = self.node[k] as u32;
-            self.node[k] = self.node[p as usize];
+        // Phase 4a: finalize the seam losers (sequential, O(seam runs) —
+        // independent of the strip sizes). Chasing a loser's parent chain
+        // ends at a true root holding the component minimum (link_roots
+        // keeps minima at survivors); writing that packed `min << 32 | root`
+        // back along the path makes every node with a cross-strip parent
+        // final, so the per-strip sweeps below never have to read another
+        // strip's (concurrently mutated) nodes.
+        for i in 0..self.seam_losers.len() {
+            let mut x = self.seam_losers[i];
+            self.chase.clear();
+            loop {
+                let p = self.node[x as usize] as u32;
+                if p == x {
+                    break;
+                }
+                self.chase.push(x);
+                x = p;
+            }
+            let final_val = self.node[x as usize];
+            for &y in &self.chase {
+                self.node[y as usize] = final_val;
+            }
         }
+
+        // Phase 4b: flatten, parallel over strips. Within a strip, ascending
+        // order + parents-point-down means node[parent] is already flattened
+        // when node[k] copies it; a parent below the strip base marks a
+        // phase-4a-finalized node, which is skipped. Every node ends as
+        // `component_min << 32 | root` (roots self-copy — counted here per
+        // strip so `last_components` never rescans the arena).
+        self.strip_roots.clear();
+        self.strip_roots.resize(t, 0);
+        std::thread::scope(|s| {
+            let mut rest = &mut self.node[..];
+            for (i, roots) in self.strip_roots.iter_mut().enumerate() {
+                let (lo, hi) = (base[i], base[i + 1]);
+                let (strip, tail) = rest.split_at_mut(hi - lo);
+                rest = tail;
+                s.spawn(move || {
+                    let mut count = 0usize;
+                    for k in 0..strip.len() {
+                        let p = strip[k] as u32 as usize;
+                        if let Some(pl) = p.checked_sub(lo) {
+                            if pl == k {
+                                count += 1; // root: the copy would be a no-op
+                            } else {
+                                strip[k] = strip[pl];
+                            }
+                        }
+                    }
+                    *roots = count;
+                });
+            }
+        });
 
         // Phase 5: write labels, parallel over disjoint row bands.
         out.reset_dims(rows, cols);
@@ -250,11 +357,28 @@ impl ParallelLabeler {
     }
 }
 
+/// Read-only find over the packed nodes. The seam pass deliberately does
+/// **not** path-halve: halving could rewrite a non-root node's parent onto a
+/// cross-strip ancestor, breaking the phase-4a invariant that only recorded
+/// seam losers carry cross-strip parents. Chains are at most a few seam
+/// links long (one per strip a component spans), so pure finds stay cheap.
+fn find_pure(node: &[u64], mut x: u32) -> u32 {
+    loop {
+        let p = node[x as usize] as u32;
+        if p == x {
+            return x;
+        }
+        x = p;
+    }
+}
+
 /// 4-connectivity seam union: every maximal run of `and_words`
 /// (`seam_row & row_above`) marks one required union between a run of the
 /// lower seam row (runs start at global index `cur_lo`) and one of the upper
 /// row (starting at `prev_lo`). Unlike the fused in-strip merge, *both*
 /// sides need a find — each row has already been unioned into its strip.
+/// Each root that loses a link is appended to `losers` for the flatten
+/// pre-pass.
 fn seam_union_four(
     node: &mut [u64],
     runs: &[u64],
@@ -262,6 +386,7 @@ fn seam_union_four(
     cols: usize,
     cur_lo: usize,
     prev_lo: usize,
+    losers: &mut Vec<u32>,
 ) {
     let mut c = cur_lo; // cursor over the lower row's runs
     let mut q = prev_lo; // cursor over the upper row's runs
@@ -274,24 +399,29 @@ fn seam_union_four(
             while (runs[c] & 0xffff_ffff) < s {
                 c += 1;
             }
-            root = find_in(node, c as u32);
+            root = find_pure(node, c as u32);
         }
         while (runs[q] & 0xffff_ffff) < s {
             q += 1;
         }
-        let rq = find_in(node, q as u32);
+        let rq = find_pure(node, q as u32);
+        if rq != root {
+            losers.push(root.max(rq));
+        }
         root = link_roots(node, root, rq);
     });
 }
 
 /// 8-connectivity seam union: two-pointer join of the facing rows' run lists
 /// with one column of diagonal reach, finding on both sides (each row was
-/// already unioned into its strip).
+/// already unioned into its strip). Each root that loses a link is appended
+/// to `losers` for the flatten pre-pass.
 fn seam_union_eight(
     node: &mut [u64],
     runs: &[u64],
     cur: std::ops::Range<usize>,
     prev: std::ops::Range<usize>,
+    losers: &mut Vec<u32>,
 ) {
     let mut p = prev.start;
     for c in cur {
@@ -302,9 +432,12 @@ fn seam_union_eight(
             p += 1;
         }
         let mut q = p;
-        let mut root = find_in(node, c as u32);
+        let mut root = find_pure(node, c as u32);
         while q < prev.end && (runs[q] >> 32) <= bw {
-            let rq = find_in(node, q as u32);
+            let rq = find_pure(node, q as u32);
+            if rq != root {
+                losers.push(root.max(rq));
+            }
             root = link_roots(node, root, rq);
             q += 1;
         }

@@ -54,4 +54,6 @@ pub use fast::{
 };
 pub use labels::{ComponentInfo, LabelGrid};
 pub use oracle::{bfs_labels, bfs_labels_conn, BfsOracle};
-pub use stream::{label_stream, BitmapRows, RetiredComponent, RowSource, StreamLabeler};
+pub use stream::{
+    label_stream, BitmapRows, RetiredComponent, RowSource, StreamGridLabeler, StreamLabeler,
+};

@@ -25,17 +25,19 @@ impl BfsOracle {
     }
 
     /// Labels `img` into `out` (re-dimensioned and background-filled in
-    /// bulk). With a reused `out` grid of sufficient capacity the call is
-    /// allocation-free.
-    pub fn label_into(&mut self, img: &Bitmap, conn: Connectivity, out: &mut LabelGrid) {
+    /// bulk), returning the number of components found. With a reused `out`
+    /// grid of sufficient capacity the call is allocation-free.
+    pub fn label_into(&mut self, img: &Bitmap, conn: Connectivity, out: &mut LabelGrid) -> usize {
         let (rows, cols) = (img.rows(), img.cols());
         out.reset_background(rows, cols);
         let queue = &mut self.queue;
+        let mut components = 0usize;
         for c in 0..cols {
             for r in 0..rows {
                 if !img.get(r, c) || out.is_foreground(r, c) {
                     continue;
                 }
+                components += 1;
                 let label = img.position(r, c);
                 out.set(r, c, label);
                 queue.clear();
@@ -50,6 +52,13 @@ impl BfsOracle {
                 }
             }
         }
+        components
+    }
+
+    /// Total bytes of scratch capacity currently reserved (the traversal
+    /// queue) — the session's high-water mark.
+    pub fn scratch_bytes(&self) -> usize {
+        self.queue.capacity() * std::mem::size_of::<(u32, u32)>()
     }
 }
 

@@ -287,6 +287,126 @@ impl<R: Read> RowSource for PbmRowReader<R> {
     }
 }
 
+/// Writes `img` as one frame of the length-prefixed framed-PBM protocol: the
+/// frame's byte length in ASCII decimal terminated by one `\n`, followed by
+/// exactly that many bytes of a complete raw (`P4`) PBM image. Frames
+/// concatenate into a multi-image stream ([`FramedPbmReader`]) — the
+/// video-style continuous-ingest format `slap stream --framed` consumes.
+pub fn write_framed<W: Write>(img: &Bitmap, w: &mut W) -> io::Result<()> {
+    let mut frame = Vec::new();
+    write_raw(img, &mut frame)?;
+    writeln!(w, "{}", frame.len())?;
+    w.write_all(&frame)
+}
+
+/// Upper bound on a declared frame length (2³¹ bytes). A corrupt prefix
+/// below this still costs only the bytes that actually arrive — the body is
+/// read in bounded chunks, never pre-allocated to the declared length.
+const MAX_FRAME_BYTES: usize = 1 << 31;
+
+/// Reader for the length-prefixed multi-image PBM framing
+/// ([`write_framed`]): a stream of `<decimal length>\n<frame bytes>` records,
+/// each frame a complete PBM image (`P4` as written, though `P1` frames are
+/// accepted too). Frame dimensions may change between frames, so a single
+/// long-lived process can ingest a whole video feed without restarting.
+///
+/// One frame's *compressed* bytes are buffered at a time (the buffer is
+/// reused across frames); the pixels themselves still stream row by row
+/// through the returned [`PbmRowReader`].
+#[derive(Debug)]
+pub struct FramedPbmReader<R: Read> {
+    reader: io::BufReader<R>,
+    frame: Vec<u8>,
+}
+
+impl<R: Read> FramedPbmReader<R> {
+    /// Wraps `r`. No bytes are read until the first
+    /// [`FramedPbmReader::next_frame`] call.
+    pub fn new(r: R) -> Self {
+        FramedPbmReader {
+            reader: io::BufReader::new(r),
+            frame: Vec::new(),
+        }
+    }
+
+    /// Advances to the next frame: parses the decimal length prefix, reads
+    /// exactly that many bytes, and returns a row reader over them (its
+    /// header already validated). `Ok(None)` at a clean end of stream;
+    /// a truncated prefix or frame body is an error.
+    pub fn next_frame(&mut self) -> io::Result<Option<PbmRowReader<&[u8]>>> {
+        // Length prefix: optional leading whitespace (tolerates a trailing
+        // newline after a frame body), then digits up to the terminator.
+        let mut len: Option<usize> = None;
+        loop {
+            match next_byte(&mut self.reader)? {
+                None => {
+                    return match len {
+                        None => Ok(None), // clean end between frames
+                        Some(_) => Err(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "framed PBM length prefix not followed by a frame",
+                        )),
+                    };
+                }
+                Some(b) if b.is_ascii_digit() => {
+                    let d = (b - b'0') as usize;
+                    let v = len
+                        .unwrap_or(0)
+                        .checked_mul(10)
+                        .and_then(|v| v.checked_add(d))
+                        .filter(|&v| v <= MAX_FRAME_BYTES)
+                        .ok_or_else(|| {
+                            io::Error::new(
+                                io::ErrorKind::InvalidData,
+                                "framed PBM length prefix out of range",
+                            )
+                        })?;
+                    len = Some(v);
+                }
+                Some(b) if is_pbm_space(b) => {
+                    if len.is_some() {
+                        break;
+                    }
+                }
+                Some(other) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("bad framed PBM length byte {:?}", other as char),
+                    ));
+                }
+            }
+        }
+        let len = len.expect("loop breaks only with a parsed length");
+        // Read the frame body in bounded chunks: the buffer grows only as
+        // bytes actually arrive, so a lying length prefix costs at most one
+        // chunk of memory beyond the real data before read hits EOF.
+        self.frame.clear();
+        let mut chunk = [0u8; 64 * 1024];
+        let mut remaining = len;
+        while remaining > 0 {
+            let want = remaining.min(chunk.len());
+            match self.reader.read(&mut chunk[..want]) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        format!(
+                            "framed PBM truncated: {} of {len} frame bytes missing",
+                            remaining
+                        ),
+                    ))
+                }
+                Ok(got) => {
+                    self.frame.extend_from_slice(&chunk[..got]);
+                    remaining -= got;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        PbmRowReader::new(&self.frame[..]).map(Some)
+    }
+}
+
 /// Reads a PBM image in either `P1` or `P4` format. `#` comments are honored
 /// in the header and in `P1` pixel data. Built on [`PbmRowReader`], so it
 /// shares the byte-exact header handling with the streaming path.
@@ -425,5 +545,80 @@ mod tests {
     fn p1_rejects_garbage_pixel_characters() {
         let err = read("P1\n2 2\n1 0 x 1\n".as_bytes()).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn framed_stream_roundtrips_multiple_heterogeneous_frames() {
+        let frames = [
+            gen::uniform_random(5, 21, 0.5, 1),
+            gen::uniform_random(9, 70, 0.3, 2), // different dims mid-stream
+            gen::uniform_random(1, 1, 1.0, 3),
+        ];
+        let mut buf = Vec::new();
+        for img in &frames {
+            write_framed(img, &mut buf).unwrap();
+        }
+        let mut reader = FramedPbmReader::new(&buf[..]);
+        let mut words = Vec::new();
+        for (i, img) in frames.iter().enumerate() {
+            let mut frame = reader.next_frame().unwrap().unwrap_or_else(|| {
+                panic!("frame {i} missing");
+            });
+            assert_eq!((frame.rows(), frame.cols()), (img.rows(), img.cols()));
+            for r in 0..img.rows() {
+                assert!(frame.next_row(&mut words).unwrap());
+                assert_eq!(&words[..], img.row_words(r), "frame {i} row {r}");
+            }
+            assert!(!frame.next_row(&mut words).unwrap());
+        }
+        assert!(reader.next_frame().unwrap().is_none(), "clean end");
+        assert!(reader.next_frame().unwrap().is_none(), "idempotent end");
+    }
+
+    #[test]
+    fn framed_stream_rejects_truncation_and_garbage() {
+        // Truncated frame body.
+        let img = gen::uniform_random(4, 8, 0.5, 7);
+        let mut buf = Vec::new();
+        write_framed(&img, &mut buf).unwrap();
+        buf.truncate(buf.len() - 2);
+        let mut reader = FramedPbmReader::new(&buf[..]);
+        assert_eq!(
+            reader.next_frame().unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+        // Length prefix with no frame.
+        let mut reader = FramedPbmReader::new(&b"12"[..]);
+        assert_eq!(
+            reader.next_frame().unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+        // Non-digit prefix byte.
+        let mut reader = FramedPbmReader::new(&b"xy\n"[..]);
+        assert_eq!(
+            reader.next_frame().unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+        // Absurd length must error out, not allocate.
+        let mut reader = FramedPbmReader::new(&b"99999999999999999999\nP4"[..]);
+        assert_eq!(
+            reader.next_frame().unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+        // A lying (huge but in-range) prefix over a short body must fail
+        // with EOF after buffering only the real bytes, not pre-allocate
+        // the declared length.
+        let body: &[u8] = b"2000000000\nP4\n8 1\n\xff";
+        let real = body.len() - "2000000000\n".len();
+        let mut reader = FramedPbmReader::new(body);
+        assert_eq!(
+            reader.next_frame().unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+        assert!(
+            reader.frame.capacity() <= real + 64 * 1024,
+            "buffered {} bytes for a {real}-byte body",
+            reader.frame.capacity()
+        );
     }
 }

@@ -32,6 +32,7 @@
 
 use crate::bitmap::{count_ones_in_span, for_each_run_in_words, Bitmap};
 use crate::connectivity::Connectivity;
+use crate::labels::LabelGrid;
 use std::io;
 
 /// The finished feature record of a retired component (every field is final:
@@ -150,6 +151,11 @@ struct Node {
     touched: u64,
     /// Stamp guarding the retirement scan against visiting a root twice.
     scanned: u64,
+    /// Component id under [`StreamLabeler::track_comps`] (0 otherwise).
+    /// Unlike slots, component ids are never recycled within a stream, so a
+    /// grid-producing caller can resolve which component a long-dead run
+    /// ended up in ([`StreamGridLabeler`]).
+    comp: u32,
     rec: RetiredComponent,
 }
 
@@ -182,6 +188,19 @@ pub struct StreamLabeler {
     forwarded: Vec<u32>,
     /// Retired components awaiting [`StreamLabeler::drain_retired`].
     retired: Vec<RetiredComponent>,
+    /// Scratch words for the 4-connectivity merge: `row[r] & row[r-1]`.
+    and_buf: Vec<u64>,
+    /// When set, every component ever created gets a stable id: a slot
+    /// allocation mints a fresh id, a union records the merge in
+    /// `comp_parent`, and a retirement appends the root id to
+    /// `retired_comps` (parallel to `retired`). Off by default — the id
+    /// arena grows with the *total* component count, which would break the
+    /// `O(cols + live)` bound on unbounded streams.
+    track_comps: bool,
+    /// Union–find over component ids (grows monotonically; tracking only).
+    comp_parent: Vec<u32>,
+    /// Root component id per retirement, parallel to `retired`.
+    retired_comps: Vec<u32>,
     stats: StreamStats,
 }
 
@@ -204,11 +223,65 @@ impl StreamLabeler {
             free: Vec::new(),
             forwarded: Vec::new(),
             retired: Vec::new(),
+            and_buf: Vec::new(),
+            track_comps: false,
+            comp_parent: Vec::new(),
+            retired_comps: Vec::new(),
             stats: StreamStats {
                 cols,
                 ..StreamStats::default()
             },
         }
+    }
+
+    /// Rewinds the labeler to the state of a fresh [`StreamLabeler::new`]
+    /// with possibly different dimensions or connectivity, **keeping every
+    /// allocation**: a session labeling a stream of frames allocates only
+    /// when a frame exceeds all previous highs. Component tracking (an
+    /// internal mode of [`StreamGridLabeler`]) is switched off.
+    pub fn reset(&mut self, cols: usize, conn: Connectivity) {
+        self.cols = cols;
+        self.words_per_row = cols.div_ceil(64);
+        self.conn = conn;
+        self.stamp = 0;
+        self.finished = false;
+        self.prev_words.clear();
+        self.prev_words.resize(self.words_per_row, 0);
+        self.prev_runs.clear();
+        self.prev_slots.clear();
+        self.cur_runs.clear();
+        self.cur_slots.clear();
+        self.nodes.clear();
+        self.free.clear();
+        self.forwarded.clear();
+        self.retired.clear();
+        self.and_buf.clear();
+        self.track_comps = false;
+        self.comp_parent.clear();
+        self.retired_comps.clear();
+        self.stats = StreamStats {
+            cols,
+            ..StreamStats::default()
+        };
+    }
+
+    /// Total bytes of scratch capacity currently reserved — the session's
+    /// high-water mark. Steady-state reuse keeps this constant; tests assert
+    /// warm calls perform zero arena reallocations by watching it.
+    pub fn scratch_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.prev_words.capacity() * size_of::<u64>()
+            + self.prev_runs.capacity() * size_of::<u64>()
+            + self.prev_slots.capacity() * size_of::<u32>()
+            + self.cur_runs.capacity() * size_of::<u64>()
+            + self.cur_slots.capacity() * size_of::<u32>()
+            + self.nodes.capacity() * size_of::<Node>()
+            + self.free.capacity() * size_of::<u32>()
+            + self.forwarded.capacity() * size_of::<u32>()
+            + self.retired.capacity() * size_of::<RetiredComponent>()
+            + self.and_buf.capacity() * size_of::<u64>()
+            + self.comp_parent.capacity() * size_of::<u32>()
+            + self.retired_comps.capacity() * size_of::<u32>()
     }
 
     /// Row width accepted by [`StreamLabeler::push_row`].
@@ -272,6 +345,7 @@ impl StreamLabeler {
     /// Removes and returns the components retired so far (draining keeps the
     /// labeler's footprint at `O(cols + live)` on long streams).
     pub fn drain_retired(&mut self) -> std::vec::Drain<'_, RetiredComponent> {
+        self.retired_comps.clear(); // keep the tracking vec parallel
         self.retired.drain(..)
     }
 
@@ -320,41 +394,119 @@ impl StreamLabeler {
         for_each_run_in_words(words, self.cols, |a, b| {
             cur_runs.push(((a as u64) << 32) | b as u64);
         });
+        self.cur_slots.resize(self.cur_runs.len(), Self::NONE);
 
-        // 3) Merge sweep: a two-pointer join of the column-sorted run lists
-        // (diagonal reach under 8-connectivity), unioning every frontier
-        // component the run touches and folding the run's own feature
-        // contribution into the surviving root.
-        let mut p = 0usize;
+        // 3) Merge sweep: union every frontier component each new run
+        // touches, leaving the (still unresolved) surviving slot of run `i`
+        // in `cur_slots[i]` — `NONE` for runs touching no frontier run.
+        match self.conn {
+            Connectivity::Four => {
+                // Word-parallel adjacency, the fast engine's trick carried
+                // over: a maximal run of `row & prev_row` lies inside exactly
+                // one run of each row, and every 4-adjacent pair contains at
+                // least one such segment — so the AND words enumerate
+                // precisely the required unions, skipping non-overlapping
+                // runs 64 columns per test instead of comparing bounds pair
+                // by pair on run-dense rows. Unlike the fast engine's fused
+                // pass, a current-row slot can be forwarded by a *later*
+                // run's union, so slots are re-resolved in step 3b.
+                let cols = self.cols;
+                let StreamLabeler {
+                    prev_words,
+                    prev_runs,
+                    prev_slots,
+                    cur_runs,
+                    cur_slots,
+                    nodes,
+                    forwarded,
+                    and_buf,
+                    track_comps,
+                    comp_parent,
+                    ..
+                } = self;
+                and_buf.clear();
+                and_buf.extend(words.iter().zip(prev_words.iter()).map(|(&a, &b)| a & b));
+                let mut c = 0usize; // cursor over this row's runs
+                let mut q = 0usize; // cursor over the frontier runs
+                for_each_run_in_words(and_buf, cols, |s, _| {
+                    let s = s as u64;
+                    // Advance to the runs containing column `s`; both exist
+                    // because `s` is a set bit of both rows.
+                    while (cur_runs[c] & 0xffff_ffff) < s {
+                        c += 1;
+                    }
+                    while (prev_runs[q] & 0xffff_ffff) < s {
+                        q += 1;
+                    }
+                    let sq = Self::resolve(nodes, prev_slots[q]);
+                    prev_slots[q] = sq;
+                    let cur = cur_slots[c];
+                    if cur == Self::NONE {
+                        cur_slots[c] = sq;
+                    } else if sq != cur {
+                        // Union: keep the run's cached root, forward the
+                        // other.
+                        let (keep, lose) = (cur as usize, sq as usize);
+                        let rec = nodes[lose].rec;
+                        nodes[keep].rec.absorb(&rec);
+                        nodes[lose].parent = cur;
+                        if *track_comps {
+                            comp_parent[nodes[lose].comp as usize] = nodes[keep].comp;
+                        }
+                        forwarded.push(sq);
+                    }
+                });
+            }
+            Connectivity::Eight => {
+                // Two-pointer join with one column of diagonal reach; the
+                // AND trick does not carry over — horizontal dilation can
+                // fuse segments across distinct runs.
+                let mut p = 0usize;
+                for i in 0..self.cur_runs.len() {
+                    let sb = self.cur_runs[i];
+                    let (a, b) = (sb >> 32, sb & 0xffff_ffff);
+                    let (aw, bw) = (a.saturating_sub(reach), b + reach);
+                    while p < self.prev_runs.len() && (self.prev_runs[p] & 0xffff_ffff) < aw {
+                        p += 1;
+                    }
+                    let mut q = p;
+                    let mut slot = Self::NONE;
+                    while q < self.prev_runs.len() && (self.prev_runs[q] >> 32) <= bw {
+                        let s = Self::resolve(&mut self.nodes, self.prev_slots[q]);
+                        self.prev_slots[q] = s;
+                        if slot == Self::NONE {
+                            slot = s;
+                        } else if s != slot {
+                            let (keep, lose) = (slot as usize, s as usize);
+                            let rec = self.nodes[lose].rec;
+                            self.nodes[keep].rec.absorb(&rec);
+                            self.nodes[lose].parent = slot;
+                            if self.track_comps {
+                                self.comp_parent[self.nodes[lose].comp as usize] =
+                                    self.nodes[keep].comp;
+                            }
+                            self.forwarded.push(s);
+                        }
+                        q += 1;
+                    }
+                    // The last overlapping frontier run may also touch the
+                    // next run of this row; step back so it is reconsidered.
+                    if q > p {
+                        p = q - 1;
+                    }
+                    self.cur_slots[i] = slot;
+                }
+            }
+        }
+
+        // 3b) Record pass: fold each new run's feature contribution into its
+        // (resolved) surviving slot, or mint a fresh slot for runs that
+        // touched nothing. Resolution here doubles as the frontier re-root:
+        // all of this row's unions are already done, so the stored slots are
+        // final roots for the inter-row invariant.
         for i in 0..self.cur_runs.len() {
             let sb = self.cur_runs[i];
             let (a, b) = (sb >> 32, sb & 0xffff_ffff);
-            let (aw, bw) = (a.saturating_sub(reach), b + reach);
-            while p < self.prev_runs.len() && (self.prev_runs[p] & 0xffff_ffff) < aw {
-                p += 1;
-            }
-            let mut q = p;
-            let mut slot = Self::NONE;
-            while q < self.prev_runs.len() && (self.prev_runs[q] >> 32) <= bw {
-                let s = Self::resolve(&mut self.nodes, self.prev_slots[q]);
-                self.prev_slots[q] = s;
-                if slot == Self::NONE {
-                    slot = s;
-                } else if s != slot {
-                    // Union: keep the run's cached root, forward the other.
-                    let (keep, lose) = (slot as usize, s as usize);
-                    let rec = self.nodes[lose].rec;
-                    self.nodes[keep].rec.absorb(&rec);
-                    self.nodes[lose].parent = slot;
-                    self.forwarded.push(s);
-                }
-                q += 1;
-            }
-            // The last overlapping frontier run may also touch the next run
-            // of this row; step back so it is reconsidered.
-            if q > p {
-                p = q - 1;
-            }
             let len = b - a + 1;
             let up_exposed = len as u32 - count_ones_in_span(&self.prev_words, a as u32, b as u32);
             let rec = RetiredComponent {
@@ -372,14 +524,23 @@ impl StreamLabeler {
                 // with the next row (or the virtual finish row).
                 perimeter: 2 + u64::from(up_exposed),
             };
-            match slot {
+            let slot = match self.cur_slots[i] {
                 Self::NONE => {
-                    let s = match self.free.pop() {
+                    let comp = if self.track_comps {
+                        let id = u32::try_from(self.comp_parent.len())
+                            .expect("more than u32::MAX components in one tracked stream");
+                        self.comp_parent.push(id);
+                        id
+                    } else {
+                        0
+                    };
+                    match self.free.pop() {
                         Some(s) => {
                             self.nodes[s as usize] = Node {
                                 parent: s,
                                 touched: stamp,
                                 scanned: 0,
+                                comp,
                                 rec,
                             };
                             s
@@ -391,19 +552,21 @@ impl StreamLabeler {
                                 parent: s,
                                 touched: stamp,
                                 scanned: 0,
+                                comp,
                                 rec,
                             });
                             s
                         }
-                    };
-                    slot = s;
+                    }
                 }
                 s => {
+                    let s = Self::resolve(&mut self.nodes, s);
                     self.nodes[s as usize].rec.absorb(&rec);
                     self.nodes[s as usize].touched = stamp;
+                    s
                 }
-            }
-            self.cur_slots.push(slot);
+            };
+            self.cur_slots[i] = slot;
             self.stats.pixels += len;
         }
         self.stats.peak_nodes = self
@@ -423,16 +586,16 @@ impl StreamLabeler {
             node.scanned = stamp;
             if node.touched != stamp {
                 self.retired.push(node.rec);
+                if self.track_comps {
+                    self.retired_comps.push(node.comp);
+                }
                 self.stats.retired += 1;
                 self.free.push(s);
             }
         }
 
-        // 5) Re-root the new frontier, then recycle this row's forwarded
-        // slots — after the resolves nothing points at them.
-        for slot in &mut self.cur_slots {
-            *slot = Self::resolve(&mut self.nodes, *slot);
-        }
+        // 5) Recycle this row's forwarded slots — after the step-3b resolves
+        // nothing points at them.
         self.free.append(&mut self.forwarded);
 
         // 6) The new row becomes the frontier.
@@ -440,6 +603,156 @@ impl StreamLabeler {
         std::mem::swap(&mut self.prev_slots, &mut self.cur_slots);
         self.prev_words.copy_from_slice(words);
         self.stats.peak_frontier_runs = self.stats.peak_frontier_runs.max(self.prev_runs.len());
+    }
+}
+
+/// Find with path halving over the component-id forest of a tracked stream.
+#[inline]
+fn comp_find(parent: &mut [u32], mut x: u32) -> u32 {
+    loop {
+        let p = parent[x as usize];
+        if p == x {
+            return x;
+        }
+        let g = parent[p as usize];
+        if g != p {
+            parent[x as usize] = g;
+        }
+        x = g;
+    }
+}
+
+/// A reusable session that labels whole frames **through the streaming
+/// engine**: rows are pushed one at a time into an internal component-tracked
+/// [`StreamLabeler`], every run is logged with the component id it joined,
+/// and once the stream finishes the retired records hand each component its
+/// paper label (minimum column-major position) — which one run-fill pass then
+/// writes into a [`LabelGrid`], bit-identical to
+/// [`crate::fast::fast_labels_conn`] and the BFS oracle.
+///
+/// The grid output necessarily costs `O(rows × cols)` (the grid itself) plus
+/// an `O(runs)` log, so this type trades the pure engine's bounded-memory
+/// guarantee for interchangeability with the whole-frame engines; the
+/// labeler's union–find still runs in the `O(cols + live)` frontier regime.
+/// All scratch (the inner labeler, the run log, the component arenas) is
+/// kept between calls.
+#[derive(Debug)]
+pub struct StreamGridLabeler {
+    inner: StreamLabeler,
+    /// Packed run bounds + component id per run, rows concatenated.
+    run_log: Vec<(u64, u32)>,
+    /// Index of the first logged run of each row, plus one sentinel.
+    row_runs: Vec<u32>,
+    /// Final label per retired component root id.
+    comp_label: Vec<u32>,
+}
+
+impl Default for StreamGridLabeler {
+    fn default() -> Self {
+        StreamGridLabeler::new()
+    }
+}
+
+impl StreamGridLabeler {
+    /// Creates a session with empty (growable) scratch storage.
+    pub fn new() -> Self {
+        StreamGridLabeler {
+            inner: StreamLabeler::new(0, Connectivity::Four),
+            run_log: Vec::new(),
+            row_runs: Vec::new(),
+            comp_label: Vec::new(),
+        }
+    }
+
+    /// Labels `img` into `out` (re-dimensioned; every cell written exactly
+    /// once) by replaying its rows through the streaming engine. With reused
+    /// storage of sufficient capacity the call performs no heap allocation.
+    pub fn label_into(&mut self, img: &Bitmap, conn: Connectivity, out: &mut LabelGrid) {
+        let (rows, cols) = (img.rows(), img.cols());
+        self.inner.reset(cols, conn);
+        self.inner.track_comps = true;
+        self.run_log.clear();
+        self.row_runs.clear();
+        self.row_runs.reserve(rows + 1);
+        for r in 0..rows {
+            self.inner.push_row(img.row_words(r));
+            self.row_runs
+                .push(u32::try_from(self.run_log.len()).expect("run count exceeds u32"));
+            // After a push the frontier is this row: log its runs with the
+            // component each resolved into (roots between rows, so the comp
+            // id is current — later unions are chased through comp_parent).
+            let inner = &self.inner;
+            self.run_log.extend(
+                inner
+                    .prev_runs
+                    .iter()
+                    .zip(&inner.prev_slots)
+                    .map(|(&sb, &slot)| (sb, inner.nodes[slot as usize].comp)),
+            );
+        }
+        self.row_runs
+            .push(u32::try_from(self.run_log.len()).expect("run count exceeds u32"));
+        self.inner.finish();
+
+        // Every component is now retired; its record carries the minimum
+        // column-major position — the paper label — keyed by root comp id.
+        self.comp_label.clear();
+        self.comp_label
+            .resize(self.inner.comp_parent.len(), LabelGrid::BACKGROUND);
+        for (rec, &comp) in self.inner.retired.iter().zip(&self.inner.retired_comps) {
+            self.comp_label[comp as usize] = rec.label(rows) as u32;
+        }
+
+        // Output: one background fill + run-at-a-time label fills per row,
+        // resolving (and compressing) each logged component id.
+        out.reset_dims(rows, cols);
+        let StreamGridLabeler {
+            inner,
+            run_log,
+            row_runs,
+            comp_label,
+        } = self;
+        let comp_parent = &mut inner.comp_parent;
+        for r in 0..rows {
+            let row = out.row_mut(r);
+            row.fill(LabelGrid::BACKGROUND);
+            for entry in &mut run_log[row_runs[r] as usize..row_runs[r + 1] as usize] {
+                let root = comp_find(comp_parent, entry.1);
+                entry.1 = root;
+                let label = comp_label[root as usize];
+                let (a, b) = ((entry.0 >> 32) as usize, (entry.0 & 0xffff_ffff) as usize);
+                row[a] = label;
+                row[b] = label;
+                if b - a > 1 {
+                    row[a + 1..b].fill(label);
+                }
+            }
+        }
+    }
+
+    /// Statistics of the most recent call (frontier peaks, retirements).
+    pub fn last_stats(&self) -> StreamStats {
+        self.inner.stats()
+    }
+
+    /// Number of runs logged by the most recent call.
+    pub fn last_runs(&self) -> usize {
+        self.run_log.len()
+    }
+
+    /// Number of components labeled by the most recent call.
+    pub fn last_components(&self) -> usize {
+        self.inner.stats().retired as usize
+    }
+
+    /// Total bytes of scratch capacity currently reserved (inner labeler,
+    /// run log, and component arenas).
+    pub fn scratch_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.inner.scratch_bytes()
+            + self.run_log.capacity() * size_of::<(u64, u32)>()
+            + self.row_runs.capacity() * size_of::<u32>()
+            + self.comp_label.capacity() * size_of::<u32>()
     }
 }
 
@@ -745,6 +1058,86 @@ mod tests {
         assert_eq!(labeler.live_components(), 1);
         labeler.finish();
         assert_eq!(labeler.live_components(), 0);
+    }
+
+    #[test]
+    fn grid_labeler_is_bit_identical_to_the_fast_engine() {
+        let mut session = StreamGridLabeler::new();
+        let mut grid = crate::labels::LabelGrid::new_background(1, 1);
+        for name in gen::WORKLOADS {
+            let img = gen::by_name(name, 33, 7).unwrap();
+            for conn in [Connectivity::Four, Connectivity::Eight] {
+                session.label_into(&img, conn, &mut grid);
+                assert_eq!(
+                    grid,
+                    fast_labels_conn(&img, conn),
+                    "workload {name} conn={conn:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grid_labeler_survives_interleaved_dims_and_checker_density() {
+        // Run-dense checker rows exercise the word-AND merge sweep; the
+        // interleaved sizes exercise session reset across dims.
+        let mut session = StreamGridLabeler::new();
+        let mut grid = crate::labels::LabelGrid::new_background(1, 1);
+        for (rows, cols) in [(64, 64), (3, 130), (65, 17), (1, 1), (200, 1)] {
+            let img = gen::uniform_random(rows, cols, 0.55, (rows * 31 + cols) as u64);
+            session.label_into(&img, Connectivity::Four, &mut grid);
+            assert_eq!(grid, fast_labels_conn(&img, Connectivity::Four));
+        }
+        let checker = gen::by_name("checker", 48, 0).unwrap();
+        session.label_into(&checker, Connectivity::Four, &mut grid);
+        assert_eq!(grid, fast_labels_conn(&checker, Connectivity::Four));
+    }
+
+    #[test]
+    fn reset_rewinds_a_session_without_allocating_anew() {
+        let img = gen::by_name("random50", 50, 4).unwrap();
+        let mut labeler = StreamLabeler::new(img.cols(), Connectivity::Four);
+        let run_fresh = {
+            for r in 0..img.rows() {
+                labeler.push_row(img.row_words(r));
+            }
+            labeler.finish();
+            let mut v: Vec<RetiredComponent> = labeler.drain_retired().collect();
+            v.sort_unstable();
+            v
+        };
+        let watermark = labeler.scratch_bytes();
+        labeler.reset(img.cols(), Connectivity::Four);
+        for r in 0..img.rows() {
+            labeler.push_row(img.row_words(r));
+        }
+        labeler.finish();
+        let mut run_warm: Vec<RetiredComponent> = labeler.drain_retired().collect();
+        run_warm.sort_unstable();
+        assert_eq!(run_warm, run_fresh);
+        assert_eq!(
+            labeler.scratch_bytes(),
+            watermark,
+            "warm replay of the same frame must not grow any arena"
+        );
+    }
+
+    #[test]
+    fn reset_switches_dimensions_and_connectivity() {
+        let mut labeler = StreamLabeler::new(8, Connectivity::Four);
+        labeler.push_row(&[0b1010_1010]);
+        labeler.finish();
+        labeler.drain_retired();
+        let tall = Bitmap::from_art("#..\n.#.\n..#\n");
+        labeler.reset(3, Connectivity::Eight);
+        for r in 0..3 {
+            labeler.push_row(tall.row_words(r));
+        }
+        labeler.finish();
+        let run: Vec<RetiredComponent> = labeler.drain_retired().collect();
+        assert_eq!(run.len(), 1, "8-conn staircase is one component");
+        assert_eq!(run[0].area, 3);
+        assert_eq!(labeler.stats().rows, 3);
     }
 
     #[test]

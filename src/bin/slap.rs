@@ -3,26 +3,35 @@
 //! ```text
 //! slap gen <workload> <n> [seed]            # write a PBM image to stdout
 //! slap label [--uf KIND] [--conn 4|8] [f]   # label a PBM (stdin if omitted)
-//!            [--threads N]                  #   N>=1: host engine, N strips
+//!            [--engine E] [--threads N]     #   host engine E from the
+//!                                           #   registry (default: the
+//!                                           #   simulated SLAP Algorithm CC)
 //! slap bench [--uf KIND] <workload> <n>     # step-count one workload
 //! slap trace [--pass uf|label] <workload> <n> [seed]
 //!                                           # ASCII space-time diagram
-//! slap features [--conn 4|8] [file.pbm]     # per-component geometry
-//! slap stream [--conn 4|8] [file.pbm]       # streaming label pass: rows in,
+//! slap features [--conn 4|8] [--engine E]   # per-component geometry via any
+//!               [--threads N] [file.pbm]    #   registered engine
+//! slap stream [--conn 4|8] [--framed] [f]   # streaming label pass: rows in,
 //!                                           #   retired components out,
-//!                                           #   O(cols + live) memory
+//!                                           #   O(cols + live) memory;
+//!                                           #   --framed: length-prefixed
+//!                                           #   multi-image P4 ingest
 //! slap compare <workload> <n> [seed]        # CC vs baselines step counts
-//! slap workloads                            # list generator names
+//! slap workloads                            # list generators + engines
 //! ```
+//!
+//! Host-engine dispatch goes through `slap_cc::engine::registry()`: the
+//! `--engine` flag names a registered [`EngineKind`], and this binary holds
+//! no per-engine code of its own.
 
 use slap_repro::baselines::{divide_conquer_labels, naive_slap_labels};
-use slap_repro::cc::features::{component_features, euler_number};
+use slap_repro::cc::engine::{registry, EngineKind, LabelEngine};
+use slap_repro::cc::features::{euler_number, features_with_engine};
 use slap_repro::cc::spacetime::left_pass_trace;
 use slap_repro::cc::{label_components_kind, label_components_runs, CcOptions};
 use slap_repro::hypercube::sv_labels_conn;
 use slap_repro::image::{
-    fast_labels_conn, gen, parallel_labels_conn, pbm, Bitmap, Connectivity, RetiredComponent,
-    RowSource, StreamLabeler,
+    gen, pbm, Bitmap, Connectivity, LabelGrid, RetiredComponent, RowSource, StreamLabeler,
 };
 use slap_repro::machine::render_gantt;
 use slap_repro::unionfind::{TarjanUf, UfKind};
@@ -45,14 +54,25 @@ fn main() {
         })
         .unwrap_or(Connectivity::Four);
     let pass = take_flag(&mut rest, "--pass").unwrap_or("uf");
-    // `--threads N` selects the host labeling engine (the strip-parallel
-    // fast engine, sequential when N == 1) instead of the SLAP simulation.
+    // `--engine KIND` selects a host labeling engine from the registry;
+    // `--threads N` sizes the multithreaded ones (and, alone, still implies
+    // the strip-parallel engine for back-compatibility).
+    let engine = take_flag(&mut rest, "--engine").map(|v| {
+        EngineKind::parse(v).unwrap_or_else(|| {
+            let names: Vec<&str> = registry().iter().map(|e| e.kind.name()).collect();
+            die(&format!(
+                "unknown engine {v:?}; registered engines: {}",
+                names.join(", ")
+            ))
+        })
+    });
     let threads = take_flag(&mut rest, "--threads").map(|v| {
         v.parse::<usize>()
             .ok()
             .filter(|&t| t >= 1)
             .unwrap_or_else(|| die(&format!("--threads needs a positive integer, got {v:?}")))
     });
+    let framed = take_toggle(&mut rest, "--framed");
     let opts = CcOptions {
         connectivity: conn,
         ..CcOptions::default()
@@ -65,8 +85,8 @@ fn main() {
         }
         "label" => {
             let img = read_image(&rest);
-            match threads {
-                Some(t) => host_report(&img, conn, t),
+            match pick_session(engine, threads) {
+                Some(session) => host_report(&img, conn, session),
                 None => report(&img, uf, &opts),
             }
         }
@@ -91,11 +111,12 @@ fn main() {
         }
         "features" => {
             let img = read_image(&rest);
-            let labels = match threads {
-                Some(t) if t > 1 => parallel_labels_conn(&img, conn, t),
-                _ => fast_labels_conn(&img, conn),
-            };
-            let run = component_features(&img, &labels, conn);
+            // Feature extraction labels with any registered engine (default:
+            // fast) — bit-identity makes the choice invisible in the output.
+            let mut session =
+                pick_session(engine, threads).unwrap_or_else(|| EngineKind::Fast.session(1));
+            let mut labels = LabelGrid::new_background(1, 1);
+            let run = features_with_engine(&img, conn, session.as_mut(), &mut labels);
             let euler = euler_number(&img, conn);
             println!(
                 "{} component(s), Euler number {} ({} hole(s)), measured in {} SLAP steps",
@@ -120,7 +141,22 @@ fn main() {
                 );
             }
         }
-        "stream" => stream_report(&rest, conn),
+        "stream" => {
+            // The stream subcommand *is* the streaming engine; any other
+            // `--engine` would have to materialize the frame, breaking the
+            // O(cols + live) contract this path exists for.
+            if let Some(kind) = engine.filter(|&k| k != EngineKind::Stream) {
+                die(&format!(
+                    "slap stream runs the streaming engine; `--engine {kind}` would \
+                     need the whole frame in memory (use `slap label --engine {kind}`)"
+                ));
+            }
+            if framed {
+                framed_stream_report(&rest, conn);
+            } else {
+                stream_report(&rest, conn);
+            }
+        }
         "compare" => {
             let (name, n, seed) = parse_workload(&rest);
             let img = make_image(name, n, seed);
@@ -162,6 +198,10 @@ fn main() {
             for k in UfKind::ALL {
                 eprintln!("  {k}");
             }
+            eprintln!("\nhost engines for --engine:");
+            for info in registry() {
+                eprintln!("  {:<9} {}", info.kind.name(), info.description);
+            }
         }
         _ => usage(),
     }
@@ -175,6 +215,38 @@ fn take_flag<'a>(rest: &mut Vec<&'a str>, flag: &str) -> Option<&'a str> {
     let v = rest[pos + 1];
     rest.drain(pos..=pos + 1);
     Some(v)
+}
+
+/// Removes a value-less toggle flag, reporting whether it was present.
+fn take_toggle(rest: &mut Vec<&str>, flag: &str) -> bool {
+    match rest.iter().position(|a| *a == flag) {
+        Some(pos) => {
+            rest.remove(pos);
+            true
+        }
+        None => false,
+    }
+}
+
+/// Resolves the host-engine session requested by `--engine` / `--threads`:
+/// an explicit `--engine` wins, a bare `--threads N` keeps selecting the
+/// strip-parallel engine (the pre-registry spelling), and `None` means the
+/// caller's default (the SLAP simulation for `label`, the fast engine for
+/// `features`). Multithreaded engines default to the host's available
+/// parallelism when `--threads` is omitted.
+fn pick_session(
+    engine: Option<EngineKind>,
+    threads: Option<usize>,
+) -> Option<Box<dyn LabelEngine>> {
+    let kind = engine.or(threads.map(|_| EngineKind::Parallel))?;
+    let threads = threads.unwrap_or_else(|| {
+        if kind.info().multithreaded {
+            std::thread::available_parallelism().map_or(1, |p| p.get())
+        } else {
+            1
+        }
+    });
+    Some(kind.session(threads))
 }
 
 fn read_image(rest: &[&str]) -> Bitmap {
@@ -238,16 +310,13 @@ fn report(img: &Bitmap, uf: UfKind, opts: &CcOptions) {
     );
 }
 
-/// `label --threads N`: labels with the host engine (strip-parallel for
-/// N > 1) and reports the components, timing the labeling instead of
+/// `label --engine E [--threads N]`: labels with a registered host engine
+/// session and reports the components, timing the labeling instead of
 /// counting SLAP steps.
-fn host_report(img: &Bitmap, conn: Connectivity, threads: usize) {
+fn host_report(img: &Bitmap, conn: Connectivity, mut session: Box<dyn LabelEngine>) {
+    let mut labels = LabelGrid::new_background(1, 1);
     let t0 = std::time::Instant::now();
-    let labels = if threads > 1 {
-        parallel_labels_conn(img, conn, threads)
-    } else {
-        fast_labels_conn(img, conn)
-    };
+    let engine_stats = session.label_into(img, conn, &mut labels);
     let elapsed = t0.elapsed();
     let stats = labels.component_stats();
     println!(
@@ -267,16 +336,68 @@ fn host_report(img: &Bitmap, conn: Connectivity, threads: usize) {
             largest.width()
         );
     }
-    let engine = if threads > 1 {
-        "strip-parallel"
-    } else {
-        "fast"
-    };
-    println!(
-        "host/{engine}: {} thread(s), {:.3} ms",
-        threads,
+    print!(
+        "host/{}: {} thread(s), {:.3} ms",
+        session.kind(),
+        engine_stats.threads,
         elapsed.as_secs_f64() * 1e3
     );
+    if engine_stats.runs > 0 {
+        print!(", {} run(s)", engine_stats.runs);
+    }
+    if engine_stats.peak_frontier_runs > 0 {
+        print!(", peak frontier {}", engine_stats.peak_frontier_runs);
+    }
+    println!();
+}
+
+/// `stream --framed`: consumes a length-prefixed multi-image P4 stream
+/// ([`pbm::FramedPbmReader`]), relabeling frame after frame through **one**
+/// warm [`StreamLabeler`] session (arenas reused across frames, dimensions
+/// free to change) — the video-style continuous-ingest mode.
+fn framed_stream_report(rest: &[&str], conn: Connectivity) {
+    fn run<R: Read>(r: R, conn: Connectivity, what: &str) {
+        let mut frames = pbm::FramedPbmReader::new(r);
+        let mut labeler = StreamLabeler::new(0, conn);
+        let mut words = Vec::new();
+        let mut index = 0u64;
+        let t0 = std::time::Instant::now();
+        loop {
+            let mut frame = match frames.next_frame() {
+                Ok(Some(frame)) => frame,
+                Ok(None) => break,
+                Err(e) => die(&format!("read {what}: {e}")),
+            };
+            index += 1;
+            labeler.reset(frame.cols(), conn);
+            loop {
+                match frame.next_row(&mut words) {
+                    Ok(true) => labeler.push_row(&words),
+                    Ok(false) => break,
+                    Err(e) => die(&format!("read {what} frame {index}: {e}")),
+                }
+            }
+            let stats = labeler.finish();
+            let components = labeler.drain_retired().count();
+            println!(
+                "frame {index}: {}x{}, {} component(s), {} px, peak frontier {} run(s)",
+                stats.rows, stats.cols, components, stats.pixels, stats.peak_frontier_runs,
+            );
+        }
+        let elapsed = t0.elapsed();
+        println!(
+            "{index} frame(s) under {conn} in {:.3} ms (one warm stream session, \
+             O(cols + live) memory)",
+            elapsed.as_secs_f64() * 1e3
+        );
+    }
+    match rest.first() {
+        Some(path) => {
+            let f = std::fs::File::open(path).unwrap_or_else(|e| die(&format!("open {path}: {e}")));
+            run(f, conn, path);
+        }
+        None => run(std::io::stdin().lock(), conn, "stdin"),
+    }
 }
 
 /// `stream`: labels a PBM row by row — the image is never materialized and
@@ -368,13 +489,18 @@ fn stream_report(rest: &[&str], conn: Connectivity) {
 }
 
 fn usage() -> ! {
+    let engines: Vec<&str> = registry().iter().map(|e| e.kind.name()).collect();
     eprintln!(
-        "usage:\n  slap gen <workload> <n> [seed]\n  slap label [--uf KIND] [--conn 4|8] [--threads N] [file.pbm]\n  \
+        "usage:\n  slap gen <workload> <n> [seed]\n  \
+         slap label [--uf KIND] [--conn 4|8] [--engine E] [--threads N] [file.pbm]\n  \
          slap bench [--uf KIND] [--conn 4|8] <workload> <n> [seed]\n  \
          slap trace [--pass uf|label] <workload> <n> [seed]\n  \
-         slap features [--conn 4|8] [--threads N] [file.pbm]\n  \
-         slap stream [--conn 4|8] [file.pbm]\n  \
-         slap compare [--uf KIND] [--conn 4|8] <workload> <n> [seed]\n  slap workloads"
+         slap features [--conn 4|8] [--engine E] [--threads N] [file.pbm]\n  \
+         slap stream [--conn 4|8] [--framed] [file.pbm]\n  \
+         slap compare [--uf KIND] [--conn 4|8] <workload> <n> [seed]\n  \
+         slap workloads\n\
+         (--engine: one of {}; see `slap workloads`)",
+        engines.join("|")
     );
     std::process::exit(2);
 }

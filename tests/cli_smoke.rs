@@ -123,6 +123,80 @@ fn stream_labels_piped_pbm_with_bounded_memory_report() {
 }
 
 #[test]
+fn label_and_features_dispatch_every_registered_engine() {
+    let pbm_bytes = slap(&["gen", "blobs", "18", "4"]).stdout;
+    let mut reports = Vec::new();
+    for engine in ["bfs", "fast", "parallel", "stream"] {
+        let out = slap_with_stdin(&["label", "--engine", engine, "--conn", "8"], &pbm_bytes);
+        let report = stdout_str(&out);
+        assert!(
+            report.contains(&format!("host/{engine}:")),
+            "--engine {engine} must route to that engine: {report:?}"
+        );
+        // The component line is engine-independent (bit-identity).
+        reports.push(report.lines().next().unwrap_or_default().to_string());
+
+        let fout = slap_with_stdin(&["features", "--engine", engine], &pbm_bytes);
+        let freport = stdout_str(&fout);
+        assert!(
+            freport.contains("Euler number"),
+            "features --engine {engine}: {freport:?}"
+        );
+    }
+    reports.dedup();
+    assert_eq!(
+        reports.len(),
+        1,
+        "all engines must report identical components: {reports:?}"
+    );
+    // Unknown engines die cleanly, listing the registry.
+    let bad = slap_with_stdin(&["label", "--engine", "warp"], &pbm_bytes);
+    assert!(!bad.status.success());
+    let err = String::from_utf8_lossy(&bad.stderr);
+    assert!(
+        err.contains("registered engines") && err.contains("parallel"),
+        "unknown-engine error should list the registry: {err}"
+    );
+    // `stream --engine fast` is a contradiction and must be refused.
+    let bad = slap_with_stdin(&["stream", "--engine", "fast"], &pbm_bytes);
+    assert!(!bad.status.success());
+    let err = String::from_utf8_lossy(&bad.stderr);
+    assert!(err.contains("streaming engine"), "{err}");
+}
+
+#[test]
+fn framed_stream_ingests_multiple_p4_frames_in_one_process() {
+    // Two hand-crafted raw P4 frames of different dimensions, each preceded
+    // by its decimal byte length — the `--framed` continuous-ingest format.
+    let f1: &[u8] = b"P4\n8 2\n\xff\x00"; // solid row then blank: 1 component
+    let f2: &[u8] = b"P4\n16 3\n\xaa\xaa\x00\x00\xff\xff"; // 8 dots + a bar
+    let mut framed = Vec::new();
+    for f in [f1, f2] {
+        framed.extend_from_slice(format!("{}\n", f.len()).as_bytes());
+        framed.extend_from_slice(f);
+    }
+    let out = slap_with_stdin(&["stream", "--framed"], &framed);
+    let report = stdout_str(&out);
+    assert!(
+        report.contains("frame 1: 2x8, 1 component(s)"),
+        "first frame summary missing: {report:?}"
+    );
+    assert!(
+        report.contains("frame 2: 3x16, 9 component(s)"),
+        "second frame summary missing: {report:?}"
+    );
+    assert!(
+        report.contains("2 frame(s)"),
+        "trailing summary missing: {report:?}"
+    );
+    // Truncated frames die cleanly, like every other bad input.
+    let bad = slap_with_stdin(&["stream", "--framed"], b"10\nP4\n8 2\n");
+    assert!(!bad.status.success(), "truncated frame must not stream");
+    let err = String::from_utf8_lossy(&bad.stderr);
+    assert!(!err.contains("panicked"), "clean error expected: {err}");
+}
+
+#[test]
 fn label_accepts_uf_and_conn_flags() {
     let pbm = slap(&["gen", "comb", "12", "3"]);
     let pbm_bytes = stdout_str(&pbm).into_bytes();

@@ -1,0 +1,133 @@
+//! The unified engine differential harness: **every registered engine ×
+//! every workload family × both connectivities** must label bit-identically
+//! to the BFS gold oracle — component minima, not merely the same partition.
+//!
+//! This is the collapsed successor of the per-engine family sweeps that used
+//! to live in `fast_engine.rs` / `parallel_engine.rs` / `stream_engine.rs`:
+//! adding an engine to `slap_cc::engine::registry()` adds it to this matrix
+//! with no test changes. Sessions are deliberately *reused* across the whole
+//! matrix (families, sizes, connectivities, all interleaved), so the harness
+//! simultaneously proves the no-state-leak contract of warm sessions.
+
+use slap_repro::cc::engine::{registry, EngineKind, LabelEngine};
+use slap_repro::image::{gen, BfsOracle, Bitmap, Connectivity, LabelGrid};
+
+/// Thread counts exercised for multithreaded engines (sequential engines run
+/// once, at their implicit 1).
+const THREADS: &[usize] = &[1, 2, 4, 8];
+
+/// Drives `session` over every family × connectivity at `side`, asserting
+/// bit-identity against the oracle and the statistics' self-consistency.
+fn drive_matrix(session: &mut dyn LabelEngine, side: usize, what: &str) {
+    let mut oracle = BfsOracle::new();
+    let mut truth = LabelGrid::new_background(1, 1);
+    let mut grid = LabelGrid::new_background(1, 1);
+    for name in gen::WORKLOADS {
+        let img = gen::by_name(name, side, 23).unwrap();
+        for conn in [Connectivity::Four, Connectivity::Eight] {
+            let want = oracle.label_into(&img, conn, &mut truth);
+            let stats = session.label_into(&img, conn, &mut grid);
+            assert_eq!(grid, truth, "{what}: workload {name} conn={conn:?}");
+            assert_eq!(
+                stats.components, want,
+                "{what}: component count on {name} conn={conn:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_registered_engine_is_bit_identical_on_every_family() {
+    for info in registry() {
+        let threads: &[usize] = if info.multithreaded { THREADS } else { &[1] };
+        for &t in threads {
+            let mut session = info.kind.session(t);
+            drive_matrix(session.as_mut(), 41, &format!("{}@{t}", info.kind));
+        }
+    }
+}
+
+#[test]
+fn every_registered_engine_handles_rectangular_and_word_boundary_shapes() {
+    let shapes: Vec<Bitmap> = [
+        (1usize, 1usize),
+        (1, 200),
+        (200, 1),
+        (37, 63),
+        (17, 64),
+        (9, 130),
+    ]
+    .iter()
+    .map(|&(r, c)| gen::uniform_random(r, c, 0.5, (r * c) as u64))
+    .collect();
+    let mut oracle = BfsOracle::new();
+    let mut truth = LabelGrid::new_background(1, 1);
+    let mut grid = LabelGrid::new_background(1, 1);
+    for info in registry() {
+        let mut session = info.kind.session(4);
+        for img in &shapes {
+            for conn in [Connectivity::Four, Connectivity::Eight] {
+                oracle.label_into(img, conn, &mut truth);
+                session.label_into(img, conn, &mut grid);
+                assert_eq!(
+                    grid,
+                    truth,
+                    "{}: {}x{} conn={conn:?}",
+                    info.kind,
+                    img.rows(),
+                    img.cols()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn engines_agree_pairwise_not_just_with_the_oracle() {
+    // Transitivity already implies this, but a direct cross-engine sweep
+    // keeps the harness meaningful if the oracle reference above ever
+    // changes: all registry outputs must be one grid.
+    let img = gen::by_name("maze", 53, 3).unwrap();
+    for conn in [Connectivity::Four, Connectivity::Eight] {
+        let grids: Vec<(EngineKind, LabelGrid)> = registry()
+            .iter()
+            .map(|info| {
+                let mut session = info.kind.session(3);
+                let mut grid = LabelGrid::new_background(1, 1);
+                session.label_into(&img, conn, &mut grid);
+                (info.kind, grid)
+            })
+            .collect();
+        for pair in grids.windows(2) {
+            assert_eq!(
+                pair[0].1, pair[1].1,
+                "{} vs {} conn={conn:?}",
+                pair[0].0, pair[1].0
+            );
+        }
+    }
+}
+
+#[test]
+fn registry_capabilities_match_observed_behavior() {
+    let img = gen::by_name("random50", 40, 1).unwrap();
+    for info in registry() {
+        // Advertised connectivities all work (exercised above); here check
+        // the thread capability claim is honest.
+        let mut session = info.kind.session(5);
+        if info.multithreaded {
+            assert_eq!(session.threads(), 5, "{}", info.kind);
+        } else {
+            assert_eq!(session.threads(), 1, "{}", info.kind);
+        }
+        let mut grid = LabelGrid::new_background(1, 1);
+        let stats = session.label_into(&img, Connectivity::Four, &mut grid);
+        assert_eq!(stats.threads, session.threads(), "{}", info.kind);
+        // Streaming engines report a frontier; whole-frame engines must not.
+        if info.streaming {
+            assert!(stats.peak_frontier_runs > 0, "{}", info.kind);
+        } else {
+            assert_eq!(stats.peak_frontier_runs, 0, "{}", info.kind);
+        }
+    }
+}

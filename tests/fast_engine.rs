@@ -1,14 +1,16 @@
-//! Four-way differential suite for the word-parallel fast engine: the BFS
-//! gold oracle vs. [`fast_labels_conn`] vs. the simulated pixel-universe
-//! Algorithm CC vs. the simulated run-universe variant, on every workload
-//! family plus adversarial shapes, under both connectivities. All four must
-//! be *bit-identical* (same minimum-column-major-position labels), not
-//! merely the same partition.
+//! Four-way differential suite bridging the host engines and the **paper
+//! simulations**: the BFS gold oracle vs. [`fast_labels_conn`] vs. the
+//! simulated pixel-universe Algorithm CC vs. the simulated run-universe
+//! variant, on every workload family plus adversarial shapes, under both
+//! connectivities. All four must be *bit-identical* (same
+//! minimum-column-major-position labels), not merely the same partition.
+//!
+//! Host-engine-only coverage (registry × family × connectivity, warm-session
+//! reuse) lives in `tests/engine_matrix.rs` and `tests/session_reuse.rs`;
+//! this suite is what ties the simulators to the same label space.
 
 use slap_repro::cc::{label_components, label_components_runs, CcOptions};
-use slap_repro::image::{
-    bfs_labels_conn, fast_labels_conn, gen, Bitmap, Connectivity, FastLabeler, LabelGrid,
-};
+use slap_repro::image::{bfs_labels_conn, fast_labels_conn, gen, Bitmap, Connectivity};
 use slap_repro::unionfind::TarjanUf;
 
 fn opts(conn: Connectivity) -> CcOptions {
@@ -81,23 +83,6 @@ fn word_boundary_widths_agree_four_ways() {
         let img = gen::uniform_random(17, cols, 0.5, cols as u64);
         for conn in [Connectivity::Four, Connectivity::Eight] {
             check_four_way(&img, conn, &format!("random {cols}w"));
-        }
-    }
-}
-
-#[test]
-fn reused_fast_labeler_matches_across_a_workload_stream() {
-    // The buffer-reusing hot path must behave exactly like fresh calls over
-    // a stream of differently-shaped images — what the baseline sweep and
-    // the differential suites actually exercise.
-    let mut labeler = FastLabeler::new();
-    let mut grid = LabelGrid::new_background(1, 1);
-    for conn in [Connectivity::Four, Connectivity::Eight] {
-        for (i, name) in gen::WORKLOADS.iter().enumerate() {
-            let n = 12 + 5 * (i % 7);
-            let img = gen::by_name(name, n, i as u64).unwrap();
-            labeler.label_into(&img, conn, &mut grid);
-            assert_eq!(grid, bfs_labels_conn(&img, conn), "{name}/{n} ({conn})");
         }
     }
 }

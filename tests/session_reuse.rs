@@ -1,0 +1,146 @@
+//! Session-reuse coverage for the engine layer: a **warm** session — one
+//! that has already labeled arbitrary other frames — must behave exactly
+//! like a fresh one (bit-identical output, no state leaks), and once its
+//! arenas have reached their high-water marks, further calls must perform
+//! **zero reallocations** (asserted through the `scratch_bytes` capacity
+//! watermark: a `Vec` can only grow its capacity by reallocating, so a
+//! stable watermark over a repeated frame set proves the steady state is
+//! allocation-free).
+
+use proptest::prelude::*;
+use slap_repro::cc::engine::{registry, EngineKind, FastSession, LabelEngine, StreamSession};
+use slap_repro::image::{bfs_labels_conn, gen, Bitmap, Connectivity, LabelGrid};
+
+fn arb_frame() -> impl Strategy<Value = Bitmap> {
+    // Dims straddle the 64-bit word boundary; densities span run-sparse to
+    // run-dense; all deterministic from the seed.
+    (1usize..48, 1usize..132, 0.0f64..1.0, 0u64..10_000)
+        .prop_map(|(r, c, d, s)| gen::uniform_random(r, c, d, s))
+}
+
+fn arb_conn() -> impl Strategy<Value = Connectivity> {
+    prop::sample::select(vec![Connectivity::Four, Connectivity::Eight])
+}
+
+/// Labels `img` with a warm `session` and asserts the result equals a fresh
+/// session's and the oracle's.
+fn check_warm_equals_fresh(session: &mut dyn LabelEngine, img: &Bitmap, conn: Connectivity) {
+    let mut warm_grid = LabelGrid::new_background(1, 1);
+    session.label_into(img, conn, &mut warm_grid);
+    let mut fresh = session.kind().session(session.threads());
+    let mut fresh_grid = LabelGrid::new_background(1, 1);
+    fresh.label_into(img, conn, &mut fresh_grid);
+    assert_eq!(warm_grid, fresh_grid, "warm vs fresh ({})", session.kind());
+    assert_eq!(
+        warm_grid,
+        bfs_labels_conn(img, conn),
+        "warm vs oracle ({})",
+        session.kind()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The ISSUE's reuse property: a warm `FastSession` / `StreamSession`
+    /// output is bit-identical to a fresh one's after interleaving frames of
+    /// different dims and families.
+    #[test]
+    fn warm_fast_and_stream_sessions_match_fresh_after_interleaved_frames(
+        a in arb_frame(),
+        b in arb_frame(),
+        c in arb_frame(),
+        conn in arb_conn(),
+        family in prop::sample::select(gen::WORKLOADS.to_vec()),
+        side in 4usize..40,
+    ) {
+        let named = gen::by_name(family, side, 5).unwrap();
+        let mut fast: Box<dyn LabelEngine> = Box::new(FastSession::new());
+        let mut stream: Box<dyn LabelEngine> = Box::new(StreamSession::new());
+        for session in [fast.as_mut(), stream.as_mut()] {
+            let mut grid = LabelGrid::new_background(1, 1);
+            // Interleave frames of unrelated dims/densities, checking the
+            // warm output against a fresh session at every step.
+            session.label_into(&a, conn, &mut grid);
+            check_warm_equals_fresh(session, &b, conn);
+            session.label_into(&named, conn, &mut grid);
+            check_warm_equals_fresh(session, &c, conn);
+            // Re-labeling an earlier frame must reproduce it exactly.
+            check_warm_equals_fresh(session, &a, conn);
+        }
+    }
+
+    /// Warm calls are allocation-free: after a frame set has been seen
+    /// (twice — double-buffered arenas need a pass per buffer half), its
+    /// capacity watermark is final, so repeating the set reallocates nothing.
+    #[test]
+    fn warm_sessions_reallocate_nothing_on_seen_frame_sets(
+        a in arb_frame(),
+        b in arb_frame(),
+        conn in arb_conn(),
+    ) {
+        for info in registry() {
+            let mut session = info.kind.session(2);
+            let mut grid = LabelGrid::new_background(1, 1);
+            for _ in 0..2 {
+                session.label_into(&a, conn, &mut grid);
+                session.label_into(&b, conn, &mut grid);
+            }
+            let watermark = session.scratch_bytes();
+            for _ in 0..3 {
+                session.label_into(&a, conn, &mut grid);
+                session.label_into(&b, conn, &mut grid);
+            }
+            prop_assert_eq!(
+                session.scratch_bytes(),
+                watermark,
+                "{}: warm repeat grew an arena",
+                info.kind
+            );
+        }
+    }
+}
+
+#[test]
+fn watermarks_are_monotone_and_engine_owned() {
+    // Deterministic companion to the property: watermarks only ever grow,
+    // grow when a strictly larger frame arrives, and never grow on repeats.
+    let small = gen::uniform_random(16, 16, 0.5, 1);
+    let large = gen::uniform_random(128, 128, 0.5, 2);
+    for info in registry() {
+        let mut session = info.kind.session(2);
+        let mut grid = LabelGrid::new_background(1, 1);
+        session.label_into(&small, Connectivity::Four, &mut grid);
+        let after_small = session.scratch_bytes();
+        assert!(after_small > 0, "{}", info.kind);
+        session.label_into(&large, Connectivity::Four, &mut grid);
+        let after_large = session.scratch_bytes();
+        assert!(
+            after_large > after_small,
+            "{}: a 64x larger frame must grow the arenas",
+            info.kind
+        );
+        session.label_into(&small, Connectivity::Four, &mut grid);
+        assert_eq!(
+            session.scratch_bytes(),
+            after_large,
+            "{}: shrinking back must keep (not shrink or grow) the arenas",
+            info.kind
+        );
+    }
+}
+
+#[test]
+fn stream_session_grid_path_matches_pure_streaming_retirements() {
+    // The StreamSession grid labeler and the pure streaming path share one
+    // union-find; their component counts must agree frame after frame on a
+    // warm session.
+    let mut session = EngineKind::Stream.session(1);
+    let mut grid = LabelGrid::new_background(1, 1);
+    for (i, name) in gen::WORKLOADS.iter().enumerate() {
+        let img = gen::by_name(name, 24 + (i % 5) * 7, i as u64).unwrap();
+        let stats = session.label_into(&img, Connectivity::Four, &mut grid);
+        assert_eq!(stats.components, grid.component_count(), "workload {name}");
+        assert!(stats.peak_frontier_runs <= img.cols() / 2 + 1, "{name}");
+    }
+}

@@ -68,6 +68,43 @@ fn retired_labels_are_the_paper_minimum_positions() {
 }
 
 #[test]
+fn run_dense_checker_exercises_the_word_and_merge_sweep() {
+    // Regression for the 4-connectivity word-level `AND` adjacency sweep
+    // (ported from the fast engine, replacing the per-run two-pointer join):
+    // checker rows are the run-densest possible input — one run per other
+    // column — so every AND-word shortcut and cursor advance is on the hot
+    // path. 8-connectivity still takes the two-pointer join; both must agree
+    // with the whole-frame reference, including at word-boundary widths.
+    for side in [63usize, 64, 65, 96, 130] {
+        let img = gen::by_name("checker", side, 0).unwrap();
+        for conn in [Connectivity::Four, Connectivity::Eight] {
+            assert_eq!(
+                streamed_features(&img, conn),
+                reference(&img, conn),
+                "checker side={side} conn={conn:?}"
+            );
+        }
+    }
+    // Alternating checker phases between adjacent rows: the AND of facing
+    // rows is empty (no unions) — maximal retirement churn per row.
+    let mut img = Bitmap::new(40, 67);
+    for r in 0..40 {
+        for c in 0..67 {
+            if (r + c) % 2 == 0 {
+                img.set(r, c, true);
+            }
+        }
+    }
+    for conn in [Connectivity::Four, Connectivity::Eight] {
+        assert_eq!(
+            streamed_features(&img, conn),
+            reference(&img, conn),
+            "phase-alternating checker conn={conn:?}"
+        );
+    }
+}
+
+#[test]
 fn frontier_memory_stays_bounded_by_cols_across_families() {
     // The O(cols + live components) contract, asserted over the families
     // with the most live components (checker: one component per other
