@@ -10,6 +10,9 @@
 //! slap-bench reuse                       # cold-vs-warm sweep over the engine
 //!                                        #   registry -> BENCH_reuse.json
 //! slap-bench reuse --quick --out F       # small sweep (CI smoke), custom path
+//! slap-bench tiled                       # tile-shape + out-of-core sweep
+//!                                        #   -> BENCH_tiled.json
+//! slap-bench tiled --quick --out F       # small sweep (CI smoke), custom path
 //! slap-bench check FILE                  # schema-validate a recorded file
 //! slap-bench check FILE --require-full   # + full scale and the headline criteria
 //! ```
@@ -20,11 +23,13 @@
 //! strip-parallel engine across thread counts (`parallel`), the
 //! bounded-memory streaming engine with its frontier peaks (`stream`), and
 //! cold-call vs. warm-session throughput for every engine in
-//! `slap_cc::engine::registry()` (`reuse`) — that the `BENCH_*.json` files
+//! `slap_cc::engine::registry()` (`reuse`), and the 2-D tiled engine across
+//! tile shapes plus the out-of-core band scheduler (`tiled`) — that the
+//! `BENCH_*.json` files
 //! commit to the repository. `check` dispatches on the file's `schema`
 //! field.
 
-use slap_bench::{baseline, json, parallel, reuse, stream};
+use slap_bench::{baseline, json, parallel, reuse, stream, tiled};
 
 fn usage() -> ! {
     eprintln!(
@@ -32,6 +37,7 @@ fn usage() -> ! {
          slap-bench parallel [--quick] [--out PATH]\n       \
          slap-bench stream [--quick] [--out PATH]\n       \
          slap-bench reuse [--quick] [--out PATH]\n       \
+         slap-bench tiled [--quick] [--out PATH]\n       \
          slap-bench check PATH [--require-full]"
     );
     std::process::exit(2);
@@ -108,6 +114,14 @@ fn main() {
                 reuse::validate(t, !quick)
             });
         }
+        Some("tiled") => {
+            let (quick, out) = sweep_flags(&args[1..], "BENCH_tiled.json");
+            let report = tiled::run_tiled(quick, |line| eprintln!("  {line}"));
+            let text = report.to_json();
+            write_validated(&text, &out, report.entries.len(), |t| {
+                tiled::validate(t, !quick)
+            });
+        }
         Some("check") => {
             let mut path: Option<&str> = None;
             let mut require_full = false;
@@ -136,6 +150,7 @@ fn main() {
             let result = match schema.as_str() {
                 parallel::SCHEMA => parallel::validate(&text, require_full),
                 stream::SCHEMA => stream::validate(&text, require_full),
+                tiled::SCHEMA => tiled::validate(&text, require_full),
                 reuse::SCHEMA => reuse::validate(&text, require_full),
                 _ => baseline::validate(&text, require_full),
             };

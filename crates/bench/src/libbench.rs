@@ -21,6 +21,7 @@ pub mod parallel;
 pub mod reuse;
 pub mod stream;
 pub mod table;
+pub mod tiled;
 
 pub use table::Table;
 

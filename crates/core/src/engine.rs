@@ -1,9 +1,10 @@
 //! The unified host-engine layer: one trait, persistent sessions, and a
 //! registry-driven dispatch surface.
 //!
-//! The workspace grew four host labeling engines — the BFS gold oracle, the
-//! word-parallel [`fast`](crate::fast) engine, its strip-parallel variant,
-//! and the bounded-memory streaming engine — and, as the two-pass parallel
+//! The workspace grew five host labeling engines — the BFS gold oracle, the
+//! word-parallel [`fast`](crate::fast) engine, its strip-parallel and 2-D
+//! tiled variants, and the bounded-memory streaming engine — and, as the
+//! two-pass parallel
 //! CCL literature observes (Gupta et al., arXiv:1606.05973), they all share
 //! one skeleton: *group foreground into equivalence classes, then resolve
 //! every pixel's class to the component minimum*. This module names that
@@ -15,8 +16,9 @@
 //!   per-strip pools) and reuses them across calls, so a warm session in
 //!   steady state performs **zero heap allocation** per frame — the
 //!   difference the `slap-bench reuse` sweep records.
-//! * [`BfsSession`], [`FastSession`], [`ParallelSession`], [`StreamSession`]
-//!   — the four engines behind the trait. All produce **bit-identical**
+//! * [`BfsSession`], [`FastSession`], [`ParallelSession`], [`TiledSession`],
+//!   [`StreamSession`] — the engines behind the trait. All produce
+//!   **bit-identical**
 //!   output (component minima are decomposition-invariant), which the
 //!   `engine_matrix` differential harness asserts across every registered
 //!   engine × workload family × connectivity.
@@ -27,7 +29,7 @@
 //!   *data* instead of hand-rolled match arms, the adaptive-selection shape
 //!   argued for by Sutton et al. (arXiv:1612.01178).
 
-use slap_image::fast::{FastLabeler, ParallelLabeler};
+use slap_image::fast::{FastLabeler, ParallelLabeler, TiledLabeler};
 use slap_image::stream::StreamGridLabeler;
 use slap_image::{BfsOracle, Bitmap, Connectivity, LabelGrid};
 
@@ -46,6 +48,9 @@ pub struct EngineStats {
     /// Peak active-run frontier observed (streaming engine only; `0` for
     /// whole-frame engines).
     pub peak_frontier_runs: usize,
+    /// Peak carried band-boundary state observed (out-of-core band
+    /// scheduling only; `0` for single-pass engines).
+    pub peak_carried_runs: usize,
 }
 
 /// A persistent labeling session: the unified interface over every host
@@ -109,6 +114,7 @@ impl LabelEngine for BfsSession {
             runs: 0,
             threads: 1,
             peak_frontier_runs: 0,
+            peak_carried_runs: 0,
         }
     }
 
@@ -143,6 +149,7 @@ impl LabelEngine for FastSession {
             runs: self.labeler.last_runs(),
             threads: 1,
             peak_frontier_runs: 0,
+            peak_carried_runs: 0,
         }
     }
 
@@ -180,6 +187,52 @@ impl LabelEngine for ParallelSession {
             runs: self.labeler.last_runs(),
             threads: self.labeler.threads(),
             peak_frontier_runs: 0,
+            peak_carried_runs: 0,
+        }
+    }
+
+    fn scratch_bytes(&self) -> usize {
+        self.labeler.scratch_bytes()
+    }
+
+    fn threads(&self) -> usize {
+        self.labeler.threads()
+    }
+}
+
+/// Session over the 2-D tiled engine ([`TiledLabeler`]): workers own
+/// rectangular tiles of a `tiles_y × tiles_x` grid, and the seams merge
+/// hierarchically in pairwise-doubling order — vertical column boundaries
+/// first, then full-width band seams.
+#[derive(Debug)]
+pub struct TiledSession {
+    labeler: TiledLabeler,
+}
+
+impl TiledSession {
+    /// Creates a session labeling on a `tiles_y × tiles_x` grid with
+    /// `threads` workers (all clamped to ≥ 1).
+    pub fn new(tiles_y: usize, tiles_x: usize, threads: usize) -> Self {
+        TiledSession {
+            labeler: TiledLabeler::new(tiles_y, tiles_x, threads),
+        }
+    }
+}
+
+impl LabelEngine for TiledSession {
+    fn kind(&self) -> EngineKind {
+        let (tiles_y, tiles_x) = self.labeler.tiles();
+        EngineKind::Tiled { tiles_x, tiles_y }
+    }
+
+    fn label_into(&mut self, img: &Bitmap, conn: Connectivity, out: &mut LabelGrid) -> EngineStats {
+        self.labeler.label_into(img, conn, out);
+        EngineStats {
+            components: self.labeler.last_components(),
+            runs: self.labeler.last_runs(),
+            threads: self.labeler.threads(),
+            peak_frontier_runs: 0,
+            peak_carried_runs: 0,
         }
     }
 
@@ -221,6 +274,7 @@ impl LabelEngine for StreamSession {
             runs: self.labeler.last_runs(),
             threads: 1,
             peak_frontier_runs: self.labeler.last_stats().peak_frontier_runs,
+            peak_carried_runs: 0,
         }
     }
 
@@ -238,6 +292,14 @@ pub enum EngineKind {
     Fast,
     /// Strip-parallel two-pass with seam stitching (scales with cores).
     Parallel,
+    /// 2-D tiled two-pass with hierarchical seam merging. The shape is part
+    /// of the kind; [`EngineKind::parse`] yields the canonical 2×2 grid.
+    Tiled {
+        /// Tile columns.
+        tiles_x: usize,
+        /// Tile rows.
+        tiles_y: usize,
+    },
     /// Streaming run-based labeler (one row per beat, bounded frontier).
     Stream,
 }
@@ -256,36 +318,46 @@ pub enum MemoryClass {
 }
 
 impl EngineKind {
-    /// Every registered kind, in registry order.
-    pub const ALL: [EngineKind; 4] = [
+    /// Every registered kind, in registry order. Parameterized kinds appear
+    /// with their canonical shape (`tiled` as the 2×2 grid).
+    pub const ALL: [EngineKind; 5] = [
         EngineKind::Bfs,
         EngineKind::Fast,
         EngineKind::Parallel,
+        EngineKind::Tiled {
+            tiles_x: 2,
+            tiles_y: 2,
+        },
         EngineKind::Stream,
     ];
 
     /// Short stable name (accepted by [`EngineKind::parse`] and the CLI's
-    /// `--engine` flag).
+    /// `--engine` flag). Every shape of a parameterized kind shares one
+    /// name — the shape travels in the variant, not the string.
     pub fn name(self) -> &'static str {
         match self {
             EngineKind::Bfs => "bfs",
             EngineKind::Fast => "fast",
             EngineKind::Parallel => "parallel",
+            EngineKind::Tiled { .. } => "tiled",
             EngineKind::Stream => "stream",
         }
     }
 
     /// Parses an engine name as printed by [`EngineKind::name`].
+    /// Parameterized kinds come back in canonical shape (use struct-update
+    /// syntax or the CLI's `--tiles` flag to pick another).
     pub fn parse(s: &str) -> Option<EngineKind> {
         EngineKind::ALL.into_iter().find(|k| k.name() == s)
     }
 
-    /// This kind's registry entry.
+    /// This kind's registry entry. Lookup is by name, so every shape of a
+    /// parameterized kind maps to its one registry row.
     pub fn info(self) -> &'static EngineInfo {
-        &REGISTRY[EngineKind::ALL
+        REGISTRY
             .iter()
-            .position(|&k| k == self)
-            .expect("every kind is registered")]
+            .find(|row| row.kind.name() == self.name())
+            .expect("every kind is registered")
     }
 
     /// Opens a fresh session of this engine. `threads` is honored by
@@ -296,6 +368,9 @@ impl EngineKind {
             EngineKind::Bfs => Box::new(BfsSession::new()),
             EngineKind::Fast => Box::new(FastSession::new()),
             EngineKind::Parallel => Box::new(ParallelSession::new(threads)),
+            EngineKind::Tiled { tiles_x, tiles_y } => {
+                Box::new(TiledSession::new(tiles_y, tiles_x, threads))
+            }
             EngineKind::Stream => Box::new(StreamSession::new()),
         }
     }
@@ -314,8 +389,8 @@ pub struct EngineInfo {
     pub kind: EngineKind,
     /// One-line description for `--engine` help and docs.
     pub description: &'static str,
-    /// Adjacency conventions the engine supports (all four engines support
-    /// both; the field exists so a future engine may register less).
+    /// Adjacency conventions the engine supports (every registered engine
+    /// supports both; the field exists so a future engine may register less).
     pub connectivities: &'static [Connectivity],
     /// Whether the engine scales with a `threads` parameter.
     pub multithreaded: bool,
@@ -327,7 +402,7 @@ pub struct EngineInfo {
 }
 
 /// The registry rows, in [`EngineKind::ALL`] order.
-static REGISTRY: [EngineInfo; 4] = [
+static REGISTRY: [EngineInfo; 5] = [
     EngineInfo {
         kind: EngineKind::Bfs,
         description: "sequential BFS flood fill — the gold reference oracle",
@@ -347,6 +422,17 @@ static REGISTRY: [EngineInfo; 4] = [
     EngineInfo {
         kind: EngineKind::Parallel,
         description: "strip-parallel two-pass with seam stitching — scales with cores",
+        connectivities: &[Connectivity::Four, Connectivity::Eight],
+        multithreaded: true,
+        memory: MemoryClass::RunArena,
+        streaming: false,
+    },
+    EngineInfo {
+        kind: EngineKind::Tiled {
+            tiles_x: 2,
+            tiles_y: 2,
+        },
+        description: "2-D tiled two-pass with hierarchical seam merging — perimeter-bounded seams",
         connectivities: &[Connectivity::Four, Connectivity::Eight],
         multithreaded: true,
         memory: MemoryClass::RunArena,

@@ -32,8 +32,10 @@
 //! one-row-per-beat bounded-memory engine whose retirement records feed the
 //! [`features`] hook) — the wall-clock counterparts the simulation is
 //! measured against — and generalizes the stitch argument to horizontal band
-//! seams in [`stitch::stitch_bands`], the specification behind the
-//! strip-parallel engine's seam pass.
+//! seams in [`stitch::stitch_bands`] and to full 2-D tile grids with
+//! hierarchical pairwise-doubling seam merging in [`stitch::stitch_grid`],
+//! the specifications behind the strip-parallel and tiled engines' seam
+//! passes.
 //!
 //! The [`engine`] module unifies those host engines behind one trait:
 //! [`LabelEngine`] sessions own their scratch arenas and relabel
@@ -72,7 +74,7 @@ pub use cc::{
 };
 pub use engine::{
     registry, BfsSession, EngineInfo, EngineKind, EngineStats, FastSession, LabelEngine,
-    MemoryClass, ParallelSession, StreamSession,
+    MemoryClass, ParallelSession, StreamSession, TiledSession,
 };
 pub use runs::label_components_runs;
 pub use slap_image::fast;

@@ -197,6 +197,231 @@ pub fn stitch_bands(top: &LabelGrid, bottom: &LabelGrid, conn: Connectivity) -> 
     out
 }
 
+/// Per-level cost record of a hierarchical [`stitch_grid`] merge: the seam
+/// boundaries the level processed, the adjacent label pairs it examined, and
+/// how many actually joined two distinct classes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StitchLevel {
+    /// Position in the schedule: vertical levels first, then horizontal.
+    pub level: usize,
+    /// `true` for vertical (tile-column) seams, `false` for horizontal
+    /// (full-width band) seams.
+    pub vertical: bool,
+    /// Seam segments processed (boundary × band for vertical levels, whole
+    /// boundaries for horizontal ones).
+    pub seams: usize,
+    /// Cross-seam adjacent label pairs examined.
+    pub edges: usize,
+    /// Pairs that joined two previously distinct stitch classes.
+    pub unions: usize,
+}
+
+/// The band stitch generalized to a full 2-D grid: merges an `R × C` grid of
+/// *independently labeled* tiles into the global canonical labeling,
+/// processing seams in hierarchical pairwise-doubling order.
+///
+/// `tiles[i][j]` is the labeling of the tile in band `i`, tile-column `j`,
+/// in the paper's convention over the tile's own coordinates (minimum
+/// tile-local column-major position, exactly what
+/// [`slap_image::fast_labels_conn`] produces on the cropped sub-image).
+/// Bands must agree on heights across a row of tiles and widths down a
+/// column.
+///
+/// The merge schedule is the one the run-level tiled engine
+/// (`slap_image::fast::tiled`) uses, making this the independent
+/// specification its differential suite checks against: level `ℓ` of the
+/// vertical phase joins the tile-column boundaries at odd multiples of
+/// `2^ℓ` (each within every band, with ±1-row diagonal reach at
+/// 8-connectivity), then the horizontal phase joins band boundaries the
+/// same way over the **full image width** — which is what catches diagonal
+/// adjacencies straddling a four-corner point. Union order cannot change
+/// the final partition; the hierarchy exists so each level's cost is
+/// attributable ([`StitchLevel`]).
+///
+/// Correctness of the minima mirrors [`stitch_bands`]: tile-local
+/// column-major order agrees with global column-major order within a tile,
+/// so converting a tile component's local minimum yields its true global
+/// minimum over that tile; a merged component's global minimum pixel lies in
+/// one of its constituent tile components, every one of which touches a seam
+/// and is therefore a node of the stitch graph.
+pub fn stitch_grid(tiles: &[Vec<LabelGrid>], conn: Connectivity) -> (LabelGrid, Vec<StitchLevel>) {
+    let ty = tiles.len();
+    assert!(ty > 0, "grid must have at least one band");
+    let tx = tiles[0].len();
+    assert!(
+        tiles.iter().all(|row| row.len() == tx) && tx > 0,
+        "grid must be rectangular and non-empty"
+    );
+    let heights: Vec<usize> = (0..ty).map(|i| tiles[i][0].rows()).collect();
+    let widths: Vec<usize> = (0..tx).map(|j| tiles[0][j].cols()).collect();
+    for (i, row) in tiles.iter().enumerate() {
+        for (j, t) in row.iter().enumerate() {
+            assert_eq!(t.rows(), heights[i], "band {i} disagrees on height");
+            assert_eq!(t.cols(), widths[j], "tile column {j} disagrees on width");
+        }
+    }
+    let mut row_off = vec![0usize; ty + 1];
+    for i in 0..ty {
+        row_off[i + 1] = row_off[i] + heights[i];
+    }
+    let mut col_off = vec![0usize; tx + 1];
+    for j in 0..tx {
+        col_off[j + 1] = col_off[j] + widths[j];
+    }
+    let (rows, cols) = (row_off[ty], col_off[tx]);
+    let mut out = LabelGrid::new_background(rows, cols); // asserts u32 label space
+
+    // Tile-local label -> global column-major position.
+    let global = |i: usize, j: usize, l: u32| -> u32 {
+        let trows = heights[i] as u32;
+        (col_off[j] as u32 + l / trows) * rows as u32 + row_off[i] as u32 + l % trows
+    };
+    // Intern the labels that appear on any seam, keyed by flat tile index.
+    let mut dense: HashMap<(u32, u32), u32> = HashMap::new();
+    let mut values: Vec<u32> = Vec::new(); // dense id -> global position
+    let mut intern = |i: usize, j: usize, l: u32, values: &mut Vec<u32>| -> u32 {
+        *dense.entry(((i * tx + j) as u32, l)).or_insert_with(|| {
+            values.push(global(i, j, l));
+            values.len() as u32 - 1
+        })
+    };
+
+    // Collect each level's edge list first (interning nodes), then union
+    // level by level so effective joins are attributable.
+    let reach = match conn {
+        Connectivity::Four => 0isize,
+        Connectivity::Eight => 1isize,
+    };
+    struct LevelEdges {
+        vertical: bool,
+        seams: usize,
+        edges: Vec<(u32, u32)>,
+    }
+    let mut levels: Vec<LevelEdges> = Vec::new();
+    let doubling = |n: usize| {
+        let mut bounds: Vec<Vec<usize>> = Vec::new();
+        let mut half = 1usize;
+        while half < n {
+            bounds.push((half..n).step_by(half * 2).collect());
+            half *= 2;
+        }
+        bounds
+    };
+    for boundaries in doubling(tx) {
+        let mut level = LevelEdges {
+            vertical: true,
+            seams: 0,
+            edges: Vec::new(),
+        };
+        for &j in &boundaries {
+            for i in 0..ty {
+                level.seams += 1;
+                let (left, right) = (&tiles[i][j - 1], &tiles[i][j]);
+                let h = heights[i] as isize;
+                for r in 0..h {
+                    let l = left.get(r as usize, widths[j - 1] - 1);
+                    if l == NIL {
+                        continue;
+                    }
+                    for rr in r - reach..=r + reach {
+                        if rr < 0 || rr >= h {
+                            continue;
+                        }
+                        let b = right.get(rr as usize, 0);
+                        if b != NIL {
+                            let dl = intern(i, j - 1, l, &mut values);
+                            let dr = intern(i, j, b, &mut values);
+                            level.edges.push((dl, dr));
+                        }
+                    }
+                }
+            }
+        }
+        levels.push(level);
+    }
+    for boundaries in doubling(ty) {
+        let mut level = LevelEdges {
+            vertical: false,
+            seams: 0,
+            edges: Vec::new(),
+        };
+        for &i in &boundaries {
+            level.seams += 1;
+            // Full-width seam between bands i-1 and i: columns map to tiles
+            // on each side independently, so cross-corner diagonals are
+            // ordinary (c, c') pairs here.
+            let tile_of = |c: usize| col_off.partition_point(|&o| o <= c) - 1;
+            for c in 0..cols as isize {
+                let jt = tile_of(c as usize);
+                let t = tiles[i - 1][jt].get(heights[i - 1] - 1, c as usize - col_off[jt]);
+                if t == NIL {
+                    continue;
+                }
+                for bc in c - reach..=c + reach {
+                    if bc < 0 || bc >= cols as isize {
+                        continue;
+                    }
+                    let jb = tile_of(bc as usize);
+                    let b = tiles[i][jb].get(0, bc as usize - col_off[jb]);
+                    if b != NIL {
+                        let dt = intern(i - 1, jt, t, &mut values);
+                        let db = intern(i, jb, b, &mut values);
+                        level.edges.push((dt, db));
+                    }
+                }
+            }
+        }
+        levels.push(level);
+    }
+
+    let mut uf = RankHalvingUf::with_elements(values.len());
+    let mut costs = Vec::with_capacity(levels.len());
+    for (lvl, level) in levels.iter().enumerate() {
+        let mut unions = 0usize;
+        for &(a, b) in &level.edges {
+            if uf.find(a as usize) != uf.find(b as usize) {
+                unions += 1;
+            }
+            uf.union(a as usize, b as usize);
+        }
+        costs.push(StitchLevel {
+            level: lvl,
+            vertical: level.vertical,
+            seams: level.seams,
+            edges: level.edges.len(),
+            unions,
+        });
+    }
+
+    // Least global position per stitched class, then emit.
+    let mut min_label = vec![NIL; values.len()];
+    for (id, &value) in values.iter().enumerate() {
+        let r = uf.find(id);
+        if value < min_label[r] {
+            min_label[r] = value;
+        }
+    }
+    for i in 0..ty {
+        for j in 0..tx {
+            let tile = &tiles[i][j];
+            for r in 0..heights[i] {
+                for c in 0..widths[j] {
+                    let l = tile.get(r, c);
+                    if l == NIL {
+                        continue;
+                    }
+                    let resolved = match dense.get(&(((i * tx + j) as u32), l)) {
+                        Some(&id) => min_label[uf.find(id as usize)],
+                        None => global(i, j, l),
+                    };
+                    out.set(row_off[i] + r, col_off[j] + c, resolved);
+                }
+            }
+        }
+    }
+    (out, costs)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -329,5 +554,148 @@ mod tests {
     #[should_panic(expected = "disagree")]
     fn mask_mismatch_is_detected() {
         stitch_column(&[1, NIL], &[NIL, NIL]);
+    }
+
+    /// Crops the rectangle `rows lo..hi × cols clo..chi` into a standalone
+    /// tile bitmap.
+    fn tile(img: &Bitmap, lo: usize, hi: usize, clo: usize, chi: usize) -> Bitmap {
+        let mut out = Bitmap::new(hi - lo, chi - clo);
+        for r in lo..hi {
+            for c in clo..chi {
+                if img.get(r, c) {
+                    out.set(r - lo, c - clo, true);
+                }
+            }
+        }
+        out
+    }
+
+    /// Cuts `img` into a `ty × tx` grid of independently labeled tiles
+    /// (balanced cuts, remainder to the leading tiles).
+    fn label_grid_tiles(
+        img: &Bitmap,
+        ty: usize,
+        tx: usize,
+        conn: Connectivity,
+    ) -> Vec<Vec<LabelGrid>> {
+        let cut = |n: usize, k: usize| -> Vec<usize> {
+            let mut offs = vec![0usize];
+            for i in 0..k {
+                offs.push(offs[i] + n / k + usize::from(i < n % k));
+            }
+            offs
+        };
+        let rcut = cut(img.rows(), ty);
+        let ccut = cut(img.cols(), tx);
+        (0..ty)
+            .map(|i| {
+                (0..tx)
+                    .map(|j| {
+                        fast_labels_conn(
+                            &tile(img, rcut[i], rcut[i + 1], ccut[j], ccut[j + 1]),
+                            conn,
+                        )
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn grid_stitch_matches_whole_image_labeling() {
+        for name in ["random50", "blobs", "checker", "spiral", "comb"] {
+            let img = gen::by_name(name, 25, 5).unwrap();
+            for conn in [Connectivity::Four, Connectivity::Eight] {
+                for (ty, tx) in [(2, 2), (1, 3), (3, 1), (3, 3), (4, 2)] {
+                    let tiles = label_grid_tiles(&img, ty, tx, conn);
+                    let (stitched, _) = stitch_grid(&tiles, conn);
+                    assert_eq!(
+                        stitched,
+                        fast_labels_conn(&img, conn),
+                        "{name} {ty}x{tx} {conn:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grid_stitch_agrees_with_the_run_level_tiled_engine() {
+        // Two independent implementations of the same decomposition: the
+        // pixel-level stitcher here and the run-arena engine in
+        // slap_image::fast::tiled must land on identical output.
+        use slap_image::tiled_labels_conn;
+        for name in ["maze", "blobs", "random50"] {
+            let img = gen::by_name(name, 33, 11).unwrap();
+            for conn in [Connectivity::Four, Connectivity::Eight] {
+                for (ty, tx) in [(2, 2), (4, 4), (1, 4), (4, 1)] {
+                    let tiles = label_grid_tiles(&img, ty, tx, conn);
+                    let (stitched, _) = stitch_grid(&tiles, conn);
+                    let engine = tiled_labels_conn(&img, conn, ty, tx, 2);
+                    assert_eq!(stitched, engine, "{name} {ty}x{tx} {conn:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grid_stitch_joins_four_corner_diagonals() {
+        // A 2×2 cut through the center of a diagonal pair: the two pixels
+        // sit in opposite corner tiles and only the full-width horizontal
+        // seam with ±1-column reach can join them.
+        for art in ["#.\n.#\n", ".#\n#.\n"] {
+            let img = Bitmap::from_art(art);
+            let tiles = label_grid_tiles(&img, 2, 2, Connectivity::Eight);
+            let (eight, _) = stitch_grid(&tiles, Connectivity::Eight);
+            assert_eq!(eight.component_count(), 1, "{art:?}");
+            let tiles = label_grid_tiles(&img, 2, 2, Connectivity::Four);
+            let (four, _) = stitch_grid(&tiles, Connectivity::Four);
+            assert_eq!(four.component_count(), 2, "{art:?}");
+        }
+    }
+
+    #[test]
+    fn grid_stitch_levels_follow_the_pairwise_doubling_schedule() {
+        let img = gen::by_name("maze", 48, 3).unwrap();
+        let tiles = label_grid_tiles(&img, 4, 4, Connectivity::Four);
+        let (stitched, levels) = stitch_grid(&tiles, Connectivity::Four);
+        assert_eq!(stitched, fast_labels_conn(&img, Connectivity::Four));
+        let shape: Vec<(usize, bool, usize)> = levels
+            .iter()
+            .map(|l| (l.level, l.vertical, l.seams))
+            .collect();
+        // 4 tile columns: level 0 joins boundaries {1, 3} across 4 bands,
+        // level 1 joins {2}; then the same halving over the 4 bands.
+        assert_eq!(
+            shape,
+            vec![(0, true, 8), (1, true, 4), (2, false, 2), (3, false, 1)]
+        );
+        // Every stitch that matters is attributed to exactly one level: the
+        // per-tile component count collapses to the final count through the
+        // recorded effective unions.
+        let per_tile: usize = tiles.iter().flatten().map(LabelGrid::component_count).sum();
+        let unions: usize = levels.iter().map(|l| l.unions).sum();
+        assert_eq!(per_tile - unions, stitched.component_count());
+    }
+
+    #[test]
+    fn grid_stitch_handles_uneven_tile_dimensions() {
+        // 25 rows over 4 bands and 25 cols over 3 tile columns exercise the
+        // remainder-bearing offsets in both axes.
+        let img = gen::by_name("blobs", 25, 9).unwrap();
+        for conn in [Connectivity::Four, Connectivity::Eight] {
+            let tiles = label_grid_tiles(&img, 4, 3, conn);
+            let (stitched, _) = stitch_grid(&tiles, conn);
+            assert_eq!(stitched, fast_labels_conn(&img, conn), "{conn:?}");
+        }
+    }
+
+    #[test]
+    fn single_tile_grid_is_the_identity() {
+        let img = gen::by_name("spiral", 16, 2).unwrap();
+        let tiles = label_grid_tiles(&img, 1, 1, Connectivity::Four);
+        let (stitched, levels) = stitch_grid(&tiles, Connectivity::Four);
+        assert_eq!(stitched, fast_labels_conn(&img, Connectivity::Four));
+        assert!(levels.is_empty());
     }
 }

@@ -93,6 +93,81 @@ pub fn count_ones_in_span(words: &[u64], start: u32, end: u32) -> u32 {
     total
 }
 
+/// Writes the horizontal dilation `src | src<<1 | src>>1` of a packed row
+/// into `dst` (cleared first), carrying shifted bits across word boundaries
+/// and masking the result back to `bits` positions.
+///
+/// Bit `i` of the output is set iff bit `i-1`, `i`, or `i+1` of `src` is set:
+/// exactly the columns within diagonal reach of a set pixel. ANDing a dilated
+/// row against the row below therefore marks every column where the lower row
+/// is 8-adjacent to the upper one — the word-level replacement for walking
+/// run pairs with a two-pointer scan (see [`for_each_diagonal_pair`]).
+#[inline]
+pub fn dilate_words_into(src: &[u64], bits: usize, dst: &mut Vec<u64>) {
+    debug_assert!(bits <= src.len() * 64);
+    dst.clear();
+    dst.reserve(src.len());
+    let mut carry_up = 0u64; // bit 63 of the previous word, shifted into bit 0
+    for (i, &w) in src.iter().enumerate() {
+        let next_lo = if i + 1 < src.len() { src[i + 1] & 1 } else { 0 };
+        dst.push(w | (w << 1) | carry_up | (w >> 1) | (next_lo << 63));
+        carry_up = w >> 63;
+    }
+    // Dilation may spill one bit past the image width into the padding.
+    let tail = bits % 64;
+    if tail != 0 {
+        if let Some(last) = dst.last_mut() {
+            *last &= (1u64 << tail) - 1;
+        }
+    }
+}
+
+/// Invokes `f(cur_idx, prev_idx)` once for every 8-adjacent pair of a run in
+/// `cur_runs` (the lower row) and a run in `prev_runs` (the upper row), where
+/// `and_words` holds `dilate(upper) & lower` (see [`dilate_words_into`]) and
+/// runs are packed `start << 32 | end` with inclusive bounds, sorted by start.
+///
+/// Each AND segment lies inside exactly one lower run (the AND is a subset of
+/// the lower row), so a single forward cursor locates it; the upper runs
+/// within diagonal reach of the segment — `start <= end+1` and
+/// `end+1 >= start` — are exactly the 8-adjacent ones, enumerated with a
+/// second cursor that *backsteps* one run after each segment because a
+/// dilated upper run can bridge to the next segment too. Every adjacent pair
+/// is reported exactly once; non-adjacent pairs never.
+///
+/// This one sweep serves all three diagonal-join sites — strip seams, tile
+/// seams, and the streaming merge — replacing their per-site two-pointer
+/// walks (kept as a test-only cross-check).
+#[inline]
+pub fn for_each_diagonal_pair(
+    and_words: &[u64],
+    bits: usize,
+    cur_runs: &[u64],
+    prev_runs: &[u64],
+    mut f: impl FnMut(usize, usize),
+) {
+    let mut c = 0usize;
+    let mut p = 0usize;
+    for_each_run_in_words(and_words, bits, |s, e| {
+        let (s, e) = (u64::from(s), u64::from(e));
+        while (cur_runs[c] & 0xffff_ffff) < s {
+            c += 1;
+        }
+        while p < prev_runs.len() && (prev_runs[p] & 0xffff_ffff) + 1 < s {
+            p += 1;
+        }
+        let mut q = p;
+        while q < prev_runs.len() && (prev_runs[q] >> 32) <= e + 1 {
+            f(c, q);
+            q += 1;
+        }
+        // The last upper run consumed may reach the next segment as well.
+        if q > p {
+            p = q - 1;
+        }
+    });
+}
+
 /// A rectangular binary image stored row-major, 64 pixels per word.
 ///
 /// Rows and columns are numbered from 0, top-to-bottom and left-to-right,
@@ -467,6 +542,104 @@ impl Columns {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The retired reference implementation of diagonal-pair enumeration:
+    /// walk both run lists with a two-pointer scan at reach 1. Kept only to
+    /// cross-check the word-level [`for_each_diagonal_pair`] sweep.
+    fn diagonal_pairs_two_pointer(cur_runs: &[u64], prev_runs: &[u64]) -> Vec<(usize, usize)> {
+        let mut pairs = Vec::new();
+        let mut p = 0usize;
+        for (c, &run) in cur_runs.iter().enumerate() {
+            let (sb, eb) = (run >> 32, run & 0xffff_ffff);
+            let aw = sb.saturating_sub(1);
+            let bw = eb + 1;
+            while p < prev_runs.len() && (prev_runs[p] & 0xffff_ffff) < aw {
+                p += 1;
+            }
+            let mut q = p;
+            while q < prev_runs.len() && (prev_runs[q] >> 32) <= bw {
+                pairs.push((c, q));
+                q += 1;
+            }
+            if q > p {
+                p = q - 1;
+            }
+        }
+        pairs
+    }
+
+    fn runs_of(words: &[u64], bits: usize) -> Vec<u64> {
+        let mut runs = Vec::new();
+        for_each_run_in_words(words, bits, |a, b| {
+            runs.push((u64::from(a) << 32) | u64::from(b));
+        });
+        runs
+    }
+
+    #[test]
+    fn dilate_words_carries_across_word_boundaries() {
+        // Bits 0, 63, 64, and 130 over 131 columns: the dilation must reach
+        // across both word seams and stay masked to the width.
+        let src = [1u64 | (1 << 63), 1u64, 1u64 << 2];
+        let mut dst = Vec::new();
+        dilate_words_into(&src, 131, &mut dst);
+        assert_eq!(dst[0], 0b11 | (0b11 << 62));
+        assert_eq!(dst[1], 0b11); // bits 64 (own + carry of 63) and 65
+        assert_eq!(dst[2], 0b110); // bit 130 dilates to 129..=130; 131 is masked off
+    }
+
+    #[test]
+    fn dilate_words_masks_the_final_bit() {
+        let src = [1u64 << 6];
+        let mut dst = Vec::new();
+        dilate_words_into(&src, 7, &mut dst);
+        assert_eq!(dst, vec![0b110_0000]); // bit 7 would spill past cols=7
+    }
+
+    #[test]
+    fn diagonal_pair_sweep_matches_the_two_pointer_reference() {
+        // Every 2-row pattern over 2 words + a ragged tail, pseudo-randomly:
+        // the word-level dilated-AND sweep and the retired two-pointer walk
+        // must enumerate exactly the same (lower, upper) run pairs.
+        let bits = 131usize;
+        let words = bits.div_ceil(64);
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for case in 0..500 {
+            let mask_tail = (1u64 << (bits % 64)) - 1;
+            // Mix densities so some cases are run-dense, some sparse.
+            let mix = |r: &mut dyn FnMut() -> u64| match case % 3 {
+                0 => r(),
+                1 => r() & r() & r(),
+                _ => r() | r(),
+            };
+            let mut upper: Vec<u64> = (0..words).map(|_| mix(&mut rng)).collect();
+            let mut lower: Vec<u64> = (0..words).map(|_| mix(&mut rng)).collect();
+            upper[words - 1] &= mask_tail;
+            lower[words - 1] &= mask_tail;
+            let prev_runs = runs_of(&upper, bits);
+            let cur_runs = runs_of(&lower, bits);
+
+            let mut dilated = Vec::new();
+            dilate_words_into(&upper, bits, &mut dilated);
+            let and_words: Vec<u64> = dilated
+                .iter()
+                .zip(lower.iter())
+                .map(|(&d, &l)| d & l)
+                .collect();
+            let mut got = Vec::new();
+            for_each_diagonal_pair(&and_words, bits, &cur_runs, &prev_runs, |c, q| {
+                got.push((c, q));
+            });
+            let want = diagonal_pairs_two_pointer(&cur_runs, &prev_runs);
+            assert_eq!(got, want, "case {case}");
+        }
+    }
 
     #[test]
     fn new_is_all_zero() {

@@ -30,9 +30,13 @@ use crate::bitmap::{for_each_run_in_words, Bitmap};
 use crate::connectivity::Connectivity;
 use crate::labels::LabelGrid;
 
+pub mod ooc;
 pub mod parallel;
+pub mod tiled;
 
+pub use ooc::{label_out_of_core, OocRun, OocStats, OutOfCoreLabeler};
 pub use parallel::{parallel_labels, parallel_labels_conn, ParallelLabeler};
+pub use tiled::{tiled_labels, tiled_labels_conn, SeamLevel, TiledLabeler};
 
 /// Labels `img` under 4-connectivity. Convenience wrapper allocating a fresh
 /// grid and labeler; hot loops should hold a [`FastLabeler`] instead.
@@ -76,6 +80,10 @@ pub struct FastLabeler {
     node: Vec<u64>,
     /// Scratch words for the 4-connectivity merge: `row[r] & row[r-1]`.
     and_buf: Vec<u64>,
+    /// Masked copies of the current/previous row's words restricted to a
+    /// column window — scratch for [`FastLabeler::build_runs_window`].
+    win_cur: Vec<u64>,
+    win_prev: Vec<u64>,
     /// Root count of the most recent call, folded into the output sweep (so
     /// [`FastLabeler::last_components`] is O(1), never a node-arena rescan).
     components: usize,
@@ -267,6 +275,145 @@ impl FastLabeler {
         self.runs.len()
     }
 
+    /// Rectangular-window variant of [`FastLabeler::build_runs_rows`]: rows
+    /// `row_lo..row_hi` restricted to columns `col_lo..col_hi` — the unit of
+    /// work one *tile* worker performs ([`tiled`]). Each row's words are
+    /// copied into a masked window buffer, so extraction and the vertical
+    /// merge reuse the exact word-level machinery of the full-width path;
+    /// run bounds and minima stay **global** (absolute columns, global
+    /// column-major positions) while run indices and union–find parents are
+    /// local to the window. Adjacency crossing the window's left/right edge
+    /// is deliberately not resolved here — that is the tile stitcher's seam
+    /// pass. Returns the window's run count.
+    fn build_runs_window(
+        &mut self,
+        img: &Bitmap,
+        conn: Connectivity,
+        row_lo: usize,
+        row_hi: usize,
+        col_lo: usize,
+        col_hi: usize,
+    ) -> usize {
+        debug_assert!(col_lo < col_hi && col_hi <= img.cols());
+        if col_lo == 0 && col_hi == img.cols() {
+            // Full-width window: the row-range path already does exactly this
+            // without the masked copies.
+            return self.build_runs_rows(img, conn, row_lo, row_hi);
+        }
+        let rows_u32 = img.rows() as u32;
+        self.runs.clear();
+        self.row_runs.clear();
+        self.node.clear();
+        self.row_runs.reserve(row_hi - row_lo + 1);
+        let (wlo, whi) = (col_lo / 64, (col_hi - 1) / 64 + 1);
+        // Window positions are reported relative to word `wlo`; `base` maps
+        // them back to absolute columns.
+        let bits = col_hi - wlo * 64;
+        let base = (wlo * 64) as u64;
+        let mask_lo = !0u64 << (col_lo % 64);
+        let mask_hi = if col_hi.is_multiple_of(64) {
+            !0u64
+        } else {
+            (1u64 << (col_hi % 64)) - 1
+        };
+        let reach = match conn {
+            Connectivity::Four => 0u64,
+            Connectivity::Eight => 1u64,
+        };
+        self.win_prev.clear();
+        let mut prev_lo = 0usize; // first run of the previous row
+        for r in row_lo..row_hi {
+            let prev_hi = self.runs.len();
+            self.row_runs
+                .push(u32::try_from(prev_hi).expect("run count exceeds u32"));
+            // Masked copy of this row's window words, then extraction with
+            // absolute column bounds — one packed push per run.
+            {
+                let FastLabeler { runs, win_cur, .. } = self;
+                win_cur.clear();
+                win_cur.extend_from_slice(&img.row_words(r)[wlo..whi]);
+                win_cur[0] &= mask_lo;
+                let last = win_cur.len() - 1;
+                win_cur[last] &= mask_hi;
+                for_each_run_in_words(win_cur, bits, |a, b| {
+                    runs.push(((base + u64::from(a)) << 32) | (base + u64::from(b)));
+                });
+            }
+            let cur_hi = self.runs.len();
+            // Singleton init: identity parents, global minimum positions.
+            let r_u64 = r as u64;
+            {
+                let FastLabeler { runs, node, .. } = self;
+                node.extend(runs[prev_hi..cur_hi].iter().enumerate().map(|(off, &sb)| {
+                    let min = (sb >> 32) * rows_u32 as u64 + r_u64;
+                    (min << 32) | (prev_hi + off) as u64
+                }));
+            }
+            // Merge with the previous row's window runs [prev_lo, prev_hi) —
+            // the same sweeps as build_runs_rows, over the masked buffers.
+            match conn {
+                Connectivity::Four if r > row_lo => {
+                    let FastLabeler {
+                        runs,
+                        node,
+                        and_buf,
+                        win_cur,
+                        win_prev,
+                        ..
+                    } = self;
+                    and_buf.clear();
+                    and_buf.extend(win_cur.iter().zip(win_prev.iter()).map(|(&a, &b)| a & b));
+                    let mut c = prev_hi;
+                    let mut q = prev_lo;
+                    let mut root = u32::MAX;
+                    for_each_run_in_words(and_buf, bits, |s, _| {
+                        let s = base + u64::from(s);
+                        if root == u32::MAX || (runs[c] & 0xffff_ffff) < s {
+                            while (runs[c] & 0xffff_ffff) < s {
+                                c += 1;
+                            }
+                            root = c as u32;
+                        }
+                        while (runs[q] & 0xffff_ffff) < s {
+                            q += 1;
+                        }
+                        let rq = find_in(node, q as u32);
+                        root = link_roots(node, root, rq);
+                    });
+                }
+                _ => {
+                    // Both rows' runs are already clipped to the window, so
+                    // the widened bounds can never pair across the edge.
+                    let FastLabeler { runs, node, .. } = self;
+                    let (prev, cur) = runs[prev_lo..].split_at(prev_hi - prev_lo);
+                    let mut p = 0usize;
+                    for (off, &sb) in cur.iter().enumerate() {
+                        let aw = (sb >> 32).saturating_sub(reach);
+                        let bw = (sb & 0xffff_ffff) + reach;
+                        while p < prev.len() && (prev[p] & 0xffff_ffff) < aw {
+                            p += 1;
+                        }
+                        let mut q = p;
+                        let mut root = (prev_hi + off) as u32;
+                        while q < prev.len() && (prev[q] >> 32) <= bw {
+                            let rq = find_in(node, (prev_lo + q) as u32);
+                            root = link_roots(node, root, rq);
+                            q += 1;
+                        }
+                        if q > p {
+                            p = q - 1;
+                        }
+                    }
+                }
+            }
+            std::mem::swap(&mut self.win_cur, &mut self.win_prev);
+            prev_lo = prev_hi;
+        }
+        self.row_runs
+            .push(u32::try_from(self.runs.len()).expect("run count exceeds u32"));
+        self.runs.len()
+    }
+
     /// Labels `img` into `out` (re-dimensioned; every cell is written exactly
     /// once — runs with their component label, gaps with background). With
     /// reused storage of sufficient capacity the call performs no heap
@@ -343,6 +490,8 @@ impl FastLabeler {
             + self.row_runs.capacity() * size_of::<u32>()
             + self.node.capacity() * size_of::<u64>()
             + self.and_buf.capacity() * size_of::<u64>()
+            + self.win_cur.capacity() * size_of::<u64>()
+            + self.win_prev.capacity() * size_of::<u64>()
     }
 }
 

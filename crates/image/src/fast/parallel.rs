@@ -20,8 +20,9 @@
 //!    base index;
 //! 3. **seam pass (sequential, tiny)** — for each of the `T − 1` seams, runs
 //!    of the two facing rows are unioned under the requested connectivity
-//!    (word-level `AND` adjacency for 4-connectivity, diagonal-reach
-//!    two-pointer join for 8);
+//!    (word-level `AND` adjacency for 4-connectivity; for 8, the same sweep
+//!    over the *dilated* upper row, `upper | upper<<1 | upper>>1` — see
+//!    [`crate::bitmap::for_each_diagonal_pair`]);
 //! 4. **flatten (parallel)** — a tiny sequential pre-pass (`O(seam runs)`)
 //!    finalizes the recorded seam-loser chains, after which each strip's
 //!    ascending sweep only ever reads its own nodes (every remaining parent
@@ -35,7 +36,7 @@
 //! component minima, which no decomposition can change.
 
 use super::{link_roots, FastLabeler};
-use crate::bitmap::{for_each_run_in_words, Bitmap};
+use crate::bitmap::{dilate_words_into, for_each_diagonal_pair, for_each_run_in_words, Bitmap};
 use crate::connectivity::Connectivity;
 use crate::labels::LabelGrid;
 
@@ -77,8 +78,11 @@ pub struct ParallelLabeler {
     /// Global index of the first run of each image row, plus one trailing
     /// sentinel.
     row_runs: Vec<u32>,
-    /// Scratch words for 4-connectivity seam adjacency: `row[s] & row[s-1]`.
+    /// Scratch words for seam adjacency: `row[s] & row[s-1]` at 4-conn,
+    /// `row[s] & dilate(row[s-1])` at 8.
     seam_and: Vec<u64>,
+    /// Scratch words for the dilated upper seam row at 8-connectivity.
+    seam_dilate: Vec<u64>,
     /// Roots that lost a seam union (their parent may cross a strip
     /// boundary) — the only nodes the cross-strip flatten pre-pass must
     /// finalize before the per-strip sweeps run independently.
@@ -103,6 +107,7 @@ impl ParallelLabeler {
             node: Vec::new(),
             row_runs: Vec::new(),
             seam_and: Vec::new(),
+            seam_dilate: Vec::new(),
             seam_losers: Vec::new(),
             chase: Vec::new(),
             strip_roots: Vec::new(),
@@ -137,6 +142,7 @@ impl ParallelLabeler {
             + self.node.capacity() * size_of::<u64>()
             + self.row_runs.capacity() * size_of::<u32>()
             + self.seam_and.capacity() * size_of::<u64>()
+            + self.seam_dilate.capacity() * size_of::<u64>()
             + self.seam_losers.capacity() * size_of::<u32>()
             + self.chase.capacity() * size_of::<u32>()
             + self.strip_roots.capacity() * size_of::<usize>()
@@ -269,7 +275,27 @@ impl ParallelLabeler {
                     );
                 }
                 Connectivity::Eight => {
-                    seam_union_eight(&mut self.node, &self.runs, cur, prev, &mut self.seam_losers);
+                    // The same word-level sweep, over the dilated upper row:
+                    // segments of `row[s] & dilate(row[s-1])` enumerate every
+                    // 8-adjacent run pair (the old two-pointer walk survives
+                    // only as a test cross-check).
+                    dilate_words_into(img.row_words(seam - 1), cols, &mut self.seam_dilate);
+                    self.seam_and.clear();
+                    self.seam_and.extend(
+                        img.row_words(seam)
+                            .iter()
+                            .zip(self.seam_dilate.iter())
+                            .map(|(&a, &b)| a & b),
+                    );
+                    seam_union_eight_words(
+                        &mut self.node,
+                        &self.runs,
+                        &self.seam_and,
+                        cols,
+                        cur,
+                        prev,
+                        &mut self.seam_losers,
+                    );
                 }
             }
         }
@@ -362,7 +388,7 @@ impl ParallelLabeler {
 /// cross-strip ancestor, breaking the phase-4a invariant that only recorded
 /// seam losers carry cross-strip parents. Chains are at most a few seam
 /// links long (one per strip a component spans), so pure finds stay cheap.
-fn find_pure(node: &[u64], mut x: u32) -> u32 {
+pub(crate) fn find_pure(node: &[u64], mut x: u32) -> u32 {
     loop {
         let p = node[x as usize] as u32;
         if p == x {
@@ -378,8 +404,9 @@ fn find_pure(node: &[u64], mut x: u32) -> u32 {
 /// row (starting at `prev_lo`). Unlike the fused in-strip merge, *both*
 /// sides need a find — each row has already been unioned into its strip.
 /// Each root that loses a link is appended to `losers` for the flatten
-/// pre-pass.
-fn seam_union_four(
+/// pre-pass. Shared by the strip seams here and the tile seams of
+/// [`super::tiled`].
+pub(crate) fn seam_union_four(
     node: &mut [u64],
     runs: &[u64],
     and_words: &[u64],
@@ -412,11 +439,52 @@ fn seam_union_four(
     });
 }
 
-/// 8-connectivity seam union: two-pointer join of the facing rows' run lists
-/// with one column of diagonal reach, finding on both sides (each row was
-/// already unioned into its strip). Each root that loses a link is appended
-/// to `losers` for the flatten pre-pass.
-fn seam_union_eight(
+/// 8-connectivity seam union over the word-level dilated-AND adjacency:
+/// `and_words` holds `lower_row & dilate(upper_row)` and
+/// [`for_each_diagonal_pair`] enumerates exactly the 8-adjacent run pairs
+/// across the seam, finding on both sides (each row was already unioned into
+/// its strip/tile). Each root that loses a link is appended to `losers` for
+/// the flatten pre-pass. Shared by the strip seams here and the tile seams
+/// of [`super::tiled`]; the retired two-pointer walk it replaces survives as
+/// [`seam_union_eight_two_pointer`], a test-only cross-check.
+pub(crate) fn seam_union_eight_words(
+    node: &mut [u64],
+    runs: &[u64],
+    and_words: &[u64],
+    cols: usize,
+    cur: std::ops::Range<usize>,
+    prev: std::ops::Range<usize>,
+    losers: &mut Vec<u32>,
+) {
+    let mut last_c = usize::MAX;
+    let mut croot = 0u32;
+    for_each_diagonal_pair(
+        and_words,
+        cols,
+        &runs[cur.clone()],
+        &runs[prev.clone()],
+        |c, q| {
+            // Cache the lower run's surviving root across its pairs: one find
+            // per run, not per pair (link_roots returns the survivor).
+            if c != last_c {
+                last_c = c;
+                croot = find_pure(node, (cur.start + c) as u32);
+            }
+            let rq = find_pure(node, (prev.start + q) as u32);
+            if rq != croot {
+                losers.push(croot.max(rq));
+            }
+            croot = link_roots(node, croot, rq);
+        },
+    );
+}
+
+/// The retired 8-connectivity seam union: a two-pointer join of the facing
+/// rows' run lists with one column of diagonal reach. Kept only to
+/// cross-check [`seam_union_eight_words`] — the word-level sweep must
+/// produce the identical unions in the identical order.
+#[cfg(test)]
+fn seam_union_eight_two_pointer(
     node: &mut [u64],
     runs: &[u64],
     cur: std::ops::Range<usize>,
@@ -592,8 +660,63 @@ mod tests {
     }
 
     #[test]
+    fn word_level_eight_seam_matches_the_retired_two_pointer_path() {
+        // Build a two-row run arena directly and drive both seam-union
+        // implementations over it: the word-level dilated-AND sweep must
+        // perform the identical links in the identical order — same node
+        // array, same loser log — as the retired two-pointer join.
+        for case in 0u64..200 {
+            let density = 0.05 + 0.9 * (case % 10) as f64 / 10.0;
+            let img = gen::uniform_random(2, 131, density, case + 1);
+            let mut runs = Vec::new();
+            let mut node = Vec::new();
+            for r in 0..2 {
+                img.for_each_row_run(r, |a, b| {
+                    let min = u64::from(a) * 2 + r as u64;
+                    node.push((min << 32) | runs.len() as u64);
+                    runs.push((u64::from(a) << 32) | u64::from(b));
+                });
+            }
+            let split = runs.len() - img.count_row_runs(1);
+            let (prev, cur) = (0..split, split..runs.len());
+
+            let mut node_tp = node.clone();
+            let mut losers_tp = Vec::new();
+            seam_union_eight_two_pointer(
+                &mut node_tp,
+                &runs,
+                cur.clone(),
+                prev.clone(),
+                &mut losers_tp,
+            );
+
+            let mut dilated = Vec::new();
+            dilate_words_into(img.row_words(0), img.cols(), &mut dilated);
+            let and_words: Vec<u64> = img
+                .row_words(1)
+                .iter()
+                .zip(dilated.iter())
+                .map(|(&a, &b)| a & b)
+                .collect();
+            let mut losers = Vec::new();
+            seam_union_eight_words(
+                &mut node,
+                &runs,
+                &and_words,
+                img.cols(),
+                cur,
+                prev,
+                &mut losers,
+            );
+            assert_eq!(node, node_tp, "case {case}");
+            assert_eq!(losers, losers_tp, "case {case}");
+        }
+    }
+
+    #[test]
     fn seam_eight_backstep_shares_one_upper_run_across_adjacent_lower_runs() {
-        // Regression for the `p = q - 1` backstep in `seam_union_eight`: two
+        // Regression for the `p = q - 1` backstep in the diagonal-pair
+        // enumeration (now inside `for_each_diagonal_pair`): two
         // adjacent lower-row runs each touch the single upper-row run only
         // diagonally (through column 2), so after the first lower run
         // consumes the upper run the cursor must step back for the second.

@@ -220,6 +220,58 @@ mod tests {
     }
 
     #[test]
+    fn degenerate_dimensions_survive_every_operator() {
+        // 1×1, single-row, and single-column images exercise the regime
+        // where the 3×3 neighborhoods fall almost entirely outside the
+        // frame; every operator must stay total and keep the dimensions.
+        for (rows, cols) in [(1usize, 1usize), (1, 9), (9, 1), (1, 130), (130, 1)] {
+            let img = gen::uniform_random(rows, cols, 0.6, (rows * 131 + cols) as u64);
+            for conn in [Connectivity::Four, Connectivity::Eight] {
+                for (name, out) in [
+                    ("erode", erode(&img, conn)),
+                    ("dilate", dilate(&img, conn)),
+                    ("open", open(&img, conn)),
+                    ("close", close(&img, conn)),
+                ] {
+                    assert_eq!(
+                        (out.rows(), out.cols()),
+                        (rows, cols),
+                        "{name} {rows}x{cols} {conn}"
+                    );
+                }
+            }
+            let m = median3x3(&img);
+            assert_eq!((m.rows(), m.cols()), (rows, cols), "median {rows}x{cols}");
+        }
+    }
+
+    #[test]
+    fn degenerate_line_images_erode_and_dilate_correctly() {
+        // On a 1×N image 4-conn erosion sees the outside above and below,
+        // so with the outside-is-background convention everything erodes;
+        // dilation is the 1-D run widening in both conventions.
+        let line = Bitmap::from_art("..###..#.\n");
+        assert_eq!(erode(&line, Connectivity::Four).count_ones(), 0);
+        let want = Bitmap::from_art(".########\n");
+        assert_eq!(dilate(&line, Connectivity::Four), want);
+        // The transposed case must behave identically by symmetry.
+        let col = line.transpose();
+        assert_eq!(erode(&col, Connectivity::Four).count_ones(), 0);
+        assert_eq!(dilate(&col, Connectivity::Four), want.transpose());
+    }
+
+    #[test]
+    fn single_pixel_image_is_a_fixed_point_of_closing() {
+        for fg in [true, false] {
+            let mut img = Bitmap::new(1, 1);
+            img.set(0, 0, fg);
+            assert_eq!(close(&img, Connectivity::Four), img);
+            assert_eq!(close(&img, Connectivity::Eight), img);
+            assert_eq!(open(&img, Connectivity::Eight).count_ones(), 0);
+        }
+    }
+
+    #[test]
     fn median_removes_salt_and_pepper() {
         // a solid block with one hole and one speck of salt
         let mut img = Bitmap::from_art(

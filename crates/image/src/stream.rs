@@ -30,7 +30,9 @@
 //! rows incrementally from any [`std::io::Read`] without materializing the
 //! image. [`label_stream`] drives a source to completion.
 
-use crate::bitmap::{count_ones_in_span, for_each_run_in_words, Bitmap};
+use crate::bitmap::{
+    count_ones_in_span, dilate_words_into, for_each_diagonal_pair, for_each_run_in_words, Bitmap,
+};
 use crate::connectivity::Connectivity;
 use crate::labels::LabelGrid;
 use std::io;
@@ -103,8 +105,9 @@ impl RetiredComponent {
     }
 
     /// Merges `other` into `self` (elementwise min/max/sum, the same monoid
-    /// as the core feature fold).
-    fn absorb(&mut self, other: &RetiredComponent) {
+    /// as the core feature fold). Shared with the out-of-core band merger
+    /// ([`crate::fast::ooc`]).
+    pub(crate) fn absorb(&mut self, other: &RetiredComponent) {
         if (other.min_pos_col, other.min_pos_row) < (self.min_pos_col, self.min_pos_row) {
             self.min_pos_col = other.min_pos_col;
             self.min_pos_row = other.min_pos_row;
@@ -188,8 +191,11 @@ pub struct StreamLabeler {
     forwarded: Vec<u32>,
     /// Retired components awaiting [`StreamLabeler::drain_retired`].
     retired: Vec<RetiredComponent>,
-    /// Scratch words for the 4-connectivity merge: `row[r] & row[r-1]`.
+    /// Scratch words for the merge sweep: `row & prev` at 4-conn,
+    /// `row & dilate(prev)` at 8.
     and_buf: Vec<u64>,
+    /// Scratch words for the dilated frontier row at 8-connectivity.
+    dilate_buf: Vec<u64>,
     /// When set, every component ever created gets a stable id: a slot
     /// allocation mints a fresh id, a union records the merge in
     /// `comp_parent`, and a retirement appends the root id to
@@ -224,6 +230,7 @@ impl StreamLabeler {
             forwarded: Vec::new(),
             retired: Vec::new(),
             and_buf: Vec::new(),
+            dilate_buf: Vec::new(),
             track_comps: false,
             comp_parent: Vec::new(),
             retired_comps: Vec::new(),
@@ -256,6 +263,7 @@ impl StreamLabeler {
         self.forwarded.clear();
         self.retired.clear();
         self.and_buf.clear();
+        self.dilate_buf.clear();
         self.track_comps = false;
         self.comp_parent.clear();
         self.retired_comps.clear();
@@ -280,6 +288,7 @@ impl StreamLabeler {
             + self.forwarded.capacity() * size_of::<u32>()
             + self.retired.capacity() * size_of::<RetiredComponent>()
             + self.and_buf.capacity() * size_of::<u64>()
+            + self.dilate_buf.capacity() * size_of::<u64>()
             + self.comp_parent.capacity() * size_of::<u32>()
             + self.retired_comps.capacity() * size_of::<u32>()
     }
@@ -373,10 +382,6 @@ impl StreamLabeler {
         self.stamp += 1;
         let stamp = self.stamp;
         let row = (self.stamp - 1) as u32;
-        let reach = match self.conn {
-            Connectivity::Four => 0u64,
-            Connectivity::Eight => 1u64,
-        };
 
         // 1) Bottom exposure: pixels of each frontier run not covered by the
         // new row leave the component through their south edge. Frontier
@@ -458,44 +463,50 @@ impl StreamLabeler {
                 });
             }
             Connectivity::Eight => {
-                // Two-pointer join with one column of diagonal reach; the
-                // AND trick does not carry over — horizontal dilation can
-                // fuse segments across distinct runs.
-                let mut p = 0usize;
-                for i in 0..self.cur_runs.len() {
-                    let sb = self.cur_runs[i];
-                    let (a, b) = (sb >> 32, sb & 0xffff_ffff);
-                    let (aw, bw) = (a.saturating_sub(reach), b + reach);
-                    while p < self.prev_runs.len() && (self.prev_runs[p] & 0xffff_ffff) < aw {
-                        p += 1;
-                    }
-                    let mut q = p;
-                    let mut slot = Self::NONE;
-                    while q < self.prev_runs.len() && (self.prev_runs[q] >> 32) <= bw {
-                        let s = Self::resolve(&mut self.nodes, self.prev_slots[q]);
-                        self.prev_slots[q] = s;
-                        if slot == Self::NONE {
-                            slot = s;
-                        } else if s != slot {
-                            let (keep, lose) = (slot as usize, s as usize);
-                            let rec = self.nodes[lose].rec;
-                            self.nodes[keep].rec.absorb(&rec);
-                            self.nodes[lose].parent = slot;
-                            if self.track_comps {
-                                self.comp_parent[self.nodes[lose].comp as usize] =
-                                    self.nodes[keep].comp;
-                            }
-                            self.forwarded.push(s);
+                // The same word-level sweep over the *dilated* frontier row
+                // (`prev | prev<<1 | prev>>1`): segments of the dilated AND
+                // each lie inside exactly one current run and
+                // [`for_each_diagonal_pair`] enumerates exactly the
+                // 8-adjacent run pairs — the shared adjacency kernel of the
+                // strip and tile seam passes (the retired two-pointer walk
+                // survives as a test-only cross-check there).
+                let cols = self.cols;
+                let StreamLabeler {
+                    prev_words,
+                    prev_runs,
+                    prev_slots,
+                    cur_runs,
+                    cur_slots,
+                    nodes,
+                    forwarded,
+                    and_buf,
+                    dilate_buf,
+                    track_comps,
+                    comp_parent,
+                    ..
+                } = self;
+                dilate_words_into(prev_words, cols, dilate_buf);
+                and_buf.clear();
+                and_buf.extend(words.iter().zip(dilate_buf.iter()).map(|(&a, &b)| a & b));
+                for_each_diagonal_pair(and_buf, cols, cur_runs, prev_runs, |c, q| {
+                    let sq = Self::resolve(nodes, prev_slots[q]);
+                    prev_slots[q] = sq;
+                    let cur = cur_slots[c];
+                    if cur == Self::NONE {
+                        cur_slots[c] = sq;
+                    } else if sq != cur {
+                        // Union: keep the run's cached root, forward the
+                        // other.
+                        let (keep, lose) = (cur as usize, sq as usize);
+                        let rec = nodes[lose].rec;
+                        nodes[keep].rec.absorb(&rec);
+                        nodes[lose].parent = cur;
+                        if *track_comps {
+                            comp_parent[nodes[lose].comp as usize] = nodes[keep].comp;
                         }
-                        q += 1;
+                        forwarded.push(sq);
                     }
-                    // The last overlapping frontier run may also touch the
-                    // next run of this row; step back so it is reconsidered.
-                    if q > p {
-                        p = q - 1;
-                    }
-                    self.cur_slots[i] = slot;
-                }
+                });
             }
         }
 

@@ -6,8 +6,9 @@
 use proptest::prelude::*;
 use slap_image::stream::BitmapRows;
 use slap_image::{
-    bfs_labels, bfs_labels_conn, fast_labels_conn, gen, label_stream, parallel_labels_conn, pbm,
-    Bitmap, Connectivity, FastLabeler, LabelGrid, ParallelLabeler,
+    bfs_labels, bfs_labels_conn, fast_labels_conn, gen, label_out_of_core, label_stream, morph,
+    parallel_labels_conn, pbm, tiled_labels_conn, Bitmap, Connectivity, FastLabeler, LabelGrid,
+    ParallelLabeler,
 };
 
 fn arb_bitmap() -> impl Strategy<Value = Bitmap> {
@@ -190,6 +191,55 @@ proptest! {
         // The memory contract holds on arbitrary random streams too.
         prop_assert!(run.stats.peak_nodes <= bm.cols() + 1);
         prop_assert!(run.stats.peak_frontier_runs <= bm.cols() / 2 + 1);
+    }
+
+    #[test]
+    fn tiled_engine_is_bit_identical_at_any_grid(
+        bm in arb_bitmap(),
+        conn in arb_conn(),
+        tiles_y in 1usize..5,
+        tiles_x in 1usize..5,
+        threads in 1usize..5,
+    ) {
+        prop_assert_eq!(
+            tiled_labels_conn(&bm, conn, tiles_y, tiles_x, threads),
+            fast_labels_conn(&bm, conn)
+        );
+    }
+
+    #[test]
+    fn out_of_core_retires_the_streamed_components(
+        bm in arb_bitmap(),
+        conn in arb_conn(),
+        band_rows in 1usize..9,
+        tiles_x in 1usize..4,
+    ) {
+        // Banded relabeling with carried seam state must retire exactly the
+        // record set of the row-at-a-time streaming engine.
+        let want = label_stream(&mut BitmapRows::new(&bm), conn).unwrap();
+        let got = label_out_of_core(&mut BitmapRows::new(&bm), conn, band_rows, tiles_x).unwrap();
+        let mut a = want.components;
+        let mut b = got.components;
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+        prop_assert!(got.stats.peak_carried_runs <= bm.cols() / 2 + 1);
+    }
+
+    #[test]
+    fn dilation_never_increases_component_count(bm in arb_bitmap(), conn in arb_conn()) {
+        // Dilation only adds pixels adjacent (under `conn`) to existing
+        // foreground, so components can merge or grow but never split and
+        // never appear from nothing: labeling after dilating (same
+        // adjacency for both) cannot see more components.
+        let before = fast_labels_conn(&bm, conn).component_count();
+        let after = fast_labels_conn(&morph::dilate(&bm, conn), conn).component_count();
+        prop_assert!(
+            after <= before,
+            "dilation raised the component count {} -> {}",
+            before,
+            after
+        );
     }
 
     #[test]

@@ -4,8 +4,14 @@
 //! slap gen <workload> <n> [seed]            # write a PBM image to stdout
 //! slap label [--uf KIND] [--conn 4|8] [f]   # label a PBM (stdin if omitted)
 //!            [--engine E] [--threads N]     #   host engine E from the
-//!                                           #   registry (default: the
-//!                                           #   simulated SLAP Algorithm CC)
+//!            [--tiles RxC]                  #   registry (default: the
+//!                                           #   simulated SLAP Algorithm CC);
+//!                                           #   --tiles shapes (and implies)
+//!                                           #   the tiled engine
+//! slap label --out-of-core [--band-rows N]  # stream a PBM taller than
+//!            [--tiles RxC] [--conn 4|8] [f] #   memory band by band through
+//!                                           #   the tiled engine,
+//!                                           #   O(cols + live) carried state
 //! slap bench [--uf KIND] <workload> <n>     # step-count one workload
 //! slap trace [--pass uf|label] <workload> <n> [seed]
 //!                                           # ASCII space-time diagram
@@ -31,7 +37,8 @@ use slap_repro::cc::spacetime::left_pass_trace;
 use slap_repro::cc::{label_components_kind, label_components_runs, CcOptions};
 use slap_repro::hypercube::sv_labels_conn;
 use slap_repro::image::{
-    gen, pbm, Bitmap, Connectivity, LabelGrid, RetiredComponent, RowSource, StreamLabeler,
+    gen, label_out_of_core, pbm, Bitmap, Connectivity, LabelGrid, RetiredComponent, RowSource,
+    StreamLabeler,
 };
 use slap_repro::machine::render_gantt;
 use slap_repro::unionfind::{TarjanUf, UfKind};
@@ -72,6 +79,34 @@ fn main() {
             .filter(|&t| t >= 1)
             .unwrap_or_else(|| die(&format!("--threads needs a positive integer, got {v:?}")))
     });
+    // `--tiles RxC` shapes the tiled engine's grid (R bands of C tile
+    // columns) and, alone, implies `--engine tiled`.
+    let tiles = take_flag(&mut rest, "--tiles").map(|v| {
+        let (r, c) = v
+            .split_once(['x', 'X'])
+            .and_then(|(r, c)| Some((r.parse::<usize>().ok()?, c.parse::<usize>().ok()?)))
+            .filter(|&(r, c)| r >= 1 && c >= 1)
+            .unwrap_or_else(|| die(&format!("--tiles needs RxC (e.g. 2x2), got {v:?}")));
+        (r, c)
+    });
+    let engine = match (engine, tiles) {
+        (Some(EngineKind::Tiled { .. }) | None, Some((tiles_y, tiles_x))) => {
+            Some(EngineKind::Tiled { tiles_x, tiles_y })
+        }
+        (Some(kind), Some(_)) => die(&format!(
+            "--tiles only applies to the tiled engine, not {kind}"
+        )),
+        (engine, None) => engine,
+    };
+    let out_of_core = take_toggle(&mut rest, "--out-of-core");
+    let band_rows = take_flag(&mut rest, "--band-rows")
+        .map(|v| {
+            v.parse::<usize>()
+                .ok()
+                .filter(|&n| n >= 1)
+                .unwrap_or_else(|| die(&format!("--band-rows needs a positive integer, got {v:?}")))
+        })
+        .unwrap_or(512);
     let framed = take_toggle(&mut rest, "--framed");
     let opts = CcOptions {
         connectivity: conn,
@@ -82,6 +117,18 @@ fn main() {
             let (name, n, seed) = parse_workload(&rest);
             let img = make_image(name, n, seed);
             pbm::write_plain(&img, std::io::stdout().lock()).expect("write PBM");
+        }
+        "label" if out_of_core => {
+            // Out-of-core never materializes the frame, so whole-frame
+            // engines cannot serve it; the band scheduler *is* the engine.
+            if let Some(kind) = engine.filter(|&k| !matches!(k, EngineKind::Tiled { .. })) {
+                die(&format!(
+                    "--out-of-core streams bands through the tiled engine; \
+                     `--engine {kind}` would need the whole frame in memory"
+                ));
+            }
+            let tiles_x = tiles.map_or(1, |(_, c)| c);
+            ooc_report(&rest, conn, band_rows, tiles_x);
         }
         "label" => {
             let img = read_image(&rest);
@@ -348,7 +395,75 @@ fn host_report(img: &Bitmap, conn: Connectivity, mut session: Box<dyn LabelEngin
     if engine_stats.peak_frontier_runs > 0 {
         print!(", peak frontier {}", engine_stats.peak_frontier_runs);
     }
+    if engine_stats.peak_carried_runs > 0 {
+        print!(", peak carried {}", engine_stats.peak_carried_runs);
+    }
     println!();
+}
+
+/// `label --out-of-core`: streams a PBM through the band-of-tiles scheduler
+/// ([`label_out_of_core`]) — one band of rows resident at a time, carried
+/// seam state `O(cols + live components)` — and reports the retired
+/// components exactly like the whole-frame path would.
+fn ooc_report(rest: &[&str], conn: Connectivity, band_rows: usize, tiles_x: usize) {
+    /// Components listed in the report table.
+    const LISTED: usize = 32;
+
+    fn run<R: Read>(r: R, conn: Connectivity, band_rows: usize, tiles_x: usize, what: &str) {
+        let mut reader =
+            pbm::PbmRowReader::new(r).unwrap_or_else(|e| die(&format!("parse {what}: {e}")));
+        let t0 = std::time::Instant::now();
+        let run = label_out_of_core(&mut reader, conn, band_rows, tiles_x)
+            .unwrap_or_else(|e| die(&format!("read {what}: {e}")));
+        let elapsed = t0.elapsed();
+        let s = &run.stats;
+        println!(
+            "{}x{} image, {:.1}% foreground, {} component(s) under {conn}",
+            s.rows,
+            s.cols,
+            100.0 * s.pixels as f64 / (s.rows as f64 * s.cols as f64).max(1.0),
+            s.retired,
+        );
+        println!(
+            "out-of-core tiled engine: {} band(s) of {} row(s) x {tiles_x} tile column(s); \
+             peak carried {} run(s), {} live component(s), {} band run(s); \
+             {:.3} ms ({:.0} rows/s)",
+            s.bands,
+            s.band_rows,
+            s.peak_carried_runs,
+            s.peak_live_slots,
+            s.peak_band_runs,
+            elapsed.as_secs_f64() * 1e3,
+            s.rows as f64 / elapsed.as_secs_f64().max(1e-9),
+        );
+        let mut preview = run.components;
+        preview.sort_unstable();
+        println!(
+            "{:>10} {:>7} {:>12} {:>14} {:>9}",
+            "label", "area", "bbox", "centroid", "perim"
+        );
+        for rec in preview.iter().take(LISTED) {
+            let (cr, cc) = rec.centroid();
+            println!(
+                "{:>10} {:>7} {:>5}x{:<6} ({cr:6.1},{cc:6.1}) {:>9}",
+                rec.label(s.rows as usize),
+                rec.area,
+                rec.height(),
+                rec.width(),
+                rec.perimeter,
+            );
+        }
+        if preview.len() > LISTED {
+            println!("  ... and {} more", preview.len() - LISTED);
+        }
+    }
+    match rest.first() {
+        Some(path) => {
+            let f = std::fs::File::open(path).unwrap_or_else(|e| die(&format!("open {path}: {e}")));
+            run(f, conn, band_rows, tiles_x, path);
+        }
+        None => run(std::io::stdin().lock(), conn, band_rows, tiles_x, "stdin"),
+    }
 }
 
 /// `stream --framed`: consumes a length-prefixed multi-image P4 stream
@@ -492,7 +607,8 @@ fn usage() -> ! {
     let engines: Vec<&str> = registry().iter().map(|e| e.kind.name()).collect();
     eprintln!(
         "usage:\n  slap gen <workload> <n> [seed]\n  \
-         slap label [--uf KIND] [--conn 4|8] [--engine E] [--threads N] [file.pbm]\n  \
+         slap label [--uf KIND] [--conn 4|8] [--engine E] [--threads N] [--tiles RxC] [file.pbm]\n  \
+         slap label --out-of-core [--band-rows N] [--tiles RxC] [--conn 4|8] [file.pbm]\n  \
          slap bench [--uf KIND] [--conn 4|8] <workload> <n> [seed]\n  \
          slap trace [--pass uf|label] <workload> <n> [seed]\n  \
          slap features [--conn 4|8] [--engine E] [--threads N] [file.pbm]\n  \

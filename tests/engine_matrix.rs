@@ -109,6 +109,24 @@ fn engines_agree_pairwise_not_just_with_the_oracle() {
 }
 
 #[test]
+fn tiled_engine_is_bit_identical_across_tile_shapes() {
+    // The registry carries one canonical tiled shape (2×2); the acceptance
+    // sweep covers degenerate single-axis grids and a deeper hierarchy too,
+    // each shape driven over the full family × connectivity matrix.
+    for (tiles_y, tiles_x) in [(1, 2), (2, 1), (2, 2), (4, 4)] {
+        let kind = EngineKind::Tiled { tiles_x, tiles_y };
+        for &t in &[1usize, 4] {
+            let mut session = kind.session(t);
+            drive_matrix(
+                session.as_mut(),
+                41,
+                &format!("tiled {tiles_y}x{tiles_x}@{t}"),
+            );
+        }
+    }
+}
+
+#[test]
 fn registry_capabilities_match_observed_behavior() {
     let img = gen::by_name("random50", 40, 1).unwrap();
     for info in registry() {
