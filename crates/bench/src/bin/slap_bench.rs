@@ -13,6 +13,10 @@
 //! slap-bench tiled                       # tile-shape + out-of-core sweep
 //!                                        #   -> BENCH_tiled.json
 //! slap-bench tiled --quick --out F       # small sweep (CI smoke), custom path
+//! slap-bench serve                       # slapd sustained jobs/sec at
+//!                                        #   1/4/16 concurrent clients
+//!                                        #   -> BENCH_serve.json
+//! slap-bench serve --quick --out F       # small sweep (CI smoke), custom path
 //! slap-bench check FILE                  # schema-validate a recorded file
 //! slap-bench check FILE --require-full   # + full scale and the headline criteria
 //! ```
@@ -29,7 +33,7 @@
 //! commit to the repository. `check` dispatches on the file's `schema`
 //! field.
 
-use slap_bench::{baseline, json, parallel, reuse, stream, tiled};
+use slap_bench::{baseline, json, parallel, reuse, serve, stream, tiled};
 
 fn usage() -> ! {
     eprintln!(
@@ -38,6 +42,7 @@ fn usage() -> ! {
          slap-bench stream [--quick] [--out PATH]\n       \
          slap-bench reuse [--quick] [--out PATH]\n       \
          slap-bench tiled [--quick] [--out PATH]\n       \
+         slap-bench serve [--quick] [--out PATH]\n       \
          slap-bench check PATH [--require-full]"
     );
     std::process::exit(2);
@@ -122,6 +127,14 @@ fn main() {
                 tiled::validate(t, !quick)
             });
         }
+        Some("serve") => {
+            let (quick, out) = sweep_flags(&args[1..], "BENCH_serve.json");
+            let report = serve::run_serve(quick, |line| eprintln!("  {line}"));
+            let text = report.to_json();
+            write_validated(&text, &out, report.entries.len(), |t| {
+                serve::validate(t, !quick)
+            });
+        }
         Some("check") => {
             let mut path: Option<&str> = None;
             let mut require_full = false;
@@ -152,6 +165,7 @@ fn main() {
                 stream::SCHEMA => stream::validate(&text, require_full),
                 tiled::SCHEMA => tiled::validate(&text, require_full),
                 reuse::SCHEMA => reuse::validate(&text, require_full),
+                serve::SCHEMA => serve::validate(&text, require_full),
                 _ => baseline::validate(&text, require_full),
             };
             match result {

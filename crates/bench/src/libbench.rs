@@ -19,6 +19,7 @@ pub mod experiments;
 pub mod json;
 pub mod parallel;
 pub mod reuse;
+pub mod serve;
 pub mod stream;
 pub mod table;
 pub mod tiled;

@@ -1,0 +1,462 @@
+//! The `slap-bench serve` sweep: sustained `slapd` throughput under
+//! concurrent clients, serialized to `BENCH_serve.json`.
+//!
+//! For each (family, size, connectivity) workload the sweep binds a real
+//! [`slap_serve::Server`] on an ephemeral port and drives it with 1, 4,
+//! and 16 concurrent [`slap_serve::Client`]s for a fixed wall-clock
+//! window, recording sustained jobs/sec, retries, and the server's own
+//! rejection ledger. Every client retries transient rejections
+//! (`queue-full`, `deadline`) per its policy, so the headline criterion is
+//! loss-free service: **zero failed jobs at every concurrency level**,
+//! with [`validate`] also enforcing full coverage — every client count of
+//! [`CLIENT_COUNTS`] on every swept workload.
+//!
+//! The recorded `host_threads` keeps single-core hosts honest: on one CPU
+//! the 16-client point measures queueing discipline, not parallel
+//! speedup, and the validator deliberately demands no scaling curve.
+
+use crate::baseline::{conn_id, CONNS, SEED};
+use crate::json;
+use slap_image::{gen, Connectivity};
+use slap_serve::{Client, RetryPolicy, ServeConfig, Server};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Schema identifier stamped into (and required from) every serve file.
+pub const SCHEMA: &str = "slap-bench-serve/v1";
+
+/// Concurrency levels every sweep must cover.
+pub const CLIENT_COUNTS: &[usize] = &[1, 4, 16];
+
+/// Worker threads the benched server runs.
+pub const WORKERS: usize = 2;
+
+/// One measured (family, size, connectivity, clients) point.
+#[derive(Clone, Debug)]
+pub struct Entry {
+    /// Workload family name (a `gen::by_name` key).
+    pub family: String,
+    /// Image side (jobs are `n × n`).
+    pub n: usize,
+    /// Adjacency convention: `4` or `8`.
+    pub conn: u32,
+    /// Concurrent clients driving the server.
+    pub clients: usize,
+    /// Measurement window actually elapsed, nanoseconds.
+    pub elapsed_ns: u64,
+    /// Jobs answered `OK` across all clients inside the window.
+    pub jobs_ok: u64,
+    /// Jobs that exhausted their retries (the loss-free criterion demands
+    /// zero).
+    pub failures: u64,
+    /// Client-side retries (reconnect + resubmit events).
+    pub retries: u64,
+    /// Server-side typed rejections during the window (each later retried
+    /// into an `OK` by some client, or counted as a failure).
+    pub rejected: u64,
+    /// Server worker threads.
+    pub workers: usize,
+}
+
+impl Entry {
+    /// Sustained throughput over the measured window.
+    pub fn jobs_per_sec(&self) -> f64 {
+        self.jobs_ok as f64 / (self.elapsed_ns as f64 / 1e9).max(1e-9)
+    }
+}
+
+/// A finished sweep, ready to serialize.
+#[derive(Clone, Debug)]
+pub struct ServeReport {
+    /// `"quick"` or `"full"`.
+    pub scale: String,
+    /// Host hardware threads at measurement time.
+    pub host_threads: usize,
+    /// Families swept.
+    pub families: Vec<String>,
+    /// Sides swept.
+    pub sides: Vec<usize>,
+    /// All measured points.
+    pub entries: Vec<Entry>,
+}
+
+/// Sweep parameters per scale: (families, sides, window per point).
+fn sweep_params(quick: bool) -> (&'static [&'static str], &'static [usize], Duration) {
+    if quick {
+        (&["random50"], &[128], Duration::from_millis(250))
+    } else {
+        (
+            &["random50", "blobs"],
+            &[128, 256],
+            Duration::from_millis(1000),
+        )
+    }
+}
+
+/// Measures one (image, connectivity, clients) point against a fresh
+/// server.
+fn time_point(
+    family: &str,
+    n: usize,
+    conn: Connectivity,
+    clients: usize,
+    window: Duration,
+) -> Entry {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServeConfig {
+            conn,
+            workers: WORKERS,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind bench server");
+    let addr = server.local_addr();
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let t0 = Instant::now();
+    let drivers: Vec<_> = (0..clients)
+        .map(|i| {
+            let stop = Arc::clone(&stop);
+            let family = family.to_string();
+            std::thread::spawn(move || {
+                // Distinct seeds so concurrent clients don't serve one
+                // identical job from the page cache of the allocator.
+                let img = gen::by_name(&family, n, SEED + i as u64).expect("workload");
+                let mut client = Client::with_policy(
+                    addr,
+                    RetryPolicy {
+                        base_delay: Duration::from_millis(2),
+                        jitter_seed: 0x5eed + i as u64,
+                        ..RetryPolicy::default()
+                    },
+                );
+                let (mut ok, mut failures) = (0u64, 0u64);
+                while !stop.load(Ordering::Relaxed) {
+                    match client.label(&img) {
+                        Ok(_) => ok += 1,
+                        Err(_) => failures += 1,
+                    }
+                }
+                (ok, failures, client.retries())
+            })
+        })
+        .collect();
+    std::thread::sleep(window);
+    stop.store(true, Ordering::Relaxed);
+    let (mut jobs_ok, mut failures, mut retries) = (0u64, 0u64, 0u64);
+    for d in drivers {
+        let (o, f, r) = d.join().expect("bench client");
+        jobs_ok += o;
+        failures += f;
+        retries += r;
+    }
+    let elapsed_ns = t0.elapsed().as_nanos() as u64;
+    let stats = server.shutdown();
+    Entry {
+        family: family.to_string(),
+        n,
+        conn: conn_id(conn),
+        clients,
+        elapsed_ns,
+        jobs_ok,
+        failures,
+        retries,
+        rejected: stats.rejected(),
+        workers: WORKERS,
+    }
+}
+
+/// Runs the sweep. `progress` receives one line per measured point.
+pub fn run_serve(quick: bool, mut progress: impl FnMut(&str)) -> ServeReport {
+    let (families, sides, window) = sweep_params(quick);
+    let mut entries = Vec::new();
+    for &family in families {
+        for &n in sides {
+            for &conn in CONNS {
+                for &clients in CLIENT_COUNTS {
+                    let entry = time_point(family, n, conn, clients, window);
+                    progress(&format!(
+                        "{family}/{n}/{}-conn x{clients}: {:.0} jobs/s \
+                         ({} ok, {} retries, {} rejected, {} failed)",
+                        entry.conn,
+                        entry.jobs_per_sec(),
+                        entry.jobs_ok,
+                        entry.retries,
+                        entry.rejected,
+                        entry.failures,
+                    ));
+                    entries.push(entry);
+                }
+            }
+        }
+    }
+    ServeReport {
+        scale: if quick { "quick" } else { "full" }.to_string(),
+        host_threads: std::thread::available_parallelism().map_or(1, |p| p.get()),
+        families: families.iter().map(|s| s.to_string()).collect(),
+        sides: sides.to_vec(),
+        entries,
+    }
+}
+
+impl ServeReport {
+    /// Serializes the report. Hand-rolled (the workspace `serde` is a no-op
+    /// stub); [`validate`] checks the inverse direction.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"schema\": {},", json::quote(SCHEMA));
+        let _ = writeln!(s, "  \"scale\": {},", json::quote(&self.scale));
+        let _ = writeln!(s, "  \"seed\": {SEED},");
+        let _ = writeln!(s, "  \"host_threads\": {},", self.host_threads);
+        let _ = writeln!(s, "  \"workers\": {WORKERS},");
+        let fams: Vec<String> = self.families.iter().map(|f| json::quote(f)).collect();
+        let _ = writeln!(s, "  \"families\": [{}],", fams.join(", "));
+        let sides: Vec<String> = self.sides.iter().map(|n| n.to_string()).collect();
+        let _ = writeln!(s, "  \"sides\": [{}],", sides.join(", "));
+        let counts: Vec<String> = CLIENT_COUNTS.iter().map(|c| c.to_string()).collect();
+        let _ = writeln!(s, "  \"client_counts\": [{}],", counts.join(", "));
+        s.push_str("  \"entries\": [\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            let _ = write!(
+                s,
+                "    {{\"family\": {}, \"n\": {}, \"conn\": {}, \"clients\": {}, \
+                 \"elapsed_ns\": {}, \"jobs_ok\": {}, \"failures\": {}, \
+                 \"retries\": {}, \"rejected\": {}, \"workers\": {}, \
+                 \"jobs_per_sec\": {:.1}}}",
+                json::quote(&e.family),
+                e.n,
+                e.conn,
+                e.clients,
+                e.elapsed_ns,
+                e.jobs_ok,
+                e.failures,
+                e.retries,
+                e.rejected,
+                e.workers,
+                e.jobs_per_sec(),
+            );
+            if i + 1 < self.entries.len() {
+                s.push(',');
+            }
+            s.push('\n');
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+/// Validates a serve-sweep JSON document against the schema. Headline
+/// criteria: every entry served at least one job with **zero failures**
+/// (loss-free service under retry), and coverage is full — every client
+/// count in [`CLIENT_COUNTS`] appears for every swept (family, size,
+/// connectivity) workload. With `require_full` the file must also record a
+/// full-scale sweep.
+pub fn validate(text: &str, require_full: bool) -> Result<(), String> {
+    let doc = json::parse(text)?;
+    let obj = doc.as_object().ok_or("top level is not an object")?;
+    let get = |key: &str| {
+        obj.iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("missing key {key:?}"))
+    };
+    let schema = get("schema")?.as_str().ok_or("schema is not a string")?;
+    if schema != SCHEMA {
+        return Err(format!("schema {schema:?}, expected {SCHEMA:?}"));
+    }
+    let scale = get("scale")?.as_str().ok_or("scale is not a string")?;
+    if scale != "quick" && scale != "full" {
+        return Err(format!("scale {scale:?} is neither quick nor full"));
+    }
+    if require_full && scale != "full" {
+        return Err("a full-scale serve sweep is required".to_string());
+    }
+    get("host_threads")?
+        .as_u64()
+        .filter(|&t| t > 0)
+        .ok_or("host_threads is not a positive integer")?;
+    let entries = get("entries")?
+        .as_array()
+        .ok_or("entries is not an array")?;
+    if entries.is_empty() {
+        return Err("entries is empty".to_string());
+    }
+    // (family, n, conn) → client counts covered.
+    let mut coverage: Vec<((String, u64, u64), Vec<u64>)> = Vec::new();
+    for (i, e) in entries.iter().enumerate() {
+        let ctx = |msg: &str| format!("entry {i}: {msg}");
+        let eo = e.as_object().ok_or_else(|| ctx("not an object"))?;
+        let field = |key: &str| {
+            eo.iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or_else(|| ctx(&format!("missing {key:?}")))
+        };
+        let family = field("family")?
+            .as_str()
+            .ok_or_else(|| ctx("family is not a string"))?
+            .to_string();
+        let n = field("n")?
+            .as_u64()
+            .filter(|&n| n > 0)
+            .ok_or_else(|| ctx("n is not a positive integer"))?;
+        let conn = field("conn")?
+            .as_u64()
+            .filter(|&c| c == 4 || c == 8)
+            .ok_or_else(|| ctx("conn is not 4 or 8"))?;
+        let clients = field("clients")?
+            .as_u64()
+            .filter(|&c| CLIENT_COUNTS.contains(&(c as usize)))
+            .ok_or_else(|| ctx("clients is not one of the swept counts"))?;
+        field("elapsed_ns")?
+            .as_u64()
+            .filter(|&v| v > 0)
+            .ok_or_else(|| ctx("elapsed_ns is not a positive integer"))?;
+        let jobs_ok = field("jobs_ok")?
+            .as_u64()
+            .ok_or_else(|| ctx("jobs_ok is not an integer"))?;
+        if jobs_ok == 0 {
+            return Err(ctx("no jobs completed inside the window"));
+        }
+        let failures = field("failures")?
+            .as_u64()
+            .ok_or_else(|| ctx("failures is not an integer"))?;
+        if failures > 0 {
+            return Err(ctx(&format!(
+                "loss-free criterion violated: {failures} job(s) exhausted \
+                 their retries ({family}/{n} @ {clients} clients)"
+            )));
+        }
+        field("retries")?
+            .as_u64()
+            .ok_or_else(|| ctx("retries is not an integer"))?;
+        field("rejected")?
+            .as_u64()
+            .ok_or_else(|| ctx("rejected is not an integer"))?;
+        field("workers")?
+            .as_u64()
+            .filter(|&w| w > 0)
+            .ok_or_else(|| ctx("workers is not a positive integer"))?;
+        let key = (family, n, conn);
+        match coverage.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, counts)) => counts.push(clients),
+            None => coverage.push((key, vec![clients])),
+        }
+    }
+    // Full coverage: every swept workload measured at every client count.
+    for ((family, n, conn), mut counts) in coverage {
+        counts.sort_unstable();
+        counts.dedup();
+        let want: Vec<u64> = CLIENT_COUNTS.iter().map(|&c| c as u64).collect();
+        if counts != want {
+            return Err(format!(
+                "coverage hole: {family}/{n}/{conn}-conn measured at client \
+                 counts {counts:?}, need exactly {want:?}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_report() -> ServeReport {
+        let mut entries = Vec::new();
+        for family in ["random50", "blobs"] {
+            for n in [128usize, 256] {
+                for conn in [4u32, 8] {
+                    for &clients in CLIENT_COUNTS {
+                        entries.push(Entry {
+                            family: family.to_string(),
+                            n,
+                            conn,
+                            clients,
+                            elapsed_ns: 1_000_000_000,
+                            jobs_ok: 100 * clients as u64,
+                            failures: 0,
+                            retries: 3,
+                            rejected: 3,
+                            workers: WORKERS,
+                        });
+                    }
+                }
+            }
+        }
+        ServeReport {
+            scale: "full".to_string(),
+            host_threads: 1,
+            families: vec!["random50".to_string(), "blobs".to_string()],
+            sides: vec![128, 256],
+            entries,
+        }
+    }
+
+    #[test]
+    fn report_roundtrips_through_validation() {
+        let text = tiny_report().to_json();
+        validate(&text, false).expect("quick validation");
+        validate(&text, true).expect("full validation");
+    }
+
+    #[test]
+    fn validation_rejects_wrong_schema() {
+        let text = tiny_report().to_json().replace(SCHEMA, "bogus/v0");
+        assert!(validate(&text, false).is_err());
+    }
+
+    #[test]
+    fn validation_enforces_loss_free_service() {
+        let mut report = tiny_report();
+        report.entries[2].failures = 1;
+        let err = validate(&report.to_json(), false).unwrap_err();
+        assert!(err.contains("loss-free"), "{err}");
+    }
+
+    #[test]
+    fn validation_enforces_full_client_coverage() {
+        let mut report = tiny_report();
+        report
+            .entries
+            .retain(|e| !(e.family == "blobs" && e.n == 256 && e.conn == 8 && e.clients == 16));
+        let err = validate(&report.to_json(), false).unwrap_err();
+        assert!(err.contains("coverage hole"), "{err}");
+    }
+
+    #[test]
+    fn validation_rejects_idle_windows() {
+        let mut report = tiny_report();
+        report.entries[0].jobs_ok = 0;
+        let err = validate(&report.to_json(), false).unwrap_err();
+        assert!(err.contains("no jobs"), "{err}");
+    }
+
+    #[test]
+    fn validation_requires_full_scale_when_asked() {
+        let mut report = tiny_report();
+        report.scale = "quick".to_string();
+        assert!(validate(&report.to_json(), false).is_ok());
+        let err = validate(&report.to_json(), true).unwrap_err();
+        assert!(err.contains("full-scale"), "{err}");
+    }
+
+    #[test]
+    fn quick_sweep_smoke() {
+        // One real (tiny) point end to end: a live server, one client,
+        // a short window — must produce a loss-free, schema-valid entry.
+        let entry = time_point(
+            "random50",
+            64,
+            slap_image::Connectivity::Four,
+            1,
+            Duration::from_millis(50),
+        );
+        assert!(entry.jobs_ok > 0);
+        assert_eq!(entry.failures, 0);
+    }
+}

@@ -189,10 +189,18 @@ impl Bitmap {
     /// Creates an all-zero image with the given dimensions.
     ///
     /// # Panics
-    /// Panics if either dimension is zero.
+    /// Panics if either dimension is zero, or if `rows × cols` overflows
+    /// `usize` (an unrepresentable raster; callers ingesting untrusted
+    /// headers must reject such dimensions before constructing — the PBM
+    /// parser and the labeling service both do).
     pub fn new(rows: usize, cols: usize) -> Self {
         assert!(rows > 0 && cols > 0, "image dimensions must be positive");
+        assert!(
+            rows.checked_mul(cols).is_some(),
+            "image dimensions {rows}x{cols} overflow the pixel count"
+        );
         let words_per_row = cols.div_ceil(64);
+        // words_per_row <= cols, so this product fits whenever rows*cols does.
         Bitmap {
             rows,
             cols,

@@ -28,8 +28,12 @@ impl LabelGrid {
             rows > 0 && cols > 0,
             "label grid dimensions must be positive"
         );
+        // checked_mul, not plain widening: on a 64-bit usize two huge dims
+        // can wrap u64 itself, so the widening product alone could pass.
         assert!(
-            (rows as u64) * (cols as u64) < u32::MAX as u64,
+            (rows as u64)
+                .checked_mul(cols as u64)
+                .is_some_and(|px| px < u32::MAX as u64),
             "image too large for u32 labels"
         );
         LabelGrid {

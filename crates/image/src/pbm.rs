@@ -11,10 +11,159 @@
 //! bytes. (An earlier line-oriented tokenizer consumed whole lines, so raw
 //! pixel bytes sharing the height's line, or containing `#`/newline bytes,
 //! could be swallowed as header text.)
+//!
+//! Every parse failure is a structured [`PbmError`] (wrapped into the
+//! `io::Error` the signatures return): untrusted ingest — the `slapd`
+//! labeling service in particular — recovers the variant with
+//! [`PbmError::from_io`] and maps it to a typed wire error code instead of
+//! pattern-matching message strings.
 
 use crate::bitmap::Bitmap;
 use crate::stream::RowSource;
 use std::io::{self, BufRead, Read, Write};
+
+/// Structured PBM parse failure. Every error this module produces is one of
+/// these variants, wrapped into the [`io::Error`] the public signatures
+/// return (so [`RowSource`] and every existing caller keep working); a
+/// consumer that needs the *taxonomy* — the labeling service maps parse
+/// failures to typed wire error codes — recovers it with
+/// [`PbmError::from_io`].
+#[derive(Debug)]
+pub enum PbmError {
+    /// Transport failure underneath the parser (the socket died, not the
+    /// bytes).
+    Io(io::Error),
+    /// The magic token was neither `P1` nor `P4`.
+    BadMagic(String),
+    /// End of input inside the header (or a `P4` header with no pixel byte
+    /// after the height's single whitespace).
+    TruncatedHeader,
+    /// A width/height token that is not a decimal number.
+    BadDim {
+        /// Which dimension failed (`"width"` or `"height"`).
+        name: &'static str,
+        /// The offending token.
+        token: String,
+    },
+    /// A zero width or height: no pixel raster can follow.
+    ZeroDim {
+        /// Declared height.
+        rows: usize,
+        /// Declared width.
+        cols: usize,
+    },
+    /// `rows × cols` overflows `usize`: the raster is unrepresentable, and
+    /// any consumer doing arithmetic on the product would wrap.
+    DimsOverflow {
+        /// Declared height.
+        rows: usize,
+        /// Declared width.
+        cols: usize,
+    },
+    /// End of input before the declared raster was complete.
+    TruncatedPixels {
+        /// Rows the header promised.
+        declared_rows: usize,
+        /// Rows fully read before the input ended.
+        read_rows: usize,
+    },
+    /// A `P1` raster byte that is not a pixel digit, whitespace, or comment.
+    BadPixelByte(u8),
+    /// A framed-stream length prefix containing a non-digit byte.
+    BadLengthPrefix(u8),
+    /// A framed-stream length prefix too large to be a real frame
+    /// (> [`MAX_FRAME_BYTES`]): the prefix is lying, reject before reading.
+    LyingLengthPrefix {
+        /// The declared (absurd) byte length.
+        declared: usize,
+    },
+    /// A framed-stream body that ended before its declared length — either
+    /// genuine truncation or a length prefix lying high.
+    TruncatedFrame {
+        /// Bytes the prefix declared.
+        declared: usize,
+        /// Bytes that never arrived.
+        missing: usize,
+    },
+}
+
+impl PbmError {
+    /// The [`io::ErrorKind`] this error surfaces as: truncation classes map
+    /// to [`io::ErrorKind::UnexpectedEof`], malformed bytes to
+    /// [`io::ErrorKind::InvalidData`], transport errors to their own kind.
+    pub fn kind(&self) -> io::ErrorKind {
+        match self {
+            PbmError::Io(e) => e.kind(),
+            PbmError::TruncatedHeader
+            | PbmError::TruncatedPixels { .. }
+            | PbmError::TruncatedFrame { .. } => io::ErrorKind::UnexpectedEof,
+            _ => io::ErrorKind::InvalidData,
+        }
+    }
+
+    /// Recovers the typed error from an [`io::Error`] produced by this
+    /// module (`None` for foreign errors).
+    pub fn from_io(err: &io::Error) -> Option<&PbmError> {
+        err.get_ref()?.downcast_ref::<PbmError>()
+    }
+}
+
+impl std::fmt::Display for PbmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PbmError::Io(e) => write!(f, "I/O error under the PBM parser: {e}"),
+            PbmError::BadMagic(m) => write!(f, "unsupported PBM magic {m:?}"),
+            PbmError::TruncatedHeader => f.write_str("truncated PBM header"),
+            PbmError::BadDim { name, token } => write!(f, "bad PBM {name} {token:?}"),
+            PbmError::ZeroDim { rows, cols } => {
+                write!(f, "zero-sized PBM image ({rows} x {cols})")
+            }
+            PbmError::DimsOverflow { rows, cols } => {
+                write!(f, "PBM dimensions {rows} x {cols} overflow the pixel count")
+            }
+            PbmError::TruncatedPixels {
+                declared_rows,
+                read_rows,
+            } => write!(
+                f,
+                "PBM pixel data truncated: {declared_rows} row(s) declared, {read_rows} read"
+            ),
+            PbmError::BadPixelByte(b) => {
+                write!(f, "unexpected pixel character {:?}", *b as char)
+            }
+            PbmError::BadLengthPrefix(b) => {
+                write!(f, "bad framed PBM length byte {:?}", *b as char)
+            }
+            PbmError::LyingLengthPrefix { declared } => {
+                write!(f, "framed PBM length prefix out of range ({declared})")
+            }
+            PbmError::TruncatedFrame { declared, missing } => write!(
+                f,
+                "framed PBM truncated: {missing} of {declared} frame bytes missing"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PbmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PbmError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PbmError> for io::Error {
+    fn from(e: PbmError) -> io::Error {
+        match e {
+            // Transport errors pass through untouched; everything else is
+            // wrapped so `PbmError::from_io` can recover the taxonomy.
+            PbmError::Io(inner) => inner,
+            other => io::Error::new(other.kind(), other),
+        }
+    }
+}
 
 /// Writes `img` as plain-text PBM (`P1`).
 pub fn write_plain<W: Write>(img: &Bitmap, mut w: W) -> io::Result<()> {
@@ -66,14 +215,14 @@ fn is_pbm_space(b: u8) -> bool {
 }
 
 /// Reads one byte, `None` at end of input.
-fn next_byte<R: Read>(r: &mut R) -> io::Result<Option<u8>> {
+fn next_byte<R: Read>(r: &mut R) -> Result<Option<u8>, PbmError> {
     let mut b = [0u8; 1];
     loop {
         match r.read(&mut b) {
             Ok(0) => return Ok(None),
             Ok(_) => return Ok(Some(b[0])),
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(e) => return Err(e),
+            Err(e) => return Err(PbmError::Io(e)),
         }
     }
 }
@@ -83,15 +232,12 @@ fn next_byte<R: Read>(r: &mut R) -> io::Result<Option<u8>> {
 /// of input). A `#` starts a comment running to the end of its line; a
 /// comment terminating a token is reported as the newline that closed it, so
 /// for `P4` the raw data always begins at the very next byte.
-fn read_token<R: BufRead>(r: &mut R) -> io::Result<(String, Option<u8>)> {
+fn read_token<R: BufRead>(r: &mut R) -> Result<(String, Option<u8>), PbmError> {
     let mut token = String::new();
     loop {
         let Some(b) = next_byte(r)? else {
             return if token.is_empty() {
-                Err(io::Error::new(
-                    io::ErrorKind::UnexpectedEof,
-                    "truncated PBM header",
-                ))
+                Err(PbmError::TruncatedHeader)
             } else {
                 Ok((token, None))
             };
@@ -106,10 +252,7 @@ fn read_token<R: BufRead>(r: &mut R) -> io::Result<(String, Option<u8>)> {
                     Some(_) => {}
                     None => {
                         return if token.is_empty() {
-                            Err(io::Error::new(
-                                io::ErrorKind::UnexpectedEof,
-                                "truncated PBM header",
-                            ))
+                            Err(PbmError::TruncatedHeader)
                         } else {
                             Ok((token, None))
                         }
@@ -131,41 +274,35 @@ fn read_token<R: BufRead>(r: &mut R) -> io::Result<(String, Option<u8>)> {
 
 /// Parses the PBM header (`magic width height`) byte-exactly. On return the
 /// reader is positioned at the first pixel byte: for `P4`, exactly one
-/// whitespace byte (or one comment line) after the height.
-fn read_header<R: BufRead>(r: &mut R) -> io::Result<(Magic, usize, usize)> {
+/// whitespace byte (or one comment line) after the height. Dimensions are
+/// guarded here — zero dims and a `rows × cols` product overflowing `usize`
+/// are rejected before any consumer can size a buffer from them.
+fn read_header<R: BufRead>(r: &mut R) -> Result<(Magic, usize, usize), PbmError> {
     let (magic_token, _) = read_token(r)?;
     let magic = match magic_token.as_str() {
         "P1" => Magic::Plain,
         "P4" => Magic::Raw,
-        other => {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("unsupported PBM magic {other:?}"),
-            ))
-        }
+        other => return Err(PbmError::BadMagic(other.to_string())),
     };
-    let dim = |name: &str, token: String| {
+    let dim = |name: &'static str, token: String| {
         token
             .parse::<usize>()
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad {name}: {e}")))
+            .map_err(|_| PbmError::BadDim { name, token })
     };
     let cols = dim("width", read_token(r)?.0)?;
     let (height_token, height_term) = read_token(r)?;
     let rows = dim("height", height_token)?;
     if rows == 0 || cols == 0 {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "zero-sized PBM image",
-        ));
+        return Err(PbmError::ZeroDim { rows, cols });
+    }
+    if rows.checked_mul(cols).is_none() {
+        return Err(PbmError::DimsOverflow { rows, cols });
     }
     // The byte that ended the height token was the single whitespace the P4
     // spec puts before the raw data; hitting end of input instead means no
     // pixel data can follow.
     if magic == Magic::Raw && height_term.is_none() {
-        return Err(io::Error::new(
-            io::ErrorKind::UnexpectedEof,
-            "P4 header not followed by pixel data",
-        ));
+        return Err(PbmError::TruncatedHeader);
     }
     Ok((magic, cols, rows))
 }
@@ -185,10 +322,11 @@ pub struct PbmRowReader<R: Read> {
 }
 
 impl<R: Read> PbmRowReader<R> {
-    /// Wraps `r`, reading and validating the PBM header immediately.
+    /// Wraps `r`, reading and validating the PBM header immediately. Any
+    /// failure carries a [`PbmError`] payload ([`PbmError::from_io`]).
     pub fn new(r: R) -> io::Result<Self> {
         let mut reader = io::BufReader::new(r);
-        let (magic, cols, rows) = read_header(&mut reader)?;
+        let (magic, cols, rows) = read_header(&mut reader).map_err(io::Error::from)?;
         Ok(PbmRowReader {
             reader,
             magic,
@@ -211,18 +349,14 @@ impl<R: Read> PbmRowReader<R> {
 
     /// Reads the next `P1` row: `cols` digit characters, skipping whitespace
     /// and `#` comments.
-    fn next_plain_row(&mut self, words: &mut [u64]) -> io::Result<()> {
+    fn next_plain_row(&mut self, words: &mut [u64]) -> Result<(), PbmError> {
         let mut col = 0usize;
         while col < self.cols {
             let Some(b) = next_byte(&mut self.reader)? else {
-                return Err(io::Error::new(
-                    io::ErrorKind::UnexpectedEof,
-                    format!(
-                        "expected {} pixels, found {}",
-                        self.rows * self.cols,
-                        self.next_row * self.cols + col
-                    ),
-                ));
+                return Err(PbmError::TruncatedPixels {
+                    declared_rows: self.rows,
+                    read_rows: self.next_row,
+                });
             };
             match b {
                 b'0' => col += 1,
@@ -235,12 +369,7 @@ impl<R: Read> PbmRowReader<R> {
                     while !matches!(next_byte(&mut self.reader)?, Some(b'\n') | None) {}
                 }
                 _ if is_pbm_space(b) => {}
-                other => {
-                    return Err(io::Error::new(
-                        io::ErrorKind::InvalidData,
-                        format!("unexpected pixel character {:?}", other as char),
-                    ))
-                }
+                other => return Err(PbmError::BadPixelByte(other)),
             }
         }
         Ok(())
@@ -249,8 +378,17 @@ impl<R: Read> PbmRowReader<R> {
     /// Reads the next `P4` row: `ceil(cols / 8)` raw bytes, most significant
     /// bit leftmost, repacked into least-significant-bit-first words with
     /// the padding bits past `cols` cleared.
-    fn next_raw_row(&mut self, words: &mut [u64]) -> io::Result<()> {
-        self.reader.read_exact(&mut self.raw)?;
+    fn next_raw_row(&mut self, words: &mut [u64]) -> Result<(), PbmError> {
+        self.reader.read_exact(&mut self.raw).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                PbmError::TruncatedPixels {
+                    declared_rows: self.rows,
+                    read_rows: self.next_row,
+                }
+            } else {
+                PbmError::Io(e)
+            }
+        })?;
         for (i, &byte) in self.raw.iter().enumerate() {
             words[i / 8] |= u64::from(byte.reverse_bits()) << (8 * (i % 8));
         }
@@ -279,8 +417,8 @@ impl<R: Read> RowSource for PbmRowReader<R> {
         words.clear();
         words.resize(self.cols.div_ceil(64), 0);
         match self.magic {
-            Magic::Plain => self.next_plain_row(words)?,
-            Magic::Raw => self.next_raw_row(words)?,
+            Magic::Plain => self.next_plain_row(words).map_err(io::Error::from)?,
+            Magic::Raw => self.next_raw_row(words).map_err(io::Error::from)?,
         }
         self.next_row += 1;
         Ok(true)
@@ -302,7 +440,8 @@ pub fn write_framed<W: Write>(img: &Bitmap, w: &mut W) -> io::Result<()> {
 /// Upper bound on a declared frame length (2³¹ bytes). A corrupt prefix
 /// below this still costs only the bytes that actually arrive — the body is
 /// read in bounded chunks, never pre-allocated to the declared length.
-const MAX_FRAME_BYTES: usize = 1 << 31;
+/// Prefixes above it are rejected as [`PbmError::LyingLengthPrefix`].
+pub const MAX_FRAME_BYTES: usize = 1 << 31;
 
 /// Reader for the length-prefixed multi-image PBM framing
 /// ([`write_framed`]): a stream of `<decimal length>\n<frame bytes>` records,
@@ -338,14 +477,15 @@ impl<R: Read> FramedPbmReader<R> {
         // newline after a frame body), then digits up to the terminator.
         let mut len: Option<usize> = None;
         loop {
-            match next_byte(&mut self.reader)? {
+            match next_byte(&mut self.reader).map_err(io::Error::from)? {
                 None => {
                     return match len {
                         None => Ok(None), // clean end between frames
-                        Some(_) => Err(io::Error::new(
-                            io::ErrorKind::UnexpectedEof,
-                            "framed PBM length prefix not followed by a frame",
-                        )),
+                        Some(declared) => Err(PbmError::TruncatedFrame {
+                            declared,
+                            missing: declared,
+                        }
+                        .into()),
                     };
                 }
                 Some(b) if b.is_ascii_digit() => {
@@ -355,11 +495,8 @@ impl<R: Read> FramedPbmReader<R> {
                         .checked_mul(10)
                         .and_then(|v| v.checked_add(d))
                         .filter(|&v| v <= MAX_FRAME_BYTES)
-                        .ok_or_else(|| {
-                            io::Error::new(
-                                io::ErrorKind::InvalidData,
-                                "framed PBM length prefix out of range",
-                            )
+                        .ok_or(PbmError::LyingLengthPrefix {
+                            declared: len.unwrap_or(0).saturating_mul(10).saturating_add(d),
                         })?;
                     len = Some(v);
                 }
@@ -369,10 +506,7 @@ impl<R: Read> FramedPbmReader<R> {
                     }
                 }
                 Some(other) => {
-                    return Err(io::Error::new(
-                        io::ErrorKind::InvalidData,
-                        format!("bad framed PBM length byte {:?}", other as char),
-                    ));
+                    return Err(PbmError::BadLengthPrefix(other).into());
                 }
             }
         }
@@ -387,13 +521,11 @@ impl<R: Read> FramedPbmReader<R> {
             let want = remaining.min(chunk.len());
             match self.reader.read(&mut chunk[..want]) {
                 Ok(0) => {
-                    return Err(io::Error::new(
-                        io::ErrorKind::UnexpectedEof,
-                        format!(
-                            "framed PBM truncated: {} of {len} frame bytes missing",
-                            remaining
-                        ),
-                    ))
+                    return Err(PbmError::TruncatedFrame {
+                        declared: len,
+                        missing: remaining,
+                    }
+                    .into())
                 }
                 Ok(got) => {
                     self.frame.extend_from_slice(&chunk[..got]);
@@ -545,6 +677,83 @@ mod tests {
     fn p1_rejects_garbage_pixel_characters() {
         let err = read("P1\n2 2\n1 0 x 1\n".as_bytes()).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(matches!(
+            PbmError::from_io(&err),
+            Some(PbmError::BadPixelByte(b'x'))
+        ));
+    }
+
+    #[test]
+    fn errors_carry_the_typed_taxonomy() {
+        // Every rejection path surfaces a structured PbmError that a
+        // consumer (the labeling service) can recover by downcast.
+        let err = read("P5\n2 2\n".as_bytes()).unwrap_err();
+        assert!(matches!(
+            PbmError::from_io(&err),
+            Some(PbmError::BadMagic(m)) if m == "P5"
+        ));
+        let err = read("P1\n0 2\n".as_bytes()).unwrap_err();
+        assert!(matches!(
+            PbmError::from_io(&err),
+            Some(PbmError::ZeroDim { rows: 2, cols: 0 })
+        ));
+        let err = read("P1\nx 2\n".as_bytes()).unwrap_err();
+        assert!(matches!(
+            PbmError::from_io(&err),
+            Some(PbmError::BadDim { name: "width", .. })
+        ));
+        let err = read("P1".as_bytes()).unwrap_err();
+        assert!(matches!(
+            PbmError::from_io(&err),
+            Some(PbmError::TruncatedHeader)
+        ));
+        let err = read(b"P4\n8 3\n\xff".as_slice()).unwrap_err();
+        assert!(matches!(
+            PbmError::from_io(&err),
+            Some(PbmError::TruncatedPixels {
+                declared_rows: 3,
+                read_rows: 1
+            })
+        ));
+        // A header whose pixel product overflows usize must be rejected at
+        // parse time, before any consumer sizes a buffer from it.
+        let huge = format!("P1\n{} 3\n", usize::MAX);
+        let err = read(huge.as_bytes()).unwrap_err();
+        assert!(matches!(
+            PbmError::from_io(&err),
+            Some(PbmError::DimsOverflow { rows: 3, .. })
+        ));
+        // Framed-stream taxonomy: lying prefixes and truncation.
+        let mut reader = FramedPbmReader::new(&b"99999999999999999999\nP4"[..]);
+        let err = reader.next_frame().unwrap_err();
+        assert!(matches!(
+            PbmError::from_io(&err),
+            Some(PbmError::LyingLengthPrefix { .. })
+        ));
+        let mut reader = FramedPbmReader::new(&b"xy\n"[..]);
+        let err = reader.next_frame().unwrap_err();
+        assert!(matches!(
+            PbmError::from_io(&err),
+            Some(PbmError::BadLengthPrefix(b'x'))
+        ));
+        let mut reader = FramedPbmReader::new(&b"2000000000\nP4\n8 1\n\xff"[..]);
+        let err = reader.next_frame().unwrap_err();
+        assert!(matches!(
+            PbmError::from_io(&err),
+            Some(PbmError::TruncatedFrame {
+                declared: 2000000000,
+                ..
+            })
+        ));
+        // The io::ErrorKind convention is preserved across the taxonomy.
+        assert_eq!(
+            PbmError::TruncatedHeader.kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+        assert_eq!(
+            PbmError::BadMagic(String::new()).kind(),
+            io::ErrorKind::InvalidData
+        );
     }
 
     #[test]

@@ -4,7 +4,8 @@
 //! must round-trip bit-exactly).
 
 use proptest::prelude::*;
-use slap_image::stream::BitmapRows;
+use slap_image::pbm::{FramedPbmReader, PbmRowReader};
+use slap_image::stream::{BitmapRows, RowSource};
 use slap_image::{
     bfs_labels, bfs_labels_conn, fast_labels_conn, gen, label_out_of_core, label_stream, morph,
     parallel_labels_conn, pbm, tiled_labels_conn, Bitmap, Connectivity, FastLabeler, LabelGrid,
@@ -279,6 +280,60 @@ proptest! {
     #[test]
     fn pbm_reader_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
         let _ = pbm::read(&bytes[..]); // Err is fine; panic is not
+    }
+
+    #[test]
+    fn pbm_row_reader_never_panics_on_garbage(
+        bytes in prop::collection::vec(any::<u8>(), 0..256),
+    ) {
+        // The incremental reader must reject byte soup with a typed error at
+        // header time, or — if the soup happens to spell a valid header —
+        // fail row-by-row without ever panicking or spinning.
+        if let Ok(mut rd) = PbmRowReader::new(&bytes[..]) {
+            let mut words = Vec::new();
+            for _ in 0..=rd.rows() {
+                match rd.next_row(&mut words) {
+                    Ok(true) => {}
+                    Ok(false) | Err(_) => break,
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn framed_reader_never_panics_on_garbage(
+        bytes in prop::collection::vec(any::<u8>(), 0..256),
+    ) {
+        // Same contract for the framed stream: every frame either yields a
+        // drainable row reader or a typed error, never a panic, and the
+        // stream always terminates.
+        let mut frames = FramedPbmReader::new(&bytes[..]);
+        for _ in 0..16 {
+            match frames.next_frame() {
+                Ok(Some(mut frame)) => {
+                    let mut words = Vec::new();
+                    while matches!(frame.next_row(&mut words), Ok(true)) {}
+                }
+                Ok(None) | Err(_) => break,
+            }
+        }
+    }
+
+    #[test]
+    fn framed_reader_never_panics_on_lying_prefixes(
+        lie in 0u64..1_000_000,
+        body in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        // A syntactically valid length prefix that disagrees with the bytes
+        // that follow (short body, or a lie about a well-formed frame) must
+        // surface as Err, not a panic or a bogus frame.
+        let mut buf = format!("{lie}\n").into_bytes();
+        buf.extend(&body);
+        let mut frames = FramedPbmReader::new(&buf[..]);
+        if let Ok(Some(mut frame)) = frames.next_frame() {
+            let mut words = Vec::new();
+            while matches!(frame.next_row(&mut words), Ok(true)) {}
+        }
     }
 
     #[test]

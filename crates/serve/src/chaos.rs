@@ -1,0 +1,379 @@
+//! Deterministic fault injection for the `slapd` wire protocol.
+//!
+//! [`FaultyStream`] wraps a transport and delivers a well-formed job frame
+//! through one of six scripted fault classes — truncation, pathological
+//! short writes, mid-frame disconnect, a lying length prefix, a stall past
+//! the server's I/O deadline, or pure garbage. Every script is driven by a
+//! seeded [`DetRng`], so a failing chaos run replays bit-for-bit from its
+//! seed.
+//!
+//! The stream stays readable after injection: a test sends a corrupted
+//! frame, then reads the server's typed `ERR` response (or observes the
+//! close) on the same wrapper.
+
+use std::io::{self, Read, Write};
+use std::time::Duration;
+
+/// A tiny deterministic RNG (SplitMix64). Not cryptographic; used for
+/// chaos scripts and client backoff jitter so both replay from a seed.
+#[derive(Clone, Debug)]
+pub struct DetRng(u64);
+
+impl DetRng {
+    /// Creates a generator from a seed; equal seeds yield equal streams.
+    pub fn new(seed: u64) -> Self {
+        DetRng(seed)
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A value in `0..n` (`n` must be nonzero). Modulo bias is irrelevant
+    /// at chaos-script scales.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0)");
+        self.next_u64() % n
+    }
+
+    /// A uniformly random bool.
+    pub fn chance(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+/// The transport surface chaos scripts need: byte I/O plus the ability to
+/// half-close the write side (to model a client vanishing mid-frame while
+/// still reading the server's reaction).
+pub trait ChaosTransport: Read + Write {
+    /// Closes the write direction; reads stay usable.
+    fn close_write(&mut self) -> io::Result<()>;
+}
+
+impl ChaosTransport for std::net::TcpStream {
+    fn close_write(&mut self) -> io::Result<()> {
+        self.shutdown(std::net::Shutdown::Write)
+    }
+}
+
+/// The six scripted fault classes the harness can inject.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultClass {
+    /// Send a strict prefix of the frame, then nothing (caller closes).
+    Truncate,
+    /// Deliver the whole frame, but in 1–7 byte writes with a flush after
+    /// each. The job is intact; only the I/O pattern is hostile.
+    ShortOps,
+    /// Send part of the frame body, then half-close the write side.
+    Disconnect,
+    /// Rewrite the decimal length prefix to lie about the body size.
+    LyingLength,
+    /// Send half the frame, stall past the server's I/O deadline, then try
+    /// to send the rest.
+    Stall,
+    /// Send seeded random bytes that were never a frame.
+    Garbage,
+}
+
+impl FaultClass {
+    /// Every class, in a stable order.
+    pub const ALL: [FaultClass; 6] = [
+        FaultClass::Truncate,
+        FaultClass::ShortOps,
+        FaultClass::Disconnect,
+        FaultClass::LyingLength,
+        FaultClass::Stall,
+        FaultClass::Garbage,
+    ];
+
+    /// A stable lowercase name for logs and test labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultClass::Truncate => "truncate",
+            FaultClass::ShortOps => "short-ops",
+            FaultClass::Disconnect => "disconnect",
+            FaultClass::LyingLength => "lying-length",
+            FaultClass::Stall => "stall",
+            FaultClass::Garbage => "garbage",
+        }
+    }
+}
+
+impl std::fmt::Display for FaultClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What a fault script actually put on the wire.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Delivery {
+    /// The full, well-formed frame was delivered (hostile pacing aside);
+    /// the server must answer the job normally.
+    Intact,
+    /// The frame was corrupted, cut short, or never sent; the server must
+    /// reject or close, and must not crash.
+    Corrupted,
+}
+
+/// A transport wrapper that injects one scripted fault per job frame.
+pub struct FaultyStream<S: ChaosTransport> {
+    inner: S,
+    class: FaultClass,
+    rng: DetRng,
+}
+
+impl<S: ChaosTransport> FaultyStream<S> {
+    /// Wraps `inner`, injecting `class` faults scripted from `seed`.
+    pub fn new(inner: S, class: FaultClass, seed: u64) -> Self {
+        FaultyStream {
+            inner,
+            class,
+            rng: DetRng::new(seed),
+        }
+    }
+
+    /// The wrapped transport, for direct reads or clean writes.
+    pub fn get_mut(&mut self) -> &mut S {
+        &mut self.inner
+    }
+
+    /// Unwraps the transport.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    /// Pushes one well-formed job `frame` through the fault script.
+    /// `stall` is how long the [`FaultClass::Stall`] script sleeps — pick
+    /// something comfortably past the server's I/O timeout.
+    ///
+    /// Scripts treat write errors to a server that already gave up (reset,
+    /// broken pipe) as expected, not as failures.
+    pub fn send_job(&mut self, frame: &[u8], stall: Duration) -> io::Result<Delivery> {
+        assert!(frame.len() >= 2, "a framed job is at least prefix + body");
+        match self.class {
+            FaultClass::ShortOps => {
+                let mut rest = frame;
+                while !rest.is_empty() {
+                    let n = (1 + self.rng.below(7) as usize).min(rest.len());
+                    self.inner.write_all(&rest[..n])?;
+                    self.inner.flush()?;
+                    rest = &rest[n..];
+                }
+                Ok(Delivery::Intact)
+            }
+            FaultClass::Truncate => {
+                let keep = 1 + self.rng.below(frame.len() as u64 - 1) as usize;
+                self.inner.write_all(&frame[..keep])?;
+                self.inner.flush()?;
+                Ok(Delivery::Corrupted)
+            }
+            FaultClass::Disconnect => {
+                // Cut inside the body (past the length prefix) so the
+                // server is mid-frame when the write side vanishes.
+                let body_at = prefix_end(frame) + 1;
+                let body_len = frame.len() - body_at;
+                let keep = body_at + 1 + self.rng.below(body_len.max(2) as u64 - 1) as usize;
+                let keep = keep.min(frame.len() - 1);
+                self.inner.write_all(&frame[..keep])?;
+                self.inner.flush()?;
+                self.inner.close_write()?;
+                Ok(Delivery::Corrupted)
+            }
+            FaultClass::LyingLength => {
+                let nl = prefix_end(frame);
+                let body = &frame[nl + 1..];
+                let declared = if self.rng.chance() || body.len() < 2 {
+                    // Lie high: promise bytes that never come.
+                    body.len() as u64 + 1 + self.rng.below(4096)
+                } else {
+                    // Lie low: the tail of the real body reads as garbage
+                    // after a frame that cuts the raster short.
+                    1 + self.rng.below(body.len() as u64 - 1)
+                };
+                let mut lying = format!("{declared}\n").into_bytes();
+                lying.extend_from_slice(body);
+                self.inner.write_all(&lying)?;
+                self.inner.flush()?;
+                Ok(Delivery::Corrupted)
+            }
+            FaultClass::Stall => {
+                let half = frame.len() / 2;
+                self.inner.write_all(&frame[..half])?;
+                self.inner.flush()?;
+                std::thread::sleep(stall);
+                // The server has usually reset the connection by now;
+                // either way the frame arrived late and broken.
+                let _ = self.inner.write_all(&frame[half..]);
+                let _ = self.inner.flush();
+                Ok(Delivery::Corrupted)
+            }
+            FaultClass::Garbage => {
+                let n = 1 + self.rng.below(200) as usize;
+                let junk: Vec<u8> = (0..n).map(|_| self.rng.next_u64() as u8).collect();
+                // Never start with a digit: garbage must not accidentally
+                // parse as a plausible length prefix that stalls the read.
+                let mut junk = junk;
+                if junk[0].is_ascii_digit() {
+                    junk[0] = b'!';
+                }
+                self.inner.write_all(&junk)?;
+                self.inner.flush()?;
+                Ok(Delivery::Corrupted)
+            }
+        }
+    }
+}
+
+impl<S: ChaosTransport> Read for FaultyStream<S> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.inner.read(buf)
+    }
+}
+
+/// Index of the `\n` terminating the decimal length prefix.
+fn prefix_end(frame: &[u8]) -> usize {
+    frame
+        .iter()
+        .position(|&b| b == b'\n')
+        .expect("a framed job has a length prefix")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// In-memory transport capturing everything a script writes.
+    #[derive(Default)]
+    struct MemStream {
+        written: Vec<u8>,
+        write_closed: bool,
+    }
+
+    impl Read for MemStream {
+        fn read(&mut self, _buf: &mut [u8]) -> io::Result<usize> {
+            Ok(0)
+        }
+    }
+
+    impl Write for MemStream {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.written.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    impl ChaosTransport for MemStream {
+        fn close_write(&mut self) -> io::Result<()> {
+            self.write_closed = true;
+            Ok(())
+        }
+    }
+
+    fn sample_frame() -> Vec<u8> {
+        let body = b"P4\n8 2\n\x55\xaa";
+        let mut frame = format!("{}\n", body.len()).into_bytes();
+        frame.extend_from_slice(body);
+        frame
+    }
+
+    fn run(class: FaultClass, seed: u64) -> (MemStream, Delivery) {
+        let mut fs = FaultyStream::new(MemStream::default(), class, seed);
+        let d = fs
+            .send_job(&sample_frame(), Duration::from_millis(1))
+            .unwrap();
+        (fs.into_inner(), d)
+    }
+
+    #[test]
+    fn rng_is_deterministic() {
+        let a: Vec<u64> = {
+            let mut r = DetRng::new(42);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = DetRng::new(42);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let c: Vec<u64> = {
+            let mut r = DetRng::new(43);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn scripts_replay_bit_for_bit_from_their_seed() {
+        for class in FaultClass::ALL {
+            let (a, da) = run(class, 7);
+            let (b, db) = run(class, 7);
+            assert_eq!(a.written, b.written, "{class} not deterministic");
+            assert_eq!(da, db);
+        }
+    }
+
+    #[test]
+    fn short_ops_delivers_the_frame_intact() {
+        let (mem, delivery) = run(FaultClass::ShortOps, 3);
+        assert_eq!(delivery, Delivery::Intact);
+        assert_eq!(mem.written, sample_frame());
+        assert!(!mem.write_closed);
+    }
+
+    #[test]
+    fn truncate_sends_a_strict_prefix() {
+        for seed in 0..32 {
+            let (mem, delivery) = run(FaultClass::Truncate, seed);
+            assert_eq!(delivery, Delivery::Corrupted);
+            let frame = sample_frame();
+            assert!(!mem.written.is_empty() && mem.written.len() < frame.len());
+            assert_eq!(mem.written, frame[..mem.written.len()]);
+        }
+    }
+
+    #[test]
+    fn disconnect_cuts_inside_the_body_and_half_closes() {
+        for seed in 0..32 {
+            let (mem, _) = run(FaultClass::Disconnect, seed);
+            assert!(mem.write_closed);
+            let frame = sample_frame();
+            let body_at = frame.iter().position(|&b| b == b'\n').unwrap() + 1;
+            assert!(mem.written.len() > body_at, "cut is past the prefix");
+            assert!(mem.written.len() < frame.len(), "cut is mid-body");
+        }
+    }
+
+    #[test]
+    fn lying_length_keeps_the_body_but_mangles_the_prefix() {
+        let frame = sample_frame();
+        let nl = frame.iter().position(|&b| b == b'\n').unwrap();
+        let real = frame.len() - nl - 1;
+        for seed in 0..32 {
+            let (mem, _) = run(FaultClass::LyingLength, seed);
+            let lied_nl = mem.written.iter().position(|&b| b == b'\n').unwrap();
+            let declared: usize = std::str::from_utf8(&mem.written[..lied_nl])
+                .unwrap()
+                .parse()
+                .unwrap();
+            assert_ne!(declared, real, "the prefix must lie (seed {seed})");
+            assert_eq!(&mem.written[lied_nl + 1..], &frame[nl + 1..]);
+        }
+    }
+
+    #[test]
+    fn garbage_never_opens_with_a_digit() {
+        for seed in 0..64 {
+            let (mem, _) = run(FaultClass::Garbage, seed);
+            assert!(!mem.written[0].is_ascii_digit());
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! `slapd`: a fault-tolerant TCP labeling service over the framed-PBM
+//! wire format, plus its retrying client and a deterministic
+//! fault-injection harness.
+//!
+//! The scan-line engines in `slap_cc` label one image at a time; this
+//! crate turns them into a long-running service that survives hostile
+//! inputs and load spikes:
+//!
+//! * [`server::Server`] — acceptor, bounded job queue with byte-budget
+//!   backpressure, warm worker-held engine sessions routed by job size,
+//!   per-job wall-clock deadlines with a watchdog, panic isolation with
+//!   session rebuild, and graceful drain.
+//! * [`protocol`] — the wire format: framed-PBM jobs in, `OK` label
+//!   payloads or a closed taxonomy of typed `ERR` codes out.
+//! * [`client::Client`] — connection pooling and jittered-exponential
+//!   retry, safe because labeling is idempotent.
+//! * [`chaos`] — seeded fault scripts ([`chaos::FaultyStream`]) for the
+//!   integration suite: truncation, short ops, mid-frame disconnects,
+//!   lying length prefixes, stalls, and garbage.
+//!
+//! Everything is `std`-only: threads, `TcpListener`, `Mutex`/`Condvar`,
+//! and `mpsc` — no async runtime to depend on or to misbehave under load.
+
+#![warn(missing_docs)]
+
+pub mod chaos;
+pub mod client;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+
+pub use chaos::{Delivery, DetRng, FaultClass, FaultyStream};
+pub use client::{Client, ClientError, RetryPolicy};
+pub use protocol::{JobOk, Response, WireError};
+pub use queue::{BoundedQueue, PushRejection};
+pub use server::{JobHook, ServeConfig, Server, ServerStats, StatsSnapshot};

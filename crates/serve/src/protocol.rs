@@ -1,0 +1,383 @@
+//! The `slapd` wire protocol: framed-PBM jobs in, typed responses out.
+//!
+//! Requests reuse the existing framed-PBM format unchanged
+//! ([`slap_image::pbm::write_framed`] / [`slap_image::pbm::FramedPbmReader`]):
+//! a client connection is a sequence of `<decimal length>\n<raw P4 PBM>`
+//! job frames. Responses are one record per job, in submission order:
+//!
+//! ```text
+//! OK <rows> <cols> <components> <payload_len>\n<payload_len bytes>
+//! ERR <code> <detail>\n
+//! ```
+//!
+//! The `OK` payload is the label grid, row-major, one little-endian `u32`
+//! per pixel (background = `u32::MAX`), bit-identical to the fast engine.
+//! `ERR` codes are the closed [`WireError`] taxonomy — a client can branch
+//! on the code (retry on `queue-full`, give up on `too-large`) without
+//! parsing prose.
+
+use slap_image::pbm::PbmError;
+use std::io::{self, BufRead, Write};
+
+/// Hard cap on an `OK` payload a client will buffer (bytes). The label grid
+/// of the largest admissible job (`rows × cols < u32::MAX` pixels) fits; a
+/// lying header above it is rejected before any allocation.
+pub const MAX_PAYLOAD_BYTES: u64 = (u32::MAX as u64) * 4;
+
+/// Cap on a response header line; anything longer is a protocol violation,
+/// not a response.
+const MAX_HEADER_BYTES: usize = 256;
+
+/// The closed set of typed job-rejection codes `slapd` can answer with.
+///
+/// Every guard in the service maps to exactly one code, so the chaos suite
+/// (and real clients) can assert on *which* defense fired.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum WireError {
+    /// The job frame did not parse as framed PBM (bad magic, bad dims,
+    /// truncated raster, lying length prefix, garbage bytes...).
+    BadFrame,
+    /// The image exceeds the server's dimension or pixel budget.
+    TooLarge,
+    /// `rows × cols` overflows the label space (`u32`) or `usize`.
+    Overflow,
+    /// The bounded job queue is full — backpressure, resubmit later.
+    QueueFull,
+    /// The job missed its wall-clock deadline (queued too long, stalled
+    /// ingest, or slow compute).
+    Deadline,
+    /// The job panicked inside the engine; it was isolated and the worker
+    /// session rebuilt. The server is still healthy.
+    Panic,
+    /// The server is draining and accepts no new jobs.
+    Shutdown,
+}
+
+impl WireError {
+    /// Every code, in wire order.
+    pub const ALL: [WireError; 7] = [
+        WireError::BadFrame,
+        WireError::TooLarge,
+        WireError::Overflow,
+        WireError::QueueFull,
+        WireError::Deadline,
+        WireError::Panic,
+        WireError::Shutdown,
+    ];
+
+    /// The stable wire token for this code.
+    pub fn code(self) -> &'static str {
+        match self {
+            WireError::BadFrame => "bad-frame",
+            WireError::TooLarge => "too-large",
+            WireError::Overflow => "overflow",
+            WireError::QueueFull => "queue-full",
+            WireError::Deadline => "deadline",
+            WireError::Panic => "panic",
+            WireError::Shutdown => "shutdown",
+        }
+    }
+
+    /// Parses a wire token as produced by [`WireError::code`].
+    pub fn parse(s: &str) -> Option<WireError> {
+        WireError::ALL.into_iter().find(|e| e.code() == s)
+    }
+
+    /// Whether an idempotent client should resubmit after this rejection:
+    /// transient conditions (load, drain, a one-off panic) are retryable;
+    /// verdicts about the job itself are not.
+    pub fn retryable(self) -> bool {
+        matches!(
+            self,
+            WireError::QueueFull | WireError::Deadline | WireError::Panic | WireError::Shutdown
+        )
+    }
+
+    /// Maps a structured PBM parse failure to its wire code: dimension
+    /// overflow keeps its own code, every other malformation is `bad-frame`.
+    pub fn from_pbm(e: &PbmError) -> WireError {
+        match e {
+            PbmError::DimsOverflow { .. } => WireError::Overflow,
+            _ => WireError::BadFrame,
+        }
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// A successful job reply: the labeled grid plus its summary numbers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobOk {
+    /// Image height.
+    pub rows: usize,
+    /// Image width.
+    pub cols: usize,
+    /// Connected components found.
+    pub components: usize,
+    /// Row-major per-pixel labels (background = `u32::MAX`), bit-identical
+    /// to the fast engine's `LabelGrid`.
+    pub labels: Vec<u32>,
+}
+
+/// One parsed server response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Response {
+    /// The job was labeled.
+    Ok(JobOk),
+    /// The job was rejected with a typed code.
+    Rejected {
+        /// The typed rejection code.
+        code: WireError,
+        /// Human-readable detail (single line, diagnostic only).
+        detail: String,
+    },
+}
+
+/// Writes an `OK` response. `scratch` is the caller's reusable byte buffer
+/// for the payload encoding (cleared here), so a warm connection thread
+/// serializes without reallocating.
+pub fn write_ok<W: Write>(
+    w: &mut W,
+    rows: usize,
+    cols: usize,
+    components: usize,
+    labels: &[u32],
+    scratch: &mut Vec<u8>,
+) -> io::Result<()> {
+    let payload_len = labels.len() * 4;
+    writeln!(w, "OK {rows} {cols} {components} {payload_len}")?;
+    scratch.clear();
+    scratch.reserve(payload_len);
+    for &label in labels {
+        scratch.extend_from_slice(&label.to_le_bytes());
+    }
+    w.write_all(scratch)?;
+    w.flush()
+}
+
+/// Writes an `ERR` response. Newlines in `detail` are flattened so the
+/// record stays one line.
+pub fn write_err<W: Write>(w: &mut W, code: WireError, detail: &str) -> io::Result<()> {
+    let detail: String = detail
+        .chars()
+        .map(|c| if c == '\n' || c == '\r' { ' ' } else { c })
+        .collect();
+    writeln!(w, "ERR {} {detail}", code.code())?;
+    w.flush()
+}
+
+/// Reads one response header line (bytes up to `\n`, bounded). `Ok(None)`
+/// at a clean end of stream before any byte.
+fn read_header_line<R: BufRead>(r: &mut R) -> io::Result<Option<String>> {
+    let mut line = Vec::new();
+    loop {
+        let mut b = [0u8; 1];
+        match r.read(&mut b) {
+            Ok(0) => {
+                return if line.is_empty() {
+                    Ok(None)
+                } else {
+                    Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "response header truncated",
+                    ))
+                }
+            }
+            Ok(_) if b[0] == b'\n' => break,
+            Ok(_) => {
+                if line.len() >= MAX_HEADER_BYTES {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "response header too long",
+                    ));
+                }
+                line.push(b[0]);
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    String::from_utf8(line)
+        .map(Some)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "response header is not UTF-8"))
+}
+
+/// Reads one server response. `Ok(None)` at a clean end of stream (the
+/// server closed between responses). The payload is read in bounded chunks,
+/// so a lying payload length costs only the bytes that actually arrive.
+pub fn read_response<R: BufRead>(r: &mut R) -> io::Result<Option<Response>> {
+    let Some(line) = read_header_line(r)? else {
+        return Ok(None);
+    };
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, format!("{msg}: {line:?}"));
+    let mut parts = line.splitn(5, ' ');
+    match parts.next() {
+        Some("OK") => {
+            let mut num = |name: &str| -> io::Result<u64> {
+                parts
+                    .next()
+                    .and_then(|t| t.parse::<u64>().ok())
+                    .ok_or_else(|| bad(&format!("bad {name} in OK header")))
+            };
+            let rows = num("rows")?;
+            let cols = num("cols")?;
+            let components = num("components")?;
+            let payload_len = num("payload length")?;
+            let pixels = rows
+                .checked_mul(cols)
+                .filter(|&px| px * 4 == payload_len && payload_len <= MAX_PAYLOAD_BYTES)
+                .ok_or_else(|| bad("payload length disagrees with dims"))?;
+            let mut labels = Vec::with_capacity(0);
+            let mut chunk = [0u8; 64 * 1024];
+            let mut remaining = payload_len as usize;
+            let mut carry: Vec<u8> = Vec::with_capacity(4);
+            labels.reserve(pixels.min(1 << 20) as usize);
+            while remaining > 0 {
+                let want = remaining.min(chunk.len());
+                match r.read(&mut chunk[..want]) {
+                    Ok(0) => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            format!("response payload truncated: {remaining} bytes missing"),
+                        ))
+                    }
+                    Ok(got) => {
+                        remaining -= got;
+                        let mut bytes = &chunk[..got];
+                        // Finish a u32 straddling the previous chunk first.
+                        while !carry.is_empty() && !bytes.is_empty() {
+                            carry.push(bytes[0]);
+                            bytes = &bytes[1..];
+                            if carry.len() == 4 {
+                                labels.push(u32::from_le_bytes([
+                                    carry[0], carry[1], carry[2], carry[3],
+                                ]));
+                                carry.clear();
+                            }
+                        }
+                        let whole = bytes.len() / 4 * 4;
+                        for quad in bytes[..whole].chunks_exact(4) {
+                            labels.push(u32::from_le_bytes([quad[0], quad[1], quad[2], quad[3]]));
+                        }
+                        carry.extend_from_slice(&bytes[whole..]);
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(e) => return Err(e),
+                }
+            }
+            debug_assert!(carry.is_empty(), "payload length is a multiple of 4");
+            Ok(Some(Response::Ok(JobOk {
+                rows: rows as usize,
+                cols: cols as usize,
+                components: components as usize,
+                labels,
+            })))
+        }
+        Some("ERR") => {
+            let code = parts
+                .next()
+                .and_then(WireError::parse)
+                .ok_or_else(|| bad("unknown ERR code"))?;
+            let detail = parts.collect::<Vec<_>>().join(" ");
+            Ok(Some(Response::Rejected { code, detail }))
+        }
+        _ => Err(bad("unrecognized response header")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ok_response_roundtrips() {
+        let labels = vec![0u32, u32::MAX, 7, 0xdead_beef];
+        let mut buf = Vec::new();
+        let mut scratch = Vec::new();
+        write_ok(&mut buf, 2, 2, 2, &labels, &mut scratch).unwrap();
+        let mut r = io::BufReader::new(&buf[..]);
+        match read_response(&mut r).unwrap().unwrap() {
+            Response::Ok(ok) => {
+                assert_eq!((ok.rows, ok.cols, ok.components), (2, 2, 2));
+                assert_eq!(ok.labels, labels);
+            }
+            other => panic!("expected OK, got {other:?}"),
+        }
+        assert!(read_response(&mut r).unwrap().is_none(), "clean end");
+    }
+
+    #[test]
+    fn err_response_roundtrips_every_code() {
+        for code in WireError::ALL {
+            let mut buf = Vec::new();
+            write_err(&mut buf, code, "detail\nwith newline").unwrap();
+            let mut r = io::BufReader::new(&buf[..]);
+            match read_response(&mut r).unwrap().unwrap() {
+                Response::Rejected { code: got, detail } => {
+                    assert_eq!(got, code);
+                    assert!(!detail.contains('\n'), "{detail:?}");
+                }
+                other => panic!("expected ERR, got {other:?}"),
+            }
+            assert_eq!(WireError::parse(code.code()), Some(code));
+        }
+        assert_eq!(WireError::parse("nope"), None);
+    }
+
+    #[test]
+    fn lying_ok_header_is_rejected_without_allocation() {
+        // Payload length that disagrees with dims.
+        let mut r = io::BufReader::new(&b"OK 2 2 1 999\n"[..]);
+        assert!(read_response(&mut r).is_err());
+        // Dims product overflowing u64.
+        let huge = format!("OK {} {} 1 16\n", u64::MAX, u64::MAX);
+        let mut r = io::BufReader::new(huge.as_bytes());
+        assert!(read_response(&mut r).is_err());
+        // Truncated payload costs only the bytes that arrived.
+        let mut r = io::BufReader::new(&b"OK 2 2 1 16\n\x01\x00"[..]);
+        let err = read_response(&mut r).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn garbage_header_is_a_protocol_error() {
+        let mut r = io::BufReader::new(&b"HELLO world\n"[..]);
+        assert_eq!(
+            read_response(&mut r).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+        let mut r = io::BufReader::new(&b"ERR not-a-code x\n"[..]);
+        assert!(read_response(&mut r).is_err());
+    }
+
+    #[test]
+    fn retryable_codes_are_the_transient_ones() {
+        assert!(WireError::QueueFull.retryable());
+        assert!(WireError::Deadline.retryable());
+        assert!(WireError::Shutdown.retryable());
+        assert!(WireError::Panic.retryable());
+        assert!(!WireError::BadFrame.retryable());
+        assert!(!WireError::TooLarge.retryable());
+        assert!(!WireError::Overflow.retryable());
+    }
+
+    #[test]
+    fn pbm_taxonomy_maps_to_wire_codes() {
+        assert_eq!(
+            WireError::from_pbm(&PbmError::DimsOverflow { rows: 9, cols: 9 }),
+            WireError::Overflow
+        );
+        assert_eq!(
+            WireError::from_pbm(&PbmError::TruncatedHeader),
+            WireError::BadFrame
+        );
+        assert_eq!(
+            WireError::from_pbm(&PbmError::LyingLengthPrefix { declared: 1 }),
+            WireError::BadFrame
+        );
+    }
+}

@@ -1,0 +1,272 @@
+//! A bounded MPMC job queue with byte-weight accounting and drain support.
+//!
+//! This is the backpressure point of `slapd`: the acceptor side calls
+//! [`BoundedQueue::try_push`] and gets an immediate typed rejection when
+//! either the item cap or the byte budget is exhausted — the queue never
+//! grows without bound, so a flood of jobs degrades into `queue-full`
+//! rejections instead of memory exhaustion. Workers block in
+//! [`BoundedQueue::pop`]; after [`BoundedQueue::drain`] they wake, finish
+//! whatever is queued, and get `None`.
+//!
+//! All locking is poison-tolerant: a panic while the mutex is held (which
+//! cannot happen in this module's own code paths, but costs nothing to
+//! defend against) does not wedge the queue.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// Why [`BoundedQueue::try_push`] refused an item.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PushRejection {
+    /// The item cap or byte budget is exhausted — backpressure.
+    Full,
+    /// The queue is draining and accepts nothing new.
+    Draining,
+}
+
+struct Inner<T> {
+    items: VecDeque<(T, usize)>,
+    weight: usize,
+    draining: bool,
+    peak_items: usize,
+    peak_weight: usize,
+}
+
+/// A bounded multi-producer multi-consumer FIFO with two admission caps:
+/// a maximum item count and a maximum total weight (bytes, for `slapd`).
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    cap_items: usize,
+    cap_weight: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue admitting at most `cap_items` items and at most
+    /// `cap_weight` total weight at any instant. Both caps must be nonzero.
+    pub fn new(cap_items: usize, cap_weight: usize) -> Self {
+        assert!(
+            cap_items > 0 && cap_weight > 0,
+            "queue caps must be nonzero"
+        );
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                weight: 0,
+                draining: false,
+                peak_items: 0,
+                peak_weight: 0,
+            }),
+            not_empty: Condvar::new(),
+            cap_items,
+            cap_weight,
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner<T>> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Attempts to enqueue `item` with the given weight. A single item
+    /// heavier than the whole budget is still admitted when the queue is
+    /// empty (otherwise it could never run); beyond that, admission never
+    /// exceeds either cap. On rejection the item is handed back.
+    pub fn try_push(&self, item: T, weight: usize) -> Result<(), (T, PushRejection)> {
+        let mut inner = self.lock();
+        if inner.draining {
+            return Err((item, PushRejection::Draining));
+        }
+        let over_weight = inner.weight.saturating_add(weight) > self.cap_weight;
+        if inner.items.len() >= self.cap_items || (over_weight && !inner.items.is_empty()) {
+            return Err((item, PushRejection::Full));
+        }
+        inner.weight += weight;
+        inner.items.push_back((item, weight));
+        inner.peak_items = inner.peak_items.max(inner.items.len());
+        inner.peak_weight = inner.peak_weight.max(inner.weight);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues the oldest item, blocking while the queue is empty.
+    /// Returns `None` once the queue is draining and empty — the worker
+    /// shutdown signal.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.lock();
+        loop {
+            if let Some((item, weight)) = inner.items.pop_front() {
+                inner.weight -= weight;
+                return Some(item);
+            }
+            if inner.draining {
+                return None;
+            }
+            inner = self
+                .not_empty
+                .wait(inner)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Flips the queue into drain mode: new pushes are rejected, blocked
+    /// poppers wake, and once the backlog is consumed every `pop` returns
+    /// `None`.
+    pub fn drain(&self) {
+        self.lock().draining = true;
+        self.not_empty.notify_all();
+    }
+
+    /// Removes every queued item matching `expired`, handing each to
+    /// `on_reject` with the lock already released, so the callback may
+    /// itself touch the queue's users (the deadline watchdog does).
+    pub fn reject_if(&self, mut expired: impl FnMut(&T) -> bool, mut on_reject: impl FnMut(T)) {
+        let rejected: Vec<T> = {
+            let mut inner = self.lock();
+            let mut kept = VecDeque::with_capacity(inner.items.len());
+            let mut out = Vec::new();
+            while let Some((item, weight)) = inner.items.pop_front() {
+                if expired(&item) {
+                    inner.weight -= weight;
+                    out.push(item);
+                } else {
+                    kept.push_back((item, weight));
+                }
+            }
+            inner.items = kept;
+            out
+        };
+        for item in rejected {
+            on_reject(item);
+        }
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// High-water marks: (most items queued at once, most weight held at
+    /// once) over the queue's lifetime.
+    pub fn peaks(&self) -> (usize, usize) {
+        let inner = self.lock();
+        (inner.peak_items, inner.peak_weight)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn item_cap_applies_backpressure() {
+        let q = BoundedQueue::new(2, usize::MAX);
+        q.try_push(1, 1).unwrap();
+        q.try_push(2, 1).unwrap();
+        let (item, why) = q.try_push(3, 1).unwrap_err();
+        assert_eq!((item, why), (3, PushRejection::Full));
+        assert_eq!(q.pop(), Some(1));
+        q.try_push(3, 1).unwrap();
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn weight_cap_applies_backpressure_but_admits_a_lone_giant() {
+        let q = BoundedQueue::new(16, 100);
+        // A single item over budget is admitted when the queue is empty.
+        q.try_push("giant", 1000).unwrap();
+        let (_, why) = q.try_push("next", 1).unwrap_err();
+        assert_eq!(why, PushRejection::Full);
+        assert_eq!(q.pop(), Some("giant"));
+        q.try_push("a", 60).unwrap();
+        q.try_push("b", 40).unwrap();
+        let (_, why) = q.try_push("c", 1).unwrap_err();
+        assert_eq!(why, PushRejection::Full);
+    }
+
+    #[test]
+    fn drain_rejects_new_and_flushes_backlog() {
+        let q = BoundedQueue::new(8, 1 << 20);
+        q.try_push(1, 1).unwrap();
+        q.try_push(2, 1).unwrap();
+        q.drain();
+        let (_, why) = q.try_push(3, 1).unwrap_err();
+        assert_eq!(why, PushRejection::Draining);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None, "drained queue stays drained");
+    }
+
+    #[test]
+    fn drain_wakes_blocked_poppers() {
+        let q = Arc::new(BoundedQueue::<u32>::new(4, 64));
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || q.pop())
+            })
+            .collect();
+        q.try_push(7, 1).unwrap();
+        q.drain();
+        let mut got: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        got.sort();
+        assert_eq!(got, vec![None, None, Some(7)]);
+    }
+
+    #[test]
+    fn reject_if_sweeps_matching_items_and_restores_weight() {
+        let q = BoundedQueue::new(8, 100);
+        for i in 0..4 {
+            q.try_push(i, 20).unwrap();
+        }
+        let mut swept = Vec::new();
+        q.reject_if(|&i| i % 2 == 1, |i| swept.push(i));
+        assert_eq!(swept, vec![1, 3]);
+        assert_eq!(q.len(), 2);
+        // The freed weight is reusable.
+        q.try_push(10, 40).unwrap();
+        let (peak_items, peak_weight) = q.peaks();
+        assert_eq!(peak_items, 4);
+        assert_eq!(peak_weight, 80);
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_conserve_items() {
+        let q = Arc::new(BoundedQueue::new(4, 1 << 20));
+        let consumers: Vec<_> = (0..2)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || {
+                    let mut sum = 0u64;
+                    while let Some(v) = q.pop() {
+                        sum += v;
+                    }
+                    sum
+                })
+            })
+            .collect();
+        let mut pushed = 0u64;
+        for i in 1..=100u64 {
+            loop {
+                match q.try_push(i, 8) {
+                    Ok(()) => {
+                        pushed += i;
+                        break;
+                    }
+                    Err(_) => thread::yield_now(),
+                }
+            }
+        }
+        q.drain();
+        let consumed: u64 = consumers.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(consumed, pushed);
+    }
+}

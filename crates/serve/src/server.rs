@@ -1,0 +1,786 @@
+//! `slapd`: the fault-tolerant labeling server.
+//!
+//! The design is a small set of independent defenses layered in front of
+//! the warm labeling engines:
+//!
+//! ```text
+//!  acceptor ──► connection threads ──► bounded queue ──► worker pool
+//!                  │  parse + guards       │  backpressure   │  warm engine
+//!                  │  (typed ERR early)    │  + byte budget  │  sessions,
+//!                  ▼                       ▼                 ▼  catch_unwind
+//!               typed ERR            queue-full ERR     panic ⇒ rebuild
+//! ```
+//!
+//! * **Admission guards** run before any allocation proportional to the
+//!   job: dimension caps, `rows × cols` overflow, pixel budget.
+//! * **Backpressure** is the bounded queue — when it is full the client
+//!   gets a typed `queue-full` rejection immediately; the server never
+//!   buffers unbounded work.
+//! * **Deadlines** are wall-clock per job: the watchdog sweeps expired
+//!   queued jobs, workers refuse to start expired work, and connection
+//!   threads stop waiting past the deadline.
+//! * **Panic isolation**: a panicking engine is caught with
+//!   `catch_unwind`, the job answers `ERR panic`, the worker rebuilds its
+//!   sessions, and the server keeps serving.
+//! * **Graceful drain**: [`Server::shutdown`] stops accepting, rejects new
+//!   jobs with `shutdown`, finishes everything in flight, and returns the
+//!   final stats snapshot.
+
+use crate::protocol::{self, WireError};
+use crate::queue::{BoundedQueue, PushRejection};
+use slap_cc::stream::RowSource;
+use slap_cc::{Connectivity, EngineKind, LabelEngine};
+use slap_image::pbm::{FramedPbmReader, PbmError, PbmRowReader};
+use slap_image::{Bitmap, LabelGrid};
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex, Once};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// A pre-compute inspection hook, called with each admitted job's bitmap
+/// on the worker thread before labeling. Tests use it to inject panics and
+/// delays; production leaves it `None`.
+pub type JobHook = Arc<dyn Fn(&Bitmap) + Send + Sync>;
+
+/// Tunable limits and behavior for a [`Server`].
+#[derive(Clone)]
+pub struct ServeConfig {
+    /// Neighbor convention applied to every job.
+    pub conn: Connectivity,
+    /// Worker threads, each holding warm engine sessions.
+    pub workers: usize,
+    /// Maximum queued jobs (items) before `queue-full`.
+    pub queue_cap: usize,
+    /// Maximum bytes of queued job state (bitmaps + reserved label output)
+    /// before `queue-full` — the memory budget.
+    pub queue_budget_bytes: usize,
+    /// Maximum rows and maximum cols per job.
+    pub max_dim: usize,
+    /// Maximum `rows × cols` per job.
+    pub max_pixels: u64,
+    /// Wall-clock budget per job, from admission to response.
+    pub deadline: Duration,
+    /// Socket read/write timeout — how long a client may stall mid-frame.
+    pub io_timeout: Duration,
+    /// Jobs at or above this many pixels run on the parallel engine;
+    /// smaller jobs take the fast sequential engine.
+    pub parallel_threshold_pixels: u64,
+    /// Threads handed to the parallel engine session.
+    pub engine_threads: usize,
+    /// Optional pre-compute hook (see [`JobHook`]).
+    pub job_hook: Option<JobHook>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            conn: Connectivity::Four,
+            workers: 2,
+            queue_cap: 64,
+            queue_budget_bytes: 256 << 20,
+            max_dim: 1 << 15,
+            max_pixels: 1 << 26,
+            deadline: Duration::from_secs(5),
+            io_timeout: Duration::from_secs(5),
+            parallel_threshold_pixels: 1 << 21,
+            engine_threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            job_hook: None,
+        }
+    }
+}
+
+impl std::fmt::Debug for ServeConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeConfig")
+            .field("conn", &self.conn)
+            .field("workers", &self.workers)
+            .field("queue_cap", &self.queue_cap)
+            .field("queue_budget_bytes", &self.queue_budget_bytes)
+            .field("max_dim", &self.max_dim)
+            .field("max_pixels", &self.max_pixels)
+            .field("deadline", &self.deadline)
+            .field("io_timeout", &self.io_timeout)
+            .field("parallel_threshold_pixels", &self.parallel_threshold_pixels)
+            .field("engine_threads", &self.engine_threads)
+            .field("job_hook", &self.job_hook.as_ref().map(|_| "<hook>"))
+            .finish()
+    }
+}
+
+macro_rules! stats_fields {
+    ($($(#[$doc:meta])* $name:ident,)*) => {
+        /// Live server counters (lock-free, updated by every thread).
+        #[derive(Debug, Default)]
+        pub struct ServerStats {
+            $($(#[$doc])* pub $name: AtomicU64,)*
+        }
+
+        /// A point-in-time copy of [`ServerStats`] plus queue high-water
+        /// marks.
+        #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+        pub struct StatsSnapshot {
+            $($(#[$doc])* pub $name: u64,)*
+            /// Most jobs queued at once.
+            pub peak_queue_depth: u64,
+            /// Most queued job bytes held at once.
+            pub peak_queue_bytes: u64,
+        }
+
+        impl ServerStats {
+            fn snapshot(&self, peaks: (usize, usize)) -> StatsSnapshot {
+                StatsSnapshot {
+                    $($name: self.$name.load(Ordering::Relaxed),)*
+                    peak_queue_depth: peaks.0 as u64,
+                    peak_queue_bytes: peaks.1 as u64,
+                }
+            }
+        }
+    };
+}
+
+stats_fields! {
+    /// Connections accepted.
+    connections,
+    /// Jobs labeled and answered `OK`.
+    jobs_ok,
+    /// `bad-frame` rejections (parse failures, garbage, truncation).
+    bad_frame,
+    /// `too-large` rejections (dimension or pixel budget).
+    too_large,
+    /// `overflow` rejections (`rows × cols` overflows label space).
+    overflow,
+    /// `queue-full` rejections (backpressure).
+    queue_full,
+    /// `deadline` rejections (expired in queue, stalled ingest, or slow
+    /// compute).
+    deadline_expired,
+    /// Jobs that panicked inside the engine (each also rebuilds a worker).
+    panics,
+    /// `shutdown` rejections during drain.
+    shutdown_rejects,
+    /// Connections dropped on raw I/O errors (reset, broken pipe, stall).
+    io_errors,
+    /// Worker engine pools rebuilt after a panic.
+    sessions_rebuilt,
+}
+
+impl ServerStats {
+    fn count_reject(&self, code: WireError) {
+        let counter = match code {
+            WireError::BadFrame => &self.bad_frame,
+            WireError::TooLarge => &self.too_large,
+            WireError::Overflow => &self.overflow,
+            WireError::QueueFull => &self.queue_full,
+            WireError::Deadline => &self.deadline_expired,
+            WireError::Panic => &self.panics,
+            WireError::Shutdown => &self.shutdown_rejects,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+impl StatsSnapshot {
+    /// Total typed rejections of every kind.
+    pub fn rejected(&self) -> u64 {
+        self.bad_frame
+            + self.too_large
+            + self.overflow
+            + self.queue_full
+            + self.deadline_expired
+            + self.panics
+            + self.shutdown_rejects
+    }
+}
+
+/// One admitted job traveling from a connection thread to a worker.
+struct Job {
+    img: Bitmap,
+    deadline: Instant,
+    resp: mpsc::SyncSender<Outcome>,
+}
+
+enum Outcome {
+    Labeled { components: usize, labels: Vec<u32> },
+    Panicked,
+    Expired,
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    queue: BoundedQueue<Job>,
+    stats: ServerStats,
+    draining: AtomicBool,
+    stopped: AtomicBool,
+    /// Each live connection's thread plus a socket handle the drain path
+    /// uses to half-close reads, waking threads parked between frames.
+    conns: Mutex<Vec<(JoinHandle<()>, Option<TcpStream>)>>,
+}
+
+/// The listening service. Dropping a `Server` without calling
+/// [`Server::shutdown`] leaks its threads; shut it down.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    watchdog: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` and starts the acceptor, worker pool, and watchdog.
+    /// Bind to port 0 for an ephemeral port ([`Server::local_addr`]).
+    pub fn bind(addr: impl ToSocketAddrs, cfg: ServeConfig) -> io::Result<Server> {
+        assert!(cfg.workers > 0, "a server needs at least one worker");
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            queue: BoundedQueue::new(cfg.queue_cap, cfg.queue_budget_bytes),
+            cfg,
+            stats: ServerStats::default(),
+            draining: AtomicBool::new(false),
+            stopped: AtomicBool::new(false),
+            conns: Mutex::new(Vec::new()),
+        });
+
+        let workers = (0..shared.cfg.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("slapd-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        let watchdog = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("slapd-watchdog".into())
+                .spawn(move || watchdog_loop(&shared))
+                .expect("spawn watchdog")
+        };
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("slapd-acceptor".into())
+                .spawn(move || acceptor_loop(&shared, listener))
+                .expect("spawn acceptor")
+        };
+
+        Ok(Server {
+            addr,
+            shared,
+            acceptor: Some(acceptor),
+            workers,
+            watchdog: Some(watchdog),
+        })
+    }
+
+    /// The bound address (useful after binding port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A live peek at the counters; the authoritative final snapshot is
+    /// the return value of [`Server::shutdown`].
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.stats.snapshot(self.shared.queue.peaks())
+    }
+
+    /// Graceful drain: stop accepting connections, answer `shutdown` to
+    /// new jobs on live connections, finish every job already admitted,
+    /// then stop all threads and return the final stats.
+    pub fn shutdown(mut self) -> StatsSnapshot {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        // Poke the blocking accept so the acceptor notices the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        // Connection threads finish their in-flight job (workers are still
+        // running) and exit; no new handles appear once the acceptor is
+        // gone. Half-closing reads wakes threads idling between frames
+        // without touching responses still being written.
+        let conns =
+            std::mem::take(&mut *self.shared.conns.lock().unwrap_or_else(|e| e.into_inner()));
+        for (h, sock) in conns {
+            if let Some(sock) = sock {
+                let _ = sock.shutdown(std::net::Shutdown::Read);
+            }
+            let _ = h.join();
+        }
+        // Now drain the queue: workers consume the backlog and exit.
+        self.shared.queue.drain();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        self.shared.stopped.store(true, Ordering::SeqCst);
+        if let Some(h) = self.watchdog.take() {
+            h.thread().unpark();
+            let _ = h.join();
+        }
+        self.shared.stats.snapshot(self.shared.queue.peaks())
+    }
+}
+
+fn acceptor_loop(shared: &Arc<Shared>, listener: TcpListener) {
+    for stream in listener.incoming() {
+        if shared.draining.load(Ordering::SeqCst) {
+            break;
+        }
+        match stream {
+            Ok(stream) => {
+                shared.stats.connections.fetch_add(1, Ordering::Relaxed);
+                let drain_sock = stream.try_clone().ok();
+                let per_conn = Arc::clone(shared);
+                match thread::Builder::new()
+                    .name("slapd-conn".into())
+                    .spawn(move || handle_conn(&per_conn, stream))
+                {
+                    Ok(handle) => {
+                        let mut conns = shared.conns.lock().unwrap_or_else(|e| e.into_inner());
+                        conns.retain(|(h, _)| !h.is_finished());
+                        conns.push((handle, drain_sock));
+                    }
+                    Err(_) => {
+                        shared.stats.io_errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            Err(_) => {
+                shared.stats.io_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Whether a framed-stream error leaves the byte stream unusable. Errors
+/// inside a fully buffered frame body (bad header, truncated raster) do
+/// not desync framing — the server answers `ERR` and reads the next frame.
+/// Prefix and transport failures do.
+fn stream_is_desynced(e: &io::Error) -> bool {
+    match PbmError::from_io(e) {
+        Some(
+            PbmError::Io(_)
+            | PbmError::TruncatedFrame { .. }
+            | PbmError::BadLengthPrefix(_)
+            | PbmError::LyingLengthPrefix { .. },
+        ) => true,
+        Some(_) => false,
+        None => true,
+    }
+}
+
+fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
+    let cfg = &shared.cfg;
+    let _ = stream.set_read_timeout(Some(cfg.io_timeout));
+    let _ = stream.set_write_timeout(Some(cfg.io_timeout));
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        shared.stats.io_errors.fetch_add(1, Ordering::Relaxed);
+        return;
+    };
+    let mut frames = FramedPbmReader::new(read_half);
+    let mut writer = io::BufWriter::new(stream);
+    let mut scratch = Vec::new();
+
+    loop {
+        match frames.next_frame() {
+            Ok(None) => break, // clean close
+            Ok(Some(frame)) => {
+                if serve_frame(shared, frame, &mut writer, &mut scratch).is_err() {
+                    shared.stats.io_errors.fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
+            }
+            Err(e) => {
+                if let Some(pe) = PbmError::from_io(&e) {
+                    let code = WireError::from_pbm(pe);
+                    shared.stats.count_reject(code);
+                    let detail = pe.to_string();
+                    let fatal = stream_is_desynced(&e);
+                    let _ = protocol::write_err(&mut writer, code, &detail);
+                    if !fatal {
+                        continue;
+                    }
+                } else if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut
+                {
+                    // The client stalled mid-frame past the I/O deadline.
+                    shared.stats.io_errors.fetch_add(1, Ordering::Relaxed);
+                    let _ = protocol::write_err(
+                        &mut writer,
+                        WireError::Deadline,
+                        "stream stalled mid-frame",
+                    );
+                } else {
+                    shared.stats.io_errors.fetch_add(1, Ordering::Relaxed);
+                }
+                break; // the byte stream is desynced; close
+            }
+        }
+    }
+    let _ = writer.flush();
+    // Send the FIN now: the drain path may still hold a clone of this
+    // socket, which would otherwise keep the connection half-open (and a
+    // well-behaved client waiting) until the next conns sweep.
+    let _ = writer.get_ref().shutdown(std::net::Shutdown::Both);
+}
+
+/// Admits, runs, and answers one parsed frame. `Err` means the response
+/// could not be written (client gone) — the connection closes.
+fn serve_frame<W: Write>(
+    shared: &Arc<Shared>,
+    mut frame: PbmRowReader<&[u8]>,
+    writer: &mut W,
+    scratch: &mut Vec<u8>,
+) -> io::Result<()> {
+    let cfg = &shared.cfg;
+    let reject = |writer: &mut W, code: WireError, detail: &str| -> io::Result<()> {
+        shared.stats.count_reject(code);
+        protocol::write_err(writer, code, detail)
+    };
+
+    let (rows, cols) = (frame.rows(), frame.cols());
+    // Admission guards, cheapest first, all before any job-sized
+    // allocation.
+    if rows > cfg.max_dim || cols > cfg.max_dim {
+        return reject(
+            writer,
+            WireError::TooLarge,
+            &format!("{rows}x{cols} exceeds max dimension {}", cfg.max_dim),
+        );
+    }
+    // max_dim caps each side well below 2^32, so this product fits in u64.
+    let pixels = rows as u64 * cols as u64;
+    if pixels >= u64::from(u32::MAX) {
+        return reject(
+            writer,
+            WireError::Overflow,
+            &format!("{rows}x{cols} overflows the u32 label space"),
+        );
+    }
+    if pixels > cfg.max_pixels {
+        return reject(
+            writer,
+            WireError::TooLarge,
+            &format!("{pixels} pixels exceeds budget {}", cfg.max_pixels),
+        );
+    }
+    if shared.draining.load(Ordering::SeqCst) {
+        return reject(writer, WireError::Shutdown, "server is draining");
+    }
+
+    // Materialize the bitmap from the buffered frame body. Failures here
+    // (truncated raster, bad pixel bytes) do not desync the frame stream.
+    let mut img = Bitmap::new(rows, cols);
+    let mut row_words = Vec::new();
+    for r in 0..rows {
+        match frame.next_row(&mut row_words) {
+            Ok(true) => img.set_row_words(r, &row_words),
+            Ok(false) => {
+                return reject(writer, WireError::BadFrame, "frame body ended early");
+            }
+            Err(e) => {
+                let detail = PbmError::from_io(&e)
+                    .map(|pe| pe.to_string())
+                    .unwrap_or_else(|| e.to_string());
+                return reject(writer, WireError::BadFrame, &detail);
+            }
+        }
+    }
+
+    // Weight = bitmap words + the label grid the worker will hand back.
+    let weight = img.as_words().len() * 8 + (pixels as usize) * 4;
+    let deadline = Instant::now() + cfg.deadline;
+    let (tx, rx) = mpsc::sync_channel(1);
+    let job = Job {
+        img,
+        deadline,
+        resp: tx,
+    };
+    match shared.queue.try_push(job, weight) {
+        Err((_, PushRejection::Full)) => {
+            return reject(writer, WireError::QueueFull, "job queue is full; retry");
+        }
+        Err((_, PushRejection::Draining)) => {
+            return reject(writer, WireError::Shutdown, "server is draining");
+        }
+        Ok(()) => {}
+    }
+
+    // Workers race the deadline; give them a grace period so their own
+    // expiry report (or the watchdog's) normally wins over this timeout.
+    let wait = cfg.deadline + cfg.deadline / 4 + Duration::from_millis(50);
+    match rx.recv_timeout(wait) {
+        Ok(Outcome::Labeled { components, labels }) => {
+            shared.stats.jobs_ok.fetch_add(1, Ordering::Relaxed);
+            protocol::write_ok(writer, rows, cols, components, &labels, scratch)
+        }
+        Ok(Outcome::Panicked) => {
+            // The worker already counted the panic; answer the client.
+            protocol::write_err(writer, WireError::Panic, "job panicked; worker rebuilt")
+        }
+        Ok(Outcome::Expired) => {
+            // The watchdog/worker already counted the expiry.
+            protocol::write_err(writer, WireError::Deadline, "job missed its deadline")
+        }
+        Err(_) => reject(writer, WireError::Deadline, "job missed its deadline"),
+    }
+}
+
+thread_local! {
+    /// True while this worker thread is inside a job's `catch_unwind`,
+    /// so the global panic hook knows to stay quiet: the panic is
+    /// contained and reported on the wire, not a server bug.
+    static IN_JOB: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+fn install_quiet_panic_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if !IN_JOB.with(|f| f.get()) {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// A worker's warm engine pool: one fast and one parallel session plus a
+/// reusable label grid, routed by job size.
+struct Engines {
+    fast: Box<dyn LabelEngine>,
+    parallel: Box<dyn LabelEngine>,
+    grid: LabelGrid,
+}
+
+impl Engines {
+    fn new(cfg: &ServeConfig) -> Engines {
+        Engines {
+            fast: EngineKind::Fast.session(1),
+            parallel: EngineKind::Parallel.session(cfg.engine_threads),
+            grid: LabelGrid::new_background(1, 1),
+        }
+    }
+
+    fn run(&mut self, cfg: &ServeConfig, img: &Bitmap) -> (usize, Vec<u32>) {
+        if let Some(hook) = &cfg.job_hook {
+            hook(img);
+        }
+        let pixels = img.rows() as u64 * img.cols() as u64;
+        if self.grid.rows() != img.rows() || self.grid.cols() != img.cols() {
+            self.grid = LabelGrid::new_background(img.rows(), img.cols());
+        }
+        let engine = if pixels >= cfg.parallel_threshold_pixels && cfg.engine_threads > 1 {
+            &mut self.parallel
+        } else {
+            &mut self.fast
+        };
+        let stats = engine.label_into(img, cfg.conn, &mut self.grid);
+        (stats.components, self.grid.as_slice().to_vec())
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    install_quiet_panic_hook();
+    let cfg = &shared.cfg;
+    let mut engines = Engines::new(cfg);
+    while let Some(job) = shared.queue.pop() {
+        if Instant::now() > job.deadline {
+            shared
+                .stats
+                .deadline_expired
+                .fetch_add(1, Ordering::Relaxed);
+            let _ = job.resp.send(Outcome::Expired);
+            continue;
+        }
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            IN_JOB.with(|f| f.set(true));
+            engines.run(cfg, &job.img)
+        }));
+        IN_JOB.with(|f| f.set(false));
+        match result {
+            Ok((components, labels)) => {
+                let _ = job.resp.send(Outcome::Labeled { components, labels });
+            }
+            Err(_) => {
+                // The engine pool may hold torn state; rebuild it.
+                shared.stats.panics.fetch_add(1, Ordering::Relaxed);
+                shared
+                    .stats
+                    .sessions_rebuilt
+                    .fetch_add(1, Ordering::Relaxed);
+                engines = Engines::new(cfg);
+                let _ = job.resp.send(Outcome::Panicked);
+            }
+        }
+    }
+}
+
+/// Sweeps the queue for jobs that expired before any worker reached them,
+/// so a saturated queue still answers `deadline` promptly instead of
+/// making clients wait out their full timeout.
+fn watchdog_loop(shared: &Arc<Shared>) {
+    let tick = (shared.cfg.deadline / 4).max(Duration::from_millis(5));
+    while !shared.stopped.load(Ordering::SeqCst) {
+        let now = Instant::now();
+        shared.queue.reject_if(
+            |job| now > job.deadline,
+            |job| {
+                shared
+                    .stats
+                    .deadline_expired
+                    .fetch_add(1, Ordering::Relaxed);
+                let _ = job.resp.send(Outcome::Expired);
+            },
+        );
+        thread::park_timeout(tick);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Response;
+    use slap_image::pbm;
+    use std::io::BufReader;
+
+    fn test_cfg() -> ServeConfig {
+        ServeConfig {
+            workers: 2,
+            deadline: Duration::from_millis(500),
+            io_timeout: Duration::from_millis(500),
+            ..ServeConfig::default()
+        }
+    }
+
+    fn checker(rows: usize, cols: usize) -> Bitmap {
+        let mut img = Bitmap::new(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                if (r + c) % 2 == 0 {
+                    img.set(r, c, true);
+                }
+            }
+        }
+        img
+    }
+
+    fn roundtrip_one(addr: SocketAddr, img: &Bitmap) -> Response {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        pbm::write_framed(img, &mut stream).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        protocol::read_response(&mut reader).unwrap().unwrap()
+    }
+
+    #[test]
+    fn labels_match_the_fast_engine_bit_for_bit() {
+        let server = Server::bind("127.0.0.1:0", test_cfg()).unwrap();
+        let img = checker(17, 41);
+        let resp = roundtrip_one(server.local_addr(), &img);
+        let Response::Ok(ok) = resp else {
+            panic!("expected OK, got {resp:?}");
+        };
+        let mut grid = LabelGrid::new_background(17, 41);
+        let mut session = EngineKind::Fast.session(1);
+        let stats = session.label_into(&img, Connectivity::Four, &mut grid);
+        assert_eq!(ok.components, stats.components);
+        assert_eq!(ok.labels, grid.as_slice());
+        let final_stats = server.shutdown();
+        assert_eq!(final_stats.jobs_ok, 1);
+        assert_eq!(final_stats.rejected(), 0);
+    }
+
+    #[test]
+    fn oversized_dims_get_typed_rejections_without_allocation() {
+        let cfg = ServeConfig {
+            max_dim: 64,
+            max_pixels: 1 << 10,
+            ..test_cfg()
+        };
+        let server = Server::bind("127.0.0.1:0", cfg).unwrap();
+        let addr = server.local_addr();
+
+        // Over max_dim: reject before reading the raster.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let body = b"P4\n100000 2\n".to_vec();
+        stream
+            .write_all(format!("{}\n", body.len()).as_bytes())
+            .unwrap();
+        stream.write_all(&body).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        match protocol::read_response(&mut reader).unwrap().unwrap() {
+            Response::Rejected { code, .. } => assert_eq!(code, WireError::TooLarge),
+            other => panic!("expected too-large, got {other:?}"),
+        }
+        // Over max_pixels but under max_dim.
+        let body = b"P4\n64 64\n".to_vec();
+        stream
+            .write_all(format!("{}\n", body.len()).as_bytes())
+            .unwrap();
+        stream.write_all(&body).unwrap();
+        match protocol::read_response(&mut reader).unwrap().unwrap() {
+            Response::Rejected { code, .. } => assert_eq!(code, WireError::TooLarge),
+            other => panic!("expected too-large, got {other:?}"),
+        }
+        // The connection is still healthy after both rejections.
+        let img = checker(8, 8);
+        pbm::write_framed(&img, &mut stream).unwrap();
+        assert!(matches!(
+            protocol::read_response(&mut reader).unwrap().unwrap(),
+            Response::Ok(_)
+        ));
+        let stats = server.shutdown();
+        assert_eq!(stats.too_large, 2);
+        assert_eq!(stats.jobs_ok, 1);
+    }
+
+    #[test]
+    fn a_panicking_job_is_isolated_and_the_server_keeps_serving() {
+        let cfg = ServeConfig {
+            job_hook: Some(Arc::new(|img: &Bitmap| {
+                assert!(img.rows() != 13, "chaos hook: unlucky height");
+            })),
+            ..test_cfg()
+        };
+        let server = Server::bind("127.0.0.1:0", cfg).unwrap();
+        let addr = server.local_addr();
+        match roundtrip_one(addr, &checker(13, 8)) {
+            Response::Rejected { code, .. } => assert_eq!(code, WireError::Panic),
+            other => panic!("expected panic rejection, got {other:?}"),
+        }
+        // Same server, next job is fine.
+        assert!(matches!(
+            roundtrip_one(addr, &checker(12, 8)),
+            Response::Ok(_)
+        ));
+        let stats = server.shutdown();
+        assert_eq!(stats.panics, 1);
+        assert_eq!(stats.sessions_rebuilt, 1);
+        assert_eq!(stats.jobs_ok, 1);
+    }
+
+    #[test]
+    fn shutdown_drains_and_reports_rejections() {
+        let server = Server::bind("127.0.0.1:0", test_cfg()).unwrap();
+        let addr = server.local_addr();
+        assert!(matches!(
+            roundtrip_one(addr, &checker(9, 9)),
+            Response::Ok(_)
+        ));
+        let stats = server.shutdown();
+        assert_eq!(stats.jobs_ok, 1);
+        assert_eq!(stats.connections, 1);
+        // The listener is gone: connecting is refused, never a hang.
+        assert!(TcpStream::connect(addr).is_err());
+    }
+}

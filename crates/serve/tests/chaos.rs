@@ -1,0 +1,382 @@
+//! The fault-injection suite: `slapd` under six classes of hostile I/O.
+//!
+//! Every test drives a real server over real sockets through the seeded
+//! [`slap_serve::chaos`] scripts and asserts the robustness contract:
+//! the server never crashes, corrupted inputs get typed rejections (or a
+//! clean close), healthy jobs keep answering bit-identically to the fast
+//! engine throughout, backpressure and deadlines fire as typed codes, and
+//! shutdown drains gracefully under load.
+
+use slap_cc::{Connectivity, EngineKind};
+use slap_image::{pbm, Bitmap, LabelGrid};
+use slap_serve::chaos::{ChaosTransport, Delivery, FaultClass, FaultyStream};
+use slap_serve::client::{Client, RetryPolicy};
+use slap_serve::protocol::{self, Response, WireError};
+use slap_serve::server::{ServeConfig, Server};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// A non-trivial test image with a known-good labeling.
+fn spiral(rows: usize, cols: usize) -> Bitmap {
+    let mut img = Bitmap::new(rows, cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if (r * c) % 7 == 0 || r % 5 == 0 {
+                img.set(r, c, true);
+            }
+        }
+    }
+    img
+}
+
+/// The fast engine's answer, the bit-identical oracle for every healthy
+/// job in this suite.
+fn oracle(img: &Bitmap) -> (usize, Vec<u32>) {
+    let mut grid = LabelGrid::new_background(img.rows(), img.cols());
+    let stats = EngineKind::Fast
+        .session(1)
+        .label_into(img, Connectivity::Four, &mut grid);
+    (stats.components, grid.as_slice().to_vec())
+}
+
+fn chaos_cfg() -> ServeConfig {
+    ServeConfig {
+        workers: 2,
+        deadline: Duration::from_secs(2),
+        io_timeout: Duration::from_millis(200),
+        ..ServeConfig::default()
+    }
+}
+
+/// Sends one healthy job over a fresh connection and asserts the reply is
+/// bit-identical to the fast engine.
+fn assert_healthy(addr: SocketAddr, img: &Bitmap) {
+    let mut stream = TcpStream::connect(addr).expect("server must accept");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    pbm::write_framed(img, &mut stream).expect("server must read");
+    let mut reader = BufReader::new(stream);
+    let resp = protocol::read_response(&mut reader)
+        .expect("server must answer")
+        .expect("server must not close on a healthy job");
+    let (components, labels) = oracle(img);
+    match resp {
+        Response::Ok(ok) => {
+            assert_eq!(ok.rows, img.rows());
+            assert_eq!(ok.cols, img.cols());
+            assert_eq!(ok.components, components, "component count diverged");
+            assert_eq!(ok.labels, labels, "labels diverged from the fast engine");
+        }
+        other => panic!("healthy job rejected: {other:?}"),
+    }
+}
+
+/// Reads responses until the server closes (or resets) the connection.
+fn read_responses_until_close<R: std::io::Read>(stream: R) -> Vec<Response> {
+    let mut reader = BufReader::new(stream);
+    let mut out = Vec::new();
+    loop {
+        match protocol::read_response(&mut reader) {
+            Ok(Some(resp)) => out.push(resp),
+            Ok(None) => break, // clean close
+            Err(_) => break,   // reset / desync after corruption: acceptable
+        }
+    }
+    out
+}
+
+/// The core contract: for every fault class and several seeds, inject a
+/// corrupted job, then prove the server is still healthy. Corrupted
+/// deliveries must never produce an `OK`, and any response they do
+/// produce must be a typed `ERR`.
+#[test]
+fn server_survives_all_six_fault_classes() {
+    let server = Server::bind("127.0.0.1:0", chaos_cfg()).unwrap();
+    let addr = server.local_addr();
+    let img = spiral(23, 57);
+    let mut frame = Vec::new();
+    pbm::write_framed(&img, &mut frame).unwrap();
+    let stall = Duration::from_millis(500); // past the 200ms io_timeout
+    let (components, labels) = oracle(&img);
+
+    for class in FaultClass::ALL {
+        for seed in 1..=3u64 {
+            let raw = TcpStream::connect(addr).expect("accept during chaos");
+            raw.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+            let mut faulty = FaultyStream::new(raw, class, seed);
+            let delivery = faulty
+                .send_job(&frame, stall)
+                .unwrap_or(Delivery::Corrupted); // write to a reset peer is fine
+            let _ = faulty.get_mut().close_write();
+            let responses = read_responses_until_close(faulty);
+            match delivery {
+                Delivery::Intact => {
+                    // Hostile pacing, whole frame: the job must succeed.
+                    assert_eq!(responses.len(), 1, "{class}/{seed}: one job, one response");
+                    match &responses[0] {
+                        Response::Ok(ok) => {
+                            assert_eq!(ok.components, components);
+                            assert_eq!(ok.labels, labels);
+                        }
+                        other => panic!("{class}/{seed}: intact job rejected: {other:?}"),
+                    }
+                }
+                Delivery::Corrupted => {
+                    for resp in &responses {
+                        match resp {
+                            Response::Rejected { code, .. } => assert!(
+                                matches!(code, WireError::BadFrame | WireError::Deadline),
+                                "{class}/{seed}: unexpected code {code}"
+                            ),
+                            Response::Ok(_) => {
+                                panic!("{class}/{seed}: corrupted frame answered OK")
+                            }
+                        }
+                    }
+                }
+            }
+            // The server is still alive and still exact.
+            assert_healthy(addr, &img);
+        }
+    }
+
+    let stats = server.shutdown();
+    // One healthy probe per injection plus the three intact short-ops
+    // deliveries.
+    assert_eq!(stats.jobs_ok, 6 * 3 + 3, "healthy jobs served throughout");
+    assert!(
+        stats.bad_frame > 0,
+        "corrupted frames must surface as typed bad-frame rejections"
+    );
+    assert_eq!(stats.panics, 0);
+}
+
+/// Healthy traffic keeps flowing *concurrently* while faults are being
+/// injected, not just between injections.
+#[test]
+fn healthy_jobs_answer_while_chaos_runs() {
+    let server = Server::bind("127.0.0.1:0", chaos_cfg()).unwrap();
+    let addr = server.local_addr();
+    let ok_count = Arc::new(AtomicU64::new(0));
+
+    let clients: Vec<_> = (0..2)
+        .map(|i| {
+            let ok_count = Arc::clone(&ok_count);
+            thread::spawn(move || {
+                let img = spiral(19 + i, 40 + 3 * i);
+                let (components, labels) = oracle(&img);
+                let mut client = Client::with_policy(
+                    addr,
+                    RetryPolicy {
+                        base_delay: Duration::from_millis(5),
+                        ..RetryPolicy::default()
+                    },
+                );
+                for _ in 0..15 {
+                    let ok = client.label(&img).expect("healthy job during chaos");
+                    assert_eq!(ok.components, components);
+                    assert_eq!(ok.labels, labels, "labels diverged under chaos");
+                    ok_count.fetch_add(1, Ordering::Relaxed);
+                }
+            })
+        })
+        .collect();
+
+    let img = spiral(23, 57);
+    let mut frame = Vec::new();
+    pbm::write_framed(&img, &mut frame).unwrap();
+    for round in 0..2u64 {
+        for class in FaultClass::ALL {
+            if class == FaultClass::Stall {
+                continue; // covered above; keeps this test fast
+            }
+            let raw = TcpStream::connect(addr).unwrap();
+            raw.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+            let mut faulty = FaultyStream::new(raw, class, 100 + round);
+            let _ = faulty.send_job(&frame, Duration::from_millis(1));
+            let _ = faulty.get_mut().close_write();
+            let _ = read_responses_until_close(faulty);
+        }
+    }
+
+    for c in clients {
+        c.join().expect("client thread must not panic");
+    }
+    let stats = server.shutdown();
+    assert_eq!(ok_count.load(Ordering::Relaxed), 30);
+    assert!(stats.jobs_ok >= 30);
+}
+
+/// A full queue answers `queue-full` immediately instead of buffering
+/// without bound; the server keeps serving afterwards.
+#[test]
+fn backpressure_rejects_typed_when_the_queue_is_full() {
+    let cfg = ServeConfig {
+        workers: 1,
+        queue_cap: 1,
+        deadline: Duration::from_secs(5),
+        io_timeout: Duration::from_secs(2),
+        job_hook: Some(Arc::new(|_img| thread::sleep(Duration::from_millis(300)))),
+        ..ServeConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", cfg).unwrap();
+    let addr = server.local_addr();
+    let img = spiral(10, 10);
+
+    let attempts: Vec<_> = (0..6)
+        .map(|_| {
+            let img = img.clone();
+            thread::spawn(move || {
+                let mut stream = TcpStream::connect(addr).unwrap();
+                stream
+                    .set_read_timeout(Some(Duration::from_secs(10)))
+                    .unwrap();
+                pbm::write_framed(&img, &mut stream).unwrap();
+                let mut reader = BufReader::new(stream);
+                protocol::read_response(&mut reader).unwrap().unwrap()
+            })
+        })
+        .collect();
+    let outcomes: Vec<Response> = attempts.into_iter().map(|h| h.join().unwrap()).collect();
+
+    let oks = outcomes
+        .iter()
+        .filter(|r| matches!(r, Response::Ok(_)))
+        .count();
+    let full = outcomes
+        .iter()
+        .filter(|r| {
+            matches!(
+                r,
+                Response::Rejected {
+                    code: WireError::QueueFull,
+                    ..
+                }
+            )
+        })
+        .count();
+    assert!(oks >= 1, "the worker must make progress under load");
+    assert!(full >= 1, "overload must surface as typed queue-full");
+    assert_eq!(oks + full, outcomes.len(), "no other outcome is acceptable");
+
+    // Pressure released: the same server serves again.
+    assert_healthy(addr, &img);
+    let stats = server.shutdown();
+    assert_eq!(stats.queue_full as usize, full);
+    let budget = stats.peak_queue_bytes;
+    assert!(budget > 0 && stats.peak_queue_depth <= 1);
+}
+
+/// Jobs that cannot meet their wall-clock deadline answer `deadline`:
+/// both the slow-compute path and the expired-in-queue (watchdog) path.
+#[test]
+fn deadlines_expire_slow_and_queued_jobs() {
+    let cfg = ServeConfig {
+        workers: 1,
+        deadline: Duration::from_millis(150),
+        io_timeout: Duration::from_secs(2),
+        job_hook: Some(Arc::new(|_img| thread::sleep(Duration::from_millis(500)))),
+        ..ServeConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", cfg).unwrap();
+    let addr = server.local_addr();
+    let img = spiral(8, 8);
+
+    // Two jobs race for one slow worker: the first blows its deadline in
+    // compute, the second expires in the queue (swept by the watchdog).
+    let racers: Vec<_> = (0..2)
+        .map(|_| {
+            let img = img.clone();
+            thread::spawn(move || {
+                let mut stream = TcpStream::connect(addr).unwrap();
+                stream
+                    .set_read_timeout(Some(Duration::from_secs(10)))
+                    .unwrap();
+                pbm::write_framed(&img, &mut stream).unwrap();
+                let mut reader = BufReader::new(stream);
+                protocol::read_response(&mut reader).unwrap().unwrap()
+            })
+        })
+        .collect();
+    for h in racers {
+        match h.join().unwrap() {
+            Response::Rejected { code, .. } => assert_eq!(code, WireError::Deadline),
+            other => panic!("expected deadline rejection, got {other:?}"),
+        }
+    }
+    let stats = server.shutdown();
+    assert!(
+        stats.deadline_expired >= 2,
+        "both paths must count: got {}",
+        stats.deadline_expired
+    );
+    assert_eq!(stats.jobs_ok, 0);
+}
+
+/// Shutdown under live load: in-flight jobs finish and answer, new work
+/// is refused, every client thread terminates, and the counters balance.
+#[test]
+fn graceful_drain_finishes_in_flight_work() {
+    let cfg = ServeConfig {
+        workers: 2,
+        deadline: Duration::from_secs(5),
+        io_timeout: Duration::from_millis(500),
+        job_hook: Some(Arc::new(|_img| thread::sleep(Duration::from_millis(20)))),
+        ..ServeConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", cfg).unwrap();
+    let addr = server.local_addr();
+    let client_oks = Arc::new(AtomicU64::new(0));
+
+    let clients: Vec<_> = (0..4)
+        .map(|i| {
+            let client_oks = Arc::clone(&client_oks);
+            thread::spawn(move || {
+                let img = spiral(12 + i, 30);
+                let (components, labels) = oracle(&img);
+                loop {
+                    let Ok(mut stream) = TcpStream::connect(addr) else {
+                        break; // listener is gone: drain reached us
+                    };
+                    stream
+                        .set_read_timeout(Some(Duration::from_secs(10)))
+                        .unwrap();
+                    if pbm::write_framed(&img, &mut stream).is_err() {
+                        break;
+                    }
+                    let mut reader = BufReader::new(stream);
+                    match protocol::read_response(&mut reader) {
+                        Ok(Some(Response::Ok(ok))) => {
+                            assert_eq!(ok.components, components);
+                            assert_eq!(ok.labels, labels);
+                            client_oks.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Ok(Some(Response::Rejected { code, .. })) => {
+                            assert_eq!(code, WireError::Shutdown, "only drain rejects here");
+                            break;
+                        }
+                        Ok(None) | Err(_) => break, // connection drained away
+                    }
+                }
+            })
+        })
+        .collect();
+
+    thread::sleep(Duration::from_millis(250)); // let load build
+    let stats = server.shutdown(); // must return despite live clients
+    for c in clients {
+        c.join().expect("client threads must all terminate");
+    }
+    let observed = client_oks.load(Ordering::Relaxed);
+    assert!(observed > 0, "work must have flowed before the drain");
+    assert_eq!(
+        stats.jobs_ok, observed,
+        "every job the server counted was answered to a client"
+    );
+    assert_eq!(stats.panics, 0);
+}

@@ -1,0 +1,95 @@
+//! In-process tour of the `slapd` labeling service.
+//!
+//! ```sh
+//! cargo run --release --example serve_roundtrip -- [workload] [n] [jobs]
+//! # e.g.
+//! cargo run --release --example serve_roundtrip -- random50 512 16
+//! ```
+//!
+//! Binds a real `slapd` on an ephemeral port, then exercises the whole
+//! service contract from a [`slap_serve::Client`] over real sockets:
+//!
+//! * **healthy jobs** — a batch of frames labeled over one pooled
+//!   connection, each reply verified bit-identical to the fast engine;
+//! * **typed rejections** — an over-budget frame answered with the
+//!   `too-large` wire code, not a dropped connection;
+//! * **fault tolerance** — a garbage blob fired at the port while healthy
+//!   jobs keep flowing;
+//! * **graceful drain** — shutdown returns the final stats ledger, which
+//!   the example prints.
+
+use slap_repro::cc::engine::EngineKind;
+use slap_repro::image::{gen, Connectivity, LabelGrid};
+use slap_repro::serve::{Client, ClientError, ServeConfig, Server, WireError};
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let workload = args.first().map(String::as_str).unwrap_or("random50");
+    let n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(512);
+    let jobs: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(16);
+
+    let cfg = ServeConfig {
+        workers: 2,
+        max_pixels: 1 << 24,
+        ..ServeConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", cfg).expect("bind slapd");
+    let addr = server.local_addr();
+    println!("slapd on {addr}: {jobs} x {workload} {n}x{n} jobs\n");
+
+    // Healthy traffic: one pooled connection, bit-identical replies.
+    let mut client = Client::connect(addr);
+    let mut oracle_session = EngineKind::Fast.session(1);
+    let mut oracle_grid = LabelGrid::new_background(1, 1);
+    let t0 = Instant::now();
+    for seed in 0..jobs as u64 {
+        let img = gen::by_name(workload, n, seed).expect("workload");
+        let ok = client.label(&img).expect("healthy job");
+        if oracle_grid.rows() != n || oracle_grid.cols() != n {
+            oracle_grid = LabelGrid::new_background(img.rows(), img.cols());
+        }
+        let stats = oracle_session.label_into(&img, Connectivity::Four, &mut oracle_grid);
+        assert_eq!(ok.components, stats.components, "component count diverged");
+        assert_eq!(ok.labels, oracle_grid.as_slice(), "labels diverged");
+    }
+    let dt = t0.elapsed();
+    println!(
+        "{jobs} job(s) ok, every reply bit-identical to the fast engine \
+         ({:.1} jobs/s, {} retry(ies))",
+        jobs as f64 / dt.as_secs_f64(),
+        client.retries(),
+    );
+
+    // A job over the pixel budget comes back as a typed verdict.
+    let big = gen::by_name(workload, 1 << 13, 99).expect("workload");
+    match client.label(&big) {
+        Err(ClientError::Rejected { code, detail }) => {
+            assert_eq!(code, WireError::TooLarge);
+            println!("oversized job rejected with `{code}`: {detail}");
+        }
+        other => panic!("expected a too-large rejection, got {other:?}"),
+    }
+
+    // Garbage on the wire never takes the service down.
+    let mut vandal = TcpStream::connect(addr).expect("connect");
+    let _ = vandal.write_all(b"!! this was never a frame !!");
+    drop(vandal);
+    let img = gen::by_name(workload, n, 7).expect("workload");
+    client.label(&img).expect("healthy job right after garbage");
+    println!("garbage bytes absorbed; the next healthy job still answered");
+
+    drop(client);
+    let stats = server.shutdown();
+    println!(
+        "\ndrained: {} connection(s), {} ok, {} typed rejection(s) \
+         (too-large {}, bad-frame {}), 0 crashes by construction",
+        stats.connections,
+        stats.jobs_ok,
+        stats.rejected(),
+        stats.too_large,
+        stats.bad_frame,
+    );
+}

@@ -23,6 +23,15 @@
 //!                                           #   --framed: length-prefixed
 //!                                           #   multi-image P4 ingest
 //! slap compare <workload> <n> [seed]        # CC vs baselines step counts
+//! slap serve [--addr H:P] [--conn 4|8]      # slapd: fault-tolerant TCP
+//!            [--workers N] [--queue-cap N]  #   labeling service; bounded
+//!            [--queue-budget-mb N]          #   queue, deadlines, panic
+//!            [--max-dim N] [--max-pixels N] #   isolation; SIGINT/SIGTERM
+//!            [--deadline-ms N] [--threads N]#   drains gracefully and
+//!            [--io-timeout-ms N]            #   prints final stats
+//! slap client [--addr H:P] [--attempts N]   # submit PBM jobs to slapd with
+//!             [--base-delay-ms N] [f ...]   #   retry/backoff (stdin if no
+//!                                           #   files)
 //! slap workloads                            # list generators + engines
 //! ```
 //!
@@ -41,8 +50,10 @@ use slap_repro::image::{
     StreamLabeler,
 };
 use slap_repro::machine::render_gantt;
+use slap_repro::serve::{Client, ClientError, RetryPolicy, ServeConfig, Server};
 use slap_repro::unionfind::{TarjanUf, UfKind};
 use std::io::Read;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -237,6 +248,8 @@ fn main() {
                 "hypercube S-V [5]-style", hr.rounds, hr.pes
             );
         }
+        "serve" => serve_cmd(&mut rest, conn, threads),
+        "client" => client_cmd(&mut rest),
         "workloads" => {
             for w in gen::WORKLOADS {
                 println!("{w}");
@@ -251,6 +264,174 @@ fn main() {
             }
         }
         _ => usage(),
+    }
+}
+
+/// Parses a required-positive-integer flag value.
+fn take_num<T: std::str::FromStr + PartialOrd + From<u8>>(
+    rest: &mut Vec<&str>,
+    flag: &str,
+) -> Option<T> {
+    take_flag(rest, flag).map(|v| {
+        v.parse::<T>()
+            .ok()
+            .filter(|n| *n >= T::from(1u8))
+            .unwrap_or_else(|| die(&format!("{flag} needs a positive integer, got {v:?}")))
+    })
+}
+
+/// Arms SIGINT/SIGTERM to request a graceful drain. Returns the flag the
+/// serve loop polls. Uses the raw C `signal(2)` entry point (libc is
+/// always linked by std on this target) so the binary stays free of
+/// external crates.
+fn arm_drain_signals() -> &'static AtomicBool {
+    static DRAIN: AtomicBool = AtomicBool::new(false);
+    extern "C" fn on_signal(_sig: i32) {
+        DRAIN.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> isize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_signal);
+        signal(SIGTERM, on_signal);
+    }
+    &DRAIN
+}
+
+/// `slap serve`: runs slapd until SIGINT/SIGTERM, then drains gracefully
+/// (stop accepting, finish in-flight jobs) and prints the final stats.
+fn serve_cmd(rest: &mut Vec<&str>, conn: Connectivity, threads: Option<usize>) {
+    let addr = take_flag(rest, "--addr").unwrap_or("127.0.0.1:7154");
+    let mut cfg = ServeConfig {
+        conn,
+        ..ServeConfig::default()
+    };
+    if let Some(t) = threads {
+        cfg.engine_threads = t;
+    }
+    if let Some(n) = take_num::<usize>(rest, "--workers") {
+        cfg.workers = n;
+    }
+    if let Some(n) = take_num::<usize>(rest, "--queue-cap") {
+        cfg.queue_cap = n;
+    }
+    if let Some(n) = take_num::<usize>(rest, "--queue-budget-mb") {
+        cfg.queue_budget_bytes = n << 20;
+    }
+    if let Some(n) = take_num::<usize>(rest, "--max-dim") {
+        cfg.max_dim = n;
+    }
+    if let Some(n) = take_num::<u64>(rest, "--max-pixels") {
+        cfg.max_pixels = n;
+    }
+    if let Some(ms) = take_num::<u64>(rest, "--deadline-ms") {
+        cfg.deadline = std::time::Duration::from_millis(ms);
+    }
+    if let Some(ms) = take_num::<u64>(rest, "--io-timeout-ms") {
+        cfg.io_timeout = std::time::Duration::from_millis(ms);
+    }
+    if !rest.is_empty() {
+        die(&format!(
+            "serve does not take positional arguments: {rest:?}"
+        ));
+    }
+    let drain = arm_drain_signals();
+    let server =
+        Server::bind(addr, cfg.clone()).unwrap_or_else(|e| die(&format!("bind {addr}: {e}")));
+    eprintln!(
+        "slapd listening on {} ({} worker(s), queue {} job(s) / {} MiB, \
+         deadline {} ms, {conn}); SIGINT/SIGTERM drains",
+        server.local_addr(),
+        cfg.workers,
+        cfg.queue_cap,
+        cfg.queue_budget_bytes >> 20,
+        cfg.deadline.as_millis(),
+    );
+    while !drain.load(Ordering::SeqCst) {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    eprintln!("slapd draining: no new connections, finishing in-flight jobs...");
+    let stats = server.shutdown();
+    eprintln!(
+        "slapd drained. {} connection(s), {} job(s) ok, {} rejection(s) \
+         [bad-frame {}, too-large {}, overflow {}, queue-full {}, deadline {}, \
+         panic {}, shutdown {}], {} io error(s), {} session rebuild(s), \
+         peak queue {} job(s) / {} byte(s)",
+        stats.connections,
+        stats.jobs_ok,
+        stats.rejected(),
+        stats.bad_frame,
+        stats.too_large,
+        stats.overflow,
+        stats.queue_full,
+        stats.deadline_expired,
+        stats.panics,
+        stats.shutdown_rejects,
+        stats.io_errors,
+        stats.sessions_rebuilt,
+        stats.peak_queue_depth,
+        stats.peak_queue_bytes,
+    );
+}
+
+/// `slap client`: submits each PBM (stdin when no files are given) to a
+/// running slapd with retry/backoff, printing one summary line per job.
+fn client_cmd(rest: &mut Vec<&str>) {
+    let addr_str = take_flag(rest, "--addr").unwrap_or("127.0.0.1:7154");
+    let addr = std::net::ToSocketAddrs::to_socket_addrs(addr_str)
+        .ok()
+        .and_then(|mut a| a.next())
+        .unwrap_or_else(|| die(&format!("cannot resolve {addr_str:?}")));
+    let mut policy = RetryPolicy::default();
+    if let Some(n) = take_num::<u32>(rest, "--attempts") {
+        policy.max_attempts = n;
+    }
+    if let Some(ms) = take_num::<u64>(rest, "--base-delay-ms") {
+        policy.base_delay = std::time::Duration::from_millis(ms);
+    }
+    let mut client = Client::with_policy(addr, policy);
+    let jobs: Vec<(String, Bitmap)> = if rest.is_empty() {
+        let mut buf = Vec::new();
+        std::io::stdin().read_to_end(&mut buf).expect("read stdin");
+        let img = pbm::read(&buf[..]).unwrap_or_else(|e| die(&format!("parse stdin: {e}")));
+        vec![("stdin".to_string(), img)]
+    } else {
+        rest.iter()
+            .map(|path| {
+                let f =
+                    std::fs::File::open(path).unwrap_or_else(|e| die(&format!("open {path}: {e}")));
+                let img = pbm::read(f).unwrap_or_else(|e| die(&format!("parse {path}: {e}")));
+                (path.to_string(), img)
+            })
+            .collect()
+    };
+    let mut failed = false;
+    for (name, img) in &jobs {
+        let t0 = std::time::Instant::now();
+        match client.label(img) {
+            Ok(ok) => println!(
+                "{name}: {}x{}, {} component(s), {:.3} ms ({} retry(ies) so far)",
+                ok.rows,
+                ok.cols,
+                ok.components,
+                t0.elapsed().as_secs_f64() * 1e3,
+                client.retries(),
+            ),
+            Err(ClientError::Rejected { code, detail }) => {
+                eprintln!("{name}: rejected ({code}): {detail}");
+                failed = true;
+            }
+            Err(e) => {
+                eprintln!("{name}: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
     }
 }
 
@@ -614,6 +795,9 @@ fn usage() -> ! {
          slap features [--conn 4|8] [--engine E] [--threads N] [file.pbm]\n  \
          slap stream [--conn 4|8] [--framed] [file.pbm]\n  \
          slap compare [--uf KIND] [--conn 4|8] <workload> <n> [seed]\n  \
+         slap serve [--addr H:P] [--conn 4|8] [--workers N] [--queue-cap N] [--queue-budget-mb N]\n             \
+         [--max-dim N] [--max-pixels N] [--deadline-ms N] [--io-timeout-ms N] [--threads N]\n  \
+         slap client [--addr H:P] [--attempts N] [--base-delay-ms N] [file.pbm ...]\n  \
          slap workloads\n\
          (--engine: one of {}; see `slap workloads`)",
         engines.join("|")

@@ -7,4 +7,5 @@ pub use slap_baselines as baselines;
 pub use slap_cc as cc;
 pub use slap_image as image;
 pub use slap_machine as machine;
+pub use slap_serve as serve;
 pub use slap_unionfind as unionfind;

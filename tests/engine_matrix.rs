@@ -10,7 +10,9 @@
 //! simultaneously proves the no-state-leak contract of warm sessions.
 
 use slap_repro::cc::engine::{registry, EngineKind, LabelEngine};
+use slap_repro::image::pbm::{PbmError, PbmRowReader};
 use slap_repro::image::{gen, BfsOracle, Bitmap, Connectivity, LabelGrid};
+use slap_repro::serve::WireError;
 
 /// Thread counts exercised for multithreaded engines (sequential engines run
 /// once, at their implicit 1).
@@ -123,6 +125,48 @@ fn tiled_engine_is_bit_identical_across_tile_shapes() {
                 &format!("tiled {tiles_y}x{tiles_x}@{t}"),
             );
         }
+    }
+}
+
+#[test]
+fn poisoned_inputs_are_rejected_before_any_engine_runs() {
+    // The matrix above only ever sees images the reader gate admitted. This
+    // is the other half of that contract: poisoned headers — zero-width,
+    // zero-height, dimensions whose product overflows, non-numeric tokens —
+    // must die at `PbmRowReader::new` with a *typed* error, so no registered
+    // engine (and no `slapd` worker) can ever be handed an unrepresentable
+    // raster. Each row also pins the wire code the service answers with.
+    let poisoned: &[(&str, &[u8], WireError)] = &[
+        ("zero width", b"P4\n0 5\n", WireError::BadFrame),
+        ("zero height", b"P4\n5 0\n", WireError::BadFrame),
+        ("zero both", b"P1\n0 0\n", WireError::BadFrame),
+        (
+            "absurd dims (rows*cols overflows usize)",
+            b"P4\n9999999999 9999999999\n",
+            WireError::Overflow,
+        ),
+        ("non-numeric width", b"P4\nwide 5\n", WireError::BadFrame),
+        ("negative height", b"P1\n5 -5\n", WireError::BadFrame),
+    ];
+    for &(what, bytes, wire) in poisoned {
+        let err = match PbmRowReader::new(bytes) {
+            Err(e) => e,
+            Ok(rd) => panic!(
+                "{what}: reader admitted a {}x{} poisoned header",
+                rd.rows(),
+                rd.cols()
+            ),
+        };
+        let pbm =
+            PbmError::from_io(&err).unwrap_or_else(|| panic!("{what}: untyped io error {err}"));
+        match pbm {
+            PbmError::ZeroDim { .. }
+            | PbmError::DimsOverflow { .. }
+            | PbmError::BadDim { .. }
+            | PbmError::TruncatedHeader => {}
+            other => panic!("{what}: unexpected rejection {other}"),
+        }
+        assert_eq!(WireError::from_pbm(pbm), wire, "{what}: wire code");
     }
 }
 
