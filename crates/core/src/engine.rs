@@ -31,7 +31,7 @@
 
 use slap_image::fast::{FastLabeler, ParallelLabeler, TiledLabeler};
 use slap_image::stream::StreamGridLabeler;
-use slap_image::{BfsOracle, Bitmap, Connectivity, LabelGrid};
+use slap_image::{BfsOracle, Bitmap, Connectivity, LabelGrid, TileStats};
 
 /// What one [`LabelEngine::label_into`] call observed. Cheap to produce
 /// (derived from state the engines already maintain) and uniform across
@@ -51,6 +51,11 @@ pub struct EngineStats {
     /// Peak carried band-boundary state observed (out-of-core band
     /// scheduling only; `0` for single-pass engines).
     pub peak_carried_runs: usize,
+    /// Coarse word × 2-row tile classification counts from the block-based
+    /// first pass (run-based engines only; all-zero for the pixel-probing
+    /// oracle and the streaming engine, which scan no tiles). For the
+    /// engines that do, `tiles.total() == words_per_row × rows`.
+    pub tiles: TileStats,
 }
 
 /// A persistent labeling session: the unified interface over every host
@@ -115,6 +120,7 @@ impl LabelEngine for BfsSession {
             threads: 1,
             peak_frontier_runs: 0,
             peak_carried_runs: 0,
+            tiles: TileStats::default(),
         }
     }
 
@@ -150,6 +156,7 @@ impl LabelEngine for FastSession {
             threads: 1,
             peak_frontier_runs: 0,
             peak_carried_runs: 0,
+            tiles: self.labeler.last_tile_stats(),
         }
     }
 
@@ -188,6 +195,7 @@ impl LabelEngine for ParallelSession {
             threads: self.labeler.threads(),
             peak_frontier_runs: 0,
             peak_carried_runs: 0,
+            tiles: self.labeler.last_tile_stats(),
         }
     }
 
@@ -233,6 +241,7 @@ impl LabelEngine for TiledSession {
             threads: self.labeler.threads(),
             peak_frontier_runs: 0,
             peak_carried_runs: 0,
+            tiles: self.labeler.last_tile_stats(),
         }
     }
 
@@ -275,6 +284,7 @@ impl LabelEngine for StreamSession {
             threads: 1,
             peak_frontier_runs: self.labeler.last_stats().peak_frontier_runs,
             peak_carried_runs: 0,
+            tiles: TileStats::default(),
         }
     }
 

@@ -135,13 +135,30 @@ pub fn dilate_words_into(src: &[u64], bits: usize, dst: &mut Vec<u64>) {
 /// dilated upper run can bridge to the next segment too. Every adjacent pair
 /// is reported exactly once; non-adjacent pairs never.
 ///
-/// This one sweep serves all three diagonal-join sites — strip seams, tile
-/// seams, and the streaming merge — replacing their per-site two-pointer
-/// walks (kept as a test-only cross-check).
+/// This one sweep serves every diagonal-join site — the fast engine's
+/// in-strip row merge, strip seams, tile seams, the out-of-core band merge,
+/// and the streaming merge — replacing their per-site two-pointer walks
+/// (kept as test-only cross-checks).
 #[inline]
 pub fn for_each_diagonal_pair(
     and_words: &[u64],
     bits: usize,
+    cur_runs: &[u64],
+    prev_runs: &[u64],
+    f: impl FnMut(usize, usize),
+) {
+    for_each_diagonal_pair_at(and_words, bits, 0, cur_runs, prev_runs, f);
+}
+
+/// Column-offset variant of [`for_each_diagonal_pair`]: bit `i` of
+/// `and_words` is column `col_base + i`, while the run bounds stay absolute —
+/// the shape the windowed (tiled) merge works in, where a tile's words start
+/// at a word boundary left of (or at) its first column.
+#[inline]
+pub fn for_each_diagonal_pair_at(
+    and_words: &[u64],
+    bits: usize,
+    col_base: u64,
     cur_runs: &[u64],
     prev_runs: &[u64],
     mut f: impl FnMut(usize, usize),
@@ -149,7 +166,7 @@ pub fn for_each_diagonal_pair(
     let mut c = 0usize;
     let mut p = 0usize;
     for_each_run_in_words(and_words, bits, |s, e| {
-        let (s, e) = (u64::from(s), u64::from(e));
+        let (s, e) = (col_base + u64::from(s), col_base + u64::from(e));
         while (cur_runs[c] & 0xffff_ffff) < s {
             c += 1;
         }

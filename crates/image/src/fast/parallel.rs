@@ -95,6 +95,9 @@ pub struct ParallelLabeler {
     /// Whether the most recent call took the multi-strip path (`false`: the
     /// sequential delegate in `strips[0]` holds the run/node state).
     last_parallel: bool,
+    /// Strip count of the most recent call (stale strips beyond it hold
+    /// tile/run state from older, larger calls).
+    last_strips: usize,
 }
 
 impl ParallelLabeler {
@@ -112,6 +115,7 @@ impl ParallelLabeler {
             chase: Vec::new(),
             strip_roots: Vec::new(),
             last_parallel: false,
+            last_strips: 0,
         }
     }
 
@@ -132,6 +136,17 @@ impl ParallelLabeler {
         } else {
             self.strips.first().map_or(0, FastLabeler::last_components)
         }
+    }
+
+    /// Tile classification counts of the most recent labeling call, summed
+    /// over the strips that participated (see [`super::TileStats`]; seam
+    /// stitching classifies no tiles of its own).
+    pub fn last_tile_stats(&self) -> super::TileStats {
+        let mut total = super::TileStats::default();
+        for lab in &self.strips[..self.last_strips.min(self.strips.len())] {
+            total.accumulate(lab.last_tile_stats());
+        }
+        total
     }
 
     /// Total bytes of scratch capacity currently reserved across the global
@@ -170,10 +185,12 @@ impl ParallelLabeler {
         }
         if t <= 1 {
             self.last_parallel = false;
+            self.last_strips = 1;
             self.strips[0].label_into(img, conn, out);
             return;
         }
         self.last_parallel = true;
+        self.last_strips = t;
         while self.strips.len() < t {
             self.strips.push(FastLabeler::new());
         }

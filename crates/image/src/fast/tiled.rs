@@ -131,6 +131,9 @@ pub struct TiledLabeler {
     /// Whether the most recent call took the tiled path (`false`: the
     /// sequential delegate in `tiles[0]` holds the run/node state).
     last_tiled: bool,
+    /// Tile-worker count of the most recent call (stale workers beyond it
+    /// hold state from older, larger calls).
+    last_ntiles: usize,
 }
 
 impl TiledLabeler {
@@ -153,6 +156,7 @@ impl TiledLabeler {
             band_roots: Vec::new(),
             levels: Vec::new(),
             last_tiled: false,
+            last_ntiles: 0,
         }
     }
 
@@ -183,6 +187,17 @@ impl TiledLabeler {
         } else {
             self.tiles.first().map_or(0, FastLabeler::last_components)
         }
+    }
+
+    /// Tile classification counts of the most recent labeling call, summed
+    /// over the tile workers that participated (see [`super::TileStats`];
+    /// the hierarchical seam merge classifies no tiles of its own).
+    pub fn last_tile_stats(&self) -> super::TileStats {
+        let mut total = super::TileStats::default();
+        for lab in &self.tiles[..self.last_ntiles.min(self.tiles.len())] {
+            total.accumulate(lab.last_tile_stats());
+        }
+        total
     }
 
     /// Per-level costs of the most recent hierarchical seam merge (empty for
@@ -226,6 +241,7 @@ impl TiledLabeler {
         }
         if ty * tx <= 1 {
             self.last_tiled = false;
+            self.last_ntiles = 1;
             self.levels.clear();
             self.tiles[0].label_into(img, conn, out);
             return;
@@ -281,6 +297,7 @@ impl TiledLabeler {
         let (ty, tx) = self.effective_grid(img);
         let ntiles = ty * tx;
         self.last_tiled = true;
+        self.last_ntiles = ntiles;
         while self.tiles.len() < ntiles {
             self.tiles.push(FastLabeler::new());
         }

@@ -430,29 +430,37 @@ pub fn full(rows: usize, cols: usize) -> Bitmap {
 /// Named workload registry used by the experiments binary, benches and
 /// examples. `n` is the image side; random families consume `seed`.
 pub fn by_name(name: &str, n: usize, seed: u64) -> Option<Bitmap> {
+    by_name_dims(name, n, n, seed)
+}
+
+/// Rectangular variant of [`by_name`]: the same workload registry at an
+/// arbitrary `rows × cols` shape, so differential matrices can straddle
+/// word-boundary widths without also scaling the row count.
+pub fn by_name_dims(name: &str, rows: usize, cols: usize, seed: u64) -> Option<Bitmap> {
+    let n = rows.max(cols);
     let bm = match name {
-        "empty" => Bitmap::new(n, n),
-        "full" => full(n, n),
-        "random05" => uniform_random(n, n, 0.05, seed),
-        "random25" => uniform_random(n, n, 0.25, seed),
-        "random50" => uniform_random(n, n, 0.50, seed),
-        "random65" => uniform_random(n, n, 0.65, seed),
-        "random90" => uniform_random(n, n, 0.90, seed),
-        "fig3a" => fig3a_nested_brackets(n, n),
-        "comb" => double_comb(n, n, 2),
-        "comb4" => double_comb(n, n, 4),
-        "evenrows" => even_rows_random(n, n, seed),
-        "tournament" => tournament(n, n, 2),
-        "spiral" => spiral(n, n, 3),
-        "serpentine" => serpentine(n, n, 3),
-        "hstripes" => stripes_horizontal(n, n, 4, 2),
-        "vstripes" => stripes_vertical(n, n, 4, 2),
-        "checker" => checkerboard(n, n),
-        "blobs" => blobs(n, n, n / 4 + 1, (n / 16).max(2), seed),
-        "maze" => maze(n, n, seed),
-        "staircase" => staircase(n, n, 4),
-        "antidiag" => antidiag(n, n, 3),
-        "fan" => fan(n, n),
+        "empty" => Bitmap::new(rows, cols),
+        "full" => full(rows, cols),
+        "random05" => uniform_random(rows, cols, 0.05, seed),
+        "random25" => uniform_random(rows, cols, 0.25, seed),
+        "random50" => uniform_random(rows, cols, 0.50, seed),
+        "random65" => uniform_random(rows, cols, 0.65, seed),
+        "random90" => uniform_random(rows, cols, 0.90, seed),
+        "fig3a" => fig3a_nested_brackets(rows, cols),
+        "comb" => double_comb(rows, cols, 2),
+        "comb4" => double_comb(rows, cols, 4),
+        "evenrows" => even_rows_random(rows, cols, seed),
+        "tournament" => tournament(rows, cols, 2),
+        "spiral" => spiral(rows, cols, 3),
+        "serpentine" => serpentine(rows, cols, 3),
+        "hstripes" => stripes_horizontal(rows, cols, 4, 2),
+        "vstripes" => stripes_vertical(rows, cols, 4, 2),
+        "checker" => checkerboard(rows, cols),
+        "blobs" => blobs(rows, cols, n / 4 + 1, (n / 16).max(2), seed),
+        "maze" => maze(rows, cols, seed),
+        "staircase" => staircase(rows, cols, 4),
+        "antidiag" => antidiag(rows, cols, 3),
+        "fan" => fan(rows, cols),
         _ => return None,
     };
     Some(bm)

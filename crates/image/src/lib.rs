@@ -54,7 +54,7 @@ pub use connectivity::Connectivity;
 pub use fast::{
     fast_component_count, fast_labels, fast_labels_conn, label_out_of_core, parallel_labels,
     parallel_labels_conn, tiled_labels, tiled_labels_conn, FastLabeler, OocRun, OocStats,
-    OutOfCoreLabeler, ParallelLabeler, SeamLevel, TiledLabeler,
+    OutOfCoreLabeler, ParallelLabeler, SeamLevel, TileStats, TiledLabeler,
 };
 pub use labels::{ComponentInfo, LabelGrid};
 pub use oracle::{bfs_labels, bfs_labels_conn, BfsOracle};

@@ -4,13 +4,72 @@
 //! must round-trip bit-exactly).
 
 use proptest::prelude::*;
+use slap_image::bitmap::{dilate_words_into, for_each_diagonal_pair};
 use slap_image::pbm::{FramedPbmReader, PbmRowReader};
-use slap_image::stream::{BitmapRows, RowSource};
+use slap_image::stream::{BitmapRows, RowSource, StreamGridLabeler};
 use slap_image::{
     bfs_labels, bfs_labels_conn, fast_labels_conn, gen, label_out_of_core, label_stream, morph,
     parallel_labels_conn, pbm, tiled_labels_conn, Bitmap, Connectivity, FastLabeler, LabelGrid,
     ParallelLabeler,
 };
+
+/// The retired two-pointer diagonal join, kept as the executable
+/// specification of the word-level dilated-AND sweep that replaced it at
+/// every 8-connectivity merge site (in-strip row merge, strip/tile seams,
+/// the out-of-core band merge, and the streaming sweep): for each run of
+/// `cur`, every run of `prev` within horizontal reach 1, in column order,
+/// with the `p = q - 1` backstep so a prev run bridging two adjacent cur
+/// runs is revisited. Runs are `(start, end)` inclusive and column-sorted.
+fn two_pointer_diagonal_pairs(cur: &[(u32, u32)], prev: &[(u32, u32)]) -> Vec<(usize, usize)> {
+    let mut pairs = Vec::new();
+    let mut p = 0usize;
+    for (c, &(a, b)) in cur.iter().enumerate() {
+        let aw = a.saturating_sub(1);
+        let bw = b + 1;
+        while p < prev.len() && prev[p].1 < aw {
+            p += 1;
+        }
+        let mut q = p;
+        while q < prev.len() && prev[q].0 <= bw {
+            pairs.push((c, q));
+            q += 1;
+        }
+        if q > p {
+            p = q - 1;
+        }
+    }
+    pairs
+}
+
+/// Collects the (cur run, prev run) pairs the ported word-level kernel
+/// enumerates for one row boundary of `bm`.
+fn dilated_and_diagonal_pairs(bm: &Bitmap, r: usize) -> Vec<(usize, usize)> {
+    let pack = |list: &[(u32, u32)]| -> Vec<u64> {
+        list.iter()
+            .map(|&(a, b)| (u64::from(a) << 32) | u64::from(b))
+            .collect()
+    };
+    let (cur, prev) = (row_runs(bm, r), row_runs(bm, r - 1));
+    let mut dil = Vec::new();
+    dilate_words_into(bm.row_words(r - 1), bm.cols(), &mut dil);
+    let and_words: Vec<u64> = bm
+        .row_words(r)
+        .iter()
+        .zip(&dil)
+        .map(|(&a, &b)| a & b)
+        .collect();
+    let mut pairs = Vec::new();
+    for_each_diagonal_pair(&and_words, bm.cols(), &pack(&cur), &pack(&prev), |c, q| {
+        pairs.push((c, q));
+    });
+    pairs
+}
+
+fn row_runs(bm: &Bitmap, r: usize) -> Vec<(u32, u32)> {
+    let mut runs = Vec::new();
+    bm.for_each_row_run(r, |a, b| runs.push((a, b)));
+    runs
+}
 
 fn arb_bitmap() -> impl Strategy<Value = Bitmap> {
     (1usize..40, 1usize..40, 0.0f64..1.0, 0u64..10_000)
@@ -241,6 +300,41 @@ proptest! {
             before,
             after
         );
+    }
+
+    #[test]
+    fn ported_diagonal_kernel_equals_the_two_pointer_join(bm in arb_wide_bitmap()) {
+        // The word-level dilated-AND sweep now drives every 8-connectivity
+        // merge — including the fast engine's in-strip row merge and the
+        // stream engine's sweep — so it must enumerate exactly the pair
+        // sequence of the two-pointer join it retired, on every row
+        // boundary of an arbitrary bitmap.
+        for r in 1..bm.rows() {
+            prop_assert_eq!(
+                dilated_and_diagonal_pairs(&bm, r),
+                two_pointer_diagonal_pairs(&row_runs(&bm, r), &row_runs(&bm, r - 1)),
+                "row boundary {}..{}", r - 1, r
+            );
+        }
+    }
+
+    #[test]
+    fn in_strip_eight_merge_is_bit_identical_on_arbitrary_bitmaps(bm in arb_wide_bitmap()) {
+        // End-to-end form of the kernel equivalence for the fast engine's
+        // in-strip merge: 8-connectivity labels through the ported kernel
+        // must still be the oracle's, bit for bit.
+        prop_assert_eq!(
+            fast_labels_conn(&bm, Connectivity::Eight),
+            bfs_labels_conn(&bm, Connectivity::Eight)
+        );
+    }
+
+    #[test]
+    fn stream_merge_sweep_is_bit_identical_on_arbitrary_bitmaps(bm in arb_wide_bitmap()) {
+        // Same end-to-end check for the stream engine's merge sweep.
+        let mut grid = LabelGrid::new_background(1, 1);
+        StreamGridLabeler::new().label_into(&bm, Connectivity::Eight, &mut grid);
+        prop_assert_eq!(grid, bfs_labels_conn(&bm, Connectivity::Eight));
     }
 
     #[test]

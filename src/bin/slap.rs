@@ -579,6 +579,13 @@ fn host_report(img: &Bitmap, conn: Connectivity, mut session: Box<dyn LabelEngin
     if engine_stats.peak_carried_runs > 0 {
         print!(", peak carried {}", engine_stats.peak_carried_runs);
     }
+    let tiles = engine_stats.tiles;
+    if tiles.total() > 0 {
+        print!(
+            ", tiles {}bg/{}int/{}bd",
+            tiles.background, tiles.interior, tiles.boundary
+        );
+    }
     println!();
 }
 

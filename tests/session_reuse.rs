@@ -131,6 +131,61 @@ fn watermarks_are_monotone_and_engine_owned() {
 }
 
 #[test]
+fn warm_fast_session_relabels_allocation_free_with_block_classification() {
+    // The coarse-to-fine pass added per-row run-start mask buffers to the
+    // fast engine's scratch; they must obey the same watermark contract as
+    // every other arena. Interleave dims, families, connectivities — the
+    // classes of frames that stress different tile mixes (all-background,
+    // all-interior, all-boundary, ragged tail words) — then assert the warm
+    // watermark is final while the tile counters keep reporting per-call.
+    let frames: Vec<Bitmap> = [
+        ("empty", 96usize, 96usize),
+        ("full", 96, 96),
+        ("random50", 96, 65),
+        ("blobs", 64, 127),
+        ("checker", 40, 128),
+        ("maze", 96, 63),
+    ]
+    .iter()
+    .map(|&(name, rows, cols)| gen::by_name_dims(name, rows, cols, 13).unwrap())
+    .collect();
+    let mut session = FastSession::new();
+    let mut grid = LabelGrid::new_background(1, 1);
+    for _ in 0..2 {
+        for (i, img) in frames.iter().enumerate() {
+            let conn = if i % 2 == 0 {
+                Connectivity::Four
+            } else {
+                Connectivity::Eight
+            };
+            session.label_into(img, conn, &mut grid);
+        }
+    }
+    let watermark = session.scratch_bytes();
+    for _ in 0..3 {
+        for (i, img) in frames.iter().enumerate() {
+            let conn = if i % 2 == 0 {
+                Connectivity::Four
+            } else {
+                Connectivity::Eight
+            };
+            let stats = session.label_into(img, conn, &mut grid);
+            assert_eq!(grid, bfs_labels_conn(img, conn));
+            assert_eq!(
+                stats.tiles.total(),
+                (img.words_per_row() * img.rows()) as u64,
+                "tile counters must stay call-local on a warm session"
+            );
+            assert_eq!(
+                session.scratch_bytes(),
+                watermark,
+                "warm relabel with block classification grew an arena"
+            );
+        }
+    }
+}
+
+#[test]
 fn stream_session_grid_path_matches_pure_streaming_retirements() {
     // The StreamSession grid labeler and the pure streaming path share one
     // union-find; their component counts must agree frame after frame on a
