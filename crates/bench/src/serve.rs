@@ -1,15 +1,21 @@
 //! The `slap-bench serve` sweep: sustained `slapd` throughput under
 //! concurrent clients, serialized to `BENCH_serve.json`.
 //!
-//! For each (family, size, connectivity) workload the sweep binds a real
-//! [`slap_serve::Server`] on an ephemeral port and drives it with 1, 4,
-//! and 16 concurrent [`slap_serve::Client`]s for a fixed wall-clock
+//! For each (family, size, connectivity, mode) workload the sweep binds a
+//! real [`slap_serve::Server`] on an ephemeral port and drives it with 1,
+//! 4, and 16 concurrent [`slap_serve::Client`]s for a fixed wall-clock
 //! window, recording sustained jobs/sec, retries, and the server's own
-//! rejection ledger. Every client retries transient rejections
-//! (`queue-full`, `deadline`) per its policy, so the headline criterion is
-//! loss-free service: **zero failed jobs at every concurrency level**,
-//! with [`validate`] also enforcing full coverage — every client count of
-//! [`CLIENT_COUNTS`] on every swept workload.
+//! rejection ledger. Three response modes are measured per point: `grid`
+//! (v1 whole-grid payloads), `stream` (protocol-v2 feature records,
+//! in-core), and `ooc` (stream mode against a server whose routing
+//! threshold forces every job out-of-core). Every client retries
+//! transient rejections (`queue-full`, `deadline`) per its policy, so the
+//! headline criterion is loss-free service: **zero failed jobs at every
+//! concurrency level**, with [`validate`] also enforcing full coverage —
+//! every client count of [`CLIENT_COUNTS`] in every mode of [`MODES`] on
+//! every swept workload — and the paper's carried-state bound on the
+//! streaming paths: `peak_carried_runs ≤ n/2 + 1`, i.e. `O(cols + live)`
+//! server memory per out-of-core job rather than `O(n²)`.
 //!
 //! The recorded `host_threads` keeps single-core hosts honest: on one CPU
 //! the 16-client point measures queueing discipline, not parallel
@@ -25,15 +31,20 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Schema identifier stamped into (and required from) every serve file.
-pub const SCHEMA: &str = "slap-bench-serve/v1";
+pub const SCHEMA: &str = "slap-bench-serve/v2";
 
 /// Concurrency levels every sweep must cover.
 pub const CLIENT_COUNTS: &[usize] = &[1, 4, 16];
 
+/// Response modes every sweep must cover. `ooc` is stream mode against a
+/// server whose `max_pixels` routing threshold (set to `n²/4`) pushes
+/// every benched job through the out-of-core band scheduler.
+pub const MODES: &[&str] = &["grid", "stream", "ooc"];
+
 /// Worker threads the benched server runs.
 pub const WORKERS: usize = 2;
 
-/// One measured (family, size, connectivity, clients) point.
+/// One measured (family, size, connectivity, mode, clients) point.
 #[derive(Clone, Debug)]
 pub struct Entry {
     /// Workload family name (a `gen::by_name` key).
@@ -42,6 +53,8 @@ pub struct Entry {
     pub n: usize,
     /// Adjacency convention: `4` or `8`.
     pub conn: u32,
+    /// Response mode measured: one of [`MODES`].
+    pub mode: String,
     /// Concurrent clients driving the server.
     pub clients: usize,
     /// Measurement window actually elapsed, nanoseconds.
@@ -56,6 +69,12 @@ pub struct Entry {
     /// Server-side typed rejections during the window (each later retried
     /// into an `OK` by some client, or counted as a failure).
     pub rejected: u64,
+    /// Jobs the server routed through the out-of-core band scheduler.
+    pub ooc_jobs: u64,
+    /// The server's peak carried runs across all streamed jobs — the
+    /// paper's `O(cols + live)` state, which the validator bounds by
+    /// `n/2 + 1` on the streaming paths.
+    pub peak_carried_runs: u64,
     /// Server worker threads.
     pub workers: usize,
 }
@@ -95,12 +114,13 @@ fn sweep_params(quick: bool) -> (&'static [&'static str], &'static [usize], Dura
     }
 }
 
-/// Measures one (image, connectivity, clients) point against a fresh
-/// server.
+/// Measures one (image, connectivity, mode, clients) point against a
+/// fresh server.
 fn time_point(
     family: &str,
     n: usize,
     conn: Connectivity,
+    mode: &str,
     clients: usize,
     window: Duration,
 ) -> Entry {
@@ -109,6 +129,13 @@ fn time_point(
         ServeConfig {
             conn,
             workers: WORKERS,
+            // The ooc point forces routing: every n×n job crosses the
+            // threshold and runs banded with O(cols) carried state.
+            max_pixels: if mode == "ooc" {
+                ((n * n) / 4) as u64
+            } else {
+                ServeConfig::default().max_pixels
+            },
             ..ServeConfig::default()
         },
     )
@@ -121,6 +148,7 @@ fn time_point(
         .map(|i| {
             let stop = Arc::clone(&stop);
             let family = family.to_string();
+            let grid_mode = mode == "grid";
             std::thread::spawn(move || {
                 // Distinct seeds so concurrent clients don't serve one
                 // identical job from the page cache of the allocator.
@@ -135,8 +163,13 @@ fn time_point(
                 );
                 let (mut ok, mut failures) = (0u64, 0u64);
                 while !stop.load(Ordering::Relaxed) {
-                    match client.label(&img) {
-                        Ok(_) => ok += 1,
+                    let outcome = if grid_mode {
+                        client.label(&img).map(|_| ())
+                    } else {
+                        client.label_stream(&img).map(|_| ())
+                    };
+                    match outcome {
+                        Ok(()) => ok += 1,
                         Err(_) => failures += 1,
                     }
                 }
@@ -159,12 +192,15 @@ fn time_point(
         family: family.to_string(),
         n,
         conn: conn_id(conn),
+        mode: mode.to_string(),
         clients,
         elapsed_ns,
         jobs_ok,
         failures,
         retries,
         rejected: stats.rejected(),
+        ooc_jobs: stats.jobs_ooc,
+        peak_carried_runs: stats.peak_carried_runs,
         workers: WORKERS,
     }
 }
@@ -176,19 +212,24 @@ pub fn run_serve(quick: bool, mut progress: impl FnMut(&str)) -> ServeReport {
     for &family in families {
         for &n in sides {
             for &conn in CONNS {
-                for &clients in CLIENT_COUNTS {
-                    let entry = time_point(family, n, conn, clients, window);
-                    progress(&format!(
-                        "{family}/{n}/{}-conn x{clients}: {:.0} jobs/s \
-                         ({} ok, {} retries, {} rejected, {} failed)",
-                        entry.conn,
-                        entry.jobs_per_sec(),
-                        entry.jobs_ok,
-                        entry.retries,
-                        entry.rejected,
-                        entry.failures,
-                    ));
-                    entries.push(entry);
+                for &mode in MODES {
+                    for &clients in CLIENT_COUNTS {
+                        let entry = time_point(family, n, conn, mode, clients, window);
+                        progress(&format!(
+                            "{family}/{n}/{}-conn/{mode} x{clients}: {:.0} jobs/s \
+                             ({} ok, {} retries, {} rejected, {} failed, \
+                             {} ooc, peak {} runs)",
+                            entry.conn,
+                            entry.jobs_per_sec(),
+                            entry.jobs_ok,
+                            entry.retries,
+                            entry.rejected,
+                            entry.failures,
+                            entry.ooc_jobs,
+                            entry.peak_carried_runs,
+                        ));
+                        entries.push(entry);
+                    }
                 }
             }
         }
@@ -219,23 +260,30 @@ impl ServeReport {
         let _ = writeln!(s, "  \"sides\": [{}],", sides.join(", "));
         let counts: Vec<String> = CLIENT_COUNTS.iter().map(|c| c.to_string()).collect();
         let _ = writeln!(s, "  \"client_counts\": [{}],", counts.join(", "));
+        let modes: Vec<String> = MODES.iter().map(|m| json::quote(m)).collect();
+        let _ = writeln!(s, "  \"modes\": [{}],", modes.join(", "));
         s.push_str("  \"entries\": [\n");
         for (i, e) in self.entries.iter().enumerate() {
             let _ = write!(
                 s,
-                "    {{\"family\": {}, \"n\": {}, \"conn\": {}, \"clients\": {}, \
+                "    {{\"family\": {}, \"n\": {}, \"conn\": {}, \"mode\": {}, \
+                 \"clients\": {}, \
                  \"elapsed_ns\": {}, \"jobs_ok\": {}, \"failures\": {}, \
-                 \"retries\": {}, \"rejected\": {}, \"workers\": {}, \
+                 \"retries\": {}, \"rejected\": {}, \"ooc_jobs\": {}, \
+                 \"peak_carried_runs\": {}, \"workers\": {}, \
                  \"jobs_per_sec\": {:.1}}}",
                 json::quote(&e.family),
                 e.n,
                 e.conn,
+                json::quote(&e.mode),
                 e.clients,
                 e.elapsed_ns,
                 e.jobs_ok,
                 e.failures,
                 e.retries,
                 e.rejected,
+                e.ooc_jobs,
+                e.peak_carried_runs,
                 e.workers,
                 e.jobs_per_sec(),
             );
@@ -251,9 +299,12 @@ impl ServeReport {
 
 /// Validates a serve-sweep JSON document against the schema. Headline
 /// criteria: every entry served at least one job with **zero failures**
-/// (loss-free service under retry), and coverage is full — every client
+/// (loss-free service under retry); coverage is full — every client
 /// count in [`CLIENT_COUNTS`] appears for every swept (family, size,
-/// connectivity) workload. With `require_full` the file must also record a
+/// connectivity, mode) workload; and the streaming paths honored the
+/// paper's memory bound — `peak_carried_runs ≤ n/2 + 1`, with every `ooc`
+/// job actually routed out-of-core and grid entries carrying no stream
+/// state at all. With `require_full` the file must also record a
 /// full-scale sweep.
 pub fn validate(text: &str, require_full: bool) -> Result<(), String> {
     let doc = json::parse(text)?;
@@ -285,8 +336,9 @@ pub fn validate(text: &str, require_full: bool) -> Result<(), String> {
     if entries.is_empty() {
         return Err("entries is empty".to_string());
     }
-    // (family, n, conn) → client counts covered.
-    let mut coverage: Vec<((String, u64, u64), Vec<u64>)> = Vec::new();
+    // (family, n, conn, mode) → client counts covered.
+    type PointKey = (String, u64, u64, String);
+    let mut coverage: Vec<(PointKey, Vec<u64>)> = Vec::new();
     for (i, e) in entries.iter().enumerate() {
         let ctx = |msg: &str| format!("entry {i}: {msg}");
         let eo = e.as_object().ok_or_else(|| ctx("not an object"))?;
@@ -308,6 +360,11 @@ pub fn validate(text: &str, require_full: bool) -> Result<(), String> {
             .as_u64()
             .filter(|&c| c == 4 || c == 8)
             .ok_or_else(|| ctx("conn is not 4 or 8"))?;
+        let mode = field("mode")?
+            .as_str()
+            .filter(|m| MODES.contains(m))
+            .ok_or_else(|| ctx("mode is not one of the swept modes"))?
+            .to_string();
         let clients = field("clients")?
             .as_u64()
             .filter(|&c| CLIENT_COUNTS.contains(&(c as usize)))
@@ -337,25 +394,78 @@ pub fn validate(text: &str, require_full: bool) -> Result<(), String> {
         field("rejected")?
             .as_u64()
             .ok_or_else(|| ctx("rejected is not an integer"))?;
+        let ooc_jobs = field("ooc_jobs")?
+            .as_u64()
+            .ok_or_else(|| ctx("ooc_jobs is not an integer"))?;
+        let peak_carried = field("peak_carried_runs")?
+            .as_u64()
+            .ok_or_else(|| ctx("peak_carried_runs is not an integer"))?;
         field("workers")?
             .as_u64()
             .filter(|&w| w > 0)
             .ok_or_else(|| ctx("workers is not a positive integer"))?;
-        let key = (family, n, conn);
+        match mode.as_str() {
+            // Grid jobs never touch the streaming engines.
+            "grid" => {
+                if ooc_jobs != 0 || peak_carried != 0 {
+                    return Err(ctx("grid entries must carry no stream state"));
+                }
+            }
+            // Streaming paths honor the paper's O(cols + live) bound.
+            _ => {
+                if peak_carried > n / 2 + 1 {
+                    return Err(ctx(&format!(
+                        "carried-state bound violated: peak {peak_carried} \
+                         runs > n/2+1 = {} ({family}/{n}/{mode})",
+                        n / 2 + 1
+                    )));
+                }
+                match mode.as_str() {
+                    // Every admitted job must actually have routed
+                    // out-of-core (loss-free admission through the
+                    // threshold).
+                    "ooc" if ooc_jobs != jobs_ok => {
+                        return Err(ctx(&format!(
+                            "ooc routing hole: {jobs_ok} jobs ok but only \
+                             {ooc_jobs} routed out-of-core"
+                        )));
+                    }
+                    "stream" if ooc_jobs != 0 => {
+                        return Err(ctx("in-core stream entries must not route ooc"));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let key = (family, n, conn, mode);
         match coverage.iter_mut().find(|(k, _)| *k == key) {
             Some((_, counts)) => counts.push(clients),
             None => coverage.push((key, vec![clients])),
         }
     }
-    // Full coverage: every swept workload measured at every client count.
-    for ((family, n, conn), mut counts) in coverage {
+    // Full coverage: every swept workload measured at every client count
+    // in every mode.
+    let mode_count = coverage
+        .iter()
+        .map(|((f, n, c, _), _)| (f.clone(), *n, *c))
+        .collect::<std::collections::BTreeSet<_>>()
+        .len()
+        * MODES.len();
+    if coverage.len() != mode_count {
+        return Err(format!(
+            "coverage hole: {} (family, n, conn, mode) groups, expected {}",
+            coverage.len(),
+            mode_count
+        ));
+    }
+    for ((family, n, conn, mode), mut counts) in coverage {
         counts.sort_unstable();
         counts.dedup();
         let want: Vec<u64> = CLIENT_COUNTS.iter().map(|&c| c as u64).collect();
         if counts != want {
             return Err(format!(
-                "coverage hole: {family}/{n}/{conn}-conn measured at client \
-                 counts {counts:?}, need exactly {want:?}"
+                "coverage hole: {family}/{n}/{conn}-conn/{mode} measured at \
+                 client counts {counts:?}, need exactly {want:?}"
             ));
         }
     }
@@ -371,19 +481,29 @@ mod tests {
         for family in ["random50", "blobs"] {
             for n in [128usize, 256] {
                 for conn in [4u32, 8] {
-                    for &clients in CLIENT_COUNTS {
-                        entries.push(Entry {
-                            family: family.to_string(),
-                            n,
-                            conn,
-                            clients,
-                            elapsed_ns: 1_000_000_000,
-                            jobs_ok: 100 * clients as u64,
-                            failures: 0,
-                            retries: 3,
-                            rejected: 3,
-                            workers: WORKERS,
-                        });
+                    for mode in MODES {
+                        for &clients in CLIENT_COUNTS {
+                            let streaming = *mode != "grid";
+                            entries.push(Entry {
+                                family: family.to_string(),
+                                n,
+                                conn,
+                                mode: mode.to_string(),
+                                clients,
+                                elapsed_ns: 1_000_000_000,
+                                jobs_ok: 100 * clients as u64,
+                                failures: 0,
+                                retries: 3,
+                                rejected: 3,
+                                ooc_jobs: if *mode == "ooc" {
+                                    100 * clients as u64
+                                } else {
+                                    0
+                                },
+                                peak_carried_runs: if streaming { (n / 2) as u64 } else { 0 },
+                                workers: WORKERS,
+                            });
+                        }
                     }
                 }
             }
@@ -429,6 +549,47 @@ mod tests {
     }
 
     #[test]
+    fn validation_enforces_full_mode_coverage() {
+        let mut report = tiny_report();
+        report
+            .entries
+            .retain(|e| !(e.family == "blobs" && e.n == 256 && e.conn == 8 && e.mode == "ooc"));
+        let err = validate(&report.to_json(), false).unwrap_err();
+        assert!(err.contains("coverage hole"), "{err}");
+    }
+
+    #[test]
+    fn validation_enforces_the_carried_state_bound() {
+        let mut report = tiny_report();
+        let e = report.entries.iter_mut().find(|e| e.mode == "ooc").unwrap();
+        e.peak_carried_runs = (e.n * e.n) as u64; // O(n²): the bug the bound catches
+        let err = validate(&report.to_json(), false).unwrap_err();
+        assert!(err.contains("carried-state bound"), "{err}");
+    }
+
+    #[test]
+    fn validation_enforces_ooc_routing() {
+        let mut report = tiny_report();
+        let e = report.entries.iter_mut().find(|e| e.mode == "ooc").unwrap();
+        e.ooc_jobs = e.jobs_ok - 1;
+        let err = validate(&report.to_json(), false).unwrap_err();
+        assert!(err.contains("ooc routing hole"), "{err}");
+    }
+
+    #[test]
+    fn validation_rejects_stream_state_on_grid_entries() {
+        let mut report = tiny_report();
+        let e = report
+            .entries
+            .iter_mut()
+            .find(|e| e.mode == "grid")
+            .unwrap();
+        e.peak_carried_runs = 7;
+        let err = validate(&report.to_json(), false).unwrap_err();
+        assert!(err.contains("no stream state"), "{err}");
+    }
+
+    #[test]
     fn validation_rejects_idle_windows() {
         let mut report = tiny_report();
         report.entries[0].jobs_ok = 0;
@@ -447,16 +608,28 @@ mod tests {
 
     #[test]
     fn quick_sweep_smoke() {
-        // One real (tiny) point end to end: a live server, one client,
-        // a short window — must produce a loss-free, schema-valid entry.
-        let entry = time_point(
-            "random50",
-            64,
-            slap_image::Connectivity::Four,
-            1,
-            Duration::from_millis(50),
-        );
-        assert!(entry.jobs_ok > 0);
-        assert_eq!(entry.failures, 0);
+        // One real (tiny) point per mode, end to end: a live server, one
+        // client, a short window — loss-free, and the ooc point actually
+        // routes out-of-core with bounded carried state.
+        for &mode in MODES {
+            let entry = time_point(
+                "random50",
+                64,
+                slap_image::Connectivity::Four,
+                mode,
+                1,
+                Duration::from_millis(50),
+            );
+            assert!(entry.jobs_ok > 0, "{mode}");
+            assert_eq!(entry.failures, 0, "{mode}");
+            match mode {
+                "grid" => assert_eq!(entry.peak_carried_runs, 0),
+                "stream" => assert_eq!(entry.ooc_jobs, 0),
+                _ => {
+                    assert_eq!(entry.ooc_jobs, entry.jobs_ok);
+                    assert!(entry.peak_carried_runs <= 64 / 2 + 1);
+                }
+            }
+        }
     }
 }

@@ -42,6 +42,7 @@
 pub mod bitmap;
 pub mod connectivity;
 pub mod fast;
+pub mod framing;
 pub mod gen;
 pub mod labels;
 pub mod morph;

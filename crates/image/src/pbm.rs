@@ -19,6 +19,7 @@
 //! pattern-matching message strings.
 
 use crate::bitmap::Bitmap;
+use crate::framing::{Frame, FrameError};
 use crate::stream::RowSource;
 use std::io::{self, BufRead, Read, Write};
 
@@ -161,6 +162,22 @@ impl From<PbmError> for io::Error {
             // wrapped so `PbmError::from_io` can recover the taxonomy.
             PbmError::Io(inner) => inner,
             other => io::Error::new(other.kind(), other),
+        }
+    }
+}
+
+impl From<FrameError> for PbmError {
+    /// Maps the shared framing layer's taxonomy onto the PBM-specific one
+    /// the framed readers have always reported, keeping every existing
+    /// caller's match arms valid.
+    fn from(e: FrameError) -> PbmError {
+        match e {
+            FrameError::BadPrefix(b) => PbmError::BadLengthPrefix(b),
+            FrameError::Overflow { declared } => PbmError::LyingLengthPrefix { declared },
+            FrameError::Truncated { declared, missing } => {
+                PbmError::TruncatedFrame { declared, missing }
+            }
+            FrameError::Io(inner) => PbmError::Io(inner),
         }
     }
 }
@@ -433,15 +450,14 @@ impl<R: Read> RowSource for PbmRowReader<R> {
 pub fn write_framed<W: Write>(img: &Bitmap, w: &mut W) -> io::Result<()> {
     let mut frame = Vec::new();
     write_raw(img, &mut frame)?;
-    writeln!(w, "{}", frame.len())?;
-    w.write_all(&frame)
+    Frame::write(w, &frame)
 }
 
 /// Upper bound on a declared frame length (2³¹ bytes). A corrupt prefix
 /// below this still costs only the bytes that actually arrive — the body is
 /// read in bounded chunks, never pre-allocated to the declared length.
 /// Prefixes above it are rejected as [`PbmError::LyingLengthPrefix`].
-pub const MAX_FRAME_BYTES: usize = 1 << 31;
+pub use crate::framing::MAX_FRAME_BYTES;
 
 /// Reader for the length-prefixed multi-image PBM framing
 /// ([`write_framed`]): a stream of `<decimal length>\n<frame bytes>` records,
@@ -473,69 +489,11 @@ impl<R: Read> FramedPbmReader<R> {
     /// header already validated). `Ok(None)` at a clean end of stream;
     /// a truncated prefix or frame body is an error.
     pub fn next_frame(&mut self) -> io::Result<Option<PbmRowReader<&[u8]>>> {
-        // Length prefix: optional leading whitespace (tolerates a trailing
-        // newline after a frame body), then digits up to the terminator.
-        let mut len: Option<usize> = None;
-        loop {
-            match next_byte(&mut self.reader).map_err(io::Error::from)? {
-                None => {
-                    return match len {
-                        None => Ok(None), // clean end between frames
-                        Some(declared) => Err(PbmError::TruncatedFrame {
-                            declared,
-                            missing: declared,
-                        }
-                        .into()),
-                    };
-                }
-                Some(b) if b.is_ascii_digit() => {
-                    let d = (b - b'0') as usize;
-                    let v = len
-                        .unwrap_or(0)
-                        .checked_mul(10)
-                        .and_then(|v| v.checked_add(d))
-                        .filter(|&v| v <= MAX_FRAME_BYTES)
-                        .ok_or(PbmError::LyingLengthPrefix {
-                            declared: len.unwrap_or(0).saturating_mul(10).saturating_add(d),
-                        })?;
-                    len = Some(v);
-                }
-                Some(b) if is_pbm_space(b) => {
-                    if len.is_some() {
-                        break;
-                    }
-                }
-                Some(other) => {
-                    return Err(PbmError::BadLengthPrefix(other).into());
-                }
-            }
+        match Frame::read_into(&mut self.reader, &mut self.frame, MAX_FRAME_BYTES) {
+            Ok(None) => Ok(None), // clean end between frames
+            Ok(Some(_)) => PbmRowReader::new(&self.frame[..]).map(Some),
+            Err(e) => Err(PbmError::from(e).into()),
         }
-        let len = len.expect("loop breaks only with a parsed length");
-        // Read the frame body in bounded chunks: the buffer grows only as
-        // bytes actually arrive, so a lying length prefix costs at most one
-        // chunk of memory beyond the real data before read hits EOF.
-        self.frame.clear();
-        let mut chunk = [0u8; 64 * 1024];
-        let mut remaining = len;
-        while remaining > 0 {
-            let want = remaining.min(chunk.len());
-            match self.reader.read(&mut chunk[..want]) {
-                Ok(0) => {
-                    return Err(PbmError::TruncatedFrame {
-                        declared: len,
-                        missing: remaining,
-                    }
-                    .into())
-                }
-                Ok(got) => {
-                    self.frame.extend_from_slice(&chunk[..got]);
-                    remaining -= got;
-                }
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-                Err(e) => return Err(e),
-            }
-        }
-        PbmRowReader::new(&self.frame[..]).map(Some)
     }
 }
 

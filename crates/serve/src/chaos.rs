@@ -1,15 +1,18 @@
 //! Deterministic fault injection for the `slapd` wire protocol.
 //!
 //! [`FaultyStream`] wraps a transport and delivers a well-formed job frame
-//! through one of six scripted fault classes — truncation, pathological
+//! through one of eight scripted fault classes — truncation, pathological
 //! short writes, mid-frame disconnect, a lying length prefix, a stall past
-//! the server's I/O deadline, or pure garbage. Every script is driven by a
-//! seeded [`DetRng`], so a failing chaos run replays bit-for-bit from its
-//! seed.
+//! the server's I/O deadline, pure garbage, a raster truncated *inside* a
+//! consistent frame (fails after admission, not at the framing layer), or
+//! a client that vanishes mid-response. Every script is driven by a seeded
+//! [`DetRng`], so a failing chaos run replays bit-for-bit from its seed.
 //!
 //! The stream stays readable after injection: a test sends a corrupted
 //! frame, then reads the server's typed `ERR` response (or observes the
-//! close) on the same wrapper.
+//! close) on the same wrapper. The response-side fault is the exception:
+//! [`FaultyStream::abandon_after_reading`] consumes the wrapper to model a
+//! full disconnect while the server is still writing.
 
 use std::io::{self, Read, Write};
 use std::time::Duration;
@@ -61,7 +64,7 @@ impl ChaosTransport for std::net::TcpStream {
     }
 }
 
-/// The six scripted fault classes the harness can inject.
+/// The eight scripted fault classes the harness can inject.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum FaultClass {
     /// Send a strict prefix of the frame, then nothing (caller closes).
@@ -78,17 +81,28 @@ pub enum FaultClass {
     Stall,
     /// Send seeded random bytes that were never a frame.
     Garbage,
+    /// Cut the PBM raster short but rewrite the length prefix to match the
+    /// cut: the frame is *internally consistent*, so it clears the framing
+    /// layer and is admitted — the corruption only surfaces when a worker
+    /// walks the raster.
+    TruncatedBody,
+    /// Deliver the whole frame intact, then half-close the write side and
+    /// (via [`FaultyStream::abandon_after_reading`]) vanish after reading
+    /// only part of the response — the mid-`STREAM` client disconnect.
+    StreamAbort,
 }
 
 impl FaultClass {
     /// Every class, in a stable order.
-    pub const ALL: [FaultClass; 6] = [
+    pub const ALL: [FaultClass; 8] = [
         FaultClass::Truncate,
         FaultClass::ShortOps,
         FaultClass::Disconnect,
         FaultClass::LyingLength,
         FaultClass::Stall,
         FaultClass::Garbage,
+        FaultClass::TruncatedBody,
+        FaultClass::StreamAbort,
     ];
 
     /// A stable lowercase name for logs and test labels.
@@ -100,6 +114,8 @@ impl FaultClass {
             FaultClass::LyingLength => "lying-length",
             FaultClass::Stall => "stall",
             FaultClass::Garbage => "garbage",
+            FaultClass::TruncatedBody => "truncated-body",
+            FaultClass::StreamAbort => "stream-abort",
         }
     }
 }
@@ -226,7 +242,56 @@ impl<S: ChaosTransport> FaultyStream<S> {
                 self.inner.flush()?;
                 Ok(Delivery::Corrupted)
             }
+            FaultClass::TruncatedBody => {
+                // Cut inside the raster (past the P4 dims line) and rewrite
+                // the length prefix to match, so the frame clears admission
+                // and fails only when the raster is walked.
+                let body = &frame[prefix_end(frame) + 1..];
+                let header_end = body
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &b)| b == b'\n')
+                    .nth(1)
+                    .map(|(i, _)| i)
+                    .expect("a P4 body has a dims line");
+                let raster_len = body.len() - header_end - 1;
+                let keep = header_end + 1 + self.rng.below(raster_len.max(1) as u64) as usize;
+                let keep = keep.min(body.len() - 1);
+                let mut cut = format!("{keep}\n").into_bytes();
+                cut.extend_from_slice(&body[..keep]);
+                self.inner.write_all(&cut)?;
+                self.inner.flush()?;
+                Ok(Delivery::Corrupted)
+            }
+            FaultClass::StreamAbort => {
+                // The whole job arrives intact, then the write side goes
+                // away; the read-side abandonment happens separately via
+                // `abandon_after_reading`.
+                self.inner.write_all(frame)?;
+                self.inner.flush()?;
+                self.inner.close_write()?;
+                Ok(Delivery::Intact)
+            }
         }
+    }
+
+    /// Reads a seeded number of response bytes (at most `cap`), then drops
+    /// the transport entirely — a client that vanishes mid-response.
+    /// Returns how many bytes were actually read before the abandonment
+    /// (fewer than planned if the server finished or closed first).
+    pub fn abandon_after_reading(mut self, cap: u64) -> io::Result<usize> {
+        assert!(cap > 0, "abandon_after_reading(0)");
+        let want = 1 + self.rng.below(cap) as usize;
+        let mut buf = [0u8; 1024];
+        let mut total = 0;
+        while total < want {
+            let n = self.inner.read(&mut buf[..(want - total).min(1024)])?;
+            if n == 0 {
+                break;
+            }
+            total += n;
+        }
+        Ok(total)
     }
 }
 
@@ -375,5 +440,45 @@ mod tests {
             let (mem, _) = run(FaultClass::Garbage, seed);
             assert!(!mem.written[0].is_ascii_digit());
         }
+    }
+
+    #[test]
+    fn truncated_body_stays_internally_consistent() {
+        // The defining property: the rewritten prefix matches the cut body
+        // exactly, so the framing layer sees nothing wrong.
+        let frame = sample_frame();
+        let nl = frame.iter().position(|&b| b == b'\n').unwrap();
+        for seed in 0..32 {
+            let (mem, delivery) = run(FaultClass::TruncatedBody, seed);
+            assert_eq!(delivery, Delivery::Corrupted);
+            let lied_nl = mem.written.iter().position(|&b| b == b'\n').unwrap();
+            let declared: usize = std::str::from_utf8(&mem.written[..lied_nl])
+                .unwrap()
+                .parse()
+                .unwrap();
+            let body = &mem.written[lied_nl + 1..];
+            assert_eq!(declared, body.len(), "prefix must match the cut body");
+            assert!(body.len() < frame.len() - nl - 1, "body must be cut");
+            assert!(body.starts_with(b"P4\n"), "the PBM header survives");
+        }
+    }
+
+    #[test]
+    fn stream_abort_delivers_intact_then_half_closes() {
+        for seed in 0..8 {
+            let (mem, delivery) = run(FaultClass::StreamAbort, seed);
+            assert_eq!(delivery, Delivery::Intact);
+            assert_eq!(mem.written, sample_frame());
+            assert!(mem.write_closed, "the write side must vanish");
+        }
+    }
+
+    #[test]
+    fn abandon_after_reading_caps_and_reports_the_bytes_read() {
+        // MemStream reads EOF immediately, so the abandonment reads zero
+        // bytes; the point here is the seeded cap arithmetic and that the
+        // call consumes the wrapper without touching the write side.
+        let fs = FaultyStream::new(MemStream::default(), FaultClass::StreamAbort, 11);
+        assert_eq!(fs.abandon_after_reading(64).unwrap(), 0);
     }
 }

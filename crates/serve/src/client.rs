@@ -6,9 +6,17 @@
 //! `deadline`, `shutdown`, a one-off `panic`) triggers a reconnect and
 //! resubmit with jittered exponential backoff. Verdicts about the job
 //! itself (`bad-frame`, `too-large`, `overflow`) surface immediately.
+//!
+//! The pooled connection is mode-aware: [`Client::label`] keeps a plain
+//! v1 grid connection (no hello is ever sent, so v1 servers work
+//! unchanged), while [`Client::label_stream`] negotiates protocol-v2
+//! `stream` mode on connect and receives per-component feature records.
+//! Switching between the two drops the pooled connection and dials a
+//! fresh one in the right mode — a connection's response mode is fixed
+//! at its hello.
 
 use crate::chaos::DetRng;
-use crate::protocol::{self, JobOk, Response, WireError};
+use crate::protocol::{self, JobOk, JobStream, Response, ResponseMode, StreamResponse, WireError};
 use std::io::{self, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
@@ -112,6 +120,7 @@ pub struct Client {
     policy: RetryPolicy,
     rng: DetRng,
     stream: Option<TcpStream>,
+    mode: ResponseMode,
     frame: Vec<u8>,
     retries: u64,
 }
@@ -131,6 +140,7 @@ impl Client {
             policy,
             rng,
             stream: None,
+            mode: ResponseMode::Grid,
             frame: Vec::new(),
             retries: 0,
         }
@@ -144,10 +154,30 @@ impl Client {
 
     /// Labels `img` on the server, retrying transient failures per the
     /// policy. Returns the labeled grid or the reason the job is
-    /// unservable.
+    /// unservable. Uses a plain v1 grid connection; if the pooled
+    /// connection was negotiated for streaming it is dropped first.
     pub fn label(&mut self, img: &slap_image::Bitmap) -> Result<JobOk, ClientError> {
         self.frame.clear();
         slap_image::pbm::write_framed(img, &mut self.frame)?;
+        self.retry(Client::attempt_grid)
+    }
+
+    /// Labels `img` in protocol-v2 `stream` mode, retrying transient
+    /// failures per the policy. Returns the per-component feature records
+    /// instead of a label grid — the server never materializes the grid,
+    /// so this is the path for frames above the server's grid budget.
+    pub fn label_stream(&mut self, img: &slap_image::Bitmap) -> Result<JobStream, ClientError> {
+        self.frame.clear();
+        slap_image::pbm::write_framed(img, &mut self.frame)?;
+        self.retry(Client::attempt_stream)
+    }
+
+    /// The shared retry loop: both response modes differ only in how one
+    /// attempt submits the frame and parses the reply.
+    fn retry<T>(
+        &mut self,
+        attempt_one: fn(&mut Client, &[u8]) -> Result<T, AttemptError>,
+    ) -> Result<T, ClientError> {
         let mut last: Option<AttemptError> = None;
         for attempt in 0..self.policy.max_attempts {
             if attempt > 0 {
@@ -155,7 +185,7 @@ impl Client {
                 self.retries += 1;
             }
             let frame = std::mem::take(&mut self.frame);
-            let outcome = self.attempt(&frame);
+            let outcome = attempt_one(self, &frame);
             self.frame = frame;
             match outcome {
                 Ok(reply) => return Ok(reply),
@@ -176,8 +206,14 @@ impl Client {
         })
     }
 
-    fn attempt(&mut self, frame: &[u8]) -> Result<JobOk, AttemptError> {
+    /// Ensures the pooled connection exists and was dialed for `mode`,
+    /// reconnecting (and renegotiating) when the mode differs. Grid mode
+    /// sends no hello at all, so v1 servers keep working.
+    fn ensure_conn(&mut self, mode: ResponseMode) -> Result<(), AttemptError> {
         let io_err = AttemptError::Io;
+        if self.mode != mode {
+            self.stream = None;
+        }
         if self.stream.is_none() {
             let stream = TcpStream::connect(self.addr).map_err(io_err)?;
             stream
@@ -187,8 +223,26 @@ impl Client {
                 .set_write_timeout(Some(self.policy.io_timeout))
                 .map_err(io_err)?;
             let _ = stream.set_nodelay(true);
+            if mode == ResponseMode::Stream {
+                protocol::write_hello(&mut (&stream), mode).map_err(io_err)?;
+                let mut reader = BufReader::new(stream.try_clone().map_err(io_err)?);
+                let echoed = protocol::read_hello(&mut reader).map_err(io_err)?;
+                if echoed != ResponseMode::Stream {
+                    return Err(AttemptError::Io(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("server echoed mode {echoed}, wanted stream"),
+                    )));
+                }
+            }
             self.stream = Some(stream);
+            self.mode = mode;
         }
+        Ok(())
+    }
+
+    fn attempt_grid(&mut self, frame: &[u8]) -> Result<JobOk, AttemptError> {
+        let io_err = AttemptError::Io;
+        self.ensure_conn(ResponseMode::Grid)?;
         let stream = self.stream.as_mut().expect("just connected");
         stream.write_all(frame).map_err(io_err)?;
         stream.flush().map_err(io_err)?;
@@ -200,6 +254,25 @@ impl Client {
             ))),
             Some(Response::Ok(ok)) => Ok(ok),
             Some(Response::Rejected { code, detail }) => {
+                Err(AttemptError::Rejected { code, detail })
+            }
+        }
+    }
+
+    fn attempt_stream(&mut self, frame: &[u8]) -> Result<JobStream, AttemptError> {
+        let io_err = AttemptError::Io;
+        self.ensure_conn(ResponseMode::Stream)?;
+        let stream = self.stream.as_mut().expect("just connected");
+        stream.write_all(frame).map_err(io_err)?;
+        stream.flush().map_err(io_err)?;
+        let mut reader = BufReader::new(stream.try_clone().map_err(io_err)?);
+        match protocol::read_stream_response(&mut reader).map_err(io_err)? {
+            None => Err(AttemptError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed before answering",
+            ))),
+            Some(StreamResponse::Ok(ok)) => Ok(ok),
+            Some(StreamResponse::Rejected { code, detail }) => {
                 Err(AttemptError::Rejected { code, detail })
             }
         }
@@ -290,6 +363,56 @@ mod tests {
         let stats = server.shutdown();
         assert_eq!(stats.jobs_ok, 3);
         assert_eq!(stats.connections, 1, "one pooled connection");
+    }
+
+    #[test]
+    fn label_stream_negotiates_and_returns_records() {
+        let server = Server::bind(
+            "127.0.0.1:0",
+            ServeConfig {
+                workers: 1,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let mut client = Client::connect(server.local_addr());
+        let img = blob(12, 20);
+        let foreground: u64 = (0..12)
+            .map(|r| (0..20).filter(|&c| img.get(r, c)).count() as u64)
+            .sum();
+        for _ in 0..2 {
+            let ok = client.label_stream(&img).unwrap();
+            assert_eq!((ok.rows, ok.cols), (12, 20));
+            assert_eq!(ok.components, 1);
+            assert_eq!(ok.records.len(), 1);
+            assert_eq!(ok.records[0].area, foreground);
+        }
+        assert_eq!(client.retries(), 0);
+        let stats = server.shutdown();
+        assert_eq!(stats.jobs_streamed, 2);
+        assert_eq!(stats.connections, 1, "stream conn is pooled too");
+    }
+
+    #[test]
+    fn switching_modes_redials_in_the_right_mode() {
+        let server = Server::bind(
+            "127.0.0.1:0",
+            ServeConfig {
+                workers: 1,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let mut client = Client::connect(server.local_addr());
+        let img = blob(10, 10);
+        assert_eq!(client.label(&img).unwrap().components, 1);
+        assert_eq!(client.label_stream(&img).unwrap().components, 1);
+        assert_eq!(client.label(&img).unwrap().components, 1);
+        assert_eq!(client.retries(), 0, "mode switches are not retries");
+        let stats = server.shutdown();
+        assert_eq!(stats.jobs_ok, 3);
+        assert_eq!(stats.jobs_streamed, 1);
+        assert_eq!(stats.connections, 3, "each switch dials fresh");
     }
 
     #[test]

@@ -11,12 +11,20 @@
 //!   per-job wall-clock deadlines with a watchdog, panic isolation with
 //!   session rebuild, and graceful drain.
 //! * [`protocol`] — the wire format: framed-PBM jobs in, `OK` label
-//!   payloads or a closed taxonomy of typed `ERR` codes out.
+//!   payloads, v2 `STREAM` feature-record responses, or a closed taxonomy
+//!   of typed `ERR` codes out, with a versioned hello so v1 clients keep
+//!   working untouched.
+//! * [`wire`] — the shared length-prefixed [`wire::Frame`] codec (one
+//!   implementation for request framing, PBM ingest, and stream records)
+//!   and the fixed-width feature-record encoding.
+//! * [`poll`] — the minimal raw-libc `poll(2)` shim behind the
+//!   readiness-based connection core (idle keep-alives cost no thread).
 //! * [`client::Client`] — connection pooling and jittered-exponential
 //!   retry, safe because labeling is idempotent.
 //! * [`chaos`] — seeded fault scripts ([`chaos::FaultyStream`]) for the
 //!   integration suite: truncation, short ops, mid-frame disconnects,
-//!   lying length prefixes, stalls, and garbage.
+//!   lying length prefixes, stalls, garbage, rasters truncated inside a
+//!   consistent frame, and clients that vanish mid-response.
 //!
 //! Everything is `std`-only: threads, `TcpListener`, `Mutex`/`Condvar`,
 //! and `mpsc` — no async runtime to depend on or to misbehave under load.
@@ -25,12 +33,15 @@
 
 pub mod chaos;
 pub mod client;
+pub mod poll;
 pub mod protocol;
 pub mod queue;
 pub mod server;
+pub mod wire;
 
 pub use chaos::{Delivery, DetRng, FaultClass, FaultyStream};
 pub use client::{Client, ClientError, RetryPolicy};
-pub use protocol::{JobOk, Response, WireError};
+pub use protocol::{JobOk, JobStream, Response, ResponseMode, StreamResponse, WireError};
 pub use queue::{BoundedQueue, PushRejection};
 pub use server::{JobHook, ServeConfig, Server, ServerStats, StatsSnapshot};
+pub use wire::{Frame, FrameError, RECORD_BYTES};

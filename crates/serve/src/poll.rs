@@ -1,0 +1,159 @@
+//! A minimal raw-libc `poll(2)` shim for the readiness-based connection
+//! core — the same no-crates.io discipline as the raw `signal(2)` binding
+//! in the CLI: declare exactly the symbols used, nothing vendored.
+//!
+//! Only what the server's event loop needs is bound: `poll` itself (with
+//! EINTR retry and deadline-aware timeout recomputation) and the `fcntl`
+//! calls that flip a descriptor nonblocking. The constants are the
+//! Linux/glibc values; they match every libc this workspace targets.
+
+use std::io;
+use std::os::fd::RawFd;
+use std::time::Duration;
+
+/// Readable data (or a connection to accept) is available.
+pub const POLLIN: i16 = 0x001;
+/// Writing would not block.
+pub const POLLOUT: i16 = 0x004;
+/// Error condition (revents only).
+pub const POLLERR: i16 = 0x008;
+/// Peer hung up (revents only).
+pub const POLLHUP: i16 = 0x010;
+/// The fd was not open (revents only).
+pub const POLLNVAL: i16 = 0x020;
+
+/// One slot of a `poll(2)` set, ABI-compatible with `struct pollfd`.
+#[repr(C)]
+#[derive(Clone, Copy, Debug)]
+pub struct PollFd {
+    /// The descriptor to watch (< 0 slots are ignored by the kernel).
+    pub fd: RawFd,
+    /// Requested events ([`POLLIN`] / [`POLLOUT`]).
+    pub events: i16,
+    /// Returned events, filled by the kernel.
+    pub revents: i16,
+}
+
+impl PollFd {
+    /// A slot watching `fd` for `events`, `revents` cleared.
+    pub fn new(fd: RawFd, events: i16) -> Self {
+        PollFd {
+            fd,
+            events,
+            revents: 0,
+        }
+    }
+
+    /// Whether any readiness (or error/hangup — both demand attention) was
+    /// reported on this slot.
+    pub fn ready(&self) -> bool {
+        self.revents != 0
+    }
+}
+
+const F_GETFL: i32 = 3;
+const F_SETFL: i32 = 4;
+const O_NONBLOCK: i32 = 0o4000;
+
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: core::ffi::c_ulong, timeout: core::ffi::c_int) -> i32;
+    fn fcntl(fd: i32, cmd: i32, arg: i32) -> i32;
+}
+
+/// Blocks until at least one slot is ready or `timeout` elapses (`None` =
+/// forever). Returns the number of ready slots (0 on timeout). `EINTR` is
+/// retried with the remaining time, so callers never see spurious wakeups
+/// from signals.
+pub fn poll_fds(fds: &mut [PollFd], timeout: Option<Duration>) -> io::Result<usize> {
+    let deadline = timeout.map(|t| std::time::Instant::now() + t);
+    loop {
+        let millis: i32 = match deadline {
+            None => -1,
+            Some(d) => {
+                let left = d.saturating_duration_since(std::time::Instant::now());
+                // Round up so a 0 < left < 1ms wait does not spin.
+                left.as_nanos().div_ceil(1_000_000).min(i32::MAX as u128) as i32
+            }
+        };
+        let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as core::ffi::c_ulong, millis) };
+        if rc >= 0 {
+            return Ok(rc as usize);
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() != io::ErrorKind::Interrupted {
+            return Err(err);
+        }
+        if let Some(d) = deadline {
+            if std::time::Instant::now() >= d {
+                return Ok(0);
+            }
+        }
+    }
+}
+
+/// Flips `fd` into nonblocking mode (used for the wake-pipe ends; sockets
+/// go through `TcpStream::set_nonblocking`).
+pub fn set_nonblocking(fd: RawFd) -> io::Result<()> {
+    let flags = unsafe { fcntl(fd, F_GETFL, 0) };
+    if flags < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    if flags & O_NONBLOCK != 0 {
+        return Ok(());
+    }
+    if unsafe { fcntl(fd, F_SETFL, flags | O_NONBLOCK) } < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::os::fd::AsRawFd;
+
+    #[test]
+    fn a_timeout_with_nothing_ready_returns_zero() {
+        let (reader, _writer) = io::pipe().unwrap();
+        let mut fds = [PollFd::new(reader.as_raw_fd(), POLLIN)];
+        let start = std::time::Instant::now();
+        let n = poll_fds(&mut fds, Some(Duration::from_millis(30))).unwrap();
+        assert_eq!(n, 0);
+        assert!(start.elapsed() >= Duration::from_millis(25));
+        assert!(!fds[0].ready());
+    }
+
+    #[test]
+    fn a_written_pipe_reports_readable() {
+        let (reader, mut writer) = io::pipe().unwrap();
+        writer.write_all(b"x").unwrap();
+        let mut fds = [PollFd::new(reader.as_raw_fd(), POLLIN)];
+        let n = poll_fds(&mut fds, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(n, 1);
+        assert!(fds[0].revents & POLLIN != 0);
+    }
+
+    #[test]
+    fn a_closed_writer_reports_hangup_or_readable_eof() {
+        let (mut reader, writer) = io::pipe().unwrap();
+        drop(writer);
+        let mut fds = [PollFd::new(reader.as_raw_fd(), POLLIN)];
+        let n = poll_fds(&mut fds, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(n, 1);
+        assert!(fds[0].ready());
+        let mut buf = [0u8; 1];
+        assert_eq!(reader.read(&mut buf).unwrap(), 0, "EOF behind the event");
+    }
+
+    #[test]
+    fn nonblocking_mode_turns_an_empty_read_into_would_block() {
+        let (mut reader, _writer) = io::pipe().unwrap();
+        set_nonblocking(reader.as_raw_fd()).unwrap();
+        // Idempotent.
+        set_nonblocking(reader.as_raw_fd()).unwrap();
+        let mut buf = [0u8; 1];
+        let err = reader.read(&mut buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+    }
+}

@@ -15,9 +15,45 @@
 //! `ERR` codes are the closed [`WireError`] taxonomy — a client can branch
 //! on the code (retry on `queue-full`, give up on `too-large`) without
 //! parsing prose.
+//!
+//! # Protocol v2: negotiated response modes
+//!
+//! A v2 client opens its connection with a hello line:
+//!
+//! ```text
+//! HELLO slapd/2 <mode>\n
+//! ```
+//!
+//! where `<mode>` is `grid` or `stream` ([`ResponseMode`]); the server
+//! echoes the hello back with the mode it granted, and every job on that
+//! connection is answered in the granted mode. A connection whose first
+//! byte is a frame length digit instead of `H` is a v1 client: no hello is
+//! exchanged and responses stay whole-grid, so v1 clients work untouched.
+//!
+//! In `stream` mode the per-job response replaces the grid payload with
+//! the retired-component feature records the scan-line engine produces —
+//! `O(components)` bytes instead of `O(pixels)`:
+//!
+//! ```text
+//! STREAM <rows> <cols>\n
+//! <len>\n<len-byte record>    (0 or more, one per component)
+//! 0\n                          (zero-length terminator frame)
+//! END <components>\n
+//! ```
+//!
+//! Each record frame body is the 56-byte little-endian encoding of one
+//! [`RetiredComponent`] ([`crate::wire::encode_record`]); the `END` trailer
+//! double-checks the count. Rejections are the same `ERR` records as v1 in
+//! both modes.
 
+use crate::wire::{decode_record, encode_record, Frame, FrameError, RECORD_BYTES};
 use slap_image::pbm::PbmError;
+use slap_image::RetiredComponent;
 use std::io::{self, BufRead, Write};
+
+/// The protocol generation spoken by this build: the `2` in
+/// `HELLO slapd/2`.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Hard cap on an `OK` payload a client will buffer (bytes). The label grid
 /// of the largest admissible job (`rows × cols < u32::MAX` pixels) fits; a
@@ -26,7 +62,87 @@ pub const MAX_PAYLOAD_BYTES: u64 = (u32::MAX as u64) * 4;
 
 /// Cap on a response header line; anything longer is a protocol violation,
 /// not a response.
-const MAX_HEADER_BYTES: usize = 256;
+pub(crate) const MAX_HEADER_BYTES: usize = 256;
+
+/// How a connection wants its successful job responses encoded, negotiated
+/// once per connection by the v2 hello.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum ResponseMode {
+    /// Whole label grids, one `u32` per pixel — the v1 format and the
+    /// default when no hello is exchanged.
+    #[default]
+    Grid,
+    /// Length-prefixed retired-component feature records: `O(components)`
+    /// bytes per job, and the only mode in which frames above the grid
+    /// pixel budget are routed out-of-core instead of rejected.
+    Stream,
+}
+
+impl ResponseMode {
+    /// The stable wire token for this mode.
+    pub fn name(self) -> &'static str {
+        match self {
+            ResponseMode::Grid => "grid",
+            ResponseMode::Stream => "stream",
+        }
+    }
+
+    /// Parses a wire token as produced by [`ResponseMode::name`].
+    pub fn parse(s: &str) -> Option<ResponseMode> {
+        match s {
+            "grid" => Some(ResponseMode::Grid),
+            "stream" => Some(ResponseMode::Stream),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ResponseMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Writes one hello line (`HELLO slapd/<version> <mode>`): the client's
+/// opening request, and the server's echo granting a mode.
+pub fn write_hello<W: Write>(w: &mut W, mode: ResponseMode) -> io::Result<()> {
+    writeln!(w, "HELLO slapd/{PROTOCOL_VERSION} {}", mode.name())?;
+    w.flush()
+}
+
+/// Parses a hello line (without its terminating newline) into the speaker's
+/// protocol version and requested mode. `None` if the line is not a
+/// well-formed hello.
+pub fn parse_hello(line: &str) -> Option<(u32, ResponseMode)> {
+    let mut parts = line.split(' ');
+    if parts.next() != Some("HELLO") {
+        return None;
+    }
+    let version = parts.next()?.strip_prefix("slapd/")?.parse::<u32>().ok()?;
+    let mode = ResponseMode::parse(parts.next()?)?;
+    if parts.next().is_some() {
+        return None;
+    }
+    Some((version, mode))
+}
+
+/// Reads the server's hello echo and returns the granted mode. An `ERR`
+/// line in place of the echo surfaces as `InvalidData` carrying the detail;
+/// a clean close surfaces as `UnexpectedEof`.
+pub fn read_hello<R: BufRead>(r: &mut R) -> io::Result<ResponseMode> {
+    let line = read_header_line(r)?.ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "server closed before the hello echo",
+        )
+    })?;
+    parse_hello(&line).map(|(_, mode)| mode).ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("expected a hello echo, got {line:?}"),
+        )
+    })
+}
 
 /// The closed set of typed job-rejection codes `slapd` can answer with.
 ///
@@ -137,6 +253,149 @@ pub enum Response {
     },
 }
 
+/// A successful stream-mode job reply: per-component feature records
+/// instead of a pixel grid.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobStream {
+    /// Image height.
+    pub rows: usize,
+    /// Image width.
+    pub cols: usize,
+    /// Connected components found (equals `records.len()`, double-checked
+    /// against the `END` trailer on read).
+    pub components: usize,
+    /// One feature record per component, in retirement order.
+    pub records: Vec<RetiredComponent>,
+}
+
+/// One parsed stream-mode server response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StreamResponse {
+    /// The job was labeled; features arrived as records.
+    Ok(JobStream),
+    /// The job was rejected with a typed code (same taxonomy as v1).
+    Rejected {
+        /// The typed rejection code.
+        code: WireError,
+        /// Human-readable detail (single line, diagnostic only).
+        detail: String,
+    },
+}
+
+/// Writes a `STREAM` response: header, one frame per record, the
+/// zero-length terminator frame, and the `END` trailer. `scratch` is the
+/// caller's reusable record-encoding buffer (cleared per record).
+pub fn write_stream_ok<W: Write>(
+    w: &mut W,
+    rows: usize,
+    cols: usize,
+    records: &[RetiredComponent],
+    scratch: &mut Vec<u8>,
+) -> io::Result<()> {
+    writeln!(w, "STREAM {rows} {cols}")?;
+    for rec in records {
+        scratch.clear();
+        encode_record(rec, scratch);
+        Frame::write(&mut *w, scratch)?;
+    }
+    Frame::write(&mut *w, b"")?;
+    writeln!(w, "END {}", records.len())?;
+    w.flush()
+}
+
+/// Reads one stream-mode server response. `Ok(None)` at a clean end of
+/// stream. Record frames are bounded at [`RECORD_BYTES`] each and the
+/// record count at `rows × cols` (a pixel can belong to at most one
+/// component), so a hostile server cannot force unbounded allocation.
+pub fn read_stream_response<R: BufRead>(r: &mut R) -> io::Result<Option<StreamResponse>> {
+    let Some(line) = read_header_line(r)? else {
+        return Ok(None);
+    };
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, format!("{msg}: {line:?}"));
+    let mut parts = line.splitn(3, ' ');
+    match parts.next() {
+        Some("STREAM") => {
+            let mut num = |name: &str| -> io::Result<u64> {
+                parts
+                    .next()
+                    .and_then(|t| t.parse::<u64>().ok())
+                    .ok_or_else(|| bad(&format!("bad {name} in STREAM header")))
+            };
+            let rows = num("rows")?;
+            let cols = num("cols")?;
+            let max_records = rows
+                .checked_mul(cols)
+                .filter(|&px| px > 0)
+                .ok_or_else(|| bad("absurd dims in STREAM header"))?;
+            let mut records = Vec::new();
+            let mut body = Vec::new();
+            loop {
+                let got = Frame::read_into(&mut *r, &mut body, RECORD_BYTES)
+                    .map_err(frame_to_io)?
+                    .ok_or_else(|| {
+                        io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "stream response truncated before its terminator",
+                        )
+                    })?;
+                if got == 0 {
+                    break;
+                }
+                let rec = decode_record(&body)
+                    .ok_or_else(|| bad(&format!("record frame of {got} bytes")))?;
+                if records.len() as u64 >= max_records {
+                    return Err(bad("more records than pixels"));
+                }
+                records.push(rec);
+            }
+            let trailer =
+                read_header_line(r)?.ok_or_else(|| bad("stream response truncated before END"))?;
+            let count = trailer
+                .strip_prefix("END ")
+                .and_then(|t| t.parse::<usize>().ok())
+                .ok_or_else(|| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("bad stream trailer: {trailer:?}"),
+                    )
+                })?;
+            if count != records.len() {
+                return Err(bad(&format!(
+                    "END declares {count} records, {} arrived",
+                    records.len()
+                )));
+            }
+            Ok(Some(StreamResponse::Ok(JobStream {
+                rows: rows as usize,
+                cols: cols as usize,
+                components: count,
+                records,
+            })))
+        }
+        Some("ERR") => {
+            let code = parts
+                .next()
+                .and_then(WireError::parse)
+                .ok_or_else(|| bad("unknown ERR code"))?;
+            let detail = parts.next().unwrap_or("").to_string();
+            Ok(Some(StreamResponse::Rejected { code, detail }))
+        }
+        _ => Err(bad("unrecognized stream response header")),
+    }
+}
+
+/// Maps a framing failure on the record stream to the `io::Error` the
+/// response readers speak.
+fn frame_to_io(e: FrameError) -> io::Error {
+    match e {
+        FrameError::Io(inner) => inner,
+        trunc @ FrameError::Truncated { .. } => {
+            io::Error::new(io::ErrorKind::UnexpectedEof, trunc.to_string())
+        }
+        other => io::Error::new(io::ErrorKind::InvalidData, other.to_string()),
+    }
+}
+
 /// Writes an `OK` response. `scratch` is the caller's reusable byte buffer
 /// for the payload encoding (cleared here), so a warm connection thread
 /// serializes without reallocating.
@@ -172,7 +431,7 @@ pub fn write_err<W: Write>(w: &mut W, code: WireError, detail: &str) -> io::Resu
 
 /// Reads one response header line (bytes up to `\n`, bounded). `Ok(None)`
 /// at a clean end of stream before any byte.
-fn read_header_line<R: BufRead>(r: &mut R) -> io::Result<Option<String>> {
+pub(crate) fn read_header_line<R: BufRead>(r: &mut R) -> io::Result<Option<String>> {
     let mut line = Vec::new();
     loop {
         let mut b = [0u8; 1];
@@ -363,6 +622,139 @@ mod tests {
         assert!(!WireError::BadFrame.retryable());
         assert!(!WireError::TooLarge.retryable());
         assert!(!WireError::Overflow.retryable());
+    }
+
+    #[test]
+    fn hello_lines_roundtrip_both_modes() {
+        for mode in [ResponseMode::Grid, ResponseMode::Stream] {
+            let mut buf = Vec::new();
+            write_hello(&mut buf, mode).unwrap();
+            let line = std::str::from_utf8(&buf).unwrap().trim_end();
+            assert_eq!(parse_hello(line), Some((PROTOCOL_VERSION, mode)));
+            let mut r = io::BufReader::new(&buf[..]);
+            assert_eq!(read_hello(&mut r).unwrap(), mode);
+        }
+        assert_eq!(parse_hello("HELLO slapd/2"), None);
+        assert_eq!(parse_hello("HELLO slapd/x grid"), None);
+        assert_eq!(parse_hello("HELLO other/2 grid"), None);
+        assert_eq!(parse_hello("HELLO slapd/2 grid extra"), None);
+        assert_eq!(parse_hello("OK 1 1 1 4"), None);
+        assert_eq!(ResponseMode::parse("stream"), Some(ResponseMode::Stream));
+        assert_eq!(ResponseMode::parse("nope"), None);
+    }
+
+    #[test]
+    fn stream_response_roundtrips() {
+        let records = vec![
+            RetiredComponent {
+                min_pos_col: 0,
+                min_pos_row: 0,
+                area: 3,
+                min_row: 0,
+                max_row: 1,
+                min_col: 0,
+                max_col: 1,
+                sum_row: 1,
+                sum_col: 1,
+                perimeter: 8,
+            },
+            RetiredComponent {
+                min_pos_col: 3,
+                min_pos_row: 2,
+                area: 1,
+                min_row: 2,
+                max_row: 2,
+                min_col: 3,
+                max_col: 3,
+                sum_row: 2,
+                sum_col: 3,
+                perimeter: 4,
+            },
+        ];
+        let mut buf = Vec::new();
+        let mut scratch = Vec::new();
+        write_stream_ok(&mut buf, 3, 4, &records, &mut scratch).unwrap();
+        let mut r = io::BufReader::new(&buf[..]);
+        match read_stream_response(&mut r).unwrap().unwrap() {
+            StreamResponse::Ok(job) => {
+                assert_eq!((job.rows, job.cols, job.components), (3, 4, 2));
+                assert_eq!(job.records, records);
+            }
+            other => panic!("expected STREAM, got {other:?}"),
+        }
+        assert!(read_stream_response(&mut r).unwrap().is_none(), "clean end");
+    }
+
+    #[test]
+    fn empty_stream_response_roundtrips() {
+        let mut buf = Vec::new();
+        let mut scratch = Vec::new();
+        write_stream_ok(&mut buf, 5, 5, &[], &mut scratch).unwrap();
+        let mut r = io::BufReader::new(&buf[..]);
+        match read_stream_response(&mut r).unwrap().unwrap() {
+            StreamResponse::Ok(job) => {
+                assert_eq!(job.components, 0);
+                assert!(job.records.is_empty());
+            }
+            other => panic!("expected STREAM, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stream_errors_share_the_v1_taxonomy() {
+        for code in WireError::ALL {
+            let mut buf = Vec::new();
+            write_err(&mut buf, code, "why it failed").unwrap();
+            let mut r = io::BufReader::new(&buf[..]);
+            match read_stream_response(&mut r).unwrap().unwrap() {
+                StreamResponse::Rejected { code: got, detail } => {
+                    assert_eq!(got, code);
+                    assert_eq!(detail, "why it failed");
+                }
+                other => panic!("expected ERR, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn hostile_stream_responses_are_typed_errors() {
+        // Truncated before the terminator frame.
+        let mut r = io::BufReader::new(&b"STREAM 2 2\n"[..]);
+        assert_eq!(
+            read_stream_response(&mut r).unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+        // A record frame wider than RECORD_BYTES is an overflow, not an
+        // allocation.
+        let mut r = io::BufReader::new(&b"STREAM 2 2\n999999\nx"[..]);
+        assert!(read_stream_response(&mut r).is_err());
+        // A record frame of the wrong (short) length.
+        let mut r = io::BufReader::new(&b"STREAM 2 2\n3\nabc0\nEND 1\n"[..]);
+        assert!(read_stream_response(&mut r).is_err());
+        // A lying END count.
+        let mut buf = Vec::new();
+        let mut scratch = Vec::new();
+        write_stream_ok(&mut buf, 2, 2, &[], &mut scratch).unwrap();
+        let lying = String::from_utf8(buf).unwrap().replace("END 0", "END 9");
+        let mut r = io::BufReader::new(lying.as_bytes());
+        assert!(read_stream_response(&mut r).is_err());
+        // More records than pixels.
+        let mut buf = Vec::new();
+        let rec = RetiredComponent {
+            min_pos_col: 0,
+            min_pos_row: 0,
+            area: 1,
+            min_row: 0,
+            max_row: 0,
+            min_col: 0,
+            max_col: 0,
+            sum_row: 0,
+            sum_col: 0,
+            perimeter: 4,
+        };
+        write_stream_ok(&mut buf, 1, 1, &[rec, rec], &mut scratch).unwrap();
+        let mut r = io::BufReader::new(&buf[..]);
+        assert!(read_stream_response(&mut r).is_err());
     }
 
     #[test]

@@ -4,46 +4,64 @@
 //! the warm labeling engines:
 //!
 //! ```text
-//!  acceptor ──► connection threads ──► bounded queue ──► worker pool
-//!                  │  parse + guards       │  backpressure   │  warm engine
-//!                  │  (typed ERR early)    │  + byte budget  │  sessions,
-//!                  ▼                       ▼                 ▼  catch_unwind
-//!               typed ERR            queue-full ERR     panic ⇒ rebuild
+//!  poll loop ──► connection state machines ──► bounded queue ──► workers
+//!     │  accept + readiness   │  parse + guards     │  backpressure  │ warm
+//!     │  (idle conns cost     │  (typed ERR early)  │  + byte budget │ engine
+//!     ▼   no thread)          ▼                     ▼               ▼ pools
+//!  nonblocking I/O        typed ERR           queue-full ERR   panic ⇒ rebuild
 //! ```
 //!
+//! * **Readiness core**: one poll thread (raw `poll(2)` via [`crate::poll`])
+//!   owns the listener and every connection as a nonblocking state machine
+//!   (greeting → frame prefix → frame body → job in flight). An idle
+//!   keep-alive connection is one `pollfd` slot, not a parked thread; the
+//!   whole server runs on `1 poll + workers + 1 watchdog` threads.
 //! * **Admission guards** run before any allocation proportional to the
 //!   job: dimension caps, `rows × cols` overflow, pixel budget.
+//! * **Response modes**: a protocol-v2 hello negotiates `grid` (v1 label
+//!   grids, the default — v1 clients never send a hello and are served
+//!   unchanged) or `stream` (retired-component feature records). Stream
+//!   jobs above `max_pixels` are not rejected: they route through the
+//!   out-of-core band scheduler at `O(cols + live)` carried state, with
+//!   `max_stream_pixels` as the hard cap.
 //! * **Backpressure** is the bounded queue — when it is full the client
 //!   gets a typed `queue-full` rejection immediately; the server never
 //!   buffers unbounded work.
 //! * **Deadlines** are wall-clock per job: the watchdog sweeps expired
-//!   queued jobs, workers refuse to start expired work, and connection
-//!   threads stop waiting past the deadline.
+//!   queued jobs, workers refuse to start expired work, and the poll loop
+//!   stops waiting past the deadline.
 //! * **Panic isolation**: a panicking engine is caught with
 //!   `catch_unwind`, the job answers `ERR panic`, the worker rebuilds its
-//!   sessions, and the server keeps serving.
+//!   sessions, and the server keeps serving. A stream job whose buffered
+//!   body turns out truncated fails with `ERR bad-frame` and rebuilds
+//!   nothing.
 //! * **Graceful drain**: [`Server::shutdown`] stops accepting, rejects new
 //!   jobs with `shutdown`, finishes everything in flight, and returns the
 //!   final stats snapshot.
 
-use crate::protocol::{self, WireError};
+use crate::poll::{poll_fds, set_nonblocking, PollFd, POLLERR, POLLHUP, POLLIN, POLLOUT};
+use crate::protocol::{self, ResponseMode, WireError};
 use crate::queue::{BoundedQueue, PushRejection};
-use slap_cc::stream::RowSource;
+use crate::wire::PrefixParser;
+use slap_cc::stream::label_stream;
 use slap_cc::{Connectivity, EngineKind, LabelEngine};
-use slap_image::pbm::{FramedPbmReader, PbmError, PbmRowReader};
-use slap_image::{Bitmap, LabelGrid};
-use std::io::{self, Write};
+use slap_image::pbm::{PbmError, PbmRowReader, MAX_FRAME_BYTES};
+use slap_image::stream::RowSource;
+use slap_image::{Bitmap, LabelGrid, OutOfCoreLabeler, RetiredComponent};
+use std::io::{self, PipeReader, PipeWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::fd::AsRawFd;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex, Once};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-/// A pre-compute inspection hook, called with each admitted job's bitmap
-/// on the worker thread before labeling. Tests use it to inject panics and
-/// delays; production leaves it `None`.
+/// A pre-compute inspection hook, called with each admitted grid-mode job's
+/// bitmap on the worker thread before labeling (stream-mode jobs never
+/// materialize a bitmap, so the hook does not see them). Tests use it to
+/// inject panics and delays; production leaves it `None`.
 pub type JobHook = Arc<dyn Fn(&Bitmap) + Send + Sync>;
 
 /// Tunable limits and behavior for a [`Server`].
@@ -60,8 +78,14 @@ pub struct ServeConfig {
     pub queue_budget_bytes: usize,
     /// Maximum rows and maximum cols per job.
     pub max_dim: usize,
-    /// Maximum `rows × cols` per job.
+    /// Maximum `rows × cols` for a whole-grid response; in stream mode the
+    /// *routing threshold* instead — larger frames go out-of-core.
     pub max_pixels: u64,
+    /// Hard pixel cap for stream-mode jobs (the out-of-core path).
+    pub max_stream_pixels: u64,
+    /// Rows per band for the out-of-core scheduler (clamped so a band
+    /// never exceeds the `u32` position space at `max_dim` width).
+    pub ooc_band_rows: usize,
     /// Wall-clock budget per job, from admission to response.
     pub deadline: Duration,
     /// Socket read/write timeout — how long a client may stall mid-frame.
@@ -84,6 +108,8 @@ impl Default for ServeConfig {
             queue_budget_bytes: 256 << 20,
             max_dim: 1 << 15,
             max_pixels: 1 << 26,
+            max_stream_pixels: 1 << 30,
+            ooc_band_rows: 128,
             deadline: Duration::from_secs(5),
             io_timeout: Duration::from_secs(5),
             parallel_threshold_pixels: 1 << 21,
@@ -104,6 +130,8 @@ impl std::fmt::Debug for ServeConfig {
             .field("queue_budget_bytes", &self.queue_budget_bytes)
             .field("max_dim", &self.max_dim)
             .field("max_pixels", &self.max_pixels)
+            .field("max_stream_pixels", &self.max_stream_pixels)
+            .field("ooc_band_rows", &self.ooc_band_rows)
             .field("deadline", &self.deadline)
             .field("io_timeout", &self.io_timeout)
             .field("parallel_threshold_pixels", &self.parallel_threshold_pixels)
@@ -118,7 +146,7 @@ macro_rules! stats_fields {
         /// Live server counters (lock-free, updated by every thread).
         #[derive(Debug, Default)]
         pub struct ServerStats {
-            $($(#[$doc])* pub $name: AtomicU64,)*
+            $($(#[$doc])* pub $name: std::sync::atomic::AtomicU64,)*
         }
 
         /// A point-in-time copy of [`ServerStats`] plus queue high-water
@@ -147,8 +175,19 @@ macro_rules! stats_fields {
 stats_fields! {
     /// Connections accepted.
     connections,
-    /// Jobs labeled and answered `OK`.
+    /// Jobs labeled and answered (`OK` or `STREAM`), counted once the
+    /// response is fully flushed to the socket.
     jobs_ok,
+    /// Stream-mode jobs answered with feature records (a subset of
+    /// `jobs_ok`).
+    jobs_streamed,
+    /// Stream-mode jobs routed through the out-of-core band scheduler
+    /// because they exceeded `max_pixels` (a subset of `jobs_streamed`).
+    jobs_ooc,
+    /// High-water mark of per-job carried state on the streaming paths
+    /// (frontier runs for in-core streams, carried boundary runs
+    /// out-of-core) — the measurable `O(cols + live)` claim.
+    peak_carried_runs,
     /// `bad-frame` rejections (parse failures, garbage, truncation).
     bad_frame,
     /// `too-large` rejections (dimension or pixel budget).
@@ -198,17 +237,88 @@ impl StatsSnapshot {
     }
 }
 
-/// One admitted job traveling from a connection thread to a worker.
+/// Wakes the poll loop from any thread by writing one byte down a
+/// self-pipe whose read end sits in the poll set.
+struct Waker {
+    pipe: Mutex<PipeWriter>,
+}
+
+impl Waker {
+    fn wake(&self) {
+        let mut w = self.pipe.lock().unwrap_or_else(|e| e.into_inner());
+        // A full pipe already guarantees a pending wakeup; WouldBlock (and
+        // any other failure) is safely ignorable.
+        let _ = w.write(&[1]);
+    }
+}
+
+/// The work a job carries to a worker: a materialized bitmap for grid
+/// responses, or the raw framed-PBM body for stream responses (never
+/// expanded to pixels on the server).
+enum Payload {
+    Grid(Bitmap),
+    Stream {
+        /// The complete frame body (PBM header + raster), parsed row by
+        /// row on the worker.
+        body: Vec<u8>,
+        /// Route through the out-of-core band scheduler (the frame is
+        /// above `max_pixels`).
+        ooc: bool,
+    },
+}
+
+/// One admitted job traveling from the poll loop to a worker.
 struct Job {
-    img: Bitmap,
+    payload: Payload,
     deadline: Instant,
-    resp: mpsc::SyncSender<Outcome>,
+    resp: Responder,
 }
 
 enum Outcome {
-    Labeled { components: usize, labels: Vec<u32> },
+    Labeled {
+        components: usize,
+        labels: Vec<u32>,
+    },
+    Streamed {
+        records: Vec<RetiredComponent>,
+        ooc: bool,
+    },
+    /// The job failed inside the worker for a reason that is the job's
+    /// fault (e.g. a truncated raster discovered while streaming the
+    /// buffered body). Answered as a typed `ERR`; no pool is rebuilt.
+    Failed {
+        code: WireError,
+        detail: String,
+    },
     Panicked,
     Expired,
+}
+
+/// A job's reply path: completions are posted to the poll loop's channel
+/// and the loop is woken. `seq` lets the loop drop stale completions for
+/// jobs it already timed out.
+struct Responder {
+    tx: mpsc::Sender<Completion>,
+    token: u64,
+    seq: u64,
+    waker: Arc<Waker>,
+}
+
+impl Responder {
+    fn send(&self, outcome: Outcome) {
+        let _ = self.tx.send(Completion {
+            token: self.token,
+            seq: self.seq,
+            outcome,
+        });
+        self.waker.wake();
+    }
+}
+
+struct Completion {
+    token: u64,
+    seq: u64,
+    outcome: Outcome,
 }
 
 struct Shared {
@@ -217,9 +327,101 @@ struct Shared {
     stats: ServerStats,
     draining: AtomicBool,
     stopped: AtomicBool,
-    /// Each live connection's thread plus a socket handle the drain path
-    /// uses to half-close reads, waking threads parked between frames.
-    conns: Mutex<Vec<(JoinHandle<()>, Option<TcpStream>)>>,
+    waker: Arc<Waker>,
+}
+
+/// Where a connection's state machine is between bytes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    /// Nothing decided yet: the first byte picks v2 (hello, `H`) or v1
+    /// (frame prefix, digit/whitespace).
+    Greeting,
+    /// Accumulating a frame length prefix (possibly zero digits so far).
+    Prefix,
+    /// Accumulating a frame body of known length.
+    Body,
+    /// A job is queued or running; input is stashed until it answers.
+    InFlight,
+}
+
+/// Deferred success counters, applied when the response bytes have fully
+/// reached the socket (so drain-time counts match what clients observed).
+enum Credit {
+    Grid,
+    Stream { ooc: bool },
+}
+
+/// One nonblocking connection owned by the poll loop.
+struct Conn {
+    sock: TcpStream,
+    token: u64,
+    mode: ResponseMode,
+    phase: Phase,
+    prefix: PrefixParser,
+    /// Partial hello line while `Greeting` decides v2.
+    greet: Vec<u8>,
+    /// Current frame body, filled to `body_len`.
+    body: Vec<u8>,
+    body_len: usize,
+    /// Bytes received while a job was in flight, replayed afterward.
+    stash: Vec<u8>,
+    /// Pending response bytes and the flush cursor into them.
+    out: Vec<u8>,
+    out_at: usize,
+    flush_credit: Vec<Credit>,
+    /// Armed while mid-frame: the client must keep bytes coming.
+    io_deadline: Option<Instant>,
+    /// Armed while a job is in flight: the worker must answer by then.
+    job_deadline: Option<Instant>,
+    /// Armed at drain start as a backstop for unflushable connections.
+    drain_deadline: Option<Instant>,
+    seq: u64,
+    job_rows: usize,
+    job_cols: usize,
+    read_eof: bool,
+    close_after_flush: bool,
+}
+
+impl Conn {
+    fn new(sock: TcpStream, token: u64) -> Conn {
+        Conn {
+            sock,
+            token,
+            mode: ResponseMode::Grid,
+            phase: Phase::Greeting,
+            prefix: PrefixParser::new(MAX_FRAME_BYTES),
+            greet: Vec::new(),
+            body: Vec::new(),
+            body_len: 0,
+            stash: Vec::new(),
+            out: Vec::new(),
+            out_at: 0,
+            flush_credit: Vec::new(),
+            io_deadline: None,
+            job_deadline: None,
+            drain_deadline: None,
+            seq: 0,
+            job_rows: 0,
+            job_cols: 0,
+            read_eof: false,
+            close_after_flush: false,
+        }
+    }
+
+    /// Whether the client is partway through sending a frame (or hello),
+    /// which is when the stall deadline applies.
+    fn mid_frame(&self) -> bool {
+        match self.phase {
+            Phase::Greeting => !self.greet.is_empty(),
+            Phase::Prefix => self.prefix.declared().is_some(),
+            Phase::Body => true,
+            Phase::InFlight => false,
+        }
+    }
+
+    fn has_output(&self) -> bool {
+        self.out_at < self.out.len()
+    }
 }
 
 /// The listening service. Dropping a `Server` without calling
@@ -227,25 +429,31 @@ struct Shared {
 pub struct Server {
     addr: SocketAddr,
     shared: Arc<Shared>,
-    acceptor: Option<JoinHandle<()>>,
+    poll: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     watchdog: Option<JoinHandle<()>>,
 }
 
 impl Server {
-    /// Binds `addr` and starts the acceptor, worker pool, and watchdog.
+    /// Binds `addr` and starts the poll loop, worker pool, and watchdog.
     /// Bind to port 0 for an ephemeral port ([`Server::local_addr`]).
     pub fn bind(addr: impl ToSocketAddrs, cfg: ServeConfig) -> io::Result<Server> {
         assert!(cfg.workers > 0, "a server needs at least one worker");
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let (wake_rx, wake_tx) = io::pipe()?;
+        set_nonblocking(wake_rx.as_raw_fd())?;
+        set_nonblocking(wake_tx.as_raw_fd())?;
         let shared = Arc::new(Shared {
             queue: BoundedQueue::new(cfg.queue_cap, cfg.queue_budget_bytes),
             cfg,
             stats: ServerStats::default(),
             draining: AtomicBool::new(false),
             stopped: AtomicBool::new(false),
-            conns: Mutex::new(Vec::new()),
+            waker: Arc::new(Waker {
+                pipe: Mutex::new(wake_tx),
+            }),
         });
 
         let workers = (0..shared.cfg.workers)
@@ -266,18 +474,18 @@ impl Server {
                 .expect("spawn watchdog")
         };
 
-        let acceptor = {
+        let poll = {
             let shared = Arc::clone(&shared);
             thread::Builder::new()
-                .name("slapd-acceptor".into())
-                .spawn(move || acceptor_loop(&shared, listener))
-                .expect("spawn acceptor")
+                .name("slapd-poll".into())
+                .spawn(move || poll_loop(&shared, listener, wake_rx))
+                .expect("spawn poll loop")
         };
 
         Ok(Server {
             addr,
             shared,
-            acceptor: Some(acceptor),
+            poll: Some(poll),
             workers,
             watchdog: Some(watchdog),
         })
@@ -299,21 +507,10 @@ impl Server {
     /// then stop all threads and return the final stats.
     pub fn shutdown(mut self) -> StatsSnapshot {
         self.shared.draining.store(true, Ordering::SeqCst);
-        // Poke the blocking accept so the acceptor notices the flag.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(h) = self.acceptor.take() {
-            let _ = h.join();
-        }
-        // Connection threads finish their in-flight job (workers are still
-        // running) and exit; no new handles appear once the acceptor is
-        // gone. Half-closing reads wakes threads idling between frames
-        // without touching responses still being written.
-        let conns =
-            std::mem::take(&mut *self.shared.conns.lock().unwrap_or_else(|e| e.into_inner()));
-        for (h, sock) in conns {
-            if let Some(sock) = sock {
-                let _ = sock.shutdown(std::net::Shutdown::Read);
-            }
+        self.shared.waker.wake();
+        // The poll loop closes the listener, finishes in-flight responses
+        // (workers are still running), flushes, and exits.
+        if let Some(h) = self.poll.take() {
             let _ = h.join();
         }
         // Now drain the queue: workers consume the backlog and exit.
@@ -330,209 +527,581 @@ impl Server {
     }
 }
 
-fn acceptor_loop(shared: &Arc<Shared>, listener: TcpListener) {
-    for stream in listener.incoming() {
-        if shared.draining.load(Ordering::SeqCst) {
-            break;
-        }
-        match stream {
-            Ok(stream) => {
-                shared.stats.connections.fetch_add(1, Ordering::Relaxed);
-                let drain_sock = stream.try_clone().ok();
-                let per_conn = Arc::clone(shared);
-                match thread::Builder::new()
-                    .name("slapd-conn".into())
-                    .spawn(move || handle_conn(&per_conn, stream))
-                {
-                    Ok(handle) => {
-                        let mut conns = shared.conns.lock().unwrap_or_else(|e| e.into_inner());
-                        conns.retain(|(h, _)| !h.is_finished());
-                        conns.push((handle, drain_sock));
-                    }
-                    Err(_) => {
-                        shared.stats.io_errors.fetch_add(1, Ordering::Relaxed);
-                    }
-                }
-            }
-            Err(_) => {
-                shared.stats.io_errors.fetch_add(1, Ordering::Relaxed);
-            }
-        }
-    }
+/// Writes a typed rejection into the connection's output buffer and counts
+/// it immediately (matching the historical thread-per-conn accounting for
+/// rejections; successes are deferred to flush time instead).
+fn reject_to(shared: &Shared, conn: &mut Conn, code: WireError, detail: &str) {
+    shared.stats.count_reject(code);
+    let _ = protocol::write_err(&mut conn.out, code, detail);
 }
 
-/// Whether a framed-stream error leaves the byte stream unusable. Errors
-/// inside a fully buffered frame body (bad header, truncated raster) do
-/// not desync framing — the server answers `ERR` and reads the next frame.
-/// Prefix and transport failures do.
-fn stream_is_desynced(e: &io::Error) -> bool {
-    match PbmError::from_io(e) {
-        Some(
-            PbmError::Io(_)
-            | PbmError::TruncatedFrame { .. }
-            | PbmError::BadLengthPrefix(_)
-            | PbmError::LyingLengthPrefix { .. },
-        ) => true,
-        Some(_) => false,
-        None => true,
-    }
-}
-
-fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
-    let cfg = &shared.cfg;
-    let _ = stream.set_read_timeout(Some(cfg.io_timeout));
-    let _ = stream.set_write_timeout(Some(cfg.io_timeout));
-    let _ = stream.set_nodelay(true);
-    let Ok(read_half) = stream.try_clone() else {
-        shared.stats.io_errors.fetch_add(1, Ordering::Relaxed);
-        return;
-    };
-    let mut frames = FramedPbmReader::new(read_half);
-    let mut writer = io::BufWriter::new(stream);
-    let mut scratch = Vec::new();
-
-    loop {
-        match frames.next_frame() {
-            Ok(None) => break, // clean close
-            Ok(Some(frame)) => {
-                if serve_frame(shared, frame, &mut writer, &mut scratch).is_err() {
-                    shared.stats.io_errors.fetch_add(1, Ordering::Relaxed);
-                    break;
-                }
+/// Feeds received bytes through a connection's state machine: greeting
+/// detection, prefix parsing, body accumulation, admission. Stops (and
+/// stashes the remainder) when a job goes in flight; errors inside a fully
+/// buffered frame body answer `ERR` and keep the stream synchronized,
+/// while prefix/hello errors desync and close after flushing.
+fn ingest(shared: &Arc<Shared>, done_tx: &mpsc::Sender<Completion>, conn: &mut Conn, bytes: &[u8]) {
+    let mut i = 0;
+    while i < bytes.len() {
+        if conn.close_after_flush {
+            return; // discard input after a fatal protocol error
+        }
+        match conn.phase {
+            Phase::InFlight => {
+                conn.stash.extend_from_slice(&bytes[i..]);
+                return;
             }
-            Err(e) => {
-                if let Some(pe) = PbmError::from_io(&e) {
-                    let code = WireError::from_pbm(pe);
-                    shared.stats.count_reject(code);
-                    let detail = pe.to_string();
-                    let fatal = stream_is_desynced(&e);
-                    let _ = protocol::write_err(&mut writer, code, &detail);
-                    if !fatal {
-                        continue;
+            Phase::Greeting => {
+                if conn.greet.is_empty() && bytes[i] != b'H' {
+                    // v1 client: no hello, straight into frame framing.
+                    conn.phase = Phase::Prefix;
+                    continue;
+                }
+                let b = bytes[i];
+                i += 1;
+                if b == b'\n' {
+                    let granted = std::str::from_utf8(&conn.greet)
+                        .ok()
+                        .and_then(protocol::parse_hello)
+                        .map(|(_, mode)| mode);
+                    match granted {
+                        Some(mode) => {
+                            conn.mode = mode;
+                            conn.phase = Phase::Prefix;
+                            conn.greet.clear();
+                            let _ = protocol::write_hello(&mut conn.out, mode);
+                        }
+                        None => {
+                            reject_to(shared, conn, WireError::BadFrame, "bad hello line");
+                            conn.close_after_flush = true;
+                            return;
+                        }
                     }
-                } else if e.kind() == io::ErrorKind::WouldBlock
-                    || e.kind() == io::ErrorKind::TimedOut
-                {
-                    // The client stalled mid-frame past the I/O deadline.
-                    shared.stats.io_errors.fetch_add(1, Ordering::Relaxed);
-                    let _ = protocol::write_err(
-                        &mut writer,
-                        WireError::Deadline,
-                        "stream stalled mid-frame",
-                    );
+                } else if conn.greet.len() >= protocol::MAX_HEADER_BYTES {
+                    reject_to(shared, conn, WireError::BadFrame, "hello line too long");
+                    conn.close_after_flush = true;
+                    return;
                 } else {
-                    shared.stats.io_errors.fetch_add(1, Ordering::Relaxed);
+                    conn.greet.push(b);
                 }
-                break; // the byte stream is desynced; close
+            }
+            Phase::Prefix => {
+                let b = bytes[i];
+                i += 1;
+                match conn.prefix.step(b) {
+                    Ok(None) => {}
+                    Ok(Some(len)) => {
+                        conn.body.clear();
+                        conn.body_len = len;
+                        conn.phase = Phase::Body;
+                        if len == 0 {
+                            // An empty frame is a complete (vacuous) body:
+                            // admit now so it fails header parsing cleanly.
+                            admit(shared, done_tx, conn);
+                        }
+                    }
+                    Err(e) => {
+                        // Prefix corruption desyncs the byte stream: answer
+                        // and close, exactly like the framed reader did.
+                        let pe = PbmError::from(e);
+                        reject_to(shared, conn, WireError::from_pbm(&pe), &pe.to_string());
+                        conn.close_after_flush = true;
+                        return;
+                    }
+                }
+            }
+            Phase::Body => {
+                let want = conn.body_len - conn.body.len();
+                let take = want.min(bytes.len() - i);
+                conn.body.extend_from_slice(&bytes[i..i + take]);
+                i += take;
+                if conn.body.len() == conn.body_len {
+                    conn.prefix.reset();
+                    admit(shared, done_tx, conn);
+                }
             }
         }
     }
-    let _ = writer.flush();
-    // Send the FIN now: the drain path may still hold a clone of this
-    // socket, which would otherwise keep the connection half-open (and a
-    // well-behaved client waiting) until the next conns sweep.
-    let _ = writer.get_ref().shutdown(std::net::Shutdown::Both);
 }
 
-/// Admits, runs, and answers one parsed frame. `Err` means the response
-/// could not be written (client gone) — the connection closes.
-fn serve_frame<W: Write>(
-    shared: &Arc<Shared>,
-    mut frame: PbmRowReader<&[u8]>,
-    writer: &mut W,
-    scratch: &mut Vec<u8>,
-) -> io::Result<()> {
+/// Admits the completed frame in `conn.body`: guards, payload build, queue
+/// push. Leaves the connection in `InFlight` on success or back in
+/// `Prefix` (with a typed `ERR` queued) on rejection.
+fn admit(shared: &Arc<Shared>, done_tx: &mpsc::Sender<Completion>, conn: &mut Conn) {
     let cfg = &shared.cfg;
-    let reject = |writer: &mut W, code: WireError, detail: &str| -> io::Result<()> {
-        shared.stats.count_reject(code);
-        protocol::write_err(writer, code, detail)
-    };
+    conn.phase = Phase::Prefix;
+    conn.io_deadline = None;
 
-    let (rows, cols) = (frame.rows(), frame.cols());
+    // Header parse over the buffered body. Failures here never desync the
+    // framing — answer ERR and await the next frame.
+    let (rows, cols) = match PbmRowReader::new(&conn.body[..]) {
+        Ok(rd) => (rd.rows(), rd.cols()),
+        Err(e) => {
+            let (code, detail) = classify_job_error(&e);
+            reject_to(shared, conn, code, &detail);
+            return;
+        }
+    };
     // Admission guards, cheapest first, all before any job-sized
     // allocation.
     if rows > cfg.max_dim || cols > cfg.max_dim {
-        return reject(
-            writer,
-            WireError::TooLarge,
-            &format!("{rows}x{cols} exceeds max dimension {}", cfg.max_dim),
-        );
+        let detail = format!("{rows}x{cols} exceeds max dimension {}", cfg.max_dim);
+        reject_to(shared, conn, WireError::TooLarge, &detail);
+        return;
     }
     // max_dim caps each side well below 2^32, so this product fits in u64.
     let pixels = rows as u64 * cols as u64;
-    if pixels >= u64::from(u32::MAX) {
-        return reject(
-            writer,
-            WireError::Overflow,
-            &format!("{rows}x{cols} overflows the u32 label space"),
-        );
-    }
-    if pixels > cfg.max_pixels {
-        return reject(
-            writer,
-            WireError::TooLarge,
-            &format!("{pixels} pixels exceeds budget {}", cfg.max_pixels),
-        );
-    }
-    if shared.draining.load(Ordering::SeqCst) {
-        return reject(writer, WireError::Shutdown, "server is draining");
-    }
-
-    // Materialize the bitmap from the buffered frame body. Failures here
-    // (truncated raster, bad pixel bytes) do not desync the frame stream.
-    let mut img = Bitmap::new(rows, cols);
-    let mut row_words = Vec::new();
-    for r in 0..rows {
-        match frame.next_row(&mut row_words) {
-            Ok(true) => img.set_row_words(r, &row_words),
-            Ok(false) => {
-                return reject(writer, WireError::BadFrame, "frame body ended early");
+    match conn.mode {
+        ResponseMode::Grid => {
+            if pixels >= u64::from(u32::MAX) {
+                let detail = format!("{rows}x{cols} overflows the u32 label space");
+                reject_to(shared, conn, WireError::Overflow, &detail);
+                return;
             }
-            Err(e) => {
-                let detail = PbmError::from_io(&e)
-                    .map(|pe| pe.to_string())
-                    .unwrap_or_else(|| e.to_string());
-                return reject(writer, WireError::BadFrame, &detail);
+            if pixels > cfg.max_pixels {
+                let detail = format!(
+                    "{pixels} pixels exceeds grid budget {}; retry in stream mode \
+                     (out-of-core, hard cap {} pixels)",
+                    cfg.max_pixels, cfg.max_stream_pixels
+                );
+                reject_to(shared, conn, WireError::TooLarge, &detail);
+                return;
+            }
+        }
+        ResponseMode::Stream => {
+            if pixels > cfg.max_stream_pixels {
+                let detail = format!(
+                    "{pixels} pixels exceeds stream budget {}",
+                    cfg.max_stream_pixels
+                );
+                reject_to(shared, conn, WireError::TooLarge, &detail);
+                return;
             }
         }
     }
+    if shared.draining.load(Ordering::SeqCst) {
+        reject_to(shared, conn, WireError::Shutdown, "server is draining");
+        return;
+    }
 
-    // Weight = bitmap words + the label grid the worker will hand back.
-    let weight = img.as_words().len() * 8 + (pixels as usize) * 4;
-    let deadline = Instant::now() + cfg.deadline;
-    let (tx, rx) = mpsc::sync_channel(1);
+    let (payload, weight) = match conn.mode {
+        ResponseMode::Grid => {
+            // Materialize the bitmap from the buffered frame body. Failures
+            // here (truncated raster, bad pixel bytes) do not desync.
+            let mut rd = PbmRowReader::new(&conn.body[..]).expect("header parsed above");
+            let mut img = Bitmap::new(rows, cols);
+            let mut row_words = Vec::new();
+            for r in 0..rows {
+                match rd.next_row(&mut row_words) {
+                    Ok(true) => img.set_row_words(r, &row_words),
+                    Ok(false) => {
+                        reject_to(shared, conn, WireError::BadFrame, "frame body ended early");
+                        return;
+                    }
+                    Err(e) => {
+                        let detail = PbmError::from_io(&e)
+                            .map(|pe| pe.to_string())
+                            .unwrap_or_else(|| e.to_string());
+                        reject_to(shared, conn, WireError::BadFrame, &detail);
+                        return;
+                    }
+                }
+            }
+            // Weight = bitmap words + the label grid the worker hands back.
+            let weight = img.as_words().len() * 8 + (pixels as usize) * 4;
+            (Payload::Grid(img), weight)
+        }
+        ResponseMode::Stream => {
+            // The raster is validated by the worker as it streams the rows;
+            // the server never holds more than the compressed body.
+            let body = std::mem::take(&mut conn.body);
+            let weight = body.len() + 64;
+            (
+                Payload::Stream {
+                    body,
+                    ooc: pixels > cfg.max_pixels,
+                },
+                weight,
+            )
+        }
+    };
+
+    conn.seq += 1;
     let job = Job {
-        img,
-        deadline,
-        resp: tx,
+        payload,
+        deadline: Instant::now() + cfg.deadline,
+        resp: Responder {
+            tx: done_tx.clone(),
+            token: conn.token,
+            seq: conn.seq,
+            waker: Arc::clone(&shared.waker),
+        },
     };
     match shared.queue.try_push(job, weight) {
         Err((_, PushRejection::Full)) => {
-            return reject(writer, WireError::QueueFull, "job queue is full; retry");
+            reject_to(
+                shared,
+                conn,
+                WireError::QueueFull,
+                "job queue is full; retry",
+            );
         }
         Err((_, PushRejection::Draining)) => {
-            return reject(writer, WireError::Shutdown, "server is draining");
+            reject_to(shared, conn, WireError::Shutdown, "server is draining");
         }
-        Ok(()) => {}
+        Ok(()) => {
+            conn.phase = Phase::InFlight;
+            conn.job_rows = rows;
+            conn.job_cols = cols;
+            // Workers race the deadline; give them a grace period so their
+            // own expiry report (or the watchdog's) normally wins.
+            let wait = cfg.deadline + cfg.deadline / 4 + Duration::from_millis(50);
+            conn.job_deadline = Some(Instant::now() + wait);
+        }
     }
+}
 
-    // Workers race the deadline; give them a grace period so their own
-    // expiry report (or the watchdog's) normally wins over this timeout.
-    let wait = cfg.deadline + cfg.deadline / 4 + Duration::from_millis(50);
-    match rx.recv_timeout(wait) {
-        Ok(Outcome::Labeled { components, labels }) => {
-            shared.stats.jobs_ok.fetch_add(1, Ordering::Relaxed);
-            protocol::write_ok(writer, rows, cols, components, &labels, scratch)
+/// Maps a job-level `io::Error` (header parse, raster streaming) to its
+/// wire code and single-line detail.
+fn classify_job_error(e: &io::Error) -> (WireError, String) {
+    match PbmError::from_io(e) {
+        Some(pe) => (WireError::from_pbm(pe), pe.to_string()),
+        None => (WireError::BadFrame, e.to_string()),
+    }
+}
+
+/// Applies a worker completion to its connection: writes the response,
+/// then replays any stashed bytes (which may admit the next job).
+fn complete(
+    shared: &Arc<Shared>,
+    done_tx: &mpsc::Sender<Completion>,
+    conn: &mut Conn,
+    outcome: Outcome,
+    scratch: &mut Vec<u8>,
+) {
+    conn.phase = Phase::Prefix;
+    conn.job_deadline = None;
+    match outcome {
+        Outcome::Labeled { components, labels } => {
+            let _ = protocol::write_ok(
+                &mut conn.out,
+                conn.job_rows,
+                conn.job_cols,
+                components,
+                &labels,
+                scratch,
+            );
+            conn.flush_credit.push(Credit::Grid);
         }
-        Ok(Outcome::Panicked) => {
+        Outcome::Streamed { records, ooc } => {
+            let _ = protocol::write_stream_ok(
+                &mut conn.out,
+                conn.job_rows,
+                conn.job_cols,
+                &records,
+                scratch,
+            );
+            conn.flush_credit.push(Credit::Stream { ooc });
+        }
+        Outcome::Failed { code, detail } => {
+            reject_to(shared, conn, code, &detail);
+        }
+        Outcome::Panicked => {
             // The worker already counted the panic; answer the client.
-            protocol::write_err(writer, WireError::Panic, "job panicked; worker rebuilt")
+            let _ = protocol::write_err(
+                &mut conn.out,
+                WireError::Panic,
+                "job panicked; worker rebuilt",
+            );
         }
-        Ok(Outcome::Expired) => {
+        Outcome::Expired => {
             // The watchdog/worker already counted the expiry.
-            protocol::write_err(writer, WireError::Deadline, "job missed its deadline")
+            let _ = protocol::write_err(
+                &mut conn.out,
+                WireError::Deadline,
+                "job missed its deadline",
+            );
         }
-        Err(_) => reject(writer, WireError::Deadline, "job missed its deadline"),
+    }
+    let stash = std::mem::take(&mut conn.stash);
+    if !stash.is_empty() {
+        ingest(shared, done_tx, conn, &stash);
+    }
+}
+
+/// Pushes pending output to the socket. Success counters ride the flush:
+/// they apply only once every buffered byte (the response included) has
+/// reached the socket, so drained stats never exceed what clients could
+/// observe. Returns `false` if the connection died.
+fn flush_out(shared: &Shared, conn: &mut Conn) -> bool {
+    while conn.out_at < conn.out.len() {
+        match conn.sock.write(&conn.out[conn.out_at..]) {
+            Ok(0) => {
+                shared.stats.io_errors.fetch_add(1, Ordering::Relaxed);
+                return false;
+            }
+            Ok(n) => conn.out_at += n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return true,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                shared.stats.io_errors.fetch_add(1, Ordering::Relaxed);
+                return false;
+            }
+        }
+    }
+    conn.out.clear();
+    conn.out_at = 0;
+    for credit in conn.flush_credit.drain(..) {
+        shared.stats.jobs_ok.fetch_add(1, Ordering::Relaxed);
+        if let Credit::Stream { ooc } = credit {
+            shared.stats.jobs_streamed.fetch_add(1, Ordering::Relaxed);
+            if ooc {
+                shared.stats.jobs_ooc.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+    true
+}
+
+/// Reads everything currently available on the connection. Returns `false`
+/// if the connection died on a transport error.
+fn read_some(shared: &Arc<Shared>, done_tx: &mpsc::Sender<Completion>, conn: &mut Conn) -> bool {
+    let mut chunk = [0u8; 64 * 1024];
+    loop {
+        if conn.phase == Phase::InFlight || conn.close_after_flush || conn.read_eof {
+            break;
+        }
+        match conn.sock.read(&mut chunk) {
+            Ok(0) => {
+                conn.read_eof = true;
+                break;
+            }
+            Ok(n) => {
+                ingest(shared, done_tx, conn, &chunk[..n]);
+                // Stall detection: the clock restarts on every byte of
+                // progress and only runs while mid-frame.
+                conn.io_deadline = conn
+                    .mid_frame()
+                    .then(|| Instant::now() + shared.cfg.io_timeout);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                shared.stats.io_errors.fetch_add(1, Ordering::Relaxed);
+                return false;
+            }
+        }
+    }
+    if !conn.mid_frame() {
+        conn.io_deadline = None;
+    }
+    flush_out(shared, conn)
+}
+
+/// Per-iteration housekeeping for one connection: deadline expiries, EOF
+/// resolution, drain closure. Returns `false` when the connection should
+/// be removed.
+fn sweep_conn(
+    shared: &Arc<Shared>,
+    done_tx: &mpsc::Sender<Completion>,
+    conn: &mut Conn,
+    now: Instant,
+    draining: bool,
+) -> bool {
+    // A stalled mid-frame client: same answer and same counter as the old
+    // blocking read timeout.
+    if let Some(d) = conn.io_deadline {
+        if now >= d && conn.mid_frame() {
+            shared.stats.io_errors.fetch_add(1, Ordering::Relaxed);
+            let _ = protocol::write_err(
+                &mut conn.out,
+                WireError::Deadline,
+                "stream stalled mid-frame",
+            );
+            conn.io_deadline = None;
+            conn.close_after_flush = true;
+        }
+    }
+    // A worker that never answered within the grace window: reject typed,
+    // invalidate the outstanding completion, and keep the connection.
+    if conn.phase == Phase::InFlight {
+        if let Some(d) = conn.job_deadline {
+            if now >= d {
+                conn.phase = Phase::Prefix;
+                conn.job_deadline = None;
+                reject_to(shared, conn, WireError::Deadline, "job missed its deadline");
+                // Bump so the eventual completion for the abandoned job is
+                // recognized as stale and dropped.
+                conn.seq += 1;
+                let stash = std::mem::take(&mut conn.stash);
+                if !stash.is_empty() {
+                    ingest(shared, done_tx, conn, &stash);
+                }
+            }
+        }
+    }
+    // EOF resolution once nothing is in flight: a clean close between
+    // frames, or a truncation error mid-frame (fatal, as it always was).
+    if conn.read_eof && conn.phase != Phase::InFlight && !conn.close_after_flush {
+        if conn.mid_frame() {
+            let declared = if conn.phase == Phase::Body {
+                conn.body_len
+            } else {
+                conn.prefix.declared().unwrap_or(0)
+            };
+            let missing = declared.saturating_sub(conn.body.len());
+            let pe = PbmError::TruncatedFrame { declared, missing };
+            reject_to(shared, conn, WireError::BadFrame, &pe.to_string());
+        } else if conn.phase == Phase::Greeting && !conn.greet.is_empty() {
+            reject_to(shared, conn, WireError::BadFrame, "hello line truncated");
+        }
+        conn.close_after_flush = true;
+    }
+    if draining {
+        // Backstop: never let an unflushable connection hold the drain.
+        let d = *conn
+            .drain_deadline
+            .get_or_insert(now + shared.cfg.io_timeout);
+        if now >= d {
+            return false;
+        }
+        if conn.phase != Phase::InFlight {
+            conn.close_after_flush = true;
+        }
+    }
+    if !flush_out(shared, conn) {
+        return false;
+    }
+    if conn.close_after_flush && !conn.has_output() && conn.phase != Phase::InFlight {
+        let _ = conn.sock.shutdown(std::net::Shutdown::Both);
+        return false;
+    }
+    true
+}
+
+/// The readiness loop: accepts connections, pumps every state machine, and
+/// dispatches worker completions — all on one thread.
+fn poll_loop(shared: &Arc<Shared>, listener: TcpListener, wake_rx: PipeReader) {
+    let (done_tx, done_rx) = mpsc::channel::<Completion>();
+    let mut listener = Some(listener);
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut next_token: u64 = 0;
+    let mut scratch = Vec::new();
+    let mut wake_rx = wake_rx;
+
+    loop {
+        // Worker completions first: they free connections to make
+        // progress and carry response bytes to flush below.
+        while let Ok(c) = done_rx.try_recv() {
+            if let Some(conn) = conns.iter_mut().find(|k| k.token == c.token) {
+                if conn.phase == Phase::InFlight && conn.seq == c.seq {
+                    complete(shared, &done_tx, conn, c.outcome, &mut scratch);
+                }
+            }
+        }
+
+        let draining = shared.draining.load(Ordering::SeqCst);
+        if draining {
+            // Closing the listener refuses new connections immediately.
+            listener = None;
+        }
+
+        let now = Instant::now();
+        let mut i = 0;
+        while i < conns.len() {
+            if sweep_conn(shared, &done_tx, &mut conns[i], now, draining) {
+                i += 1;
+            } else {
+                conns.swap_remove(i);
+            }
+        }
+
+        if draining && conns.is_empty() {
+            break;
+        }
+
+        // Poll set: wake pipe, listener, then one slot per connection.
+        let mut fds = vec![PollFd::new(wake_rx.as_raw_fd(), POLLIN)];
+        let listener_slot = listener.as_ref().map(|l| {
+            fds.push(PollFd::new(l.as_raw_fd(), POLLIN));
+            fds.len() - 1
+        });
+        let conn_base = fds.len();
+        for conn in &conns {
+            let mut events = 0i16;
+            if conn.phase != Phase::InFlight && !conn.read_eof && !conn.close_after_flush {
+                events |= POLLIN;
+            }
+            if conn.has_output() {
+                events |= POLLOUT;
+            }
+            fds.push(PollFd::new(conn.sock.as_raw_fd(), events));
+        }
+
+        // Sleep until readiness, a wakeup, or the nearest deadline; the
+        // 250ms cap bounds any accounting drift without busy-waiting.
+        let mut timeout = Duration::from_millis(250);
+        for conn in &conns {
+            for d in [conn.io_deadline, conn.job_deadline, conn.drain_deadline]
+                .into_iter()
+                .flatten()
+            {
+                timeout = timeout.min(d.saturating_duration_since(now));
+            }
+        }
+        let _ = poll_fds(&mut fds, Some(timeout));
+
+        if fds[0].ready() {
+            let mut buf = [0u8; 64];
+            while matches!(wake_rx.read(&mut buf), Ok(n) if n > 0) {}
+        }
+
+        if let (Some(slot), Some(l)) = (listener_slot, listener.as_ref()) {
+            if fds[slot].ready() {
+                loop {
+                    match l.accept() {
+                        Ok((sock, _)) => {
+                            shared.stats.connections.fetch_add(1, Ordering::Relaxed);
+                            if sock.set_nonblocking(true).is_err() {
+                                shared.stats.io_errors.fetch_add(1, Ordering::Relaxed);
+                                continue;
+                            }
+                            let _ = sock.set_nodelay(true);
+                            next_token += 1;
+                            conns.push(Conn::new(sock, next_token));
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                        Err(_) => {
+                            shared.stats.io_errors.fetch_add(1, Ordering::Relaxed);
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+
+        for (slot, fd) in fds.iter().enumerate().skip(conn_base) {
+            if !fd.ready() {
+                continue;
+            }
+            // Tokens are assigned in push order and sweeps preserve no
+            // order, so map the slot back to the connection by fd.
+            let Some(idx) = conns.iter().position(|c| c.sock.as_raw_fd() == fd.fd) else {
+                continue;
+            };
+            let _ = slot;
+            let mut alive = true;
+            if fd.revents & (POLLIN | POLLHUP | POLLERR) != 0 {
+                alive = read_some(shared, &done_tx, &mut conns[idx]);
+            }
+            if alive && fd.revents & POLLOUT != 0 {
+                alive = flush_out(shared, &mut conns[idx]);
+            }
+            if !alive {
+                conns.swap_remove(idx);
+            }
+        }
     }
 }
 
@@ -555,19 +1124,26 @@ fn install_quiet_panic_hook() {
     });
 }
 
-/// A worker's warm engine pool: one fast and one parallel session plus a
-/// reusable label grid, routed by job size.
+/// A worker's warm engine pool: fast and parallel whole-grid sessions
+/// routed by job size, plus the out-of-core band scheduler session for
+/// oversize stream jobs (the `OocSession` pool — one warm labeler per
+/// worker, band buffers reused across jobs).
 struct Engines {
     fast: Box<dyn LabelEngine>,
     parallel: Box<dyn LabelEngine>,
+    ooc: OutOfCoreLabeler,
     grid: LabelGrid,
 }
 
 impl Engines {
     fn new(cfg: &ServeConfig) -> Engines {
+        // A band must stay inside the u32 position space at the widest
+        // admissible frame.
+        let band_cap = ((u32::MAX as u64 - 1) / cfg.max_dim.max(1) as u64).max(1) as usize;
         Engines {
             fast: EngineKind::Fast.session(1),
             parallel: EngineKind::Parallel.session(cfg.engine_threads),
+            ooc: OutOfCoreLabeler::new(cfg.ooc_band_rows.clamp(1, band_cap), 1),
             grid: LabelGrid::new_background(1, 1),
         }
     }
@@ -588,6 +1164,26 @@ impl Engines {
         let stats = engine.label_into(img, cfg.conn, &mut self.grid);
         (stats.components, self.grid.as_slice().to_vec())
     }
+
+    /// Labels a stream job straight from its buffered frame body, never
+    /// materializing the pixels: `label_stream` for in-core sizes, the
+    /// out-of-core band scheduler above `max_pixels`. Returns the records
+    /// plus the job's peak carried state (frontier or boundary runs).
+    fn run_stream(
+        &mut self,
+        cfg: &ServeConfig,
+        body: &[u8],
+        ooc: bool,
+    ) -> io::Result<(Vec<RetiredComponent>, u64)> {
+        let mut rd = PbmRowReader::new(body)?;
+        if ooc {
+            let run = self.ooc.label_source(&mut rd, cfg.conn)?;
+            Ok((run.components, run.stats.peak_carried_runs as u64))
+        } else {
+            let run = label_stream(&mut rd, cfg.conn)?;
+            Ok((run.components, run.stats.peak_frontier_runs as u64))
+        }
+    }
 }
 
 fn worker_loop(shared: &Arc<Shared>) {
@@ -600,18 +1196,34 @@ fn worker_loop(shared: &Arc<Shared>) {
                 .stats
                 .deadline_expired
                 .fetch_add(1, Ordering::Relaxed);
-            let _ = job.resp.send(Outcome::Expired);
+            job.resp.send(Outcome::Expired);
             continue;
         }
         let result = panic::catch_unwind(AssertUnwindSafe(|| {
             IN_JOB.with(|f| f.set(true));
-            engines.run(cfg, &job.img)
+            match &job.payload {
+                Payload::Grid(img) => {
+                    let (components, labels) = engines.run(cfg, img);
+                    Outcome::Labeled { components, labels }
+                }
+                Payload::Stream { body, ooc } => match engines.run_stream(cfg, body, *ooc) {
+                    Ok((records, peak)) => {
+                        shared
+                            .stats
+                            .peak_carried_runs
+                            .fetch_max(peak, Ordering::Relaxed);
+                        Outcome::Streamed { records, ooc: *ooc }
+                    }
+                    Err(e) => {
+                        let (code, detail) = classify_job_error(&e);
+                        Outcome::Failed { code, detail }
+                    }
+                },
+            }
         }));
         IN_JOB.with(|f| f.set(false));
         match result {
-            Ok((components, labels)) => {
-                let _ = job.resp.send(Outcome::Labeled { components, labels });
-            }
+            Ok(outcome) => job.resp.send(outcome),
             Err(_) => {
                 // The engine pool may hold torn state; rebuild it.
                 shared.stats.panics.fetch_add(1, Ordering::Relaxed);
@@ -620,7 +1232,7 @@ fn worker_loop(shared: &Arc<Shared>) {
                     .sessions_rebuilt
                     .fetch_add(1, Ordering::Relaxed);
                 engines = Engines::new(cfg);
-                let _ = job.resp.send(Outcome::Panicked);
+                job.resp.send(Outcome::Panicked);
             }
         }
     }
@@ -640,7 +1252,7 @@ fn watchdog_loop(shared: &Arc<Shared>) {
                     .stats
                     .deadline_expired
                     .fetch_add(1, Ordering::Relaxed);
-                let _ = job.resp.send(Outcome::Expired);
+                job.resp.send(Outcome::Expired);
             },
         );
         thread::park_timeout(tick);
@@ -650,7 +1262,7 @@ fn watchdog_loop(shared: &Arc<Shared>) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::protocol::Response;
+    use crate::protocol::{Response, StreamResponse};
     use slap_image::pbm;
     use std::io::BufReader;
 
@@ -680,6 +1292,18 @@ mod tests {
         pbm::write_framed(img, &mut stream).unwrap();
         let mut reader = BufReader::new(stream.try_clone().unwrap());
         protocol::read_response(&mut reader).unwrap().unwrap()
+    }
+
+    /// Opens a stream-mode connection: hello sent, echo verified.
+    fn stream_conn(addr: SocketAddr) -> (TcpStream, BufReader<TcpStream>) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        protocol::write_hello(&mut stream, ResponseMode::Stream).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        assert_eq!(
+            protocol::read_hello(&mut reader).unwrap(),
+            ResponseMode::Stream
+        );
+        (stream, reader)
     }
 
     #[test]
@@ -722,14 +1346,19 @@ mod tests {
             Response::Rejected { code, .. } => assert_eq!(code, WireError::TooLarge),
             other => panic!("expected too-large, got {other:?}"),
         }
-        // Over max_pixels but under max_dim.
+        // Over max_pixels but under max_dim: the detail names the cap and
+        // the stream-mode escape hatch.
         let body = b"P4\n64 64\n".to_vec();
         stream
             .write_all(format!("{}\n", body.len()).as_bytes())
             .unwrap();
         stream.write_all(&body).unwrap();
         match protocol::read_response(&mut reader).unwrap().unwrap() {
-            Response::Rejected { code, .. } => assert_eq!(code, WireError::TooLarge),
+            Response::Rejected { code, detail } => {
+                assert_eq!(code, WireError::TooLarge);
+                assert!(detail.contains("1024"), "cap in detail: {detail:?}");
+                assert!(detail.contains("stream mode"), "retry hint: {detail:?}");
+            }
             other => panic!("expected too-large, got {other:?}"),
         }
         // The connection is still healthy after both rejections.
@@ -782,5 +1411,95 @@ mod tests {
         assert_eq!(stats.connections, 1);
         // The listener is gone: connecting is refused, never a hang.
         assert!(TcpStream::connect(addr).is_err());
+    }
+
+    #[test]
+    fn stream_mode_negotiates_and_returns_feature_records() {
+        let server = Server::bind("127.0.0.1:0", test_cfg()).unwrap();
+        let img = checker(19, 37);
+        let (mut stream, mut reader) = stream_conn(server.local_addr());
+        pbm::write_framed(&img, &mut stream).unwrap();
+        let resp = protocol::read_stream_response(&mut reader)
+            .unwrap()
+            .unwrap();
+        let StreamResponse::Ok(job) = resp else {
+            panic!("expected STREAM, got {resp:?}");
+        };
+        assert_eq!((job.rows, job.cols), (19, 37));
+        let mut grid = LabelGrid::new_background(19, 37);
+        let mut session = EngineKind::Fast.session(1);
+        let stats = session.label_into(&img, Connectivity::Four, &mut grid);
+        assert_eq!(job.components, stats.components);
+        let foreground: u64 = (0..19)
+            .flat_map(|r| (0..37).map(move |c| (r, c)))
+            .filter(|&(r, c)| img.get(r, c))
+            .count() as u64;
+        assert_eq!(job.records.iter().map(|r| r.area).sum::<u64>(), foreground);
+        let final_stats = server.shutdown();
+        assert_eq!(final_stats.jobs_ok, 1);
+        assert_eq!(final_stats.jobs_streamed, 1);
+        assert_eq!(final_stats.jobs_ooc, 0);
+        assert!(final_stats.peak_carried_runs > 0);
+    }
+
+    #[test]
+    fn oversize_stream_jobs_route_out_of_core() {
+        let cfg = ServeConfig {
+            max_pixels: 256, // a 64×64 frame is 16× over the grid budget
+            ..test_cfg()
+        };
+        let server = Server::bind("127.0.0.1:0", cfg).unwrap();
+        let img = checker(64, 64);
+        let (mut stream, mut reader) = stream_conn(server.local_addr());
+        pbm::write_framed(&img, &mut stream).unwrap();
+        let resp = protocol::read_stream_response(&mut reader)
+            .unwrap()
+            .unwrap();
+        let StreamResponse::Ok(job) = resp else {
+            panic!("expected STREAM, got {resp:?}");
+        };
+        let mut grid = LabelGrid::new_background(64, 64);
+        let mut session = EngineKind::Fast.session(1);
+        let stats = session.label_into(&img, Connectivity::Four, &mut grid);
+        assert_eq!(job.components, stats.components);
+        let final_stats = server.shutdown();
+        assert_eq!(final_stats.jobs_ooc, 1);
+        // The paper's carried-state bound, observable on the wire path.
+        assert!(final_stats.peak_carried_runs <= 64 / 2 + 1);
+    }
+
+    #[test]
+    fn v1_and_v2_clients_interleave_on_one_server() {
+        let server = Server::bind("127.0.0.1:0", test_cfg()).unwrap();
+        let addr = server.local_addr();
+        let img = checker(11, 23);
+        assert!(matches!(roundtrip_one(addr, &img), Response::Ok(_)));
+        let (mut stream, mut reader) = stream_conn(addr);
+        pbm::write_framed(&img, &mut stream).unwrap();
+        assert!(matches!(
+            protocol::read_stream_response(&mut reader)
+                .unwrap()
+                .unwrap(),
+            StreamResponse::Ok(_)
+        ));
+        assert!(matches!(roundtrip_one(addr, &img), Response::Ok(_)));
+        let stats = server.shutdown();
+        assert_eq!(stats.jobs_ok, 3);
+        assert_eq!(stats.jobs_streamed, 1);
+    }
+
+    #[test]
+    fn a_bad_hello_is_rejected_and_closed() {
+        let server = Server::bind("127.0.0.1:0", test_cfg()).unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream.write_all(b"HELLO slapd/2 sideways\n").unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        match protocol::read_response(&mut reader).unwrap().unwrap() {
+            Response::Rejected { code, .. } => assert_eq!(code, WireError::BadFrame),
+            other => panic!("expected bad-frame, got {other:?}"),
+        }
+        assert!(protocol::read_response(&mut reader).unwrap().is_none());
+        let stats = server.shutdown();
+        assert_eq!(stats.bad_frame, 1);
     }
 }

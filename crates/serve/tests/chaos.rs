@@ -1,4 +1,4 @@
-//! The fault-injection suite: `slapd` under six classes of hostile I/O.
+//! The fault-injection suite: `slapd` under eight classes of hostile I/O.
 //!
 //! Every test drives a real server over real sockets through the seeded
 //! [`slap_serve::chaos`] scripts and asserts the robustness contract:
@@ -11,9 +11,9 @@ use slap_cc::{Connectivity, EngineKind};
 use slap_image::{pbm, Bitmap, LabelGrid};
 use slap_serve::chaos::{ChaosTransport, Delivery, FaultClass, FaultyStream};
 use slap_serve::client::{Client, RetryPolicy};
-use slap_serve::protocol::{self, Response, WireError};
+use slap_serve::protocol::{self, Response, ResponseMode, StreamResponse, WireError};
 use slap_serve::server::{ServeConfig, Server};
-use std::io::BufReader;
+use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -95,7 +95,7 @@ fn read_responses_until_close<R: std::io::Read>(stream: R) -> Vec<Response> {
 /// deliveries must never produce an `OK`, and any response they do
 /// produce must be a typed `ERR`.
 #[test]
-fn server_survives_all_six_fault_classes() {
+fn server_survives_all_fault_classes() {
     let server = Server::bind("127.0.0.1:0", chaos_cfg()).unwrap();
     let addr = server.local_addr();
     let img = spiral(23, 57);
@@ -146,14 +146,137 @@ fn server_survives_all_six_fault_classes() {
     }
 
     let stats = server.shutdown();
-    // One healthy probe per injection plus the three intact short-ops
-    // deliveries.
-    assert_eq!(stats.jobs_ok, 6 * 3 + 3, "healthy jobs served throughout");
+    // One healthy probe per injection plus the intact deliveries (three
+    // short-ops and three stream-abort runs; the abort here targets a v1
+    // grid connection whose response the test drains fully).
+    assert_eq!(
+        stats.jobs_ok,
+        8 * 3 + 2 * 3,
+        "healthy jobs served throughout"
+    );
     assert!(
         stats.bad_frame > 0,
         "corrupted frames must surface as typed bad-frame rejections"
     );
     assert_eq!(stats.panics, 0);
+}
+
+/// A v2 client that vanishes mid-`STREAM` response: the server must eat
+/// the write failure as plain connection I/O — no panic, no session
+/// rebuild — and keep answering everyone else exactly.
+#[test]
+fn a_client_vanishing_mid_stream_response_is_drained() {
+    let server = Server::bind("127.0.0.1:0", chaos_cfg()).unwrap();
+    let addr = server.local_addr();
+    // A checkerboard maximizes components, so the STREAM response is many
+    // kilobytes of records — far more than the abort script reads.
+    let mut img = Bitmap::new(60, 60);
+    for r in 0..60 {
+        for c in 0..60 {
+            if (r + c) % 2 == 0 {
+                img.set(r, c, true);
+            }
+        }
+    }
+    let mut frame = Vec::new();
+    pbm::write_framed(&img, &mut frame).unwrap();
+
+    for seed in 1..=3u64 {
+        let stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        protocol::write_hello(&mut (&stream), ResponseMode::Stream).unwrap();
+        assert_eq!(
+            protocol::read_hello(&mut reader).unwrap(),
+            ResponseMode::Stream
+        );
+        drop(reader);
+        let mut faulty = FaultyStream::new(stream, FaultClass::StreamAbort, seed);
+        let delivery = faulty.send_job(&frame, Duration::from_millis(1)).unwrap();
+        assert_eq!(delivery, Delivery::Intact);
+        // Read a token slice of the response, then vanish entirely.
+        let got = faulty.abandon_after_reading(32).unwrap();
+        assert!(got > 0, "seed {seed}: the server had started answering");
+        // The same server still labels bit-exactly.
+        assert_healthy(addr, &img);
+    }
+
+    let stats = server.shutdown();
+    assert_eq!(stats.panics, 0);
+    assert_eq!(
+        stats.sessions_rebuilt, 0,
+        "an aborted reader is connection I/O, not a worker fault"
+    );
+}
+
+/// A raster truncated *inside* a consistent frame clears the framing
+/// layer and admission (stream mode never materializes the body up
+/// front, and the tiny `max_pixels` here routes it out-of-core), so a
+/// worker discovers the corruption mid-band. That must surface as a
+/// typed `bad-frame` on a connection that stays usable — no rebuild, no
+/// desync.
+#[test]
+fn a_truncated_body_discovered_after_admission_is_typed_not_fatal() {
+    let cfg = ServeConfig {
+        max_pixels: 64, // 23×57 = 1311 pixels: routes out-of-core
+        ..chaos_cfg()
+    };
+    let server = Server::bind("127.0.0.1:0", cfg).unwrap();
+    let addr = server.local_addr();
+    let img = spiral(23, 57);
+    let mut frame = Vec::new();
+    pbm::write_framed(&img, &mut frame).unwrap();
+    let (components, _) = oracle(&img);
+
+    for seed in 1..=3u64 {
+        let stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        protocol::write_hello(&mut (&stream), ResponseMode::Stream).unwrap();
+        assert_eq!(
+            protocol::read_hello(&mut reader).unwrap(),
+            ResponseMode::Stream
+        );
+        let mut faulty = FaultyStream::new(stream, FaultClass::TruncatedBody, seed);
+        assert_eq!(
+            faulty.send_job(&frame, Duration::from_millis(1)).unwrap(),
+            Delivery::Corrupted
+        );
+        match protocol::read_stream_response(&mut reader).unwrap() {
+            Some(StreamResponse::Rejected { code, .. }) => {
+                assert_eq!(code, WireError::BadFrame, "seed {seed}")
+            }
+            other => panic!("seed {seed}: expected bad-frame, got {other:?}"),
+        }
+        // Not desynced: the same socket serves a clean streamed job
+        // immediately afterwards.
+        faulty.get_mut().write_all(&frame).unwrap();
+        match protocol::read_stream_response(&mut reader).unwrap() {
+            Some(StreamResponse::Ok(ok)) => {
+                assert_eq!(ok.components, components);
+                assert_eq!(ok.records.len(), components);
+            }
+            other => panic!("seed {seed}: clean follow-up failed: {other:?}"),
+        }
+    }
+
+    let stats = server.shutdown();
+    assert_eq!(stats.panics, 0);
+    assert_eq!(
+        stats.sessions_rebuilt, 0,
+        "raster I/O errors rebuild nothing"
+    );
+    assert_eq!(stats.bad_frame, 3);
+    assert_eq!(stats.jobs_ooc, 3, "the clean follow-ups routed out-of-core");
+    assert!(
+        stats.peak_carried_runs as usize <= 57 / 2 + 1,
+        "carried state stayed O(cols): {}",
+        stats.peak_carried_runs
+    );
 }
 
 /// Healthy traffic keeps flowing *concurrently* while faults are being

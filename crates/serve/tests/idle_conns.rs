@@ -1,0 +1,80 @@
+//! The readiness-core contract: an idle keep-alive connection costs no
+//! thread. Sixty-four parked clients must not grow the process thread
+//! count at all (one poll loop owns every socket), and every one of those
+//! sockets must still serve a job afterwards.
+
+use slap_image::{pbm, Bitmap};
+use slap_serve::protocol::{self, Response};
+use slap_serve::server::{ServeConfig, Server};
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Threads in this process, per the kernel.
+fn thread_count() -> usize {
+    std::fs::read_dir("/proc/self/task").unwrap().count()
+}
+
+#[test]
+fn sixty_four_idle_connections_cost_no_thread() {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    let baseline = thread_count();
+
+    // Park 64 idle connections: connect, then send nothing.
+    let conns: Vec<TcpStream> = (0..64)
+        .map(|_| {
+            let s = TcpStream::connect(addr).expect("accept");
+            s.set_read_timeout(Some(Duration::from_secs(20))).unwrap();
+            s
+        })
+        .collect();
+
+    // Wait until the server has registered all of them, then a beat more
+    // so any per-connection thread (the regression this test guards
+    // against) would have been spawned.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.stats().connections < 64 {
+        assert!(Instant::now() < deadline, "server never saw all 64 conns");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    std::thread::sleep(Duration::from_millis(50));
+    let parked = thread_count();
+    assert!(
+        parked <= baseline,
+        "idle connections grew the thread count: {baseline} -> {parked}"
+    );
+
+    // The parked sockets are live connections, not zombies: each one
+    // still serves a job.
+    let img = {
+        let mut img = Bitmap::new(9, 9);
+        for i in 0..9 {
+            img.set(i, i, true);
+        }
+        img
+    };
+    for (i, mut stream) in conns.into_iter().enumerate() {
+        pbm::write_framed(&img, &mut stream).expect("parked conn must accept a job");
+        let mut reader = BufReader::new(stream);
+        match protocol::read_response(&mut reader)
+            .expect("parked conn must answer")
+            .expect("parked conn must not be closed")
+        {
+            Response::Ok(ok) => assert_eq!(ok.components, 9, "conn {i}"),
+            other => panic!("conn {i}: healthy job rejected: {other:?}"),
+        }
+    }
+
+    let stats = server.shutdown();
+    assert_eq!(stats.connections, 64);
+    assert_eq!(stats.jobs_ok, 64);
+    assert_eq!(stats.io_errors, 0, "idle keep-alive is not an I/O error");
+}

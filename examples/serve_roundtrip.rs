@@ -12,13 +12,19 @@
 //! * **healthy jobs** — a batch of frames labeled over one pooled
 //!   connection, each reply verified bit-identical to the fast engine;
 //! * **typed rejections** — an over-budget frame answered with the
-//!   `too-large` wire code, not a dropped connection;
+//!   `too-large` wire code (whose detail points at stream mode), not a
+//!   dropped connection;
+//! * **protocol-v2 streaming** — the same frames served as per-component
+//!   feature records, verified against `component_features`, and the
+//!   over-budget frame served after all by routing out-of-core with
+//!   `O(cols + live)` carried state;
 //! * **fault tolerance** — a garbage blob fired at the port while healthy
 //!   jobs keep flowing;
 //! * **graceful drain** — shutdown returns the final stats ledger, which
 //!   the example prints.
 
 use slap_repro::cc::engine::EngineKind;
+use slap_repro::cc::features::{component_features, Features};
 use slap_repro::image::{gen, Connectivity, LabelGrid};
 use slap_repro::serve::{Client, ClientError, ServeConfig, Server, WireError};
 use std::io::Write;
@@ -63,7 +69,8 @@ fn main() {
         client.retries(),
     );
 
-    // A job over the pixel budget comes back as a typed verdict.
+    // A job over the pixel budget comes back as a typed verdict whose
+    // detail names the cap and the stream-mode escape hatch.
     let big = gen::by_name(workload, 1 << 13, 99).expect("workload");
     match client.label(&big) {
         Err(ClientError::Rejected { code, detail }) => {
@@ -72,6 +79,44 @@ fn main() {
         }
         other => panic!("expected a too-large rejection, got {other:?}"),
     }
+
+    // Protocol v2: the same frame as feature records — no grid on the
+    // wire — checked against the whole-grid oracle.
+    let img = gen::by_name(workload, n, 0).expect("workload");
+    let ok = client.label_stream(&img).expect("streamed job");
+    let mut got: Vec<(u32, Features)> = ok
+        .records
+        .iter()
+        .map(|rec| (rec.label(ok.rows) as u32, Features::from(*rec)))
+        .collect();
+    got.sort_unstable_by_key(|&(label, _)| label);
+    let labels = {
+        let mut grid = LabelGrid::new_background(img.rows(), img.cols());
+        oracle_session.label_into(&img, Connectivity::Four, &mut grid);
+        grid
+    };
+    assert_eq!(
+        got,
+        component_features(&img, &labels, Connectivity::Four).per_component,
+        "stream records diverged from component_features"
+    );
+    println!(
+        "streamed {} feature record(s) for the {n}x{n} frame, all matching \
+         component_features",
+        ok.components
+    );
+
+    // And the frame the grid path refused? Stream mode serves it by
+    // routing out-of-core — bounded carried state instead of a grid.
+    let t1 = Instant::now();
+    let ok = client.label_stream(&big).expect("out-of-core streamed job");
+    println!(
+        "the refused {0}x{0} frame streamed out-of-core: {1} component(s) \
+         in {2:.2} s",
+        1 << 13,
+        ok.components,
+        t1.elapsed().as_secs_f64(),
+    );
 
     // Garbage on the wire never takes the service down.
     let mut vandal = TcpStream::connect(addr).expect("connect");
@@ -84,10 +129,14 @@ fn main() {
     drop(client);
     let stats = server.shutdown();
     println!(
-        "\ndrained: {} connection(s), {} ok, {} typed rejection(s) \
+        "\ndrained: {} connection(s), {} ok ({} streamed, {} out-of-core, \
+         peak {} carried run(s)), {} typed rejection(s) \
          (too-large {}, bad-frame {}), 0 crashes by construction",
         stats.connections,
         stats.jobs_ok,
+        stats.jobs_streamed,
+        stats.jobs_ooc,
+        stats.peak_carried_runs,
         stats.rejected(),
         stats.too_large,
         stats.bad_frame,

@@ -26,12 +26,15 @@
 //! slap serve [--addr H:P] [--conn 4|8]      # slapd: fault-tolerant TCP
 //!            [--workers N] [--queue-cap N]  #   labeling service; bounded
 //!            [--queue-budget-mb N]          #   queue, deadlines, panic
-//!            [--max-dim N] [--max-pixels N] #   isolation; SIGINT/SIGTERM
-//!            [--deadline-ms N] [--threads N]#   drains gracefully and
-//!            [--io-timeout-ms N]            #   prints final stats
+//!            [--max-dim N] [--max-pixels N] #   isolation; readiness-based
+//!            [--max-stream-pixels N]        #   conns; frames past
+//!            [--ooc-band-rows N]            #   --max-pixels stream
+//!            [--deadline-ms N] [--threads N]#   out-of-core; SIGINT/SIGTERM
+//!            [--io-timeout-ms N]            #   drains and prints stats
 //! slap client [--addr H:P] [--attempts N]   # submit PBM jobs to slapd with
-//!             [--base-delay-ms N] [f ...]   #   retry/backoff (stdin if no
-//!                                           #   files)
+//!             [--base-delay-ms N]           #   retry/backoff (stdin if no
+//!             [--stream] [f ...]            #   files); --stream: protocol
+//!                                           #   v2 feature records, no grid
 //! slap workloads                            # list generators + engines
 //! ```
 //!
@@ -327,6 +330,12 @@ fn serve_cmd(rest: &mut Vec<&str>, conn: Connectivity, threads: Option<usize>) {
     if let Some(n) = take_num::<u64>(rest, "--max-pixels") {
         cfg.max_pixels = n;
     }
+    if let Some(n) = take_num::<u64>(rest, "--max-stream-pixels") {
+        cfg.max_stream_pixels = n;
+    }
+    if let Some(n) = take_num::<usize>(rest, "--ooc-band-rows") {
+        cfg.ooc_band_rows = n;
+    }
     if let Some(ms) = take_num::<u64>(rest, "--deadline-ms") {
         cfg.deadline = std::time::Duration::from_millis(ms);
     }
@@ -356,12 +365,16 @@ fn serve_cmd(rest: &mut Vec<&str>, conn: Connectivity, threads: Option<usize>) {
     eprintln!("slapd draining: no new connections, finishing in-flight jobs...");
     let stats = server.shutdown();
     eprintln!(
-        "slapd drained. {} connection(s), {} job(s) ok, {} rejection(s) \
+        "slapd drained. {} connection(s), {} job(s) ok ({} streamed, {} \
+         out-of-core, peak {} carried run(s)), {} rejection(s) \
          [bad-frame {}, too-large {}, overflow {}, queue-full {}, deadline {}, \
          panic {}, shutdown {}], {} io error(s), {} session rebuild(s), \
          peak queue {} job(s) / {} byte(s)",
         stats.connections,
         stats.jobs_ok,
+        stats.jobs_streamed,
+        stats.jobs_ooc,
+        stats.peak_carried_runs,
         stats.rejected(),
         stats.bad_frame,
         stats.too_large,
@@ -379,8 +392,11 @@ fn serve_cmd(rest: &mut Vec<&str>, conn: Connectivity, threads: Option<usize>) {
 
 /// `slap client`: submits each PBM (stdin when no files are given) to a
 /// running slapd with retry/backoff, printing one summary line per job.
+/// With `--stream` the job is submitted in protocol-v2 stream mode and
+/// the per-component feature records are summarized instead of the grid.
 fn client_cmd(rest: &mut Vec<&str>) {
     let addr_str = take_flag(rest, "--addr").unwrap_or("127.0.0.1:7154");
+    let stream_mode = take_toggle(rest, "--stream");
     let addr = std::net::ToSocketAddrs::to_socket_addrs(addr_str)
         .ok()
         .and_then(|mut a| a.next())
@@ -411,15 +427,45 @@ fn client_cmd(rest: &mut Vec<&str>) {
     let mut failed = false;
     for (name, img) in &jobs {
         let t0 = std::time::Instant::now();
-        match client.label(img) {
-            Ok(ok) => println!(
-                "{name}: {}x{}, {} component(s), {:.3} ms ({} retry(ies) so far)",
-                ok.rows,
-                ok.cols,
-                ok.components,
-                t0.elapsed().as_secs_f64() * 1e3,
-                client.retries(),
-            ),
+        let outcome = if stream_mode {
+            client.label_stream(img).map(|ok| {
+                let ms = t0.elapsed().as_secs_f64() * 1e3;
+                println!(
+                    "{name}: {}x{}, {} component(s) streamed, {ms:.3} ms \
+                     ({} retry(ies) so far)",
+                    ok.rows,
+                    ok.cols,
+                    ok.components,
+                    client.retries(),
+                );
+                for rec in &ok.records {
+                    println!(
+                        "  label {}: area {}, bbox [{}..{}]x[{}..{}], \
+                         perimeter {}",
+                        rec.label(ok.rows),
+                        rec.area,
+                        rec.min_row,
+                        rec.max_row,
+                        rec.min_col,
+                        rec.max_col,
+                        rec.perimeter,
+                    );
+                }
+            })
+        } else {
+            client.label(img).map(|ok| {
+                println!(
+                    "{name}: {}x{}, {} component(s), {:.3} ms ({} retry(ies) so far)",
+                    ok.rows,
+                    ok.cols,
+                    ok.components,
+                    t0.elapsed().as_secs_f64() * 1e3,
+                    client.retries(),
+                )
+            })
+        };
+        match outcome {
+            Ok(()) => {}
             Err(ClientError::Rejected { code, detail }) => {
                 eprintln!("{name}: rejected ({code}): {detail}");
                 failed = true;
@@ -803,8 +849,9 @@ fn usage() -> ! {
          slap stream [--conn 4|8] [--framed] [file.pbm]\n  \
          slap compare [--uf KIND] [--conn 4|8] <workload> <n> [seed]\n  \
          slap serve [--addr H:P] [--conn 4|8] [--workers N] [--queue-cap N] [--queue-budget-mb N]\n             \
-         [--max-dim N] [--max-pixels N] [--deadline-ms N] [--io-timeout-ms N] [--threads N]\n  \
-         slap client [--addr H:P] [--attempts N] [--base-delay-ms N] [file.pbm ...]\n  \
+         [--max-dim N] [--max-pixels N] [--max-stream-pixels N] [--ooc-band-rows N]\n             \
+         [--deadline-ms N] [--io-timeout-ms N] [--threads N]\n  \
+         slap client [--addr H:P] [--stream] [--attempts N] [--base-delay-ms N] [file.pbm ...]\n  \
          slap workloads\n\
          (--engine: one of {}; see `slap workloads`)",
         engines.join("|")

@@ -1,0 +1,132 @@
+//! Live-server differential suite for protocol v2: `STREAM` feature
+//! records from a real `slapd` over real sockets must agree with the
+//! whole-grid `component_features` oracle for every generator family and
+//! both connectivities; v1 clients keep working unchanged against the v2
+//! server; and frames above the routing threshold go out-of-core with
+//! carried state bounded by the row width.
+
+use slap_repro::cc::features::{component_features, Features};
+use slap_repro::image::{fast_labels_conn, gen, Bitmap, Connectivity};
+use slap_repro::serve::{Client, ClientError, ServeConfig, Server, WireError};
+
+/// Per-component `(label, features)` oracle from a whole-grid labeling,
+/// sorted by label.
+fn reference(img: &Bitmap, conn: Connectivity) -> Vec<(u32, Features)> {
+    let labels = fast_labels_conn(img, conn);
+    component_features(img, &labels, conn).per_component
+}
+
+/// The same pairs reconstructed from a live `STREAM` response.
+fn streamed(client: &mut Client, img: &Bitmap) -> Vec<(u32, Features)> {
+    let ok = client.label_stream(img).expect("streamed job must succeed");
+    assert_eq!((ok.rows, ok.cols), (img.rows(), img.cols()));
+    assert_eq!(ok.components, ok.records.len(), "one record per component");
+    let mut per: Vec<(u32, Features)> = ok
+        .records
+        .iter()
+        .map(|rec| (rec.label(img.rows()) as u32, Features::from(*rec)))
+        .collect();
+    per.sort_unstable_by_key(|&(label, _)| label);
+    per
+}
+
+#[test]
+fn stream_records_match_component_features_for_every_family() {
+    for conn in [Connectivity::Four, Connectivity::Eight] {
+        let server = Server::bind(
+            "127.0.0.1:0",
+            ServeConfig {
+                conn,
+                workers: 2,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let mut client = Client::connect(server.local_addr());
+        for name in gen::WORKLOADS {
+            let img = gen::by_name(name, 48, 23).unwrap();
+            assert_eq!(
+                streamed(&mut client, &img),
+                reference(&img, conn),
+                "workload {name} conn={conn:?}"
+            );
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.jobs_streamed as usize, gen::WORKLOADS.len());
+        assert_eq!(stats.jobs_ooc, 0, "48×48 stays under the routing threshold");
+        assert!(
+            stats.peak_carried_runs as usize <= 48 / 2 + 1,
+            "in-core streaming still reports O(cols) carried state: {}",
+            stats.peak_carried_runs
+        );
+    }
+}
+
+#[test]
+fn v1_clients_pass_unchanged_against_the_v2_server() {
+    // The compat row: a client that never says hello gets v1 grids, bit
+    // identical to the fast engine, across every generator family.
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = Client::connect(server.local_addr());
+    for name in gen::WORKLOADS {
+        let img = gen::by_name(name, 32, 17).unwrap();
+        let ok = client.label(&img).expect("v1 job must succeed");
+        let labels = fast_labels_conn(&img, Connectivity::Four);
+        assert_eq!(ok.labels, labels.as_slice(), "workload {name}");
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.jobs_ok as usize, gen::WORKLOADS.len());
+    assert_eq!(stats.jobs_streamed, 0, "no hello, no records");
+}
+
+#[test]
+fn oversize_frames_route_out_of_core_with_bounded_carried_state() {
+    let n = 64usize;
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServeConfig {
+            workers: 1,
+            max_pixels: 256,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = Client::connect(server.local_addr());
+    let img = gen::by_name("maze", n, 7).unwrap();
+
+    // Grid mode refuses the frame with an actionable detail naming the
+    // cap and the escape hatch...
+    match client.label(&img) {
+        Err(ClientError::Rejected { code, detail }) => {
+            assert_eq!(code, WireError::TooLarge);
+            assert!(detail.contains("256"), "detail names the cap: {detail}");
+            assert!(
+                detail.contains("stream mode"),
+                "detail routes around: {detail}"
+            );
+        }
+        other => panic!("expected too-large, got {other:?}"),
+    }
+
+    // ...and stream mode serves the very same frame out-of-core, exactly.
+    assert_eq!(
+        streamed(&mut client, &img),
+        reference(&img, Connectivity::Four)
+    );
+
+    let stats = server.shutdown();
+    assert_eq!(stats.jobs_ooc, 1, "the oversize frame went out-of-core");
+    assert_eq!(stats.jobs_streamed, 1);
+    assert!(
+        stats.peak_carried_runs as usize <= n / 2 + 1,
+        "carried state stayed O(cols + live): {}",
+        stats.peak_carried_runs
+    );
+}
