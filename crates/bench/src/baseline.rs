@@ -15,12 +15,12 @@
 //! baseline file.
 
 use crate::json;
+use crate::sweep::{self, conn_id, CONNS, SEED};
 use slap_cc::engine::EngineKind;
 use slap_cc::{label_components_runs, CcOptions};
-use slap_image::{gen, Connectivity, LabelGrid, TileStats};
+use slap_image::{LabelGrid, TileStats};
 use slap_unionfind::RankHalvingUf;
 use std::fmt::Write as _;
-use std::time::Instant;
 
 /// Schema identifier stamped into (and required from) every baseline file.
 /// `v3` added the coarse-to-fine block-classification counters
@@ -47,12 +47,6 @@ pub const ENGINES: &[&str] = &["oracle-bfs", "fast", "slap-sim-runs"];
 /// non-registry column — it is a paper simulation, not a host engine).
 const HOST_ENGINES: &[(EngineKind, &str)] =
     &[(EngineKind::Bfs, "oracle-bfs"), (EngineKind::Fast, "fast")];
-
-/// Connectivities swept (the JSON records them as `4` / `8`).
-pub const CONNS: &[Connectivity] = &[Connectivity::Four, Connectivity::Eight];
-
-/// Seed for the random workload families.
-pub const SEED: u64 = 1;
 
 /// One timed (family, size, connectivity, engine) point.
 #[derive(Clone, Debug)]
@@ -101,42 +95,6 @@ fn sweep_params(quick: bool) -> (&'static [&'static str], &'static [usize]) {
     }
 }
 
-/// Repetitions per point, scaled down for the big images. Shared with the
-/// parallel sweep so both files time under the same protocol.
-pub(crate) fn reps_for(n: usize, quick: bool) -> usize {
-    match (quick, n) {
-        (true, _) => 3,
-        (false, 2048..) => 3,
-        (false, 1024..) => 4,
-        _ => 6,
-    }
-}
-
-/// Times `f` over `reps` repetitions (after one warm-up), returning
-/// `(best_ns, mean_ns)`. Shared with the parallel sweep so both files time
-/// under the same protocol.
-pub(crate) fn time_reps(reps: usize, mut f: impl FnMut()) -> (u64, u64) {
-    f(); // warm-up
-    let mut best = u64::MAX;
-    let mut total = 0u64;
-    for _ in 0..reps {
-        let t = Instant::now();
-        f();
-        let ns = t.elapsed().as_nanos() as u64;
-        best = best.min(ns);
-        total += ns;
-    }
-    (best, total / reps as u64)
-}
-
-/// The JSON id (`4` / `8`) of a connectivity.
-pub fn conn_id(conn: Connectivity) -> u32 {
-    match conn {
-        Connectivity::Four => 4,
-        Connectivity::Eight => 8,
-    }
-}
-
 /// Runs the sweep. `progress` receives one line per timed point. The host
 /// engines are warm registry sessions ([`EngineKind::session`]); the first
 /// ([`EngineKind::Bfs`]) doubles as the bit-identity reference.
@@ -147,77 +105,69 @@ pub fn run_baseline(quick: bool, mut progress: impl FnMut(&str)) -> BaselineRepo
         .iter()
         .map(|&(kind, id)| (kind.session(1), id, LabelGrid::new_background(1, 1)))
         .collect();
-    for &family in families {
-        for &n in sides {
-            let img = gen::by_name(family, n, SEED)
-                .unwrap_or_else(|| panic!("unknown workload family {family:?}"));
-            let reps = reps_for(n, quick);
-            for &conn in CONNS {
-                let cid = conn_id(conn);
-                // Host engines from the registry; the oracle comes first and
-                // its (final) grid is the identity reference for the rest.
-                let mut truth = LabelGrid::new_background(1, 1);
-                for (session, id, grid) in &mut sessions {
-                    let mut stats = None;
-                    let (best, mean) = time_reps(reps, || {
-                        stats = Some(session.label_into(std::hint::black_box(&img), conn, grid));
-                    });
-                    let identical = if session.kind() == EngineKind::Bfs {
-                        std::mem::swap(&mut truth, grid);
-                        None
-                    } else {
-                        Some(*grid == truth)
-                    };
-                    let tiles = stats.map(|s| s.tiles).filter(|t: &TileStats| t.total() > 0);
-                    progress(&format!(
-                        "{family}/{n}/{cid}-conn {id}: {:.3} ms",
-                        best as f64 / 1e6
-                    ));
-                    entries.push(Entry {
-                        family: family.to_string(),
-                        n,
-                        conn: cid,
-                        engine: id.to_string(),
-                        best_ns: best,
-                        mean_ns: mean,
-                        reps,
-                        bit_identical: identical,
-                        tiles,
-                    });
-                }
-                // Simulated SLAP (run-based Algorithm CC). The identity
-                // check runs on the kept labels *outside* the timed region,
-                // same as the fast engine's.
-                let sim_reps = reps.min(3);
-                let opts = CcOptions {
-                    connectivity: conn,
-                    ..CcOptions::default()
-                };
-                let mut sim_labels = None;
-                let (best, mean) = time_reps(sim_reps, || {
-                    let run =
-                        label_components_runs::<RankHalvingUf>(std::hint::black_box(&img), &opts);
-                    sim_labels = Some(run.labels);
-                });
-                let sim_ok = sim_labels.as_ref() == Some(&truth);
-                progress(&format!(
-                    "{family}/{n}/{cid}-conn slap-sim-runs: {:.3} ms",
-                    best as f64 / 1e6
-                ));
-                entries.push(Entry {
-                    family: family.to_string(),
-                    n,
-                    conn: cid,
-                    engine: "slap-sim-runs".to_string(),
-                    best_ns: best,
-                    mean_ns: mean,
-                    reps: sim_reps,
-                    bit_identical: Some(sim_ok),
-                    tiles: None,
-                });
-            }
+    sweep::drive(families, sides, quick, |p| {
+        let (family, n, conn, cid, img, reps) = (p.family, p.n, p.conn, p.cid, p.img, p.reps);
+        // Host engines from the registry; the oracle comes first and
+        // its (final) grid is the identity reference for the rest.
+        let mut truth = LabelGrid::new_background(1, 1);
+        for (session, id, grid) in &mut sessions {
+            let mut stats = None;
+            let (best, mean) = sweep::time_reps(reps, || {
+                stats = Some(session.label_into(std::hint::black_box(img), conn, grid));
+            });
+            let identical = if session.kind() == EngineKind::Bfs {
+                std::mem::swap(&mut truth, grid);
+                None
+            } else {
+                Some(*grid == truth)
+            };
+            let tiles = stats.map(|s| s.tiles).filter(|t: &TileStats| t.total() > 0);
+            progress(&format!(
+                "{family}/{n}/{cid}-conn {id}: {:.3} ms",
+                best as f64 / 1e6
+            ));
+            entries.push(Entry {
+                family: family.to_string(),
+                n,
+                conn: cid,
+                engine: id.to_string(),
+                best_ns: best,
+                mean_ns: mean,
+                reps,
+                bit_identical: identical,
+                tiles,
+            });
         }
-    }
+        // Simulated SLAP (run-based Algorithm CC). The identity
+        // check runs on the kept labels *outside* the timed region,
+        // same as the fast engine's.
+        let sim_reps = reps.min(3);
+        let opts = CcOptions {
+            connectivity: conn,
+            ..CcOptions::default()
+        };
+        let mut sim_labels = None;
+        let (best, mean) = sweep::time_reps(sim_reps, || {
+            let run = label_components_runs::<RankHalvingUf>(std::hint::black_box(img), &opts);
+            sim_labels = Some(run.labels);
+        });
+        let sim_ok = sim_labels.as_ref() == Some(&truth);
+        progress(&format!(
+            "{family}/{n}/{cid}-conn slap-sim-runs: {:.3} ms",
+            best as f64 / 1e6
+        ));
+        entries.push(Entry {
+            family: family.to_string(),
+            n,
+            conn: cid,
+            engine: "slap-sim-runs".to_string(),
+            best_ns: best,
+            mean_ns: mean,
+            reps: sim_reps,
+            bit_identical: Some(sim_ok),
+            tiles: None,
+        });
+    });
     BaselineReport {
         scale: if quick { "quick" } else { "full" }.to_string(),
         families: families.iter().map(|s| s.to_string()).collect(),

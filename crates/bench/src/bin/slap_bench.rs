@@ -17,6 +17,10 @@
 //!                                        #   1/4/16 concurrent clients
 //!                                        #   -> BENCH_serve.json
 //! slap-bench serve --quick --out F       # small sweep (CI smoke), custom path
+//! slap-bench propagate                   # label-equivalence engine vs oracle
+//!                                        #   + lock-step pipeline-vs-iteration
+//!                                        #   step counts -> BENCH_propagate.json
+//! slap-bench propagate --quick --out F   # small sweep (CI smoke), custom path
 //! slap-bench check FILE                  # schema-validate a recorded file
 //! slap-bench check FILE --require-full   # + full scale and the headline criteria
 //! ```
@@ -27,13 +31,15 @@
 //! strip-parallel engine across thread counts (`parallel`), the
 //! bounded-memory streaming engine with its frontier peaks (`stream`), and
 //! cold-call vs. warm-session throughput for every engine in
-//! `slap_cc::engine::registry()` (`reuse`), and the 2-D tiled engine across
-//! tile shapes plus the out-of-core band scheduler (`tiled`) — that the
+//! `slap_cc::engine::registry()` (`reuse`), the 2-D tiled engine across
+//! tile shapes plus the out-of-core band scheduler (`tiled`), and the
+//! iterative label-equivalence engine vs. the oracle plus the lock-step
+//! pipeline-vs-iteration step-count comparison (`propagate`) — that the
 //! `BENCH_*.json` files
 //! commit to the repository. `check` dispatches on the file's `schema`
 //! field.
 
-use slap_bench::{baseline, json, parallel, reuse, serve, stream, tiled};
+use slap_bench::{baseline, json, parallel, propagate, reuse, serve, stream, tiled};
 
 fn usage() -> ! {
     eprintln!(
@@ -43,6 +49,7 @@ fn usage() -> ! {
          slap-bench reuse [--quick] [--out PATH]\n       \
          slap-bench tiled [--quick] [--out PATH]\n       \
          slap-bench serve [--quick] [--out PATH]\n       \
+         slap-bench propagate [--quick] [--out PATH]\n       \
          slap-bench check PATH [--require-full]"
     );
     std::process::exit(2);
@@ -135,6 +142,14 @@ fn main() {
                 serve::validate(t, !quick)
             });
         }
+        Some("propagate") => {
+            let (quick, out) = sweep_flags(&args[1..], "BENCH_propagate.json");
+            let report = propagate::run_propagate(quick, |line| eprintln!("  {line}"));
+            let text = report.to_json();
+            write_validated(&text, &out, report.entries.len(), |t| {
+                propagate::validate(t, !quick)
+            });
+        }
         Some("check") => {
             let mut path: Option<&str> = None;
             let mut require_full = false;
@@ -166,6 +181,7 @@ fn main() {
                 tiled::SCHEMA => tiled::validate(&text, require_full),
                 reuse::SCHEMA => reuse::validate(&text, require_full),
                 serve::SCHEMA => serve::validate(&text, require_full),
+                propagate::SCHEMA => propagate::validate(&text, require_full),
                 _ => baseline::validate(&text, require_full),
             };
             match result {

@@ -18,9 +18,11 @@ pub mod baseline;
 pub mod experiments;
 pub mod json;
 pub mod parallel;
+pub mod propagate;
 pub mod reuse;
 pub mod serve;
 pub mod stream;
+pub mod sweep;
 pub mod table;
 pub mod tiled;
 

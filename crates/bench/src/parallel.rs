@@ -12,10 +12,10 @@
 //! `random50` @ 2048² under 4-connectivity — is only enforceable when the
 //! host actually has ≥ 4 hardware threads.
 
-use crate::baseline::{conn_id, reps_for, time_reps, CONNS, SEED};
 use crate::json;
+use crate::sweep::{self, conn_id, CONNS, SEED};
 use slap_cc::engine::EngineKind;
-use slap_image::{gen, LabelGrid};
+use slap_image::LabelGrid;
 use std::fmt::Write as _;
 
 /// Schema identifier stamped into (and required from) every parallel file.
@@ -92,57 +92,50 @@ pub fn run_parallel(quick: bool, mut progress: impl FnMut(&str)) -> ParallelRepo
     let mut fast = EngineKind::Fast.session(1);
     let mut fast_grid = LabelGrid::new_background(1, 1);
     let mut par_grid = LabelGrid::new_background(1, 1);
-    for &family in families {
-        for &n in sides {
-            let img = gen::by_name(family, n, SEED)
-                .unwrap_or_else(|| panic!("unknown workload family {family:?}"));
-            let reps = reps_for(n, quick);
-            for &conn in CONNS {
-                let cid = conn_id(conn);
-                // Sequential reference: timed, and the identity baseline.
-                let (best, mean) = time_reps(reps, || {
-                    fast.label_into(std::hint::black_box(&img), conn, &mut fast_grid);
-                });
-                progress(&format!(
-                    "{family}/{n}/{cid}-conn fast: {:.3} ms",
-                    best as f64 / 1e6
-                ));
-                entries.push(Entry {
-                    family: family.to_string(),
-                    n,
-                    conn: cid,
-                    engine: "fast".to_string(),
-                    threads: 1,
-                    best_ns: best,
-                    mean_ns: mean,
-                    reps,
-                    bit_identical: None,
-                });
-                for &t in THREAD_COUNTS {
-                    let mut labeler = EngineKind::Parallel.session(t);
-                    let (best, mean) = time_reps(reps, || {
-                        labeler.label_into(std::hint::black_box(&img), conn, &mut par_grid);
-                    });
-                    let ok = par_grid == fast_grid;
-                    progress(&format!(
-                        "{family}/{n}/{cid}-conn parallel@{t}: {:.3} ms",
-                        best as f64 / 1e6
-                    ));
-                    entries.push(Entry {
-                        family: family.to_string(),
-                        n,
-                        conn: cid,
-                        engine: "parallel".to_string(),
-                        threads: t,
-                        best_ns: best,
-                        mean_ns: mean,
-                        reps,
-                        bit_identical: Some(ok),
-                    });
-                }
-            }
+    sweep::drive(families, sides, quick, |p| {
+        let (family, n, cid, reps) = (p.family, p.n, p.cid, p.reps);
+        // Sequential reference: timed, and the identity baseline.
+        let (best, mean) = sweep::time_reps(reps, || {
+            fast.label_into(std::hint::black_box(p.img), p.conn, &mut fast_grid);
+        });
+        progress(&format!(
+            "{family}/{n}/{cid}-conn fast: {:.3} ms",
+            best as f64 / 1e6
+        ));
+        entries.push(Entry {
+            family: family.to_string(),
+            n,
+            conn: cid,
+            engine: "fast".to_string(),
+            threads: 1,
+            best_ns: best,
+            mean_ns: mean,
+            reps,
+            bit_identical: None,
+        });
+        for &t in THREAD_COUNTS {
+            let mut labeler = EngineKind::Parallel.session(t);
+            let (best, mean) = sweep::time_reps(reps, || {
+                labeler.label_into(std::hint::black_box(p.img), p.conn, &mut par_grid);
+            });
+            let ok = par_grid == fast_grid;
+            progress(&format!(
+                "{family}/{n}/{cid}-conn parallel@{t}: {:.3} ms",
+                best as f64 / 1e6
+            ));
+            entries.push(Entry {
+                family: family.to_string(),
+                n,
+                conn: cid,
+                engine: "parallel".to_string(),
+                threads: t,
+                best_ns: best,
+                mean_ns: mean,
+                reps,
+                bit_identical: Some(ok),
+            });
         }
-    }
+    });
     ParallelReport {
         scale: if quick { "quick" } else { "full" }.to_string(),
         host_threads,

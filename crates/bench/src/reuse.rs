@@ -17,10 +17,10 @@
 //! enforces that **warm throughput ≥ cold throughput on every entry**, so a
 //! session type that silently loses its reuse property fails CI.
 
-use crate::baseline::{conn_id, reps_for, time_reps, CONNS, SEED};
 use crate::json;
+use crate::sweep::{self, conn_id, SEED};
 use slap_cc::engine::{registry, EngineKind};
-use slap_image::{bfs_labels_conn, gen, Bitmap, Connectivity, LabelGrid};
+use slap_image::{bfs_labels_conn, Bitmap, Connectivity, LabelGrid};
 use std::fmt::Write as _;
 
 /// Schema identifier stamped into (and required from) every reuse file.
@@ -103,7 +103,7 @@ fn time_point(
     for attempt in 0..6 {
         let reps = base_reps << attempt.min(3);
         reps_total += reps;
-        let (best, mean) = time_reps(reps, || {
+        let (best, mean) = sweep::time_reps(reps, || {
             let mut session = kind.session(THREADS);
             let mut grid = LabelGrid::new_background(1, 1);
             session.label_into(std::hint::black_box(img), conn, &mut grid);
@@ -118,7 +118,7 @@ fn time_point(
         session.label_into(img, conn, &mut grid);
         session.label_into(img, conn, &mut grid);
         threads = session.threads();
-        let (best, mean) = time_reps(reps, || {
+        let (best, mean) = sweep::time_reps(reps, || {
             session.label_into(std::hint::black_box(img), conn, &mut grid);
             std::hint::black_box(&grid);
         });
@@ -151,30 +151,25 @@ fn time_point(
 pub fn run_reuse(quick: bool, mut progress: impl FnMut(&str)) -> ReuseReport {
     let (families, sides) = sweep_params(quick);
     let mut entries = Vec::new();
-    for &family in families {
-        for &n in sides {
-            let img = gen::by_name(family, n, SEED)
-                .unwrap_or_else(|| panic!("unknown workload family {family:?}"));
-            let reps = reps_for(n, quick);
-            for &conn in CONNS {
-                let truth = bfs_labels_conn(&img, conn);
-                for info in registry() {
-                    let mut entry = time_point(info.kind, &img, conn, &truth, reps);
-                    entry.family = family.to_string();
-                    entry.n = n;
-                    progress(&format!(
-                        "{family}/{n}/{}-conn {}: cold {:.3} ms, warm {:.3} ms ({:.2}x)",
-                        entry.conn,
-                        entry.engine,
-                        entry.cold_best_ns as f64 / 1e6,
-                        entry.warm_best_ns as f64 / 1e6,
-                        entry.cold_best_ns as f64 / entry.warm_best_ns.max(1) as f64
-                    ));
-                    entries.push(entry);
-                }
-            }
+    sweep::drive(families, sides, quick, |p| {
+        let truth = bfs_labels_conn(p.img, p.conn);
+        for info in registry() {
+            let mut entry = time_point(info.kind, p.img, p.conn, &truth, p.reps);
+            entry.family = p.family.to_string();
+            entry.n = p.n;
+            progress(&format!(
+                "{}/{}/{}-conn {}: cold {:.3} ms, warm {:.3} ms ({:.2}x)",
+                p.family,
+                p.n,
+                entry.conn,
+                entry.engine,
+                entry.cold_best_ns as f64 / 1e6,
+                entry.warm_best_ns as f64 / 1e6,
+                entry.cold_best_ns as f64 / entry.warm_best_ns.max(1) as f64
+            ));
+            entries.push(entry);
         }
-    }
+    });
     ReuseReport {
         scale: if quick { "quick" } else { "full" }.to_string(),
         engines: registry()

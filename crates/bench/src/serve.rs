@@ -21,8 +21,8 @@
 //! the 16-client point measures queueing discipline, not parallel
 //! speedup, and the validator deliberately demands no scaling curve.
 
-use crate::baseline::{conn_id, CONNS, SEED};
 use crate::json;
+use crate::sweep::{conn_id, CONNS, SEED};
 use slap_image::{gen, Connectivity};
 use slap_serve::{Client, RetryPolicy, ServeConfig, Server};
 use std::fmt::Write as _;

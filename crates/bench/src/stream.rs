@@ -13,10 +13,10 @@
 //! was not equivalent **or** where a peak exceeds the `O(cols)` frontier
 //! bound — the schema itself enforces the engine's memory contract.
 
-use crate::baseline::{conn_id, reps_for, time_reps, CONNS, SEED};
 use crate::json;
+use crate::sweep::{self, SEED};
 use slap_cc::features::{component_features, streamed_features};
-use slap_image::{fast_labels_conn, gen, stream::StreamLabeler, Bitmap, Connectivity};
+use slap_image::{fast_labels_conn, stream::StreamLabeler, Bitmap, Connectivity};
 use std::fmt::Write as _;
 
 /// Schema identifier stamped into (and required from) every stream file.
@@ -87,48 +87,41 @@ fn stream_once(labeler: &mut StreamLabeler, img: &Bitmap, conn: Connectivity) {
 pub fn run_stream(quick: bool, mut progress: impl FnMut(&str)) -> StreamReport {
     let (families, sides) = sweep_params(quick);
     let mut entries = Vec::new();
-    for &family in families {
-        for &n in sides {
-            let img = gen::by_name(family, n, SEED)
-                .unwrap_or_else(|| panic!("unknown workload family {family:?}"));
-            let reps = reps_for(n, quick);
-            for &conn in CONNS {
-                let cid = conn_id(conn);
-                // Untimed pass: memory peaks + feature equivalence against
-                // the whole-frame engine (exercising the core's retirement
-                // hook end to end).
-                let mut labeler = StreamLabeler::new(img.cols(), conn);
-                let stats = {
-                    stream_once(&mut labeler, &img, conn);
-                    labeler.drain_retired();
-                    labeler.stats()
-                };
-                let reference = component_features(&img, &fast_labels_conn(&img, conn), conn);
-                let equivalent = streamed_features(&img, conn) == reference.per_component;
-                let (best, mean) = time_reps(reps, || {
-                    stream_once(&mut labeler, std::hint::black_box(&img), conn);
-                    std::hint::black_box(labeler.drain_retired().count());
-                });
-                progress(&format!(
-                    "{family}/{n}/{cid}-conn stream: {:.3} ms, frontier peak {}",
-                    best as f64 / 1e6,
-                    stats.peak_frontier_runs
-                ));
-                entries.push(Entry {
-                    family: family.to_string(),
-                    n,
-                    conn: cid,
-                    best_ns: best,
-                    mean_ns: mean,
-                    reps,
-                    rows_per_s: ((n as u128 * 1_000_000_000) / best.max(1) as u128) as u64,
-                    peak_frontier_runs: stats.peak_frontier_runs,
-                    peak_nodes: stats.peak_nodes,
-                    feature_equivalent: equivalent,
-                });
-            }
-        }
-    }
+    sweep::drive(families, sides, quick, |p| {
+        let (family, n, conn, cid, img, reps) = (p.family, p.n, p.conn, p.cid, p.img, p.reps);
+        // Untimed pass: memory peaks + feature equivalence against
+        // the whole-frame engine (exercising the core's retirement
+        // hook end to end).
+        let mut labeler = StreamLabeler::new(img.cols(), conn);
+        let stats = {
+            stream_once(&mut labeler, img, conn);
+            labeler.drain_retired();
+            labeler.stats()
+        };
+        let reference = component_features(img, &fast_labels_conn(img, conn), conn);
+        let equivalent = streamed_features(img, conn) == reference.per_component;
+        let (best, mean) = sweep::time_reps(reps, || {
+            stream_once(&mut labeler, std::hint::black_box(img), conn);
+            std::hint::black_box(labeler.drain_retired().count());
+        });
+        progress(&format!(
+            "{family}/{n}/{cid}-conn stream: {:.3} ms, frontier peak {}",
+            best as f64 / 1e6,
+            stats.peak_frontier_runs
+        ));
+        entries.push(Entry {
+            family: family.to_string(),
+            n,
+            conn: cid,
+            best_ns: best,
+            mean_ns: mean,
+            reps,
+            rows_per_s: ((n as u128 * 1_000_000_000) / best.max(1) as u128) as u64,
+            peak_frontier_runs: stats.peak_frontier_runs,
+            peak_nodes: stats.peak_nodes,
+            feature_equivalent: equivalent,
+        });
+    });
     StreamReport {
         scale: if quick { "quick" } else { "full" }.to_string(),
         families: families.iter().map(|s| s.to_string()).collect(),

@@ -13,10 +13,10 @@
 //! recording host actually has ≥ [`MIN_HOST_THREADS`] hardware threads; the
 //! bit-identity, carried-state, and coverage checks apply everywhere.
 
-use crate::baseline::{conn_id, reps_for, time_reps, CONNS, SEED};
 use crate::json;
+use crate::sweep::{self, conn_id, CONNS, SEED};
 use slap_cc::engine::EngineKind;
-use slap_image::{gen, label_out_of_core, BitmapRows, LabelGrid};
+use slap_image::{label_out_of_core, BitmapRows, LabelGrid};
 use std::fmt::Write as _;
 
 /// Schema identifier stamped into (and required from) every tiled file.
@@ -109,109 +109,102 @@ pub fn run_tiled(quick: bool, mut progress: impl FnMut(&str)) -> TiledReport {
     let mut fast = EngineKind::Fast.session(1);
     let mut fast_grid = LabelGrid::new_background(1, 1);
     let mut tiled_grid = LabelGrid::new_background(1, 1);
-    for &family in families {
-        for &n in sides {
-            let img = gen::by_name(family, n, SEED)
-                .unwrap_or_else(|| panic!("unknown workload family {family:?}"));
-            let reps = reps_for(n, quick);
-            for &conn in CONNS {
-                let cid = conn_id(conn);
-                let (best, mean) = time_reps(reps, || {
-                    fast.label_into(std::hint::black_box(&img), conn, &mut fast_grid);
-                });
-                progress(&format!(
-                    "{family}/{n}/{cid}-conn fast: {:.3} ms",
-                    best as f64 / 1e6
-                ));
-                entries.push(Entry {
-                    family: family.to_string(),
-                    n,
-                    conn: cid,
-                    engine: "fast".to_string(),
-                    tiles: (1, 1),
-                    threads: 1,
-                    best_ns: best,
-                    mean_ns: mean,
-                    reps,
-                    bit_identical: None,
-                    band_rows: None,
-                    peak_carried_runs: None,
-                    components_match: None,
-                });
-                for &(tiles_y, tiles_x) in TILE_SHAPES {
-                    let mut session = EngineKind::Tiled { tiles_x, tiles_y }.session(TILE_THREADS);
-                    let (best, mean) = time_reps(reps, || {
-                        session.label_into(std::hint::black_box(&img), conn, &mut tiled_grid);
-                    });
-                    let ok = tiled_grid == fast_grid;
-                    progress(&format!(
-                        "{family}/{n}/{cid}-conn tiled {tiles_y}x{tiles_x}: {:.3} ms",
-                        best as f64 / 1e6
-                    ));
-                    entries.push(Entry {
-                        family: family.to_string(),
-                        n,
-                        conn: cid,
-                        engine: "tiled".to_string(),
-                        tiles: (tiles_y, tiles_x),
-                        threads: TILE_THREADS,
-                        best_ns: best,
-                        mean_ns: mean,
-                        reps,
-                        bit_identical: Some(ok),
-                        band_rows: None,
-                        peak_carried_runs: None,
-                        components_match: None,
-                    });
-                }
-                // Out-of-core: a quarter-frame band budget forces ≥ 4 band
-                // seams; correctness = the retired label set equals the
-                // whole-frame component labels.
-                let band_rows = (n / 4).max(1);
-                let tiles_x = 2usize;
-                let run = label_out_of_core(&mut BitmapRows::new(&img), conn, band_rows, tiles_x)
-                    .expect("in-memory rows cannot fail");
-                let mut retired: Vec<u64> = run
-                    .components
-                    .iter()
-                    .map(|rec| rec.label(img.rows()))
-                    .collect();
-                retired.sort_unstable();
-                let mut want: Vec<u64> = fast_grid
-                    .component_stats()
-                    .iter()
-                    .map(|s| u64::from(s.label))
-                    .collect();
-                want.sort_unstable();
-                let ok = retired == want;
-                let (best, mean) = time_reps(reps, || {
-                    let mut rows = BitmapRows::new(std::hint::black_box(&img));
-                    label_out_of_core(&mut rows, conn, band_rows, tiles_x).unwrap();
-                });
-                progress(&format!(
-                    "{family}/{n}/{cid}-conn ooc@{band_rows} rows: {:.3} ms \
-                     (peak carried {})",
-                    best as f64 / 1e6,
-                    run.stats.peak_carried_runs
-                ));
-                entries.push(Entry {
-                    family: family.to_string(),
-                    n,
-                    conn: cid,
-                    engine: "ooc".to_string(),
-                    tiles: (1, tiles_x),
-                    threads: tiles_x,
-                    best_ns: best,
-                    mean_ns: mean,
-                    reps,
-                    bit_identical: None,
-                    band_rows: Some(band_rows),
-                    peak_carried_runs: Some(run.stats.peak_carried_runs),
-                    components_match: Some(ok),
-                });
-            }
+    sweep::drive(families, sides, quick, |p| {
+        let (family, n, conn, cid, img, reps) = (p.family, p.n, p.conn, p.cid, p.img, p.reps);
+        let (best, mean) = sweep::time_reps(reps, || {
+            fast.label_into(std::hint::black_box(img), conn, &mut fast_grid);
+        });
+        progress(&format!(
+            "{family}/{n}/{cid}-conn fast: {:.3} ms",
+            best as f64 / 1e6
+        ));
+        entries.push(Entry {
+            family: family.to_string(),
+            n,
+            conn: cid,
+            engine: "fast".to_string(),
+            tiles: (1, 1),
+            threads: 1,
+            best_ns: best,
+            mean_ns: mean,
+            reps,
+            bit_identical: None,
+            band_rows: None,
+            peak_carried_runs: None,
+            components_match: None,
+        });
+        for &(tiles_y, tiles_x) in TILE_SHAPES {
+            let mut session = EngineKind::Tiled { tiles_x, tiles_y }.session(TILE_THREADS);
+            let (best, mean) = sweep::time_reps(reps, || {
+                session.label_into(std::hint::black_box(img), conn, &mut tiled_grid);
+            });
+            let ok = tiled_grid == fast_grid;
+            progress(&format!(
+                "{family}/{n}/{cid}-conn tiled {tiles_y}x{tiles_x}: {:.3} ms",
+                best as f64 / 1e6
+            ));
+            entries.push(Entry {
+                family: family.to_string(),
+                n,
+                conn: cid,
+                engine: "tiled".to_string(),
+                tiles: (tiles_y, tiles_x),
+                threads: TILE_THREADS,
+                best_ns: best,
+                mean_ns: mean,
+                reps,
+                bit_identical: Some(ok),
+                band_rows: None,
+                peak_carried_runs: None,
+                components_match: None,
+            });
         }
-    }
+        // Out-of-core: a quarter-frame band budget forces ≥ 4 band
+        // seams; correctness = the retired label set equals the
+        // whole-frame component labels.
+        let band_rows = (n / 4).max(1);
+        let tiles_x = 2usize;
+        let run = label_out_of_core(&mut BitmapRows::new(img), conn, band_rows, tiles_x)
+            .expect("in-memory rows cannot fail");
+        let mut retired: Vec<u64> = run
+            .components
+            .iter()
+            .map(|rec| rec.label(img.rows()))
+            .collect();
+        retired.sort_unstable();
+        let mut want: Vec<u64> = fast_grid
+            .component_stats()
+            .iter()
+            .map(|s| u64::from(s.label))
+            .collect();
+        want.sort_unstable();
+        let ok = retired == want;
+        let (best, mean) = sweep::time_reps(reps, || {
+            let mut rows = BitmapRows::new(std::hint::black_box(img));
+            label_out_of_core(&mut rows, conn, band_rows, tiles_x).unwrap();
+        });
+        progress(&format!(
+            "{family}/{n}/{cid}-conn ooc@{band_rows} rows: {:.3} ms \
+             (peak carried {})",
+            best as f64 / 1e6,
+            run.stats.peak_carried_runs
+        ));
+        entries.push(Entry {
+            family: family.to_string(),
+            n,
+            conn: cid,
+            engine: "ooc".to_string(),
+            tiles: (1, tiles_x),
+            threads: tiles_x,
+            best_ns: best,
+            mean_ns: mean,
+            reps,
+            bit_identical: None,
+            band_rows: Some(band_rows),
+            peak_carried_runs: Some(run.stats.peak_carried_runs),
+            components_match: Some(ok),
+        });
+    });
     TiledReport {
         scale: if quick { "quick" } else { "full" }.to_string(),
         host_threads,

@@ -1,10 +1,10 @@
 //! The unified host-engine layer: one trait, persistent sessions, and a
 //! registry-driven dispatch surface.
 //!
-//! The workspace grew five host labeling engines — the BFS gold oracle, the
+//! The workspace grew six host labeling engines — the BFS gold oracle, the
 //! word-parallel [`fast`](crate::fast) engine, its strip-parallel and 2-D
-//! tiled variants, and the bounded-memory streaming engine — and, as the
-//! two-pass parallel
+//! tiled variants, the bounded-memory streaming engine, and the iterative
+//! label-equivalence propagation engine — and, as the two-pass parallel
 //! CCL literature observes (Gupta et al., arXiv:1606.05973), they all share
 //! one skeleton: *group foreground into equivalence classes, then resolve
 //! every pixel's class to the component minimum*. This module names that
@@ -17,7 +17,8 @@
 //!   steady state performs **zero heap allocation** per frame — the
 //!   difference the `slap-bench reuse` sweep records.
 //! * [`BfsSession`], [`FastSession`], [`ParallelSession`], [`TiledSession`],
-//!   [`StreamSession`] — the engines behind the trait. All produce
+//!   [`StreamSession`], [`PropagateSession`] — the engines behind the trait.
+//!   All produce
 //!   **bit-identical**
 //!   output (component minima are decomposition-invariant), which the
 //!   `engine_matrix` differential harness asserts across every registered
@@ -29,7 +30,7 @@
 //!   *data* instead of hand-rolled match arms, the adaptive-selection shape
 //!   argued for by Sutton et al. (arXiv:1612.01178).
 
-use slap_image::fast::{FastLabeler, ParallelLabeler, TiledLabeler};
+use slap_image::fast::{FastLabeler, ParallelLabeler, PropagateLabeler, TiledLabeler};
 use slap_image::stream::StreamGridLabeler;
 use slap_image::{BfsOracle, Bitmap, Connectivity, LabelGrid, TileStats};
 
@@ -56,6 +57,13 @@ pub struct EngineStats {
     /// oracle and the streaming engine, which scan no tiles). For the
     /// engines that do, `tiles.total() == words_per_row × rows`.
     pub tiles: TileStats,
+    /// Relaxation rounds an iterative engine needed to reach its fixpoint,
+    /// including the final no-change round that proves convergence
+    /// (propagation engine only; `0` for the direct two-pass engines).
+    pub iterations: usize,
+    /// Pointer-jumping label-reduction passes an iterative engine performed
+    /// across all rounds (propagation engine only; `0` otherwise).
+    pub reduction_passes: usize,
 }
 
 /// A persistent labeling session: the unified interface over every host
@@ -121,6 +129,8 @@ impl LabelEngine for BfsSession {
             peak_frontier_runs: 0,
             peak_carried_runs: 0,
             tiles: TileStats::default(),
+            iterations: 0,
+            reduction_passes: 0,
         }
     }
 
@@ -157,6 +167,8 @@ impl LabelEngine for FastSession {
             peak_frontier_runs: 0,
             peak_carried_runs: 0,
             tiles: self.labeler.last_tile_stats(),
+            iterations: 0,
+            reduction_passes: 0,
         }
     }
 
@@ -196,6 +208,8 @@ impl LabelEngine for ParallelSession {
             peak_frontier_runs: 0,
             peak_carried_runs: 0,
             tiles: self.labeler.last_tile_stats(),
+            iterations: 0,
+            reduction_passes: 0,
         }
     }
 
@@ -242,6 +256,8 @@ impl LabelEngine for TiledSession {
             peak_frontier_runs: 0,
             peak_carried_runs: 0,
             tiles: self.labeler.last_tile_stats(),
+            iterations: 0,
+            reduction_passes: 0,
         }
     }
 
@@ -285,6 +301,50 @@ impl LabelEngine for StreamSession {
             peak_frontier_runs: self.labeler.last_stats().peak_frontier_runs,
             peak_carried_runs: 0,
             tiles: TileStats::default(),
+            iterations: 0,
+            reduction_passes: 0,
+        }
+    }
+
+    fn scratch_bytes(&self) -> usize {
+        self.labeler.scratch_bytes()
+    }
+}
+
+/// Session over the iterative label-equivalence propagation engine
+/// ([`PropagateLabeler`]): GPU-style alternating relaxation sweeps with
+/// pointer-jumping reduction between rounds — the flat, data-parallel
+/// contrast to the direct two-pass engines, reporting its convergence
+/// behavior through [`EngineStats::iterations`] and
+/// [`EngineStats::reduction_passes`].
+#[derive(Debug, Default)]
+pub struct PropagateSession {
+    labeler: PropagateLabeler,
+}
+
+impl PropagateSession {
+    /// Creates a session with empty (growable) scratch.
+    pub fn new() -> Self {
+        PropagateSession::default()
+    }
+}
+
+impl LabelEngine for PropagateSession {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Propagate
+    }
+
+    fn label_into(&mut self, img: &Bitmap, conn: Connectivity, out: &mut LabelGrid) -> EngineStats {
+        self.labeler.label_into(img, conn, out);
+        EngineStats {
+            components: self.labeler.last_components(),
+            runs: self.labeler.last_runs(),
+            threads: 1,
+            peak_frontier_runs: 0,
+            peak_carried_runs: 0,
+            tiles: TileStats::default(),
+            iterations: self.labeler.last_iterations(),
+            reduction_passes: self.labeler.last_reduction_passes(),
         }
     }
 
@@ -312,6 +372,9 @@ pub enum EngineKind {
     },
     /// Streaming run-based labeler (one row per beat, bounded frontier).
     Stream,
+    /// Iterative label-equivalence propagation (GPU-style relaxation rounds
+    /// with pointer-jumping reduction).
+    Propagate,
 }
 
 /// How an engine's working memory scales (the grid output is always
@@ -328,18 +391,21 @@ pub enum MemoryClass {
 }
 
 impl EngineKind {
-    /// Every registered kind, in registry order. Parameterized kinds appear
-    /// with their canonical shape (`tiled` as the 2×2 grid).
-    pub const ALL: [EngineKind; 5] = [
-        EngineKind::Bfs,
-        EngineKind::Fast,
-        EngineKind::Parallel,
-        EngineKind::Tiled {
-            tiles_x: 2,
-            tiles_y: 2,
-        },
-        EngineKind::Stream,
-    ];
+    /// Every registered kind, in registry order — **derived from the
+    /// registry rows** at compile time, so adding an engine is a one-site
+    /// change (write its [`EngineInfo`] row; `ALL`, [`EngineKind::parse`],
+    /// the CLI's engine list, and every registry-driven harness follow).
+    /// Parameterized kinds appear with their canonical shape (`tiled` as
+    /// the 2×2 grid).
+    pub const ALL: [EngineKind; REGISTRY_ROWS.len()] = {
+        let mut all = [EngineKind::Bfs; REGISTRY_ROWS.len()];
+        let mut i = 0;
+        while i < REGISTRY_ROWS.len() {
+            all[i] = REGISTRY_ROWS[i].kind;
+            i += 1;
+        }
+        all
+    };
 
     /// Short stable name (accepted by [`EngineKind::parse`] and the CLI's
     /// `--engine` flag). Every shape of a parameterized kind shares one
@@ -351,6 +417,7 @@ impl EngineKind {
             EngineKind::Parallel => "parallel",
             EngineKind::Tiled { .. } => "tiled",
             EngineKind::Stream => "stream",
+            EngineKind::Propagate => "propagate",
         }
     }
 
@@ -382,6 +449,7 @@ impl EngineKind {
                 Box::new(TiledSession::new(tiles_y, tiles_x, threads))
             }
             EngineKind::Stream => Box::new(StreamSession::new()),
+            EngineKind::Propagate => Box::new(PropagateSession::new()),
         }
     }
 }
@@ -411,8 +479,11 @@ pub struct EngineInfo {
     pub streaming: bool,
 }
 
-/// The registry rows, in [`EngineKind::ALL`] order.
-static REGISTRY: [EngineInfo; 5] = [
+/// The registry rows: **the** single site where an engine is added.
+/// [`EngineKind::ALL`] (and through it [`EngineKind::parse`], the CLI's
+/// engine listing, and the registry-driven suites) derive from this array
+/// at compile time.
+const REGISTRY_ROWS: [EngineInfo; 6] = [
     EngineInfo {
         kind: EngineKind::Bfs,
         description: "sequential BFS flood fill — the gold reference oracle",
@@ -456,7 +527,17 @@ static REGISTRY: [EngineInfo; 5] = [
         memory: MemoryClass::BoundedFrontier,
         streaming: true,
     },
+    EngineInfo {
+        kind: EngineKind::Propagate,
+        description: "iterative label-equivalence propagation — GPU-style relaxation rounds",
+        connectivities: &[Connectivity::Four, Connectivity::Eight],
+        multithreaded: false,
+        memory: MemoryClass::RunArena,
+        streaming: false,
+    },
 ];
+
+static REGISTRY: [EngineInfo; REGISTRY_ROWS.len()] = REGISTRY_ROWS;
 
 /// Enumerates every registered engine with its capabilities, in
 /// [`EngineKind::ALL`] order. The single source of truth the CLI, the bench
@@ -506,6 +587,12 @@ mod tests {
                 if info.kind == EngineKind::Stream {
                     assert!(stats.peak_frontier_runs > 0);
                     assert!(stats.peak_frontier_runs <= img.cols() / 2 + 1);
+                }
+                if info.kind == EngineKind::Propagate {
+                    assert!(stats.iterations >= 1, "propagate counts its rounds");
+                } else {
+                    assert_eq!(stats.iterations, 0, "{} is not iterative", info.kind);
+                    assert_eq!(stats.reduction_passes, 0, "{}", info.kind);
                 }
             }
         }

@@ -63,6 +63,7 @@ pub mod cc;
 pub mod engine;
 pub mod features;
 pub mod lockstep_cc;
+pub mod lockstep_propagate;
 pub mod passes;
 pub mod runs;
 pub mod spacetime;
@@ -74,7 +75,7 @@ pub use cc::{
 };
 pub use engine::{
     registry, BfsSession, EngineInfo, EngineKind, EngineStats, FastSession, LabelEngine,
-    MemoryClass, ParallelSession, StreamSession, TiledSession,
+    MemoryClass, ParallelSession, PropagateSession, StreamSession, TiledSession,
 };
 pub use runs::label_components_runs;
 pub use slap_image::fast;

@@ -49,10 +49,12 @@ use crate::labels::LabelGrid;
 
 pub mod ooc;
 pub mod parallel;
+pub mod propagate;
 pub mod tiled;
 
 pub use ooc::{label_out_of_core, OocRun, OocStats, OutOfCoreLabeler};
 pub use parallel::{parallel_labels, parallel_labels_conn, ParallelLabeler};
+pub use propagate::{propagate_labels, propagate_labels_conn, PropagateLabeler};
 pub use tiled::{tiled_labels, tiled_labels_conn, SeamLevel, TiledLabeler};
 
 /// Labels `img` under 4-connectivity. Convenience wrapper allocating a fresh

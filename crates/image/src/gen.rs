@@ -397,6 +397,64 @@ pub fn serpentine(rows: usize, cols: usize, spacing: usize) -> Bitmap {
     bm
 }
 
+/// Maps a distance `d` along a Hilbert curve of side `n` (a power of two) to
+/// grid coordinates, by the classic bit-twiddling quadrant walk.
+fn hilbert_d2xy(n: usize, d: usize) -> (usize, usize) {
+    let (mut x, mut y) = (0usize, 0usize);
+    let mut t = d;
+    let mut s = 1usize;
+    while s < n {
+        let rx = 1 & (t / 2);
+        let ry = 1 & (t ^ rx);
+        if ry == 0 {
+            if rx == 1 {
+                x = s - 1 - x;
+                y = s - 1 - y;
+            }
+            std::mem::swap(&mut x, &mut y);
+        }
+        x += s * rx;
+        y += s * ry;
+        t /= 4;
+        s *= 2;
+    }
+    (x, y)
+}
+
+/// A Hilbert space-filling curve drawn as one connected 1-pixel-wide path:
+/// curve vertices sit on even coordinates and consecutive vertices are
+/// joined by their midpoint pixel, so the drawing of an order-`k` curve
+/// occupies a `(2^(k+1) - 1)²` square (the largest that fits is used). One
+/// component whose geodesic is Θ(n²) with a direction reversal every few
+/// pixels at *every* scale — the adversarial worst case for iterative
+/// label propagation, harsher than [`spiral`] (Θ(n) reversals) or
+/// [`serpentine`] (reversals only at the edges).
+pub fn hilbert(rows: usize, cols: usize) -> Bitmap {
+    let mut bm = Bitmap::new(rows, cols);
+    let side = rows.min(cols);
+    // Largest order k >= 1 whose doubled drawing (2^(k+1) - 1 pixels on a
+    // side) fits; degenerate frames get a single seed pixel.
+    let mut n = 1usize;
+    while 4 * n - 1 <= side {
+        n *= 2;
+    }
+    if n == 1 {
+        bm.set(0, 0, true);
+        return bm;
+    }
+    let (mut px, mut py) = hilbert_d2xy(n, 0);
+    bm.set(2 * py, 2 * px, true);
+    for d in 1..n * n {
+        let (x, y) = hilbert_d2xy(n, d);
+        // Consecutive curve vertices differ by one in exactly one axis, so
+        // the doubled midpoint is the integer pixel joining them.
+        bm.set(py + y, px + x, true);
+        bm.set(2 * y, 2 * x, true);
+        (px, py) = (x, y);
+    }
+    bm
+}
+
 /// Fan: every other row of the first column is a 1, and the second column is
 /// all 1s, merging them instantly. Maximizes the number of label messages a
 /// single set forwards in the label pass.
@@ -453,6 +511,7 @@ pub fn by_name_dims(name: &str, rows: usize, cols: usize, seed: u64) -> Option<B
         "tournament" => tournament(rows, cols, 2),
         "spiral" => spiral(rows, cols, 3),
         "serpentine" => serpentine(rows, cols, 3),
+        "hilbert" => hilbert(rows, cols),
         "hstripes" => stripes_horizontal(rows, cols, 4, 2),
         "vstripes" => stripes_vertical(rows, cols, 4, 2),
         "checker" => checkerboard(rows, cols),
@@ -482,6 +541,7 @@ pub const WORKLOADS: &[&str] = &[
     "tournament",
     "spiral",
     "serpentine",
+    "hilbert",
     "hstripes",
     "vstripes",
     "checker",
@@ -651,6 +711,24 @@ mod tests {
             let bm = serpentine(n, n, 3);
             assert_eq!(component_count(&bm), 1, "serpentine {n}");
         }
+    }
+
+    #[test]
+    fn hilbert_is_one_component_filling_the_largest_fitting_square() {
+        for n in [7usize, 8, 15, 16, 33, 64] {
+            let bm = hilbert(n, n);
+            assert_eq!(component_count(&bm), 1, "hilbert {n} not connected");
+            // Order k uses a (2^(k+1) - 1)-sided square: 2 * 4^k - 1 pixels
+            // (4^k vertices plus 4^k - 1 joining midpoints).
+            let mut side = 1usize;
+            while 4 * side - 1 <= n {
+                side *= 2;
+            }
+            assert_eq!(bm.count_ones(), (2 * side * side).max(2) - 1, "n={n}");
+        }
+        // Degenerate frames still produce a (single-pixel) component.
+        assert_eq!(hilbert(1, 100).count_ones(), 1);
+        assert_eq!(hilbert(2, 2).count_ones(), 1);
     }
 
     #[test]

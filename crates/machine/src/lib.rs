@@ -39,6 +39,7 @@ pub mod barrier;
 pub mod costs;
 pub mod lockstep;
 pub mod pipeline;
+pub mod propagate;
 pub mod report;
 pub mod trace;
 
@@ -49,5 +50,6 @@ pub use pipeline::{
     run_pipeline, run_pipeline_pooled, run_pipeline_traced, run_pipeline_with, PeCtx,
     PipelineBuffers, PipelineConfig,
 };
+pub use propagate::{propagate_lockstep, PropagateOutcome};
 pub use report::{PeStats, PipelineReport};
 pub use trace::{render_gantt, span_totals, Span, SpanKind};

@@ -632,6 +632,12 @@ fn host_report(img: &Bitmap, conn: Connectivity, mut session: Box<dyn LabelEngin
             tiles.background, tiles.interior, tiles.boundary
         );
     }
+    if engine_stats.iterations > 0 {
+        print!(
+            ", {} iteration(s), {} reduction pass(es)",
+            engine_stats.iterations, engine_stats.reduction_passes
+        );
+    }
     println!();
 }
 
